@@ -1,0 +1,102 @@
+//! E6 (host side): cost of the feasibility analyses themselves.
+//!
+//! The paper argues online admission needs cheap tests; these benchmarks
+//! measure the EDF processor-demand test (naive vs cost-integrated),
+//! response-time analysis and Spring planning on growing task sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hades_dispatch::CostModel;
+use hades_sched::analysis::rta::{rta_feasible, RtaTask};
+use hades_sched::spring::{SpringHeuristic, SpringPlanner, SpringRequest};
+use hades_sched::{edf_feasible, EdfAnalysisConfig};
+use hades_sim::{KernelModel, SimRng};
+use hades_task::spuri::SpuriTask;
+use hades_task::TaskId;
+use hades_time::{Duration, Time};
+use std::hint::black_box;
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+fn spuri_set(n: u32, seed: u64) -> Vec<SpuriTask> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n)
+        .map(|i| {
+            let p = rng.range_inclusive(2_000, 30_000);
+            let c = rng.range_inclusive(50, p / (2 * n as u64).max(4));
+            let d = rng.range_inclusive(c * 2, p);
+            SpuriTask::independent(TaskId(i), format!("t{i}"), us(c), us(d), us(p))
+        })
+        .collect()
+}
+
+fn bench_edf_demand(c: &mut Criterion) {
+    let mut g = c.benchmark_group("edf_demand");
+    for n in [4u32, 8, 16] {
+        let tasks = spuri_set(n, 42);
+        g.bench_with_input(BenchmarkId::new("naive", n), &tasks, |b, tasks| {
+            let cfg = EdfAnalysisConfig::naive();
+            b.iter(|| black_box(edf_feasible(tasks, &cfg)));
+        });
+        g.bench_with_input(BenchmarkId::new("cost_integrated", n), &tasks, |b, tasks| {
+            let cfg = EdfAnalysisConfig::with_platform(
+                CostModel::measured_default(),
+                KernelModel::chorus_like(),
+            );
+            b.iter(|| black_box(edf_feasible(tasks, &cfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rta");
+    for n in [4usize, 16, 64] {
+        let tasks: Vec<RtaTask> = (0..n)
+            .map(|i| RtaTask {
+                c: us(50),
+                period: us(2_000 + 100 * i as u64),
+                deadline: us(2_000 + 100 * i as u64),
+                blocking: Duration::ZERO,
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("fixed_priority", n), &tasks, |b, tasks| {
+            b.iter(|| {
+                black_box(rta_feasible(
+                    tasks,
+                    &CostModel::measured_default(),
+                    &KernelModel::chorus_like(),
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_spring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spring_planner");
+    for n in [8u32, 32, 128] {
+        let mut rng = SimRng::seed_from(7);
+        let requests: Vec<SpringRequest> = (0..n)
+            .map(|i| {
+                let arrival = rng.range_inclusive(0, 5_000);
+                let wcet = rng.range_inclusive(10, 100);
+                SpringRequest {
+                    id: i,
+                    arrival: Time::ZERO + us(arrival),
+                    wcet: us(wcet),
+                    deadline: Time::ZERO + us(arrival + wcet * 20 + 5_000),
+                }
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("min_deadline", n), &requests, |b, reqs| {
+            let planner = SpringPlanner::new(SpringHeuristic::MinDeadline);
+            b.iter(|| black_box(planner.plan(reqs)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_edf_demand, bench_rta, bench_spring);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! E4 (host side): worst-case-scenario microbenchmarks of the dispatcher
+//! primitives, mirroring the paper's methodology for determining the
+//! Section 4.1 constants on a concrete platform.
+//!
+//! `C_loc_prec`-class work ≈ run-queue surgery + precedence bookkeeping;
+//! `C_act_start/end`-class work ≈ thread dispatch bookkeeping; the full
+//! `DispatchSim` benchmarks measure end-to-end virtual-time execution
+//! throughput of the middleware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hades_dispatch::{DispatchSim, RunQueue, SimConfig, ThreadId};
+use hades_task::prelude::*;
+use std::hint::black_box;
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+fn bench_run_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run_queue");
+    for n in [8u64, 64, 512] {
+        g.bench_with_input(BenchmarkId::new("insert_remove", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = RunQueue::new();
+                for i in 0..n {
+                    q.insert(ThreadId(i), Priority::new((i % 13) as u32), Time::ZERO);
+                }
+                for i in 0..n {
+                    black_box(q.remove(ThreadId(i)));
+                }
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("peek_best", n), &n, |b, &n| {
+            let mut q = RunQueue::new();
+            for i in 0..n {
+                q.insert(ThreadId(i), Priority::new((i % 13) as u32), Time::ZERO);
+            }
+            b.iter(|| black_box(q.peek_best()));
+        });
+        g.bench_with_input(BenchmarkId::new("preempter", n), &n, |b, &n| {
+            let mut q = RunQueue::new();
+            for i in 0..n {
+                q.insert(ThreadId(i), Priority::new((i % 13) as u32), Time::ZERO);
+            }
+            b.iter(|| black_box(q.preempter(Priority::new(6))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_heug(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heug");
+    for n in [4u32, 32, 128] {
+        g.bench_with_input(BenchmarkId::new("build_chain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut bld = HeugBuilder::new("bench");
+                let mut prev = None;
+                for i in 0..n {
+                    let eu =
+                        bld.code_eu(CodeEu::new(format!("eu{i}"), us(10), ProcessorId(0)));
+                    if let Some(p) = prev {
+                        bld.precede(p, eu);
+                    }
+                    prev = Some(eu);
+                }
+                black_box(bld.build().expect("chain is a DAG"))
+            });
+        });
+    }
+    let mut bld = HeugBuilder::new("cp");
+    let mut prev = None;
+    for i in 0..128 {
+        let eu = bld.code_eu(CodeEu::new(format!("eu{i}"), us(10), ProcessorId(0)));
+        if let Some(p) = prev {
+            bld.precede(p, eu);
+        }
+        prev = Some(eu);
+    }
+    let heug = bld.build().expect("valid");
+    g.bench_function("critical_path_128", |b| {
+        b.iter(|| black_box(heug.critical_path()))
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    for n in [1_000u64, 10_000] {
+        g.bench_with_input(BenchmarkId::new("post_drain", n), &n, |b, &n| {
+            b.iter(|| {
+                struct Nop;
+                impl hades_sim::Simulation for Nop {
+                    type Event = u64;
+                    fn handle(
+                        &mut self,
+                        _now: Time,
+                        ev: u64,
+                        _s: &mut hades_sim::Scheduler<u64>,
+                    ) {
+                        black_box(ev);
+                    }
+                }
+                let mut e = hades_sim::Engine::new();
+                for i in 0..n {
+                    e.post(Time::from_nanos(i), i);
+                }
+                e.run_to_completion(&mut Nop)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_dispatch_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch_sim");
+    g.sample_size(20);
+    // Full middleware execution: 5 periodic tasks with overheads and
+    // kernel interrupts over 50 ms of virtual time.
+    g.bench_function("5tasks_50ms_realistic", |b| {
+        b.iter(|| {
+            let tasks: Vec<Task> = (0..5)
+                .map(|i| {
+                    Task::new(
+                        TaskId(i),
+                        Heug::single(CodeEu::new(
+                            format!("t{i}"),
+                            us(100 + 40 * i as u64),
+                            ProcessorId(0),
+                        ))
+                        .expect("valid"),
+                        ArrivalLaw::Periodic(us(1_000 + 500 * i as u64)),
+                        us(1_000 + 500 * i as u64),
+                    )
+                })
+                .collect();
+            let mut tasks = tasks;
+            hades_sched::assign_rm(&mut tasks);
+            let set = TaskSet::new(tasks).expect("valid");
+            let mut cfg = SimConfig::realistic(Duration::from_millis(50));
+            cfg.trace = false;
+            let mut sim = DispatchSim::new(set, cfg);
+            black_box(sim.run())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_run_queue,
+    bench_heug,
+    bench_engine,
+    bench_dispatch_sim
+);
+criterion_main!(benches);

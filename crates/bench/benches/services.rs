@@ -1,0 +1,95 @@
+//! E8–E10 (host side): throughput of the service protocols — clock-sync
+//! rounds, diffusion broadcast, flooding consensus and the fault-tolerant
+//! midpoint primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hades_services::{
+    BroadcastSim, ClockSyncConfig, ClockSyncRun, ConsensusConfig, FloodConsensus,
+};
+use hades_sim::{LinkConfig, Network, NodeId, SimRng};
+use hades_time::{fault_tolerant_midpoint, Duration, Time};
+use std::hint::black_box;
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+fn bench_midpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_tolerant_midpoint");
+    for n in [4usize, 16, 64] {
+        let estimates: Vec<i64> = (0..n as i64).map(|i| i * 37 - 1_000).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &estimates, |b, est| {
+            b.iter(|| black_box(fault_tolerant_midpoint(est, est.len() / 4)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_clocksync(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clocksync");
+    g.sample_size(20);
+    for nodes in [4u32, 7] {
+        g.bench_with_input(BenchmarkId::new("16_rounds", nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let cfg = ClockSyncConfig {
+                    nodes,
+                    f: (nodes as usize - 1) / 3,
+                    rounds: 16,
+                    ..ClockSyncConfig::default_quad()
+                };
+                black_box(ClockSyncRun::new(cfg).execute())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast");
+    for nodes in [4u32, 16] {
+        g.bench_with_input(BenchmarkId::new("diffusion", nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let net = Network::homogeneous(
+                    nodes,
+                    LinkConfig::reliable(us(5), us(20)),
+                    SimRng::seed_from(1),
+                );
+                black_box(BroadcastSim::new(net, 1).broadcast(NodeId(0), Time::ZERO))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus");
+    for nodes in [4u32, 10] {
+        g.bench_with_input(BenchmarkId::new("floodset_f1", nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let net = Network::homogeneous(
+                    nodes,
+                    LinkConfig::reliable(us(5), us(20)),
+                    SimRng::seed_from(1),
+                );
+                black_box(
+                    FloodConsensus::new(ConsensusConfig {
+                        f: 1,
+                        proposals: (0..nodes as u64).collect(),
+                        start: Time::ZERO,
+                    })
+                    .execute(net),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_midpoint,
+    bench_clocksync,
+    bench_broadcast,
+    bench_consensus
+);
+criterion_main!(benches);

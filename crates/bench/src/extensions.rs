@@ -1,0 +1,252 @@
+//! Extension experiments beyond the paper's figures: ablations of the
+//! design choices DESIGN.md calls out.
+//!
+//! * `ablation` — which overhead component costs the most acceptance?
+//! * `overload` — planning-based admission (Spring) vs EDF under overload.
+//! * `modes` — mode-change transition analysis (carry-over vs safe offset).
+//! * `latency` — response-time distributions, RM vs EDF, same task set.
+
+use hades_dispatch::{CostModel, DispatchSim, SimConfig};
+use hades_sched::{edf_feasible, EdfAnalysisConfig, ModeChange, SpringPolicy};
+use hades_sim::{KernelModel, Summary};
+use hades_task::prelude::*;
+use hades_task::spuri::SpuriTask;
+use std::fmt::Write;
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+/// Cost-component ablation: acceptance ratio at fixed load with each
+/// overhead source removed in turn.
+pub fn cost_ablation() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "EXT-A — overhead-component ablation (acceptance at 80% load)");
+    let _ = writeln!(out, "=============================================================");
+    let _ = writeln!(out, "{:<22} {:>12}", "configuration", "acceptance");
+    let full = CostModel::measured_default();
+    let variants: Vec<(&str, CostModel, KernelModel)> = vec![
+        ("naive (no overheads)", CostModel::zero(), KernelModel::none()),
+        ("full platform", full, KernelModel::chorus_like()),
+        ("no kernel IRQs", full, KernelModel::none()),
+        (
+            "no scheduler cost",
+            CostModel {
+                sched_notif: Duration::ZERO,
+                ..full
+            },
+            KernelModel::chorus_like(),
+        ),
+        (
+            "no action overheads",
+            CostModel {
+                act_start: Duration::ZERO,
+                act_end: Duration::ZERO,
+                ..full
+            },
+            KernelModel::chorus_like(),
+        ),
+        (
+            "no context switches",
+            CostModel {
+                ctx_switch: Duration::ZERO,
+                ..full
+            },
+            KernelModel::chorus_like(),
+        ),
+    ];
+    let trials = 300u64;
+    for (name, costs, kernel) in variants {
+        let cfg = EdfAnalysisConfig::with_platform(costs, kernel);
+        let accepted = (0..trials)
+            .filter(|t| {
+                let tasks = crate::sweep::random_set(555_000 + t, 4, 800);
+                edf_feasible(&tasks, &cfg).feasible
+            })
+            .count();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>11.1}%",
+            name,
+            100.0 * accepted as f64 / trials as f64
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nexpected shape: kernel IRQs (5.2% standing load) and per-unit\n\
+         action overheads dominate the acceptance loss; removing any single\n\
+         component recovers part of the naive headroom."
+    );
+    out
+}
+
+/// Spring admission control vs EDF under increasing overload.
+pub fn spring_overload() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "EXT-B — overload behaviour: Spring admission vs EDF");
+    let _ = writeln!(out, "===================================================");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>10} {:>12} {:>12}",
+        "load", "jobs", "EDF misses", "Spring misses"
+    );
+    for load in [80u64, 100, 120, 150, 200] {
+        // Six jobs with staggered deadlines (1 ms, 1.4 ms, ..., 3 ms);
+        // each job's work scales with the offered load.
+        let n_jobs = 6u32;
+        let horizon = us(10_000);
+        let wcet = us(500 * load / 100);
+        let run = |spring: bool| {
+            let tasks: Vec<Task> = (0..n_jobs)
+                .map(|i| {
+                    Task::new(
+                        TaskId(i),
+                        Heug::single(CodeEu::new(format!("j{i}"), wcet, ProcessorId(0)))
+                            .expect("valid"),
+                        ArrivalLaw::Aperiodic,
+                        us(1_000 + 400 * i as u64),
+                    )
+                })
+                .collect();
+            let set = TaskSet::new(tasks).expect("valid");
+            let mut cfg = SimConfig::ideal(horizon);
+            cfg.auto_activate = false;
+            let mut sim = DispatchSim::new(set, cfg);
+            if spring {
+                sim.set_policy(0, Box::new(SpringPolicy::new()));
+            } else {
+                sim.set_policy(0, Box::new(hades_sched::EdfPolicy::new()));
+            }
+            for i in 0..n_jobs {
+                sim.activate_at(TaskId(i), Time::ZERO + us(10 * i as u64));
+            }
+            sim.run().misses()
+        };
+        let _ = writeln!(
+            out,
+            "{:>5}% {:>10} {:>12} {:>12}",
+            load,
+            n_jobs,
+            run(false),
+            run(true)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nexpected shape: below 100% both are clean; past it EDF's domino\n\
+         effect misses many deadlines while Spring sheds only the jobs that\n\
+         do not fit."
+    );
+    out
+}
+
+/// Mode-change transition analysis table.
+pub fn mode_change_table() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "EXT-C — mode-change transitions ([Mos94])");
+    let _ = writeln!(out, "=========================================");
+    let _ = writeln!(
+        out,
+        "{:>12} {:>10} {:>11} {:>12}",
+        "carry-over", "steady ok", "immediate", "safe offset"
+    );
+    let cfg = EdfAnalysisConfig::with_platform(
+        CostModel::measured_default(),
+        KernelModel::chorus_like(),
+    );
+    let new_mode = vec![
+        SpuriTask::independent(TaskId(10), "recover", us(3_000), us(5_000), us(5_000)),
+        SpuriTask::independent(TaskId(11), "monitor", us(200), us(2_000), us(2_000)),
+    ];
+    for old_c in [500u64, 2_000, 4_000, 8_000] {
+        let old_mode = vec![SpuriTask::independent(
+            TaskId(0),
+            "normal",
+            us(old_c),
+            us(20_000),
+            us(20_000),
+        )];
+        let report = ModeChange::new(old_mode, new_mode.clone()).analyze(&cfg);
+        let _ = writeln!(
+            out,
+            "{:>12} {:>10} {:>11} {:>12}",
+            report.carryover.to_string(),
+            if report.steady_state.feasible { "yes" } else { "no" },
+            if report.immediate_feasible { "yes" } else { "no" },
+            if report.safe_offset == Duration::MAX {
+                String::from("n/a")
+            } else {
+                report.safe_offset.to_string()
+            }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nexpected shape: small carry-overs switch immediately; large ones\n\
+         need a drain offset that grows with the carried work."
+    );
+    out
+}
+
+/// Response-time distributions, RM vs EDF on the same periodic set.
+pub fn latency_distribution() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "EXT-D — response-time distribution, RM vs EDF (same set)");
+    let _ = writeln!(out, "========================================================");
+    // U ≈ 0.93: above the RM utilisation region, below EDF's U = 1 bound.
+    let build = || -> Vec<Task> {
+        vec![
+            Task::new(
+                TaskId(0),
+                Heug::single(CodeEu::new("fast", us(300), ProcessorId(0))).expect("valid"),
+                ArrivalLaw::Periodic(us(1_000)),
+                us(1_000),
+            ),
+            Task::new(
+                TaskId(1),
+                Heug::single(CodeEu::new("mid", us(900), ProcessorId(0))).expect("valid"),
+                ArrivalLaw::Periodic(us(3_100)),
+                us(3_100),
+            ),
+            Task::new(
+                TaskId(2),
+                Heug::single(CodeEu::new("slow", us(3_200), ProcessorId(0))).expect("valid"),
+                ArrivalLaw::Periodic(us(9_700)),
+                us(9_700),
+            ),
+        ]
+    };
+    for policy in ["RM", "EDF"] {
+        let mut tasks = build();
+        if policy == "RM" {
+            hades_sched::assign_rm(&mut tasks);
+        }
+        let set = TaskSet::new(tasks).expect("valid");
+        let mut cfg = SimConfig::ideal(Duration::from_millis(200));
+        cfg.trace = false;
+        let mut sim = DispatchSim::new(set, cfg);
+        if policy == "EDF" {
+            sim.set_policy(0, Box::new(hades_sched::EdfPolicy::new()));
+        }
+        let report = sim.run();
+        let _ = writeln!(out, "\n{policy} (misses: {}):", report.misses());
+        for id in 0..3u32 {
+            let samples: Vec<Duration> = report
+                .of_task(TaskId(id))
+                .iter()
+                .filter_map(|i| i.response_time())
+                .collect();
+            if let Some(s) = Summary::of(&samples) {
+                let _ = writeln!(out, "  T{id}: {}", s.render());
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nexpected shape: at U ≈ 0.93 (past the RM region, within EDF's\n\
+         U ≤ 1 bound) RM lets the slowest task absorb all interference —\n\
+         and miss — while EDF meets every deadline with higher but bounded\n\
+         tail latencies on the fast tasks."
+    );
+    out
+}

@@ -1,0 +1,142 @@
+//! Run reports: per-instance records and aggregate statistics.
+
+use crate::monitor::MonitorReport;
+use hades_sim::Trace;
+use hades_task::TaskId;
+use hades_time::{Duration, Time};
+use std::collections::HashMap;
+
+/// Outcome of one task instance (activation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceRecord {
+    /// The task.
+    pub task: TaskId,
+    /// Activation sequence number (0-based).
+    pub instance: u64,
+    /// Activation time.
+    pub activated: Time,
+    /// Absolute deadline.
+    pub deadline: Time,
+    /// Completion time, if the instance completed.
+    pub completed: Option<Time>,
+    /// Whether the deadline was missed (completed late or never).
+    pub missed: bool,
+}
+
+impl InstanceRecord {
+    /// Response time (completion − activation), if completed.
+    pub fn response_time(&self) -> Option<Duration> {
+        self.completed.map(|c| c - self.activated)
+    }
+}
+
+/// Everything a [`crate::DispatchSim`] run produces.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Per-instance outcomes, in activation order.
+    pub instances: Vec<InstanceRecord>,
+    /// Monitoring alarms.
+    pub monitor: MonitorReport,
+    /// Execution trace (events + Gantt), if enabled.
+    pub trace: Trace,
+    /// Notifications pushed to scheduler FIFOs during the run.
+    pub notifications: u64,
+    /// Total CPU time consumed by scheduler tasks.
+    pub scheduler_cpu: Duration,
+    /// Total CPU time consumed by kernel interrupts.
+    pub kernel_cpu: Duration,
+    /// Virtual time at which the run ended.
+    pub finished_at: Time,
+}
+
+impl RunReport {
+    /// Whether every activated instance met its deadline.
+    pub fn all_deadlines_met(&self) -> bool {
+        self.instances.iter().all(|i| !i.missed)
+    }
+
+    /// Number of missed instances.
+    pub fn misses(&self) -> usize {
+        self.instances.iter().filter(|i| i.missed).count()
+    }
+
+    /// Records for one task.
+    pub fn of_task(&self, task: TaskId) -> Vec<&InstanceRecord> {
+        self.instances.iter().filter(|i| i.task == task).collect()
+    }
+
+    /// Worst observed response time per task (completed instances only).
+    pub fn worst_response_times(&self) -> HashMap<TaskId, Duration> {
+        let mut out: HashMap<TaskId, Duration> = HashMap::new();
+        for i in &self.instances {
+            if let Some(rt) = i.response_time() {
+                let e = out.entry(i.task).or_insert(Duration::ZERO);
+                *e = (*e).max(rt);
+            }
+        }
+        out
+    }
+
+    /// Mean response time over all completed instances, if any completed.
+    pub fn mean_response_time(&self) -> Option<Duration> {
+        let rts: Vec<Duration> = self
+            .instances
+            .iter()
+            .filter_map(InstanceRecord::response_time)
+            .collect();
+        if rts.is_empty() {
+            return None;
+        }
+        let total: u128 = rts.iter().map(|d| d.as_nanos() as u128).sum();
+        Some(Duration::from_nanos((total / rts.len() as u128) as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(task: u32, instance: u64, act: u64, done: Option<u64>, missed: bool) -> InstanceRecord {
+        InstanceRecord {
+            task: TaskId(task),
+            instance,
+            activated: Time::from_nanos(act),
+            deadline: Time::from_nanos(act + 100),
+            completed: done.map(Time::from_nanos),
+            missed,
+        }
+    }
+
+    #[test]
+    fn response_time_requires_completion() {
+        assert_eq!(
+            record(0, 0, 10, Some(60), false).response_time(),
+            Some(Duration::from_nanos(50))
+        );
+        assert_eq!(record(0, 0, 10, None, true).response_time(), None);
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let mut r = RunReport::default();
+        r.instances.push(record(0, 0, 0, Some(40), false));
+        r.instances.push(record(0, 1, 100, Some(180), false));
+        r.instances.push(record(1, 0, 0, None, true));
+        assert!(!r.all_deadlines_met());
+        assert_eq!(r.misses(), 1);
+        assert_eq!(r.of_task(TaskId(0)).len(), 2);
+        let worst = r.worst_response_times();
+        assert_eq!(worst[&TaskId(0)], Duration::from_nanos(80));
+        assert!(!worst.contains_key(&TaskId(1)));
+        assert_eq!(r.mean_response_time(), Some(Duration::from_nanos(60)));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = RunReport::default();
+        assert!(r.all_deadlines_met());
+        assert_eq!(r.misses(), 0);
+        assert_eq!(r.mean_response_time(), None);
+        assert!(r.worst_response_times().is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! The priority-ordered Run Queue and the running rule (Section 3.2.1).
+//!
+//! A thread is inserted when its four runnable conditions hold; the
+//! dispatcher then keeps the CPU allocated to the thread with the highest
+//! priority, *except* that a running thread with preemption threshold `pt`
+//! is only displaced by threads of priority strictly greater than `pt`:
+//!
+//! > τ is running iff τ is runnable, and prio(τ) is the highest priority
+//! > among all the runnable threads, or for all runnable threads τ′ with
+//! > prio(τ′) > prio(τ), we have prio(τ′) ≤ pt(τ).
+
+use crate::thread::ThreadId;
+use hades_task::Priority;
+use hades_time::Time;
+
+/// One entry of the run queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    thread: ThreadId,
+    prio: Priority,
+    since: Time,
+    seq: u64,
+}
+
+/// The dispatcher's per-node priority-ordered queue of runnable threads.
+///
+/// Ordering: higher priority first; ties broken by earlier
+/// runnable-insertion time, then insertion sequence (deterministic FIFO).
+///
+/// # Examples
+///
+/// ```
+/// use hades_dispatch::RunQueue;
+/// use hades_dispatch::ThreadId;
+/// use hades_task::Priority;
+/// use hades_time::Time;
+///
+/// let mut q = RunQueue::new();
+/// q.insert(ThreadId(1), Priority::new(3), Time::ZERO);
+/// q.insert(ThreadId(2), Priority::new(8), Time::ZERO);
+/// assert_eq!(q.peek_best(), Some(ThreadId(2)));
+/// ```
+#[derive(Debug, Default)]
+pub struct RunQueue {
+    entries: Vec<Entry>,
+    next_seq: u64,
+}
+
+impl RunQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        RunQueue::default()
+    }
+
+    /// Inserts a thread with its current priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is already queued (state-machine violation).
+    pub fn insert(&mut self, thread: ThreadId, prio: Priority, now: Time) {
+        assert!(
+            !self.contains(thread),
+            "thread {thread} already in run queue"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(Entry {
+            thread,
+            prio,
+            since: now,
+            seq,
+        });
+    }
+
+    /// Removes a thread (dispatched, aborted or re-blocked).
+    pub fn remove(&mut self, thread: ThreadId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.thread != thread);
+        self.entries.len() != before
+    }
+
+    /// Whether the thread is queued.
+    pub fn contains(&self, thread: ThreadId) -> bool {
+        self.entries.iter().any(|e| e.thread == thread)
+    }
+
+    /// Updates the recorded priority of a queued thread. Returns `true` if
+    /// the thread was found.
+    pub fn reprioritize(&mut self, thread: ThreadId, prio: Priority) -> bool {
+        for e in &mut self.entries {
+            if e.thread == thread {
+                e.prio = prio;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The best candidate under plain priority ordering.
+    pub fn peek_best(&self) -> Option<ThreadId> {
+        self.entries
+            .iter()
+            .max_by(|a, b| {
+                (a.prio, std::cmp::Reverse(a.since), std::cmp::Reverse(a.seq)).cmp(&(
+                    b.prio,
+                    std::cmp::Reverse(b.since),
+                    std::cmp::Reverse(b.seq),
+                ))
+            })
+            .map(|e| e.thread)
+    }
+
+    /// The priority of the best candidate.
+    pub fn peek_best_priority(&self) -> Option<Priority> {
+        self.entries.iter().map(|e| e.prio).max()
+    }
+
+    /// Decides whether the queue holds a thread that must displace the
+    /// current running thread (given its preemption threshold), per the
+    /// running rule. Returns the preempting thread if so.
+    pub fn preempter(&self, running_pt: Priority) -> Option<ThreadId> {
+        self.entries
+            .iter()
+            .filter(|e| e.prio > running_pt)
+            .max_by(|a, b| {
+                (a.prio, std::cmp::Reverse(a.since), std::cmp::Reverse(a.seq)).cmp(&(
+                    b.prio,
+                    std::cmp::Reverse(b.since),
+                    std::cmp::Reverse(b.seq),
+                ))
+            })
+            .map(|e| e.thread)
+    }
+
+    /// Number of queued threads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The queued thread ids, best first (for traces and tests).
+    pub fn ordered(&self) -> Vec<ThreadId> {
+        let mut v = self.entries.clone();
+        v.sort_by(|a, b| {
+            (b.prio, std::cmp::Reverse(b.since), std::cmp::Reverse(b.seq)).cmp(&(
+                a.prio,
+                std::cmp::Reverse(a.since),
+                std::cmp::Reverse(a.seq),
+            ))
+        });
+        v.into_iter().map(|e| e.thread).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> ThreadId {
+        ThreadId(n)
+    }
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut q = RunQueue::new();
+        q.insert(t(1), Priority::new(1), Time::ZERO);
+        q.insert(t(2), Priority::new(9), Time::ZERO);
+        q.insert(t(3), Priority::new(5), Time::ZERO);
+        assert_eq!(q.peek_best(), Some(t(2)));
+        assert_eq!(q.peek_best_priority(), Some(Priority::new(9)));
+        assert_eq!(q.ordered(), vec![t(2), t(3), t(1)]);
+    }
+
+    #[test]
+    fn ties_break_fifo_by_insertion_time() {
+        let mut q = RunQueue::new();
+        q.insert(t(1), Priority::new(5), Time::from_nanos(10));
+        q.insert(t(2), Priority::new(5), Time::from_nanos(5));
+        assert_eq!(q.peek_best(), Some(t(2)), "earlier runnable time first");
+        let mut q = RunQueue::new();
+        q.insert(t(1), Priority::new(5), Time::ZERO);
+        q.insert(t(2), Priority::new(5), Time::ZERO);
+        assert_eq!(q.peek_best(), Some(t(1)), "same time: insertion order");
+    }
+
+    #[test]
+    fn preempter_respects_threshold() {
+        let mut q = RunQueue::new();
+        q.insert(t(1), Priority::new(6), Time::ZERO);
+        // Running thread with pt = 6: prio 6 does not preempt.
+        assert_eq!(q.preempter(Priority::new(6)), None);
+        // Running thread with pt = 5: prio 6 preempts.
+        assert_eq!(q.preempter(Priority::new(5)), Some(t(1)));
+    }
+
+    #[test]
+    fn preempter_picks_best_above_threshold() {
+        let mut q = RunQueue::new();
+        q.insert(t(1), Priority::new(7), Time::ZERO);
+        q.insert(t(2), Priority::new(9), Time::ZERO);
+        q.insert(t(3), Priority::new(4), Time::ZERO);
+        assert_eq!(q.preempter(Priority::new(6)), Some(t(2)));
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut q = RunQueue::new();
+        q.insert(t(1), Priority::new(1), Time::ZERO);
+        assert!(q.contains(t(1)));
+        assert!(q.remove(t(1)));
+        assert!(!q.remove(t(1)));
+        assert!(q.is_empty());
+        assert_eq!(q.peek_best(), None);
+    }
+
+    #[test]
+    fn reprioritize_changes_order() {
+        let mut q = RunQueue::new();
+        q.insert(t(1), Priority::new(1), Time::ZERO);
+        q.insert(t(2), Priority::new(2), Time::ZERO);
+        assert_eq!(q.peek_best(), Some(t(2)));
+        assert!(q.reprioritize(t(1), Priority::new(10)));
+        assert_eq!(q.peek_best(), Some(t(1)));
+        assert!(!q.reprioritize(t(9), Priority::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in run queue")]
+    fn duplicate_insert_panics() {
+        let mut q = RunQueue::new();
+        q.insert(t(1), Priority::new(1), Time::ZERO);
+        q.insert(t(1), Priority::new(2), Time::ZERO);
+    }
+
+    #[test]
+    fn len_tracks_entries() {
+        let mut q = RunQueue::new();
+        assert_eq!(q.len(), 0);
+        q.insert(t(1), Priority::new(1), Time::ZERO);
+        q.insert(t(2), Priority::new(2), Time::ZERO);
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,437 @@
+//! EDF processor-demand feasibility over the first busy period, after
+//! Spuri [Spu96] theorem 7.1, with the cost integration of Section 5.3.
+//!
+//! For sporadic tasks with arbitrary deadlines scheduled by preemptive EDF
+//! with SRP resource access, a *sufficient* condition is that every absolute
+//! deadline `d` in the first busy period of the worst-case arrival pattern
+//! satisfies
+//!
+//! ```text
+//! Σ_{i : Dᵢ ≤ d} (⌊(d − Dᵢ)/pᵢ⌋ + 1) · Cᵢ  +  B(d)  ≤  d
+//! ```
+//!
+//! where `B(d)` bounds the blocking from one critical section of a task
+//! with a longer relative deadline. The **modified test** of Section 5.3
+//! additionally
+//!
+//! * inflates `Cᵢ` with the dispatcher constants
+//!   (`Cᵢ' = Cᵢ + nᵢ(C_act_start + C_act_end) + (nᵢ−1)·C_loc_prec + (nᵢ+1)·C_ctx`,
+//!   `nᵢ` = number of elementary units of the task's HEUG),
+//! * inflates the blocking section with `C_act_start + C_act_end`,
+//! * subtracts the scheduler cost `S(d)` (one `Atv` and one `Trm`
+//!   notification per thread per activation) and the kernel cost `K(d)`
+//!   from each deadline, since both always execute at higher priority.
+//!
+//! With the zero cost model and an empty kernel this degenerates to the
+//! *naive* test — the baseline of experiments E6/E7.
+
+use hades_dispatch::CostModel;
+use hades_sim::KernelModel;
+use hades_task::spuri::SpuriTask;
+use hades_time::Duration;
+use std::collections::BTreeSet;
+
+/// Configuration of the analysis: which overheads to account for.
+#[derive(Debug, Clone, Default)]
+pub struct EdfAnalysisConfig {
+    /// Dispatcher activity costs.
+    pub costs: CostModel,
+    /// Background kernel activities.
+    pub kernel: KernelModel,
+}
+
+impl EdfAnalysisConfig {
+    /// The naive analysis: zero overheads (what a middleware-unaware test
+    /// would compute).
+    pub fn naive() -> Self {
+        EdfAnalysisConfig {
+            costs: CostModel::zero(),
+            kernel: KernelModel::none(),
+        }
+    }
+
+    /// The cost-integrated analysis for the given platform model.
+    pub fn with_platform(costs: CostModel, kernel: KernelModel) -> Self {
+        EdfAnalysisConfig { costs, kernel }
+    }
+}
+
+/// A deadline at which the demand test failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated absolute deadline (relative to the busy-period start).
+    pub deadline: Duration,
+    /// Total demand (computation + blocking + scheduler + kernel) by then.
+    pub demand: Duration,
+}
+
+/// Outcome of the feasibility analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeasibilityReport {
+    /// Whether the task set passed the (sufficient) test.
+    pub feasible: bool,
+    /// Length of the first busy period (`Duration::MAX` when the inflated
+    /// utilisation reaches 1 and the busy period is unbounded).
+    pub busy_period: Duration,
+    /// Total inflated utilisation, including scheduler and kernel load.
+    pub utilization: f64,
+    /// How many deadlines were checked.
+    pub checked_deadlines: usize,
+    /// The first failing deadline, if any.
+    pub first_violation: Option<Violation>,
+}
+
+/// Number of elementary units the Figure-3 translation produces for a task
+/// (zero-length phases are elided).
+fn unit_count(t: &SpuriTask) -> u64 {
+    let mut n = 0;
+    if !t.c_before.is_zero() {
+        n += 1;
+    }
+    if !t.cs.is_zero() {
+        n += 1;
+    }
+    if !t.c_after.is_zero() {
+        n += 1;
+    }
+    n.max(1)
+}
+
+/// Inflated worst-case computation time `Cᵢ'` of one task.
+pub fn inflated_c(t: &SpuriTask, costs: &CostModel) -> Duration {
+    let n = unit_count(t);
+    t.total_c()
+        + costs.action_overhead().saturating_mul(n)
+        + costs.loc_prec.saturating_mul(n - 1)
+        + costs.ctx_switch.saturating_mul(n + 1)
+}
+
+/// Scheduler demand `S(t)`: every activation of task `j` produces `nⱼ`
+/// thread activations and `nⱼ` terminations, each costing one notification.
+fn scheduler_demand(tasks: &[SpuriTask], costs: &CostModel, t: Duration) -> Duration {
+    if costs.sched_notif.is_zero() {
+        return Duration::ZERO;
+    }
+    tasks
+        .iter()
+        .map(|task| {
+            let activations = t.div_ceil(task.pseudo_period);
+            costs
+                .sched_notif
+                .saturating_mul(2 * unit_count(task))
+                .saturating_mul(activations)
+        })
+        .fold(Duration::ZERO, Duration::saturating_add)
+}
+
+/// Worst-case blocking `B(d)`: the longest (inflated) critical section of
+/// any task whose relative deadline exceeds `d` — under EDF+SRP a job with
+/// deadline `d` is blocked at most once, by a longer-deadline job already
+/// inside its section.
+fn blocking_at(tasks: &[SpuriTask], costs: &CostModel, d: Duration) -> Duration {
+    tasks
+        .iter()
+        .filter(|t| t.deadline > d && !t.cs.is_zero())
+        .map(|t| t.cs + costs.action_overhead())
+        .fold(Duration::ZERO, Duration::max)
+}
+
+/// Per-task blocking bound `Bᵢ` (used as the `latest` attribute in the
+/// Figure-3 translation): the longest critical section of any
+/// longer-relative-deadline task that uses a resource.
+pub fn spuri_blocking(tasks: &[SpuriTask]) -> Vec<Duration> {
+    tasks
+        .iter()
+        .map(|me| {
+            tasks
+                .iter()
+                .filter(|o| o.deadline > me.deadline && !o.cs.is_zero())
+                .map(|o| o.cs)
+                .fold(Duration::ZERO, Duration::max)
+        })
+        .collect()
+}
+
+/// Runs the (naive or cost-integrated) EDF+SRP feasibility test.
+///
+/// # Examples
+///
+/// ```
+/// use hades_sched::{edf_feasible, EdfAnalysisConfig};
+/// use hades_task::spuri::SpuriTask;
+/// use hades_task::TaskId;
+/// use hades_time::Duration;
+///
+/// let us = Duration::from_micros;
+/// let tasks = vec![
+///     SpuriTask::independent(TaskId(0), "a", us(20), us(100), us(100)),
+///     SpuriTask::independent(TaskId(1), "b", us(30), us(200), us(200)),
+/// ];
+/// let report = edf_feasible(&tasks, &EdfAnalysisConfig::naive());
+/// assert!(report.feasible);
+/// ```
+pub fn edf_feasible(tasks: &[SpuriTask], cfg: &EdfAnalysisConfig) -> FeasibilityReport {
+    if tasks.is_empty() {
+        return FeasibilityReport {
+            feasible: true,
+            busy_period: Duration::ZERO,
+            utilization: 0.0,
+            checked_deadlines: 0,
+            first_violation: None,
+        };
+    }
+    let cs: Vec<Duration> = tasks.iter().map(|t| inflated_c(t, &cfg.costs)).collect();
+    // Inflated utilisation including scheduler notifications and kernel.
+    let task_util: f64 = tasks
+        .iter()
+        .zip(&cs)
+        .map(|(t, c)| c.as_nanos() as f64 / t.pseudo_period.as_nanos() as f64)
+        .sum();
+    let sched_util: f64 = tasks
+        .iter()
+        .map(|t| {
+            (cfg.costs.sched_notif.as_nanos() * 2 * unit_count(t)) as f64
+                / t.pseudo_period.as_nanos() as f64
+        })
+        .sum();
+    let utilization = task_util + sched_util + cfg.kernel.utilization();
+    if utilization >= 1.0 {
+        return FeasibilityReport {
+            feasible: false,
+            busy_period: Duration::MAX,
+            utilization,
+            checked_deadlines: 0,
+            first_violation: None,
+        };
+    }
+    // First busy period: fixed point of W(t) = Σ ⌈t/pᵢ⌉Cᵢ' + S(t) + K(t).
+    let w = |t: Duration| -> Duration {
+        let mut total = Duration::ZERO;
+        for (task, c) in tasks.iter().zip(&cs) {
+            total = total.saturating_add(c.saturating_mul(t.div_ceil(task.pseudo_period)));
+        }
+        total
+            .saturating_add(scheduler_demand(tasks, &cfg.costs, t))
+            .saturating_add(cfg.kernel.demand(t))
+    };
+    let mut busy = w(Duration::from_nanos(1));
+    for _ in 0..100_000 {
+        let next = w(busy);
+        if next == busy {
+            break;
+        }
+        busy = next;
+    }
+    // Deadlines within the busy period.
+    let mut deadlines: BTreeSet<Duration> = BTreeSet::new();
+    for task in tasks {
+        let mut d = task.deadline;
+        while d <= busy {
+            deadlines.insert(d);
+            d = match d.checked_add(task.pseudo_period) {
+                Some(v) => v,
+                None => break,
+            };
+        }
+        // Always check the first deadline even when beyond the busy period
+        // (it is the tightest constraint for long-deadline tasks).
+        deadlines.insert(task.deadline);
+    }
+    let mut first_violation = None;
+    for d in &deadlines {
+        // Processor demand of jobs with deadline ≤ d.
+        let mut demand = Duration::ZERO;
+        for (task, c) in tasks.iter().zip(&cs) {
+            if task.deadline <= *d {
+                let jobs = (*d - task.deadline).div_floor(task.pseudo_period) + 1;
+                demand = demand.saturating_add(c.saturating_mul(jobs));
+            }
+        }
+        let total = demand
+            .saturating_add(blocking_at(tasks, &cfg.costs, *d))
+            .saturating_add(scheduler_demand(tasks, &cfg.costs, *d))
+            .saturating_add(cfg.kernel.demand(*d));
+        if total > *d {
+            first_violation = Some(Violation {
+                deadline: *d,
+                demand: total,
+            });
+            break;
+        }
+    }
+    FeasibilityReport {
+        feasible: first_violation.is_none(),
+        busy_period: busy,
+        utilization,
+        checked_deadlines: deadlines.len(),
+        first_violation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hades_task::{ResourceId, TaskId};
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    fn indep(id: u32, c: u64, d: u64, p: u64) -> SpuriTask {
+        SpuriTask::independent(TaskId(id), format!("t{id}"), us(c), us(d), us(p))
+    }
+
+    #[test]
+    fn feasible_light_set() {
+        let tasks = vec![indep(0, 10, 100, 100), indep(1, 20, 200, 200)];
+        let r = edf_feasible(&tasks, &EdfAnalysisConfig::naive());
+        assert!(r.feasible);
+        assert!(r.utilization < 0.21);
+        assert!(r.checked_deadlines >= 2);
+        assert_eq!(r.first_violation, None);
+    }
+
+    #[test]
+    fn overload_is_rejected_immediately() {
+        let tasks = vec![indep(0, 60, 100, 100), indep(1, 50, 100, 100)];
+        let r = edf_feasible(&tasks, &EdfAnalysisConfig::naive());
+        assert!(!r.feasible);
+        assert!(r.utilization >= 1.0);
+        assert_eq!(r.busy_period, Duration::MAX);
+    }
+
+    #[test]
+    fn exact_full_utilization_with_implicit_deadlines() {
+        // U = 1 exactly is unschedulable-by-our-strict-check (>= 1.0).
+        let tasks = vec![indep(0, 50, 100, 100), indep(1, 50, 100, 100)];
+        let r = edf_feasible(&tasks, &EdfAnalysisConfig::naive());
+        assert!(!r.feasible);
+    }
+
+    #[test]
+    fn tight_deadline_below_period_can_fail() {
+        // C = 50, D = 60, p = 200 twice: at d = 60 demand = 100 > 60.
+        let tasks = vec![indep(0, 50, 60, 200), indep(1, 50, 60, 200)];
+        let r = edf_feasible(&tasks, &EdfAnalysisConfig::naive());
+        assert!(!r.feasible);
+        let v = r.first_violation.unwrap();
+        assert_eq!(v.deadline, us(60));
+        assert_eq!(v.demand, us(100));
+    }
+
+    #[test]
+    fn blocking_from_longer_deadline_section_counts() {
+        // Short-deadline task alone is fine; a long-deadline task with a
+        // 40 µs critical section pushes the d = 50 check over the edge.
+        let short = indep(0, 30, 50, 100);
+        let long = SpuriTask::with_section(
+            TaskId(1),
+            "locker",
+            us(5),
+            us(40),
+            us(5),
+            ResourceId(0),
+            us(400),
+            us(400),
+        );
+        let r = edf_feasible(std::slice::from_ref(&short), &EdfAnalysisConfig::naive());
+        assert!(r.feasible);
+        let r = edf_feasible(&[short, long], &EdfAnalysisConfig::naive());
+        // At d = 50: demand 30 + blocking 40 = 70 > 50.
+        assert!(!r.feasible);
+        assert_eq!(r.first_violation.unwrap().deadline, us(50));
+    }
+
+    #[test]
+    fn costs_shrink_acceptance() {
+        // Borderline set: feasible naively, infeasible with overheads.
+        let tasks = vec![indep(0, 45, 100, 100), indep(1, 45, 100, 100)];
+        let naive = edf_feasible(&tasks, &EdfAnalysisConfig::naive());
+        assert!(naive.feasible);
+        let real = edf_feasible(
+            &tasks,
+            &EdfAnalysisConfig::with_platform(
+                CostModel::measured_default(),
+                KernelModel::none(),
+            ),
+        );
+        assert!(!real.feasible, "10%+ overhead breaks a 90% set");
+    }
+
+    #[test]
+    fn kernel_demand_shrinks_acceptance() {
+        let tasks = vec![indep(0, 47, 100, 100), indep(1, 47, 100, 100)];
+        let naive = edf_feasible(&tasks, &EdfAnalysisConfig::naive());
+        assert!(naive.feasible);
+        let with_kernel = edf_feasible(
+            &tasks,
+            &EdfAnalysisConfig::with_platform(CostModel::zero(), KernelModel::chorus_like()),
+        );
+        assert!(!with_kernel.feasible, "5.2% kernel load breaks a 94% set");
+    }
+
+    #[test]
+    fn inflation_formula_matches_section_5_3() {
+        let costs = CostModel::measured_default();
+        // Three-unit task: n = 3.
+        let t3 = SpuriTask::with_section(
+            TaskId(0),
+            "x",
+            us(10),
+            us(10),
+            us(10),
+            ResourceId(0),
+            us(100),
+            us(100),
+        );
+        // 30 + 3*(3+3) + 2*4 + 4*2 = 30 + 18 + 8 + 8 = 64.
+        assert_eq!(inflated_c(&t3, &costs), us(64));
+        // One-unit task: n = 1 → 10 + 6 + 0 + 4 = 20.
+        let t1 = indep(1, 10, 100, 100);
+        assert_eq!(inflated_c(&t1, &costs), us(20));
+    }
+
+    #[test]
+    fn spuri_blocking_ranks_by_deadline() {
+        let a = indep(0, 5, 50, 100); // tightest deadline
+        let b = SpuriTask::with_section(
+            TaskId(1),
+            "b",
+            us(1),
+            us(20),
+            us(1),
+            ResourceId(0),
+            us(100),
+            us(200),
+        );
+        let c = SpuriTask::with_section(
+            TaskId(2),
+            "c",
+            us(1),
+            us(30),
+            us(1),
+            ResourceId(0),
+            us(300),
+            us(300),
+        );
+        let blocking = spuri_blocking(&[a, b, c]);
+        assert_eq!(blocking[0], us(30), "a blocked by longest longer-D section");
+        assert_eq!(blocking[1], us(30), "b blocked by c");
+        assert_eq!(blocking[2], Duration::ZERO, "c has the longest deadline");
+    }
+
+    #[test]
+    fn empty_set_is_feasible() {
+        let r = edf_feasible(&[], &EdfAnalysisConfig::naive());
+        assert!(r.feasible);
+        assert_eq!(r.checked_deadlines, 0);
+    }
+
+    #[test]
+    fn busy_period_is_plausible() {
+        let tasks = vec![indep(0, 25, 100, 100), indep(1, 25, 100, 100)];
+        let r = edf_feasible(&tasks, &EdfAnalysisConfig::naive());
+        // First busy period of two synchronous releases: 50 µs.
+        assert_eq!(r.busy_period, us(50));
+    }
+}

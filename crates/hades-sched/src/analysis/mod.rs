@@ -1,0 +1,13 @@
+//! Feasibility analyses: the scheduling tests HADES schedulers run.
+//!
+//! A HADES *scheduling policy* couples a run-time algorithm (priority
+//! assignment, planning) with an offline or online *scheduling test*. The
+//! tests here share the central idea of Section 4/5 of the paper: the
+//! middleware's own activities — dispatcher constants, scheduler
+//! notifications, kernel interrupts — are folded into the analysis, so a
+//! *sufficient* test stays sufficient on the real (here: simulated)
+//! platform.
+
+pub mod edf_demand;
+pub mod rta;
+pub mod utilization;

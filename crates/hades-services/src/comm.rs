@@ -1,0 +1,468 @@
+//! Time-bounded reliable communication (the "Rel. Bcast" / "Rel. Mcast"
+//! boxes of Figure 1).
+//!
+//! Three primitives, each with an explicit worst-case delivery bound so the
+//! feasibility test can account for communication:
+//!
+//! * [`ReliableP2p`] — point-to-point with positive acknowledgement and
+//!   bounded retransmission: masks up to `retries` omission failures;
+//!   worst-case delivery `retries · (2δmax)` after which the omission is
+//!   *detected* (fail-aware, never silent).
+//! * [`BroadcastSim`] — reliable broadcast by message diffusion: every
+//!   correct receiver relays the first copy it sees, so delivery tolerates
+//!   `f` crashed nodes with bound `(f + 1) · δmax`.
+//! * [`DeltaMulticast`] — Δ-protocol atomic multicast on synchronized
+//!   clocks: messages carry a sender timestamp and are delivered at
+//!   `ts + Δ` in timestamp order, giving total order across the group.
+
+use hades_sim::{Delivery, Engine, Network, NodeId, Scheduler, Simulation};
+use hades_time::{Duration, Time};
+use std::collections::{BTreeMap, HashSet};
+
+// ---------------------------------------------------------------------
+// Reliable point-to-point
+// ---------------------------------------------------------------------
+
+/// Configuration of the acknowledged point-to-point primitive.
+#[derive(Debug, Clone, Copy)]
+pub struct P2pConfig {
+    /// Maximum number of transmissions (1 = no retry).
+    pub max_attempts: u32,
+    /// Retransmission timeout; must be at least the round-trip bound
+    /// `2δmax` to avoid spurious retries.
+    pub timeout: Duration,
+}
+
+impl P2pConfig {
+    /// A configuration derived from the network's worst-case delay:
+    /// timeout `2δmax + 1 µs`, with the given attempt budget.
+    pub fn for_network(net: &Network, max_attempts: u32) -> Self {
+        P2pConfig {
+            max_attempts,
+            timeout: net.max_delay().saturating_mul(2) + Duration::from_micros(1),
+        }
+    }
+
+    /// Worst-case time until delivery-or-detection: all attempts time out.
+    pub fn detection_bound(&self) -> Duration {
+        self.timeout.saturating_mul(self.max_attempts as u64)
+    }
+}
+
+/// Outcome of one reliable send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum P2pOutcome {
+    /// Delivered (and acknowledged) at the given time, on the given
+    /// attempt (1-based).
+    Delivered {
+        /// When the receiver got the message.
+        delivered_at: Time,
+        /// Which attempt succeeded.
+        attempt: u32,
+    },
+    /// All attempts exhausted: omission *detected* at the given time.
+    Failed {
+        /// When the sender gave up.
+        detected_at: Time,
+    },
+}
+
+impl P2pOutcome {
+    /// Whether the message arrived.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, P2pOutcome::Delivered { .. })
+    }
+}
+
+/// The acknowledged, retransmitting point-to-point primitive.
+#[derive(Debug)]
+pub struct ReliableP2p {
+    cfg: P2pConfig,
+}
+
+impl ReliableP2p {
+    /// Creates the primitive.
+    pub fn new(cfg: P2pConfig) -> Self {
+        ReliableP2p { cfg }
+    }
+
+    /// Sends one message `from → to` at `now`, driving retransmissions
+    /// until delivery or attempt exhaustion. Mutates the network's RNG
+    /// state (each attempt samples the link).
+    pub fn send(&self, net: &mut Network, from: NodeId, to: NodeId, now: Time) -> P2pOutcome {
+        let mut t = now;
+        for attempt in 1..=self.cfg.max_attempts {
+            match net.transit(from, to, t) {
+                Delivery::At(arrival) => {
+                    // The ack may be lost too, triggering a duplicate
+                    // transmission, but the *data* is delivered; duplicate
+                    // suppression is by sequence number. Delivery time is
+                    // what the bound promises.
+                    return P2pOutcome::Delivered {
+                        delivered_at: arrival,
+                        attempt,
+                    };
+                }
+                Delivery::Omitted => {
+                    t += self.cfg.timeout;
+                }
+            }
+        }
+        P2pOutcome::Failed { detected_at: t }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reliable broadcast by diffusion
+// ---------------------------------------------------------------------
+
+/// Result of one diffusion broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastOutcome {
+    /// Nodes (correct at send time) that delivered, with delivery times.
+    pub delivered: BTreeMap<u32, Time>,
+    /// Correct nodes that never delivered (validity/agreement violation if
+    /// non-empty while the initiator is correct).
+    pub missed: Vec<u32>,
+    /// Total point-to-point messages consumed.
+    pub messages: u64,
+    /// The analytic delivery bound `(f + 1) · δmax`.
+    pub bound: Duration,
+}
+
+impl BroadcastOutcome {
+    /// Latest delivery among correct nodes, if all delivered.
+    pub fn max_latency(&self, sent_at: Time) -> Option<Duration> {
+        if !self.missed.is_empty() {
+            return None;
+        }
+        self.delivered.values().map(|t| *t - sent_at).max()
+    }
+
+    /// Agreement: either all correct nodes delivered or none did.
+    pub fn agreement_holds(&self) -> bool {
+        self.delivered.is_empty() || self.missed.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DiffEv {
+    Receive { node: u32 },
+}
+
+struct Diffusion {
+    net: Network,
+    delivered: BTreeMap<u32, Time>,
+    relayed: HashSet<u32>,
+    messages: u64,
+    attempts: u32,
+    timeout: Duration,
+}
+
+impl Simulation for Diffusion {
+    type Event = DiffEv;
+    fn handle(&mut self, now: Time, ev: DiffEv, sched: &mut Scheduler<DiffEv>) {
+        let DiffEv::Receive { node } = ev;
+        if self.net.fault_plan().is_crashed(NodeId(node), now) {
+            return; // dead nodes neither deliver nor relay
+        }
+        if self.delivered.contains_key(&node) {
+            return; // duplicate
+        }
+        self.delivered.insert(node, now);
+        // Relay once to every other node (diffusion), retransmitting up to
+        // `attempts` times per link to mask omission failures.
+        if self.relayed.insert(node) {
+            let targets: Vec<NodeId> = self.net.nodes().filter(|n| n.0 != node).collect();
+            for to in targets {
+                let mut t_send = now;
+                for _ in 0..self.attempts {
+                    self.messages += 1;
+                    match self.net.transit(NodeId(node), to, t_send) {
+                        Delivery::At(t) => {
+                            sched.post(t, DiffEv::Receive { node: to.0 });
+                            break;
+                        }
+                        Delivery::Omitted => t_send += self.timeout,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reliable-broadcast simulation: diffusion over a faulty network.
+///
+/// # Examples
+///
+/// ```
+/// use hades_services::BroadcastSim;
+/// use hades_sim::{LinkConfig, Network, NodeId, SimRng};
+/// use hades_time::{Duration, Time};
+///
+/// let net = Network::homogeneous(
+///     4,
+///     LinkConfig::reliable(Duration::from_micros(5), Duration::from_micros(20)),
+///     SimRng::seed_from(1),
+/// );
+/// let out = BroadcastSim::new(net, 1).broadcast(NodeId(0), Time::ZERO);
+/// assert!(out.agreement_holds());
+/// assert_eq!(out.delivered.len(), 4, "all four nodes deliver");
+/// ```
+#[derive(Debug)]
+pub struct BroadcastSim {
+    net: Network,
+    f: u32,
+    attempts: u32,
+}
+
+impl BroadcastSim {
+    /// Creates a broadcast simulation tolerating up to `f` crashed nodes,
+    /// with single-shot relays (no omission masking).
+    pub fn new(net: Network, f: u32) -> Self {
+        BroadcastSim {
+            net,
+            f,
+            attempts: 1,
+        }
+    }
+
+    /// Sets the per-link retransmission budget: each relay link masks up
+    /// to `attempts − 1` consecutive omission failures.
+    pub fn with_attempts(mut self, attempts: u32) -> Self {
+        self.attempts = attempts.max(1);
+        self
+    }
+
+    /// Broadcasts from `initiator` at `sent_at` and runs to quiescence.
+    pub fn broadcast(self, initiator: NodeId, sent_at: Time) -> BroadcastOutcome {
+        let timeout = self.net.max_delay().saturating_mul(2) + Duration::from_micros(1);
+        let bound = (self.net.max_delay() + timeout.saturating_mul(self.attempts as u64 - 1))
+            .saturating_mul(self.f as u64 + 1);
+        let node_count = self.net.node_count();
+        let plan_crashed: Vec<u32> = (0..node_count)
+            .filter(|n| {
+                self.net
+                    .fault_plan()
+                    .crash_time(NodeId(*n))
+                    .is_some()
+            })
+            .collect();
+        let mut sim = Diffusion {
+            net: self.net,
+            delivered: BTreeMap::new(),
+            relayed: HashSet::new(),
+            messages: 0,
+            attempts: self.attempts,
+            timeout,
+        };
+        let mut engine = Engine::new();
+        engine.post(sent_at, DiffEv::Receive { node: initiator.0 });
+        engine.run_to_completion(&mut sim);
+        let missed: Vec<u32> = (0..node_count)
+            .filter(|n| !sim.delivered.contains_key(n) && !plan_crashed.contains(n))
+            .collect();
+        BroadcastOutcome {
+            delivered: sim.delivered,
+            missed,
+            messages: sim.messages,
+            bound,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Δ-protocol atomic multicast
+// ---------------------------------------------------------------------
+
+/// Atomic multicast on synchronized clocks: a message stamped `ts` is
+/// delivered at `ts + Δ` in `(ts, sender)` order. If the network can hold
+/// its delay bound and clocks their precision, `Δ ≥ δmax + γ` guarantees
+/// every correct receiver delivers every message, in the same total order.
+#[derive(Debug)]
+pub struct DeltaMulticast {
+    /// The delivery delay Δ.
+    pub delta: Duration,
+}
+
+impl DeltaMulticast {
+    /// Creates the protocol with `Δ = δmax + precision`.
+    pub fn for_network(net: &Network, precision: Duration) -> Self {
+        DeltaMulticast {
+            delta: net.max_delay() + precision,
+        }
+    }
+
+    /// Computes each receiver's delivery sequence for a set of multicasts
+    /// `(sender, timestamp)`. A message reaches a receiver only if its
+    /// transit arrives by `ts + Δ`; late arrivals are discarded (and would
+    /// be flagged by the sender's ack protocol). Returns per-receiver
+    /// ordered lists of `(timestamp, sender)`.
+    pub fn deliver_all(
+        &self,
+        net: &mut Network,
+        sends: &[(NodeId, Time)],
+    ) -> BTreeMap<u32, Vec<(Time, u32)>> {
+        let mut out: BTreeMap<u32, Vec<(Time, u32)>> = BTreeMap::new();
+        let nodes: Vec<NodeId> = net.nodes().collect();
+        for receiver in &nodes {
+            let mut inbox: Vec<(Time, u32)> = Vec::new();
+            for (sender, ts) in sends {
+                if sender == receiver {
+                    inbox.push((*ts, sender.0)); // local copy always on time
+                    continue;
+                }
+                if let Delivery::At(arrival) = net.transit(*sender, *receiver, *ts) {
+                    if arrival <= *ts + self.delta {
+                        inbox.push((*ts, sender.0));
+                    }
+                }
+            }
+            // Deliver in (timestamp, sender) order at ts + Δ.
+            inbox.sort();
+            out.insert(receiver.0, inbox);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hades_sim::{FaultPlan, LinkConfig, SimRng};
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    fn reliable_net(n: u32, seed: u64) -> Network {
+        Network::homogeneous(n, LinkConfig::reliable(us(5), us(20)), SimRng::seed_from(seed))
+    }
+
+    fn lossy_net(n: u32, permille: u32, seed: u64) -> Network {
+        Network::homogeneous(
+            n,
+            LinkConfig::reliable(us(5), us(20)).with_omissions(permille),
+            SimRng::seed_from(seed),
+        )
+    }
+
+    #[test]
+    fn p2p_delivers_first_attempt_on_healthy_link() {
+        let mut net = reliable_net(2, 1);
+        let p2p = ReliableP2p::new(P2pConfig::for_network(&net, 3));
+        match p2p.send(&mut net, NodeId(0), NodeId(1), Time::ZERO) {
+            P2pOutcome::Delivered { attempt, delivered_at } => {
+                assert_eq!(attempt, 1);
+                assert!(delivered_at <= Time::ZERO + us(20));
+            }
+            P2pOutcome::Failed { .. } => panic!("healthy link failed"),
+        }
+    }
+
+    #[test]
+    fn p2p_retries_mask_omissions() {
+        // 50% loss: with 8 attempts delivery is near-certain.
+        let mut net = lossy_net(2, 500, 3);
+        let p2p = ReliableP2p::new(P2pConfig::for_network(&net, 8));
+        let mut delivered = 0;
+        for i in 0..100 {
+            let t = Time::ZERO + us(1000 * i);
+            if p2p.send(&mut net, NodeId(0), NodeId(1), t).is_delivered() {
+                delivered += 1;
+            }
+        }
+        assert!(delivered >= 98, "only {delivered}/100 delivered");
+    }
+
+    #[test]
+    fn p2p_detects_permanent_omission_within_bound() {
+        let plan = FaultPlan::new().cut_link(NodeId(0), NodeId(1), Time::ZERO, Time::MAX);
+        let mut net = reliable_net(2, 1).with_fault_plan(plan);
+        let cfg = P2pConfig::for_network(&net, 4);
+        let p2p = ReliableP2p::new(cfg);
+        match p2p.send(&mut net, NodeId(0), NodeId(1), Time::ZERO) {
+            P2pOutcome::Failed { detected_at } => {
+                assert_eq!(detected_at, Time::ZERO + cfg.detection_bound());
+            }
+            P2pOutcome::Delivered { .. } => panic!("cut link delivered"),
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all_on_healthy_network() {
+        let out = BroadcastSim::new(reliable_net(5, 2), 1).broadcast(NodeId(0), Time::ZERO);
+        assert_eq!(out.delivered.len(), 5);
+        assert!(out.missed.is_empty());
+        assert!(out.agreement_holds());
+        let lat = out.max_latency(Time::ZERO).unwrap();
+        assert!(lat <= out.bound, "latency {lat} exceeds bound {}", out.bound);
+    }
+
+    #[test]
+    fn broadcast_survives_initiator_crash_after_first_send() {
+        // Initiator crashes 1 µs after sending: its messages at t=0 are
+        // already in flight; relays complete the diffusion.
+        let plan = FaultPlan::new().crash_at(NodeId(0), Time::from_nanos(1_000));
+        let net = reliable_net(5, 4).with_fault_plan(plan);
+        let out = BroadcastSim::new(net, 1).broadcast(NodeId(0), Time::ZERO);
+        // All *other* correct nodes deliver (initiator itself delivered at
+        // t=0 before crashing).
+        for n in 1..5 {
+            assert!(out.delivered.contains_key(&n), "node {n} missed");
+        }
+        assert!(out.agreement_holds());
+    }
+
+    #[test]
+    fn broadcast_diffusion_masks_single_link_omissions() {
+        // The 0→3 link always drops; node 3 still delivers via relays.
+        let mut net = reliable_net(4, 5);
+        net.set_link(
+            NodeId(0),
+            NodeId(3),
+            LinkConfig::reliable(us(5), us(20)).with_omissions(1000),
+        );
+        let out = BroadcastSim::new(net, 1).broadcast(NodeId(0), Time::ZERO);
+        assert!(out.delivered.contains_key(&3));
+        assert!(out.missed.is_empty());
+    }
+
+    #[test]
+    fn broadcast_message_complexity_is_n_squared() {
+        let out = BroadcastSim::new(reliable_net(6, 6), 1).broadcast(NodeId(2), Time::ZERO);
+        // Every delivering node relays to n−1 others: n(n−1) total.
+        assert_eq!(out.messages, 30);
+    }
+
+    #[test]
+    fn delta_multicast_total_order_across_receivers() {
+        let mut net = reliable_net(4, 7);
+        let dm = DeltaMulticast::for_network(&net, us(2));
+        let sends = vec![
+            (NodeId(0), Time::ZERO + us(10)),
+            (NodeId(1), Time::ZERO + us(5)),
+            (NodeId(2), Time::ZERO + us(10)), // same ts as node 0: sender order
+        ];
+        let deliveries = dm.deliver_all(&mut net, &sends);
+        let reference = deliveries.get(&0).unwrap().clone();
+        assert_eq!(
+            reference,
+            vec![
+                (Time::ZERO + us(5), 1),
+                (Time::ZERO + us(10), 0),
+                (Time::ZERO + us(10), 2),
+            ]
+        );
+        for (node, seq) in &deliveries {
+            assert_eq!(seq, &reference, "receiver {node} diverged");
+        }
+    }
+
+    #[test]
+    fn delta_bound_uses_network_delay() {
+        let net = reliable_net(3, 8);
+        let dm = DeltaMulticast::for_network(&net, us(3));
+        assert_eq!(dm.delta, us(23));
+    }
+}

@@ -1,0 +1,240 @@
+//! Synchronous flooding consensus tolerating crash faults.
+//!
+//! The consensus service of Figure 1. On a synchronous substrate the
+//! classic FloodSet algorithm decides in `f + 1` rounds despite up to `f`
+//! crash failures: each round, every correct node broadcasts the set of
+//! values it has seen; after `f + 1` rounds all correct nodes have the same
+//! set and decide by a deterministic rule (minimum value). Rounds are paced
+//! by the synchronized clocks: round `r` spans
+//! `[r · (δmax + ε), (r+1) · (δmax + ε))`.
+
+use hades_sim::{Delivery, Network, NodeId};
+use hades_time::{Duration, Time};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of one consensus instance.
+#[derive(Debug, Clone)]
+pub struct ConsensusConfig {
+    /// Crash-fault bound `f`; the protocol runs `f + 1` rounds.
+    pub f: u32,
+    /// Initial proposal of each node (index = node id).
+    pub proposals: Vec<u64>,
+    /// Start time of round 0.
+    pub start: Time,
+}
+
+/// Result of a consensus execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsensusOutcome {
+    /// Decision of every node that survived to the end.
+    pub decisions: BTreeMap<u32, u64>,
+    /// When the protocol terminated (end of round `f`).
+    pub decided_at: Time,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Round duration used.
+    pub round_length: Duration,
+}
+
+impl ConsensusOutcome {
+    /// Agreement: all surviving nodes decided the same value.
+    pub fn agreement_holds(&self) -> bool {
+        let mut values = self.decisions.values();
+        match values.next() {
+            None => true,
+            Some(first) => values.all(|v| v == first),
+        }
+    }
+
+    /// Validity: the decision is one of the given proposals.
+    pub fn validity_holds(&self, proposals: &[u64]) -> bool {
+        self.decisions.values().all(|v| proposals.contains(v))
+    }
+
+    /// The agreed value, if any node survived.
+    pub fn decided_value(&self) -> Option<u64> {
+        self.decisions.values().next().copied()
+    }
+}
+
+/// The FloodSet consensus simulation.
+///
+/// # Examples
+///
+/// ```
+/// use hades_services::{ConsensusConfig, FloodConsensus};
+/// use hades_sim::{LinkConfig, Network, SimRng};
+/// use hades_time::{Duration, Time};
+///
+/// let net = Network::homogeneous(
+///     4,
+///     LinkConfig::reliable(Duration::from_micros(5), Duration::from_micros(20)),
+///     SimRng::seed_from(1),
+/// );
+/// let out = FloodConsensus::new(ConsensusConfig {
+///     f: 1,
+///     proposals: vec![30, 10, 20, 40],
+///     start: Time::ZERO,
+/// })
+/// .execute(net);
+/// assert!(out.agreement_holds());
+/// assert_eq!(out.decided_value(), Some(10), "minimum rule");
+/// ```
+#[derive(Debug)]
+pub struct FloodConsensus {
+    cfg: ConsensusConfig,
+}
+
+impl FloodConsensus {
+    /// Creates an instance.
+    pub fn new(cfg: ConsensusConfig) -> Self {
+        FloodConsensus { cfg }
+    }
+
+    /// Runs `f + 1` synchronous rounds over `net` and returns the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proposals.len()` differs from the network's node count.
+    pub fn execute(self, mut net: Network) -> ConsensusOutcome {
+        let n = net.node_count();
+        assert_eq!(
+            self.cfg.proposals.len(),
+            n as usize,
+            "one proposal per node required"
+        );
+        let round_length = net.max_delay() + Duration::from_micros(1);
+        let mut known: Vec<BTreeSet<u64>> = self
+            .cfg
+            .proposals
+            .iter()
+            .map(|v| BTreeSet::from([*v]))
+            .collect();
+        let mut messages = 0u64;
+        let mut round_start = self.cfg.start;
+        for _round in 0..=self.cfg.f {
+            // Every node alive at round start floods its current set; the
+            // network drops messages from nodes that crash mid-round.
+            let mut inboxes: Vec<BTreeSet<u64>> = known.clone();
+            for sender in 0..n {
+                if net.fault_plan().is_crashed(NodeId(sender), round_start) {
+                    continue;
+                }
+                let payload = known[sender as usize].clone();
+                for receiver in 0..n {
+                    if receiver == sender {
+                        continue;
+                    }
+                    messages += 1;
+                    if let Delivery::At(_) = net.transit(NodeId(sender), NodeId(receiver), round_start)
+                    {
+                        inboxes[receiver as usize].extend(payload.iter().copied());
+                    }
+                }
+            }
+            known = inboxes;
+            round_start += round_length;
+        }
+        let decided_at = round_start;
+        let decisions: BTreeMap<u32, u64> = (0..n)
+            .filter(|i| !net.fault_plan().is_crashed(NodeId(*i), decided_at))
+            .filter_map(|i| known[i as usize].first().map(|v| (i, *v)))
+            .collect();
+        ConsensusOutcome {
+            decisions,
+            decided_at,
+            messages,
+            round_length,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hades_sim::{FaultPlan, LinkConfig, SimRng};
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    fn net(n: u32, plan: FaultPlan, seed: u64) -> Network {
+        Network::homogeneous(n, LinkConfig::reliable(us(5), us(20)), SimRng::seed_from(seed))
+            .with_fault_plan(plan)
+    }
+
+    fn cfg(f: u32, proposals: Vec<u64>) -> ConsensusConfig {
+        ConsensusConfig {
+            f,
+            proposals,
+            start: Time::ZERO,
+        }
+    }
+
+    #[test]
+    fn all_correct_nodes_agree_on_minimum() {
+        let out = FloodConsensus::new(cfg(1, vec![5, 3, 9, 7]))
+            .execute(net(4, FaultPlan::new(), 1));
+        assert!(out.agreement_holds());
+        assert!(out.validity_holds(&[5, 3, 9, 7]));
+        assert_eq!(out.decided_value(), Some(3));
+        assert_eq!(out.decisions.len(), 4);
+    }
+
+    #[test]
+    fn tolerates_f_crashes_mid_protocol() {
+        // Node 1 (holder of the minimum) crashes after round 0 has been
+        // sent: its value has already flooded, so agreement includes it.
+        let plan = FaultPlan::new().crash_at(NodeId(1), Time::from_nanos(30_000));
+        let out = FloodConsensus::new(cfg(1, vec![5, 1, 9, 7])).execute(net(4, plan, 2));
+        assert!(out.agreement_holds());
+        assert_eq!(out.decisions.len(), 3, "crashed node does not decide");
+        assert_eq!(out.decided_value(), Some(1));
+    }
+
+    #[test]
+    fn crash_before_start_excludes_value() {
+        // Node 1 is dead from the outset: its proposal never circulates.
+        let plan = FaultPlan::new().crash_at(NodeId(1), Time::ZERO);
+        let out = FloodConsensus::new(cfg(1, vec![5, 1, 9, 7])).execute(net(4, plan, 3));
+        assert!(out.agreement_holds());
+        assert_eq!(out.decided_value(), Some(5));
+    }
+
+    #[test]
+    fn f_plus_one_rounds_run() {
+        let out = FloodConsensus::new(cfg(2, vec![4, 2, 6, 8, 1]))
+            .execute(net(5, FaultPlan::new(), 4));
+        // 3 rounds × 5 senders × 4 receivers = 60 messages.
+        assert_eq!(out.messages, 60);
+        assert_eq!(out.decided_at, Time::ZERO + (us(21)) * 3);
+    }
+
+    #[test]
+    fn agreement_despite_staggered_crashes() {
+        // One crash per round boundary with f = 2: protocol still safe.
+        let plan = FaultPlan::new()
+            .crash_at(NodeId(0), Time::from_nanos(21_000))
+            .crash_at(NodeId(1), Time::from_nanos(42_000));
+        let out = FloodConsensus::new(cfg(2, vec![9, 8, 3, 5, 7])).execute(net(5, plan, 5));
+        assert!(out.agreement_holds());
+        assert!(out.validity_holds(&[9, 8, 3, 5, 7]));
+        assert_eq!(out.decisions.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one proposal per node")]
+    fn proposal_count_mismatch_panics() {
+        let _ = FloodConsensus::new(cfg(1, vec![1, 2]))
+            .execute(net(4, FaultPlan::new(), 6));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = FloodConsensus::new(cfg(1, vec![5, 3, 9, 7]))
+            .execute(net(4, FaultPlan::new(), 9));
+        let b = FloodConsensus::new(cfg(1, vec![5, 3, 9, 7]))
+            .execute(net(4, FaultPlan::new(), 9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,187 @@
+//! Dependency tracking and orphan elimination ([NMT97]).
+//!
+//! When a failure invalidates a computation (a crashed node's unfinished
+//! task instance, a message that never arrived), every computation that
+//! consumed its effects becomes an *orphan* and must be eliminated before
+//! it propagates inconsistent state — "managing dependencies is a key
+//! problem in fault-tolerant distributed algorithms". The dispatcher uses
+//! this service together with its precedence bookkeeping to implement
+//! low-cost orphan detection (Section 3.3).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A tracked computation: `(task, instance)` in dispatcher terms, but the
+/// tracker is generic over whatever u64 pairs the caller uses.
+pub type NodeKey = (u32, u64);
+
+/// The dependency graph: edges point from a computation to the
+/// computations that *depend on* it (consumed its outputs).
+///
+/// # Examples
+///
+/// ```
+/// use hades_services::DependencyTracker;
+///
+/// let mut d = DependencyTracker::new();
+/// d.record((0, 0));
+/// d.record((1, 0));
+/// d.add_dependency((0, 0), (1, 0)); // task 1 consumed task 0's output
+/// let orphans = d.invalidate((0, 0));
+/// assert_eq!(orphans, vec![(1, 0)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DependencyTracker {
+    dependents: HashMap<NodeKey, BTreeSet<NodeKey>>,
+    known: HashSet<NodeKey>,
+    invalidated: HashSet<NodeKey>,
+}
+
+impl DependencyTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        DependencyTracker::default()
+    }
+
+    /// Registers a computation.
+    pub fn record(&mut self, node: NodeKey) {
+        self.known.insert(node);
+    }
+
+    /// Records that `consumer` depends on `producer` (read its message,
+    /// its checkpoint, its resource state, ...). Unknown endpoints are
+    /// registered implicitly.
+    pub fn add_dependency(&mut self, producer: NodeKey, consumer: NodeKey) {
+        self.known.insert(producer);
+        self.known.insert(consumer);
+        self.dependents.entry(producer).or_default().insert(consumer);
+    }
+
+    /// Whether a computation has been invalidated (directly or as an
+    /// orphan).
+    pub fn is_invalidated(&self, node: NodeKey) -> bool {
+        self.invalidated.contains(&node)
+    }
+
+    /// Number of registered computations.
+    pub fn len(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.known.is_empty()
+    }
+
+    /// Direct dependents of a computation, in key order.
+    pub fn dependents_of(&self, node: NodeKey) -> Vec<NodeKey> {
+        self.dependents
+            .get(&node)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Invalidates `root` and returns the transitively orphaned
+    /// computations (excluding `root` itself), in deterministic order.
+    /// Already-invalidated computations are not reported twice.
+    pub fn invalidate(&mut self, root: NodeKey) -> Vec<NodeKey> {
+        let mut orphans = Vec::new();
+        let mut frontier = vec![root];
+        self.invalidated.insert(root);
+        while let Some(n) = frontier.pop() {
+            if let Some(deps) = self.dependents.get(&n) {
+                for d in deps.clone() {
+                    if self.invalidated.insert(d) {
+                        orphans.push(d);
+                        frontier.push(d);
+                    }
+                }
+            }
+            frontier.sort_unstable();
+            frontier.dedup();
+        }
+        orphans.sort_unstable();
+        orphans
+    }
+
+    /// Computations that survive (registered, never invalidated).
+    pub fn survivors(&self) -> Vec<NodeKey> {
+        let mut v: Vec<NodeKey> = self
+            .known
+            .iter()
+            .filter(|n| !self.invalidated.contains(*n))
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalidation_cascades_transitively() {
+        let mut d = DependencyTracker::new();
+        // 0 → 1 → 2, 0 → 3; 4 independent.
+        d.add_dependency((0, 0), (1, 0));
+        d.add_dependency((1, 0), (2, 0));
+        d.add_dependency((0, 0), (3, 0));
+        d.record((4, 0));
+        let orphans = d.invalidate((0, 0));
+        assert_eq!(orphans, vec![(1, 0), (2, 0), (3, 0)]);
+        assert!(d.is_invalidated((2, 0)));
+        assert_eq!(d.survivors(), vec![(4, 0)]);
+    }
+
+    #[test]
+    fn diamond_dependency_reported_once() {
+        let mut d = DependencyTracker::new();
+        // 0 → 1, 0 → 2, 1 → 3, 2 → 3.
+        d.add_dependency((0, 0), (1, 0));
+        d.add_dependency((0, 0), (2, 0));
+        d.add_dependency((1, 0), (3, 0));
+        d.add_dependency((2, 0), (3, 0));
+        let orphans = d.invalidate((0, 0));
+        assert_eq!(orphans, vec![(1, 0), (2, 0), (3, 0)]);
+    }
+
+    #[test]
+    fn leaf_invalidation_orphans_nothing() {
+        let mut d = DependencyTracker::new();
+        d.add_dependency((0, 0), (1, 0));
+        let orphans = d.invalidate((1, 0));
+        assert!(orphans.is_empty());
+        assert!(d.is_invalidated((1, 0)));
+        assert!(!d.is_invalidated((0, 0)));
+    }
+
+    #[test]
+    fn repeated_invalidation_is_idempotent() {
+        let mut d = DependencyTracker::new();
+        d.add_dependency((0, 0), (1, 0));
+        assert_eq!(d.invalidate((0, 0)), vec![(1, 0)]);
+        assert!(d.invalidate((0, 0)).is_empty(), "second call reports nothing");
+    }
+
+    #[test]
+    fn instances_are_distinct() {
+        let mut d = DependencyTracker::new();
+        d.add_dependency((0, 0), (1, 0));
+        d.add_dependency((0, 1), (1, 1));
+        let orphans = d.invalidate((0, 0));
+        assert_eq!(orphans, vec![(1, 0)]);
+        assert!(!d.is_invalidated((1, 1)), "other instance unaffected");
+    }
+
+    #[test]
+    fn direct_dependents_query() {
+        let mut d = DependencyTracker::new();
+        d.add_dependency((0, 0), (2, 0));
+        d.add_dependency((0, 0), (1, 0));
+        assert_eq!(d.dependents_of((0, 0)), vec![(1, 0), (2, 0)]);
+        assert!(d.dependents_of((9, 9)).is_empty());
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+}

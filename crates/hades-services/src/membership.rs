@@ -1,0 +1,233 @@
+//! View-based group membership.
+//!
+//! Replication and reconfiguration need the group to agree on *who is in*:
+//! a **membership** service producing a totally ordered sequence of views.
+//! This implementation composes two HADES services exactly as a
+//! safety-critical deployment would: the [`crate::detect`] heartbeat
+//! detector observes crashes (perfect on the synchronous substrate), and
+//! each exclusion is agreed by [`crate::consensus`] flooding consensus
+//! before a new view is installed — so all surviving members step through
+//! identical views at bounded times after each failure.
+
+use crate::consensus::{ConsensusConfig, FloodConsensus};
+use crate::detect::{DetectorConfig, HeartbeatDetector};
+use hades_sim::Network;
+use hades_time::Time;
+
+/// One installed view: the agreed membership after some failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    /// Monotone view number (view 0 is the initial full membership).
+    pub number: u32,
+    /// Members of the view, ascending.
+    pub members: Vec<u32>,
+    /// When the view was installed (agreement reached).
+    pub installed_at: Time,
+}
+
+impl View {
+    /// Membership as a bitmask (bit *i* = node *i* present); the encoding
+    /// circulated through consensus.
+    pub fn mask(&self) -> u64 {
+        self.members.iter().fold(0, |m, n| m | (1 << n))
+    }
+
+    fn from_mask(number: u32, mask: u64, installed_at: Time, n: u32) -> View {
+        View {
+            number,
+            members: (0..n).filter(|i| mask & (1 << i) != 0).collect(),
+            installed_at,
+        }
+    }
+}
+
+/// Result of a membership run: the sequence of views every surviving
+/// member installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipOutcome {
+    /// Installed views, in order.
+    pub views: Vec<View>,
+    /// Messages consumed by the agreement rounds.
+    pub messages: u64,
+}
+
+impl MembershipOutcome {
+    /// The final agreed membership.
+    pub fn final_members(&self) -> &[u32] {
+        &self.views.last().expect("view 0 always exists").members
+    }
+}
+
+/// The membership service simulation: detector-triggered, consensus-agreed
+/// view changes.
+///
+/// # Examples
+///
+/// ```
+/// use hades_services::membership::MembershipSim;
+/// use hades_services::DetectorConfig;
+/// use hades_sim::{FaultPlan, LinkConfig, Network, NodeId, SimRng};
+/// use hades_time::{Duration, Time};
+///
+/// let plan = FaultPlan::new().crash_at(NodeId(2), Time::ZERO + Duration::from_millis(5));
+/// let net = Network::homogeneous(
+///     4,
+///     LinkConfig::reliable(Duration::from_micros(10), Duration::from_micros(40)),
+///     SimRng::seed_from(1),
+/// ).with_fault_plan(plan);
+/// let out = MembershipSim::new(DetectorConfig {
+///     heartbeat_period: Duration::from_millis(1),
+///     clock_precision: Duration::from_micros(10),
+///     horizon: Duration::from_millis(20),
+/// }).execute(net);
+/// assert_eq!(out.final_members(), &[0, 1, 3]);
+/// ```
+#[derive(Debug)]
+pub struct MembershipSim {
+    detector: DetectorConfig,
+}
+
+impl MembershipSim {
+    /// Creates the service with the given detector configuration.
+    pub fn new(detector: DetectorConfig) -> Self {
+        MembershipSim { detector }
+    }
+
+    /// Runs detection + agreement over `net` and returns the view history.
+    pub fn execute(self, net: Network) -> MembershipOutcome {
+        let n = net.node_count();
+        let full_mask: u64 = (0..n).fold(0, |m, i| m | (1 << i));
+        let mut views = vec![View::from_mask(0, full_mask, Time::ZERO, n)];
+        let mut messages = 0u64;
+        // Observe crashes (the observer stands for any correct member; the
+        // detector is perfect, so all members reach the same suspicions
+        // within the bound).
+        // Observe from a member that never crashes: a crashed observer
+        // would wrongly suspect everyone it can no longer hear.
+        let observer = (0..n)
+            .map(hades_sim::NodeId)
+            .find(|m| net.fault_plan().crash_time(*m).is_none())
+            .unwrap_or(hades_sim::NodeId(0));
+        let detector_net = net.clone();
+        let outcome =
+            HeartbeatDetector::new(self.detector).observe_from(detector_net, observer);
+        let mut suspicions: Vec<(Time, u32)> = outcome
+            .suspected_at
+            .iter()
+            .map(|(node, at)| (*at, *node))
+            .collect();
+        suspicions.sort();
+        for (at, crashed) in suspicions {
+            let current = views.last().expect("nonempty").clone();
+            if !current.members.contains(&crashed) {
+                continue;
+            }
+            let proposed = current.mask() & !(1 << crashed);
+            // Every member proposes the new mask; crashed members do not
+            // participate (the consensus run excludes them via the fault
+            // plan).
+            let proposals: Vec<u64> = (0..n).map(|_| proposed).collect();
+            let agree_net = net.clone();
+            let agreed = FloodConsensus::new(ConsensusConfig {
+                f: 1,
+                proposals,
+                start: at,
+            })
+            .execute(agree_net);
+            messages += agreed.messages;
+            debug_assert!(agreed.agreement_holds());
+            let mask = agreed.decided_value().unwrap_or(proposed);
+            views.push(View::from_mask(
+                current.number + 1,
+                mask,
+                agreed.decided_at,
+                n,
+            ));
+        }
+        MembershipOutcome { views, messages }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hades_sim::{FaultPlan, LinkConfig, NodeId, SimRng};
+    use hades_time::Duration;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn detector() -> DetectorConfig {
+        DetectorConfig {
+            heartbeat_period: ms(1),
+            clock_precision: us(10),
+            horizon: ms(30),
+        }
+    }
+
+    fn net(plan: FaultPlan, seed: u64) -> Network {
+        Network::homogeneous(
+            4,
+            LinkConfig::reliable(us(10), us(40)),
+            SimRng::seed_from(seed),
+        )
+        .with_fault_plan(plan)
+    }
+
+    #[test]
+    fn stable_group_keeps_view_zero() {
+        let out = MembershipSim::new(detector()).execute(net(FaultPlan::new(), 1));
+        assert_eq!(out.views.len(), 1);
+        assert_eq!(out.final_members(), &[0, 1, 2, 3]);
+        assert_eq!(out.views[0].number, 0);
+        assert_eq!(out.messages, 0);
+    }
+
+    #[test]
+    fn single_crash_installs_one_new_view() {
+        let plan = FaultPlan::new().crash_at(NodeId(2), Time::ZERO + ms(5));
+        let out = MembershipSim::new(detector()).execute(net(plan, 2));
+        assert_eq!(out.views.len(), 2);
+        assert_eq!(out.final_members(), &[0, 1, 3]);
+        assert_eq!(out.views[1].number, 1);
+        assert!(out.views[1].installed_at > Time::ZERO + ms(5));
+        assert!(out.messages > 0);
+    }
+
+    #[test]
+    fn two_crashes_install_two_views_in_order() {
+        let plan = FaultPlan::new()
+            .crash_at(NodeId(1), Time::ZERO + ms(3))
+            .crash_at(NodeId(3), Time::ZERO + ms(12));
+        let out = MembershipSim::new(detector()).execute(net(plan, 3));
+        assert_eq!(out.views.len(), 3);
+        assert_eq!(out.views[1].members, vec![0, 2, 3]);
+        assert_eq!(out.views[2].members, vec![0, 2]);
+        assert!(out.views[1].installed_at < out.views[2].installed_at);
+    }
+
+    #[test]
+    fn view_mask_roundtrip() {
+        let v = View {
+            number: 1,
+            members: vec![0, 2, 3],
+            installed_at: Time::ZERO,
+        };
+        assert_eq!(v.mask(), 0b1101);
+        let back = View::from_mask(1, 0b1101, Time::ZERO, 4);
+        assert_eq!(back.members, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let plan = || FaultPlan::new().crash_at(NodeId(2), Time::ZERO + ms(5));
+        let a = MembershipSim::new(detector()).execute(net(plan(), 7));
+        let b = MembershipSim::new(detector()).execute(net(plan(), 7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,254 @@
+//! Persistent storage service with atomic updates.
+//!
+//! Passive replication and mode switching both need *stable storage*: a
+//! store whose updates are atomic with respect to crashes. [`StableStore`]
+//! models the classic shadow-page technique: a write first lands in a
+//! shadow slot, then a one-word *commit* flips the live version. A crash
+//! anywhere before the commit leaves the previous value intact; a crash
+//! after the commit leaves the new value. Checksums catch torn or corrupt
+//! records on recovery.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors surfaced by the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The key has never been committed.
+    NotFound,
+    /// The stored record failed its checksum (corruption detected on
+    /// recovery).
+    Corrupt,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotFound => write!(f, "key has no committed value"),
+            StorageError::Corrupt => write!(f, "stored record failed its checksum"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+fn checksum(data: &[u8]) -> u64 {
+    // FNV-1a: deterministic and dependency-free; adequate for detecting
+    // torn writes in the model.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Record {
+    data: Vec<u8>,
+    sum: u64,
+}
+
+impl Record {
+    fn new(data: Vec<u8>) -> Self {
+        let sum = checksum(&data);
+        Record { data, sum }
+    }
+
+    fn verify(&self) -> bool {
+        checksum(&self.data) == self.sum
+    }
+}
+
+/// Crash-atomic key-value stable storage (shadow-slot model).
+///
+/// Writing is a two-step protocol: [`StableStore::stage`] places the new
+/// value in the shadow slot, [`StableStore::commit`] atomically makes it
+/// live. [`StableStore::crash`] simulates a node crash: all staged
+/// (uncommitted) data evaporates; committed data survives.
+///
+/// # Examples
+///
+/// ```
+/// use hades_services::StableStore;
+///
+/// let mut store = StableStore::new();
+/// store.write(b"mode", b"normal".to_vec());
+/// store.stage(b"mode", b"degraded".to_vec());
+/// store.crash(); // crash before commit
+/// assert_eq!(store.read(b"mode")?, b"normal");
+/// # Ok::<(), hades_services::StorageError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StableStore {
+    live: HashMap<Vec<u8>, Record>,
+    shadow: HashMap<Vec<u8>, Record>,
+    commits: u64,
+    crashes: u64,
+}
+
+impl StableStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        StableStore::default()
+    }
+
+    /// Stages a value in the shadow slot for `key` (not yet visible).
+    pub fn stage(&mut self, key: &[u8], value: Vec<u8>) {
+        self.shadow.insert(key.to_vec(), Record::new(value));
+    }
+
+    /// Atomically commits the staged value for `key`. Returns `true` if a
+    /// staged value existed.
+    pub fn commit(&mut self, key: &[u8]) -> bool {
+        match self.shadow.remove(key) {
+            Some(rec) => {
+                self.live.insert(key.to_vec(), rec);
+                self.commits += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Convenience: stage + commit in one call.
+    pub fn write(&mut self, key: &[u8], value: Vec<u8>) {
+        self.stage(key, value);
+        self.commit(key);
+    }
+
+    /// Reads the committed value for `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NotFound`] when the key has no committed value;
+    /// [`StorageError::Corrupt`] when the record fails its checksum.
+    pub fn read(&self, key: &[u8]) -> Result<&[u8], StorageError> {
+        match self.live.get(key) {
+            None => Err(StorageError::NotFound),
+            Some(rec) if !rec.verify() => Err(StorageError::Corrupt),
+            Some(rec) => Ok(&rec.data),
+        }
+    }
+
+    /// Simulates a crash: staged data is lost, committed data survives.
+    pub fn crash(&mut self) {
+        self.shadow.clear();
+        self.crashes += 1;
+    }
+
+    /// Injects corruption into the committed record for `key` (for
+    /// recovery tests). Returns `true` if the key existed.
+    pub fn corrupt(&mut self, key: &[u8]) -> bool {
+        match self.live.get_mut(key) {
+            Some(rec) => {
+                rec.sum ^= 0xDEAD_BEEF;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of committed keys.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether the store has no committed keys.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Commits performed over the store's lifetime.
+    pub fn commit_count(&self) -> u64 {
+        self.commits
+    }
+
+    /// Crashes survived.
+    pub fn crash_count(&self) -> u64 {
+        self.crashes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_value_is_readable() {
+        let mut s = StableStore::new();
+        s.write(b"k", b"v1".to_vec());
+        assert_eq!(s.read(b"k").unwrap(), b"v1");
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn staged_value_is_invisible_until_commit() {
+        let mut s = StableStore::new();
+        s.write(b"k", b"old".to_vec());
+        s.stage(b"k", b"new".to_vec());
+        assert_eq!(s.read(b"k").unwrap(), b"old");
+        assert!(s.commit(b"k"));
+        assert_eq!(s.read(b"k").unwrap(), b"new");
+    }
+
+    #[test]
+    fn crash_before_commit_preserves_old_value() {
+        let mut s = StableStore::new();
+        s.write(b"k", b"old".to_vec());
+        s.stage(b"k", b"new".to_vec());
+        s.crash();
+        assert_eq!(s.read(b"k").unwrap(), b"old");
+        assert!(!s.commit(b"k"), "staged data evaporated in the crash");
+        assert_eq!(s.crash_count(), 1);
+    }
+
+    #[test]
+    fn crash_after_commit_preserves_new_value() {
+        let mut s = StableStore::new();
+        s.write(b"k", b"old".to_vec());
+        s.stage(b"k", b"new".to_vec());
+        s.commit(b"k");
+        s.crash();
+        assert_eq!(s.read(b"k").unwrap(), b"new");
+    }
+
+    #[test]
+    fn missing_key_reports_not_found() {
+        let s = StableStore::new();
+        assert_eq!(s.read(b"nope").unwrap_err(), StorageError::NotFound);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut s = StableStore::new();
+        s.write(b"k", b"v".to_vec());
+        assert!(s.corrupt(b"k"));
+        assert_eq!(s.read(b"k").unwrap_err(), StorageError::Corrupt);
+        assert!(!s.corrupt(b"zzz"));
+    }
+
+    #[test]
+    fn commit_without_stage_is_noop() {
+        let mut s = StableStore::new();
+        assert!(!s.commit(b"k"));
+        assert_eq!(s.commit_count(), 0);
+    }
+
+    #[test]
+    fn independent_keys_do_not_interfere() {
+        let mut s = StableStore::new();
+        s.write(b"a", b"1".to_vec());
+        s.stage(b"b", b"2".to_vec());
+        s.crash();
+        assert_eq!(s.read(b"a").unwrap(), b"1");
+        assert_eq!(s.read(b"b").unwrap_err(), StorageError::NotFound);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(StorageError::NotFound.to_string().contains("no committed"));
+        assert!(StorageError::Corrupt.to_string().contains("checksum"));
+    }
+}

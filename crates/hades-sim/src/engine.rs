@@ -1,0 +1,320 @@
+//! Discrete-event engine: event queue, cancellation and run loop.
+//!
+//! The engine is deliberately trait-based rather than closure-based: a
+//! simulation owns all of its state and implements [`Simulation::handle`],
+//! receiving its own event type back at the times it asked for. This keeps
+//! borrows simple, makes event payloads inspectable in traces, and guarantees
+//! a deterministic total order of event delivery (time, then posting order).
+
+use hades_time::Time;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier of a posted event; used to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// A simulation driven by the [`Engine`].
+///
+/// `Event` is the simulation's own event vocabulary (task activation, message
+/// delivery, timer expiry, ...). The engine never interprets it.
+pub trait Simulation {
+    /// Event payload type delivered back to the simulation.
+    type Event;
+
+    /// Handles one event at virtual time `now`. New events may be posted
+    /// (and pending ones cancelled) through `sched`.
+    fn handle(&mut self, now: Time, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+#[derive(Debug)]
+struct Slot<E> {
+    at: Time,
+    id: EventId,
+    payload: E,
+}
+
+/// Interface handed to [`Simulation::handle`] for posting and cancelling
+/// events during event processing.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    staged: Vec<(Time, E, EventId)>,
+    cancels: Vec<EventId>,
+    next_id: u64,
+}
+
+impl<E> Scheduler<E> {
+    /// Posts `event` to fire at absolute time `at`.
+    ///
+    /// Posting into the past is a programming error and panics in the run
+    /// loop when the event is merged.
+    pub fn post(&mut self, at: Time, event: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.staged.push((at, event, id));
+        id
+    }
+
+    /// Cancels a previously posted event. Cancelling an already-delivered or
+    /// unknown id is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancels.push(id);
+    }
+}
+
+/// The discrete-event engine: a time-ordered queue plus the run loop.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: Time,
+    heap: BinaryHeap<Reverse<HeapKey>>,
+    slots: std::collections::HashMap<u64, Slot<E>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    next_id: u64,
+    delivered: u64,
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapKey {
+    at: Time,
+    seq: u64,
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: Time::ZERO,
+            heap: BinaryHeap::new(),
+            slots: std::collections::HashMap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            next_id: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current virtual time (time of the last delivered event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of pending (not yet delivered, not cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.slots
+            .values()
+            .filter(|s| !self.cancelled.contains(&s.id))
+            .count()
+    }
+
+    /// Posts an event from outside the run loop (initial conditions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current virtual time.
+    pub fn post(&mut self, at: Time, event: E) -> EventId {
+        assert!(at >= self.now, "posting event into the past");
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.enqueue(at, event, id);
+        id
+    }
+
+    /// Cancels a pending event from outside the run loop.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    fn enqueue(&mut self, at: Time, payload: E, id: EventId) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(HeapKey { at, seq }));
+        self.slots.insert(seq, Slot { at, id, payload });
+    }
+
+    /// Runs the simulation until the queue drains or virtual time would pass
+    /// `until`. Returns the number of events delivered by this call.
+    ///
+    /// Events scheduled exactly at `until` are delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation posts an event into the past.
+    pub fn run<S: Simulation<Event = E>>(&mut self, sim: &mut S, until: Time) -> u64 {
+        let mut count = 0;
+        let mut sched = Scheduler {
+            staged: Vec::new(),
+            cancels: Vec::new(),
+            next_id: 0,
+        };
+        loop {
+            // Pop next live event.
+            let slot = loop {
+                match self.heap.peek() {
+                    None => return count,
+                    Some(Reverse(key)) if key.at > until => return count,
+                    Some(Reverse(key)) => {
+                        let seq = key.seq;
+                        self.heap.pop();
+                        let slot = self.slots.remove(&seq).expect("slot for heap key");
+                        if self.cancelled.remove(&slot.id) {
+                            continue;
+                        }
+                        break slot;
+                    }
+                }
+            };
+            debug_assert!(slot.at >= self.now, "event queue went backwards");
+            self.now = slot.at;
+            self.delivered += 1;
+            count += 1;
+
+            sched.next_id = self.next_id;
+            sim.handle(self.now, slot.payload, &mut sched);
+            self.next_id = sched.next_id;
+            for (at, ev, id) in sched.staged.drain(..) {
+                assert!(at >= self.now, "simulation posted event into the past");
+                self.enqueue(at, ev, id);
+            }
+            for id in sched.cancels.drain(..) {
+                self.cancelled.insert(id);
+            }
+        }
+    }
+
+    /// Runs until the queue is fully drained.
+    pub fn run_to_completion<S: Simulation<Event = E>>(&mut self, sim: &mut S) -> u64 {
+        self.run(sim, Time::MAX)
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hades_time::Duration;
+
+    #[derive(Debug, PartialEq, Eq, Clone)]
+    enum Ev {
+        Ping(u32),
+        Chain(u32),
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(Time, Ev)>,
+        cancel_target: Option<EventId>,
+    }
+
+    impl Simulation for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: Time, ev: Ev, sched: &mut Scheduler<Ev>) {
+            self.seen.push((now, ev.clone()));
+            if let Ev::Chain(n) = ev {
+                if n > 0 {
+                    sched.post(now + Duration::from_nanos(10), Ev::Chain(n - 1));
+                }
+            }
+            if let Some(id) = self.cancel_target.take() {
+                sched.cancel(id);
+            }
+        }
+    }
+
+    #[test]
+    fn delivers_in_time_order_fifo_ties() {
+        let mut e = Engine::new();
+        e.post(Time::from_nanos(20), Ev::Ping(2));
+        e.post(Time::from_nanos(10), Ev::Ping(1));
+        e.post(Time::from_nanos(20), Ev::Ping(3)); // same time as Ping(2), posted later
+        let mut sim = Recorder::default();
+        let n = e.run_to_completion(&mut sim);
+        assert_eq!(n, 3);
+        assert_eq!(
+            sim.seen,
+            vec![
+                (Time::from_nanos(10), Ev::Ping(1)),
+                (Time::from_nanos(20), Ev::Ping(2)),
+                (Time::from_nanos(20), Ev::Ping(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn chained_events_advance_time() {
+        let mut e = Engine::new();
+        e.post(Time::ZERO, Ev::Chain(3));
+        let mut sim = Recorder::default();
+        e.run_to_completion(&mut sim);
+        assert_eq!(sim.seen.len(), 4);
+        assert_eq!(e.now(), Time::from_nanos(30));
+        assert_eq!(e.delivered(), 4);
+    }
+
+    #[test]
+    fn until_bound_is_inclusive() {
+        let mut e = Engine::new();
+        e.post(Time::from_nanos(5), Ev::Ping(1));
+        e.post(Time::from_nanos(6), Ev::Ping(2));
+        let mut sim = Recorder::default();
+        let n = e.run(&mut sim, Time::from_nanos(5));
+        assert_eq!(n, 1);
+        assert_eq!(e.pending(), 1);
+        let n = e.run(&mut sim, Time::from_nanos(6));
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn external_cancellation_suppresses_delivery() {
+        let mut e = Engine::new();
+        let id = e.post(Time::from_nanos(5), Ev::Ping(1));
+        e.post(Time::from_nanos(6), Ev::Ping(2));
+        e.cancel(id);
+        assert_eq!(e.pending(), 1);
+        let mut sim = Recorder::default();
+        e.run_to_completion(&mut sim);
+        assert_eq!(sim.seen, vec![(Time::from_nanos(6), Ev::Ping(2))]);
+    }
+
+    #[test]
+    fn in_loop_cancellation_suppresses_delivery() {
+        let mut e = Engine::new();
+        e.post(Time::from_nanos(1), Ev::Ping(0));
+        let victim = e.post(Time::from_nanos(9), Ev::Ping(99));
+        let mut sim = Recorder {
+            cancel_target: Some(victim),
+            ..Default::default()
+        };
+        e.run_to_completion(&mut sim);
+        assert_eq!(sim.seen.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn posting_into_past_panics() {
+        let mut e = Engine::new();
+        e.post(Time::from_nanos(10), Ev::Ping(0));
+        let mut sim = Recorder::default();
+        e.run_to_completion(&mut sim);
+        e.post(Time::from_nanos(5), Ev::Ping(1));
+    }
+
+    #[test]
+    fn default_engine_is_empty() {
+        let e: Engine<Ev> = Engine::default();
+        assert_eq!(e.pending(), 0);
+        assert_eq!(e.now(), Time::ZERO);
+    }
+}

@@ -1,0 +1,199 @@
+//! Scripted fault plans: node crashes and link-omission windows.
+//!
+//! The paper's fault model (Section 2.1) admits crash, omission and
+//! coherent-value failures for processors, and omission plus performance
+//! failures for the network. [`FaultPlan`] scripts the deterministic part of
+//! that model — *when* a node crashes, *which* link loses messages during
+//! *which* interval — while probabilistic omissions live in
+//! [`crate::net::LinkConfig`].
+
+use crate::net::NodeId;
+use hades_time::Time;
+use std::collections::HashMap;
+
+/// A time window during which messages on matching links are dropped.
+///
+/// `from`/`to` of `None` act as wildcards, so a single window can sever all
+/// traffic into or out of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OmissionWindow {
+    /// Sending node filter (`None` = any sender).
+    pub from: Option<NodeId>,
+    /// Receiving node filter (`None` = any receiver).
+    pub to: Option<NodeId>,
+    /// First instant of the window (inclusive).
+    pub start: Time,
+    /// Last instant of the window (inclusive).
+    pub end: Time,
+}
+
+impl OmissionWindow {
+    /// Whether a message `from → to` sent at `now` falls in this window.
+    pub fn matches(&self, from: NodeId, to: NodeId, now: Time) -> bool {
+        self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
+            && now >= self.start
+            && now <= self.end
+    }
+}
+
+/// A deterministic script of faults to inject into a simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use hades_sim::{FaultPlan, NodeId};
+/// use hades_time::Time;
+///
+/// let plan = FaultPlan::new()
+///     .crash_at(NodeId(2), Time::from_nanos(1_000))
+///     .cut_link(NodeId(0), NodeId(1), Time::from_nanos(10), Time::from_nanos(20));
+/// assert!(plan.is_crashed(NodeId(2), Time::from_nanos(1_000)));
+/// assert!(!plan.is_crashed(NodeId(2), Time::from_nanos(999)));
+/// assert!(plan.link_cut(NodeId(0), NodeId(1), Time::from_nanos(15)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    crashes: HashMap<NodeId, Time>,
+    windows: Vec<OmissionWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules a crash (fail-silent) of `node` at time `at`.
+    ///
+    /// If the node already had a crash scheduled, the earlier time wins.
+    pub fn crash_at(mut self, node: NodeId, at: Time) -> Self {
+        self.crashes
+            .entry(node)
+            .and_modify(|t| *t = (*t).min(at))
+            .or_insert(at);
+        self
+    }
+
+    /// Drops every message `from → to` sent within `[start, end]`.
+    pub fn cut_link(mut self, from: NodeId, to: NodeId, start: Time, end: Time) -> Self {
+        self.windows.push(OmissionWindow {
+            from: Some(from),
+            to: Some(to),
+            start,
+            end,
+        });
+        self
+    }
+
+    /// Drops every message received by `node` within `[start, end]`
+    /// (receive-omission failure of that node).
+    pub fn isolate_inbound(mut self, node: NodeId, start: Time, end: Time) -> Self {
+        self.windows.push(OmissionWindow {
+            from: None,
+            to: Some(node),
+            start,
+            end,
+        });
+        self
+    }
+
+    /// Drops every message sent by `node` within `[start, end]`
+    /// (send-omission failure of that node).
+    pub fn isolate_outbound(mut self, node: NodeId, start: Time, end: Time) -> Self {
+        self.windows.push(OmissionWindow {
+            from: Some(node),
+            to: None,
+            start,
+            end,
+        });
+        self
+    }
+
+    /// Whether `node` has crashed by time `now` (crash instant inclusive).
+    pub fn is_crashed(&self, node: NodeId, now: Time) -> bool {
+        self.crashes.get(&node).is_some_and(|t| now >= *t)
+    }
+
+    /// The scheduled crash time of `node`, if any.
+    pub fn crash_time(&self, node: NodeId) -> Option<Time> {
+        self.crashes.get(&node).copied()
+    }
+
+    /// Whether the directed link `from → to` is cut at `now` by any window.
+    pub fn link_cut(&self, from: NodeId, to: NodeId, now: Time) -> bool {
+        self.windows.iter().any(|w| w.matches(from, to, now))
+    }
+
+    /// All scheduled crashes as `(node, time)` pairs in node order.
+    pub fn crashes(&self) -> Vec<(NodeId, Time)> {
+        let mut v: Vec<_> = self.crashes.iter().map(|(n, t)| (*n, *t)).collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+    const N2: NodeId = NodeId(2);
+
+    #[test]
+    fn crash_is_permanent_from_instant() {
+        let p = FaultPlan::new().crash_at(N1, Time::from_nanos(100));
+        assert!(!p.is_crashed(N1, Time::from_nanos(99)));
+        assert!(p.is_crashed(N1, Time::from_nanos(100)));
+        assert!(p.is_crashed(N1, Time::from_nanos(1_000_000)));
+        assert!(!p.is_crashed(N0, Time::MAX));
+        assert_eq!(p.crash_time(N1), Some(Time::from_nanos(100)));
+        assert_eq!(p.crash_time(N0), None);
+    }
+
+    #[test]
+    fn duplicate_crash_keeps_earliest() {
+        let p = FaultPlan::new()
+            .crash_at(N1, Time::from_nanos(500))
+            .crash_at(N1, Time::from_nanos(100))
+            .crash_at(N1, Time::from_nanos(900));
+        assert_eq!(p.crash_time(N1), Some(Time::from_nanos(100)));
+    }
+
+    #[test]
+    fn link_window_is_inclusive_and_directional() {
+        let p = FaultPlan::new().cut_link(N0, N1, Time::from_nanos(10), Time::from_nanos(20));
+        assert!(!p.link_cut(N0, N1, Time::from_nanos(9)));
+        assert!(p.link_cut(N0, N1, Time::from_nanos(10)));
+        assert!(p.link_cut(N0, N1, Time::from_nanos(20)));
+        assert!(!p.link_cut(N0, N1, Time::from_nanos(21)));
+        assert!(!p.link_cut(N1, N0, Time::from_nanos(15)), "reverse direction unaffected");
+    }
+
+    #[test]
+    fn inbound_isolation_uses_wildcard_sender() {
+        let p = FaultPlan::new().isolate_inbound(N2, Time::ZERO, Time::from_nanos(50));
+        assert!(p.link_cut(N0, N2, Time::from_nanos(25)));
+        assert!(p.link_cut(N1, N2, Time::from_nanos(25)));
+        assert!(!p.link_cut(N2, N0, Time::from_nanos(25)));
+    }
+
+    #[test]
+    fn outbound_isolation_uses_wildcard_receiver() {
+        let p = FaultPlan::new().isolate_outbound(N2, Time::ZERO, Time::from_nanos(50));
+        assert!(p.link_cut(N2, N0, Time::from_nanos(25)));
+        assert!(!p.link_cut(N0, N2, Time::from_nanos(25)));
+    }
+
+    #[test]
+    fn crashes_listing_is_sorted() {
+        let p = FaultPlan::new()
+            .crash_at(N2, Time::from_nanos(5))
+            .crash_at(N0, Time::from_nanos(9));
+        assert_eq!(
+            p.crashes(),
+            vec![(N0, Time::from_nanos(9)), (N2, Time::from_nanos(5))]
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Background kernel activities (Section 4.2 of the paper).
+//!
+//! HADES splits middleware overheads into *dispatcher activities* — charged
+//! to the application tasks that cause them — and *kernel activities* with
+//! their own (approximated-sporadic) arrival laws: in the smallest ChorusR3
+//! configuration studied in the paper, the clock interrupt handler and the
+//! ATM card interrupt handler. Each is characterised by a worst-case
+//! execution time `w` and a pseudo-period `p`, runs at the highest priority
+//! `prio_max`, and enters feasibility tests as extra sporadic demand
+//! `K(t) = Σ ⌈t / pᵢ⌉ · wᵢ`.
+
+use hades_time::{Duration, Time};
+
+/// One background kernel activity: a named sporadic load source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelActivity {
+    /// Human-readable name (e.g. `"clock_irq"`).
+    pub name: String,
+    /// Worst-case execution time of one occurrence.
+    pub wcet: Duration,
+    /// Minimum separation between occurrences (pseudo-period).
+    pub pseudo_period: Duration,
+}
+
+impl KernelActivity {
+    /// Creates an activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pseudo_period` is zero or `wcet > pseudo_period` (the
+    /// activity alone would exceed the CPU).
+    pub fn new(name: impl Into<String>, wcet: Duration, pseudo_period: Duration) -> Self {
+        assert!(!pseudo_period.is_zero(), "pseudo-period must be positive");
+        assert!(
+            wcet <= pseudo_period,
+            "kernel activity wcet exceeds its pseudo-period"
+        );
+        KernelActivity {
+            name: name.into(),
+            wcet,
+            pseudo_period,
+        }
+    }
+
+    /// Worst-case demand of this activity alone over an interval of length
+    /// `t`: `⌈t / p⌉ · w`.
+    pub fn demand(&self, t: Duration) -> Duration {
+        self.wcet.saturating_mul(t.div_ceil(self.pseudo_period))
+    }
+
+    /// Long-run CPU utilisation of this activity (`w / p`), as a fraction.
+    pub fn utilization(&self) -> f64 {
+        self.wcet.as_nanos() as f64 / self.pseudo_period.as_nanos() as f64
+    }
+}
+
+/// The kernel model: the set of background activities of the platform.
+///
+/// # Examples
+///
+/// ```
+/// use hades_sim::KernelModel;
+/// use hades_time::Duration;
+///
+/// let k = KernelModel::chorus_like();
+/// // Demand over one clock period includes at least one tick's work.
+/// assert!(k.demand(Duration::from_millis(1)) >= Duration::from_micros(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KernelModel {
+    activities: Vec<KernelActivity>,
+}
+
+impl KernelModel {
+    /// A kernel with no background activities (an idealised platform; used
+    /// as the "naive" baseline in the feasibility experiments).
+    pub fn none() -> Self {
+        KernelModel::default()
+    }
+
+    /// A model shaped like the paper's smallest ChorusR3 configuration:
+    /// a 1 ms clock interrupt (`w = 2 µs`) and a network card interrupt with
+    /// a 100 µs pseudo-period (`w = 5 µs`).
+    pub fn chorus_like() -> Self {
+        KernelModel::default()
+            .with_activity(KernelActivity::new(
+                "clock_irq",
+                Duration::from_micros(2),
+                Duration::from_millis(1),
+            ))
+            .with_activity(KernelActivity::new(
+                "net_irq",
+                Duration::from_micros(5),
+                Duration::from_micros(100),
+            ))
+    }
+
+    /// Adds an activity to the model.
+    pub fn with_activity(mut self, activity: KernelActivity) -> Self {
+        self.activities.push(activity);
+        self
+    }
+
+    /// The activities in the model.
+    pub fn activities(&self) -> &[KernelActivity] {
+        &self.activities
+    }
+
+    /// Worst-case kernel demand `K(t) = Σ ⌈t / pᵢ⌉ · wᵢ` over an interval of
+    /// length `t` — the term subtracted from each deadline in the modified
+    /// feasibility test of Section 5.3.
+    pub fn demand(&self, t: Duration) -> Duration {
+        self.activities
+            .iter()
+            .map(|a| a.demand(t))
+            .fold(Duration::ZERO, Duration::saturating_add)
+    }
+
+    /// Total long-run utilisation of all background activities.
+    pub fn utilization(&self) -> f64 {
+        self.activities.iter().map(|a| a.utilization()).sum()
+    }
+
+    /// Enumerates the worst-case occurrence times of every activity within
+    /// `[0, horizon]` — i.e. each activity released back-to-back at its
+    /// pseudo-period starting at zero. Used by the simulated node to charge
+    /// kernel interrupts, and sorted by (time, activity index) for
+    /// determinism.
+    pub fn occurrences(&self, horizon: Duration) -> Vec<(Time, usize)> {
+        let mut out = Vec::new();
+        for (idx, a) in self.activities.iter().enumerate() {
+            let mut t = Time::ZERO;
+            loop {
+                if t.as_nanos() > horizon.as_nanos() {
+                    break;
+                }
+                out.push((t, idx));
+                t = t.saturating_add(a.pseudo_period);
+                if t == Time::ZERO {
+                    break; // zero period guarded by constructor, defensive
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_demand_uses_ceiling() {
+        let a = KernelActivity::new("tick", Duration::from_micros(2), Duration::from_millis(1));
+        assert_eq!(a.demand(Duration::from_millis(1)), Duration::from_micros(2));
+        assert_eq!(
+            a.demand(Duration::from_nanos(1_000_001)),
+            Duration::from_micros(4)
+        );
+        assert_eq!(a.demand(Duration::ZERO), Duration::ZERO);
+    }
+
+    #[test]
+    fn model_demand_sums_activities() {
+        let k = KernelModel::chorus_like();
+        // Over 1 ms: 1 clock tick (2 µs) + 10 net irqs (50 µs).
+        assert_eq!(k.demand(Duration::from_millis(1)), Duration::from_micros(52));
+    }
+
+    #[test]
+    fn none_model_has_zero_demand() {
+        let k = KernelModel::none();
+        assert_eq!(k.demand(Duration::from_secs(10)), Duration::ZERO);
+        assert_eq!(k.utilization(), 0.0);
+        assert!(k.activities().is_empty());
+    }
+
+    #[test]
+    fn utilization_adds_up() {
+        let k = KernelModel::chorus_like();
+        // 2/1000 + 5/100 = 0.052
+        assert!((k.utilization() - 0.052).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "pseudo-period must be positive")]
+    fn zero_period_rejected() {
+        KernelActivity::new("bad", Duration::ZERO, Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "wcet exceeds")]
+    fn overloaded_activity_rejected() {
+        KernelActivity::new("bad", Duration::from_micros(2), Duration::from_micros(1));
+    }
+
+    #[test]
+    fn occurrences_are_sorted_and_bounded() {
+        let k = KernelModel::default()
+            .with_activity(KernelActivity::new(
+                "a",
+                Duration::from_nanos(1),
+                Duration::from_nanos(30),
+            ))
+            .with_activity(KernelActivity::new(
+                "b",
+                Duration::from_nanos(1),
+                Duration::from_nanos(50),
+            ));
+        let occ = k.occurrences(Duration::from_nanos(100));
+        // a: 0,30,60,90 ; b: 0,50,100
+        assert_eq!(occ.len(), 7);
+        assert!(occ.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert_eq!(occ[0], (Time::ZERO, 0));
+        assert_eq!(occ.last().copied(), Some((Time::from_nanos(100), 1)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Small descriptive-statistics helper for experiment reporting.
+//!
+//! Experiments summarise response-time and latency samples; [`Summary`]
+//! computes exact order statistics over `Duration` samples (integer ticks,
+//! no floating-point on the data path).
+
+use hades_time::Duration;
+
+/// Exact descriptive statistics over a set of duration samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: Duration,
+    /// Largest sample.
+    pub max: Duration,
+    /// Arithmetic mean (rounded down to a tick).
+    pub mean: Duration,
+    /// Median (lower of the two middle samples for even counts).
+    pub p50: Duration,
+    /// 95th percentile (nearest-rank).
+    pub p95: Duration,
+    /// 99th percentile (nearest-rank).
+    pub p99: Duration,
+}
+
+impl Summary {
+    /// Summarises `samples`. Returns `None` for an empty slice.
+    pub fn of(samples: &[Duration]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let total: u128 = sorted.iter().map(|d| d.as_nanos() as u128).sum();
+        let rank = |p: usize| {
+            // Nearest-rank percentile: ceil(p/100 · n), 1-based.
+            let n = sorted.len();
+            let idx = (p * n).div_ceil(100).max(1) - 1;
+            sorted[idx.min(n - 1)]
+        };
+        Some(Summary {
+            count: sorted.len(),
+            min: sorted[0],
+            max: *sorted.last().expect("nonempty"),
+            mean: Duration::from_nanos((total / sorted.len() as u128) as u64),
+            p50: rank(50),
+            p95: rank(95),
+            p99: rank(99),
+        })
+    }
+
+    /// One-line rendering for experiment tables.
+    pub fn render(&self) -> String {
+        format!(
+            "n={:<5} min={:<9} mean={:<9} p50={:<9} p95={:<9} p99={:<9} max={}",
+            self.count,
+            self.min.to_string(),
+            self.mean.to_string(),
+            self.p50.to_string(),
+            self.p95.to_string(),
+            self.p99.to_string(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    #[test]
+    fn empty_yields_none() {
+        assert_eq!(Summary::of(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_statistic() {
+        let s = Summary::of(&[us(7)]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, us(7));
+        assert_eq!(s.max, us(7));
+        assert_eq!(s.mean, us(7));
+        assert_eq!(s.p50, us(7));
+        assert_eq!(s.p99, us(7));
+    }
+
+    #[test]
+    fn known_distribution() {
+        let samples: Vec<Duration> = (1..=100).map(us).collect();
+        let s = Summary::of(&samples).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, us(1));
+        assert_eq!(s.max, us(100));
+        assert_eq!(s.p50, us(50));
+        assert_eq!(s.p95, us(95));
+        assert_eq!(s.p99, us(99));
+        // mean of 1..=100 µs = 50.5 µs = 50 500 ns.
+        assert_eq!(s.mean, Duration::from_nanos(50_500));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = Summary::of(&[us(30), us(10), us(20)]).unwrap();
+        assert_eq!(s.min, us(10));
+        assert_eq!(s.max, us(30));
+        assert_eq!(s.p50, us(20));
+    }
+
+    #[test]
+    fn render_contains_fields() {
+        let s = Summary::of(&[us(1), us(2)]).unwrap();
+        let r = s.render();
+        assert!(r.contains("n=2"));
+        assert!(r.contains("min=1us"));
+        assert!(r.contains("max=2us"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Timing attributes of elementary units (Section 3.1.2 of the paper).
+//!
+//! Each `Code_EU` carries a priority `prio`, a preemption threshold `pt`, an
+//! earliest start time, and — for monitoring — a latest start time and a
+//! deadline. Priorities live in `[prio_min, prio_max]`; the top level
+//! `prio_max` is reserved for kernel mechanisms, and the scheduler task runs
+//! at the highest *application* priority.
+
+use hades_time::Duration;
+use std::fmt;
+
+/// A processor (site) a `Code_EU` is statically assigned to.
+///
+/// The task model is substrate-independent; the dispatcher maps
+/// `ProcessorId`s onto simulated nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessorId(pub u32);
+
+impl fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A scheduling priority. Larger values are more urgent.
+///
+/// # Examples
+///
+/// ```
+/// use hades_task::Priority;
+///
+/// assert!(Priority::MAX > Priority::APP_MAX);
+/// assert!(Priority::APP_MAX > Priority::MIN);
+/// assert_eq!(Priority::new(5).raise(3), Priority::new(8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Priority(pub u32);
+
+impl Priority {
+    /// The lowest application priority (`prio_min`).
+    pub const MIN: Priority = Priority(0);
+    /// The highest application priority — where scheduler tasks run.
+    pub const APP_MAX: Priority = Priority(u32::MAX - 1);
+    /// The reserved kernel priority (`prio_max`); kernel calls execute with
+    /// `pt = prio_max` so application tasks can never interrupt them.
+    pub const MAX: Priority = Priority(u32::MAX);
+
+    /// Creates a priority from a raw level.
+    pub const fn new(level: u32) -> Self {
+        Priority(level)
+    }
+
+    /// The raw level.
+    pub const fn level(self) -> u32 {
+        self.0
+    }
+
+    /// A priority `n` levels higher (saturating).
+    pub const fn raise(self, n: u32) -> Priority {
+        Priority(self.0.saturating_add(n))
+    }
+
+    /// A priority `n` levels lower (saturating).
+    pub const fn lower(self, n: u32) -> Priority {
+        Priority(self.0.saturating_sub(n))
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Priority::MAX => write!(f, "prio_max"),
+            Priority::APP_MAX => write!(f, "prio_app_max"),
+            p => write!(f, "prio({})", p.0),
+        }
+    }
+}
+
+/// The timing attributes of one `Code_EU`.
+///
+/// `earliest`, `latest` and `deadline` are *relative to the task activation
+/// request*; the dispatcher resolves them to absolute times per instance.
+/// `earliest`/`prio` may also be (re)assigned dynamically by a scheduler
+/// through the dispatcher primitive, which is how dynamic policies (EDF,
+/// planning-based) are built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EuTiming {
+    /// Base priority (static assignment; dynamic policies overwrite it at
+    /// run time through the dispatcher primitive).
+    pub prio: Priority,
+    /// Preemption threshold: only actions with `prio > pt` may preempt this
+    /// unit while it runs. Defaults to `prio` (ordinary preemptive
+    /// behaviour).
+    pub pt: Priority,
+    /// Earliest start offset from activation; `None` = may start at once.
+    pub earliest: Option<Duration>,
+    /// Latest start offset from activation, used by monitoring; `None` = not
+    /// monitored.
+    pub latest: Option<Duration>,
+    /// Completion deadline offset from activation, used by monitoring;
+    /// `None` = inherits the task deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl EuTiming {
+    /// Attributes with the given priority, threshold equal to the priority
+    /// and no static time bounds.
+    pub fn with_priority(prio: Priority) -> Self {
+        EuTiming {
+            prio,
+            pt: prio,
+            earliest: None,
+            latest: None,
+            deadline: None,
+        }
+    }
+
+    /// Returns a copy with the preemption threshold raised to `pt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pt < self.prio`: a threshold below the base priority is
+    /// meaningless (the unit could not even run at its own priority).
+    pub fn with_threshold(mut self, pt: Priority) -> Self {
+        assert!(pt >= self.prio, "preemption threshold below base priority");
+        self.pt = pt;
+        self
+    }
+
+    /// Returns a copy with a static earliest start offset.
+    pub fn with_earliest(mut self, earliest: Duration) -> Self {
+        self.earliest = Some(earliest);
+        self
+    }
+
+    /// Returns a copy with a latest start offset (monitoring attribute).
+    pub fn with_latest(mut self, latest: Duration) -> Self {
+        self.latest = Some(latest);
+        self
+    }
+
+    /// Returns a copy with a unit-level deadline offset.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether `other_prio` may preempt a unit running under these
+    /// attributes.
+    pub fn preemptable_by(&self, other_prio: Priority) -> bool {
+        other_prio > self.pt
+    }
+}
+
+impl Default for EuTiming {
+    /// Lowest priority, ordinary preemption, no static bounds.
+    fn default() -> Self {
+        EuTiming::with_priority(Priority::MIN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_band_ordering() {
+        assert!(Priority::MIN < Priority::APP_MAX);
+        assert!(Priority::APP_MAX < Priority::MAX);
+        assert_eq!(Priority::new(3).level(), 3);
+    }
+
+    #[test]
+    fn raise_and_lower_saturate() {
+        assert_eq!(Priority::MAX.raise(1), Priority::MAX);
+        assert_eq!(Priority::MIN.lower(1), Priority::MIN);
+        assert_eq!(Priority::new(10).lower(4), Priority::new(6));
+    }
+
+    #[test]
+    fn display_names_special_levels() {
+        assert_eq!(Priority::MAX.to_string(), "prio_max");
+        assert_eq!(Priority::APP_MAX.to_string(), "prio_app_max");
+        assert_eq!(Priority::new(7).to_string(), "prio(7)");
+        assert_eq!(ProcessorId(2).to_string(), "p2");
+    }
+
+    #[test]
+    fn default_threshold_equals_priority() {
+        let t = EuTiming::with_priority(Priority::new(5));
+        assert_eq!(t.pt, Priority::new(5));
+        assert!(t.preemptable_by(Priority::new(6)));
+        assert!(!t.preemptable_by(Priority::new(5)), "equal priority does not preempt");
+    }
+
+    #[test]
+    fn raised_threshold_blocks_mid_band() {
+        let t = EuTiming::with_priority(Priority::new(2)).with_threshold(Priority::new(8));
+        assert!(!t.preemptable_by(Priority::new(8)));
+        assert!(t.preemptable_by(Priority::new(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold below base priority")]
+    fn threshold_below_priority_rejected() {
+        let _ = EuTiming::with_priority(Priority::new(5)).with_threshold(Priority::new(4));
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let t = EuTiming::with_priority(Priority::new(1))
+            .with_earliest(Duration::from_micros(10))
+            .with_latest(Duration::from_micros(50))
+            .with_deadline(Duration::from_micros(100));
+        assert_eq!(t.earliest, Some(Duration::from_micros(10)));
+        assert_eq!(t.latest, Some(Duration::from_micros(50)));
+        assert_eq!(t.deadline, Some(Duration::from_micros(100)));
+    }
+
+    #[test]
+    fn default_timing_is_minimal() {
+        let t = EuTiming::default();
+        assert_eq!(t.prio, Priority::MIN);
+        assert_eq!(t.earliest, None);
+    }
+}

@@ -1,0 +1,115 @@
+//! Condition variables (Section 3.1.1 of the paper).
+//!
+//! A condition variable is a *system-wide boolean* that can be set and
+//! cleared. By definition a `Code_EU` can wait for a condition variable only
+//! **before** beginning its execution — once running, an action never
+//! blocks, preserving the analysability of its WCET. Condition variables are
+//! what make producer/consumer schemes and event-triggered activations
+//! expressible in the HEUG model (Section 3.3).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a system-wide condition variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CondVarId(pub u32);
+
+impl fmt::Display for CondVarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cv{}", self.0)
+    }
+}
+
+/// The run-time state of all condition variables on a node.
+///
+/// Unknown variables read as `false` (cleared), so declaring variables up
+/// front is optional.
+///
+/// # Examples
+///
+/// ```
+/// use hades_task::condvar::{CondVarId, CondVarTable};
+///
+/// let mut t = CondVarTable::new();
+/// let go = CondVarId(0);
+/// assert!(!t.is_set(go));
+/// t.set(go);
+/// assert!(t.is_set(go));
+/// t.clear(go);
+/// assert!(!t.is_set(go));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CondVarTable {
+    state: HashMap<CondVarId, bool>,
+}
+
+impl CondVarTable {
+    /// Creates an empty table (all variables cleared).
+    pub fn new() -> Self {
+        CondVarTable::default()
+    }
+
+    /// Whether `cv` is currently set.
+    pub fn is_set(&self, cv: CondVarId) -> bool {
+        self.state.get(&cv).copied().unwrap_or(false)
+    }
+
+    /// Sets `cv` to true. Returns `true` if the value changed.
+    pub fn set(&mut self, cv: CondVarId) -> bool {
+        !std::mem::replace(self.state.entry(cv).or_insert(false), true)
+    }
+
+    /// Clears `cv`. Returns `true` if the value changed.
+    pub fn clear(&mut self, cv: CondVarId) -> bool {
+        match self.state.get_mut(&cv) {
+            Some(v) => std::mem::replace(v, false),
+            None => false,
+        }
+    }
+
+    /// Whether every variable in `waits` is set (the wait condition of a
+    /// `Code_EU` about to start).
+    pub fn all_set(&self, waits: &[CondVarId]) -> bool {
+        waits.iter().all(|cv| self.is_set(*cv))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_variable_reads_false() {
+        let t = CondVarTable::new();
+        assert!(!t.is_set(CondVarId(42)));
+    }
+
+    #[test]
+    fn set_and_clear_report_changes() {
+        let mut t = CondVarTable::new();
+        let cv = CondVarId(1);
+        assert!(t.set(cv), "first set changes");
+        assert!(!t.set(cv), "second set is a no-op");
+        assert!(t.clear(cv), "clear after set changes");
+        assert!(!t.clear(cv), "second clear is a no-op");
+        assert!(!t.clear(CondVarId(9)), "clearing unknown is a no-op");
+    }
+
+    #[test]
+    fn all_set_requires_every_variable() {
+        let mut t = CondVarTable::new();
+        let a = CondVarId(0);
+        let b = CondVarId(1);
+        assert!(t.all_set(&[]), "empty wait list is satisfied");
+        t.set(a);
+        assert!(t.all_set(&[a]));
+        assert!(!t.all_set(&[a, b]));
+        t.set(b);
+        assert!(t.all_set(&[a, b]));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(CondVarId(3).to_string(), "cv3");
+    }
+}

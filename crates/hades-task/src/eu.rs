@@ -1,0 +1,276 @@
+//! Elementary units: `Code_EU` and `Inv_EU` (Section 3.1 of the paper).
+
+use crate::attrs::{EuTiming, Priority, ProcessorId};
+use crate::condvar::CondVarId;
+use crate::resource::ResourceUse;
+use hades_time::Duration;
+use std::fmt;
+
+/// Index of an elementary unit within its HEUG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EuIndex(pub u32);
+
+impl fmt::Display for EuIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "eu{}", self.0)
+    }
+}
+
+/// Whether an invocation waits for the invoked task to complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvocationMode {
+    /// `Inv_sync(T)` — the unit ends when the invoked task has finished.
+    Synchronous,
+    /// `Inv_async(T)` — the unit ends immediately.
+    Asynchronous,
+}
+
+/// A code elementary unit: one *action* with a determinable WCET.
+///
+/// By construction (Section 3.3) an action contains no synchronization and
+/// no resource allocation — resources are acquired before the action starts
+/// and released when it ends — so its worst-case execution time `w` can be
+/// established offline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeEu {
+    /// Human-readable name.
+    pub name: String,
+    /// Worst-case execution time `w` of the action.
+    pub wcet: Duration,
+    /// Processor the action is statically assigned to.
+    pub processor: ProcessorId,
+    /// Resources acquired for the duration of the action.
+    pub resources: Vec<ResourceUse>,
+    /// Condition variables that must be set before the action may start.
+    pub waits: Vec<CondVarId>,
+    /// Condition variables set when the action completes.
+    pub sets: Vec<CondVarId>,
+    /// Condition variables cleared when the action completes.
+    pub clears: Vec<CondVarId>,
+    /// Timing attributes.
+    pub timing: EuTiming,
+}
+
+impl CodeEu {
+    /// Creates an action with the given WCET on the given processor, lowest
+    /// priority and no synchronization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wcet` is zero — an empty action is a modelling error (use
+    /// a precedence constraint instead).
+    pub fn new(name: impl Into<String>, wcet: Duration, processor: ProcessorId) -> Self {
+        assert!(!wcet.is_zero(), "Code_EU wcet must be positive");
+        CodeEu {
+            name: name.into(),
+            wcet,
+            processor,
+            resources: Vec::new(),
+            waits: Vec::new(),
+            sets: Vec::new(),
+            clears: Vec::new(),
+            timing: EuTiming::default(),
+        }
+    }
+
+    /// Returns a copy requiring `use_` for the whole action.
+    pub fn with_resource(mut self, use_: ResourceUse) -> Self {
+        self.resources.push(use_);
+        self
+    }
+
+    /// Returns a copy that waits on `cv` before starting.
+    pub fn waiting_on(mut self, cv: CondVarId) -> Self {
+        self.waits.push(cv);
+        self
+    }
+
+    /// Returns a copy that sets `cv` at completion.
+    pub fn setting(mut self, cv: CondVarId) -> Self {
+        self.sets.push(cv);
+        self
+    }
+
+    /// Returns a copy that clears `cv` at completion.
+    pub fn clearing(mut self, cv: CondVarId) -> Self {
+        self.clears.push(cv);
+        self
+    }
+
+    /// Returns a copy with the given timing attributes.
+    pub fn with_timing(mut self, timing: EuTiming) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Returns a copy with the given base priority (threshold follows).
+    pub fn with_priority(mut self, prio: Priority) -> Self {
+        self.timing = EuTiming {
+            prio,
+            pt: prio.max(self.timing.pt),
+            ..self.timing
+        };
+        self
+    }
+}
+
+/// An invocation elementary unit: a request to execute another task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvEu {
+    /// Name of this invocation site.
+    pub name: String,
+    /// The invoked task (by id in the owning [`crate::TaskSet`]).
+    pub target: crate::task::TaskId,
+    /// Synchronous or asynchronous.
+    pub mode: InvocationMode,
+    /// Processor from which the invocation is issued.
+    pub processor: ProcessorId,
+}
+
+impl InvEu {
+    /// Creates a synchronous invocation of `target` issued from `processor`.
+    pub fn sync(name: impl Into<String>, target: crate::task::TaskId, processor: ProcessorId) -> Self {
+        InvEu {
+            name: name.into(),
+            target,
+            mode: InvocationMode::Synchronous,
+            processor,
+        }
+    }
+
+    /// Creates an asynchronous invocation of `target` issued from
+    /// `processor`.
+    pub fn asynchronous(
+        name: impl Into<String>,
+        target: crate::task::TaskId,
+        processor: ProcessorId,
+    ) -> Self {
+        InvEu {
+            name: name.into(),
+            target,
+            mode: InvocationMode::Asynchronous,
+            processor,
+        }
+    }
+}
+
+/// An elementary unit: either code or an invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Eu {
+    /// A code unit.
+    Code(CodeEu),
+    /// An invocation unit.
+    Inv(InvEu),
+}
+
+impl Eu {
+    /// The unit's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Eu::Code(c) => &c.name,
+            Eu::Inv(i) => &i.name,
+        }
+    }
+
+    /// The processor the unit is assigned to.
+    pub fn processor(&self) -> ProcessorId {
+        match self {
+            Eu::Code(c) => c.processor,
+            Eu::Inv(i) => i.processor,
+        }
+    }
+
+    /// The code unit, if this is one.
+    pub fn as_code(&self) -> Option<&CodeEu> {
+        match self {
+            Eu::Code(c) => Some(c),
+            Eu::Inv(_) => None,
+        }
+    }
+
+    /// The invocation unit, if this is one.
+    pub fn as_inv(&self) -> Option<&InvEu> {
+        match self {
+            Eu::Inv(i) => Some(i),
+            Eu::Code(_) => None,
+        }
+    }
+}
+
+impl From<CodeEu> for Eu {
+    fn from(c: CodeEu) -> Eu {
+        Eu::Code(c)
+    }
+}
+
+impl From<InvEu> for Eu {
+    fn from(i: InvEu) -> Eu {
+        Eu::Inv(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::{AccessMode, ResourceId};
+    use crate::task::TaskId;
+
+    #[test]
+    fn code_eu_builder_chain() {
+        let cv = CondVarId(1);
+        let eu = CodeEu::new("ctl", Duration::from_micros(10), ProcessorId(0))
+            .with_resource(ResourceUse::exclusive(ResourceId(0)))
+            .waiting_on(cv)
+            .setting(CondVarId(2))
+            .clearing(cv)
+            .with_priority(Priority::new(4));
+        assert_eq!(eu.resources.len(), 1);
+        assert_eq!(eu.resources[0].mode, AccessMode::Exclusive);
+        assert_eq!(eu.waits, vec![cv]);
+        assert_eq!(eu.sets, vec![CondVarId(2)]);
+        assert_eq!(eu.clears, vec![cv]);
+        assert_eq!(eu.timing.prio, Priority::new(4));
+        assert_eq!(eu.timing.pt, Priority::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "wcet must be positive")]
+    fn zero_wcet_rejected() {
+        let _ = CodeEu::new("bad", Duration::ZERO, ProcessorId(0));
+    }
+
+    #[test]
+    fn with_priority_keeps_higher_threshold() {
+        let eu = CodeEu::new("x", Duration::from_nanos(1), ProcessorId(0))
+            .with_timing(EuTiming::with_priority(Priority::new(2)).with_threshold(Priority::new(9)))
+            .with_priority(Priority::new(5));
+        assert_eq!(eu.timing.prio, Priority::new(5));
+        assert_eq!(eu.timing.pt, Priority::new(9));
+    }
+
+    #[test]
+    fn invocation_modes() {
+        let s = InvEu::sync("call", TaskId(7), ProcessorId(1));
+        let a = InvEu::asynchronous("spawn", TaskId(7), ProcessorId(1));
+        assert_eq!(s.mode, InvocationMode::Synchronous);
+        assert_eq!(a.mode, InvocationMode::Asynchronous);
+        assert_eq!(s.target, TaskId(7));
+    }
+
+    #[test]
+    fn eu_accessors() {
+        let c: Eu = CodeEu::new("c", Duration::from_nanos(1), ProcessorId(2)).into();
+        let i: Eu = InvEu::sync("i", TaskId(0), ProcessorId(3)).into();
+        assert_eq!(c.name(), "c");
+        assert_eq!(i.name(), "i");
+        assert_eq!(c.processor(), ProcessorId(2));
+        assert_eq!(i.processor(), ProcessorId(3));
+        assert!(c.as_code().is_some() && c.as_inv().is_none());
+        assert!(i.as_inv().is_some() && i.as_code().is_none());
+    }
+
+    #[test]
+    fn eu_index_display() {
+        assert_eq!(EuIndex(4).to_string(), "eu4");
+    }
+}

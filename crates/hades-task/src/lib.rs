@@ -1,0 +1,72 @@
+//! # hades-task — the HEUG generic task model (Section 3 of the paper)
+//!
+//! Every activity in HADES — application task, middleware service or
+//! scheduler — is expressed in one uniform model: a **H**ades **E**lementary
+//! **U**nit **G**raph. A HEUG is a directed acyclic graph of elementary
+//! units:
+//!
+//! * [`CodeEu`] — a sequence of code (*action*) with a known worst-case
+//!   execution time `w`, statically assigned to a processor, using only
+//!   resources local to that processor. Actions contain no internal
+//!   synchronization, which is what makes `w` determinable.
+//! * [`InvEu`] — a synchronous or asynchronous invocation of another task.
+//!
+//! Units are connected by *precedence constraints* (optionally carrying
+//! parameters); a constraint is *local* when both ends live on the same
+//! processor and *remote* otherwise, in which case it is materialised by the
+//! network-management task `msg_task`.
+//!
+//! Synchronization beyond precedence uses [`resource`]s (shared/exclusive
+//! access modes) and [`condvar`] condition variables. Timing attributes
+//! (priority, preemption threshold, earliest/latest start, deadline) and
+//! [`arrival::ArrivalLaw`]s complete the model.
+//!
+//! The [`spuri`] module implements the worked example of Section 5: the
+//! translation of Spuri's sporadic task model (arbitrary deadlines, one
+//! critical section) into HEUGs, reproducing Figure 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use hades_task::prelude::*;
+//!
+//! let mut b = HeugBuilder::new("sample");
+//! let read = b.code_eu(CodeEu::new("read", Duration::from_micros(40), ProcessorId(0)));
+//! let act = b.code_eu(CodeEu::new("act", Duration::from_micros(60), ProcessorId(0)));
+//! b.precede(read, act);
+//! let heug = b.build()?;
+//! assert_eq!(heug.topological_order().len(), 2);
+//! # Ok::<(), hades_task::graph::GraphError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod attrs;
+pub mod condvar;
+pub mod eu;
+pub mod graph;
+pub mod resource;
+pub mod spuri;
+pub mod task;
+
+/// Convenient re-exports of the types needed to describe a task set.
+pub mod prelude {
+    pub use crate::arrival::ArrivalLaw;
+    pub use crate::attrs::{EuTiming, Priority, ProcessorId};
+    pub use crate::condvar::CondVarId;
+    pub use crate::eu::{CodeEu, Eu, EuIndex, InvEu, InvocationMode};
+    pub use crate::graph::{Heug, HeugBuilder};
+    pub use crate::resource::{AccessMode, ResourceId, ResourceUse};
+    pub use crate::task::{Task, TaskId, TaskSet};
+    pub use hades_time::{Duration, Time};
+}
+
+pub use arrival::ArrivalLaw;
+pub use attrs::{EuTiming, Priority, ProcessorId};
+pub use condvar::CondVarId;
+pub use eu::{CodeEu, Eu, EuIndex, InvEu, InvocationMode};
+pub use graph::{Heug, HeugBuilder};
+pub use resource::{AccessMode, ResourceId, ResourceUse};
+pub use spuri::SpuriTask;
+pub use task::{Task, TaskId, TaskSet};

@@ -1,0 +1,124 @@
+//! Resources and access modes (Section 3.1.1 of the paper).
+//!
+//! A *resource* is any hardware or software component an action needs:
+//! a lock, a sensor, an actuator, a DMA engine. Resources are **local to a
+//! processor** — remote interactions go through precedence constraints and
+//! the network task instead. Traditional access modes (shared / exclusive)
+//! control simultaneous use and feed the resource-sharing analyses
+//! (PCP ceilings, SRP preemption levels).
+
+use crate::attrs::ProcessorId;
+use std::fmt;
+
+/// Identifier of a resource within the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub u32);
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// How an elementary unit uses a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Multiple concurrent readers allowed.
+    Shared,
+    /// Exclusive use.
+    Exclusive,
+}
+
+impl AccessMode {
+    /// Whether a holder in mode `self` is compatible with a second holder in
+    /// mode `other`.
+    pub fn compatible_with(self, other: AccessMode) -> bool {
+        matches!((self, other), (AccessMode::Shared, AccessMode::Shared))
+    }
+}
+
+/// One resource requirement of a `Code_EU`: the resource and the mode.
+///
+/// All resources of a unit are acquired *before* the unit starts and
+/// released when it ends — actions themselves may not synchronize
+/// (Section 3.3), which is what keeps their WCET analysable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceUse {
+    /// The resource.
+    pub id: ResourceId,
+    /// Required access mode.
+    pub mode: AccessMode,
+}
+
+impl ResourceUse {
+    /// A shared-mode requirement.
+    pub fn shared(id: ResourceId) -> Self {
+        ResourceUse {
+            id,
+            mode: AccessMode::Shared,
+        }
+    }
+
+    /// An exclusive-mode requirement.
+    pub fn exclusive(id: ResourceId) -> Self {
+        ResourceUse {
+            id,
+            mode: AccessMode::Exclusive,
+        }
+    }
+}
+
+/// Descriptor of a resource: where it lives and what it is called.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceDescriptor {
+    /// The resource id.
+    pub id: ResourceId,
+    /// Human-readable name.
+    pub name: String,
+    /// The processor the resource is local to.
+    pub processor: ProcessorId,
+}
+
+impl ResourceDescriptor {
+    /// Creates a descriptor.
+    pub fn new(id: ResourceId, name: impl Into<String>, processor: ProcessorId) -> Self {
+        ResourceDescriptor {
+            id,
+            name: name.into(),
+            processor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_shared_is_compatible() {
+        assert!(AccessMode::Shared.compatible_with(AccessMode::Shared));
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_everything() {
+        assert!(!AccessMode::Exclusive.compatible_with(AccessMode::Exclusive));
+        assert!(!AccessMode::Exclusive.compatible_with(AccessMode::Shared));
+        assert!(!AccessMode::Shared.compatible_with(AccessMode::Exclusive));
+    }
+
+    #[test]
+    fn constructors_set_modes() {
+        let r = ResourceId(3);
+        assert_eq!(ResourceUse::shared(r).mode, AccessMode::Shared);
+        assert_eq!(ResourceUse::exclusive(r).mode, AccessMode::Exclusive);
+        assert_eq!(ResourceUse::shared(r).id, r);
+    }
+
+    #[test]
+    fn descriptor_holds_fields() {
+        let d = ResourceDescriptor::new(ResourceId(1), "adc", ProcessorId(2));
+        assert_eq!(d.name, "adc");
+        assert_eq!(d.processor, ProcessorId(2));
+        assert_eq!(d.id.to_string(), "r1");
+    }
+}

@@ -1,0 +1,299 @@
+//! Spuri's task model and its translation to HEUGs (Figure 3, Section 5).
+//!
+//! The worked example of the paper schedules *sporadic tasks with arbitrary
+//! deadlines and resource sharing* per Spuri's EDF analysis [Spu96]. Each
+//! task `i` has a worst-case computation time `Cᵢ` split around one critical
+//! section on resource `S`:
+//!
+//! ```text
+//! Cᵢ = c_beforeᵢ + csᵢ + c_afterᵢ
+//! ```
+//!
+//! plus a deadline `Dᵢ`, a pseudo-period `pᵢ` and a worst-case blocking time
+//! `Bᵢ` from resource sharing. Figure 3 translates such a task into a HEUG
+//! of three chained `Code_EU`s, the middle one holding the resource, with
+//! `latest = B'ᵢ` on the first unit and the task deadline `D = Dᵢ`.
+
+use crate::arrival::ArrivalLaw;
+use crate::attrs::{EuTiming, Priority, ProcessorId};
+use crate::eu::CodeEu;
+use crate::graph::{GraphError, Heug};
+use crate::resource::{ResourceId, ResourceUse};
+use crate::task::{Task, TaskId};
+use hades_time::Duration;
+
+/// One task of Spuri's model (Section 5.1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpuriTask {
+    /// Task identifier.
+    pub id: TaskId,
+    /// Name used for the generated HEUG.
+    pub name: String,
+    /// Computation before the critical section (`c_beforeᵢ`).
+    pub c_before: Duration,
+    /// Critical-section length on `resource` (`csᵢ`); zero means the task
+    /// uses no resource.
+    pub cs: Duration,
+    /// Computation after the critical section (`c_afterᵢ`).
+    pub c_after: Duration,
+    /// The shared resource `S`, if `cs` is non-zero.
+    pub resource: Option<ResourceId>,
+    /// Relative deadline `Dᵢ` (arbitrary: may exceed the pseudo-period).
+    pub deadline: Duration,
+    /// Pseudo-period `pᵢ` (minimum inter-arrival separation).
+    pub pseudo_period: Duration,
+    /// Processor the task runs on (the example is single-processor).
+    pub processor: ProcessorId,
+}
+
+impl SpuriTask {
+    /// A task without resource usage: `C = c_before`, no critical section.
+    pub fn independent(
+        id: TaskId,
+        name: impl Into<String>,
+        c: Duration,
+        deadline: Duration,
+        pseudo_period: Duration,
+    ) -> Self {
+        SpuriTask {
+            id,
+            name: name.into(),
+            c_before: c,
+            cs: Duration::ZERO,
+            c_after: Duration::ZERO,
+            resource: None,
+            deadline,
+            pseudo_period,
+            processor: ProcessorId(0),
+        }
+    }
+
+    /// A task with one critical section on `resource`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_section(
+        id: TaskId,
+        name: impl Into<String>,
+        c_before: Duration,
+        cs: Duration,
+        c_after: Duration,
+        resource: ResourceId,
+        deadline: Duration,
+        pseudo_period: Duration,
+    ) -> Self {
+        assert!(!cs.is_zero(), "critical section must be positive");
+        SpuriTask {
+            id,
+            name: name.into(),
+            c_before,
+            cs,
+            c_after,
+            resource: Some(resource),
+            deadline,
+            pseudo_period,
+            processor: ProcessorId(0),
+        }
+    }
+
+    /// Total worst-case computation time `Cᵢ`.
+    pub fn total_c(&self) -> Duration {
+        self.c_before + self.cs + self.c_after
+    }
+
+    /// Utilisation `Cᵢ / pᵢ`.
+    pub fn utilization(&self) -> f64 {
+        self.total_c().as_nanos() as f64 / self.pseudo_period.as_nanos() as f64
+    }
+
+    /// Time from task start to the *end* of the critical section — the span
+    /// during which the task may block others.
+    pub fn section_end_offset(&self) -> Duration {
+        self.c_before + self.cs
+    }
+
+    /// Translates the task into a HEUG per Figure 3 of the paper.
+    ///
+    /// The result is a chain of up to three `Code_EU`s: the pre-section
+    /// computation, the critical section holding the resource exclusively,
+    /// and the post-section computation. Zero-length phases are elided.
+    /// `blocking` (the worst-case blocking `B'ᵢ` computed by the analysis)
+    /// becomes the `latest` attribute of the first unit, which lets the
+    /// dispatcher's monitor flag a blocking overrun at run time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from graph construction (cannot occur for
+    /// a well-formed `SpuriTask`, which always yields a nonempty chain).
+    pub fn to_heug(&self, blocking: Duration) -> Result<Heug, GraphError> {
+        let mut b = crate::graph::HeugBuilder::new(self.name.clone());
+        let timing = EuTiming::with_priority(Priority::MIN)
+            .with_latest(blocking)
+            .with_deadline(self.deadline);
+        let mut chain = Vec::new();
+        if !self.c_before.is_zero() {
+            chain.push(b.code_eu(
+                CodeEu::new(format!("{}_before", self.name), self.c_before, self.processor)
+                    .with_timing(timing),
+            ));
+        }
+        if !self.cs.is_zero() {
+            let res = self
+                .resource
+                .expect("critical section requires a resource");
+            let mut eu = CodeEu::new(format!("{}_cs", self.name), self.cs, self.processor)
+                .with_resource(ResourceUse::exclusive(res));
+            if chain.is_empty() {
+                eu = eu.with_timing(timing);
+            }
+            chain.push(b.code_eu(eu));
+        }
+        if !self.c_after.is_zero() {
+            chain.push(b.code_eu(CodeEu::new(
+                format!("{}_after", self.name),
+                self.c_after,
+                self.processor,
+            )));
+        }
+        for pair in chain.windows(2) {
+            b.precede(pair[0], pair[1]);
+        }
+        b.build()
+    }
+
+    /// Translates into a full [`Task`] (sporadic arrival, deadline `Dᵢ`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from [`Self::to_heug`].
+    pub fn to_task(&self, blocking: Duration) -> Result<Task, GraphError> {
+        Ok(Task::new(
+            self.id,
+            self.to_heug(blocking)?,
+            ArrivalLaw::Sporadic(self.pseudo_period),
+            self.deadline,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eu::Eu;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    fn sample() -> SpuriTask {
+        SpuriTask::with_section(
+            TaskId(1),
+            "tau1",
+            us(10),
+            us(5),
+            us(20),
+            ResourceId(0),
+            us(100),
+            us(200),
+        )
+    }
+
+    #[test]
+    fn figure3_shape_three_chained_units() {
+        let heug = sample().to_heug(us(7)).unwrap();
+        assert_eq!(heug.len(), 3, "Figure 3 shows three Code_EUs");
+        // It is a chain: one source, one sink, two edges.
+        assert_eq!(heug.sources().len(), 1);
+        assert_eq!(heug.sinks().len(), 1);
+        assert_eq!(heug.edges().len(), 2);
+        let names: Vec<&str> = heug.eus().iter().map(Eu::name).collect();
+        assert_eq!(names, vec!["tau1_before", "tau1_cs", "tau1_after"]);
+    }
+
+    #[test]
+    fn figure3_wcets_map_to_phases() {
+        let heug = sample().to_heug(us(7)).unwrap();
+        let w: Vec<Duration> = heug
+            .eus()
+            .iter()
+            .filter_map(Eu::as_code)
+            .map(|c| c.wcet)
+            .collect();
+        assert_eq!(w, vec![us(10), us(5), us(20)]);
+    }
+
+    #[test]
+    fn figure3_middle_unit_holds_resource_exclusively() {
+        let heug = sample().to_heug(us(7)).unwrap();
+        let cs = heug.eus()[1].as_code().unwrap();
+        assert_eq!(cs.resources.len(), 1);
+        assert_eq!(cs.resources[0], ResourceUse::exclusive(ResourceId(0)));
+        assert!(heug.eus()[0].as_code().unwrap().resources.is_empty());
+        assert!(heug.eus()[2].as_code().unwrap().resources.is_empty());
+    }
+
+    #[test]
+    fn figure3_latest_is_blocking_and_deadline_carried() {
+        let heug = sample().to_heug(us(7)).unwrap();
+        let first = heug.eus()[0].as_code().unwrap();
+        assert_eq!(first.timing.latest, Some(us(7)), "latest = B'i");
+        assert_eq!(first.timing.deadline, Some(us(100)), "D = Di");
+    }
+
+    #[test]
+    fn zero_phases_are_elided() {
+        let t = SpuriTask::independent(TaskId(0), "solo", us(30), us(50), us(60));
+        let heug = t.to_heug(Duration::ZERO).unwrap();
+        assert_eq!(heug.len(), 1);
+        assert_eq!(heug.total_wcet(), us(30));
+    }
+
+    #[test]
+    fn section_starting_task_gets_latest_on_cs() {
+        let t = SpuriTask::with_section(
+            TaskId(2),
+            "cs_first",
+            Duration::ZERO,
+            us(5),
+            us(5),
+            ResourceId(1),
+            us(50),
+            us(100),
+        );
+        let heug = t.to_heug(us(3)).unwrap();
+        assert_eq!(heug.len(), 2);
+        let first = heug.eus()[0].as_code().unwrap();
+        assert_eq!(first.timing.latest, Some(us(3)));
+        assert_eq!(first.resources.len(), 1);
+    }
+
+    #[test]
+    fn totals_and_utilization() {
+        let t = sample();
+        assert_eq!(t.total_c(), us(35));
+        assert_eq!(t.section_end_offset(), us(15));
+        assert!((t.utilization() - 0.175).abs() < 1e-9);
+    }
+
+    #[test]
+    fn to_task_is_sporadic_with_deadline() {
+        let task = sample().to_task(us(7)).unwrap();
+        assert_eq!(task.arrival, ArrivalLaw::Sporadic(us(200)));
+        assert_eq!(task.deadline, us(100));
+        assert_eq!(task.wcet(), us(35));
+        assert!(task.has_constrained_deadline());
+    }
+
+    #[test]
+    #[should_panic(expected = "critical section must be positive")]
+    fn zero_section_with_resource_rejected() {
+        let _ = SpuriTask::with_section(
+            TaskId(0),
+            "bad",
+            us(1),
+            Duration::ZERO,
+            us(1),
+            ResourceId(0),
+            us(10),
+            us(10),
+        );
+    }
+}

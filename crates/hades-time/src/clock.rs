@@ -1,0 +1,263 @@
+//! Models of imperfect hardware clocks and adjustable virtual clocks.
+//!
+//! The HADES fault model (Section 2.1 of the paper) admits *Byzantine*
+//! failures for clocks: a faulty clock may return arbitrary values. Correct
+//! clocks have bounded drift: if `ρ` is the drift bound, a correct hardware
+//! clock `H` satisfies, for real-time spans `Δt`,
+//! `Δt · (1 − ρ) ≤ H(t + Δt) − H(t) ≤ Δt · (1 + ρ)`.
+//!
+//! [`HardwareClock`] models such a clock with an integer drift expressed in
+//! parts-per-billion (ppb), an initial offset and an optional injected
+//! [`ClockFault`]. [`AdjustableClock`] is the *virtual* clock the
+//! clock-synchronization service maintains: hardware time plus a software
+//! correction that the synchronization rounds update.
+
+use crate::ticks::{Duration, Time};
+
+/// Fault injected into a hardware clock, for testing the Byzantine-tolerance
+/// of the synchronization service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockFault {
+    /// The clock stops advancing at the given real time.
+    StuckAt(Time),
+    /// The clock value jumps by the given signed offset (ns) from the given
+    /// real time onward.
+    JumpAt(Time, i64),
+    /// The clock runs at a wildly wrong rate (factor numerator/denominator)
+    /// from time zero — e.g. `Rate(2, 1)` runs twice as fast.
+    Rate(u64, u64),
+}
+
+/// A drifting hardware clock.
+///
+/// Reading the clock maps *real* (simulation) time to *clock* time using an
+/// exact integer rate model: `H(t) = offset + t + t·drift_ppb/10⁹`.
+///
+/// # Examples
+///
+/// ```
+/// use hades_time::{Duration, HardwareClock, Time};
+///
+/// // 100 ppm fast, starts 5 µs ahead.
+/// let clk = HardwareClock::new(100_000, 5_000);
+/// let real = Time::ZERO + Duration::from_secs(1);
+/// let shown = clk.read(real);
+/// assert_eq!(shown.as_nanos(), 1_000_000_000 + 100_000 + 5_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareClock {
+    /// Signed drift rate in parts-per-billion. Positive runs fast.
+    drift_ppb: i64,
+    /// Signed initial offset in nanoseconds.
+    offset_ns: i64,
+    /// Optional injected fault.
+    fault: Option<ClockFault>,
+}
+
+impl HardwareClock {
+    /// Creates a correct clock with the given drift (ppb) and offset (ns).
+    pub fn new(drift_ppb: i64, offset_ns: i64) -> Self {
+        HardwareClock {
+            drift_ppb,
+            offset_ns,
+            fault: None,
+        }
+    }
+
+    /// A perfect clock: zero drift, zero offset.
+    pub fn perfect() -> Self {
+        HardwareClock::new(0, 0)
+    }
+
+    /// Returns a copy of this clock with a fault injected.
+    pub fn with_fault(mut self, fault: ClockFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// The configured drift bound of this clock, in ppb (absolute value).
+    pub fn drift_ppb(&self) -> i64 {
+        self.drift_ppb
+    }
+
+    /// Whether a fault has been injected into this clock.
+    pub fn is_faulty(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Reads the clock at real time `real`.
+    ///
+    /// The result is clamped at zero: a clock can never display a time
+    /// before the origin.
+    pub fn read(&self, real: Time) -> Time {
+        let t = match self.fault {
+            Some(ClockFault::StuckAt(at)) if real > at => at,
+            _ => real,
+        };
+        let base = t.as_nanos() as i128;
+        let mut v = base + self.offset_ns as i128 + base * self.drift_ppb as i128 / 1_000_000_000;
+        match self.fault {
+            Some(ClockFault::JumpAt(at, delta)) if real >= at => {
+                v += delta as i128;
+            }
+            Some(ClockFault::Rate(num, den)) => {
+                v = base * num as i128 / den.max(1) as i128 + self.offset_ns as i128;
+            }
+            _ => {}
+        }
+        Time::from_nanos(v.clamp(0, u64::MAX as i128) as u64)
+    }
+
+    /// The worst-case divergence of two correct clocks with drift bound
+    /// `rho_ppb` over a real-time span `span`, ignoring initial offsets.
+    ///
+    /// This is the `2ρΔt` term in the Lundelius–Lynch precision analysis.
+    pub fn worst_case_divergence(rho_ppb: u64, span: Duration) -> Duration {
+        let d = span.as_nanos() as u128 * 2 * rho_ppb as u128 / 1_000_000_000;
+        Duration::from_nanos(d.min(u64::MAX as u128) as u64)
+    }
+}
+
+/// A software-adjustable virtual clock built on a [`HardwareClock`].
+///
+/// The clock-synchronization service periodically applies signed
+/// *corrections*; the virtual clock value is `H(t) + correction`. Corrections
+/// accumulate, matching the amortized-adjustment model of [LL88].
+///
+/// # Examples
+///
+/// ```
+/// use hades_time::{AdjustableClock, Duration, HardwareClock, Time};
+///
+/// let mut vc = AdjustableClock::new(HardwareClock::perfect());
+/// vc.adjust(-250);
+/// let t = Time::ZERO + Duration::from_micros(1);
+/// assert_eq!(vc.read(t).as_nanos(), 1_000 - 250);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdjustableClock {
+    hw: HardwareClock,
+    correction_ns: i64,
+}
+
+impl AdjustableClock {
+    /// Wraps a hardware clock with an initially-zero correction.
+    pub fn new(hw: HardwareClock) -> Self {
+        AdjustableClock {
+            hw,
+            correction_ns: 0,
+        }
+    }
+
+    /// The underlying hardware clock.
+    pub fn hardware(&self) -> &HardwareClock {
+        &self.hw
+    }
+
+    /// The accumulated software correction in nanoseconds.
+    pub fn correction_ns(&self) -> i64 {
+        self.correction_ns
+    }
+
+    /// Applies a signed correction (ns) to the virtual clock.
+    pub fn adjust(&mut self, delta_ns: i64) {
+        self.correction_ns = self.correction_ns.saturating_add(delta_ns);
+    }
+
+    /// Reads the virtual clock at real time `real` (clamped at zero).
+    pub fn read(&self, real: Time) -> Time {
+        let raw = self.hw.read(real).as_nanos() as i128 + self.correction_ns as i128;
+        Time::from_nanos(raw.clamp(0, u64::MAX as i128) as u64)
+    }
+
+    /// Signed difference (ns) between this virtual clock and another, read at
+    /// the same real instant.
+    pub fn skew_to(&self, other: &AdjustableClock, real: Time) -> i64 {
+        let a = self.read(real).as_nanos() as i128;
+        let b = other.read(real).as_nanos() as i128;
+        (a - b).clamp(i64::MIN as i128, i64::MAX as i128) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: Duration = Duration::from_secs(1);
+
+    #[test]
+    fn perfect_clock_tracks_real_time() {
+        let c = HardwareClock::perfect();
+        let t = Time::ZERO + SEC;
+        assert_eq!(c.read(t), t);
+        assert!(!c.is_faulty());
+    }
+
+    #[test]
+    fn fast_clock_gains_drift() {
+        let c = HardwareClock::new(1_000_000, 0); // 1000 ppm fast
+        let t = Time::ZERO + SEC;
+        assert_eq!(c.read(t).as_nanos(), 1_000_000_000 + 1_000_000);
+    }
+
+    #[test]
+    fn slow_clock_loses_drift() {
+        let c = HardwareClock::new(-500_000, 0); // 500 ppm slow
+        let t = Time::ZERO + SEC;
+        assert_eq!(c.read(t).as_nanos(), 1_000_000_000 - 500_000);
+    }
+
+    #[test]
+    fn negative_offset_clamps_at_zero() {
+        let c = HardwareClock::new(0, -100);
+        assert_eq!(c.read(Time::from_nanos(40)), Time::ZERO);
+        assert_eq!(c.read(Time::from_nanos(150)), Time::from_nanos(50));
+    }
+
+    #[test]
+    fn stuck_fault_freezes_value() {
+        let c = HardwareClock::perfect().with_fault(ClockFault::StuckAt(Time::from_nanos(500)));
+        assert!(c.is_faulty());
+        assert_eq!(c.read(Time::from_nanos(400)), Time::from_nanos(400));
+        assert_eq!(c.read(Time::from_nanos(9_999)), Time::from_nanos(500));
+    }
+
+    #[test]
+    fn jump_fault_applies_after_threshold() {
+        let c =
+            HardwareClock::perfect().with_fault(ClockFault::JumpAt(Time::from_nanos(100), 1_000));
+        assert_eq!(c.read(Time::from_nanos(99)), Time::from_nanos(99));
+        assert_eq!(c.read(Time::from_nanos(100)), Time::from_nanos(1_100));
+    }
+
+    #[test]
+    fn rate_fault_scales_time() {
+        let c = HardwareClock::perfect().with_fault(ClockFault::Rate(3, 1));
+        assert_eq!(c.read(Time::from_nanos(100)), Time::from_nanos(300));
+    }
+
+    #[test]
+    fn worst_case_divergence_matches_formula() {
+        // 2 clocks at 100 ppm over 1 s diverge by at most 200 µs.
+        let d = HardwareClock::worst_case_divergence(100_000, SEC);
+        assert_eq!(d, Duration::from_micros(200));
+    }
+
+    #[test]
+    fn adjustable_clock_accumulates_corrections() {
+        let mut vc = AdjustableClock::new(HardwareClock::perfect());
+        vc.adjust(100);
+        vc.adjust(-40);
+        assert_eq!(vc.correction_ns(), 60);
+        assert_eq!(vc.read(Time::from_nanos(1_000)), Time::from_nanos(1_060));
+    }
+
+    #[test]
+    fn skew_between_virtual_clocks() {
+        let a = AdjustableClock::new(HardwareClock::new(0, 500));
+        let b = AdjustableClock::new(HardwareClock::new(0, -200));
+        let t = Time::from_nanos(10_000);
+        assert_eq!(a.skew_to(&b, t), 700);
+        assert_eq!(b.skew_to(&a, t), -700);
+    }
+}

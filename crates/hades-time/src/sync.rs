@@ -1,0 +1,232 @@
+//! Algorithmic core of fault-tolerant clock synchronization.
+//!
+//! HADES adopts the Lundelius–Lynch interactive-convergence algorithm
+//! ([LL88] in the paper): each node periodically gathers estimates of every
+//! other node's clock, discards the `f` lowest and `f` highest estimates and
+//! adopts the *midpoint* of the surviving range as its correction target.
+//! With `n ≥ 3f + 1` nodes this tolerates `f` arbitrarily faulty (Byzantine)
+//! clocks and halves the skew among correct clocks each round.
+//!
+//! This module contains the pure, network-free part of the algorithm — the
+//! fault-tolerant midpoint and the convergence/precision bounds — so it can
+//! be unit- and property-tested exhaustively. The protocol machinery (reading
+//! remote clocks over the bounded-delay network) lives in
+//! `hades-services::clocksync`.
+
+use crate::ticks::Duration;
+use std::fmt;
+
+/// Error returned when a synchronization round cannot proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvergenceError {
+    /// Fewer than `3f + 1` estimates were supplied for fault bound `f`.
+    NotEnoughEstimates {
+        /// Number of estimates supplied.
+        have: usize,
+        /// Minimum required (`3f + 1`).
+        need: usize,
+    },
+}
+
+impl fmt::Display for ConvergenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvergenceError::NotEnoughEstimates { have, need } => write!(
+                f,
+                "fault-tolerant midpoint needs at least {need} estimates, got {have}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConvergenceError {}
+
+/// Computes the Lundelius–Lynch fault-tolerant midpoint of clock estimates.
+///
+/// `estimates` are signed skews (in ns) between remote clocks and the local
+/// clock; `f` is the maximum number of faulty clocks to tolerate. The `f`
+/// smallest and `f` largest estimates are discarded and the midpoint
+/// `(min + max) / 2` of the survivors is returned — the correction the local
+/// node should apply.
+///
+/// # Errors
+///
+/// Returns [`ConvergenceError::NotEnoughEstimates`] when
+/// `estimates.len() < 3f + 1`, the resilience threshold of the algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use hades_time::fault_tolerant_midpoint;
+///
+/// // One Byzantine reading (+1e9) among four; f = 1 discards it.
+/// let skews = vec![-10, 0, 20, 1_000_000_000];
+/// let mid = fault_tolerant_midpoint(&skews, 1)?;
+/// assert_eq!(mid, 10); // midpoint of {0, 20}
+/// # Ok::<(), hades_time::ConvergenceError>(())
+/// ```
+pub fn fault_tolerant_midpoint(estimates: &[i64], f: usize) -> Result<i64, ConvergenceError> {
+    let need = 3 * f + 1;
+    if estimates.len() < need {
+        return Err(ConvergenceError::NotEnoughEstimates {
+            have: estimates.len(),
+            need,
+        });
+    }
+    let mut sorted = estimates.to_vec();
+    sorted.sort_unstable();
+    let survivors = &sorted[f..sorted.len() - f];
+    let lo = *survivors.first().expect("survivors nonempty") as i128;
+    let hi = *survivors.last().expect("survivors nonempty") as i128;
+    // Floor-divide toward negative infinity for stability on negative sums.
+    Ok(((lo + hi).div_euclid(2)) as i64)
+}
+
+/// Parameters and derived bounds of one synchronization round.
+///
+/// `SyncRound` captures the environment constants the precision analysis of
+/// [LL88] needs: reading error `ε` (dominated by message-delay uncertainty),
+/// drift bound `ρ` and resynchronization period `P`.
+///
+/// # Examples
+///
+/// ```
+/// use hades_time::{Duration, SyncRound};
+///
+/// let round = SyncRound::new(Duration::from_micros(50), 100_000, Duration::from_secs(1));
+/// // Steady-state precision: 4ε + 4ρP (conservative closed form).
+/// assert!(round.steady_state_precision() > Duration::from_micros(200));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncRound {
+    /// Clock-reading error bound ε: half the message-delay uncertainty.
+    pub reading_error: Duration,
+    /// Drift bound ρ of correct clocks, in parts-per-billion.
+    pub drift_ppb: u64,
+    /// Resynchronization period P.
+    pub period: Duration,
+}
+
+impl SyncRound {
+    /// Creates round parameters from reading error, drift and period.
+    pub fn new(reading_error: Duration, drift_ppb: u64, period: Duration) -> Self {
+        SyncRound {
+            reading_error,
+            drift_ppb,
+            period,
+        }
+    }
+
+    /// Drift accumulated by two correct clocks over one period: `2ρP`.
+    pub fn drift_per_period(&self) -> Duration {
+        crate::clock::HardwareClock::worst_case_divergence(self.drift_ppb, self.period)
+    }
+
+    /// Skew after one round given skew `before` at the start of the round.
+    ///
+    /// The fault-tolerant midpoint halves the pre-round skew and adds the
+    /// reading error and one period of drift:
+    /// `after = before/2 + 2ε + 2ρP`.
+    pub fn skew_after_round(&self, before: Duration) -> Duration {
+        Duration::from_nanos(before.as_nanos() / 2)
+            .saturating_add(self.reading_error.saturating_mul(2))
+            .saturating_add(self.drift_per_period())
+    }
+
+    /// Fixed point of [`Self::skew_after_round`]: the steady-state precision
+    /// `γ = 4ε + 4ρP` guaranteed among correct clocks.
+    pub fn steady_state_precision(&self) -> Duration {
+        self.reading_error
+            .saturating_mul(4)
+            .saturating_add(self.drift_per_period().saturating_mul(2))
+    }
+
+    /// Number of rounds to converge from `initial` skew to within the
+    /// steady-state precision (plus one tick of slack).
+    pub fn rounds_to_converge(&self, initial: Duration) -> u32 {
+        let target = self.steady_state_precision();
+        let mut skew = initial;
+        let mut rounds = 0;
+        while skew > target + Duration::from_nanos(1) {
+            skew = self.skew_after_round(skew);
+            rounds += 1;
+            if rounds > 128 {
+                break; // diverging parameters; bound the loop
+            }
+        }
+        rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn midpoint_discards_byzantine_extremes() {
+        // f = 1, n = 4: one absurd value must not influence the result.
+        let skews = vec![5, -5, 15, i64::MAX];
+        assert_eq!(fault_tolerant_midpoint(&skews, 1).unwrap(), 10);
+        let skews = vec![5, -5, 15, i64::MIN];
+        assert_eq!(fault_tolerant_midpoint(&skews, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn midpoint_zero_f_is_plain_midrange() {
+        let skews = vec![-100, 0, 50];
+        assert_eq!(fault_tolerant_midpoint(&skews, 0).unwrap(), -25);
+    }
+
+    #[test]
+    fn midpoint_requires_three_f_plus_one() {
+        let err = fault_tolerant_midpoint(&[1, 2, 3], 1).unwrap_err();
+        assert_eq!(err, ConvergenceError::NotEnoughEstimates { have: 3, need: 4 });
+        assert!(err.to_string().contains("at least 4"));
+    }
+
+    #[test]
+    fn midpoint_negative_floor_division_is_stable() {
+        // (−3 + 0) / 2 floors to −2 under euclidean division toward −∞.
+        assert_eq!(fault_tolerant_midpoint(&[-3, 0], 0).unwrap(), -2);
+    }
+
+    #[test]
+    fn midpoint_is_within_survivor_range() {
+        let skews = vec![-50, -10, 0, 10, 50, 9_000];
+        let m = fault_tolerant_midpoint(&skews, 1).unwrap();
+        assert!((-10..=50).contains(&m));
+    }
+
+    #[test]
+    fn skew_halves_each_round() {
+        let r = SyncRound::new(Duration::ZERO, 0, Duration::from_secs(1));
+        let s0 = Duration::from_micros(800);
+        let s1 = r.skew_after_round(s0);
+        assert_eq!(s1, Duration::from_micros(400));
+    }
+
+    #[test]
+    fn steady_state_is_fixed_point() {
+        let r = SyncRound::new(Duration::from_micros(10), 50_000, Duration::from_millis(500));
+        let gamma = r.steady_state_precision();
+        let next = r.skew_after_round(gamma);
+        // At the fixed point skew does not grow.
+        assert!(next <= gamma + Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn convergence_round_count_is_logarithmic() {
+        let r = SyncRound::new(Duration::from_micros(5), 10_000, Duration::from_millis(100));
+        let from_1ms = r.rounds_to_converge(Duration::from_millis(1));
+        let from_1s = r.rounds_to_converge(Duration::from_secs(1));
+        assert!(from_1ms > 0);
+        assert!(from_1s > from_1ms);
+        assert!(from_1s < 40, "log₂(1e9) ≈ 30 rounds at most, got {from_1s}");
+    }
+
+    #[test]
+    fn zero_initial_skew_needs_no_rounds() {
+        let r = SyncRound::new(Duration::from_micros(5), 10_000, Duration::from_millis(100));
+        assert_eq!(r.rounds_to_converge(Duration::ZERO), 0);
+    }
+}

@@ -1,0 +1,511 @@
+//! Integer nanosecond time points and durations.
+//!
+//! All of HADES runs on *ticks*: a tick is one nanosecond of virtual time.
+//! [`Time`] is an absolute point on the simulated timeline, [`Duration`] a
+//! non-negative span between two points. Both are thin newtypes over `u64`
+//! so that every arithmetic operation is exact; overflow panics in debug
+//! builds and is available explicitly through the `checked_*`/`saturating_*`
+//! families.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A non-negative span of virtual time, measured in nanosecond ticks.
+///
+/// # Examples
+///
+/// ```
+/// use hades_time::Duration;
+///
+/// let d = Duration::from_micros(3) + Duration::from_nanos(500);
+/// assert_eq!(d.as_nanos(), 3_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable span.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Creates a duration from raw nanosecond ticks.
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Duration(nanos)
+    }
+
+    /// Creates a duration from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the tick representation.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        Duration(micros * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the tick representation.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        Duration(millis * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the tick representation.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs * 1_000_000_000)
+    }
+
+    /// Returns the raw number of nanosecond ticks.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the whole number of microseconds in this span.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the whole number of milliseconds in this span.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns this span as (possibly fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns `true` if the span is zero ticks long.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub const fn checked_add(self, rhs: Duration) -> Option<Duration> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Duration(v)),
+            None => None,
+        }
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    #[inline]
+    pub const fn checked_sub(self, rhs: Duration) -> Option<Duration> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Duration(v)),
+            None => None,
+        }
+    }
+
+    /// Checked multiplication by a scalar; `None` on overflow.
+    #[inline]
+    pub const fn checked_mul(self, rhs: u64) -> Option<Duration> {
+        match self.0.checked_mul(rhs) {
+            Some(v) => Some(Duration(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub const fn saturating_add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating multiplication by a scalar.
+    #[inline]
+    pub const fn saturating_mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
+
+    /// Ceiling division: the least `k` such that `k * rhs >= self`.
+    ///
+    /// This is the `⌈t / p⌉` that appears throughout the feasibility tests
+    /// of the paper (Sections 4 and 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[inline]
+    pub const fn div_ceil(self, rhs: Duration) -> u64 {
+        assert!(rhs.0 != 0, "division by zero duration");
+        self.0.div_ceil(rhs.0)
+    }
+
+    /// Floor division: how many whole `rhs` fit in `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[inline]
+    pub const fn div_floor(self, rhs: Duration) -> u64 {
+        assert!(rhs.0 != 0, "division by zero duration");
+        self.0 / rhs.0
+    }
+
+    /// Returns the larger of two spans.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two spans.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Mul<Duration> for u64 {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: Duration) -> Duration {
+        Duration(self * rhs.0)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Rem<Duration> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn rem(self, rhs: Duration) -> Duration {
+        Duration(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.0;
+        if n == 0 {
+            write!(f, "0ns")
+        } else if n.is_multiple_of(1_000_000_000) {
+            write!(f, "{}s", n / 1_000_000_000)
+        } else if n.is_multiple_of(1_000_000) {
+            write!(f, "{}ms", n / 1_000_000)
+        } else if n.is_multiple_of(1_000) {
+            write!(f, "{}us", n / 1_000)
+        } else {
+            write!(f, "{n}ns")
+        }
+    }
+}
+
+/// An absolute point on the virtual timeline, measured in nanosecond ticks
+/// since the simulation origin.
+///
+/// # Examples
+///
+/// ```
+/// use hades_time::{Duration, Time};
+///
+/// let t = Time::ZERO + Duration::from_secs(1);
+/// assert!(t > Time::ZERO);
+/// assert_eq!(t.elapsed_since(Time::ZERO), Duration::from_secs(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The simulation origin.
+    pub const ZERO: Time = Time(0);
+    /// The farthest representable future; used as an "infinite" horizon.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time point from raw nanosecond ticks since the origin.
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Time(nanos)
+    }
+
+    /// Returns raw nanosecond ticks since the origin.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    #[inline]
+    pub fn elapsed_since(self, earlier: Time) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("elapsed_since: earlier is in the future"),
+        )
+    }
+
+    /// Checked point + span; `None` on overflow.
+    #[inline]
+    pub const fn checked_add(self, d: Duration) -> Option<Time> {
+        match self.0.checked_add(d.as_nanos()) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating point + span.
+    #[inline]
+    pub const fn saturating_add(self, d: Duration) -> Time {
+        Time(self.0.saturating_add(d.as_nanos()))
+    }
+
+    /// Checked point − span; `None` if the result would precede the origin.
+    #[inline]
+    pub const fn checked_sub(self, d: Duration) -> Option<Time> {
+        match self.0.checked_sub(d.as_nanos()) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating point − span (clamps at the origin).
+    #[inline]
+    pub const fn saturating_sub(self, d: Duration) -> Time {
+        Time(self.0.saturating_sub(d.as_nanos()))
+    }
+
+    /// The later of two points.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// The earlier of two points.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.as_nanos())
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_nanos();
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0 - rhs.as_nanos())
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", Duration(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_scale_correctly() {
+        assert_eq!(Duration::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(Duration::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(Duration::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Duration::from_secs(2).as_millis(), 2_000);
+        assert_eq!(Duration::from_millis(1500).as_micros(), 1_500_000);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = Duration::from_nanos(100);
+        let b = Duration::from_nanos(30);
+        assert_eq!(a + b, Duration::from_nanos(130));
+        assert_eq!(a - b, Duration::from_nanos(70));
+        assert_eq!(a * 3, Duration::from_nanos(300));
+        assert_eq!(3 * a, Duration::from_nanos(300));
+        assert_eq!(a / 4, Duration::from_nanos(25));
+        assert_eq!(a % b, Duration::from_nanos(10));
+    }
+
+    #[test]
+    fn duration_div_ceil_and_floor() {
+        let t = Duration::from_nanos(10);
+        let p = Duration::from_nanos(3);
+        assert_eq!(t.div_ceil(p), 4);
+        assert_eq!(t.div_floor(p), 3);
+        assert_eq!(Duration::from_nanos(9).div_ceil(p), 3);
+        assert_eq!(Duration::ZERO.div_ceil(p), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn duration_div_ceil_zero_panics() {
+        let _ = Duration::from_nanos(1).div_ceil(Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_checked_and_saturating() {
+        assert_eq!(Duration::MAX.checked_add(Duration::from_nanos(1)), None);
+        assert_eq!(
+            Duration::MAX.saturating_add(Duration::from_nanos(1)),
+            Duration::MAX
+        );
+        assert_eq!(Duration::ZERO.checked_sub(Duration::from_nanos(1)), None);
+        assert_eq!(
+            Duration::ZERO.saturating_sub(Duration::from_nanos(1)),
+            Duration::ZERO
+        );
+        assert_eq!(Duration::MAX.checked_mul(2), None);
+        assert_eq!(Duration::MAX.saturating_mul(2), Duration::MAX);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration = (1..=4).map(Duration::from_nanos).sum();
+        assert_eq!(total, Duration::from_nanos(10));
+    }
+
+    #[test]
+    fn duration_display_picks_best_unit() {
+        assert_eq!(Duration::ZERO.to_string(), "0ns");
+        assert_eq!(Duration::from_nanos(42).to_string(), "42ns");
+        assert_eq!(Duration::from_micros(42).to_string(), "42us");
+        assert_eq!(Duration::from_millis(42).to_string(), "42ms");
+        assert_eq!(Duration::from_secs(42).to_string(), "42s");
+        assert_eq!(Duration::from_nanos(1_000_500).to_string(), "1000500ns");
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::from_nanos(1_000);
+        assert_eq!(t + Duration::from_nanos(500), Time::from_nanos(1_500));
+        assert_eq!(t - Duration::from_nanos(500), Time::from_nanos(500));
+        assert_eq!(
+            Time::from_nanos(700) - Time::from_nanos(200),
+            Duration::from_nanos(500)
+        );
+        assert_eq!(
+            t.elapsed_since(Time::from_nanos(400)),
+            Duration::from_nanos(600)
+        );
+    }
+
+    #[test]
+    fn time_saturating_and_checked() {
+        assert_eq!(Time::MAX.checked_add(Duration::from_nanos(1)), None);
+        assert_eq!(Time::MAX.saturating_add(Duration::from_nanos(1)), Time::MAX);
+        assert_eq!(Time::ZERO.checked_sub(Duration::from_nanos(1)), None);
+        assert_eq!(
+            Time::ZERO.saturating_sub(Duration::from_nanos(1)),
+            Time::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "in the future")]
+    fn elapsed_since_panics_when_reversed() {
+        let _ = Time::ZERO.elapsed_since(Time::from_nanos(1));
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = Time::from_nanos(1);
+        let b = Time::from_nanos(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let x = Duration::from_nanos(1);
+        let y = Duration::from_nanos(2);
+        assert_eq!(x.max(y), y);
+        assert_eq!(x.min(y), x);
+    }
+}

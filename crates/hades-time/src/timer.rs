@@ -1,0 +1,214 @@
+//! Cancellable timer queue.
+//!
+//! The dispatcher and the simulation kernel both need to schedule work at
+//! absolute points in virtual time and, crucially, to *cancel* timers that a
+//! preemption or a fault made obsolete. [`TimerQueue`] is a binary-heap timer
+//! wheel with O(log n) arm/pop and O(1) logical cancellation (cancelled
+//! entries are skipped lazily on pop).
+
+use crate::ticks::Time;
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// Opaque handle identifying an armed timer; used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerHandle(u64);
+
+#[derive(Debug, PartialEq, Eq)]
+struct Entry<T> {
+    deadline: Time,
+    seq: u64,
+    payload: T,
+}
+
+impl<T: Eq> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Earliest deadline first; FIFO among equal deadlines.
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+impl<T: Eq> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A priority queue of timers ordered by absolute expiry time.
+///
+/// Ties expire in FIFO arming order, which makes simulation runs
+/// deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use hades_time::{Time, TimerQueue};
+///
+/// let mut q = TimerQueue::new();
+/// let a = q.arm(Time::from_nanos(30), "late");
+/// let _b = q.arm(Time::from_nanos(10), "early");
+/// q.cancel(a);
+/// let (t, v) = q.pop_expired(Time::from_nanos(50)).unwrap();
+/// assert_eq!((t, v), (Time::from_nanos(10), "early"));
+/// assert!(q.pop_expired(Time::from_nanos(50)).is_none());
+/// ```
+#[derive(Debug)]
+pub struct TimerQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    cancelled: std::collections::HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<T: Eq> TimerQueue<T> {
+    /// Creates an empty timer queue.
+    pub fn new() -> Self {
+        TimerQueue {
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Arms a timer expiring at `deadline` carrying `payload`.
+    pub fn arm(&mut self, deadline: Time, payload: T) -> TimerHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            deadline,
+            seq,
+            payload,
+        }));
+        TimerHandle(seq)
+    }
+
+    /// Cancels an armed timer. Cancelling an already-fired or unknown handle
+    /// is a no-op.
+    pub fn cancel(&mut self, handle: TimerHandle) {
+        self.cancelled.insert(handle.0);
+    }
+
+    /// Expiry time of the earliest live timer, if any.
+    pub fn peek_deadline(&mut self) -> Option<Time> {
+        self.skip_cancelled();
+        self.heap.peek().map(|Reverse(e)| e.deadline)
+    }
+
+    /// Pops the earliest timer whose deadline is `<= now`, skipping
+    /// cancelled entries. Returns the deadline and payload.
+    pub fn pop_expired(&mut self, now: Time) -> Option<(Time, T)> {
+        self.skip_cancelled();
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.deadline <= now => {
+                let Reverse(e) = self.heap.pop().expect("peeked entry exists");
+                Some((e.deadline, e.payload))
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of live (non-cancelled) timers.
+    pub fn len(&self) -> usize {
+        self.heap
+            .iter()
+            .filter(|Reverse(e)| !self.cancelled.contains(&e.seq))
+            .count()
+    }
+
+    /// Whether no live timer is armed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(Reverse(e)) = self.heap.peek() {
+            if self.cancelled.remove(&e.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<T: Eq> Default for TimerQueue<T> {
+    fn default() -> Self {
+        TimerQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_deadline_order() {
+        let mut q = TimerQueue::new();
+        q.arm(Time::from_nanos(30), 3);
+        q.arm(Time::from_nanos(10), 1);
+        q.arm(Time::from_nanos(20), 2);
+        let now = Time::from_nanos(100);
+        assert_eq!(q.pop_expired(now), Some((Time::from_nanos(10), 1)));
+        assert_eq!(q.pop_expired(now), Some((Time::from_nanos(20), 2)));
+        assert_eq!(q.pop_expired(now), Some((Time::from_nanos(30), 3)));
+        assert_eq!(q.pop_expired(now), None);
+    }
+
+    #[test]
+    fn equal_deadlines_fire_fifo() {
+        let mut q = TimerQueue::new();
+        let t = Time::from_nanos(5);
+        q.arm(t, "first");
+        q.arm(t, "second");
+        assert_eq!(q.pop_expired(t).unwrap().1, "first");
+        assert_eq!(q.pop_expired(t).unwrap().1, "second");
+    }
+
+    #[test]
+    fn does_not_pop_future_timers() {
+        let mut q = TimerQueue::new();
+        q.arm(Time::from_nanos(100), ());
+        assert_eq!(q.pop_expired(Time::from_nanos(99)), None);
+        assert_eq!(q.peek_deadline(), Some(Time::from_nanos(100)));
+        assert_eq!(
+            q.pop_expired(Time::from_nanos(100)),
+            Some((Time::from_nanos(100), ()))
+        );
+    }
+
+    #[test]
+    fn cancellation_skips_entry() {
+        let mut q = TimerQueue::new();
+        let h = q.arm(Time::from_nanos(1), "dead");
+        q.arm(Time::from_nanos(2), "live");
+        q.cancel(h);
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            q.pop_expired(Time::from_nanos(10)),
+            Some((Time::from_nanos(2), "live"))
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_noop() {
+        let mut q: TimerQueue<()> = TimerQueue::new();
+        q.cancel(TimerHandle(999));
+        assert!(q.is_empty());
+        assert_eq!(q.peek_deadline(), None);
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = TimerQueue::new();
+        let h = q.arm(Time::from_nanos(1), 1);
+        q.arm(Time::from_nanos(5), 2);
+        q.cancel(h);
+        assert_eq!(q.peek_deadline(), Some(Time::from_nanos(5)));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: TimerQueue<u8> = TimerQueue::default();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Cross-crate distributed scenarios: multi-node HEUGs over the faulty
+//! network, service composition, and end-to-end determinism.
+
+use hades::prelude::*;
+use hades_services::{
+    BroadcastSim, ConsensusConfig, DetectorConfig, FloodConsensus, HeartbeatDetector,
+    P2pConfig, ReliableP2p,
+};
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// A three-stage pipeline spanning three nodes.
+fn pipeline_task() -> Task {
+    let mut b = HeugBuilder::new("pipeline");
+    let s0 = b.code_eu(CodeEu::new("acquire", us(100), ProcessorId(0)));
+    let s1 = b.code_eu(CodeEu::new("process", us(200), ProcessorId(1)));
+    let s2 = b.code_eu(CodeEu::new("deliver", us(100), ProcessorId(2)));
+    b.precede_with(s0, s1, 256).precede_with(s1, s2, 64);
+    Task::new(TaskId(0), b.build().unwrap(), ArrivalLaw::Periodic(ms(2)), ms(2))
+}
+
+#[test]
+fn three_node_pipeline_meets_deadlines() {
+    let report = HadesNode::new()
+        .task(pipeline_task())
+        .link(LinkConfig::reliable(us(20), us(80)))
+        .costs(CostModel::measured_default())
+        .kernel(KernelModel::chorus_like())
+        .horizon(ms(40))
+        .seed(3)
+        .run()
+        .unwrap();
+    assert!(report.all_deadlines_met(), "{} misses", report.misses());
+    assert_eq!(report.monitor.network_omissions(), 0);
+    // Every instance traverses two remote hops: response ≥ 400 µs compute
+    // + 40 µs minimum network.
+    let worst = report.worst_response_times()[&TaskId(0)];
+    assert!(worst >= us(440));
+    assert!(worst <= ms(2));
+}
+
+#[test]
+fn pipeline_survives_transient_link_cut_with_detection() {
+    // The 0→1 link is cut during [3 ms, 5 ms]: instances launched in the
+    // window lose their remote precedence and are reaped; instances
+    // outside complete.
+    let plan = FaultPlan::new().cut_link(NodeId(0), NodeId(1), Time::ZERO + ms(3), Time::ZERO + ms(5));
+    let net = Network::homogeneous(3, LinkConfig::reliable(us(20), us(80)), SimRng::seed_from(5))
+        .with_fault_plan(plan);
+    let report = HadesNode::new()
+        .task(pipeline_task())
+        .network(net)
+        .horizon(ms(20))
+        .run()
+        .unwrap();
+    assert!(report.monitor.network_omissions() >= 1);
+    assert!(report.misses() >= 1, "cut-window instances cannot complete");
+    // Instances after the window complete again.
+    let completed_late = report
+        .instances
+        .iter()
+        .filter(|i| i.activated >= Time::ZERO + ms(6) && i.completed.is_some())
+        .count();
+    assert!(completed_late >= 5, "recovery after the window");
+}
+
+#[test]
+fn end_to_end_determinism_across_reruns() {
+    let run = || {
+        HadesNode::new()
+            .task(pipeline_task())
+            .link(
+                LinkConfig::reliable(us(20), us(80))
+                    .with_omissions(50)
+                    .with_performance_failures(30, us(200)),
+            )
+            .costs(CostModel::measured_default())
+            .kernel(KernelModel::chorus_like())
+            .configure(|c| {
+                c.exec = ExecTimeModel::UniformFraction {
+                    min_permille: 600,
+                    max_permille: 1000,
+                }
+            })
+            .horizon(ms(30))
+            .seed(1234)
+            .run()
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.instances, b.instances);
+    assert_eq!(a.monitor.events(), b.monitor.events());
+    assert_eq!(a.kernel_cpu, b.kernel_cpu);
+    assert_eq!(a.finished_at, b.finished_at);
+}
+
+#[test]
+fn detector_feeds_consensus_based_reconfiguration() {
+    // Crash node 2 at 4 ms; the detector must flag it before the group
+    // reconfigures by consensus on the surviving membership.
+    let link = LinkConfig::reliable(us(10), us(40));
+    let plan = FaultPlan::new().crash_at(NodeId(2), Time::ZERO + ms(4));
+    let det = HeartbeatDetector::new(DetectorConfig {
+        heartbeat_period: ms(1),
+        clock_precision: us(20),
+        horizon: ms(15),
+    })
+    .observe(Network::homogeneous(4, link, SimRng::seed_from(8)).with_fault_plan(plan.clone()));
+    assert!(det.is_perfect());
+    let suspected_at = det.suspected_at[&2];
+
+    // Proposals encode each node's view (bitmask of live members);
+    // consensus starts after suspicion.
+    let outcome = FloodConsensus::new(ConsensusConfig {
+        f: 1,
+        proposals: vec![0b1011, 0b1011, 0b1111, 0b1011],
+        start: suspected_at,
+    })
+    .execute(Network::homogeneous(4, link, SimRng::seed_from(9)).with_fault_plan(plan));
+    assert!(outcome.agreement_holds());
+    assert_eq!(outcome.decided_value(), Some(0b1011), "crashed member excluded");
+    assert!(!outcome.decisions.contains_key(&2));
+}
+
+#[test]
+fn reliable_p2p_composes_with_broadcast_bounds() {
+    let link = LinkConfig::reliable(us(10), us(40)).with_omissions(200);
+    let mut net = Network::homogeneous(4, link, SimRng::seed_from(10));
+    let p2p = ReliableP2p::new(P2pConfig::for_network(&net, 6));
+    let mut worst = Duration::ZERO;
+    for i in 0..50 {
+        let t = Time::ZERO + ms(i);
+        if let hades_services::P2pOutcome::Delivered { delivered_at, .. } =
+            p2p.send(&mut net, NodeId(0), NodeId(1), t)
+        {
+            worst = worst.max(delivered_at - t);
+        } else {
+            panic!("six attempts at 20% loss should always deliver");
+        }
+    }
+    let cfg = P2pConfig::for_network(&net, 6);
+    assert!(worst <= cfg.detection_bound(), "worst {worst} within bound");
+
+    // Diffusion broadcast over the same lossy fabric still reaches all.
+    let out = BroadcastSim::new(
+        Network::homogeneous(4, link, SimRng::seed_from(11)),
+        1,
+    )
+    .broadcast(NodeId(0), Time::ZERO);
+    assert!(out.agreement_holds());
+    assert!(out.missed.is_empty());
+}
