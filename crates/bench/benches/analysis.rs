@@ -39,13 +39,17 @@ fn bench_edf_demand(c: &mut Criterion) {
             let cfg = EdfAnalysisConfig::naive();
             b.iter(|| black_box(edf_feasible(tasks, &cfg)));
         });
-        g.bench_with_input(BenchmarkId::new("cost_integrated", n), &tasks, |b, tasks| {
-            let cfg = EdfAnalysisConfig::with_platform(
-                CostModel::measured_default(),
-                KernelModel::chorus_like(),
-            );
-            b.iter(|| black_box(edf_feasible(tasks, &cfg)));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("cost_integrated", n),
+            &tasks,
+            |b, tasks| {
+                let cfg = EdfAnalysisConfig::with_platform(
+                    CostModel::measured_default(),
+                    KernelModel::chorus_like(),
+                );
+                b.iter(|| black_box(edf_feasible(tasks, &cfg)));
+            },
+        );
     }
     g.finish();
 }

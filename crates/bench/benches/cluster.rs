@@ -1,0 +1,54 @@
+//! Host-side throughput of the integrated cluster runtime: wall-clock
+//! cost of a full crash→detect→view-change→failover run as the cluster
+//! grows, and of a healthy run for the steady-state baseline.
+
+use bench::cluster::failover_scenario;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hades_cluster::HadesCluster;
+use hades_time::Duration;
+use std::hint::black_box;
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+fn bench_failover_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_failover_run");
+    g.sample_size(10);
+    for nodes in [3u32, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                black_box(
+                    failover_scenario(nodes, 1, ms(40))
+                        .run()
+                        .expect("valid cluster"),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_healthy_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_healthy_run");
+    g.sample_size(10);
+    for nodes in [4u32, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let mut cluster = HadesCluster::new(nodes).horizon(ms(40)).seed(2);
+                for node in 0..nodes {
+                    cluster = cluster.periodic_app(node, "app", us(100), ms(2));
+                }
+                black_box(cluster.run().expect("valid cluster"))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_failover_run, bench_healthy_run);
+criterion_main!(benches);

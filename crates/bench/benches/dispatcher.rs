@@ -56,8 +56,7 @@ fn bench_heug(c: &mut Criterion) {
                 let mut bld = HeugBuilder::new("bench");
                 let mut prev = None;
                 for i in 0..n {
-                    let eu =
-                        bld.code_eu(CodeEu::new(format!("eu{i}"), us(10), ProcessorId(0)));
+                    let eu = bld.code_eu(CodeEu::new(format!("eu{i}"), us(10), ProcessorId(0)));
                     if let Some(p) = prev {
                         bld.precede(p, eu);
                     }
@@ -91,12 +90,7 @@ fn bench_engine(c: &mut Criterion) {
                 struct Nop;
                 impl hades_sim::Simulation for Nop {
                     type Event = u64;
-                    fn handle(
-                        &mut self,
-                        _now: Time,
-                        ev: u64,
-                        _s: &mut hades_sim::Scheduler<u64>,
-                    ) {
+                    fn handle(&mut self, _now: Time, ev: u64, _s: &mut hades_sim::Scheduler<u64>) {
                         black_box(ev);
                     }
                 }

@@ -64,23 +64,27 @@ fn bench_broadcast(c: &mut Criterion) {
 fn bench_consensus(c: &mut Criterion) {
     let mut g = c.benchmark_group("consensus");
     for nodes in [4u32, 10] {
-        g.bench_with_input(BenchmarkId::new("floodset_f1", nodes), &nodes, |b, &nodes| {
-            b.iter(|| {
-                let net = Network::homogeneous(
-                    nodes,
-                    LinkConfig::reliable(us(5), us(20)),
-                    SimRng::seed_from(1),
-                );
-                black_box(
-                    FloodConsensus::new(ConsensusConfig {
-                        f: 1,
-                        proposals: (0..nodes as u64).collect(),
-                        start: Time::ZERO,
-                    })
-                    .execute(net),
-                )
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("floodset_f1", nodes),
+            &nodes,
+            |b, &nodes| {
+                b.iter(|| {
+                    let net = Network::homogeneous(
+                        nodes,
+                        LinkConfig::reliable(us(5), us(20)),
+                        SimRng::seed_from(1),
+                    );
+                    black_box(
+                        FloodConsensus::new(ConsensusConfig {
+                            f: 1,
+                            proposals: (0..nodes as u64).collect(),
+                            start: Time::ZERO,
+                        })
+                        .execute(net),
+                    )
+                });
+            },
+        );
     }
     g.finish();
 }

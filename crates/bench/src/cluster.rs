@@ -1,0 +1,109 @@
+//! Cluster-level experiments on the integrated multi-node runtime:
+//! end-to-end failover behaviour and the middleware overhead / failover
+//! latency trend as the cluster grows.
+
+use hades_cluster::{HadesCluster, ScenarioPlan};
+use hades_dispatch::CostModel;
+use hades_sched::Policy;
+use hades_sim::NodeId;
+use hades_time::{Duration, Time};
+use std::fmt::Write;
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// A standard failover scenario: `nodes` nodes under EDF with measured
+/// costs, two app tasks per node, primary killed mid-run.
+pub fn failover_scenario(nodes: u32, seed: u64, horizon: Duration) -> HadesCluster {
+    let mut cluster = HadesCluster::new(nodes)
+        .policy(Policy::Edf)
+        .costs(CostModel::measured_default())
+        .horizon(horizon)
+        .seed(seed)
+        .scenario(ScenarioPlan::new().crash(NodeId(0), Time::ZERO + ms(20)));
+    for node in 0..nodes {
+        cluster = cluster
+            .periodic_app(node, "control", us(200), ms(2))
+            .periodic_app(node, "logging", us(500), ms(10));
+    }
+    cluster
+}
+
+/// The end-to-end failover experiment: one annotated 4-node run.
+pub fn cluster_failover() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Cluster failover (4 nodes, EDF + measured costs, primary killed at 20 ms)\n"
+    );
+    let cluster = failover_scenario(4, 42, ms(60));
+    let bound = cluster.detection_bound();
+    let report = cluster.run().expect("valid cluster");
+    out.push_str(&report.summary());
+    let _ = writeln!(out, "  detection bound: {bound}");
+    let _ = writeln!(
+        out,
+        "  bounds held: detection={} views_agree={} app_deadlines={}",
+        report.detection_within_bound(),
+        report.views_agree,
+        report.all_app_deadlines_met()
+    );
+    out
+}
+
+/// Failover latency and per-node middleware/dispatcher overhead vs.
+/// cluster size.
+pub fn cluster_scaling() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Cluster scaling (failover + overhead vs size)\n");
+    let _ = writeln!(
+        out,
+        "{:>5} {:>14} {:>14} {:>16} {:>14} {:>12}",
+        "nodes", "detect_worst", "failover", "sched_cpu/node", "net_msgs", "hb_seen"
+    );
+    for nodes in [3u32, 4, 6, 8, 12, 16] {
+        let report = failover_scenario(nodes, 7, ms(60))
+            .run()
+            .expect("valid cluster");
+        assert!(report.views_agree, "agreement must hold at size {nodes}");
+        let _ = writeln!(
+            out,
+            "{:>5} {:>14} {:>14} {:>16} {:>14} {:>12}",
+            nodes,
+            report
+                .worst_detection_latency()
+                .map_or_else(|| "-".into(), |d| d.to_string()),
+            report
+                .worst_failover_latency()
+                .map_or_else(|| "-".into(), |d| d.to_string()),
+            (report.scheduler_cpu / nodes as u64).to_string(),
+            report.network.sent,
+            report.heartbeats_seen,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failover_experiment_reports_bounds_held() {
+        let out = cluster_failover();
+        assert!(out.contains("bounds held: detection=true views_agree=true app_deadlines=true"));
+    }
+
+    #[test]
+    fn scaling_covers_3_to_16_nodes() {
+        let out = cluster_scaling();
+        for nodes in ["    3", "    4", "   16"] {
+            assert!(out.contains(nodes), "missing row {nodes:?}:\n{out}");
+        }
+    }
+}

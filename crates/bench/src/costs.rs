@@ -19,7 +19,11 @@ fn us(n: u64) -> Duration {
     Duration::from_micros(n)
 }
 
-fn single_run(tasks: Vec<Task>, costs: CostModel, activations: &[(TaskId, Time)]) -> hades_dispatch::RunReport {
+fn single_run(
+    tasks: Vec<Task>,
+    costs: CostModel,
+    activations: &[(TaskId, Time)],
+) -> hades_dispatch::RunReport {
     let set = TaskSet::new(tasks).expect("valid set");
     let mut cfg = SimConfig::ideal(Duration::from_millis(5));
     cfg.costs = costs;
@@ -75,11 +79,16 @@ pub fn dispatcher_cost_table() -> String {
     let a = b.code_eu(CodeEu::new("a", us(100), ProcessorId(0)));
     let c = b.code_eu(CodeEu::new("b", us(100), ProcessorId(0)));
     b.precede(a, c);
-    let t = Task::new(TaskId(0), b.build().expect("valid"), ArrivalLaw::Aperiodic, us(2_000));
+    let t = Task::new(
+        TaskId(0),
+        b.build().expect("valid"),
+        ArrivalLaw::Aperiodic,
+        us(2_000),
+    );
     let r = single_run(vec![t], costs, &[(TaskId(0), Time::ZERO)]);
     let chain_overhead = r.worst_response_times()[&TaskId(0)] - us(200);
-    let loc_prec_observed = chain_overhead
-        - (costs.act_start + costs.act_end + costs.ctx_switch).saturating_mul(2);
+    let loc_prec_observed =
+        chain_overhead - (costs.act_start + costs.act_end + costs.ctx_switch).saturating_mul(2);
     row("loc_prec", costs.loc_prec, loc_prec_observed);
 
     // C_rem_prec: remote edge on a zero-delay link.
@@ -87,7 +96,12 @@ pub fn dispatcher_cost_table() -> String {
     let a = b.code_eu(CodeEu::new("a", us(100), ProcessorId(0)));
     let c = b.code_eu(CodeEu::new("b", us(100), ProcessorId(1)));
     b.precede(a, c);
-    let t = Task::new(TaskId(0), b.build().expect("valid"), ArrivalLaw::Aperiodic, us(2_000));
+    let t = Task::new(
+        TaskId(0),
+        b.build().expect("valid"),
+        ArrivalLaw::Aperiodic,
+        us(2_000),
+    );
     let set = TaskSet::new(vec![t]).expect("valid");
     let mut cfg = SimConfig::ideal(Duration::from_millis(5));
     cfg.costs = costs;
@@ -110,14 +124,23 @@ pub fn dispatcher_cost_table() -> String {
     );
     let mut b = HeugBuilder::new("caller");
     b.inv_eu(InvEu::sync("call", TaskId(1), ProcessorId(0)));
-    let caller = Task::new(TaskId(0), b.build().expect("valid"), ArrivalLaw::Aperiodic, us(2_000));
+    let caller = Task::new(
+        TaskId(0),
+        b.build().expect("valid"),
+        ArrivalLaw::Aperiodic,
+        us(2_000),
+    );
     let r = single_run(vec![caller, callee], costs, &[(TaskId(0), Time::ZERO)]);
     // Caller response = inv_start + (callee: ctx+start+100+end) + inv_end
     // + 2 ctx for the inv thread's two dispatches.
     let caller_rt = r.worst_response_times()[&TaskId(0)];
     let callee_cost = us(100) + costs.act_start + costs.act_end + costs.ctx_switch;
     let inv_observed = caller_rt - callee_cost - costs.ctx_switch.saturating_mul(2);
-    row("inv_start+end", costs.inv_start + costs.inv_end, inv_observed);
+    row(
+        "inv_start+end",
+        costs.inv_start + costs.inv_end,
+        inv_observed,
+    );
 
     // sched_notif: EDF scheduler charged per notification.
     let t = Task::new(

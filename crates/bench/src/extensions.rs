@@ -21,12 +21,22 @@ fn us(n: u64) -> Duration {
 /// overhead source removed in turn.
 pub fn cost_ablation() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "EXT-A — overhead-component ablation (acceptance at 80% load)");
-    let _ = writeln!(out, "=============================================================");
+    let _ = writeln!(
+        out,
+        "EXT-A — overhead-component ablation (acceptance at 80% load)"
+    );
+    let _ = writeln!(
+        out,
+        "============================================================="
+    );
     let _ = writeln!(out, "{:<22} {:>12}", "configuration", "acceptance");
     let full = CostModel::measured_default();
     let variants: Vec<(&str, CostModel, KernelModel)> = vec![
-        ("naive (no overheads)", CostModel::zero(), KernelModel::none()),
+        (
+            "naive (no overheads)",
+            CostModel::zero(),
+            KernelModel::none(),
+        ),
         ("full platform", full, KernelModel::chorus_like()),
         ("no kernel IRQs", full, KernelModel::none()),
         (
@@ -150,10 +160,8 @@ pub fn mode_change_table() -> String {
         "{:>12} {:>10} {:>11} {:>12}",
         "carry-over", "steady ok", "immediate", "safe offset"
     );
-    let cfg = EdfAnalysisConfig::with_platform(
-        CostModel::measured_default(),
-        KernelModel::chorus_like(),
-    );
+    let cfg =
+        EdfAnalysisConfig::with_platform(CostModel::measured_default(), KernelModel::chorus_like());
     let new_mode = vec![
         SpuriTask::independent(TaskId(10), "recover", us(3_000), us(5_000), us(5_000)),
         SpuriTask::independent(TaskId(11), "monitor", us(200), us(2_000), us(2_000)),
@@ -171,8 +179,16 @@ pub fn mode_change_table() -> String {
             out,
             "{:>12} {:>10} {:>11} {:>12}",
             report.carryover.to_string(),
-            if report.steady_state.feasible { "yes" } else { "no" },
-            if report.immediate_feasible { "yes" } else { "no" },
+            if report.steady_state.feasible {
+                "yes"
+            } else {
+                "no"
+            },
+            if report.immediate_feasible {
+                "yes"
+            } else {
+                "no"
+            },
             if report.safe_offset == Duration::MAX {
                 String::from("n/a")
             } else {
@@ -191,8 +207,14 @@ pub fn mode_change_table() -> String {
 /// Response-time distributions, RM vs EDF on the same periodic set.
 pub fn latency_distribution() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "EXT-D — response-time distribution, RM vs EDF (same set)");
-    let _ = writeln!(out, "========================================================");
+    let _ = writeln!(
+        out,
+        "EXT-D — response-time distribution, RM vs EDF (same set)"
+    );
+    let _ = writeln!(
+        out,
+        "========================================================"
+    );
     // U ≈ 0.93: above the RM utilisation region, below EDF's U = 1 bound.
     let build = || -> Vec<Task> {
         vec![

@@ -62,8 +62,14 @@ pub fn fig1_architecture() -> String {
 /// swap, preemption, resumption.
 pub fn fig2_edf_cooperation() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "E2 / Figure 2 — scheduler/dispatcher cooperation (EDF)");
-    let _ = writeln!(out, "======================================================");
+    let _ = writeln!(
+        out,
+        "E2 / Figure 2 — scheduler/dispatcher cooperation (EDF)"
+    );
+    let _ = writeln!(
+        out,
+        "======================================================"
+    );
     let t1 = Task::new(
         TaskId(1),
         Heug::single(CodeEu::new("t1", us(400), ProcessorId(0))).expect("valid"),
@@ -149,7 +155,11 @@ pub fn fig3_spuri_translation() -> String {
             .deadline
             .map(|d| format!(" D={d}"))
             .unwrap_or_default();
-        let _ = writeln!(out, "  eu{i}: {} w={}{res}{latest}{dl}", code.name, code.wcet);
+        let _ = writeln!(
+            out,
+            "  eu{i}: {} w={}{res}{latest}{dl}",
+            code.name, code.wcet
+        );
     }
     let _ = writeln!(
         out,
@@ -187,7 +197,12 @@ pub fn monitoring_coverage() -> String {
     };
 
     let miss = run_single(us(900), us(500), &|_| {});
-    let _ = writeln!(out, "{:<28} {:>9}", "deadline miss", miss.monitor.deadline_misses());
+    let _ = writeln!(
+        out,
+        "{:<28} {:>9}",
+        "deadline miss",
+        miss.monitor.deadline_misses()
+    );
 
     let early = run_single(us(100), us(500), &|c| {
         c.exec = hades_dispatch::ExecTimeModel::FractionPermille(500)
@@ -202,7 +217,12 @@ pub fn monitoring_coverage() -> String {
     let orphan = run_single(us(900), us(500), &|c| {
         c.miss_policy = MissPolicy::AbortInstance
     });
-    let _ = writeln!(out, "{:<28} {:>9}", "orphan (abort reap)", orphan.monitor.orphans());
+    let _ = writeln!(
+        out,
+        "{:<28} {:>9}",
+        "orphan (abort reap)",
+        orphan.monitor.orphans()
+    );
 
     // Arrival-law violation.
     let t = Task::new(
@@ -230,7 +250,12 @@ pub fn monitoring_coverage() -> String {
     let a = b.code_eu(CodeEu::new("send", us(10), ProcessorId(0)));
     let c2 = b.code_eu(CodeEu::new("recv", us(10), ProcessorId(1)));
     b.precede(a, c2);
-    let t = Task::new(TaskId(0), b.build().expect("valid"), ArrivalLaw::Aperiodic, ms(2));
+    let t = Task::new(
+        TaskId(0),
+        b.build().expect("valid"),
+        ArrivalLaw::Aperiodic,
+        ms(2),
+    );
     let set = TaskSet::new(vec![t]).expect("valid");
     let mut cfg = SimConfig::ideal(ms(3));
     cfg.auto_activate = false;
@@ -260,6 +285,11 @@ pub fn monitoring_coverage() -> String {
     let mut sim = hades_dispatch::DispatchSim::new(set, cfg);
     sim.activate_at(TaskId(0), Time::ZERO);
     let stall = sim.run();
-    let _ = writeln!(out, "{:<28} {:>9}", "deadlock/stall", stall.monitor.stalls());
+    let _ = writeln!(
+        out,
+        "{:<28} {:>9}",
+        "deadlock/stall",
+        stall.monitor.stalls()
+    );
     out
 }

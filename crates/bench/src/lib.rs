@@ -5,6 +5,7 @@
 //! `experiments` binary, the integration tests and `EXPERIMENTS.md` all
 //! draw from the same code.
 
+pub mod cluster;
 pub mod costs;
 pub mod extensions;
 pub mod figures;
@@ -33,6 +34,8 @@ pub fn run_experiment(name: &str) -> Option<String> {
         "overload" => extensions::spring_overload(),
         "modes" => extensions::mode_change_table(),
         "latency" => extensions::latency_distribution(),
+        "cluster" => cluster::cluster_failover(),
+        "cluster_scaling" => cluster::cluster_scaling(),
         _ => return None,
     })
 }
@@ -57,6 +60,8 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "overload",
     "modes",
     "latency",
+    "cluster",
+    "cluster_scaling",
 ];
 
 #[cfg(test)]

@@ -147,9 +147,7 @@ pub fn rm_vs_edf_schedulability() -> String {
             let mut spuri_tasks: Vec<SpuriTask> = Vec::new();
             for (i, u) in utils.iter().enumerate() {
                 let period = us(rng.range_inclusive(1_000, 50_000));
-                let c = Duration::from_nanos(
-                    ((period.as_nanos() as f64) * u).max(1000.0) as u64,
-                );
+                let c = Duration::from_nanos(((period.as_nanos() as f64) * u).max(1000.0) as u64);
                 rta_tasks.push(RtaTask {
                     c,
                     period,

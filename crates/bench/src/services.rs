@@ -1,9 +1,7 @@
 //! E8–E10: service experiments — clock sync precision, broadcast latency,
 //! replication style comparison.
 
-use hades_services::{
-    BroadcastSim, ClockSyncConfig, ClockSyncRun, ReplicaStyle, ReplicationSim,
-};
+use hades_services::{BroadcastSim, ClockSyncConfig, ClockSyncRun, ReplicaStyle, ReplicationSim};
 use hades_sim::{FaultPlan, LinkConfig, Network, NodeId, SimRng};
 use hades_time::{Duration, Time};
 use std::fmt::Write;
@@ -120,16 +118,15 @@ pub fn replication_comparison() -> String {
     let styles = [
         ReplicaStyle::Active,
         ReplicaStyle::SemiActive,
-        ReplicaStyle::Passive { checkpoint_every: 4 },
+        ReplicaStyle::Passive {
+            checkpoint_every: 4,
+        },
     ];
     for style in styles {
         let plan = FaultPlan::new().crash_at(NodeId(0), Time::ZERO + ms(10));
-        let net = Network::homogeneous(
-            3,
-            LinkConfig::reliable(us(5), us(20)),
-            SimRng::seed_from(1),
-        )
-        .with_fault_plan(plan);
+        let net =
+            Network::homogeneous(3, LinkConfig::reliable(us(5), us(20)), SimRng::seed_from(1))
+                .with_fault_plan(plan);
         let outc = ReplicationSim::new(style, 30, ms(1)).execute(net);
         let _ = writeln!(
             out,

@@ -65,8 +65,14 @@ pub fn feasibility_acceptance_sweep() -> String {
     let aware_cfg = EdfAnalysisConfig::with_platform(costs, kernel);
     let naive_cfg = EdfAnalysisConfig::naive();
     let trials = 200u64;
-    let _ = writeln!(out, "E6 / Section 5.3 — acceptance ratio vs raw utilisation");
-    let _ = writeln!(out, "======================================================");
+    let _ = writeln!(
+        out,
+        "E6 / Section 5.3 — acceptance ratio vs raw utilisation"
+    );
+    let _ = writeln!(
+        out,
+        "======================================================"
+    );
     let _ = writeln!(
         out,
         "{:>6} {:>8} {:>12} {:>12}",
@@ -109,8 +115,14 @@ pub fn validation_miss_rates() -> String {
     let kernel = KernelModel::chorus_like();
     let aware_cfg = EdfAnalysisConfig::with_platform(costs, kernel);
     let naive_cfg = EdfAnalysisConfig::naive();
-    let _ = writeln!(out, "E7 — execution of accepted sets on the costed platform");
-    let _ = writeln!(out, "=======================================================");
+    let _ = writeln!(
+        out,
+        "E7 — execution of accepted sets on the costed platform"
+    );
+    let _ = writeln!(
+        out,
+        "======================================================="
+    );
     let _ = writeln!(
         out,
         "{:<12} {:>9} {:>11} {:>12} {:>12}",

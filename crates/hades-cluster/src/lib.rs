@@ -1,0 +1,827 @@
+//! # hades-cluster — the integrated multi-node HADES runtime
+//!
+//! The paper's deployment model puts the application scheduling policy
+//! *and* the generic robustness services together on every node, with
+//! every middleware activity's cost folded into the feasibility test.
+//! This crate is that composition: a [`HadesCluster`] builder instantiates
+//! N per-node stacks — dispatcher + scheduling policy + heartbeat
+//! detector + membership + replication management + clock-sync cost —
+//! all driven by **one** shared `hades-sim` engine and one shared
+//! [`hades_sim::Network`]:
+//!
+//! * application tasks execute under the chosen [`Policy`] on the
+//!   multi-node [`hades_dispatch::DispatchSim`];
+//! * middleware activities are injected as cost-charged periodic HEUG
+//!   tasks ([`MiddlewareConfig`]), so the Section 5 analyses of
+//!   `hades-sched` account for them (pillar 2 of the paper);
+//! * the protocol side of the same services runs as per-node
+//!   [`hades_services::NodeAgent`] actors hosted by the dispatcher's
+//!   engine through the `hades-sim` mux layer, sharing the network — and
+//!   therefore the fault script — with dispatcher traffic;
+//! * a [`ScenarioPlan`] scripts node crashes and link partitions, and the
+//!   run produces a [`ClusterReport`]: per-node deadline statistics and
+//!   schedulability, detection latencies against the analytic bound, the
+//!   agreed view history and primary failover times.
+//!
+//! # Examples
+//!
+//! A 4-node cluster under EDF with measured dispatcher costs; the primary
+//! (node 0) crashes mid-run, is detected within the bound, a view change
+//! is agreed and the passive replica on node 1 takes over:
+//!
+//! ```
+//! use hades_cluster::{HadesCluster, ScenarioPlan};
+//! use hades_dispatch::CostModel;
+//! use hades_sched::Policy;
+//! use hades_sim::NodeId;
+//! use hades_time::{Duration, Time};
+//!
+//! let crash = Time::ZERO + Duration::from_millis(50);
+//! let mut cluster = HadesCluster::new(4)
+//!     .policy(Policy::Edf)
+//!     .costs(CostModel::measured_default())
+//!     .horizon(Duration::from_millis(100))
+//!     .scenario(ScenarioPlan::new().crash(NodeId(0), crash));
+//! for node in 0..4 {
+//!     cluster = cluster.periodic_app(
+//!         node,
+//!         "control",
+//!         Duration::from_micros(200),
+//!         Duration::from_millis(2),
+//!     );
+//! }
+//! let report = cluster.run()?;
+//! assert!(report.detection_within_bound());
+//! assert!(report.views_agree);
+//! assert_eq!(report.failovers[0].new_primary, 1);
+//! # Ok::<(), hades_cluster::ClusterError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod middleware;
+pub mod report;
+pub mod scenario;
+
+pub use middleware::{MiddlewareConfig, MIDDLEWARE_TASKS_PER_NODE, MIDDLEWARE_TASK_BASE};
+pub use report::{ClusterReport, DetectionRecord, FailoverRecord, NodeFeasibility, NodeReport};
+pub use scenario::{Partition, ScenarioPlan};
+
+use hades_dispatch::{CostModel, DispatchSim, SimConfig};
+use hades_sched::analysis::rta::{rta_feasible, RtaTask};
+use hades_sched::{edf_feasible, EdfAnalysisConfig, EdfPolicy, Policy};
+use hades_services::actors::{AgentConfig, AgentLog, NodeAgent};
+use hades_services::membership::View;
+use hades_sim::{KernelModel, LinkConfig, Network, NodeId, SimRng};
+use hades_task::spuri::SpuriTask;
+use hades_task::task::TaskSetError;
+use hades_task::{Task, TaskId, TaskSet};
+use hades_time::Duration;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Errors surfaced while assembling a cluster.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Fewer than two nodes requested.
+    TooFewNodes,
+    /// More nodes than the membership masks support.
+    TooManyNodes,
+    /// An application task was registered for one node but one of its
+    /// elementary units is homed on another processor.
+    TaskOffNode {
+        /// The task.
+        task: TaskId,
+        /// The node it was registered on.
+        node: u32,
+    },
+    /// An application task was registered on a node outside the cluster.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The cluster size.
+        nodes: u32,
+    },
+    /// Two application tasks share an id.
+    DuplicateTaskId(TaskId),
+    /// An application task uses an id reserved for middleware tasks.
+    ReservedTaskId(TaskId),
+    /// The assembled task set failed validation.
+    InvalidTaskSet(TaskSetError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::TooFewNodes => write!(f, "a cluster needs at least two nodes"),
+            ClusterError::TooManyNodes => {
+                write!(f, "membership masks support at most 48 nodes")
+            }
+            ClusterError::TaskOffNode { task, node } => {
+                write!(
+                    f,
+                    "task {task} registered on node {node} has units elsewhere"
+                )
+            }
+            ClusterError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} outside the {nodes}-node cluster")
+            }
+            ClusterError::DuplicateTaskId(id) => write!(f, "duplicate application task id {id}"),
+            ClusterError::ReservedTaskId(id) => write!(
+                f,
+                "task id {id} is reserved for middleware (>= {MIDDLEWARE_TASK_BASE})"
+            ),
+            ClusterError::InvalidTaskSet(e) => write!(f, "invalid cluster task set: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::InvalidTaskSet(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Builder for an integrated multi-node HADES deployment.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug)]
+pub struct HadesCluster {
+    nodes: u32,
+    link: LinkConfig,
+    seed: u64,
+    horizon: Duration,
+    policy: Policy,
+    costs: CostModel,
+    kernel: KernelModel,
+    middleware: MiddlewareConfig,
+    scenario: ScenarioPlan,
+    app_tasks: Vec<(u32, Task)>,
+}
+
+impl HadesCluster {
+    /// Starts a cluster of `nodes` nodes with a reliable LAN-ish link,
+    /// zero dispatcher costs, no kernel load, RM scheduling and a 100 ms
+    /// horizon.
+    pub fn new(nodes: u32) -> Self {
+        HadesCluster {
+            nodes,
+            link: LinkConfig::reliable(Duration::from_micros(10), Duration::from_micros(50)),
+            seed: 0,
+            horizon: Duration::from_millis(100),
+            policy: Policy::default(),
+            costs: CostModel::zero(),
+            kernel: KernelModel::none(),
+            middleware: MiddlewareConfig::default(),
+            scenario: ScenarioPlan::new(),
+            app_tasks: Vec::new(),
+        }
+    }
+
+    /// Sets the link model shared by every pair of nodes.
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Sets the random seed (network delays and execution-time draws).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the simulation horizon.
+    pub fn horizon(mut self, horizon: Duration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Selects the scheduling policy installed on every node.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the dispatcher cost model (Section 4.1 constants).
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Sets the background kernel model (Section 4.2 activities).
+    pub fn kernel(mut self, kernel: KernelModel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Configures the injected middleware activities.
+    pub fn middleware(mut self, middleware: MiddlewareConfig) -> Self {
+        self.middleware = middleware;
+        self
+    }
+
+    /// Installs the failure scenario.
+    pub fn scenario(mut self, scenario: ScenarioPlan) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Registers an application task on `node`. Every elementary unit of
+    /// the task must be homed on that node's processor.
+    pub fn app_task(mut self, node: u32, task: Task) -> Self {
+        self.app_tasks.push((node, task));
+        self
+    }
+
+    /// Convenience: registers a single-unit periodic task on `node` with
+    /// deadline equal to its period. Task ids are assigned in
+    /// registration order.
+    pub fn periodic_app(self, node: u32, name: &str, wcet: Duration, period: Duration) -> Self {
+        let id = TaskId(self.app_tasks.len() as u32);
+        let task = Task::new(
+            id,
+            single_heug(name, node, wcet),
+            hades_task::ArrivalLaw::Periodic(period),
+            period,
+        );
+        self.app_task(node, task)
+    }
+
+    /// The detection bound `H + T₀ = 2H + δmax + γ` this cluster's
+    /// detector guarantees — the exact bound of the [`AgentConfig`] the
+    /// runtime installs on every node.
+    pub fn detection_bound(&self) -> Duration {
+        self.agent_config(NodeId(0))
+            .detection_bound(self.link.delay_max)
+    }
+
+    /// The agent configuration installed on `node`.
+    fn agent_config(&self, node: NodeId) -> AgentConfig {
+        AgentConfig {
+            node,
+            nodes: self.nodes,
+            heartbeat_period: self.middleware.heartbeat_period,
+            clock_precision: self.middleware.clock_precision(&self.link),
+            f: self.middleware.f,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ClusterError> {
+        if self.nodes < 2 {
+            return Err(ClusterError::TooFewNodes);
+        }
+        if self.nodes > 48 {
+            return Err(ClusterError::TooManyNodes);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (node, task) in &self.app_tasks {
+            if *node >= self.nodes {
+                return Err(ClusterError::NodeOutOfRange {
+                    node: *node,
+                    nodes: self.nodes,
+                });
+            }
+            if task.id.0 >= MIDDLEWARE_TASK_BASE {
+                return Err(ClusterError::ReservedTaskId(task.id));
+            }
+            if !seen.insert(task.id) {
+                return Err(ClusterError::DuplicateTaskId(task.id));
+            }
+            for eu in task.heug.eus() {
+                if eu.processor().0 != *node {
+                    return Err(ClusterError::TaskOffNode {
+                        task: task.id,
+                        node: *node,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds and runs the cluster, producing its report.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClusterError`] raised during validation or task-set
+    /// assembly.
+    pub fn run(self) -> Result<ClusterReport, ClusterError> {
+        self.validate()?;
+        let detection_bound = self.detection_bound();
+
+        // ---- assemble the task set: application + middleware ----
+        let mut origin: BTreeMap<TaskId, (u32, bool)> = BTreeMap::new();
+        let mut tasks: Vec<Task> = Vec::new();
+        for (node, task) in &self.app_tasks {
+            origin.insert(task.id, (*node, false));
+            tasks.push(task.clone());
+        }
+        for node in 0..self.nodes {
+            for task in self.middleware.tasks_for(node) {
+                origin.insert(task.id, (node, true));
+                tasks.push(task);
+            }
+        }
+        match self.policy {
+            Policy::RateMonotonic => hades_sched::assign_rm(&mut tasks),
+            Policy::DeadlineMonotonic => hades_sched::assign_dm(&mut tasks),
+            Policy::Edf | Policy::Manual => {}
+        }
+
+        // ---- per-node feasibility (naive vs cost-integrated) ----
+        let feasibility: Vec<report::NodeFeasibility> = (0..self.nodes)
+            .map(|node| self.node_feasibility(node, &tasks, &origin))
+            .collect();
+
+        // ---- one shared network + one shared engine ----
+        let net = Network::homogeneous(
+            self.nodes,
+            self.link,
+            SimRng::seed_from(self.seed ^ 0x004E_4554),
+        )
+        .with_fault_plan(self.scenario.fault_plan());
+        let set = TaskSet::new(tasks).map_err(ClusterError::InvalidTaskSet)?;
+        let mut cfg = SimConfig::ideal(self.horizon);
+        cfg.costs = self.costs;
+        cfg.kernel = self.kernel.clone();
+        cfg.link = self.link;
+        cfg.seed = self.seed;
+        cfg.trace = false;
+        let mut sim = DispatchSim::with_network(set, cfg, net);
+        if self.policy == Policy::Edf {
+            for node in 0..self.nodes {
+                sim.set_policy(node, Box::new(EdfPolicy::new()));
+            }
+        }
+
+        // ---- per-node middleware agents on the same engine ----
+        let logs: Vec<Rc<RefCell<AgentLog>>> = (0..self.nodes)
+            .map(|node| {
+                let (agent, log) = NodeAgent::new(self.agent_config(NodeId(node)));
+                sim.add_actor(Box::new(agent));
+                log
+            })
+            .collect();
+
+        let run = sim.run();
+        let network = sim.network_stats();
+
+        // ---- fold everything into the report ----
+        let node_reports = self.node_reports(&run, &origin, feasibility);
+        let (detections, heartbeats_seen) = self.detections(&logs);
+        let survivors: Vec<u32> = (0..self.nodes)
+            .filter(|n| self.scenario.crash_time(NodeId(*n)).is_none())
+            .collect();
+        let reference_views: Vec<View> = survivors
+            .first()
+            .map(|n| logs[*n as usize].borrow().views.clone())
+            .unwrap_or_default();
+        let view_history: Vec<(u32, Vec<u32>)> = reference_views
+            .iter()
+            .map(|v| (v.number, v.members.clone()))
+            .collect();
+        let views_agree = survivors
+            .iter()
+            .all(|n| logs[*n as usize].borrow().view_members() == view_history);
+        let failovers = self.failovers(&logs, &reference_views);
+
+        Ok(ClusterReport {
+            nodes: self.nodes,
+            seed: self.seed,
+            finished_at: run.finished_at,
+            node_reports,
+            detections,
+            detection_bound,
+            view_history,
+            views_agree,
+            failovers,
+            heartbeats_seen,
+            network,
+            scheduler_cpu: run.scheduler_cpu,
+            kernel_cpu: run.kernel_cpu,
+        })
+    }
+
+    fn node_feasibility(
+        &self,
+        node: u32,
+        tasks: &[Task],
+        origin: &BTreeMap<TaskId, (u32, bool)>,
+    ) -> report::NodeFeasibility {
+        let mut spuri: Vec<SpuriTask> = Vec::new();
+        let mut app_util = 0u32;
+        let mut mw_util = 0u32;
+        for task in tasks {
+            let Some((home, is_mw)) = origin.get(&task.id) else {
+                continue;
+            };
+            if *home != node {
+                continue;
+            }
+            let Some(period) = task.arrival.min_separation() else {
+                continue;
+            };
+            let c = task.wcet();
+            let permille = (c.as_nanos() * 1000 / period.as_nanos().max(1)) as u32;
+            if *is_mw {
+                mw_util += permille;
+            } else {
+                app_util += permille;
+            }
+            spuri.push(SpuriTask::independent(
+                task.id,
+                format!("n{node}.{}", task.name()),
+                c,
+                task.deadline,
+                period,
+            ));
+        }
+        // Utilization figures come from the EDF demand analysis (they are
+        // load measures, not verdicts); the feasibility verdicts use the
+        // test matching the installed policy.
+        let integrated_cfg = EdfAnalysisConfig::with_platform(self.costs, self.kernel.clone());
+        let integrated = edf_feasible(&spuri, &integrated_cfg);
+        let (naive_feasible, integrated_feasible) = match self.policy {
+            Policy::RateMonotonic | Policy::DeadlineMonotonic => {
+                // Response-time analysis over the fixed-priority order the
+                // policy installs (RM: by period; DM: by deadline).
+                let mut rta: Vec<RtaTask> = spuri
+                    .iter()
+                    .map(|t| RtaTask {
+                        c: t.total_c(),
+                        period: t.pseudo_period,
+                        deadline: t.deadline,
+                        blocking: Duration::ZERO,
+                    })
+                    .collect();
+                match self.policy {
+                    Policy::RateMonotonic => rta.sort_by_key(|t| t.period),
+                    _ => rta.sort_by_key(|t| t.deadline),
+                }
+                (
+                    rta_feasible(&rta, &CostModel::zero(), &KernelModel::none()).feasible,
+                    rta_feasible(&rta, &self.costs, &self.kernel).feasible,
+                )
+            }
+            Policy::Edf | Policy::Manual => (
+                edf_feasible(&spuri, &EdfAnalysisConfig::naive()).feasible,
+                integrated.feasible,
+            ),
+        };
+        report::NodeFeasibility {
+            naive_feasible,
+            integrated_feasible,
+            app_utilization_permille: app_util,
+            middleware_utilization_permille: mw_util,
+            inflated_utilization_permille: (integrated.utilization * 1000.0).round() as u32,
+        }
+    }
+
+    fn node_reports(
+        &self,
+        run: &hades_dispatch::RunReport,
+        origin: &BTreeMap<TaskId, (u32, bool)>,
+        feasibility: Vec<report::NodeFeasibility>,
+    ) -> Vec<report::NodeReport> {
+        let mut reports: Vec<report::NodeReport> = feasibility
+            .into_iter()
+            .enumerate()
+            .map(|(node, feasibility)| report::NodeReport {
+                node: node as u32,
+                crashed_at: self.scenario.crash_time(NodeId(node as u32)),
+                app_instances: 0,
+                app_misses: 0,
+                middleware_instances: 0,
+                middleware_misses: 0,
+                worst_app_response: None,
+                feasibility,
+            })
+            .collect();
+        for inst in &run.instances {
+            let Some((node, is_mw)) = origin.get(&inst.task) else {
+                continue;
+            };
+            let r = &mut reports[*node as usize];
+            // Work activated after the node's crash is an artifact of the
+            // network-level fail-stop model; account only the live span.
+            if let Some(crash) = r.crashed_at {
+                if inst.activated >= crash {
+                    continue;
+                }
+            }
+            if *is_mw {
+                r.middleware_instances += 1;
+                r.middleware_misses += inst.missed as u64;
+            } else {
+                r.app_instances += 1;
+                r.app_misses += inst.missed as u64;
+                if let Some(rt) = inst.response_time() {
+                    r.worst_app_response = Some(r.worst_app_response.map_or(rt, |w| w.max(rt)));
+                }
+            }
+        }
+        reports
+    }
+
+    fn detections(&self, logs: &[Rc<RefCell<AgentLog>>]) -> (Vec<report::DetectionRecord>, u64) {
+        let mut detections = Vec::new();
+        let mut heartbeats = 0;
+        for log in logs {
+            let log = log.borrow();
+            heartbeats += log.heartbeats_seen;
+            for (suspect, at) in &log.suspicions {
+                let crashed_at = self.scenario.crash_time(NodeId(*suspect));
+                // A suspicion raised before the crash (or of a node that
+                // never crashes) is a false suspicion, not a detection —
+                // it must not masquerade as a zero-latency success.
+                let latency = crashed_at.and_then(|c| (*at >= c).then(|| *at - c));
+                detections.push(report::DetectionRecord {
+                    suspect: *suspect,
+                    observer: log.node,
+                    crashed_at,
+                    suspected_at: *at,
+                    latency,
+                });
+            }
+        }
+        detections.sort_by_key(|d| (d.suspected_at, d.observer, d.suspect));
+        (detections, heartbeats)
+    }
+
+    fn failovers(
+        &self,
+        logs: &[Rc<RefCell<AgentLog>>],
+        reference_views: &[View],
+    ) -> Vec<report::FailoverRecord> {
+        let mut failovers = Vec::new();
+        for (crashed, crash_at) in self.scenario.crashes() {
+            // The view in force when the crash happened, per the reference
+            // history.
+            let Some(current) = reference_views
+                .iter()
+                .rfind(|v| v.installed_at <= *crash_at)
+            else {
+                continue;
+            };
+            if current.members.first() != Some(&crashed.0) {
+                continue; // not the primary: no failover
+            }
+            let Some(next) = reference_views
+                .iter()
+                .find(|v| v.number == current.number + 1)
+            else {
+                continue; // no successor view observed
+            };
+            let Some(&new_primary) = next.members.first() else {
+                continue;
+            };
+            // Takeover is effective when the *new primary itself* installs
+            // the promoting view.
+            let taken_over_at = logs[new_primary as usize]
+                .borrow()
+                .views
+                .iter()
+                .find(|v| v.number == next.number)
+                .map(|v| v.installed_at)
+                .unwrap_or(next.installed_at);
+            failovers.push(report::FailoverRecord {
+                failed_primary: crashed.0,
+                crashed_at: *crash_at,
+                new_primary,
+                taken_over_at,
+                latency: taken_over_at - *crash_at,
+            });
+        }
+        failovers
+    }
+}
+
+/// Builds the single-unit HEUG of a convenience task.
+fn single_heug(name: &str, node: u32, wcet: Duration) -> hades_task::Heug {
+    hades_task::Heug::single(hades_task::CodeEu::new(
+        name,
+        wcet,
+        hades_task::ProcessorId(node),
+    ))
+    .expect("single-unit HEUG cannot fail validation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hades_time::Time;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    fn quad() -> HadesCluster {
+        let mut c = HadesCluster::new(4).horizon(ms(60)).seed(1);
+        for node in 0..4 {
+            c = c.periodic_app(node, "ctl", us(200), ms(2));
+        }
+        c
+    }
+
+    #[test]
+    fn healthy_cluster_meets_every_deadline_in_view_zero() {
+        let report = quad().run().unwrap();
+        assert!(report.all_deadlines_met());
+        assert!(report.no_false_suspicions());
+        assert_eq!(report.view_history, vec![(0, vec![0, 1, 2, 3])]);
+        assert!(report.views_agree);
+        assert!(report.failovers.is_empty());
+        assert!(report.heartbeats_seen > 0);
+        for n in &report.node_reports {
+            assert!(n.app_instances > 0);
+            assert!(n.middleware_instances > 0);
+            assert!(n.feasibility.naive_feasible);
+            assert!(n.feasibility.integrated_feasible);
+            assert!(n.feasibility.middleware_utilization_permille > 0);
+        }
+    }
+
+    #[test]
+    fn primary_crash_fails_over_within_bounds() {
+        let crash = Time::ZERO + ms(20);
+        let report = quad()
+            .scenario(ScenarioPlan::new().crash(NodeId(0), crash))
+            .run()
+            .unwrap();
+        assert!(report.detection_within_bound());
+        assert!(report.views_agree);
+        assert_eq!(report.view_history.last().unwrap().1, vec![1, 2, 3]);
+        assert_eq!(report.failovers.len(), 1);
+        let f = report.failovers[0];
+        assert_eq!((f.failed_primary, f.new_primary), (0, 1));
+        assert!(f.taken_over_at > crash);
+        assert!(report.all_app_deadlines_met(), "survivors unaffected");
+    }
+
+    #[test]
+    fn non_primary_crash_changes_view_without_failover() {
+        let report = quad()
+            .scenario(ScenarioPlan::new().crash(NodeId(3), Time::ZERO + ms(20)))
+            .run()
+            .unwrap();
+        assert_eq!(report.view_history.last().unwrap().1, vec![0, 1, 2]);
+        assert!(report.failovers.is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let crash = ScenarioPlan::new().crash(NodeId(0), Time::ZERO + ms(20));
+        let a = quad().scenario(crash.clone()).run().unwrap();
+        let b = quad().scenario(crash).run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edf_policy_charges_scheduler_time() {
+        let report = quad()
+            .policy(Policy::Edf)
+            .costs(CostModel {
+                sched_notif: us(1),
+                ..CostModel::zero()
+            })
+            .run()
+            .unwrap();
+        assert!(report.scheduler_cpu > Duration::ZERO);
+        assert!(report.all_deadlines_met());
+    }
+
+    #[test]
+    fn validation_rejects_bad_builds() {
+        assert!(matches!(
+            HadesCluster::new(1).run(),
+            Err(ClusterError::TooFewNodes)
+        ));
+        assert!(matches!(
+            HadesCluster::new(4)
+                .periodic_app(7, "x", us(10), ms(1))
+                .run(),
+            Err(ClusterError::NodeOutOfRange { node: 7, nodes: 4 })
+        ));
+        let off = HadesCluster::new(2).app_task(
+            1,
+            Task::new(
+                TaskId(0),
+                single_heug("t", 0, us(10)),
+                hades_task::ArrivalLaw::Periodic(ms(1)),
+                ms(1),
+            ),
+        );
+        assert!(matches!(off.run(), Err(ClusterError::TaskOffNode { .. })));
+        let reserved = HadesCluster::new(2).app_task(
+            0,
+            Task::new(
+                TaskId(MIDDLEWARE_TASK_BASE),
+                single_heug("t", 0, us(10)),
+                hades_task::ArrivalLaw::Periodic(ms(1)),
+                ms(1),
+            ),
+        );
+        assert!(matches!(
+            reserved.run(),
+            Err(ClusterError::ReservedTaskId(_))
+        ));
+    }
+
+    #[test]
+    fn feasibility_verdict_matches_the_installed_policy() {
+        // A classic non-harmonic pair: U ≈ 0.867 exceeds the 2-task RM
+        // bound (RTA rejects) but stays under 1 (EDF accepts).
+        let build = |policy: Policy| {
+            HadesCluster::new(2)
+                .policy(policy)
+                .horizon(ms(30))
+                .periodic_app(0, "a", ms(1), ms(2))
+                .periodic_app(0, "b", us(1_100), ms(3))
+                .periodic_app(1, "c", us(100), ms(2))
+                .run()
+                .unwrap()
+        };
+        let rm = build(Policy::RateMonotonic);
+        assert!(
+            !rm.node_reports[0].feasibility.naive_feasible,
+            "RTA must reject the overloaded fixed-priority node"
+        );
+        assert!(rm.node_reports[0].app_misses > 0, "and the run agrees");
+        let edf = build(Policy::Edf);
+        assert!(
+            edf.node_reports[0].feasibility.naive_feasible,
+            "the same load is EDF-schedulable"
+        );
+        assert_eq!(edf.node_reports[0].app_misses, 0);
+    }
+
+    #[test]
+    fn premature_suspicion_is_reported_false_not_zero_latency() {
+        // A partition longer than T₀ makes node 1 suspect node 0 while it
+        // is still alive; node 0 only crashes much later. The report must
+        // flag the early suspicion as false instead of crediting the
+        // detector with a zero-latency detection.
+        let report = quad()
+            .scenario(
+                ScenarioPlan::new()
+                    .partition(
+                        NodeId(0),
+                        NodeId(1),
+                        Time::ZERO + ms(5),
+                        Time::ZERO + ms(15),
+                    )
+                    .crash(NodeId(0), Time::ZERO + ms(40)),
+            )
+            .run()
+            .unwrap();
+        let premature: Vec<_> = report
+            .detections
+            .iter()
+            .filter(|d| d.suspect == 0 && d.suspected_at < Time::ZERO + ms(40))
+            .collect();
+        assert!(
+            !premature.is_empty(),
+            "the partition must trigger suspicion"
+        );
+        for d in &premature {
+            assert!(d.is_false(), "premature suspicion is a false suspicion");
+            assert_eq!(d.latency, None);
+        }
+        assert!(!report.no_false_suspicions());
+    }
+
+    #[test]
+    fn partition_window_heals() {
+        // The [10 ms, 11 ms] cut swallows the heartbeats emitted at 10 ms
+        // in both directions, leaving a 4 ms silence between the 8 ms and
+        // 12 ms beats. A loss-tolerant timeout (γ floor raised so that
+        // T₀ > 4 ms) rides the partition out without suspicion, as in the
+        // detector's loss-tolerant configuration.
+        let tolerant = MiddlewareConfig {
+            clock_precision_floor: Duration::from_micros(2_500),
+            ..MiddlewareConfig::default()
+        };
+        let report = quad()
+            .middleware(tolerant)
+            .scenario(ScenarioPlan::new().partition(
+                NodeId(0),
+                NodeId(1),
+                Time::ZERO + ms(10),
+                Time::ZERO + ms(11),
+            ))
+            .run()
+            .unwrap();
+        assert_eq!(report.view_history.len(), 1, "membership must not split");
+        assert!(report.no_false_suspicions());
+        assert!(report.network.omitted() > 0, "the cut dropped traffic");
+    }
+}

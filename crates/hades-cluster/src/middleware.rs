@@ -1,0 +1,153 @@
+//! Middleware activities as cost-charged periodic tasks.
+//!
+//! The paper's second pillar: every middleware activity has a known
+//! worst-case execution time that the feasibility tests fold in. The
+//! cluster runtime therefore injects, on **every** node, a HEUG task per
+//! recurring middleware activity — heartbeat emission and timeout
+//! checking, a clock
+//! resynchronization round, a replication checkpoint write — so their CPU
+//! demand is charged by the dispatcher in virtual time *and* appears in
+//! the Section 5 analyses exactly like application load.
+
+use hades_sim::LinkConfig;
+use hades_task::prelude::*;
+use hades_time::{Duration, SyncRound};
+
+/// First task id reserved for injected middleware tasks; application task
+/// ids must stay below.
+pub const MIDDLEWARE_TASK_BASE: u32 = 1_000;
+
+/// Number of middleware tasks injected per node.
+pub const MIDDLEWARE_TASKS_PER_NODE: u32 = 3;
+
+/// Configuration of the injected middleware activities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MiddlewareConfig {
+    /// Heartbeat emission period `H`.
+    pub heartbeat_period: Duration,
+    /// WCET of one heartbeat round (emission + peer timeout checks).
+    pub heartbeat_wcet: Duration,
+    /// Clock resynchronization period `P`.
+    pub sync_period: Duration,
+    /// WCET of one resynchronization round (read clocks + midpoint).
+    pub sync_wcet: Duration,
+    /// Replication checkpoint period.
+    pub checkpoint_period: Duration,
+    /// WCET of capturing and shipping one checkpoint.
+    pub checkpoint_wcet: Duration,
+    /// Clock drift bound ρ in parts per billion (for the precision bound).
+    pub drift_ppb: u64,
+    /// Lower bound on the precision γ used in detector timeouts.
+    pub clock_precision_floor: Duration,
+    /// Crash-fault bound `f` for view-change agreement.
+    pub f: u32,
+}
+
+impl Default for MiddlewareConfig {
+    /// LAN-scale defaults: 2 ms heartbeats, 10 ms resync, 20 ms
+    /// checkpoints, 100 ppm drift, `f = 1`.
+    fn default() -> Self {
+        MiddlewareConfig {
+            heartbeat_period: Duration::from_millis(2),
+            heartbeat_wcet: Duration::from_micros(20),
+            sync_period: Duration::from_millis(10),
+            sync_wcet: Duration::from_micros(50),
+            checkpoint_period: Duration::from_millis(20),
+            checkpoint_wcet: Duration::from_micros(100),
+            drift_ppb: 100_000,
+            clock_precision_floor: Duration::from_micros(10),
+            f: 1,
+        }
+    }
+}
+
+impl MiddlewareConfig {
+    /// The steady-state clock precision `γ` achieved by the [LL88]
+    /// synchronization service over `link` (ε is half the delay
+    /// uncertainty), as computed by [`SyncRound::steady_state_precision`],
+    /// floored at [`MiddlewareConfig::clock_precision_floor`].
+    pub fn clock_precision(&self, link: &LinkConfig) -> Duration {
+        let eps = (link.delay_max - link.delay_min) / 2;
+        SyncRound::new(eps, self.drift_ppb, self.sync_period)
+            .steady_state_precision()
+            .max(self.clock_precision_floor)
+    }
+
+    /// Builds the three middleware tasks of `node`, with reserved task ids
+    /// derived from [`MIDDLEWARE_TASK_BASE`].
+    pub fn tasks_for(&self, node: u32) -> Vec<Task> {
+        let base = MIDDLEWARE_TASK_BASE + node * MIDDLEWARE_TASKS_PER_NODE;
+        let mk = |offset: u32, name: String, wcet: Duration, period: Duration| {
+            Task::new(
+                TaskId(base + offset),
+                Heug::single(CodeEu::new(name, wcet, ProcessorId(node)))
+                    .expect("single-unit middleware HEUG"),
+                ArrivalLaw::Periodic(period),
+                period,
+            )
+        };
+        vec![
+            mk(
+                0,
+                format!("mw.hb@{node}"),
+                self.heartbeat_wcet,
+                self.heartbeat_period,
+            ),
+            mk(
+                1,
+                format!("mw.sync@{node}"),
+                self.sync_wcet,
+                self.sync_period,
+            ),
+            mk(
+                2,
+                format!("mw.ckpt@{node}"),
+                self.checkpoint_wcet,
+                self.checkpoint_period,
+            ),
+        ]
+    }
+
+    /// Long-run CPU utilization of the injected middleware, in permille.
+    pub fn utilization_permille(&self) -> u32 {
+        let parts = [
+            (self.heartbeat_wcet, self.heartbeat_period),
+            (self.sync_wcet, self.sync_period),
+            (self.checkpoint_wcet, self.checkpoint_period),
+        ];
+        parts
+            .iter()
+            .map(|(c, p)| (c.as_nanos() * 1000 / p.as_nanos().max(1)) as u32)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tasks_are_periodic_and_homed() {
+        let cfg = MiddlewareConfig::default();
+        let tasks = cfg.tasks_for(3);
+        assert_eq!(tasks.len(), MIDDLEWARE_TASKS_PER_NODE as usize);
+        for t in &tasks {
+            assert!(t.id.0 >= MIDDLEWARE_TASK_BASE);
+            assert!(t.has_constrained_deadline());
+            for eu in t.heug.eus() {
+                assert_eq!(eu.processor(), ProcessorId(3));
+            }
+        }
+        assert!(cfg.utilization_permille() > 0);
+        assert!(cfg.utilization_permille() < 100, "middleware stays light");
+    }
+
+    #[test]
+    fn precision_grows_with_delay_uncertainty() {
+        let cfg = MiddlewareConfig::default();
+        let tight = LinkConfig::reliable(Duration::from_micros(10), Duration::from_micros(12));
+        let loose = LinkConfig::reliable(Duration::from_micros(10), Duration::from_micros(80));
+        assert!(cfg.clock_precision(&loose) > cfg.clock_precision(&tight));
+        assert!(cfg.clock_precision(&tight) >= cfg.clock_precision_floor);
+    }
+}

@@ -1,0 +1,221 @@
+//! Cluster run reports: per-node schedulability, detection, membership
+//! and failover outcomes, all in `Eq`-comparable form so two runs with
+//! the same seed can be asserted identical.
+
+use hades_sim::NetworkStats;
+use hades_time::{Duration, Time};
+
+/// Feasibility of one node's load (application + middleware tasks),
+/// naive vs. cost-integrated (Section 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFeasibility {
+    /// Verdict of the overhead-blind EDF processor-demand test.
+    pub naive_feasible: bool,
+    /// Verdict with dispatcher constants, scheduler notifications and
+    /// kernel activities folded in.
+    pub integrated_feasible: bool,
+    /// Raw application utilization, permille.
+    pub app_utilization_permille: u32,
+    /// Injected middleware utilization, permille.
+    pub middleware_utilization_permille: u32,
+    /// Total inflated utilization reported by the integrated test,
+    /// permille.
+    pub inflated_utilization_permille: u32,
+}
+
+/// One node's execution outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeReport {
+    /// The node.
+    pub node: u32,
+    /// When the scenario crashed it, if it did.
+    pub crashed_at: Option<Time>,
+    /// Application instances activated while the node was up.
+    pub app_instances: u64,
+    /// Deadline misses among those.
+    pub app_misses: u64,
+    /// Middleware instances activated while the node was up.
+    pub middleware_instances: u64,
+    /// Deadline misses among those.
+    pub middleware_misses: u64,
+    /// Worst application response time observed while up.
+    pub worst_app_response: Option<Duration>,
+    /// Schedulability of the node's combined load.
+    pub feasibility: NodeFeasibility,
+}
+
+/// One observer's suspicion of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectionRecord {
+    /// The suspected node.
+    pub suspect: u32,
+    /// The observing node.
+    pub observer: u32,
+    /// The suspect's scripted crash time (`None` = it never crashed).
+    pub crashed_at: Option<Time>,
+    /// When the observer suspected it.
+    pub suspected_at: Time,
+    /// Detection latency (suspicion − crash); `None` for false
+    /// suspicions, including premature ones raised before the crash.
+    pub latency: Option<Duration>,
+}
+
+impl DetectionRecord {
+    /// Whether this suspicion was raised against a node that was still
+    /// correct at the time (it never crashed, or crashed only later).
+    pub fn is_false(&self) -> bool {
+        match self.crashed_at {
+            None => true,
+            Some(crash) => self.suspected_at < crash,
+        }
+    }
+}
+
+/// One primary handover caused by a primary crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverRecord {
+    /// The crashed primary.
+    pub failed_primary: u32,
+    /// When it crashed.
+    pub crashed_at: Time,
+    /// The member promoted in the next view.
+    pub new_primary: u32,
+    /// When the new primary installed the view that promoted it.
+    pub taken_over_at: Time,
+    /// `taken_over_at − crashed_at`: detection + agreement.
+    pub latency: Duration,
+}
+
+/// Everything a [`crate::HadesCluster`] run produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterReport {
+    /// Cluster size.
+    pub nodes: u32,
+    /// Seed of the run.
+    pub seed: u64,
+    /// Virtual time at which the run ended.
+    pub finished_at: Time,
+    /// Per-node outcomes, indexed by node id.
+    pub node_reports: Vec<NodeReport>,
+    /// Every suspicion raised by every surviving observer.
+    pub detections: Vec<DetectionRecord>,
+    /// The analytic worst-case detection latency `H + T₀`.
+    pub detection_bound: Duration,
+    /// Reference view history `(number, members)` (first surviving node).
+    pub view_history: Vec<(u32, Vec<u32>)>,
+    /// Whether every surviving node installed the same view sequence.
+    pub views_agree: bool,
+    /// Primary handovers for crashed primaries.
+    pub failovers: Vec<FailoverRecord>,
+    /// Heartbeats received across all agents.
+    pub heartbeats_seen: u64,
+    /// Shared-network counters (dispatcher messages + middleware traffic).
+    pub network: NetworkStats,
+    /// CPU consumed by scheduler tasks across nodes.
+    pub scheduler_cpu: Duration,
+    /// CPU consumed by kernel interrupts across nodes.
+    pub kernel_cpu: Duration,
+}
+
+impl ClusterReport {
+    /// Whether every application instance activated on a live node met
+    /// its deadline.
+    pub fn all_app_deadlines_met(&self) -> bool {
+        self.node_reports.iter().all(|n| n.app_misses == 0)
+    }
+
+    /// Whether every surviving node met every deadline, middleware
+    /// included.
+    pub fn all_deadlines_met(&self) -> bool {
+        self.node_reports
+            .iter()
+            .all(|n| n.app_misses == 0 && n.middleware_misses == 0)
+    }
+
+    /// Whether no correct node was ever suspected.
+    pub fn no_false_suspicions(&self) -> bool {
+        self.detections.iter().all(|d| !d.is_false())
+    }
+
+    /// Whether every real crash was detected within the analytic bound by
+    /// every surviving observer that reported it.
+    pub fn detection_within_bound(&self) -> bool {
+        self.detections
+            .iter()
+            .filter_map(|d| d.latency)
+            .all(|l| l <= self.detection_bound)
+    }
+
+    /// Worst observed detection latency, if any crash was detected.
+    pub fn worst_detection_latency(&self) -> Option<Duration> {
+        self.detections.iter().filter_map(|d| d.latency).max()
+    }
+
+    /// Worst failover latency, if any primary failed over.
+    pub fn worst_failover_latency(&self) -> Option<Duration> {
+        self.failovers.iter().map(|f| f.latency).max()
+    }
+
+    /// A human-readable multi-line summary (used by the experiment
+    /// harness).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "cluster: {} nodes, seed {}, finished at {}",
+            self.nodes, self.seed, self.finished_at
+        );
+        for n in &self.node_reports {
+            let _ = writeln!(
+                s,
+                "  n{}: app {}/{} missed, mw {}/{} missed, util {}‰ (+mw {}‰ → inflated {}‰), feasible naive={} integrated={}{}",
+                n.node,
+                n.app_misses,
+                n.app_instances,
+                n.middleware_misses,
+                n.middleware_instances,
+                n.feasibility.app_utilization_permille,
+                n.feasibility.middleware_utilization_permille,
+                n.feasibility.inflated_utilization_permille,
+                n.feasibility.naive_feasible,
+                n.feasibility.integrated_feasible,
+                match n.crashed_at {
+                    Some(t) => format!(", crashed at {t}"),
+                    None => String::new(),
+                },
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  detection: {} suspicion(s), bound {}, worst {}, false: {}",
+            self.detections.len(),
+            self.detection_bound,
+            self.worst_detection_latency()
+                .map_or_else(|| "-".into(), |d| d.to_string()),
+            self.detections.iter().filter(|d| d.is_false()).count(),
+        );
+        let _ = writeln!(
+            s,
+            "  views: {:?}, agree: {}",
+            self.view_history, self.views_agree
+        );
+        for f in &self.failovers {
+            let _ = writeln!(
+                s,
+                "  failover: primary n{} crashed at {} -> n{} took over at {} (latency {})",
+                f.failed_primary, f.crashed_at, f.new_primary, f.taken_over_at, f.latency
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  network: {} sent, {} on time, {} late, {} omitted; {} heartbeats seen",
+            self.network.sent,
+            self.network.delivered_on_time,
+            self.network.delivered_late,
+            self.network.omitted(),
+            self.heartbeats_seen,
+        );
+        s
+    }
+}

@@ -1,0 +1,104 @@
+//! Scenario plans: scripted failures driving an end-to-end cluster run.
+//!
+//! A [`ScenarioPlan`] is the cluster-level face of
+//! [`hades_sim::FaultPlan`]: node crashes and temporary link partitions
+//! (whose window end models link recovery), expressed against absolute
+//! run time. The cluster runtime compiles it into the fault plan of the
+//! shared network, so the dispatcher's remote precedence messages, the
+//! heartbeat traffic and the view-change flood all see the *same*
+//! failures.
+
+use hades_sim::{FaultPlan, NodeId};
+use hades_time::Time;
+
+/// A bidirectional link cut between two nodes over a time window; the
+/// window's end is the link's recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// One side.
+    pub a: NodeId,
+    /// The other side.
+    pub b: NodeId,
+    /// First instant of the cut (inclusive).
+    pub from: Time,
+    /// Last instant of the cut (inclusive); traffic resumes after.
+    pub until: Time,
+}
+
+/// A deterministic failure script for one cluster run.
+///
+/// # Examples
+///
+/// ```
+/// use hades_cluster::ScenarioPlan;
+/// use hades_sim::NodeId;
+/// use hades_time::{Duration, Time};
+///
+/// let plan = ScenarioPlan::new()
+///     .crash(NodeId(0), Time::ZERO + Duration::from_millis(50))
+///     .partition(
+///         NodeId(1),
+///         NodeId(2),
+///         Time::ZERO + Duration::from_millis(10),
+///         Time::ZERO + Duration::from_millis(12),
+///     );
+/// assert_eq!(plan.crashes().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScenarioPlan {
+    crashes: Vec<(NodeId, Time)>,
+    partitions: Vec<Partition>,
+}
+
+impl ScenarioPlan {
+    /// An empty scenario (healthy run).
+    pub fn new() -> Self {
+        ScenarioPlan::default()
+    }
+
+    /// Crashes `node` at `at` (fail-stop: it neither sends nor receives
+    /// from then on).
+    pub fn crash(mut self, node: NodeId, at: Time) -> Self {
+        self.crashes.push((node, at));
+        self
+    }
+
+    /// Cuts both directions of the `a ↔ b` link during `[from, until]`;
+    /// the link recovers after `until`.
+    pub fn partition(mut self, a: NodeId, b: NodeId, from: Time, until: Time) -> Self {
+        self.partitions.push(Partition { a, b, from, until });
+        self
+    }
+
+    /// Scripted crashes, in insertion order.
+    pub fn crashes(&self) -> &[(NodeId, Time)] {
+        &self.crashes
+    }
+
+    /// Scripted partitions, in insertion order.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// When `node` crashes, if ever.
+    pub fn crash_time(&self, node: NodeId) -> Option<Time> {
+        self.crashes
+            .iter()
+            .filter(|(n, _)| *n == node)
+            .map(|(_, t)| *t)
+            .min()
+    }
+
+    /// Compiles the scenario into the network fault plan.
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for (node, at) in &self.crashes {
+            plan = plan.crash_at(*node, *at);
+        }
+        for p in &self.partitions {
+            plan = plan.cut_link(p.a, p.b, p.from, p.until);
+            plan = plan.cut_link(p.b, p.a, p.from, p.until);
+        }
+        plan
+    }
+}

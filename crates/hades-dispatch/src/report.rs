@@ -96,7 +96,13 @@ impl RunReport {
 mod tests {
     use super::*;
 
-    fn record(task: u32, instance: u64, act: u64, done: Option<u64>, missed: bool) -> InstanceRecord {
+    fn record(
+        task: u32,
+        instance: u64,
+        act: u64,
+        done: Option<u64>,
+        missed: bool,
+    ) -> InstanceRecord {
         InstanceRecord {
             task: TaskId(task),
             instance,

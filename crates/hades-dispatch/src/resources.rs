@@ -175,8 +175,7 @@ impl ResourceManager {
                 // locked by *other* threads.
                 let mut boost = Vec::new();
                 for (res, hs) in &self.holders {
-                    let foreign: Vec<&Hold> =
-                        hs.iter().filter(|h| h.thread != thread).collect();
+                    let foreign: Vec<&Hold> = hs.iter().filter(|h| h.thread != thread).collect();
                     if foreign.is_empty() {
                         continue;
                     }
@@ -406,8 +405,9 @@ mod tests {
     }
 
     fn srp_manager() -> ResourceManager {
-        let levels: HashMap<TaskId, u32> =
-            [(TaskId(0), 1), (TaskId(1), 2), (TaskId(2), 3)].into_iter().collect();
+        let levels: HashMap<TaskId, u32> = [(TaskId(0), 1), (TaskId(1), 2), (TaskId(2), 3)]
+            .into_iter()
+            .collect();
         let ceilings: HashMap<ResourceId, u32> = [(R0, 3)].into_iter().collect();
         ResourceManager::new(ResourceProtocol::Srp { levels, ceilings })
     }
@@ -474,13 +474,14 @@ mod tests {
         use super::*;
         use hades_task::prelude::*;
 
-        fn task_with_resource(id: u32, prio: u32, deadline_us: u64, res: Option<ResourceId>) -> Task {
-            let mut eu = CodeEu::new(
-                format!("t{id}"),
-                Duration::from_micros(10),
-                ProcessorId(0),
-            )
-            .with_priority(Priority::new(prio));
+        fn task_with_resource(
+            id: u32,
+            prio: u32,
+            deadline_us: u64,
+            res: Option<ResourceId>,
+        ) -> Task {
+            let mut eu = CodeEu::new(format!("t{id}"), Duration::from_micros(10), ProcessorId(0))
+                .with_priority(Priority::new(prio));
             if let Some(r) = res {
                 eu = eu.with_resource(ResourceUse::exclusive(r));
             }

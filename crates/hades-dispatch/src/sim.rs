@@ -22,6 +22,7 @@ use crate::report::{InstanceRecord, RunReport};
 use crate::resources::{Admission, ResourceManager, ResourceProtocol};
 use crate::runq::RunQueue;
 use crate::thread::{Thread, ThreadId, ThreadState};
+use hades_sim::mux::{ActorEvent, ActorHost, ActorId, NetActor};
 use hades_sim::{
     Delivery, Engine, KernelModel, LinkConfig, Network, NodeId, Scheduler, SimRng, Simulation,
     Trace, TraceKind,
@@ -57,10 +58,7 @@ impl ExecTimeModel {
             ExecTimeModel::UniformFraction {
                 min_permille,
                 max_permille,
-            } => rng.range_inclusive(
-                min_permille.min(1000) as u64,
-                max_permille.min(1000) as u64,
-            ),
+            } => rng.range_inclusive(min_permille.min(1000) as u64, max_permille.min(1000) as u64),
         };
         let t = Duration::from_nanos(wcet.as_nanos() * permille / 1000);
         // An action always takes at least one tick.
@@ -144,6 +142,7 @@ enum Ev {
     RemoteArrive { thread: ThreadId, pred: EuIndex },
     OmissionCheck { thread: ThreadId, pred: EuIndex },
     KernelIrq { node: u32, activity: usize },
+    Actor { actor: ActorId, ev: ActorEvent },
 }
 
 /// What currently occupies a node's CPU.
@@ -207,6 +206,7 @@ struct Inner {
     remote_arrived: HashMap<ThreadId, HashSet<EuIndex>>,
     inv_phase: HashMap<ThreadId, InvPhase>,
     policies: HashMap<u32, Box<dyn SchedulerPolicy>>,
+    actors: ActorHost,
     monitor: MonitorReport,
     records: Vec<InstanceRecord>,
     trace: Trace,
@@ -312,6 +312,7 @@ impl DispatchSim {
             remote_arrived: HashMap::new(),
             inv_phase: HashMap::new(),
             policies: HashMap::new(),
+            actors: ActorHost::new(),
             monitor: MonitorReport::new(),
             records: Vec::new(),
             trace,
@@ -332,6 +333,28 @@ impl DispatchSim {
     /// charged [`CostModel::sched_notif`] per notification.
     pub fn set_policy(&mut self, node: u32, policy: Box<dyn SchedulerPolicy>) {
         self.inner.policies.insert(node, policy);
+    }
+
+    /// Registers a middleware protocol actor hosted by this run loop.
+    ///
+    /// This is the injection hook for externally supplied middleware
+    /// activities: the actor shares the simulation's engine and network,
+    /// receives [`ActorEvent::Start`] at time zero, and exchanges
+    /// messages/timers interleaved — in one deterministic total order —
+    /// with dispatcher events. Events addressed to an actor whose node
+    /// has crashed (per the network's fault plan) are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already ran.
+    pub fn add_actor(&mut self, actor: Box<dyn NetActor>) -> ActorId {
+        assert!(!self.ran, "simulation already ran");
+        self.inner.actors.add(actor)
+    }
+
+    /// Statistics of the shared network (message fates observed so far).
+    pub fn network_stats(&self) -> hades_sim::NetworkStats {
+        self.inner.network.stats()
     }
 
     /// Requests an activation of `task` at absolute time `at` (for
@@ -362,12 +385,24 @@ impl DispatchSim {
                 }
             }
         }
+        for actor in self.inner.actors.ids() {
+            self.engine.post(
+                Time::ZERO,
+                Ev::Actor {
+                    actor,
+                    ev: ActorEvent::Start,
+                },
+            );
+        }
         for (idx, _a) in self.inner.cfg.kernel.activities().iter().enumerate() {
             for node in 0..self.inner.nodes.len() as u32 {
-                self.engine.post(Time::ZERO, Ev::KernelIrq {
-                    node,
-                    activity: idx,
-                });
+                self.engine.post(
+                    Time::ZERO,
+                    Ev::KernelIrq {
+                        node,
+                        activity: idx,
+                    },
+                );
             }
         }
         self.engine.run(&mut self.inner, horizon);
@@ -651,10 +686,7 @@ impl Inner {
                         node,
                         prio,
                         pt,
-                        earliest: code
-                            .timing
-                            .earliest
-                            .map_or(now, |e| now + e),
+                        earliest: code.timing.earliest.map_or(now, |e| now + e),
                         latest: code.timing.latest.map(|l| now + l),
                         abs_deadline: code.timing.deadline.map_or(deadline, |d| now + d),
                         activation: now,
@@ -718,10 +750,13 @@ impl Inner {
                 sync_waiters: Vec::new(),
             },
         );
-        sched.post(deadline, Ev::DeadlineCheck {
-            task: task.id,
-            instance,
-        });
+        sched.post(
+            deadline,
+            Ev::DeadlineCheck {
+                task: task.id,
+                instance,
+            },
+        );
         // Try to unblock every new thread, then reschedule touched nodes.
         let tids: Vec<ThreadId> = {
             let mut v: Vec<ThreadId> = tid_of.values().copied().collect();
@@ -792,7 +827,8 @@ impl Inner {
         th.runnable_since = now;
         let (prio, name) = (th.prio, th.name.clone());
         self.nodes[node as usize].runq.insert(tid, prio, now);
-        self.trace.record(now, NodeId(node), TraceKind::Runnable, name);
+        self.trace
+            .record(now, NodeId(node), TraceKind::Runnable, name);
         true
     }
 
@@ -854,7 +890,9 @@ impl Inner {
         let (info, early, had_resources) = {
             let th = self.threads.get_mut(&tid).expect("completing thread");
             th.state = ThreadState::Finished;
-            let early = th.terminated_early().then_some((th.action_wcet, th.action_actual));
+            let early = th
+                .terminated_early()
+                .then_some((th.action_wcet, th.action_actual));
             (th.clone_info(), early, !th.resources.is_empty())
         };
         if let Some((wcet, actual)) = early {
@@ -970,9 +1008,9 @@ impl Inner {
                 // Remote precedence: the msg_task transmits over the
                 // network; the receiver's kernel-side cost is the net IRQ
                 // kernel activity.
-                let fate =
-                    self.network
-                        .transit(NodeId(done.node), NodeId(succ_node), now);
+                let fate = self
+                    .network
+                    .transit(NodeId(done.node), NodeId(succ_node), now);
                 self.trace.record(
                     now,
                     NodeId(done.node),
@@ -982,22 +1020,31 @@ impl Inner {
                 let deadline_guess = now + self.network.max_delay() + Duration::from_nanos(1);
                 match fate {
                     Delivery::At(t) => {
-                        sched.post(t, Ev::RemoteArrive {
-                            thread: succ_tid,
-                            pred: done.eu,
-                        });
+                        sched.post(
+                            t,
+                            Ev::RemoteArrive {
+                                thread: succ_tid,
+                                pred: done.eu,
+                            },
+                        );
                         // Watchdog still armed: performance failures
                         // (delivery after δmax) are detected too.
-                        sched.post(deadline_guess, Ev::OmissionCheck {
-                            thread: succ_tid,
-                            pred: done.eu,
-                        });
+                        sched.post(
+                            deadline_guess,
+                            Ev::OmissionCheck {
+                                thread: succ_tid,
+                                pred: done.eu,
+                            },
+                        );
                     }
                     Delivery::Omitted => {
-                        sched.post(deadline_guess, Ev::OmissionCheck {
-                            thread: succ_tid,
-                            pred: done.eu,
-                        });
+                        sched.post(
+                            deadline_guess,
+                            Ev::OmissionCheck {
+                                thread: succ_tid,
+                                pred: done.eu,
+                            },
+                        );
                     }
                 }
             }
@@ -1109,7 +1156,13 @@ impl Inner {
 
     /// The dispatcher primitive (Section 3.2.2): modify a thread's
     /// priority and/or earliest start time.
-    fn apply_attr_change(&mut self, node: u32, c: AttrChange, now: Time, sched: &mut Scheduler<Ev>) {
+    fn apply_attr_change(
+        &mut self,
+        node: u32,
+        c: AttrChange,
+        now: Time,
+        sched: &mut Scheduler<Ev>,
+    ) {
         let Some(th) = self.threads.get_mut(&c.thread) else {
             return;
         };
@@ -1150,7 +1203,13 @@ impl Inner {
     // Monitoring helpers
     // ------------------------------------------------------------------
 
-    fn deadline_check(&mut self, task: TaskId, instance: u64, now: Time, sched: &mut Scheduler<Ev>) {
+    fn deadline_check(
+        &mut self,
+        task: TaskId,
+        instance: u64,
+        now: Time,
+        sched: &mut Scheduler<Ev>,
+    ) {
         let Some(inst) = self.instances.get_mut(&(task, instance)) else {
             return;
         };
@@ -1203,9 +1262,16 @@ impl Inner {
         if self.resmgr[node as usize].release_all(tid) {
             self.recheck_blocked(node, now);
         }
-        self.monitor.push(MonitorEvent::Orphan { thread: tid, at: now });
-        self.trace
-            .record(now, NodeId(node), TraceKind::Alarm, format!("orphan {name}"));
+        self.monitor.push(MonitorEvent::Orphan {
+            thread: tid,
+            at: now,
+        });
+        self.trace.record(
+            now,
+            NodeId(node),
+            TraceKind::Alarm,
+            format!("orphan {name}"),
+        );
         let key = (self.threads[&tid].task, self.threads[&tid].instance);
         if let Some(inst) = self.instances.get_mut(&key) {
             inst.live.remove(&tid);
@@ -1218,7 +1284,13 @@ impl Inner {
         }
     }
 
-    fn omission_check(&mut self, tid: ThreadId, pred: EuIndex, now: Time, sched: &mut Scheduler<Ev>) {
+    fn omission_check(
+        &mut self,
+        tid: ThreadId,
+        pred: EuIndex,
+        now: Time,
+        sched: &mut Scheduler<Ev>,
+    ) {
         let arrived = self
             .remote_arrived
             .get(&tid)
@@ -1251,7 +1323,13 @@ impl Inner {
         }
     }
 
-    fn remote_arrive(&mut self, tid: ThreadId, pred: EuIndex, now: Time, sched: &mut Scheduler<Ev>) {
+    fn remote_arrive(
+        &mut self,
+        tid: ThreadId,
+        pred: EuIndex,
+        now: Time,
+        sched: &mut Scheduler<Ev>,
+    ) {
         let entry = self.remote_arrived.entry(tid).or_default();
         if !entry.insert(pred) {
             return; // duplicate delivery
@@ -1410,15 +1488,16 @@ impl Simulation for Inner {
                     self.reschedule(node, now, sched);
                 }
             }
-            Ev::DeadlineCheck { task, instance } => {
-                self.deadline_check(task, instance, now, sched)
-            }
+            Ev::DeadlineCheck { task, instance } => self.deadline_check(task, instance, now, sched),
             Ev::LatestCheck { thread } => self.latest_check(thread, now),
             Ev::RemoteArrive { thread, pred } => self.remote_arrive(thread, pred, now, sched),
-            Ev::OmissionCheck { thread, pred } => {
-                self.omission_check(thread, pred, now, sched)
-            }
+            Ev::OmissionCheck { thread, pred } => self.omission_check(thread, pred, now, sched),
             Ev::KernelIrq { node, activity } => self.kernel_irq(node, activity, now, sched),
+            Ev::Actor { actor, ev } => {
+                for (at, to, ev) in self.actors.deliver(actor, ev, now, &mut self.network) {
+                    sched.post(at, Ev::Actor { actor: to, ev });
+                }
+            }
         }
     }
 }
@@ -1436,8 +1515,7 @@ mod tests {
         Task::new(
             TaskId(id),
             Heug::single(
-                CodeEu::new(name, us(wcet_us), ProcessorId(0))
-                    .with_priority(Priority::new(prio)),
+                CodeEu::new(name, us(wcet_us), ProcessorId(0)).with_priority(Priority::new(prio)),
             )
             .unwrap(),
             ArrivalLaw::Periodic(us(period_us)),
@@ -1498,11 +1576,9 @@ mod tests {
         // prio 6 must.
         let base = Task::new(
             TaskId(0),
-            Heug::single(
-                CodeEu::new("base", us(400), ProcessorId(0)).with_timing(
-                    EuTiming::with_priority(Priority::new(1)).with_threshold(Priority::new(5)),
-                ),
-            )
+            Heug::single(CodeEu::new("base", us(400), ProcessorId(0)).with_timing(
+                EuTiming::with_priority(Priority::new(1)).with_threshold(Priority::new(5)),
+            ))
             .unwrap(),
             ArrivalLaw::Aperiodic,
             us(5000),
@@ -1623,7 +1699,12 @@ mod tests {
         let c = b.code_eu(CodeEu::new("b", us(20), ProcessorId(0)));
         let d = b.code_eu(CodeEu::new("c", us(30), ProcessorId(0)));
         b.precede(a, c).precede(c, d);
-        let t = Task::new(TaskId(0), b.build().unwrap(), ArrivalLaw::Aperiodic, us(500));
+        let t = Task::new(
+            TaskId(0),
+            b.build().unwrap(),
+            ArrivalLaw::Aperiodic,
+            us(500),
+        );
         let set = TaskSet::new(vec![t]).unwrap();
         let mut sim = DispatchSim::new(set, SimConfig::ideal(Duration::from_millis(1)));
         sim.activate_at(TaskId(0), Time::ZERO);
@@ -1638,7 +1719,12 @@ mod tests {
         let a = b.code_eu(CodeEu::new("a", us(10), ProcessorId(0)));
         let c = b.code_eu(CodeEu::new("b", us(10), ProcessorId(1)));
         b.precede_with(a, c, 64);
-        let t = Task::new(TaskId(0), b.build().unwrap(), ArrivalLaw::Aperiodic, us(5000));
+        let t = Task::new(
+            TaskId(0),
+            b.build().unwrap(),
+            ArrivalLaw::Aperiodic,
+            us(5000),
+        );
         let set = TaskSet::new(vec![t]).unwrap();
         let mut cfg = SimConfig::ideal(Duration::from_millis(1));
         cfg.link = LinkConfig::reliable(us(100), us(100));
@@ -1657,7 +1743,12 @@ mod tests {
         let a = b.code_eu(CodeEu::new("a", us(10), ProcessorId(0)));
         let c = b.code_eu(CodeEu::new("b", us(10), ProcessorId(1)));
         b.precede(a, c);
-        let t = Task::new(TaskId(0), b.build().unwrap(), ArrivalLaw::Aperiodic, us(5000));
+        let t = Task::new(
+            TaskId(0),
+            b.build().unwrap(),
+            ArrivalLaw::Aperiodic,
+            us(5000),
+        );
         let set = TaskSet::new(vec![t]).unwrap();
         let mut cfg = SimConfig::ideal(Duration::from_millis(1));
         cfg.link = LinkConfig::reliable(us(10), us(20)).with_omissions(1000); // all lost
@@ -1701,10 +1792,7 @@ mod tests {
         let r = sim.run();
         assert!(r.all_deadlines_met());
         // producer: 10..60; consumer starts only after cv set at 60.
-        assert_eq!(
-            r.of_task(TaskId(1))[0].completed,
-            Some(Time::ZERO + us(70))
-        );
+        assert_eq!(r.of_task(TaskId(1))[0].completed, Some(Time::ZERO + us(70)));
     }
 
     #[test]
@@ -1841,7 +1929,12 @@ mod tests {
         let call = b.inv_eu(InvEu::sync("call", TaskId(1), ProcessorId(0)));
         let post = b.code_eu(CodeEu::new("post", us(10), ProcessorId(0)));
         b.precede(pre, call).precede(call, post);
-        let caller = Task::new(TaskId(0), b.build().unwrap(), ArrivalLaw::Aperiodic, us(1000));
+        let caller = Task::new(
+            TaskId(0),
+            b.build().unwrap(),
+            ArrivalLaw::Aperiodic,
+            us(1000),
+        );
         let set = TaskSet::new(vec![caller, callee]).unwrap();
         let mut cfg = SimConfig::ideal(Duration::from_millis(1));
         cfg.auto_activate = false;

@@ -350,10 +350,7 @@ mod tests {
         assert!(naive.feasible);
         let real = edf_feasible(
             &tasks,
-            &EdfAnalysisConfig::with_platform(
-                CostModel::measured_default(),
-                KernelModel::none(),
-            ),
+            &EdfAnalysisConfig::with_platform(CostModel::measured_default(), KernelModel::none()),
         );
         assert!(!real.feasible, "10%+ overhead breaks a 90% set");
     }

@@ -68,9 +68,8 @@ pub struct RtaReport {
 /// assert_eq!(report.response_times[1], Some(Duration::from_micros(30)));
 /// ```
 pub fn rta_feasible(tasks: &[RtaTask], costs: &CostModel, kernel: &KernelModel) -> RtaReport {
-    let inflate = |c: Duration| {
-        c + costs.act_start + costs.act_end + costs.ctx_switch.saturating_mul(2)
-    };
+    let inflate =
+        |c: Duration| c + costs.act_start + costs.act_end + costs.ctx_switch.saturating_mul(2);
     let mut response_times = Vec::with_capacity(tasks.len());
     let mut feasible = true;
     for (i, t) in tasks.iter().enumerate() {
@@ -191,11 +190,7 @@ mod tests {
         let naive = rta_feasible(&tasks, &CostModel::zero(), &KernelModel::none());
         assert!(naive.feasible);
         // ...infeasible once realistic overheads are charged.
-        let real = rta_feasible(
-            &tasks,
-            &CostModel::measured_default(),
-            &KernelModel::none(),
-        );
+        let real = rta_feasible(&tasks, &CostModel::measured_default(), &KernelModel::none());
         assert!(!real.feasible);
     }
 

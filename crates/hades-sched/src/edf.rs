@@ -59,11 +59,7 @@ impl SchedulerPolicy for EdfPolicy {
         "EDF"
     }
 
-    fn on_notification(
-        &mut self,
-        _n: &Notification,
-        live: &[ThreadSnapshot],
-    ) -> Vec<AttrChange> {
+    fn on_notification(&mut self, _n: &Notification, live: &[ThreadSnapshot]) -> Vec<AttrChange> {
         // Order live threads: earliest absolute deadline → highest
         // priority. Ties break on thread id for determinism.
         let mut ordered: Vec<&ThreadSnapshot> = live.iter().collect();
@@ -133,10 +129,7 @@ mod tests {
     fn already_correct_priorities_produce_no_changes() {
         let mut p = EdfPolicy::new();
         // Deadline 500 ranked above deadline 1000.
-        let live = vec![
-            snap(1, 1000, EDF_BASE),
-            snap(2, 500, EDF_BASE + 1),
-        ];
+        let live = vec![snap(1, 1000, EDF_BASE), snap(2, 500, EDF_BASE + 1)];
         let changes = p.on_notification(&notif(), &live);
         assert!(changes.is_empty());
         assert_eq!(p.reassignments(), 0);

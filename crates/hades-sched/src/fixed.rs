@@ -14,11 +14,8 @@ use hades_time::Duration;
 const BASE: u32 = 1_000;
 
 fn assign_by_key(tasks: &mut [Task], mut key: impl FnMut(&Task) -> Duration) {
-    let mut order: Vec<(Duration, usize)> = tasks
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (key(t), i))
-        .collect();
+    let mut order: Vec<(Duration, usize)> =
+        tasks.iter().enumerate().map(|(i, t)| (key(t), i)).collect();
     // Longest key (slowest rate / loosest deadline) gets the lowest
     // priority; on ties the earlier task in the slice wins (deterministic).
     order.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)));

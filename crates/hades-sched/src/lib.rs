@@ -30,6 +30,26 @@ pub mod modes;
 pub mod spring;
 pub mod spring_policy;
 
+/// The scheduling policy a deployment installs on its nodes.
+///
+/// Static policies (RM/DM) are burned into the task set's priorities
+/// offline via [`assign_rm`] / [`assign_dm`] and need no scheduler task;
+/// [`Policy::Edf`] installs an [`EdfPolicy`] scheduler task on every node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// Rate Monotonic: static priorities by period, no scheduler task.
+    #[default]
+    RateMonotonic,
+    /// Deadline Monotonic: static priorities by relative deadline.
+    DeadlineMonotonic,
+    /// Earliest Deadline First: dynamic priorities via a scheduler task on
+    /// every node.
+    Edf,
+    /// Use the priorities declared on each `Code_EU` unchanged (for
+    /// hand-tuned assignments and protocol experiments).
+    Manual,
+}
+
 pub use analysis::edf_demand::{edf_feasible, EdfAnalysisConfig, FeasibilityReport};
 pub use analysis::rta::{rta_feasible, RtaReport};
 pub use analysis::utilization::{edf_utilization_test, ll_bound, rm_utilization_test};

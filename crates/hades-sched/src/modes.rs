@@ -111,7 +111,12 @@ impl ModeChange {
     /// switch, every new-mode deadline `d` (measured from the switch)
     /// absorbs the *residual* carry-over plus new-mode demand plus kernel
     /// load.
-    fn offset_is_safe(&self, offset: Duration, carryover: Duration, cfg: &EdfAnalysisConfig) -> bool {
+    fn offset_is_safe(
+        &self,
+        offset: Duration,
+        carryover: Duration,
+        cfg: &EdfAnalysisConfig,
+    ) -> bool {
         // Residual old-mode work at the moment the new mode starts: the
         // CPU has had `offset` time (minus kernel load) to drain it.
         let drained = offset.saturating_sub(cfg.kernel.demand(offset));
@@ -123,8 +128,8 @@ impl ModeChange {
             for other in &self.new {
                 if other.deadline <= d {
                     let jobs = (d - other.deadline).div_floor(other.pseudo_period) + 1;
-                    demand = demand
-                        .saturating_add(inflated_c(other, &cfg.costs).saturating_mul(jobs));
+                    demand =
+                        demand.saturating_add(inflated_c(other, &cfg.costs).saturating_mul(jobs));
                 }
             }
             demand = demand.saturating_add(cfg.kernel.demand(d));

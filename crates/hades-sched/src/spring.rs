@@ -179,11 +179,7 @@ impl SpringPlanner {
 
     /// Admission control: can `new` join `existing` and the whole set still
     /// be planned? Returns the new plan on success.
-    pub fn admit(
-        &self,
-        existing: &[SpringRequest],
-        new: SpringRequest,
-    ) -> Option<SpringSchedule> {
+    pub fn admit(&self, existing: &[SpringRequest], new: SpringRequest) -> Option<SpringSchedule> {
         let mut all = existing.to_vec();
         all.push(new);
         self.plan(&all)

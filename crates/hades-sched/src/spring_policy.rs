@@ -92,7 +92,10 @@ impl SpringPolicy {
             .iter()
             .filter(|s| s.started)
             .map(|s| {
-                let ran = s.first_run.map(|f| now - f.min(now)).unwrap_or(Duration::ZERO);
+                let ran = s
+                    .first_run
+                    .map(|f| now - f.min(now))
+                    .unwrap_or(Duration::ZERO);
                 s.wcet.saturating_sub(ran)
             })
             .fold(Duration::ZERO, Duration::saturating_add);
@@ -165,7 +168,8 @@ impl SchedulerPolicy for SpringPolicy {
 
     fn on_notification(&mut self, n: &Notification, live: &[ThreadSnapshot]) -> Vec<AttrChange> {
         let now = n.at;
-        self.rejected.retain(|t| live.iter().any(|s| s.thread == *t));
+        self.rejected
+            .retain(|t| live.iter().any(|s| s.thread == *t));
         let requests = self.requests_of(live, now);
         if requests.is_empty() {
             return Vec::new();

@@ -1,0 +1,517 @@
+//! Engine-driven service actors: the per-node middleware agent.
+//!
+//! The sibling modules ([`crate::detect`], [`crate::membership`],
+//! [`crate::replication`]) are *self-contained* protocol simulations: each
+//! owns its whole timeline and is convenient for studying one service in
+//! isolation. A cluster runtime needs the same protocols as **actors** on
+//! a shared engine, interleaved with the dispatcher and with each other —
+//! the composition the paper deploys on every node.
+//!
+//! [`NodeAgent`] is that composition for one node. It runs three layers in
+//! one state machine:
+//!
+//! * **crash detection** — emits heartbeats every `H` to all peers and
+//!   suspects a peer whose silence exceeds `T₀ = H + δmax + γ` (the
+//!   perfect-detector timeout of [`crate::detect`]); detection happens
+//!   within [`crate::DetectorConfig::detection_bound`] of the crash;
+//! * **membership** — on suspicion it floods a view-change proposal
+//!   (`f + 1` rounds, FloodSet-style, as in [`crate::consensus`]) and
+//!   installs the agreed view at a bounded time after the first round;
+//! * **passive replication management** — the lowest-numbered member of
+//!   the current view is the primary; a view change that removes the
+//!   primary promotes the next member, which is the takeover moment of
+//!   passive/semi-active replication ([`crate::replication`]).
+//!
+//! Every externally visible transition is appended to a shared
+//! [`AgentLog`] the embedding runtime reads back after the run. The agent
+//! assumes crashes are separated by more than one detection + agreement
+//! window (the paper's bounded-failure model); overlapping failures keep
+//! safety of the masks but may skip view numbers on some nodes.
+
+use crate::membership::View;
+use hades_sim::mux::{ActorCtx, ActorEvent, NetActor};
+use hades_sim::NodeId;
+use hades_time::{Duration, Time};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Message kind: heartbeat.
+const MSG_HB: u64 = 1;
+/// Message kind: view-change proposal (payload = view number + mask).
+const MSG_VC: u64 = 2;
+
+/// Timer kinds (upper bits of the tag).
+const TAG_HB_TICK: u64 = 1 << 60;
+const TAG_TIMEOUT: u64 = 2 << 60;
+const TAG_ROUND: u64 = 3 << 60;
+const TAG_DECIDE: u64 = 4 << 60;
+
+fn timeout_tag(peer: u32, gen: u32) -> u64 {
+    TAG_TIMEOUT | ((peer as u64) << 32) | gen as u64
+}
+
+fn round_tag(target: u32, round: u32) -> u64 {
+    TAG_ROUND | ((target as u64) << 16) | round as u64
+}
+
+fn vc_payload(target: u32, mask: u64) -> u64 {
+    ((target as u64) << 48) | mask
+}
+
+fn vc_decode(payload: u64) -> (u32, u64) {
+    ((payload >> 48) as u32, payload & ((1 << 48) - 1))
+}
+
+/// Static configuration of one node's agent.
+#[derive(Debug, Clone, Copy)]
+pub struct AgentConfig {
+    /// The node this agent serves.
+    pub node: NodeId,
+    /// Cluster size; agents are assumed registered in node order, so the
+    /// agent of node *i* has actor id *i*.
+    pub nodes: u32,
+    /// Heartbeat emission period `H`.
+    pub heartbeat_period: Duration,
+    /// Clock precision `γ` folded into the suspicion timeout.
+    pub clock_precision: Duration,
+    /// Crash-fault bound `f`: the view-change flood runs `f + 1` rounds.
+    pub f: u32,
+}
+
+impl AgentConfig {
+    /// The suspicion timeout `T₀ = H + δmax + γ`.
+    pub fn timeout(&self, max_delay: Duration) -> Duration {
+        self.heartbeat_period + max_delay + self.clock_precision
+    }
+
+    /// Worst-case detection latency `H + T₀`.
+    pub fn detection_bound(&self, max_delay: Duration) -> Duration {
+        self.heartbeat_period + self.timeout(max_delay)
+    }
+
+    /// One agreement round: `δmax + γ` plus a scheduling margin.
+    pub fn round_length(&self, max_delay: Duration) -> Duration {
+        max_delay + self.clock_precision + Duration::from_micros(1)
+    }
+
+    /// Bound on the time from first local suspicion to view install.
+    pub fn agreement_bound(&self, max_delay: Duration) -> Duration {
+        self.round_length(max_delay)
+            .saturating_mul(self.f as u64 + 1)
+    }
+}
+
+/// Everything one agent observed and decided, readable after the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentLog {
+    /// The observing node.
+    pub node: u32,
+    /// Heartbeats received.
+    pub heartbeats_seen: u64,
+    /// Own suspicions: `(suspect, when)` in suspicion order.
+    pub suspicions: Vec<(u32, Time)>,
+    /// Installed views, starting with view 0.
+    pub views: Vec<View>,
+    /// Primary handovers: `(new_primary, when)` at each view install that
+    /// moved the primary.
+    pub primary_changes: Vec<(u32, Time)>,
+}
+
+impl AgentLog {
+    fn new(node: u32) -> Self {
+        AgentLog {
+            node,
+            heartbeats_seen: 0,
+            suspicions: Vec::new(),
+            views: Vec::new(),
+            primary_changes: Vec::new(),
+        }
+    }
+
+    /// The current primary: lowest-numbered member of the latest view.
+    pub fn primary(&self) -> Option<u32> {
+        self.views.last().and_then(|v| v.members.first().copied())
+    }
+
+    /// Member sequences of the installed views (for cross-node agreement
+    /// checks, which must ignore the node-local install instants).
+    pub fn view_members(&self) -> Vec<(u32, Vec<u32>)> {
+        self.views
+            .iter()
+            .map(|v| (v.number, v.members.clone()))
+            .collect()
+    }
+}
+
+/// An in-flight view change.
+#[derive(Debug, Clone, Copy)]
+struct Change {
+    target: u32,
+    proposal: u64,
+}
+
+/// The per-node middleware agent (detector + membership + replication
+/// management) as a [`NetActor`].
+///
+/// # Examples
+///
+/// Running four agents standalone on an [`hades_sim::ActorEngine`]:
+///
+/// ```
+/// use hades_services::actors::{AgentConfig, NodeAgent};
+/// use hades_sim::{ActorEngine, FaultPlan, LinkConfig, Network, NodeId, SimRng};
+/// use hades_time::{Duration, Time};
+///
+/// let plan = FaultPlan::new().crash_at(NodeId(2), Time::ZERO + Duration::from_millis(5));
+/// let net = Network::homogeneous(
+///     4,
+///     LinkConfig::reliable(Duration::from_micros(10), Duration::from_micros(40)),
+///     SimRng::seed_from(1),
+/// ).with_fault_plan(plan);
+/// let mut rt = ActorEngine::new(net);
+/// let logs: Vec<_> = (0..4)
+///     .map(|n| {
+///         let (agent, log) = NodeAgent::new(AgentConfig {
+///             node: NodeId(n),
+///             nodes: 4,
+///             heartbeat_period: Duration::from_millis(1),
+///             clock_precision: Duration::from_micros(10),
+///             f: 1,
+///         });
+///         rt.add_actor(Box::new(agent));
+///         log
+///     })
+///     .collect();
+/// rt.run(Time::ZERO + Duration::from_millis(20));
+/// let survivor = logs[0].borrow();
+/// assert_eq!(survivor.views.last().unwrap().members, vec![0, 1, 3]);
+/// ```
+#[derive(Debug)]
+pub struct NodeAgent {
+    cfg: AgentConfig,
+    /// Heartbeat generation per peer; a timeout fires only if no newer
+    /// heartbeat bumped the generation.
+    gen: Vec<u32>,
+    /// Peers this agent itself suspects.
+    suspected_local: u64,
+    /// Union of own suspicions and exclusions adopted from peers'
+    /// view-change proposals; removed from every proposal.
+    excluded: u64,
+    view_number: u32,
+    view_mask: u64,
+    primary: u32,
+    changing: Option<Change>,
+    log: Rc<RefCell<AgentLog>>,
+}
+
+impl NodeAgent {
+    /// Creates the agent and the shared log handle the embedding runtime
+    /// keeps for after-run inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has more than 48 nodes (membership masks are
+    /// packed into the message payload) or the agent's node is out of
+    /// range.
+    pub fn new(cfg: AgentConfig) -> (Self, Rc<RefCell<AgentLog>>) {
+        assert!(cfg.nodes <= 48, "membership masks support up to 48 nodes");
+        assert!(cfg.node.0 < cfg.nodes, "agent node outside the cluster");
+        let log = Rc::new(RefCell::new(AgentLog::new(cfg.node.0)));
+        let agent = NodeAgent {
+            cfg,
+            gen: vec![0; cfg.nodes as usize],
+            suspected_local: 0,
+            excluded: 0,
+            view_number: 0,
+            view_mask: (1u64 << cfg.nodes) - 1,
+            primary: 0,
+            changing: None,
+            log: log.clone(),
+        };
+        (agent, log)
+    }
+
+    fn bit(node: u32) -> u64 {
+        1u64 << node
+    }
+
+    fn members_of(mask: u64, nodes: u32) -> Vec<u32> {
+        (0..nodes).filter(|i| mask & Self::bit(*i) != 0).collect()
+    }
+
+    fn broadcast(&self, ctx: &mut ActorCtx<'_>, tag: u64, payload: u64) {
+        for peer in 0..self.cfg.nodes {
+            if NodeId(peer) != self.cfg.node {
+                ctx.send(hades_sim::mux::ActorId(peer), NodeId(peer), tag, payload);
+            }
+        }
+    }
+
+    /// Starts a view change (or folds more exclusions into the one in
+    /// flight) toward the next view without the excluded members.
+    fn begin_change(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
+        let proposal = self.view_mask & !self.excluded;
+        match &mut self.changing {
+            Some(c) => c.proposal &= proposal,
+            None => {
+                let target = self.view_number + 1;
+                self.changing = Some(Change { target, proposal });
+                self.broadcast(ctx, MSG_VC, vc_payload(target, proposal));
+                let round = self.cfg.round_length(ctx.max_delay());
+                for r in 1..=self.cfg.f {
+                    ctx.timer_at(now + round.saturating_mul(r as u64), round_tag(target, r));
+                }
+                ctx.timer_at(
+                    now + round.saturating_mul(self.cfg.f as u64 + 1),
+                    TAG_DECIDE | target as u64,
+                );
+            }
+        }
+    }
+
+    fn install(&mut self, target: u32, now: Time) {
+        let Some(c) = self.changing else { return };
+        if c.target != target {
+            return;
+        }
+        self.view_number = target;
+        self.view_mask = c.proposal;
+        self.changing = None;
+        let members = Self::members_of(self.view_mask, self.cfg.nodes);
+        let mut log = self.log.borrow_mut();
+        log.views.push(View {
+            number: target,
+            members: members.clone(),
+            installed_at: now,
+        });
+        if let Some(&new_primary) = members.first() {
+            if new_primary != self.primary {
+                self.primary = new_primary;
+                log.primary_changes.push((new_primary, now));
+            }
+        }
+    }
+}
+
+impl NetActor for NodeAgent {
+    fn node(&self) -> NodeId {
+        self.cfg.node
+    }
+
+    fn handle(&mut self, now: Time, ev: ActorEvent, ctx: &mut ActorCtx<'_>) {
+        match ev {
+            ActorEvent::Start => {
+                self.log.borrow_mut().views.push(View {
+                    number: 0,
+                    members: Self::members_of(self.view_mask, self.cfg.nodes),
+                    installed_at: now,
+                });
+                // First heartbeat immediately, then every H.
+                self.broadcast(ctx, MSG_HB, 0);
+                ctx.timer_after(self.cfg.heartbeat_period, TAG_HB_TICK);
+                // Until the first heartbeat arrives, a peer is treated as
+                // heard-from at time zero.
+                let timeout = self.cfg.timeout(ctx.max_delay());
+                for peer in 0..self.cfg.nodes {
+                    if NodeId(peer) != self.cfg.node {
+                        ctx.timer_at(now + timeout, timeout_tag(peer, 0));
+                    }
+                }
+            }
+            ActorEvent::Timer { tag } if tag == TAG_HB_TICK => {
+                self.broadcast(ctx, MSG_HB, 0);
+                ctx.timer_after(self.cfg.heartbeat_period, TAG_HB_TICK);
+            }
+            ActorEvent::Message { from, tag, .. } if tag == MSG_HB => {
+                let p = from.0;
+                self.log.borrow_mut().heartbeats_seen += 1;
+                self.gen[p as usize] += 1;
+                ctx.timer_at(
+                    now + self.cfg.timeout(ctx.max_delay()),
+                    timeout_tag(p, self.gen[p as usize]),
+                );
+            }
+            ActorEvent::Timer { tag } if tag & TAG_TIMEOUT != 0 && tag < TAG_ROUND => {
+                let peer = ((tag >> 32) & 0x0FFF_FFFF) as u32;
+                let gen = (tag & 0xFFFF_FFFF) as u32;
+                if self.gen[peer as usize] != gen || self.suspected_local & Self::bit(peer) != 0 {
+                    return;
+                }
+                self.suspected_local |= Self::bit(peer);
+                self.excluded |= Self::bit(peer);
+                self.log.borrow_mut().suspicions.push((peer, now));
+                if self.view_mask & Self::bit(peer) != 0 {
+                    self.begin_change(now, ctx);
+                }
+            }
+            ActorEvent::Message { tag, payload, .. } if tag == MSG_VC => {
+                let (target, mask) = vc_decode(payload);
+                if target != self.view_number + 1 {
+                    return; // stale or too far ahead
+                }
+                match &mut self.changing {
+                    Some(c) if c.target == target => c.proposal &= mask,
+                    Some(_) => {}
+                    None => {
+                        // Adopt the exclusions agreed by a faster peer and
+                        // join the flood with our own knowledge folded in.
+                        self.excluded |= self.view_mask & !mask;
+                        self.begin_change(now, ctx);
+                    }
+                }
+            }
+            ActorEvent::Timer { tag } if tag & TAG_ROUND != 0 && tag < TAG_DECIDE => {
+                let target = ((tag >> 16) & 0xFFFF) as u32;
+                if let Some(c) = self.changing {
+                    if c.target == target {
+                        self.broadcast(ctx, MSG_VC, vc_payload(c.target, c.proposal));
+                    }
+                }
+            }
+            ActorEvent::Timer { tag } if tag & TAG_DECIDE != 0 => {
+                self.install((tag & 0xFFFF) as u32, now);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hades_sim::{ActorEngine, FaultPlan, LinkConfig, Network, SimRng};
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn cfg(node: u32, nodes: u32) -> AgentConfig {
+        AgentConfig {
+            node: NodeId(node),
+            nodes,
+            heartbeat_period: ms(1),
+            clock_precision: us(10),
+            f: 1,
+        }
+    }
+
+    fn cluster(
+        nodes: u32,
+        plan: FaultPlan,
+        seed: u64,
+        horizon: Duration,
+    ) -> Vec<Rc<RefCell<AgentLog>>> {
+        let net = Network::homogeneous(
+            nodes,
+            LinkConfig::reliable(us(10), us(40)),
+            SimRng::seed_from(seed),
+        )
+        .with_fault_plan(plan);
+        let mut rt = ActorEngine::new(net);
+        let logs: Vec<_> = (0..nodes)
+            .map(|n| {
+                let (agent, log) = NodeAgent::new(cfg(n, nodes));
+                rt.add_actor(Box::new(agent));
+                log
+            })
+            .collect();
+        rt.run(Time::ZERO + horizon);
+        logs
+    }
+
+    #[test]
+    fn healthy_cluster_stays_in_view_zero() {
+        let logs = cluster(4, FaultPlan::new(), 1, ms(20));
+        for log in &logs {
+            let log = log.borrow();
+            assert!(log.suspicions.is_empty(), "no false suspicions");
+            assert_eq!(log.views.len(), 1);
+            assert_eq!(log.primary(), Some(0));
+            assert!(log.heartbeats_seen > 0);
+        }
+    }
+
+    #[test]
+    fn crash_is_detected_by_all_survivors_within_bound() {
+        let crash = Time::ZERO + ms(5);
+        let plan = FaultPlan::new().crash_at(NodeId(2), crash);
+        let logs = cluster(4, plan, 2, ms(20));
+        let bound = cfg(0, 4).detection_bound(us(40));
+        for n in [0usize, 1, 3] {
+            let log = logs[n].borrow();
+            assert_eq!(log.suspicions.len(), 1, "node {n} suspects exactly once");
+            let (suspect, at) = log.suspicions[0];
+            assert_eq!(suspect, 2);
+            assert!(at >= crash, "no anticipation");
+            assert!(
+                at - crash <= bound,
+                "latency {} > bound {bound}",
+                at - crash
+            );
+        }
+        assert!(
+            logs[2].borrow().suspicions.is_empty(),
+            "the dead observe nothing"
+        );
+    }
+
+    #[test]
+    fn survivors_agree_on_the_view_sequence() {
+        let plan = FaultPlan::new().crash_at(NodeId(2), Time::ZERO + ms(5));
+        let logs = cluster(4, plan, 3, ms(20));
+        let reference = logs[0].borrow().view_members();
+        assert_eq!(reference.len(), 2);
+        assert_eq!(reference[1], (1, vec![0, 1, 3]));
+        for n in [1usize, 3] {
+            assert_eq!(
+                logs[n].borrow().view_members(),
+                reference,
+                "node {n} agrees"
+            );
+        }
+    }
+
+    #[test]
+    fn primary_crash_promotes_next_member() {
+        let crash = Time::ZERO + ms(5);
+        let plan = FaultPlan::new().crash_at(NodeId(0), crash);
+        let logs = cluster(4, plan, 4, ms(20));
+        for n in [1usize, 2, 3] {
+            let log = logs[n].borrow();
+            assert_eq!(log.primary(), Some(1), "node {n} promoted node 1");
+            assert_eq!(log.primary_changes.len(), 1);
+            let (new_primary, at) = log.primary_changes[0];
+            assert_eq!(new_primary, 1);
+            let ceiling = cfg(0, 4).detection_bound(us(40)) + cfg(0, 4).agreement_bound(us(40));
+            assert!(at - crash <= ceiling, "takeover {} > {ceiling}", at - crash);
+        }
+    }
+
+    #[test]
+    fn two_separated_crashes_install_two_views() {
+        let plan = FaultPlan::new()
+            .crash_at(NodeId(3), Time::ZERO + ms(4))
+            .crash_at(NodeId(1), Time::ZERO + ms(12));
+        let logs = cluster(4, plan, 5, ms(25));
+        let reference = logs[0].borrow().view_members();
+        assert_eq!(
+            reference,
+            vec![(0, vec![0, 1, 2, 3]), (1, vec![0, 1, 2]), (2, vec![0, 2]),]
+        );
+        assert_eq!(logs[2].borrow().view_members(), reference);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let plan = FaultPlan::new().crash_at(NodeId(1), Time::ZERO + ms(7));
+            let logs = cluster(5, plan, 77, ms(25));
+            logs.iter().map(|l| l.borrow().clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -243,7 +243,12 @@ mod tests {
     #[test]
     fn converges_without_faults() {
         let report = ClockSyncRun::new(ClockSyncConfig::default_quad()).execute();
-        assert!(report.converged(), "final skew {} > bound {}", report.final_skew(), report.analytic_bound);
+        assert!(
+            report.converged(),
+            "final skew {} > bound {}",
+            report.final_skew(),
+            report.analytic_bound
+        );
         assert!(report.final_skew() < report.initial_skew / 2);
     }
 

@@ -241,12 +241,7 @@ impl BroadcastSim {
             .saturating_mul(self.f as u64 + 1);
         let node_count = self.net.node_count();
         let plan_crashed: Vec<u32> = (0..node_count)
-            .filter(|n| {
-                self.net
-                    .fault_plan()
-                    .crash_time(NodeId(*n))
-                    .is_some()
-            })
+            .filter(|n| self.net.fault_plan().crash_time(NodeId(*n)).is_some())
             .collect();
         let mut sim = Diffusion {
             net: self.net,
@@ -336,7 +331,11 @@ mod tests {
     }
 
     fn reliable_net(n: u32, seed: u64) -> Network {
-        Network::homogeneous(n, LinkConfig::reliable(us(5), us(20)), SimRng::seed_from(seed))
+        Network::homogeneous(
+            n,
+            LinkConfig::reliable(us(5), us(20)),
+            SimRng::seed_from(seed),
+        )
     }
 
     fn lossy_net(n: u32, permille: u32, seed: u64) -> Network {
@@ -352,7 +351,10 @@ mod tests {
         let mut net = reliable_net(2, 1);
         let p2p = ReliableP2p::new(P2pConfig::for_network(&net, 3));
         match p2p.send(&mut net, NodeId(0), NodeId(1), Time::ZERO) {
-            P2pOutcome::Delivered { attempt, delivered_at } => {
+            P2pOutcome::Delivered {
+                attempt,
+                delivered_at,
+            } => {
                 assert_eq!(attempt, 1);
                 assert!(delivered_at <= Time::ZERO + us(20));
             }
@@ -396,7 +398,11 @@ mod tests {
         assert!(out.missed.is_empty());
         assert!(out.agreement_holds());
         let lat = out.max_latency(Time::ZERO).unwrap();
-        assert!(lat <= out.bound, "latency {lat} exceeds bound {}", out.bound);
+        assert!(
+            lat <= out.bound,
+            "latency {lat} exceeds bound {}",
+            out.bound
+        );
     }
 
     #[test]

@@ -126,7 +126,8 @@ impl FloodConsensus {
                         continue;
                     }
                     messages += 1;
-                    if let Delivery::At(_) = net.transit(NodeId(sender), NodeId(receiver), round_start)
+                    if let Delivery::At(_) =
+                        net.transit(NodeId(sender), NodeId(receiver), round_start)
                     {
                         inboxes[receiver as usize].extend(payload.iter().copied());
                     }
@@ -159,8 +160,12 @@ mod tests {
     }
 
     fn net(n: u32, plan: FaultPlan, seed: u64) -> Network {
-        Network::homogeneous(n, LinkConfig::reliable(us(5), us(20)), SimRng::seed_from(seed))
-            .with_fault_plan(plan)
+        Network::homogeneous(
+            n,
+            LinkConfig::reliable(us(5), us(20)),
+            SimRng::seed_from(seed),
+        )
+        .with_fault_plan(plan)
     }
 
     fn cfg(f: u32, proposals: Vec<u64>) -> ConsensusConfig {
@@ -173,8 +178,8 @@ mod tests {
 
     #[test]
     fn all_correct_nodes_agree_on_minimum() {
-        let out = FloodConsensus::new(cfg(1, vec![5, 3, 9, 7]))
-            .execute(net(4, FaultPlan::new(), 1));
+        let out =
+            FloodConsensus::new(cfg(1, vec![5, 3, 9, 7])).execute(net(4, FaultPlan::new(), 1));
         assert!(out.agreement_holds());
         assert!(out.validity_holds(&[5, 3, 9, 7]));
         assert_eq!(out.decided_value(), Some(3));
@@ -203,8 +208,8 @@ mod tests {
 
     #[test]
     fn f_plus_one_rounds_run() {
-        let out = FloodConsensus::new(cfg(2, vec![4, 2, 6, 8, 1]))
-            .execute(net(5, FaultPlan::new(), 4));
+        let out =
+            FloodConsensus::new(cfg(2, vec![4, 2, 6, 8, 1])).execute(net(5, FaultPlan::new(), 4));
         // 3 rounds × 5 senders × 4 receivers = 60 messages.
         assert_eq!(out.messages, 60);
         assert_eq!(out.decided_at, Time::ZERO + (us(21)) * 3);
@@ -225,16 +230,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "one proposal per node")]
     fn proposal_count_mismatch_panics() {
-        let _ = FloodConsensus::new(cfg(1, vec![1, 2]))
-            .execute(net(4, FaultPlan::new(), 6));
+        let _ = FloodConsensus::new(cfg(1, vec![1, 2])).execute(net(4, FaultPlan::new(), 6));
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = FloodConsensus::new(cfg(1, vec![5, 3, 9, 7]))
-            .execute(net(4, FaultPlan::new(), 9));
-        let b = FloodConsensus::new(cfg(1, vec![5, 3, 9, 7]))
-            .execute(net(4, FaultPlan::new(), 9));
+        let a = FloodConsensus::new(cfg(1, vec![5, 3, 9, 7])).execute(net(4, FaultPlan::new(), 9));
+        let b = FloodConsensus::new(cfg(1, vec![5, 3, 9, 7])).execute(net(4, FaultPlan::new(), 9));
         assert_eq!(a, b);
     }
 }

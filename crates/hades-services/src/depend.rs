@@ -53,7 +53,10 @@ impl DependencyTracker {
     pub fn add_dependency(&mut self, producer: NodeKey, consumer: NodeKey) {
         self.known.insert(producer);
         self.known.insert(consumer);
-        self.dependents.entry(producer).or_default().insert(consumer);
+        self.dependents
+            .entry(producer)
+            .or_default()
+            .insert(consumer);
     }
 
     /// Whether a computation has been invalidated (directly or as an
@@ -161,7 +164,10 @@ mod tests {
         let mut d = DependencyTracker::new();
         d.add_dependency((0, 0), (1, 0));
         assert_eq!(d.invalidate((0, 0)), vec![(1, 0)]);
-        assert!(d.invalidate((0, 0)).is_empty(), "second call reports nothing");
+        assert!(
+            d.invalidate((0, 0)).is_empty(),
+            "second call reports nothing"
+        );
     }
 
     #[test]

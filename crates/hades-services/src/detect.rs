@@ -199,7 +199,11 @@ mod tests {
         let out = HeartbeatDetector::new(cfg()).observe(net(plan, 2));
         assert_eq!(out.suspected_at.len(), 1);
         let latency = out.detection_latency[&2];
-        assert!(latency <= out.bound, "latency {latency} > bound {}", out.bound);
+        assert!(
+            latency <= out.bound,
+            "latency {latency} > bound {}",
+            out.bound
+        );
         assert!(out.is_perfect());
     }
 
@@ -254,9 +258,6 @@ mod tests {
         let n = net(FaultPlan::new(), 0);
         let c = cfg();
         assert_eq!(c.timeout(&n), Duration::from_millis(1) + us(50) + us(10));
-        assert_eq!(
-            c.detection_bound(&n),
-            Duration::from_millis(2) + us(60)
-        );
+        assert_eq!(c.detection_bound(&n), Duration::from_millis(2) + us(60));
     }
 }

@@ -21,26 +21,33 @@
 //! * [`storage`] — persistent stable storage with atomic updates;
 //! * [`depend`] — dependency tracking and orphan elimination ([NMT97]);
 //! * [`membership`] — detector-triggered, consensus-agreed view changes;
-//! * [`checkpoint`] — state capture with bounded-replay recovery.
+//! * [`checkpoint`] — state capture with bounded-replay recovery;
+//! * [`actors`] — the same protocols as engine-driven actors
+//!   ([`actors::NodeAgent`]) for composition into a shared-engine cluster
+//!   runtime (`hades-cluster`).
 
 #![warn(missing_docs)]
 
+pub mod actors;
 pub mod checkpoint;
 pub mod clocksync;
 pub mod comm;
 pub mod consensus;
 pub mod depend;
-pub mod membership;
 pub mod detect;
+pub mod membership;
 pub mod replication;
 pub mod storage;
 
-pub use clocksync::{ClockSyncConfig, ClockSyncRun, PrecisionReport};
-pub use comm::{BroadcastOutcome, BroadcastSim, DeltaMulticast, P2pConfig, P2pOutcome, ReliableP2p};
-pub use consensus::{ConsensusConfig, ConsensusOutcome, FloodConsensus};
+pub use actors::{AgentConfig, AgentLog, NodeAgent};
 pub use checkpoint::{CheckpointService, Replayable};
+pub use clocksync::{ClockSyncConfig, ClockSyncRun, PrecisionReport};
+pub use comm::{
+    BroadcastOutcome, BroadcastSim, DeltaMulticast, P2pConfig, P2pOutcome, ReliableP2p,
+};
+pub use consensus::{ConsensusConfig, ConsensusOutcome, FloodConsensus};
 pub use depend::DependencyTracker;
-pub use membership::{MembershipOutcome, MembershipSim, View};
 pub use detect::{DetectorConfig, DetectorOutcome, HeartbeatDetector};
+pub use membership::{MembershipOutcome, MembershipSim, View};
 pub use replication::{ReplicaStyle, ReplicationOutcome, ReplicationSim};
 pub use storage::{StableStore, StorageError};

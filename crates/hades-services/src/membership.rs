@@ -109,8 +109,7 @@ impl MembershipSim {
             .find(|m| net.fault_plan().crash_time(*m).is_none())
             .unwrap_or(hades_sim::NodeId(0));
         let detector_net = net.clone();
-        let outcome =
-            HeartbeatDetector::new(self.detector).observe_from(detector_net, observer);
+        let outcome = HeartbeatDetector::new(self.detector).observe_from(detector_net, observer);
         let mut suspicions: Vec<(Time, u32)> = outcome
             .suspected_at
             .iter()

@@ -125,11 +125,7 @@ impl ReplicationSim {
     /// lowest-numbered crashed replica (if any) drives the failover path.
     pub fn execute(self, net: Network) -> ReplicationOutcome {
         let n = net.node_count() as u64;
-        let crash = net
-            .fault_plan()
-            .crashes()
-            .first()
-            .copied();
+        let crash = net.fault_plan().crashes().first().copied();
         let detection_latency = self.detector.detection_bound(&net);
         let mut state: u64 = 0;
         let mut served = 0u64;
@@ -229,8 +225,12 @@ mod tests {
     }
 
     fn net(plan: FaultPlan, seed: u64) -> Network {
-        Network::homogeneous(3, LinkConfig::reliable(us(5), us(20)), SimRng::seed_from(seed))
-            .with_fault_plan(plan)
+        Network::homogeneous(
+            3,
+            LinkConfig::reliable(us(5), us(20)),
+            SimRng::seed_from(seed),
+        )
+        .with_fault_plan(plan)
     }
 
     fn crash_leader_at_ms(ms: u64) -> FaultPlan {
@@ -250,11 +250,13 @@ mod tests {
 
     #[test]
     fn active_costs_n_fold_work() {
-        let healthy = ReplicationSim::new(ReplicaStyle::Active, 10, PERIOD)
-            .execute(net(FaultPlan::new(), 2));
+        let healthy =
+            ReplicationSim::new(ReplicaStyle::Active, 10, PERIOD).execute(net(FaultPlan::new(), 2));
         assert_eq!(healthy.execution_work, 30, "3 replicas x 10 requests");
         let passive = ReplicationSim::new(
-            ReplicaStyle::Passive { checkpoint_every: 4 },
+            ReplicaStyle::Passive {
+                checkpoint_every: 4,
+            },
             10,
             PERIOD,
         )
@@ -277,7 +279,9 @@ mod tests {
         let semi = ReplicationSim::new(ReplicaStyle::SemiActive, 20, PERIOD)
             .execute(net(crash_leader_at_ms(5), 4));
         let passive = ReplicationSim::new(
-            ReplicaStyle::Passive { checkpoint_every: 4 },
+            ReplicaStyle::Passive {
+                checkpoint_every: 4,
+            },
             20,
             PERIOD,
         )
@@ -294,7 +298,9 @@ mod tests {
     fn crash_of_follower_is_free_for_passive() {
         let plan = FaultPlan::new().crash_at(NodeId(2), Time::ZERO + Duration::from_millis(5));
         let out = ReplicationSim::new(
-            ReplicaStyle::Passive { checkpoint_every: 4 },
+            ReplicaStyle::Passive {
+                checkpoint_every: 4,
+            },
             20,
             PERIOD,
         )
@@ -308,7 +314,9 @@ mod tests {
         let styles = [
             ReplicaStyle::Active,
             ReplicaStyle::SemiActive,
-            ReplicaStyle::Passive { checkpoint_every: 4 },
+            ReplicaStyle::Passive {
+                checkpoint_every: 4,
+            },
         ];
         let finals: Vec<u64> = styles
             .iter()
@@ -328,7 +336,10 @@ mod tests {
         assert_eq!(ReplicaStyle::Active.name(), "active");
         assert_eq!(ReplicaStyle::SemiActive.name(), "semi-active");
         assert_eq!(
-            ReplicaStyle::Passive { checkpoint_every: 1 }.name(),
+            ReplicaStyle::Passive {
+                checkpoint_every: 1
+            }
+            .name(),
             "passive"
         );
     }

@@ -168,7 +168,10 @@ mod tests {
         assert!(p.link_cut(N0, N1, Time::from_nanos(10)));
         assert!(p.link_cut(N0, N1, Time::from_nanos(20)));
         assert!(!p.link_cut(N0, N1, Time::from_nanos(21)));
-        assert!(!p.link_cut(N1, N0, Time::from_nanos(15)), "reverse direction unaffected");
+        assert!(
+            !p.link_cut(N1, N0, Time::from_nanos(15)),
+            "reverse direction unaffected"
+        );
     }
 
     #[test]

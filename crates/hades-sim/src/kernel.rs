@@ -165,7 +165,10 @@ mod tests {
     fn model_demand_sums_activities() {
         let k = KernelModel::chorus_like();
         // Over 1 ms: 1 clock tick (2 µs) + 10 net irqs (50 µs).
-        assert_eq!(k.demand(Duration::from_millis(1)), Duration::from_micros(52));
+        assert_eq!(
+            k.demand(Duration::from_millis(1)),
+            Duration::from_micros(52)
+        );
     }
 
     #[test]

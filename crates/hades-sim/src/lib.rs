@@ -15,6 +15,10 @@
 //! * [`kernel`] — the background kernel-activity model of Section 4.2:
 //!   a periodic clock interrupt and sporadic network interrupts, each with a
 //!   worst-case execution time and pseudo-period.
+//! * [`mux`] — the multi-consumer engine handle: per-node protocol actors
+//!   ([`mux::NetActor`]) sharing one engine and one network, standalone via
+//!   [`mux::ActorEngine`] or embedded in another run loop via
+//!   [`mux::ActorHost`].
 //! * [`rng`] — a seedable, splittable deterministic random source.
 //! * [`trace`] — an execution trace recorder (event log + Gantt segments)
 //!   used by the monitoring experiments and by the figure reproductions.
@@ -49,6 +53,7 @@
 pub mod engine;
 pub mod fault;
 pub mod kernel;
+pub mod mux;
 pub mod net;
 pub mod rng;
 pub mod stats;
@@ -57,6 +62,7 @@ pub mod trace;
 pub use engine::{Engine, EventId, Scheduler, Simulation};
 pub use fault::{FaultPlan, OmissionWindow};
 pub use kernel::{KernelActivity, KernelModel};
+pub use mux::{ActorCtx, ActorEngine, ActorEvent, ActorHost, ActorId, NetActor};
 pub use net::{Delivery, LinkConfig, Network, NetworkStats, NodeId};
 pub use rng::SimRng;
 pub use stats::Summary;

@@ -1,0 +1,458 @@
+//! Multi-consumer engine handle: protocol actors sharing one engine.
+//!
+//! The service simulations of `hades-services` were originally written as
+//! self-contained loops, each owning its own timeline. A *cluster* run
+//! needs the opposite: many per-node protocol actors (heartbeat emission,
+//! membership agreement, replication management) advancing on **one**
+//! shared [`crate::Engine`] and exchanging messages over **one** shared
+//! [`Network`], optionally interleaved with other consumers of the same
+//! engine (the `hades-dispatch` run loop hosts an [`ActorHost`] next to
+//! its dispatcher events).
+//!
+//! The pieces:
+//!
+//! * [`NetActor`] — the consumer trait: an actor lives on a node, receives
+//!   [`ActorEvent`]s, and reacts through an [`ActorCtx`] (timers + network
+//!   sends).
+//! * [`ActorHost`] — owns a set of actors and routes one event to one
+//!   actor, translating its staged reactions into `(time, actor, event)`
+//!   triples the embedding engine posts. Events addressed to an actor
+//!   whose node has crashed are dropped, so a dead node goes silent
+//!   exactly as the fault plan dictates.
+//! * [`ActorEngine`] — a ready-made standalone runtime (host + engine +
+//!   network) for running actors without a dispatcher, used by unit tests
+//!   and service-level experiments.
+
+use crate::engine::{Engine, Scheduler, Simulation};
+use crate::net::{Delivery, Network, NodeId};
+use hades_time::{Duration, Time};
+
+/// Identifier of an actor within its host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub u32);
+
+impl std::fmt::Display for ActorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Events delivered to a [`NetActor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActorEvent {
+    /// Delivered once at the beginning of the run.
+    Start,
+    /// A timer the actor armed via [`ActorCtx::timer_at`] fired.
+    Timer {
+        /// The tag given when arming.
+        tag: u64,
+    },
+    /// A message from another actor arrived over the network.
+    Message {
+        /// Sending actor's node.
+        from: NodeId,
+        /// Protocol-defined message kind.
+        tag: u64,
+        /// Protocol-defined payload.
+        payload: u64,
+    },
+}
+
+/// A protocol actor living on one node of the shared network.
+pub trait NetActor {
+    /// The node this actor runs on. Events are dropped once the node has
+    /// crashed according to the network's fault plan.
+    fn node(&self) -> NodeId;
+
+    /// Reacts to one event at virtual time `now`.
+    fn handle(&mut self, now: Time, ev: ActorEvent, ctx: &mut ActorCtx<'_>);
+}
+
+/// The interface an actor reacts through: arm timers, send messages,
+/// inspect the shared network.
+#[derive(Debug)]
+pub struct ActorCtx<'a> {
+    now: Time,
+    self_id: ActorId,
+    self_node: NodeId,
+    net: &'a mut Network,
+    staged: Vec<(Time, ActorId, ActorEvent)>,
+}
+
+impl ActorCtx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The reacting actor's id.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Arms a timer for the reacting actor at absolute time `at`.
+    pub fn timer_at(&mut self, at: Time, tag: u64) {
+        let at = at.max(self.now);
+        self.staged
+            .push((at, self.self_id, ActorEvent::Timer { tag }));
+    }
+
+    /// Arms a timer `after` from now.
+    pub fn timer_after(&mut self, after: Duration, tag: u64) {
+        self.timer_at(self.now + after, tag);
+    }
+
+    /// Sends a message to `to` (running on `to_node`) over the shared
+    /// network. Returns `false` when the network omitted it (crashed
+    /// endpoint, cut link or probabilistic omission).
+    pub fn send(&mut self, to: ActorId, to_node: NodeId, tag: u64, payload: u64) -> bool {
+        match self.net.transit(self.self_node, to_node, self.now) {
+            Delivery::At(at) => {
+                self.staged.push((
+                    at,
+                    to,
+                    ActorEvent::Message {
+                        from: self.self_node,
+                        tag,
+                        payload,
+                    },
+                ));
+                true
+            }
+            Delivery::Omitted => false,
+        }
+    }
+
+    /// Whether `node` has crashed by now (per the fault plan).
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.net.fault_plan().is_crashed(node, self.now)
+    }
+
+    /// Worst-case healthy transit delay of the shared network (`δmax`).
+    pub fn max_delay(&self) -> Duration {
+        self.net.max_delay()
+    }
+
+    /// Number of nodes in the shared network.
+    pub fn node_count(&self) -> u32 {
+        self.net.node_count()
+    }
+}
+
+/// Owns a set of actors and routes events to them.
+///
+/// The host is engine-agnostic: an embedding run loop delivers one
+/// `(ActorId, ActorEvent)` at a time via [`ActorHost::deliver`] and posts
+/// the returned reactions on its own engine, under its own event
+/// vocabulary. [`ActorEngine`] is the standalone embedding.
+#[derive(Default)]
+pub struct ActorHost {
+    actors: Vec<Option<Box<dyn NetActor>>>,
+}
+
+impl std::fmt::Debug for ActorHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActorHost")
+            .field("actors", &self.actors.len())
+            .finish()
+    }
+}
+
+impl ActorHost {
+    /// An empty host.
+    pub fn new() -> Self {
+        ActorHost::default()
+    }
+
+    /// Registers an actor, returning its id.
+    pub fn add(&mut self, actor: Box<dyn NetActor>) -> ActorId {
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(Some(actor));
+        id
+    }
+
+    /// Number of registered actors.
+    pub fn len(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Whether no actors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.actors.is_empty()
+    }
+
+    /// Ids of all registered actors, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ActorId> {
+        (0..self.actors.len() as u32).map(ActorId)
+    }
+
+    /// Delivers one event to one actor and returns its staged reactions
+    /// (`(fire_time, target_actor, event)`), to be posted by the caller.
+    ///
+    /// Events for unknown actors or for actors whose node has crashed at
+    /// `now` are silently dropped.
+    pub fn deliver(
+        &mut self,
+        id: ActorId,
+        ev: ActorEvent,
+        now: Time,
+        net: &mut Network,
+    ) -> Vec<(Time, ActorId, ActorEvent)> {
+        let Some(slot) = self.actors.get_mut(id.0 as usize) else {
+            return Vec::new();
+        };
+        let Some(mut actor) = slot.take() else {
+            return Vec::new();
+        };
+        let node = actor.node();
+        if net.fault_plan().is_crashed(node, now) {
+            self.actors[id.0 as usize] = Some(actor);
+            return Vec::new();
+        }
+        let mut ctx = ActorCtx {
+            now,
+            self_id: id,
+            self_node: node,
+            net,
+            staged: Vec::new(),
+        };
+        actor.handle(now, ev, &mut ctx);
+        let staged = ctx.staged;
+        self.actors[id.0 as usize] = Some(actor);
+        staged
+    }
+}
+
+struct HostSim<'a> {
+    host: &'a mut ActorHost,
+    net: &'a mut Network,
+}
+
+impl Simulation for HostSim<'_> {
+    type Event = (ActorId, ActorEvent);
+
+    fn handle(&mut self, now: Time, (id, ev): Self::Event, sched: &mut Scheduler<Self::Event>) {
+        for (at, to, ev) in self.host.deliver(id, ev, now, self.net) {
+            sched.post(at, (to, ev));
+        }
+    }
+}
+
+/// A standalone multi-actor runtime: one engine, one network, N actors.
+///
+/// # Examples
+///
+/// ```
+/// use hades_sim::mux::{ActorCtx, ActorEngine, ActorEvent, NetActor};
+/// use hades_sim::{LinkConfig, Network, NodeId, SimRng};
+/// use hades_time::{Duration, Time};
+///
+/// /// Counts pings it receives; node 0 pings node 1 every millisecond.
+/// struct Pinger { node: NodeId, seen: u32 }
+/// impl NetActor for Pinger {
+///     fn node(&self) -> NodeId { self.node }
+///     fn handle(&mut self, _now: Time, ev: ActorEvent, ctx: &mut ActorCtx<'_>) {
+///         match ev {
+///             ActorEvent::Start | ActorEvent::Timer { .. } if self.node == NodeId(0) => {
+///                 ctx.send(hades_sim::mux::ActorId(1), NodeId(1), 7, 42);
+///                 ctx.timer_after(Duration::from_millis(1), 0);
+///             }
+///             ActorEvent::Message { tag: 7, .. } => self.seen += 1,
+///             _ => {}
+///         }
+///     }
+/// }
+///
+/// let net = Network::homogeneous(2, LinkConfig::default(), SimRng::seed_from(1));
+/// let mut rt = ActorEngine::new(net);
+/// rt.add_actor(Box::new(Pinger { node: NodeId(0), seen: 0 }));
+/// rt.add_actor(Box::new(Pinger { node: NodeId(1), seen: 0 }));
+/// rt.run(Time::ZERO + Duration::from_millis(5));
+/// ```
+#[derive(Debug)]
+pub struct ActorEngine {
+    engine: Engine<(ActorId, ActorEvent)>,
+    host: ActorHost,
+    net: Network,
+    started: bool,
+}
+
+impl ActorEngine {
+    /// Creates a runtime over `net`.
+    pub fn new(net: Network) -> Self {
+        ActorEngine {
+            engine: Engine::new(),
+            host: ActorHost::new(),
+            net,
+            started: false,
+        }
+    }
+
+    /// Registers an actor.
+    ///
+    /// # Panics
+    ///
+    /// Panics once the runtime has started running.
+    pub fn add_actor(&mut self, actor: Box<dyn NetActor>) -> ActorId {
+        assert!(!self.started, "actors must be added before the first run");
+        self.host.add(actor)
+    }
+
+    /// The shared network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Runs until `until` (inclusive), delivering `Start` to every actor
+    /// on the first call. Returns the number of delivered events.
+    pub fn run(&mut self, until: Time) -> u64 {
+        if !self.started {
+            self.started = true;
+            for id in self.host.ids() {
+                self.engine.post(Time::ZERO, (id, ActorEvent::Start));
+            }
+        }
+        let mut sim = HostSim {
+            host: &mut self.host,
+            net: &mut self.net,
+        };
+        self.engine.run(&mut sim, until)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.engine.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::net::LinkConfig;
+    use crate::rng::SimRng;
+
+    /// Every actor broadcasts one message at start; receivers count.
+    struct Counter {
+        node: NodeId,
+        peers: u32,
+        got: std::rc::Rc<std::cell::RefCell<Vec<(u32, Time)>>>,
+    }
+
+    impl NetActor for Counter {
+        fn node(&self) -> NodeId {
+            self.node
+        }
+        fn handle(&mut self, now: Time, ev: ActorEvent, ctx: &mut ActorCtx<'_>) {
+            match ev {
+                ActorEvent::Start => {
+                    for p in 0..self.peers {
+                        if NodeId(p) != self.node {
+                            ctx.send(ActorId(p), NodeId(p), 1, self.node.0 as u64);
+                        }
+                    }
+                }
+                ActorEvent::Message { from, .. } => {
+                    self.got.borrow_mut().push((from.0, now));
+                }
+                ActorEvent::Timer { .. } => {}
+            }
+        }
+    }
+
+    fn rc_log() -> std::rc::Rc<std::cell::RefCell<Vec<(u32, Time)>>> {
+        std::rc::Rc::new(std::cell::RefCell::new(Vec::new()))
+    }
+
+    #[test]
+    fn actors_exchange_messages_over_shared_network() {
+        let net = Network::homogeneous(
+            3,
+            LinkConfig::reliable(Duration::from_micros(5), Duration::from_micros(10)),
+            SimRng::seed_from(3),
+        );
+        let mut rt = ActorEngine::new(net);
+        let logs: Vec<_> = (0..3).map(|_| rc_log()).collect();
+        for n in 0..3u32 {
+            rt.add_actor(Box::new(Counter {
+                node: NodeId(n),
+                peers: 3,
+                got: logs[n as usize].clone(),
+            }));
+        }
+        rt.run(Time::ZERO + Duration::from_millis(1));
+        for (n, log) in logs.iter().enumerate() {
+            let senders: Vec<u32> = {
+                let mut v: Vec<u32> = log.borrow().iter().map(|(s, _)| *s).collect();
+                v.sort_unstable();
+                v
+            };
+            let expected: Vec<u32> = (0..3).filter(|x| *x != n as u32).collect();
+            assert_eq!(senders, expected, "node {n} heard everyone else");
+        }
+        assert_eq!(rt.network().stats().sent, 6);
+    }
+
+    #[test]
+    fn crashed_nodes_neither_send_nor_receive() {
+        let plan = FaultPlan::new().crash_at(NodeId(1), Time::ZERO);
+        let net = Network::homogeneous(
+            3,
+            LinkConfig::reliable(Duration::from_micros(5), Duration::from_micros(10)),
+            SimRng::seed_from(3),
+        )
+        .with_fault_plan(plan);
+        let mut rt = ActorEngine::new(net);
+        let logs: Vec<_> = (0..3).map(|_| rc_log()).collect();
+        for n in 0..3u32 {
+            rt.add_actor(Box::new(Counter {
+                node: NodeId(n),
+                peers: 3,
+                got: logs[n as usize].clone(),
+            }));
+        }
+        rt.run(Time::ZERO + Duration::from_millis(1));
+        assert!(logs[1].borrow().is_empty(), "dead node receives nothing");
+        for n in [0usize, 2] {
+            let senders: Vec<u32> = logs[n].borrow().iter().map(|(s, _)| *s).collect();
+            assert_eq!(senders, vec![2 - n as u32], "only the other live node");
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_deterministically() {
+        struct Ticker {
+            fired: std::rc::Rc<std::cell::RefCell<Vec<(u32, Time)>>>,
+        }
+        impl NetActor for Ticker {
+            fn node(&self) -> NodeId {
+                NodeId(0)
+            }
+            fn handle(&mut self, now: Time, ev: ActorEvent, ctx: &mut ActorCtx<'_>) {
+                match ev {
+                    ActorEvent::Start => {
+                        ctx.timer_after(Duration::from_micros(20), 2);
+                        ctx.timer_after(Duration::from_micros(10), 1);
+                    }
+                    ActorEvent::Timer { tag } => self.fired.borrow_mut().push((tag as u32, now)),
+                    ActorEvent::Message { .. } => {}
+                }
+            }
+        }
+        let run = || {
+            let net = Network::homogeneous(2, LinkConfig::default(), SimRng::seed_from(9));
+            let mut rt = ActorEngine::new(net);
+            let log = rc_log();
+            rt.add_actor(Box::new(Ticker { fired: log.clone() }));
+            rt.run(Time::ZERO + Duration::from_millis(1));
+            let v = log.borrow().clone();
+            v
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same history");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].0, 1);
+        assert_eq!(a[1].0, 2);
+    }
+}

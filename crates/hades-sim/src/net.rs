@@ -50,7 +50,10 @@ impl LinkConfig {
     ///
     /// Panics if `delay_min > delay_max`.
     pub fn reliable(delay_min: Duration, delay_max: Duration) -> Self {
-        assert!(delay_min <= delay_max, "delay_min must not exceed delay_max");
+        assert!(
+            delay_min <= delay_max,
+            "delay_min must not exceed delay_max"
+        );
         LinkConfig {
             delay_min,
             delay_max,
@@ -243,8 +246,10 @@ impl Network {
                 .range_inclusive(link.delay_min.as_nanos(), link.delay_max.as_nanos()),
         );
         if link.late_permille > 0 && self.rng.chance_permille(link.late_permille) {
-            let excess =
-                Duration::from_nanos(self.rng.range_inclusive(1, link.late_excess_max.as_nanos().max(1)));
+            let excess = Duration::from_nanos(
+                self.rng
+                    .range_inclusive(1, link.late_excess_max.as_nanos().max(1)),
+            );
             self.stats.delivered_late += 1;
             Delivery::At(now + link.delay_max + excess)
         } else {
@@ -307,8 +312,8 @@ mod tests {
 
     #[test]
     fn performance_failures_exceed_delay_max() {
-        let link = LinkConfig::reliable(micro(1), micro(2))
-            .with_performance_failures(1000, micro(5));
+        let link =
+            LinkConfig::reliable(micro(1), micro(2)).with_performance_failures(1000, micro(5));
         let mut net = Network::homogeneous(2, link, SimRng::seed_from(9));
         let d = net.transit(NodeId(0), NodeId(1), Time::ZERO);
         let t = d.time().expect("late, not lost");

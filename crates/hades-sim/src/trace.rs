@@ -162,7 +162,9 @@ impl Trace {
 
     /// Events whose detail contains `needle`.
     pub fn matching<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.events.iter().filter(move |e| e.detail.contains(needle))
+        self.events
+            .iter()
+            .filter(move |e| e.detail.contains(needle))
     }
 
     /// Total CPU time recorded for `lane` on `node`.
@@ -304,7 +306,10 @@ mod tests {
     #[test]
     fn gantt_render_empty_node() {
         let tr = Trace::new();
-        assert_eq!(tr.render_gantt(N, Duration::from_nanos(1)), "(no segments)\n");
+        assert_eq!(
+            tr.render_gantt(N, Duration::from_nanos(1)),
+            "(no segments)\n"
+        );
     }
 
     #[test]

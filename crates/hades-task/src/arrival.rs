@@ -146,7 +146,10 @@ mod tests {
     fn max_arrivals_uses_ceiling() {
         let law = ArrivalLaw::Periodic(MS);
         assert_eq!(law.max_arrivals_in(MS * 10), Some(10));
-        assert_eq!(law.max_arrivals_in(MS * 10 + Duration::from_nanos(1)), Some(11));
+        assert_eq!(
+            law.max_arrivals_in(MS * 10 + Duration::from_nanos(1)),
+            Some(11)
+        );
         assert_eq!(ArrivalLaw::Aperiodic.max_arrivals_in(MS), None);
     }
 

@@ -190,7 +190,10 @@ mod tests {
         let t = EuTiming::with_priority(Priority::new(5));
         assert_eq!(t.pt, Priority::new(5));
         assert!(t.preemptable_by(Priority::new(6)));
-        assert!(!t.preemptable_by(Priority::new(5)), "equal priority does not preempt");
+        assert!(
+            !t.preemptable_by(Priority::new(5)),
+            "equal priority does not preempt"
+        );
     }
 
     #[test]

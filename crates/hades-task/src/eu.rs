@@ -129,7 +129,11 @@ pub struct InvEu {
 
 impl InvEu {
     /// Creates a synchronous invocation of `target` issued from `processor`.
-    pub fn sync(name: impl Into<String>, target: crate::task::TaskId, processor: ProcessorId) -> Self {
+    pub fn sync(
+        name: impl Into<String>,
+        target: crate::task::TaskId,
+        processor: ProcessorId,
+    ) -> Self {
         InvEu {
             name: name.into(),
             target,

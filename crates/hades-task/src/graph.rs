@@ -388,8 +388,12 @@ mod tests {
         let remote = g.remote_edges();
         // a(p0)→c(p1) and c(p1)→d(p0) are remote.
         assert_eq!(remote.len(), 2);
-        assert!(remote.iter().any(|e| e.from == EuIndex(0) && e.to == EuIndex(2)));
-        assert!(remote.iter().any(|e| e.from == EuIndex(2) && e.to == EuIndex(3)));
+        assert!(remote
+            .iter()
+            .any(|e| e.from == EuIndex(0) && e.to == EuIndex(2)));
+        assert!(remote
+            .iter()
+            .any(|e| e.from == EuIndex(2) && e.to == EuIndex(3)));
         assert_eq!(g.processors(), vec![ProcessorId(0), ProcessorId(1)]);
     }
 
@@ -405,7 +409,10 @@ mod tests {
 
     #[test]
     fn empty_graph_rejected() {
-        assert_eq!(HeugBuilder::new("e").build().unwrap_err(), GraphError::Empty);
+        assert_eq!(
+            HeugBuilder::new("e").build().unwrap_err(),
+            GraphError::Empty
+        );
     }
 
     #[test]
@@ -458,7 +465,9 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        assert!(GraphError::Empty.to_string().contains("no elementary units"));
+        assert!(GraphError::Empty
+            .to_string()
+            .contains("no elementary units"));
         assert!(GraphError::SelfLoop(EuIndex(1)).to_string().contains("eu1"));
         assert!(GraphError::Cycle(EuIndex(2)).to_string().contains("cycle"));
         assert!(GraphError::DuplicateEdge(EuIndex(0), EuIndex(1))

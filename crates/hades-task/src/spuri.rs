@@ -130,15 +130,19 @@ impl SpuriTask {
             .with_deadline(self.deadline);
         let mut chain = Vec::new();
         if !self.c_before.is_zero() {
-            chain.push(b.code_eu(
-                CodeEu::new(format!("{}_before", self.name), self.c_before, self.processor)
+            chain.push(
+                b.code_eu(
+                    CodeEu::new(
+                        format!("{}_before", self.name),
+                        self.c_before,
+                        self.processor,
+                    )
                     .with_timing(timing),
-            ));
+                ),
+            );
         }
         if !self.cs.is_zero() {
-            let res = self
-                .resource
-                .expect("critical section requires a resource");
+            let res = self.resource.expect("critical section requires a resource");
             let mut eu = CodeEu::new(format!("{}_cs", self.name), self.cs, self.processor)
                 .with_resource(ResourceUse::exclusive(res));
             if chain.is_empty() {

@@ -316,12 +316,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "deadline must be positive")]
     fn zero_deadline_rejected() {
-        let heug = Heug::single(CodeEu::new(
-            "x",
-            Duration::from_micros(1),
-            ProcessorId(0),
-        ))
-        .unwrap();
+        let heug =
+            Heug::single(CodeEu::new("x", Duration::from_micros(1), ProcessorId(0))).unwrap();
         let _ = Task::new(TaskId(0), heug, ArrivalLaw::Aperiodic, Duration::ZERO);
     }
 

@@ -180,7 +180,10 @@ mod tests {
     #[test]
     fn midpoint_requires_three_f_plus_one() {
         let err = fault_tolerant_midpoint(&[1, 2, 3], 1).unwrap_err();
-        assert_eq!(err, ConvergenceError::NotEnoughEstimates { have: 3, need: 4 });
+        assert_eq!(
+            err,
+            ConvergenceError::NotEnoughEstimates { have: 3, need: 4 }
+        );
         assert!(err.to_string().contains("at least 4"));
     }
 
@@ -207,7 +210,11 @@ mod tests {
 
     #[test]
     fn steady_state_is_fixed_point() {
-        let r = SyncRound::new(Duration::from_micros(10), 50_000, Duration::from_millis(500));
+        let r = SyncRound::new(
+            Duration::from_micros(10),
+            50_000,
+            Duration::from_millis(500),
+        );
         let gamma = r.steady_state_precision();
         let next = r.skew_after_round(gamma);
         // At the fixed point skew does not grow.

@@ -7,8 +7,8 @@
 //! entries are skipped lazily on pop).
 
 use crate::ticks::Time;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Opaque handle identifying an armed timer; used to cancel it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -1,0 +1,181 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment of this repository has no network access, so the
+//! real crates.io `criterion` cannot be fetched. This crate implements the
+//! small API subset the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] — with a simple
+//! wall-clock measurement loop, so `cargo bench` runs and prints one
+//! median-time line per benchmark. It intentionally does no statistics,
+//! plotting or comparison against saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Passed to the benchmark closure; runs the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u64,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`: a few warm-up runs, then `samples` timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        // Pick a batch size so one batch takes roughly a millisecond.
+        let probe = Instant::now();
+        std::hint::black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            per_iter.push(start.elapsed() / batch as u32);
+        }
+        per_iter.sort();
+        self.last = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = (n as u64).max(1);
+        self
+    }
+
+    /// Runs one benchmark with an auxiliary input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            last: None,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.label, b.last);
+        self
+    }
+
+    /// Runs one benchmark without input.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            last: None,
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), b.last);
+        self
+    }
+
+    /// Ends the group (printing is immediate; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, label: &str, median: Option<Duration>) {
+    match median {
+        Some(d) => println!("bench {group}/{label}: median {d:?}/iter"),
+        None => println!("bench {group}/{label}: no measurement"),
+    }
+}
+
+/// The harness entry object handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: 10,
+            last: None,
+        };
+        f(&mut b);
+        report("bench", &name.to_string(), b.last);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

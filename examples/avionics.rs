@@ -31,7 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     loop_b.precede(sample, filter);
     loop_b.precede_with(filter, law, 96); // sensor frame crosses the network
     loop_b.precede(law, actuate);
-    let control = Task::new(TaskId(0), loop_b.build()?, ArrivalLaw::Periodic(ms(5)), ms(5));
+    let control = Task::new(
+        TaskId(0),
+        loop_b.build()?,
+        ArrivalLaw::Periodic(ms(5)),
+        ms(5),
+    );
 
     // --- Air-data acquisition on node 0, 10 ms.
     let airdata = Task::new(
@@ -109,7 +114,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  worst response {task}: {rt}");
     }
     assert!(report.all_deadlines_met(), "accepted set must not miss");
-    assert!(report.monitor.is_healthy(), "no alarms beyond early terminations");
+    assert!(
+        report.monitor.is_healthy(),
+        "no alarms beyond early terminations"
+    );
     println!("flight control loop met every deadline ✓");
     Ok(())
 }

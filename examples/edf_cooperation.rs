@@ -60,15 +60,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|e| e.detail.as_str())
         .collect();
     assert!(
-        notifies.iter().any(|d| d.starts_with("Atv") && d.contains("t2")),
+        notifies
+            .iter()
+            .any(|d| d.starts_with("Atv") && d.contains("t2")),
         "Atv τ2 notification present"
     );
     assert!(
-        notifies.iter().any(|d| d.starts_with("Trm") && d.contains("t2")),
+        notifies
+            .iter()
+            .any(|d| d.starts_with("Trm") && d.contains("t2")),
         "Trm τ2 notification present"
     );
-    let t2_done = report.of_task(TaskId(2))[0].completed.expect("t2 completes");
-    let t1_done = report.of_task(TaskId(1))[0].completed.expect("t1 completes");
+    let t2_done = report.of_task(TaskId(2))[0]
+        .completed
+        .expect("t2 completes");
+    let t1_done = report.of_task(TaskId(1))[0]
+        .completed
+        .expect("t1 completes");
     assert!(t2_done < t1_done, "τ2 (tighter deadline) finished first");
     assert!(report.all_deadlines_met());
     println!("\nτ2 completed at {t2_done}, τ1 resumed and completed at {t1_done} ✓");

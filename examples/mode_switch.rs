@@ -37,11 +37,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("carry-over          : {}", verdict.carryover);
     println!(
         "steady-state new mode: {}",
-        if verdict.steady_state.feasible { "feasible" } else { "INFEASIBLE" }
+        if verdict.steady_state.feasible {
+            "feasible"
+        } else {
+            "INFEASIBLE"
+        }
     );
     println!(
         "immediate switch     : {}",
-        if verdict.immediate_feasible { "safe" } else { "unsafe" }
+        if verdict.immediate_feasible {
+            "safe"
+        } else {
+            "unsafe"
+        }
     );
     println!("safe release offset  : {}", verdict.safe_offset);
     assert!(verdict.transition_possible());
@@ -76,7 +84,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     store.write(b"mode", b"normal".to_vec());
     store.stage(b"mode", b"degraded".to_vec());
     store.crash(); // power blip before the commit point
-    assert_eq!(store.read(b"mode")?, b"normal", "old mode survives the crash");
+    assert_eq!(
+        store.read(b"mode")?,
+        b"normal",
+        "old mode survives the crash"
+    );
     store.stage(b"mode", b"degraded".to_vec());
     store.commit(b"mode");
     assert_eq!(store.read(b"mode")?, b"degraded");

@@ -42,9 +42,16 @@ fn main() {
         ..ClockSyncConfig::default_quad()
     })
     .execute();
-    println!("\n[clock sync]  initial skew {}  final skew {}  bound {}",
-        sync.initial_skew, sync.final_skew(), sync.analytic_bound);
-    assert!(sync.converged(), "correct clocks converge despite Byzantine");
+    println!(
+        "\n[clock sync]  initial skew {}  final skew {}  bound {}",
+        sync.initial_skew,
+        sync.final_skew(),
+        sync.analytic_bound
+    );
+    assert!(
+        sync.converged(),
+        "correct clocks converge despite Byzantine"
+    );
 
     // 2. Crash detection of channel 3.
     let det_cfg = DetectorConfig {
@@ -55,7 +62,10 @@ fn main() {
     let net = Network::homogeneous(4, link, SimRng::seed_from(11)).with_fault_plan(plan.clone());
     let det = HeartbeatDetector::new(det_cfg).observe(net);
     let latency = det.detection_latency[&3];
-    println!("[detector]    channel 3 suspected after {latency} (bound {})", det.bound);
+    println!(
+        "[detector]    channel 3 suspected after {latency} (bound {})",
+        det.bound
+    );
     assert!(det.is_perfect(), "no false alarms, detection within bound");
 
     // 3. Consensus on the trip decision among surviving channels
@@ -70,17 +80,24 @@ fn main() {
     .execute(net);
     assert!(consensus.agreement_holds());
     let trip = consensus.decided_value() == Some(0);
-    println!("[consensus]   {} channels decided in {} messages: trip = {trip}",
-        consensus.decisions.len(), consensus.messages);
+    println!(
+        "[consensus]   {} channels decided in {} messages: trip = {trip}",
+        consensus.decisions.len(),
+        consensus.messages
+    );
     assert!(trip, "the trip demand must prevail");
 
     // 4. Reliable broadcast of the trip command.
     let net = Network::homogeneous(4, link, SimRng::seed_from(17)).with_fault_plan(plan.clone());
     let bcast = BroadcastSim::new(net, 1).broadcast(NodeId(1), consensus.decided_at);
     assert!(bcast.agreement_holds());
-    let lat = bcast.max_latency(consensus.decided_at).expect("all correct delivered");
-    println!("[broadcast]   trip command at every correct channel within {lat} (bound {})",
-        bcast.bound);
+    let lat = bcast
+        .max_latency(consensus.decided_at)
+        .expect("all correct delivered");
+    println!(
+        "[broadcast]   trip command at every correct channel within {lat} (bound {})",
+        bcast.bound
+    );
 
     // 5. Mode change recorded atomically; a crash mid-update must not
     //    corrupt the stored mode.
@@ -101,7 +118,10 @@ fn main() {
     deps.add_dependency((10, 0), (20, 0)); // display consumed voter output
     deps.add_dependency((2, 0), (10, 1)); // unrelated chain survives
     let orphans = deps.invalidate((3, 0));
-    println!("[dependency]  channel 3 failure orphaned {} downstream computations", orphans.len());
+    println!(
+        "[dependency]  channel 3 failure orphaned {} downstream computations",
+        orphans.len()
+    );
     assert_eq!(orphans, vec![(10, 0), (20, 0)]);
 
     println!("\nprotection chain complete: detect → agree → trip → persist ✓");

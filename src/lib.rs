@@ -27,6 +27,7 @@
 //! | [`hades_dispatch`] | the generic dispatcher: run queue, preemption thresholds, PCP/SRP, notifications, cost charging, monitoring |
 //! | [`hades_sched`] | RM/DM/EDF/Spring policies and the feasibility analyses of Section 5 |
 //! | [`hades_services`] | clock sync, reliable broadcast/multicast, crash detection, consensus, replication, storage, dependency tracking |
+//! | [`hades_cluster`] | the integrated multi-node runtime: N per-node stacks (dispatcher + policy + services) over one shared engine and network |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub use hades_cluster;
 pub use hades_dispatch;
 pub use hades_sched;
 pub use hades_services;
@@ -65,6 +67,9 @@ pub use system::{HadesNode, Policy, SystemError};
 /// One-stop imports for building and running a HADES deployment.
 pub mod prelude {
     pub use crate::system::{HadesNode, Policy, SystemError};
+    pub use hades_cluster::{
+        ClusterError, ClusterReport, HadesCluster, MiddlewareConfig, ScenarioPlan,
+    };
     pub use hades_dispatch::{
         CostModel, DispatchSim, ExecTimeModel, MissPolicy, MonitorEvent, ResourceProtocol,
         RunReport, SimConfig,

@@ -8,21 +8,7 @@ use hades_task::{Task, TaskSet};
 use hades_time::Duration;
 use std::fmt;
 
-/// The scheduling policy a [`HadesNode`] installs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Policy {
-    /// Rate Monotonic: static priorities by period, no scheduler task.
-    #[default]
-    RateMonotonic,
-    /// Deadline Monotonic: static priorities by relative deadline.
-    DeadlineMonotonic,
-    /// Earliest Deadline First: dynamic priorities via a scheduler task on
-    /// every node.
-    Edf,
-    /// Use the priorities declared on each `Code_EU` unchanged (for
-    /// hand-tuned assignments and protocol experiments).
-    Manual,
-}
+pub use hades_sched::Policy;
 
 /// Errors surfaced while assembling a deployment.
 #[derive(Debug)]

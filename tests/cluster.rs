@@ -1,0 +1,155 @@
+//! End-to-end cluster scenarios: crash → detect → view change → failover
+//! on the integrated multi-node runtime, plus the detection-latency bound
+//! as a property over random scenarios.
+
+use proptest::prelude::*;
+
+use hades::prelude::*;
+use hades_services::DetectorConfig;
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// The acceptance scenario: a 4-node cluster under EDF with measured
+/// dispatcher costs; node 0 (the passive primary) is killed at t = 50 ms.
+fn failover_cluster(seed: u64) -> HadesCluster {
+    let mut cluster = HadesCluster::new(4)
+        .policy(Policy::Edf)
+        .costs(CostModel::measured_default())
+        .horizon(ms(100))
+        .seed(seed)
+        .scenario(ScenarioPlan::new().crash(NodeId(0), Time::ZERO + ms(50)));
+    for node in 0..4 {
+        cluster = cluster
+            .periodic_app(node, "control", us(200), ms(2))
+            .periodic_app(node, "logging", us(500), ms(10));
+    }
+    cluster
+}
+
+#[test]
+fn crash_detect_view_change_failover_sequence() {
+    let crash = Time::ZERO + ms(50);
+    let report = failover_cluster(42).run().unwrap();
+
+    // Detection: every surviving observer suspected node 0, nobody else,
+    // within the analytic bound.
+    assert!(report.no_false_suspicions());
+    assert_eq!(report.detections.len(), 3, "three survivors, one suspect");
+    for d in &report.detections {
+        assert_eq!(d.suspect, 0);
+        assert!(d.suspected_at > crash);
+        assert!(d.latency.unwrap() <= report.detection_bound);
+    }
+
+    // Membership: one agreed view change, identical on every survivor.
+    assert!(report.views_agree);
+    assert_eq!(
+        report.view_history,
+        vec![(0, vec![0, 1, 2, 3]), (1, vec![1, 2, 3])]
+    );
+
+    // Replication: the passive replica on node 1 took over after the
+    // crash, within detection + agreement time.
+    assert_eq!(report.failovers.len(), 1);
+    let f = report.failovers[0];
+    assert_eq!(f.failed_primary, 0);
+    assert_eq!(f.new_primary, 1);
+    assert!(f.taken_over_at > crash);
+    assert!(
+        f.latency <= report.detection_bound + ms(2),
+        "bounded takeover"
+    );
+
+    // Scheduling: all surviving nodes met every deadline, and the
+    // middleware load is visible in each node's feasibility report.
+    for n in &report.node_reports {
+        if n.crashed_at.is_none() {
+            assert_eq!(n.app_misses, 0, "node {} missed deadlines", n.node);
+            assert_eq!(n.middleware_misses, 0);
+        }
+        assert!(n.feasibility.middleware_utilization_permille > 0);
+        assert!(
+            n.feasibility.inflated_utilization_permille
+                >= n.feasibility.app_utilization_permille
+                    + n.feasibility.middleware_utilization_permille,
+            "the integrated test sees app + middleware + overhead"
+        );
+        assert!(n.feasibility.integrated_feasible);
+    }
+}
+
+#[test]
+fn identical_reports_for_identical_seeds() {
+    let a = failover_cluster(7).run().unwrap();
+    let b = failover_cluster(7).run().unwrap();
+    assert_eq!(a, b, "the cluster run is a pure function of its inputs");
+    let c = failover_cluster(8).run().unwrap();
+    assert!(
+        a.heartbeats_seen != c.heartbeats_seen || a != c,
+        "different seed actually changes the run"
+    );
+}
+
+#[test]
+fn cluster_bound_matches_detector_config() {
+    let cluster = failover_cluster(1);
+    let link = LinkConfig::reliable(us(10), us(50));
+    let gamma = MiddlewareConfig::default().clock_precision(&link);
+    let net = Network::homogeneous(4, link, SimRng::seed_from(0));
+    let detector = DetectorConfig {
+        heartbeat_period: MiddlewareConfig::default().heartbeat_period,
+        clock_precision: gamma,
+        horizon: ms(100),
+    };
+    assert_eq!(
+        cluster.detection_bound(),
+        detector.detection_bound(&net),
+        "the cluster runtime honours the detector's analytic bound"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Detection latency never exceeds the `DetectorConfig` bound, for any
+    /// victim, crash time, seed and cluster size.
+    #[test]
+    fn detection_latency_never_exceeds_bound(
+        seed in 0u64..10_000,
+        victim in 0u32..8,
+        crash_ms in 1u64..25,
+        nodes in 3u32..8,
+    ) {
+        let victim = victim % nodes;
+        let crash = Time::ZERO + ms(crash_ms);
+        let mut cluster = HadesCluster::new(nodes)
+            .horizon(ms(40))
+            .seed(seed)
+            .scenario(ScenarioPlan::new().crash(NodeId(victim), crash));
+        for node in 0..nodes {
+            cluster = cluster.periodic_app(node, "app", us(100), ms(2));
+        }
+        let bound = cluster.detection_bound();
+        let report = cluster.run().unwrap();
+        prop_assert!(report.no_false_suspicions());
+        prop_assert_eq!(report.detections.len() as u32, nodes - 1);
+        for d in &report.detections {
+            prop_assert_eq!(d.suspect, victim);
+            let latency = d.latency.expect("victim really crashed");
+            prop_assert!(
+                latency <= bound,
+                "observer {} latency {} > bound {}",
+                d.observer,
+                latency,
+                bound
+            );
+        }
+        prop_assert!(report.views_agree);
+    }
+}

@@ -3,8 +3,8 @@
 
 use hades::prelude::*;
 use hades_services::{
-    BroadcastSim, ConsensusConfig, DetectorConfig, FloodConsensus, HeartbeatDetector,
-    P2pConfig, ReliableP2p,
+    BroadcastSim, ConsensusConfig, DetectorConfig, FloodConsensus, HeartbeatDetector, P2pConfig,
+    ReliableP2p,
 };
 
 fn us(n: u64) -> Duration {
@@ -22,7 +22,12 @@ fn pipeline_task() -> Task {
     let s1 = b.code_eu(CodeEu::new("process", us(200), ProcessorId(1)));
     let s2 = b.code_eu(CodeEu::new("deliver", us(100), ProcessorId(2)));
     b.precede_with(s0, s1, 256).precede_with(s1, s2, 64);
-    Task::new(TaskId(0), b.build().unwrap(), ArrivalLaw::Periodic(ms(2)), ms(2))
+    Task::new(
+        TaskId(0),
+        b.build().unwrap(),
+        ArrivalLaw::Periodic(ms(2)),
+        ms(2),
+    )
 }
 
 #[test]
@@ -50,9 +55,14 @@ fn pipeline_survives_transient_link_cut_with_detection() {
     // The 0→1 link is cut during [3 ms, 5 ms]: instances launched in the
     // window lose their remote precedence and are reaped; instances
     // outside complete.
-    let plan = FaultPlan::new().cut_link(NodeId(0), NodeId(1), Time::ZERO + ms(3), Time::ZERO + ms(5));
-    let net = Network::homogeneous(3, LinkConfig::reliable(us(20), us(80)), SimRng::seed_from(5))
-        .with_fault_plan(plan);
+    let plan =
+        FaultPlan::new().cut_link(NodeId(0), NodeId(1), Time::ZERO + ms(3), Time::ZERO + ms(5));
+    let net = Network::homogeneous(
+        3,
+        LinkConfig::reliable(us(20), us(80)),
+        SimRng::seed_from(5),
+    )
+    .with_fault_plan(plan);
     let report = HadesNode::new()
         .task(pipeline_task())
         .network(net)
@@ -125,7 +135,11 @@ fn detector_feeds_consensus_based_reconfiguration() {
     })
     .execute(Network::homogeneous(4, link, SimRng::seed_from(9)).with_fault_plan(plan));
     assert!(outcome.agreement_holds());
-    assert_eq!(outcome.decided_value(), Some(0b1011), "crashed member excluded");
+    assert_eq!(
+        outcome.decided_value(),
+        Some(0b1011),
+        "crashed member excluded"
+    );
     assert!(!outcome.decisions.contains_key(&2));
 }
 
@@ -149,11 +163,8 @@ fn reliable_p2p_composes_with_broadcast_bounds() {
     assert!(worst <= cfg.detection_bound(), "worst {worst} within bound");
 
     // Diffusion broadcast over the same lossy fabric still reaches all.
-    let out = BroadcastSim::new(
-        Network::homogeneous(4, link, SimRng::seed_from(11)),
-        1,
-    )
-    .broadcast(NodeId(0), Time::ZERO);
+    let out = BroadcastSim::new(Network::homogeneous(4, link, SimRng::seed_from(11)), 1)
+        .broadcast(NodeId(0), Time::ZERO);
     assert!(out.agreement_holds());
     assert!(out.missed.is_empty());
 }

@@ -73,7 +73,10 @@ fn cost_aware_acceptance_is_sound_on_the_costed_platform() {
             verdict.utilization
         );
     }
-    assert!(accepted >= 5, "the sweep must exercise accepted sets, got {accepted}");
+    assert!(
+        accepted >= 5,
+        "the sweep must exercise accepted sets, got {accepted}"
+    );
 }
 
 #[test]
@@ -102,7 +105,10 @@ fn naive_acceptance_is_unsound_under_real_overheads() {
 
     let costs = CostModel::measured_default();
     let kernel = KernelModel::chorus_like();
-    let aware = edf_feasible(&tasks, &EdfAnalysisConfig::with_platform(costs, kernel.clone()));
+    let aware = edf_feasible(
+        &tasks,
+        &EdfAnalysisConfig::with_platform(costs, kernel.clone()),
+    );
     assert!(!aware.feasible, "the cost-integrated test rejects it");
 
     let report = run_with_costs(&tasks, costs, kernel);
@@ -174,8 +180,7 @@ fn rta_acceptance_is_sound_for_rm_on_the_costed_platform() {
             .map(|(i, c, p)| {
                 Task::new(
                     TaskId(*i),
-                    Heug::single(CodeEu::new(format!("t{i}"), *c, ProcessorId(0)))
-                        .expect("valid"),
+                    Heug::single(CodeEu::new(format!("t{i}"), *c, ProcessorId(0))).expect("valid"),
                     ArrivalLaw::Periodic(*p),
                     *p,
                 )
@@ -196,7 +201,10 @@ fn rta_acceptance_is_sound_for_rm_on_the_costed_platform() {
             report.misses()
         );
     }
-    assert!(accepted >= 10, "sweep must exercise accepted sets, got {accepted}");
+    assert!(
+        accepted >= 10,
+        "sweep must exercise accepted sets, got {accepted}"
+    );
 }
 
 #[test]
@@ -228,7 +236,10 @@ fn resource_sharing_sets_are_validated_too() {
     ];
     let costs = CostModel::measured_default();
     let kernel = KernelModel::chorus_like();
-    let verdict = edf_feasible(&tasks, &EdfAnalysisConfig::with_platform(costs, kernel.clone()));
+    let verdict = edf_feasible(
+        &tasks,
+        &EdfAnalysisConfig::with_platform(costs, kernel.clone()),
+    );
     assert!(verdict.feasible);
     let report = run_with_costs(&tasks, costs, kernel);
     assert!(report.all_deadlines_met(), "{} misses", report.misses());

@@ -66,7 +66,10 @@ fn early_termination_is_detected_and_is_not_a_fault() {
     sim.activate_at(TaskId(0), Time::ZERO);
     let report = sim.run();
     assert_eq!(report.monitor.early_terminations(), 1);
-    assert!(report.monitor.is_healthy(), "early termination is informational");
+    assert!(
+        report.monitor.is_healthy(),
+        "early termination is informational"
+    );
     assert!(report.all_deadlines_met());
 }
 
@@ -78,7 +81,12 @@ fn orphans_are_reaped_when_an_instance_aborts() {
     let a = b.code_eu(CodeEu::new("head", us(900), ProcessorId(0)));
     let c = b.code_eu(CodeEu::new("tail", us(100), ProcessorId(0)));
     b.precede(a, c);
-    let t = Task::new(TaskId(0), b.build().unwrap(), ArrivalLaw::Aperiodic, us(500));
+    let t = Task::new(
+        TaskId(0),
+        b.build().unwrap(),
+        ArrivalLaw::Aperiodic,
+        us(500),
+    );
     let mut sim = HadesNode::new()
         .task(t)
         .configure(|c| {
@@ -91,7 +99,10 @@ fn orphans_are_reaped_when_an_instance_aborts() {
     sim.activate_at(TaskId(0), Time::ZERO);
     let report = sim.run();
     assert_eq!(report.monitor.deadline_misses(), 1);
-    assert!(report.monitor.orphans() >= 1, "the tail thread is an orphan");
+    assert!(
+        report.monitor.orphans() >= 1,
+        "the tail thread is an orphan"
+    );
 }
 
 #[test]
@@ -162,7 +173,11 @@ fn stall_deadlock_is_detected_for_unsatisfiable_waits() {
     sim.activate_at(TaskId(0), Time::ZERO);
     sim.activate_at(TaskId(1), Time::ZERO);
     let report = sim.run();
-    assert_eq!(report.monitor.stalls(), 1, "circular wait surfaces as a stall");
+    assert_eq!(
+        report.monitor.stalls(),
+        1,
+        "circular wait surfaces as a stall"
+    );
     assert_eq!(report.misses(), 2);
 }
 
@@ -172,7 +187,12 @@ fn network_omission_is_detected_via_remote_precedence() {
     let a = b.code_eu(CodeEu::new("send", us(10), ProcessorId(0)));
     let c = b.code_eu(CodeEu::new("recv", us(10), ProcessorId(1)));
     b.precede(a, c);
-    let t = Task::new(TaskId(0), b.build().unwrap(), ArrivalLaw::Aperiodic, us(5_000));
+    let t = Task::new(
+        TaskId(0),
+        b.build().unwrap(),
+        ArrivalLaw::Aperiodic,
+        us(5_000),
+    );
     let mut sim = HadesNode::new()
         .task(t)
         .link(LinkConfig::reliable(us(10), us(20)).with_omissions(1000))
@@ -201,6 +221,10 @@ fn healthy_run_raises_no_alarm() {
         .horizon(Duration::from_millis(20))
         .run()
         .unwrap();
-    assert!(report.monitor.is_clean(), "events: {:?}", report.monitor.events());
+    assert!(
+        report.monitor.is_clean(),
+        "events: {:?}",
+        report.monitor.events()
+    );
     assert!(report.all_deadlines_met());
 }

@@ -88,7 +88,11 @@ fn srp_bounds_high_blocking_to_one_section() {
 fn protocols_do_not_change_results_only_timing() {
     // All three protocols complete the same work with zero misses on this
     // feasible scenario; only response-time profiles differ.
-    for builder in [HadesNode::new(), HadesNode::new().pcp(), HadesNode::new().srp()] {
+    for builder in [
+        HadesNode::new(),
+        HadesNode::new().pcp(),
+        HadesNode::new().srp(),
+    ] {
         let report = scenario(builder);
         assert_eq!(report.instances.len(), 3);
         assert!(report.all_deadlines_met());
