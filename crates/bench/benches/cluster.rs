@@ -1,8 +1,9 @@
 //! Host-side throughput of the integrated cluster runtime: wall-clock
 //! cost of a full crash→detect→view-change→failover run as the cluster
-//! grows, and of a healthy run for the steady-state baseline.
+//! grows, of a crash→restart→rejoin run (state transfer included), and
+//! of a healthy run for the steady-state baseline.
 
-use bench::cluster::failover_scenario;
+use bench::cluster::{failover_scenario, recovery_scenario};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hades_cluster::HadesCluster;
 use hades_time::Duration;
@@ -50,5 +51,27 @@ fn bench_healthy_run(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_failover_run, bench_healthy_run);
+fn bench_recovery_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_recovery_run");
+    g.sample_size(10);
+    for nodes in [4u32, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let report = recovery_scenario(nodes, 3, ms(60), ms(20))
+                    .run()
+                    .expect("valid cluster");
+                assert_eq!(report.recoveries.len(), 1);
+                black_box(report)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_failover_run,
+    bench_healthy_run,
+    bench_recovery_run
+);
 criterion_main!(benches);

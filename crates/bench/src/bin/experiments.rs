@@ -2,9 +2,11 @@
 //! paper (see DESIGN.md's experiment index).
 //!
 //! Usage:
-//!   experiments            # run everything
-//!   experiments <name>...  # run selected experiments
-//!   experiments --list     # list experiment names
+//! ```text
+//! experiments            # run everything
+//! experiments <name>...  # run selected experiments
+//! experiments --list     # list experiment names
+//! ```
 
 use bench::{run_experiment, ALL_EXPERIMENTS};
 

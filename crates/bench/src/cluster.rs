@@ -1,10 +1,13 @@
 //! Cluster-level experiments on the integrated multi-node runtime:
-//! end-to-end failover behaviour and the middleware overhead / failover
-//! latency trend as the cluster grows.
+//! end-to-end failover behaviour, the middleware overhead / failover
+//! latency trend as the cluster grows, and the crash→restart→rejoin
+//! lifecycle (rejoin latency and state-transfer overhead vs checkpoint
+//! interval and cluster size).
 
-use hades_cluster::{HadesCluster, ScenarioPlan};
+use hades_cluster::{HadesCluster, MiddlewareConfig, ScenarioPlan};
 use hades_dispatch::CostModel;
 use hades_sched::Policy;
+use hades_services::RecoveryConfig;
 use hades_sim::NodeId;
 use hades_time::{Duration, Time};
 use std::fmt::Write;
@@ -89,6 +92,104 @@ pub fn cluster_scaling() -> String {
     out
 }
 
+/// A standard recovery scenario: `nodes` nodes under EDF with measured
+/// costs, two app tasks per node, node 1 crashed at 15 ms and restarted
+/// at 35 ms, with the given checkpoint cadence.
+pub fn recovery_scenario(
+    nodes: u32,
+    seed: u64,
+    horizon: Duration,
+    checkpoint_period: Duration,
+) -> HadesCluster {
+    let mw = MiddlewareConfig {
+        recovery: RecoveryConfig {
+            checkpoint_period,
+            ..RecoveryConfig::default()
+        },
+        ..MiddlewareConfig::default()
+    };
+    let mut cluster = HadesCluster::new(nodes)
+        .policy(Policy::Edf)
+        .costs(CostModel::measured_default())
+        .horizon(horizon)
+        .seed(seed)
+        .middleware(mw)
+        .scenario(
+            ScenarioPlan::new()
+                .crash(NodeId(1), Time::ZERO + ms(15))
+                .restart(NodeId(1), Time::ZERO + ms(35)),
+        );
+    for node in 0..nodes {
+        cluster = cluster
+            .periodic_app(node, "control", us(200), ms(2))
+            .periodic_app(node, "logging", us(500), ms(10));
+    }
+    cluster
+}
+
+/// The recovery experiment: rejoin latency and state-transfer overhead vs
+/// checkpoint interval (longer intervals grow the replayed log tail), and
+/// the rejoin latency decomposition vs cluster size.
+pub fn cluster_recovery() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Cluster recovery (crash at 15 ms, restart at 35 ms, EDF + measured costs)\n"
+    );
+    let _ = writeln!(out, "### Rejoin vs checkpoint interval (4 nodes)\n");
+    let _ = writeln!(
+        out,
+        "{:>9} {:>12} {:>10} {:>8} {:>14} {:>14} {:>12}",
+        "ckpt", "log_replay", "bytes", "chunks", "transfer", "rejoin", "bound_ok"
+    );
+    for ckpt_ms in [5u64, 10, 20, 40] {
+        let report = recovery_scenario(4, 11, ms(80), ms(ckpt_ms))
+            .run()
+            .expect("valid cluster");
+        assert_eq!(report.recoveries.len(), 1, "rejoin must complete");
+        let r = report.recoveries[0];
+        let _ = writeln!(
+            out,
+            "{:>9} {:>12} {:>10} {:>8} {:>14} {:>14} {:>12}",
+            format!("{ckpt_ms}ms"),
+            r.log_entries_replayed,
+            r.bytes_transferred,
+            r.chunks,
+            r.transfer_latency.to_string(),
+            r.rejoin_latency.to_string(),
+            report.rejoin_within_bound(),
+        );
+    }
+    let _ = writeln!(out, "\n### Rejoin decomposition vs cluster size\n");
+    let _ = writeln!(
+        out,
+        "{:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10} {:>12}",
+        "nodes", "detect", "announce", "transfer", "readmit", "rejoin", "views", "net_msgs"
+    );
+    for nodes in [3u32, 4, 6, 8, 12, 16] {
+        let report = recovery_scenario(nodes, 23, ms(80), ms(20))
+            .run()
+            .expect("valid cluster");
+        assert_eq!(report.recoveries.len(), 1, "rejoin at size {nodes}");
+        assert!(report.views_agree, "agreement must hold at size {nodes}");
+        let r = report.recoveries[0];
+        let _ = writeln!(
+            out,
+            "{:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10} {:>12}",
+            nodes,
+            r.detect_latency
+                .map_or_else(|| "-".into(), |d| d.to_string()),
+            r.announce_latency.to_string(),
+            r.transfer_latency.to_string(),
+            r.readmit_latency.to_string(),
+            r.rejoin_latency.to_string(),
+            r.views_traversed,
+            report.network.sent,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +206,28 @@ mod tests {
         for nodes in ["    3", "    4", "   16"] {
             assert!(out.contains(nodes), "missing row {nodes:?}:\n{out}");
         }
+    }
+
+    #[test]
+    fn recovery_experiment_sweeps_intervals_and_sizes() {
+        let out = cluster_recovery();
+        for token in ["5ms", "40ms", "   16", "bound_ok"] {
+            assert!(out.contains(token), "missing {token:?}:\n{out}");
+        }
+        assert!(
+            !out.contains("false"),
+            "a rejoin exceeded its bound:\n{out}"
+        );
+    }
+
+    #[test]
+    fn longer_checkpoint_interval_means_longer_replay() {
+        let short = recovery_scenario(4, 5, ms(80), ms(5)).run().unwrap();
+        let long = recovery_scenario(4, 5, ms(80), ms(40)).run().unwrap();
+        assert!(
+            long.recoveries[0].log_entries_replayed > short.recoveries[0].log_entries_replayed,
+            "the log tail grows with the checkpoint interval"
+        );
+        assert!(long.recoveries[0].bytes_transferred > short.recoveries[0].bytes_transferred);
     }
 }

@@ -36,6 +36,7 @@ pub fn run_experiment(name: &str) -> Option<String> {
         "latency" => extensions::latency_distribution(),
         "cluster" => cluster::cluster_failover(),
         "cluster_scaling" => cluster::cluster_scaling(),
+        "cluster_recovery" => cluster::cluster_recovery(),
         _ => return None,
     })
 }
@@ -62,6 +63,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "latency",
     "cluster",
     "cluster_scaling",
+    "cluster_recovery",
 ];
 
 #[cfg(test)]

@@ -63,20 +63,25 @@ pub mod middleware;
 pub mod report;
 pub mod scenario;
 
-pub use middleware::{MiddlewareConfig, MIDDLEWARE_TASKS_PER_NODE, MIDDLEWARE_TASK_BASE};
-pub use report::{ClusterReport, DetectionRecord, FailoverRecord, NodeFeasibility, NodeReport};
-pub use scenario::{Partition, ScenarioPlan};
+pub use middleware::{
+    MiddlewareConfig, MIDDLEWARE_TASKS_PER_NODE, MIDDLEWARE_TASK_BASE, RECOVERY_TASK_BASE,
+};
+pub use report::{
+    ClusterReport, DetectionRecord, FailoverRecord, ModeChangeRecord, NodeFeasibility, NodeReport,
+    RecoveryRecord,
+};
+pub use scenario::{ModeChangeScript, Partition, ScenarioPlan};
 
 use hades_dispatch::{CostModel, DispatchSim, SimConfig};
 use hades_sched::analysis::rta::{rta_feasible, RtaTask};
-use hades_sched::{edf_feasible, EdfAnalysisConfig, EdfPolicy, Policy};
+use hades_sched::{edf_feasible, EdfAnalysisConfig, EdfPolicy, ModeChange, Policy};
 use hades_services::actors::{AgentConfig, AgentLog, NodeAgent};
 use hades_services::membership::View;
 use hades_sim::{KernelModel, LinkConfig, Network, NodeId, SimRng};
 use hades_task::spuri::SpuriTask;
 use hades_task::task::TaskSetError;
 use hades_task::{Task, TaskId, TaskSet};
-use hades_time::Duration;
+use hades_time::{Duration, Time};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -110,6 +115,18 @@ pub enum ClusterError {
     ReservedTaskId(TaskId),
     /// The assembled task set failed validation.
     InvalidTaskSet(TaskSetError),
+    /// A scripted restart cannot be attached to a crash window: no crash
+    /// of the same node precedes it, or it collides with another
+    /// scripted crash of that node.
+    RestartWithoutCrash {
+        /// The restarting node.
+        node: u32,
+        /// The scripted restart instant.
+        at: Time,
+    },
+    /// A mode change retires a task id that no registered application
+    /// task carries.
+    UnknownRetiredTask(TaskId),
 }
 
 impl fmt::Display for ClusterError {
@@ -134,6 +151,16 @@ impl fmt::Display for ClusterError {
                 "task id {id} is reserved for middleware (>= {MIDDLEWARE_TASK_BASE})"
             ),
             ClusterError::InvalidTaskSet(e) => write!(f, "invalid cluster task set: {e}"),
+            ClusterError::RestartWithoutCrash { node, at } => {
+                write!(
+                    f,
+                    "restart of node {node} at {at} is not attached to a crash window \
+                     (no preceding crash, or it collides with another scripted crash)"
+                )
+            }
+            ClusterError::UnknownRetiredTask(id) => {
+                write!(f, "mode change retires unknown application task {id}")
+            }
         }
     }
 }
@@ -260,6 +287,14 @@ impl HadesCluster {
             .detection_bound(self.link.delay_max)
     }
 
+    /// The analytic worst-case rejoin latency (restart → re-admission):
+    /// detection bound + state-transfer bound + one agreement window, as
+    /// guaranteed by the [`AgentConfig`] the runtime installs.
+    pub fn rejoin_bound(&self) -> Duration {
+        self.agent_config(NodeId(0))
+            .rejoin_bound(self.link.delay_max)
+    }
+
     /// The agent configuration installed on `node`.
     fn agent_config(&self, node: NodeId) -> AgentConfig {
         AgentConfig {
@@ -268,6 +303,7 @@ impl HadesCluster {
             heartbeat_period: self.middleware.heartbeat_period,
             clock_precision: self.middleware.clock_precision(&self.link),
             f: self.middleware.f,
+            recovery: self.middleware.recovery,
         }
     }
 
@@ -278,11 +314,28 @@ impl HadesCluster {
         if self.nodes > 48 {
             return Err(ClusterError::TooManyNodes);
         }
+        if let Some((node, at)) = self.scenario.orphan_restarts().first() {
+            return Err(ClusterError::RestartWithoutCrash {
+                node: node.0,
+                at: *at,
+            });
+        }
+        let introduced: Vec<(u32, &Task)> = self
+            .scenario
+            .mode_changes()
+            .iter()
+            .flat_map(|s| s.introduce.iter().map(|(n, t)| (*n, t)))
+            .collect();
         let mut seen = std::collections::HashSet::new();
-        for (node, task) in &self.app_tasks {
-            if *node >= self.nodes {
+        for (node, task) in self
+            .app_tasks
+            .iter()
+            .map(|(n, t)| (*n, t))
+            .chain(introduced)
+        {
+            if node >= self.nodes {
                 return Err(ClusterError::NodeOutOfRange {
-                    node: *node,
+                    node,
                     nodes: self.nodes,
                 });
             }
@@ -293,13 +346,27 @@ impl HadesCluster {
                 return Err(ClusterError::DuplicateTaskId(task.id));
             }
             for eu in task.heug.eus() {
-                if eu.processor().0 != *node {
+                if eu.processor().0 != node {
                     return Err(ClusterError::TaskOffNode {
                         task: task.id,
-                        node: *node,
+                        node,
                     });
                 }
             }
+        }
+        // A mode change may retire an initial application task or one a
+        // previous mode change introduced (multi-phase scripts).
+        let mut known_ids: std::collections::HashSet<TaskId> =
+            self.app_tasks.iter().map(|(_, t)| t.id).collect();
+        let mut scripts: Vec<&ModeChangeScript> = self.scenario.mode_changes().iter().collect();
+        scripts.sort_by_key(|s| s.at);
+        for script in scripts {
+            for id in &script.retire {
+                if !known_ids.contains(id) {
+                    return Err(ClusterError::UnknownRetiredTask(*id));
+                }
+            }
+            known_ids.extend(script.introduce.iter().map(|(_, t)| t.id));
         }
         Ok(())
     }
@@ -313,17 +380,58 @@ impl HadesCluster {
     pub fn run(self) -> Result<ClusterReport, ClusterError> {
         self.validate()?;
         let detection_bound = self.detection_bound();
+        let rejoin_bound = self.rejoin_bound();
 
-        // ---- assemble the task set: application + middleware ----
+        // ---- assemble the task set: application + mode-change targets +
+        // middleware + per-recovery cost tasks ----
         let mut origin: BTreeMap<TaskId, (u32, bool)> = BTreeMap::new();
         let mut tasks: Vec<Task> = Vec::new();
         for (node, task) in &self.app_tasks {
             origin.insert(task.id, (*node, false));
             tasks.push(task.clone());
         }
+        for script in self.scenario.mode_changes() {
+            for (node, task) in &script.introduce {
+                origin.insert(task.id, (*node, false));
+                tasks.push(task.clone());
+            }
+        }
         for node in 0..self.nodes {
             for task in self.middleware.tasks_for(node) {
                 origin.insert(task.id, (node, true));
+                tasks.push(task);
+            }
+        }
+        // One serving + one installing cost task per scripted restart,
+        // windowed to the rejoin interval so the transfer's CPU overhead
+        // is charged where (and when) it occurs — and, conservatively,
+        // folded into the stationary feasibility analyses.
+        let transfer_span = self.middleware.recovery.transfer_bound(self.link.delay_max);
+        let mut recovery_windows: Vec<(TaskId, Time, Time)> = Vec::new();
+        for (k, (joiner, restart_at)) in self.scenario.matched_restarts().iter().enumerate() {
+            // The protocol's server is the lowest surviving *view member*;
+            // statically we approximate it as the lowest node that is up
+            // at the restart and not itself mid-rejoin (its own restart,
+            // if any, lies at least one rejoin bound in the past).
+            let server = (0..self.nodes).find(|n| {
+                NodeId(*n) != *joiner
+                    && !self.scenario.is_down(NodeId(*n), *restart_at)
+                    && self
+                        .scenario
+                        .down_windows(NodeId(*n))
+                        .iter()
+                        .all(|(c, r)| match r {
+                            Some(r) => *c > *restart_at || *r + rejoin_bound <= *restart_at,
+                            None => *c > *restart_at,
+                        })
+            });
+            let Some(server) = server else { continue };
+            for (node, task) in self
+                .middleware
+                .recovery_cost_tasks(server, joiner.0, k as u32)
+            {
+                origin.insert(task.id, (node, true));
+                recovery_windows.push((task.id, *restart_at, *restart_at + transfer_span));
                 tasks.push(task);
             }
         }
@@ -332,6 +440,9 @@ impl HadesCluster {
             Policy::DeadlineMonotonic => hades_sched::assign_dm(&mut tasks),
             Policy::Edf | Policy::Manual => {}
         }
+
+        // ---- mode-change transition analysis (Section 5 + Mos94) ----
+        let mode_plans = self.mode_plans();
 
         // ---- per-node feasibility (naive vs cost-integrated) ----
         let feasibility: Vec<report::NodeFeasibility> = (0..self.nodes)
@@ -357,6 +468,24 @@ impl HadesCluster {
             for node in 0..self.nodes {
                 sim.set_policy(node, Box::new(EdfPolicy::new()));
             }
+        }
+        // A task introduced by one mode change and retired by a later one
+        // gets both window edges; everything else keeps the full run on
+        // its open side.
+        let mut mode_windows: BTreeMap<TaskId, (Time, Time)> = BTreeMap::new();
+        for plan in &mode_plans {
+            for id in &plan.retire {
+                mode_windows.entry(*id).or_insert((Time::ZERO, Time::MAX)).1 = plan.at;
+            }
+            for id in &plan.introduced {
+                mode_windows.entry(*id).or_insert((Time::ZERO, Time::MAX)).0 = plan.release_at;
+            }
+        }
+        for (id, (from, until)) in mode_windows {
+            sim.set_activation_window(id, from, until);
+        }
+        for (id, from, until) in &recovery_windows {
+            sim.set_activation_window(*id, *from, *until);
         }
 
         // ---- per-node middleware agents on the same engine ----
@@ -389,6 +518,27 @@ impl HadesCluster {
             .iter()
             .all(|n| logs[*n as usize].borrow().view_members() == view_history);
         let failovers = self.failovers(&logs, &reference_views);
+        let recoveries = self.recoveries(&logs);
+        let mode_changes = mode_plans
+            .iter()
+            .map(|p| {
+                let first_new_completion = run
+                    .instances
+                    .iter()
+                    .filter(|i| p.introduced.contains(&i.task))
+                    .filter_map(|i| i.completed)
+                    .min();
+                report::ModeChangeRecord {
+                    at: p.at,
+                    carryover: p.carryover,
+                    immediate_feasible: p.immediate_feasible,
+                    safe_offset: p.safe_offset,
+                    new_mode_released_at: p.release_at,
+                    first_new_completion,
+                    transition_latency: first_new_completion.map_or(p.safe_offset, |f| f - p.at),
+                }
+            })
+            .collect();
 
         Ok(ClusterReport {
             nodes: self.nodes,
@@ -400,11 +550,145 @@ impl HadesCluster {
             view_history,
             views_agree,
             failovers,
+            recoveries,
+            scripted_rejoins: self.scenario.matched_restarts().len() as u32,
+            rejoin_bound,
+            mode_changes,
             heartbeats_seen,
             network,
             scheduler_cpu: run.scheduler_cpu,
             kernel_cpu: run.kernel_cpu,
         })
+    }
+
+    /// Analyzes every scripted mode change: per affected node, the
+    /// retiring tasks' carry-over against the entering tasks' demand
+    /// (cost-integrated), yielding the safe release offset the runtime
+    /// applies.
+    fn mode_plans(&self) -> Vec<ModePlan> {
+        let integrated_cfg = EdfAnalysisConfig::with_platform(self.costs, self.kernel.clone());
+        // Retired tasks may come from the initial application set or from
+        // an earlier mode change's introductions.
+        let known: Vec<&Task> = self
+            .app_tasks
+            .iter()
+            .map(|(_, t)| t)
+            .chain(
+                self.scenario
+                    .mode_changes()
+                    .iter()
+                    .flat_map(|s| s.introduce.iter().map(|(_, t)| t)),
+            )
+            .collect();
+        self.scenario
+            .mode_changes()
+            .iter()
+            .map(|script| {
+                let retired: Vec<&Task> = known
+                    .iter()
+                    .copied()
+                    .filter(|t| script.retire.contains(&t.id))
+                    .collect();
+                let mut affected: Vec<u32> = retired
+                    .iter()
+                    .filter_map(|t| t.heug.eus().first().map(|e| e.processor().0))
+                    .chain(script.introduce.iter().map(|(n, _)| *n))
+                    .collect();
+                affected.sort_unstable();
+                affected.dedup();
+                let mut carryover = Duration::ZERO;
+                let mut immediate_feasible = true;
+                let mut safe_offset = Duration::ZERO;
+                for node in affected {
+                    let old: Vec<SpuriTask> = retired
+                        .iter()
+                        .filter(|t| {
+                            t.heug
+                                .eus()
+                                .first()
+                                .is_some_and(|e| e.processor().0 == node)
+                        })
+                        .filter_map(|t| spuri_of(t, node))
+                        .collect();
+                    let new: Vec<SpuriTask> = script
+                        .introduce
+                        .iter()
+                        .filter(|(n, _)| *n == node)
+                        .filter_map(|(n, t)| spuri_of(t, *n))
+                        .collect();
+                    let r = ModeChange::new(old, new).analyze(&integrated_cfg);
+                    carryover = carryover.saturating_add(r.carryover);
+                    immediate_feasible &= r.immediate_feasible;
+                    safe_offset = safe_offset.max(r.safe_offset);
+                }
+                let release_at = if safe_offset == Duration::MAX {
+                    Time::MAX // infeasible new mode: never released
+                } else {
+                    (script.at + safe_offset).min(Time::MAX)
+                };
+                ModePlan {
+                    at: script.at,
+                    release_at,
+                    retire: script.retire.clone(),
+                    introduced: script.introduce.iter().map(|(_, t)| t.id).collect(),
+                    carryover,
+                    immediate_feasible,
+                    safe_offset,
+                }
+            })
+            .collect()
+    }
+
+    /// Joins each completed rejoin cycle with its scripted down window and
+    /// the survivors' first detection of the crash.
+    fn recoveries(&self, logs: &[Rc<RefCell<AgentLog>>]) -> Vec<report::RecoveryRecord> {
+        let mut out = Vec::new();
+        for node in 0..self.nodes {
+            let windows = self.scenario.down_windows(NodeId(node));
+            let rejoins = logs[node as usize].borrow().rejoins.clone();
+            for rj in rejoins {
+                let Some((crashed_at, _)) = windows
+                    .iter()
+                    .find(|(_, r)| *r == Some(rj.restarted_at))
+                    .copied()
+                else {
+                    continue;
+                };
+                let detected_at = logs
+                    .iter()
+                    .enumerate()
+                    .filter(|(observer, _)| *observer != node as usize)
+                    .filter_map(|(_, l)| {
+                        l.borrow()
+                            .suspicions
+                            .iter()
+                            .filter(|(suspect, at)| {
+                                *suspect == node && *at >= crashed_at && *at < rj.restarted_at
+                            })
+                            .map(|(_, at)| *at)
+                            .min()
+                    })
+                    .min();
+                out.push(report::RecoveryRecord {
+                    node,
+                    crashed_at,
+                    restarted_at: rj.restarted_at,
+                    detected_at,
+                    detect_latency: detected_at.map(|d| d - crashed_at),
+                    announce_latency: rj.announce_latency(),
+                    transfer_latency: rj.transfer_latency(),
+                    readmit_latency: rj.readmit_latency(),
+                    rejoin_latency: rj.latency(),
+                    readmitted_view: rj.view,
+                    views_traversed: rj.views_traversed,
+                    bytes_transferred: rj.bytes,
+                    chunks: rj.chunks,
+                    log_entries_replayed: rj.log_entries,
+                });
+            }
+        }
+        out.sort_by_key(|r| (r.restarted_at, r.node));
+        out
     }
 
     fn node_feasibility(
@@ -494,6 +778,7 @@ impl HadesCluster {
             .map(|(node, feasibility)| report::NodeReport {
                 node: node as u32,
                 crashed_at: self.scenario.crash_time(NodeId(node as u32)),
+                restarted_at: self.scenario.restart_time(NodeId(node as u32)),
                 app_instances: 0,
                 app_misses: 0,
                 middleware_instances: 0,
@@ -502,18 +787,27 @@ impl HadesCluster {
                 feasibility,
             })
             .collect();
+        let down_windows: Vec<Vec<(Time, Option<Time>)>> = (0..self.nodes)
+            .map(|n| self.scenario.down_windows(NodeId(n)))
+            .collect();
         for inst in &run.instances {
             let Some((node, is_mw)) = origin.get(&inst.task) else {
                 continue;
             };
-            let r = &mut reports[*node as usize];
-            // Work activated after the node's crash is an artifact of the
-            // network-level fail-stop model; account only the live span.
-            if let Some(crash) = r.crashed_at {
-                if inst.activated >= crash {
-                    continue;
-                }
+            // Account only live spans: an instance interrupted by its
+            // node's crash window is a casualty of the crash (recorded by
+            // the recovery machinery), not a scheduling outcome. An
+            // instance whose fate was settled before the crash — on-time
+            // completion or a miss at its deadline — still counts; only
+            // the span up to that settling instant must be up.
+            let settled = inst
+                .completed
+                .map_or(inst.deadline, |c| c.min(inst.deadline));
+            if ScenarioPlan::windows_overlap(&down_windows[*node as usize], inst.activated, settled)
+            {
+                continue;
             }
+            let r = &mut reports[*node as usize];
             if *is_mw {
                 r.middleware_instances += 1;
                 r.middleware_misses += inst.missed as u64;
@@ -535,11 +829,17 @@ impl HadesCluster {
             let log = log.borrow();
             heartbeats += log.heartbeats_seen;
             for (suspect, at) in &log.suspicions {
-                let crashed_at = self.scenario.crash_time(NodeId(*suspect));
-                // A suspicion raised before the crash (or of a node that
-                // never crashes) is a false suspicion, not a detection —
-                // it must not masquerade as a zero-latency success.
-                let latency = crashed_at.and_then(|c| (*at >= c).then(|| *at - c));
+                // A suspicion is a detection only when it lands inside a
+                // scripted down window of the suspect; raised before the
+                // crash or after the restart, it is a false suspicion and
+                // must not masquerade as a zero-latency success.
+                let windows = self.scenario.down_windows(NodeId(*suspect));
+                let covering = windows
+                    .iter()
+                    .find(|(c, r)| *at >= *c && r.is_none_or(|r| *at < r))
+                    .map(|(c, _)| *c);
+                let crashed_at = covering.or_else(|| self.scenario.crash_time(NodeId(*suspect)));
+                let latency = covering.map(|c| *at - c);
                 detections.push(report::DetectionRecord {
                     suspect: *suspect,
                     observer: log.node,
@@ -599,6 +899,30 @@ impl HadesCluster {
         }
         failovers
     }
+}
+
+/// One analyzed mode change, as applied by the runtime.
+#[derive(Debug, Clone)]
+struct ModePlan {
+    at: Time,
+    release_at: Time,
+    retire: Vec<TaskId>,
+    introduced: Vec<TaskId>,
+    carryover: Duration,
+    immediate_feasible: bool,
+    safe_offset: Duration,
+}
+
+/// The Spuri view of a single-node task, for the transition analysis.
+fn spuri_of(task: &Task, node: u32) -> Option<SpuriTask> {
+    let period = task.arrival.min_separation()?;
+    Some(SpuriTask::independent(
+        task.id,
+        format!("n{node}.{}", task.name()),
+        task.wcet(),
+        task.deadline,
+        period,
+    ))
 }
 
 /// Builds the single-unit HEUG of a convenience task.
@@ -797,6 +1121,177 @@ mod tests {
             assert_eq!(d.latency, None);
         }
         assert!(!report.no_false_suspicions());
+    }
+
+    #[test]
+    fn crash_restart_rejoin_produces_a_recovery_record() {
+        let crash = Time::ZERO + ms(15);
+        let restart = Time::ZERO + ms(30);
+        let report = quad()
+            .scenario(
+                ScenarioPlan::new()
+                    .crash(NodeId(2), crash)
+                    .restart(NodeId(2), restart),
+            )
+            .run()
+            .unwrap();
+        assert_eq!(report.recoveries.len(), 1, "one completed rejoin");
+        let r = report.recoveries[0];
+        assert_eq!(r.node, 2);
+        assert_eq!((r.crashed_at, r.restarted_at), (crash, restart));
+        assert!(r.detected_at.is_some(), "survivors detected the crash");
+        assert!(r.bytes_transferred > 0, "state transfer rode the network");
+        assert!(r.chunks > 1);
+        assert_eq!(
+            r.announce_latency + r.transfer_latency + r.readmit_latency,
+            r.rejoin_latency
+        );
+        assert!(report.rejoin_within_bound());
+        // The final agreed view re-admits the node.
+        assert_eq!(report.view_history.last().unwrap().1, vec![0, 1, 2, 3]);
+        assert!(report.views_agree);
+        // Node report shows both window edges; only live spans counted.
+        let n2 = &report.node_reports[2];
+        assert_eq!(n2.crashed_at, Some(crash));
+        assert_eq!(n2.restarted_at, Some(restart));
+        assert_eq!(n2.app_misses, 0, "live spans met their deadlines");
+        assert!(n2.app_instances > 0);
+    }
+
+    #[test]
+    fn restart_without_crash_is_rejected() {
+        let err = quad()
+            .scenario(ScenarioPlan::new().restart(NodeId(1), Time::ZERO + ms(10)))
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::RestartWithoutCrash { node: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn post_restart_suspicions_are_false_not_detections() {
+        // With a tight timeout, the joiner's silence between its crash and
+        // restart is detected; any suspicion after the restart instant
+        // must be classified false, never a detection of the old crash.
+        let report = quad()
+            .scenario(
+                ScenarioPlan::new()
+                    .crash(NodeId(3), Time::ZERO + ms(10))
+                    .restart(NodeId(3), Time::ZERO + ms(25)),
+            )
+            .run()
+            .unwrap();
+        for d in report.detections.iter().filter(|d| d.suspect == 3) {
+            if d.suspected_at >= Time::ZERO + ms(25) {
+                assert!(d.is_false());
+            } else {
+                assert_eq!(d.latency, Some(d.suspected_at - (Time::ZERO + ms(10))));
+            }
+        }
+    }
+
+    #[test]
+    fn mode_change_switches_task_sets_and_records_latency() {
+        let switch = Time::ZERO + ms(30);
+        let new_task = Task::new(
+            TaskId(10),
+            single_heug("boost", 0, us(300)),
+            hades_task::ArrivalLaw::Periodic(ms(3)),
+            ms(3),
+        );
+        let report = quad()
+            .scenario(ScenarioPlan::new().mode_change(switch, vec![TaskId(0)], vec![(0, new_task)]))
+            .run()
+            .unwrap();
+        assert_eq!(report.mode_changes.len(), 1);
+        let m = report.mode_changes[0];
+        assert_eq!(m.at, switch);
+        assert!(m.immediate_feasible, "light modes switch immediately");
+        assert_eq!(m.safe_offset, Duration::ZERO);
+        assert_eq!(m.new_mode_released_at, switch);
+        let first = m.first_new_completion.expect("new mode ran");
+        assert!(first >= switch);
+        assert_eq!(m.transition_latency, first - switch);
+        assert!(report.all_deadlines_met());
+    }
+
+    #[test]
+    fn mode_change_can_retire_a_previously_introduced_task() {
+        // Two-phase script: phase 2 introduces a task at 20 ms, phase 3
+        // retires that same task at 40 ms — the runtime must accept it
+        // and bound the task's activations to [20 ms, 40 ms).
+        let t1 = Time::ZERO + ms(20);
+        let t2 = Time::ZERO + ms(40);
+        let phase2 = Task::new(
+            TaskId(10),
+            single_heug("phase2", 0, us(200)),
+            hades_task::ArrivalLaw::Periodic(ms(2)),
+            ms(2),
+        );
+        let report = quad()
+            .scenario(
+                ScenarioPlan::new()
+                    .mode_change(t1, vec![], vec![(0, phase2)])
+                    .mode_change(t2, vec![TaskId(10)], vec![]),
+            )
+            .run()
+            .unwrap();
+        assert_eq!(report.mode_changes.len(), 2);
+        let intro = report.mode_changes[0];
+        assert_eq!(intro.new_mode_released_at, t1);
+        let first = intro.first_new_completion.expect("phase-2 task ran");
+        assert!(first >= t1 && first < t2, "ran only inside its window");
+        assert!(report.all_deadlines_met());
+    }
+
+    #[test]
+    fn completed_work_before_a_crash_still_counts() {
+        // An instance that finishes on time just before the crash must
+        // not vanish from the report merely because its deadline falls
+        // inside the down window: node 2's counts include pre-crash work.
+        let report = quad()
+            .scenario(
+                ScenarioPlan::new()
+                    .crash(NodeId(2), Time::ZERO + ms(15))
+                    .restart(NodeId(2), Time::ZERO + ms(30)),
+            )
+            .run()
+            .unwrap();
+        let healthy = quad().run().unwrap();
+        let counted = report.node_reports[2].app_instances;
+        let full = healthy.node_reports[2].app_instances;
+        // 60 ms horizon, 2 ms period: the 15 ms window removes ~8 of ~31
+        // activations; everything settled outside the window stays.
+        assert!(
+            counted > full / 2,
+            "pre-crash completions kept: {counted}/{full}"
+        );
+        assert!(counted < full, "down-window activations excluded");
+    }
+
+    #[test]
+    fn mode_change_with_unknown_retiree_is_rejected() {
+        let err = quad()
+            .scenario(ScenarioPlan::new().mode_change(
+                Time::ZERO + ms(10),
+                vec![TaskId(99)],
+                vec![],
+            ))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::UnknownRetiredTask(TaskId(99))));
+    }
+
+    #[test]
+    fn recovery_run_is_deterministic() {
+        let scenario = ScenarioPlan::new()
+            .crash(NodeId(2), Time::ZERO + ms(15))
+            .restart(NodeId(2), Time::ZERO + ms(30));
+        let a = quad().scenario(scenario.clone()).run().unwrap();
+        let b = quad().scenario(scenario).run().unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! demand is charged by the dispatcher in virtual time *and* appears in
 //! the Section 5 analyses exactly like application load.
 
+use hades_services::RecoveryConfig;
 use hades_sim::LinkConfig;
 use hades_task::prelude::*;
 use hades_time::{Duration, SyncRound};
@@ -19,6 +20,10 @@ pub const MIDDLEWARE_TASK_BASE: u32 = 1_000;
 
 /// Number of middleware tasks injected per node.
 pub const MIDDLEWARE_TASKS_PER_NODE: u32 = 3;
+
+/// First task id reserved for per-recovery cost tasks (state-transfer
+/// serving on the surviving member, checkpoint install on the joiner).
+pub const RECOVERY_TASK_BASE: u32 = 2_000;
 
 /// Configuration of the injected middleware activities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +46,12 @@ pub struct MiddlewareConfig {
     pub clock_precision_floor: Duration,
     /// Crash-fault bound `f` for view-change agreement.
     pub f: u32,
+    /// Sizing of checkpointed state transfer during rejoins.
+    pub recovery: RecoveryConfig,
+    /// CPU cost, on the serving member, of shipping one transfer chunk.
+    pub transfer_chunk_wcet: Duration,
+    /// CPU cost, on the joiner, of installing one received chunk.
+    pub install_chunk_wcet: Duration,
 }
 
 impl Default for MiddlewareConfig {
@@ -57,12 +68,15 @@ impl Default for MiddlewareConfig {
             drift_ppb: 100_000,
             clock_precision_floor: Duration::from_micros(10),
             f: 1,
+            recovery: RecoveryConfig::default(),
+            transfer_chunk_wcet: Duration::from_micros(1),
+            install_chunk_wcet: Duration::from_micros(1),
         }
     }
 }
 
 impl MiddlewareConfig {
-    /// The steady-state clock precision `γ` achieved by the [LL88]
+    /// The steady-state clock precision `γ` achieved by the \[LL88\]
     /// synchronization service over `link` (ε is half the delay
     /// uncertainty), as computed by [`SyncRound::steady_state_precision`],
     /// floored at [`MiddlewareConfig::clock_precision_floor`].
@@ -104,6 +118,56 @@ impl MiddlewareConfig {
                 format!("mw.ckpt@{node}"),
                 self.checkpoint_wcet,
                 self.checkpoint_period,
+            ),
+        ]
+    }
+
+    /// Builds the two cost tasks of one scripted recovery (index `k`):
+    /// chunk *serving* on `server` and chunk *install* on `joiner`. The
+    /// per-chunk CPU cost is aggregated into a 1 ms service tick (a task
+    /// period of the raw chunk pacing would drown in per-instance
+    /// dispatcher overhead), so one instance carries the cost of every
+    /// chunk paced within its period. The cluster runtime windows their
+    /// activation to the rejoin interval; the feasibility analyses, which
+    /// are stationary, account them as permanent load — a safe
+    /// over-approximation of the recovery overhead.
+    pub fn recovery_cost_tasks(&self, server: u32, joiner: u32, k: u32) -> Vec<(u32, Task)> {
+        let period = Duration::from_millis(1);
+        let chunks_per_period =
+            (period.as_nanos() / self.recovery.chunk_interval.as_nanos().max(1)).max(1);
+        let mk = |id: u32, name: String, node: u32, per_chunk: Duration| {
+            Task::new(
+                TaskId(id),
+                Heug::single(CodeEu::new(
+                    name,
+                    per_chunk
+                        .saturating_mul(chunks_per_period)
+                        .max(Duration::from_nanos(1)),
+                    ProcessorId(node),
+                ))
+                .expect("single-unit recovery HEUG"),
+                ArrivalLaw::Periodic(period),
+                period,
+            )
+        };
+        vec![
+            (
+                server,
+                mk(
+                    RECOVERY_TASK_BASE + 2 * k,
+                    format!("mw.xfer@{server}->{joiner}"),
+                    server,
+                    self.transfer_chunk_wcet,
+                ),
+            ),
+            (
+                joiner,
+                mk(
+                    RECOVERY_TASK_BASE + 2 * k + 1,
+                    format!("mw.install@{joiner}"),
+                    joiner,
+                    self.install_chunk_wcet,
+                ),
             ),
         ]
     }

@@ -28,8 +28,10 @@ pub struct NodeFeasibility {
 pub struct NodeReport {
     /// The node.
     pub node: u32,
-    /// When the scenario crashed it, if it did.
+    /// When the scenario first crashed it, if it did.
     pub crashed_at: Option<Time>,
+    /// When the scenario first restarted it, if it did.
+    pub restarted_at: Option<Time>,
     /// Application instances activated while the node was up.
     pub app_instances: u64,
     /// Deadline misses among those.
@@ -51,24 +53,83 @@ pub struct DetectionRecord {
     pub suspect: u32,
     /// The observing node.
     pub observer: u32,
-    /// The suspect's scripted crash time (`None` = it never crashed).
+    /// The crash this suspicion detects (the scripted down window
+    /// covering the suspicion instant), or the suspect's nearest scripted
+    /// crash for false suspicions (`None` = it never crashed at all).
     pub crashed_at: Option<Time>,
     /// When the observer suspected it.
     pub suspected_at: Time,
     /// Detection latency (suspicion − crash); `None` for false
-    /// suspicions, including premature ones raised before the crash.
+    /// suspicions — premature ones raised before the crash, and stale
+    /// ones raised after the suspect already restarted.
     pub latency: Option<Duration>,
 }
 
 impl DetectionRecord {
-    /// Whether this suspicion was raised against a node that was still
-    /// correct at the time (it never crashed, or crashed only later).
+    /// Whether this suspicion was raised against a node that was correct
+    /// at the time (it never crashed, crashed only later, or had already
+    /// restarted).
     pub fn is_false(&self) -> bool {
-        match self.crashed_at {
-            None => true,
-            Some(crash) => self.suspected_at < crash,
-        }
+        self.latency.is_none()
     }
+}
+
+/// One completed crash→restart→rejoin cycle, cluster view: the joiner's
+/// [`hades_services::RejoinRecord`] cross-referenced with the scripted
+/// crash window and the survivors' detections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// The recovered node.
+    pub node: u32,
+    /// When it crashed (start of the down window this cycle recovers
+    /// from).
+    pub crashed_at: Time,
+    /// When it restarted.
+    pub restarted_at: Time,
+    /// When the first surviving observer suspected the crash, if any did
+    /// before the restart.
+    pub detected_at: Option<Time>,
+    /// Detection component: first suspicion − crash.
+    pub detect_latency: Option<Duration>,
+    /// Announce component: restart until the state transfer starts.
+    pub announce_latency: Duration,
+    /// Transfer component: first chunk until the log replay finishes.
+    pub transfer_latency: Duration,
+    /// Re-admission component: replay done until the view installs.
+    pub readmit_latency: Duration,
+    /// End-to-end rejoin latency (restart → re-admission).
+    pub rejoin_latency: Duration,
+    /// Number of the view that re-admitted the node.
+    pub readmitted_view: u32,
+    /// Views the cluster traversed while the node was away.
+    pub views_traversed: u32,
+    /// State-transfer bytes shipped over the shared network.
+    pub bytes_transferred: u64,
+    /// State-transfer messages (chunks) shipped.
+    pub chunks: u64,
+    /// Logged operations the joiner replayed.
+    pub log_entries_replayed: u64,
+}
+
+/// One scripted application mode change, analysis and observed outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeChangeRecord {
+    /// The scripted switch instant.
+    pub at: Time,
+    /// Worst-case carry-over demand of the retiring mode (inflated).
+    pub carryover: Duration,
+    /// Whether releasing the new mode at the switch instant was safe.
+    pub immediate_feasible: bool,
+    /// The safe release offset the runtime applied (zero when immediate).
+    pub safe_offset: Duration,
+    /// When the new mode's tasks were first released (`at + safe_offset`).
+    pub new_mode_released_at: Time,
+    /// First completion of a new-mode instance, if one completed.
+    pub first_new_completion: Option<Time>,
+    /// Observed transition latency: switch instant until the first
+    /// new-mode completion (falls back to the release offset when the run
+    /// ended before a completion).
+    pub transition_latency: Duration,
 }
 
 /// One primary handover caused by a primary crash.
@@ -107,6 +168,16 @@ pub struct ClusterReport {
     pub views_agree: bool,
     /// Primary handovers for crashed primaries.
     pub failovers: Vec<FailoverRecord>,
+    /// Completed crash→restart→rejoin cycles.
+    pub recoveries: Vec<RecoveryRecord>,
+    /// Rejoins the scenario scripted (restarts attached to a crash
+    /// window); fewer completed [`ClusterReport::recoveries`] than this
+    /// means a rejoin stalled or ran past the horizon.
+    pub scripted_rejoins: u32,
+    /// The analytic worst-case rejoin latency (restart → re-admission).
+    pub rejoin_bound: Duration,
+    /// Scripted mode changes, analysis and observed transition latency.
+    pub mode_changes: Vec<ModeChangeRecord>,
     /// Heartbeats received across all agents.
     pub heartbeats_seen: u64,
     /// Shared-network counters (dispatcher messages + middleware traffic).
@@ -156,6 +227,27 @@ impl ClusterReport {
         self.failovers.iter().map(|f| f.latency).max()
     }
 
+    /// Worst end-to-end rejoin latency, if any node recovered.
+    pub fn worst_rejoin_latency(&self) -> Option<Duration> {
+        self.recoveries.iter().map(|r| r.rejoin_latency).max()
+    }
+
+    /// Whether every scripted rejoin completed *and* stayed within the
+    /// analytic bound. A rejoin that never finished (stalled protocol,
+    /// horizon cut) counts as a violation, never as a vacuous success.
+    pub fn rejoin_within_bound(&self) -> bool {
+        self.recoveries.len() as u32 == self.scripted_rejoins
+            && self
+                .recoveries
+                .iter()
+                .all(|r| r.rejoin_latency <= self.rejoin_bound)
+    }
+
+    /// Total state-transfer bytes shipped across all recoveries.
+    pub fn recovery_bytes(&self) -> u64 {
+        self.recoveries.iter().map(|r| r.bytes_transferred).sum()
+    }
+
     /// A human-readable multi-line summary (used by the experiment
     /// harness).
     pub fn summary(&self) -> String {
@@ -180,9 +272,10 @@ impl ClusterReport {
                 n.feasibility.inflated_utilization_permille,
                 n.feasibility.naive_feasible,
                 n.feasibility.integrated_feasible,
-                match n.crashed_at {
-                    Some(t) => format!(", crashed at {t}"),
-                    None => String::new(),
+                match (n.crashed_at, n.restarted_at) {
+                    (Some(c), Some(r)) => format!(", crashed at {c}, restarted at {r}"),
+                    (Some(c), None) => format!(", crashed at {c}"),
+                    _ => String::new(),
                 },
             );
         }
@@ -205,6 +298,39 @@ impl ClusterReport {
                 s,
                 "  failover: primary n{} crashed at {} -> n{} took over at {} (latency {})",
                 f.failed_primary, f.crashed_at, f.new_primary, f.taken_over_at, f.latency
+            );
+        }
+        for r in &self.recoveries {
+            let _ = writeln!(
+                s,
+                "  recovery: n{} crashed at {}, restarted at {}, readmitted in view {} after {} \
+                 (detect {}, announce {}, transfer {}, readmit {}; {} bytes / {} chunks / {} ops; bound {})",
+                r.node,
+                r.crashed_at,
+                r.restarted_at,
+                r.readmitted_view,
+                r.rejoin_latency,
+                r.detect_latency
+                    .map_or_else(|| "-".into(), |d| d.to_string()),
+                r.announce_latency,
+                r.transfer_latency,
+                r.readmit_latency,
+                r.bytes_transferred,
+                r.chunks,
+                r.log_entries_replayed,
+                self.rejoin_bound,
+            );
+        }
+        for m in &self.mode_changes {
+            let _ = writeln!(
+                s,
+                "  mode change at {}: carry-over {}, immediate={}, offset {}, released {}, transition {}",
+                m.at,
+                m.carryover,
+                m.immediate_feasible,
+                m.safe_offset,
+                m.new_mode_released_at,
+                m.transition_latency,
             );
         }
         let _ = writeln!(

@@ -1,14 +1,29 @@
-//! Scenario plans: scripted failures driving an end-to-end cluster run.
+//! Scenario plans: scripted failures and transitions driving an
+//! end-to-end cluster run.
 //!
 //! A [`ScenarioPlan`] is the cluster-level face of
-//! [`hades_sim::FaultPlan`]: node crashes and temporary link partitions
-//! (whose window end models link recovery), expressed against absolute
-//! run time. The cluster runtime compiles it into the fault plan of the
-//! shared network, so the dispatcher's remote precedence messages, the
-//! heartbeat traffic and the view-change flood all see the *same*
-//! failures.
+//! [`hades_sim::FaultPlan`], plus the operational transitions the fault
+//! plan does not know about:
+//!
+//! * node **crashes** and **restarts** — a crash followed by a scripted
+//!   restart compiles into a [`hades_sim::CrashWindow`], so the shared
+//!   network drops the node's traffic exactly while it is down, the
+//!   dispatcher kill switch stops its CPU, and the restarted node's agent
+//!   runs the rejoin protocol;
+//! * temporary link **partitions** (whose window end models link
+//!   recovery);
+//! * **mode changes** — at a scripted instant the application retires one
+//!   set of tasks and introduces another ([`hades_sched::ModeChange`]);
+//!   the runtime releases the new mode only after the analysis' safe
+//!   offset, and the report records the transition latency.
+//!
+//! The cluster runtime compiles the failure part into the fault plan of
+//! the shared network, so the dispatcher's remote precedence messages,
+//! the heartbeat traffic, the view-change flood and the state-transfer
+//! chunks all see the *same* failures.
 
 use hades_sim::{FaultPlan, NodeId};
+use hades_task::{Task, TaskId};
 use hades_time::Time;
 
 /// A bidirectional link cut between two nodes over a time window; the
@@ -25,7 +40,20 @@ pub struct Partition {
     pub until: Time,
 }
 
-/// A deterministic failure script for one cluster run.
+/// A scripted application mode change: at `at`, the tasks in `retire`
+/// stop being activated and the tasks in `introduce` take over, released
+/// after the safe offset computed by [`hades_sched::ModeChange`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeChangeScript {
+    /// The switch instant.
+    pub at: Time,
+    /// Application task ids of the mode being left.
+    pub retire: Vec<TaskId>,
+    /// Tasks of the mode being entered, with their home nodes.
+    pub introduce: Vec<(u32, Task)>,
+}
+
+/// A deterministic failure-and-transition script for one cluster run.
 ///
 /// # Examples
 ///
@@ -34,20 +62,21 @@ pub struct Partition {
 /// use hades_sim::NodeId;
 /// use hades_time::{Duration, Time};
 ///
+/// let ms = |n| Time::ZERO + Duration::from_millis(n);
 /// let plan = ScenarioPlan::new()
-///     .crash(NodeId(0), Time::ZERO + Duration::from_millis(50))
-///     .partition(
-///         NodeId(1),
-///         NodeId(2),
-///         Time::ZERO + Duration::from_millis(10),
-///         Time::ZERO + Duration::from_millis(12),
-///     );
+///     .crash(NodeId(0), ms(50))
+///     .restart(NodeId(0), ms(70))
+///     .partition(NodeId(1), NodeId(2), ms(10), ms(12));
 /// assert_eq!(plan.crashes().len(), 1);
+/// assert!(plan.is_down(NodeId(0), ms(60)));
+/// assert!(!plan.is_down(NodeId(0), ms(70)), "restarted");
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScenarioPlan {
     crashes: Vec<(NodeId, Time)>,
+    restarts: Vec<(NodeId, Time)>,
     partitions: Vec<Partition>,
+    mode_changes: Vec<ModeChangeScript>,
 }
 
 impl ScenarioPlan {
@@ -56,10 +85,20 @@ impl ScenarioPlan {
         ScenarioPlan::default()
     }
 
-    /// Crashes `node` at `at` (fail-stop: it neither sends nor receives
-    /// from then on).
+    /// Crashes `node` at `at` (fail-stop: it neither sends, receives nor
+    /// executes from then on — until a scripted [`ScenarioPlan::restart`],
+    /// if any).
     pub fn crash(mut self, node: NodeId, at: Time) -> Self {
         self.crashes.push((node, at));
+        self
+    }
+
+    /// Restarts `node` at `at`: the node comes back *cold*, its links go
+    /// live again, and its agent runs the rejoin protocol (announce →
+    /// state transfer → replay → re-admission). Must follow a scripted
+    /// crash of the same node; the cluster build rejects it otherwise.
+    pub fn restart(mut self, node: NodeId, at: Time) -> Self {
+        self.restarts.push((node, at));
         self
     }
 
@@ -70,9 +109,30 @@ impl ScenarioPlan {
         self
     }
 
+    /// Switches the application task set at `at`: `retire` stops and
+    /// `introduce` starts after the mode-change analysis' safe offset.
+    pub fn mode_change(
+        mut self,
+        at: Time,
+        retire: Vec<TaskId>,
+        introduce: Vec<(u32, Task)>,
+    ) -> Self {
+        self.mode_changes.push(ModeChangeScript {
+            at,
+            retire,
+            introduce,
+        });
+        self
+    }
+
     /// Scripted crashes, in insertion order.
     pub fn crashes(&self) -> &[(NodeId, Time)] {
         &self.crashes
+    }
+
+    /// Scripted restarts, in insertion order.
+    pub fn restarts(&self) -> &[(NodeId, Time)] {
+        &self.restarts
     }
 
     /// Scripted partitions, in insertion order.
@@ -80,7 +140,12 @@ impl ScenarioPlan {
         &self.partitions
     }
 
-    /// When `node` crashes, if ever.
+    /// Scripted mode changes, in insertion order.
+    pub fn mode_changes(&self) -> &[ModeChangeScript] {
+        &self.mode_changes
+    }
+
+    /// When `node` first crashes, if ever.
     pub fn crash_time(&self, node: NodeId) -> Option<Time> {
         self.crashes
             .iter()
@@ -89,16 +154,202 @@ impl ScenarioPlan {
             .min()
     }
 
-    /// Compiles the scenario into the network fault plan.
+    /// When `node` first restarts, if ever.
+    pub fn restart_time(&self, node: NodeId) -> Option<Time> {
+        self.restarts
+            .iter()
+            .filter(|(n, _)| *n == node)
+            .map(|(_, t)| *t)
+            .min()
+    }
+
+    /// The down windows of `node` as `(crash_at, restart_at)` pairs in
+    /// crash order; a `None` restart is a permanent crash. Each crash is
+    /// paired with the earliest scripted restart after it, and
+    /// overlapping or adjacent windows merge — a crash scripted while the
+    /// node is already down is a no-op, mirroring
+    /// [`hades_sim::FaultPlan`]'s window normalization so the compiled
+    /// fault plan and these queries can never disagree.
+    pub fn down_windows(&self, node: NodeId) -> Vec<(Time, Option<Time>)> {
+        let mut crashes: Vec<Time> = self
+            .crashes
+            .iter()
+            .filter(|(n, _)| *n == node)
+            .map(|(_, t)| *t)
+            .collect();
+        crashes.sort();
+        let mut restarts: Vec<Time> = self
+            .restarts
+            .iter()
+            .filter(|(n, _)| *n == node)
+            .map(|(_, t)| *t)
+            .collect();
+        restarts.sort();
+        let mut merged: Vec<(Time, Option<Time>)> = Vec::new();
+        for c in crashes {
+            let r = restarts.iter().find(|r| **r > c).copied();
+            match merged.last_mut() {
+                Some((_, last_r)) if last_r.is_none_or(|x| c <= x) => {
+                    *last_r = match (*last_r, r) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        _ => None,
+                    };
+                }
+                _ => merged.push((c, r)),
+            }
+        }
+        merged
+    }
+
+    /// Interval test over precomputed [`ScenarioPlan::down_windows`]:
+    /// whether any window overlaps `[from, to]`. The single source of
+    /// truth for window/interval intersection.
+    pub fn windows_overlap(windows: &[(Time, Option<Time>)], from: Time, to: Time) -> bool {
+        windows
+            .iter()
+            .any(|(c, r)| *c <= to && r.is_none_or(|r| from < r))
+    }
+
+    /// Whether `node` is down at `now` under this scenario.
+    pub fn is_down(&self, node: NodeId, now: Time) -> bool {
+        Self::windows_overlap(&self.down_windows(node), now, now)
+    }
+
+    /// Whether `node` stays up throughout `[from, to]`.
+    pub fn up_during(&self, node: NodeId, from: Time, to: Time) -> bool {
+        !Self::windows_overlap(&self.down_windows(node), from, to)
+    }
+
+    /// The restarts that end a down window of
+    /// [`ScenarioPlan::down_windows`], ordered by node then time — the
+    /// restarts that will really happen (and really trigger rejoins).
+    pub fn matched_restarts(&self) -> Vec<(NodeId, Time)> {
+        let mut nodes: Vec<NodeId> = self.restarts.iter().map(|(n, _)| *n).collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes
+            .iter()
+            .flat_map(|n| {
+                self.down_windows(*n)
+                    .into_iter()
+                    .filter_map(|(_, r)| r.map(|r| (*n, r)))
+            })
+            .collect()
+    }
+
+    /// Scripted restarts that end no down window: no crash of the node
+    /// precedes them, they fall while the node is already up (a second
+    /// restart for the same window), or they collide with another
+    /// scripted crash at the same instant. Invalid — the cluster build
+    /// rejects them rather than silently running a contradictory plan.
+    pub fn orphan_restarts(&self) -> Vec<(NodeId, Time)> {
+        let matched = self.matched_restarts();
+        self.restarts
+            .iter()
+            .filter(|(n, t)| !matched.contains(&(*n, *t)))
+            .copied()
+            .collect()
+    }
+
+    /// Compiles the scenario's failure script into the network fault plan.
     pub fn fault_plan(&self) -> FaultPlan {
         let mut plan = FaultPlan::new();
-        for (node, at) in &self.crashes {
-            plan = plan.crash_at(*node, *at);
+        let mut nodes: Vec<NodeId> = self.crashes.iter().map(|(n, _)| *n).collect();
+        nodes.sort();
+        nodes.dedup();
+        for node in nodes {
+            for (crash_at, restart_at) in self.down_windows(node) {
+                plan = match restart_at {
+                    Some(r) => plan.crash_window(node, crash_at, r),
+                    None => plan.crash_at(node, crash_at),
+                };
+            }
         }
         for p in &self.partitions {
             plan = plan.cut_link(p.a, p.b, p.from, p.until);
             plan = plan.cut_link(p.b, p.a, p.from, p.until);
         }
         plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hades_time::Duration;
+
+    fn ms(n: u64) -> Time {
+        Time::ZERO + Duration::from_millis(n)
+    }
+
+    #[test]
+    fn restart_pairs_with_preceding_crash() {
+        let plan = ScenarioPlan::new()
+            .crash(NodeId(1), ms(10))
+            .restart(NodeId(1), ms(20))
+            .crash(NodeId(1), ms(30));
+        assert_eq!(
+            plan.down_windows(NodeId(1)),
+            vec![(ms(10), Some(ms(20))), (ms(30), None)]
+        );
+        assert!(plan.is_down(NodeId(1), ms(15)));
+        assert!(!plan.is_down(NodeId(1), ms(25)));
+        assert!(plan.is_down(NodeId(1), ms(40)));
+        assert!(plan.up_during(NodeId(1), ms(21), ms(29)));
+        assert!(!plan.up_during(NodeId(1), ms(5), ms(12)));
+        assert!(plan.orphan_restarts().is_empty());
+    }
+
+    #[test]
+    fn orphan_restart_is_flagged() {
+        let plan = ScenarioPlan::new().restart(NodeId(2), ms(10));
+        assert_eq!(plan.orphan_restarts(), vec![(NodeId(2), ms(10))]);
+    }
+
+    #[test]
+    fn overlapping_windows_merge_like_the_fault_plan() {
+        // A crash scripted while the node is already down is a no-op: the
+        // windows merge exactly as FaultPlan::normalize merges them, so
+        // the compiled plan and the scenario queries agree.
+        let plan = ScenarioPlan::new()
+            .crash(NodeId(1), ms(10))
+            .restart(NodeId(1), ms(30))
+            .crash(NodeId(1), ms(20));
+        assert_eq!(plan.down_windows(NodeId(1)), vec![(ms(10), Some(ms(30)))]);
+        assert_eq!(plan.matched_restarts(), vec![(NodeId(1), ms(30))]);
+        assert!(plan.orphan_restarts().is_empty());
+        assert!(plan.is_down(NodeId(1), ms(25)));
+        assert!(!plan.is_down(NodeId(1), ms(30)));
+        assert!(!plan.fault_plan().is_crashed(NodeId(1), ms(30)));
+
+        // A restart exactly at the next crash instant ends no window
+        // (the node goes straight back down): invalid, flagged.
+        let plan = ScenarioPlan::new()
+            .crash(NodeId(1), ms(10))
+            .restart(NodeId(1), ms(20))
+            .crash(NodeId(1), ms(20));
+        assert_eq!(plan.down_windows(NodeId(1)), vec![(ms(10), None)]);
+        assert_eq!(plan.orphan_restarts(), vec![(NodeId(1), ms(20))]);
+
+        // A second restart while the node is already up is equally
+        // invalid.
+        let plan = ScenarioPlan::new()
+            .crash(NodeId(1), ms(10))
+            .restart(NodeId(1), ms(20))
+            .restart(NodeId(1), ms(25));
+        assert_eq!(plan.orphan_restarts(), vec![(NodeId(1), ms(25))]);
+    }
+
+    #[test]
+    fn fault_plan_reflects_windows() {
+        let plan = ScenarioPlan::new()
+            .crash(NodeId(0), ms(10))
+            .restart(NodeId(0), ms(20))
+            .crash(NodeId(3), ms(5))
+            .fault_plan();
+        assert!(plan.is_crashed(NodeId(0), ms(15)));
+        assert!(!plan.is_crashed(NodeId(0), ms(20)));
+        assert!(plan.is_crashed(NodeId(3), ms(50)));
+        assert_eq!(plan.restarts(), vec![(NodeId(0), ms(20))]);
     }
 }

@@ -45,6 +45,9 @@ pub struct RunReport {
     pub scheduler_cpu: Duration,
     /// Total CPU time consumed by kernel interrupts.
     pub kernel_cpu: Duration,
+    /// Total busy CPU time per node (application + scheduler + kernel);
+    /// a node crashed by the fault plan accrues nothing while down.
+    pub node_cpu: Vec<Duration>,
     /// Virtual time at which the run ended.
     pub finished_at: Time,
 }

@@ -7,11 +7,11 @@
 //! dispatcher implements the two multiple-priority-inversion-avoidance
 //! protocols the paper cites:
 //!
-//! * **PCP** (Priority Ceiling Protocol, [CL90]): a thread may acquire its
+//! * **PCP** (Priority Ceiling Protocol, \[CL90\]): a thread may acquire its
 //!   resources only if its priority exceeds the ceilings of all resources
 //!   locked by other threads; otherwise it blocks and the holders inherit
 //!   its priority.
-//! * **SRP** (Stack Resource Policy, [Bak91]): a thread may *start* only
+//! * **SRP** (Stack Resource Policy, \[Bak91\]): a thread may *start* only
 //!   when its preemption level exceeds the current system ceiling; once
 //!   started it never blocks on resources.
 

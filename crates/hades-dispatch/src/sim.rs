@@ -143,6 +143,7 @@ enum Ev {
     OmissionCheck { thread: ThreadId, pred: EuIndex },
     KernelIrq { node: u32, activity: usize },
     Actor { actor: ActorId, ev: ActorEvent },
+    FaultTransition { node: u32 },
 }
 
 /// What currently occupies a node's CPU.
@@ -169,6 +170,9 @@ struct NodeState {
     irq_pending: VecDeque<usize>,
     irq_remaining: Duration,
     last_app: Option<ThreadId>,
+    /// Whether the node is down per the fault plan (dispatcher kill
+    /// switch): a down node executes nothing and accrues no CPU work.
+    down: bool,
 }
 
 #[derive(Debug)]
@@ -213,6 +217,10 @@ struct Inner {
     notifications: u64,
     scheduler_cpu: Duration,
     kernel_cpu: Duration,
+    node_cpu: Vec<Duration>,
+    /// Auto-activation windows `[from, until)` per task; tasks without an
+    /// entry activate over the whole run.
+    activation_windows: HashMap<TaskId, (Time, Time)>,
     rng: SimRng,
 }
 
@@ -319,6 +327,8 @@ impl DispatchSim {
             notifications: 0,
             scheduler_cpu: Duration::ZERO,
             kernel_cpu: Duration::ZERO,
+            node_cpu: vec![Duration::ZERO; node_count],
+            activation_windows: HashMap::new(),
             rng: rng.split(0x4558),
         };
         DispatchSim {
@@ -357,6 +367,21 @@ impl DispatchSim {
         self.inner.network.stats()
     }
 
+    /// Restricts the auto-activation of `task` to `[from, until)`: the
+    /// first activation is posted at `from` and the periodic chain stops
+    /// at `until`. Used by mode changes, where the retiring mode's tasks
+    /// stop at the switch and the new mode's tasks start after the safe
+    /// offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is unknown or the simulation already ran.
+    pub fn set_activation_window(&mut self, task: TaskId, from: Time, until: Time) {
+        assert!(!self.ran, "simulation already ran");
+        assert!(self.inner.tasks.get(task).is_some(), "unknown task {task}");
+        self.inner.activation_windows.insert(task, (from, until));
+    }
+
     /// Requests an activation of `task` at absolute time `at` (for
     /// aperiodic/sporadic workloads driven by the caller).
     ///
@@ -381,7 +406,12 @@ impl DispatchSim {
         if self.inner.cfg.auto_activate {
             for task in self.inner.tasks.tasks() {
                 if task.arrival.min_separation().is_some() {
-                    self.engine.post(Time::ZERO, Ev::Activate { task: task.id });
+                    let start = self
+                        .inner
+                        .activation_windows
+                        .get(&task.id)
+                        .map_or(Time::ZERO, |(from, _)| *from);
+                    self.engine.post(start, Ev::Activate { task: task.id });
                 }
             }
         }
@@ -391,6 +421,31 @@ impl DispatchSim {
                 Ev::Actor {
                     actor,
                     ev: ActorEvent::Start,
+                },
+            );
+        }
+        // Dispatcher-side crash semantics: mirror the fault plan's crash
+        // windows as node up/down transitions, and wake hosted actors of
+        // restarted nodes.
+        for node in 0..self.inner.nodes.len() as u32 {
+            let plan = self.inner.network.fault_plan();
+            if plan.is_crashed(NodeId(node), Time::ZERO) {
+                self.inner.nodes[node as usize].down = true;
+            }
+            if let Some(at) = plan.next_transition(NodeId(node), Time::ZERO) {
+                self.engine.post(at, Ev::FaultTransition { node });
+            }
+        }
+        for (at, actor) in self
+            .inner
+            .actors
+            .restart_schedule(self.inner.network.fault_plan())
+        {
+            self.engine.post(
+                at,
+                Ev::Actor {
+                    actor,
+                    ev: ActorEvent::Restart,
                 },
             );
         }
@@ -447,7 +502,76 @@ impl Inner {
         };
         let since = ns.since;
         ns.since = now;
+        self.node_cpu[node as usize] += elapsed;
         self.trace.segment(NodeId(node), lane, since, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Crash / restart (dispatcher kill switch)
+    // ------------------------------------------------------------------
+
+    /// Applies the fault-plan transition of `node` due at `now`, and arms
+    /// the next one.
+    fn fault_transition(&mut self, node: u32, now: Time, sched: &mut Scheduler<Ev>) {
+        let crashed = self.network.fault_plan().is_crashed(NodeId(node), now);
+        if crashed && !self.nodes[node as usize].down {
+            self.crash_node(node, now);
+        } else if !crashed && self.nodes[node as usize].down {
+            self.restart_node(node, now, sched);
+        }
+        if let Some(at) = self.network.fault_plan().next_transition(NodeId(node), now) {
+            sched.post(at, Ev::FaultTransition { node });
+        }
+    }
+
+    /// Kills `node`: work executed up to the crash stays charged, every
+    /// live thread dies, the ready queue and all dispatcher queues drop,
+    /// and nothing runs (or is charged) until the node restarts.
+    fn crash_node(&mut self, node: u32, now: Time) {
+        self.sync_clock(node, now);
+        self.trace
+            .record(now, NodeId(node), TraceKind::Alarm, "node_crash");
+        let mut victims: Vec<ThreadId> = self
+            .threads
+            .values()
+            .filter(|t| t.node == node && t.state.is_live())
+            .map(|t| t.id)
+            .collect();
+        victims.sort();
+        for tid in victims {
+            // Fail-silent death, not an application fault: the thread just
+            // stops existing, without orphan alarms.
+            let th = self.threads.get_mut(&tid).expect("victim thread");
+            th.state = ThreadState::Aborted;
+            self.resmgr[node as usize].release_all(tid);
+            let key = (self.threads[&tid].task, self.threads[&tid].instance);
+            if let Some(inst) = self.instances.get_mut(&key) {
+                inst.live.remove(&tid);
+            }
+        }
+        let ns = &mut self.nodes[node as usize];
+        ns.down = true;
+        ns.current = None;
+        ns.last_app = None;
+        ns.runq = RunQueue::new();
+        ns.sched_fifo = NotificationQueue::new();
+        ns.sched_busy = false;
+        ns.sched_remaining = Duration::ZERO;
+        ns.irq_pending.clear();
+        ns.irq_remaining = Duration::ZERO;
+        ns.since = now;
+        ns.version += 1; // invalidate any in-flight WorkDone
+    }
+
+    /// Brings `node` back up cold: empty queues, no threads, no carry-over
+    /// state. Subsequent activations repopulate it.
+    fn restart_node(&mut self, node: u32, now: Time, _sched: &mut Scheduler<Ev>) {
+        let ns = &mut self.nodes[node as usize];
+        ns.down = false;
+        ns.since = now;
+        ns.version += 1;
+        self.trace
+            .record(now, NodeId(node), TraceKind::Alarm, "node_restart");
     }
 
     /// Remaining work of the current exec on `node`.
@@ -512,6 +636,9 @@ impl Inner {
 
     /// Re-evaluates the CPU allocation of `node` after any state change.
     fn reschedule(&mut self, node: u32, now: Time, sched: &mut Scheduler<Ev>) {
+        if self.nodes[node as usize].down {
+            return; // a dead node schedules nothing
+        }
         self.sync_clock(node, now);
         let desired = self.desired_exec(node);
         let ns = &mut self.nodes[node as usize];
@@ -597,6 +724,31 @@ impl Inner {
             .get(task_id)
             .expect("activation for unknown task")
             .clone();
+        let window_until = self
+            .activation_windows
+            .get(&task_id)
+            .map(|(_, until)| *until);
+        if window_until.is_some_and(|until| now >= until) {
+            return; // the task's mode was retired: stop the chain
+        }
+        // Auto re-activation for periodic/sporadic tasks (the chain stays
+        // alive across node downtime so a restarted node resumes its load).
+        if self.cfg.auto_activate {
+            if let Some(p) = task.arrival.min_separation() {
+                let next = now + p;
+                if next <= Time::ZERO + self.cfg.horizon
+                    && window_until.is_none_or(|until| next < until)
+                {
+                    sched.post(next, Ev::Activate { task: task_id });
+                }
+            }
+        }
+        // Kill switch: a down node neither monitors arrivals nor spawns
+        // work — the activation is simply lost with the node.
+        let home = task.heug.eus().first().map_or(0, |eu| eu.processor().0);
+        if self.nodes[home as usize].down {
+            return;
+        }
         // Arrival-law monitoring.
         let mon = self.arrival_monitors.entry(task_id).or_default();
         if mon.observe(task.arrival, now) {
@@ -610,15 +762,6 @@ impl Inner {
                 TraceKind::Alarm,
                 format!("arrival_violation {task_id}"),
             );
-        }
-        // Auto re-activation for periodic/sporadic tasks.
-        if self.cfg.auto_activate {
-            if let Some(p) = task.arrival.min_separation() {
-                let next = now + p;
-                if next <= Time::ZERO + self.cfg.horizon {
-                    sched.post(next, Ev::Activate { task: task_id });
-                }
-            }
         }
         self.spawn_instance(&task, now, sched);
     }
@@ -785,7 +928,7 @@ impl Inner {
         let Some(th) = self.threads.get(&tid) else {
             return false;
         };
-        if th.state != ThreadState::Blocked {
+        if th.state != ThreadState::Blocked || self.nodes[th.node as usize].down {
             return false;
         }
         if let Some(InvPhase::WaitingTarget) = self.inv_phase.get(&tid) {
@@ -1090,6 +1233,9 @@ impl Inner {
     // ------------------------------------------------------------------
 
     fn notify(&mut self, node: u32, kind: NotificationKind, tid: ThreadId, now: Time) {
+        if self.nodes[node as usize].down {
+            return;
+        }
         let Some(policy) = self.policies.get(&node) else {
             return;
         };
@@ -1378,7 +1524,7 @@ impl Inner {
         if next <= Time::ZERO + self.cfg.horizon {
             sched.post(next, Ev::KernelIrq { node, activity });
         }
-        if act.wcet.is_zero() {
+        if act.wcet.is_zero() || self.nodes[node as usize].down {
             return;
         }
         self.nodes[node as usize].irq_pending.push_back(activity);
@@ -1414,6 +1560,7 @@ impl Inner {
             notifications: self.notifications,
             scheduler_cpu: self.scheduler_cpu,
             kernel_cpu: self.kernel_cpu,
+            node_cpu: std::mem::take(&mut self.node_cpu),
             finished_at: end,
         }
     }
@@ -1493,6 +1640,7 @@ impl Simulation for Inner {
             Ev::RemoteArrive { thread, pred } => self.remote_arrive(thread, pred, now, sched),
             Ev::OmissionCheck { thread, pred } => self.omission_check(thread, pred, now, sched),
             Ev::KernelIrq { node, activity } => self.kernel_irq(node, activity, now, sched),
+            Ev::FaultTransition { node } => self.fault_transition(node, now, sched),
             Ev::Actor { actor, ev } => {
                 for (at, to, ev) in self.actors.deliver(actor, ev, now, &mut self.network) {
                     sched.post(at, Ev::Actor { actor: to, ev });
@@ -1974,5 +2122,80 @@ mod tests {
         assert_eq!(a.instances, b.instances);
         assert_eq!(a.monitor.events(), b.monitor.events());
         assert_eq!(a.kernel_cpu, b.kernel_cpu);
+    }
+
+    #[test]
+    fn crashed_node_executes_nothing_while_down() {
+        // Node 0 is down during [2 ms, 4 ms): the trace must show no
+        // execution segment overlapping the outage, and the periodic task
+        // must resume cold after the restart.
+        let down = Time::ZERO + Duration::from_millis(2);
+        let up = Time::ZERO + Duration::from_millis(4);
+        let set = TaskSet::new(vec![periodic(0, "a", 100, 1000, 1)]).unwrap();
+        let cfg = SimConfig::ideal(Duration::from_millis(6));
+        let net = Network::homogeneous(2, cfg.link, SimRng::seed_from(0))
+            .with_fault_plan(hades_sim::FaultPlan::new().crash_window(NodeId(0), down, up));
+        let mut sim = DispatchSim::with_network(set, cfg, net);
+        let r = sim.run();
+        for seg in r.trace.segments() {
+            if seg.node == NodeId(0) {
+                assert!(
+                    seg.end <= down || seg.start >= up,
+                    "segment {seg:?} overlaps the outage"
+                );
+            }
+        }
+        // Activations at 0 and 1 ms ran; 2 and 3 ms died with the node;
+        // 4 and 5 ms ran again after the cold restart (6 ms activates at
+        // the horizon and cannot finish).
+        let done: Vec<u64> = r
+            .instances
+            .iter()
+            .filter(|i| i.completed.is_some())
+            .map(|i| (i.activated - Time::ZERO).as_nanos() / 1_000_000)
+            .collect();
+        assert_eq!(done, vec![0, 1, 4, 5]);
+        assert_eq!(r.instances.len(), 5, "no instances spawned while down");
+    }
+
+    #[test]
+    fn permanent_crash_keeps_node_silent_and_uncharged() {
+        let down = Time::ZERO + Duration::from_millis(2);
+        let set = TaskSet::new(vec![periodic(0, "a", 100, 1000, 1)]).unwrap();
+        let cfg = SimConfig::ideal(Duration::from_millis(6));
+        let net = Network::homogeneous(2, cfg.link, SimRng::seed_from(0))
+            .with_fault_plan(hades_sim::FaultPlan::new().crash_at(NodeId(0), down));
+        let mut sim = DispatchSim::with_network(set, cfg, net);
+        let r = sim.run();
+        assert_eq!(r.instances.len(), 2, "only the pre-crash activations");
+        // Exactly the two 100 µs actions were charged, nothing after.
+        assert_eq!(r.node_cpu[0], us(200));
+    }
+
+    #[test]
+    fn activation_window_bounds_the_periodic_chain() {
+        let set = TaskSet::new(vec![
+            periodic(0, "old", 100, 1000, 1),
+            periodic(1, "new", 100, 1000, 1),
+        ])
+        .unwrap();
+        let mut sim = DispatchSim::new(set, SimConfig::ideal(Duration::from_millis(8)));
+        let switch = Time::ZERO + Duration::from_millis(3);
+        sim.set_activation_window(TaskId(0), Time::ZERO, switch);
+        sim.set_activation_window(TaskId(1), switch, Time::MAX);
+        let r = sim.run();
+        let old: Vec<u64> = r
+            .of_task(TaskId(0))
+            .iter()
+            .map(|i| (i.activated - Time::ZERO).as_nanos() / 1_000_000)
+            .collect();
+        let new: Vec<u64> = r
+            .of_task(TaskId(1))
+            .iter()
+            .map(|i| (i.activated - Time::ZERO).as_nanos() / 1_000_000)
+            .collect();
+        assert_eq!(old, vec![0, 1, 2], "old mode stops at the switch");
+        assert_eq!(new, vec![3, 4, 5, 6, 7, 8], "new mode starts at the switch");
+        assert!(r.all_deadlines_met());
     }
 }

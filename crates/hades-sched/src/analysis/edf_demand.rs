@@ -1,5 +1,5 @@
 //! EDF processor-demand feasibility over the first busy period, after
-//! Spuri [Spu96] theorem 7.1, with the cost integration of Section 5.3.
+//! Spuri \[Spu96\] theorem 7.1, with the cost integration of Section 5.3.
 //!
 //! For sporadic tasks with arbitrary deadlines scheduled by preemptive EDF
 //! with SRP resource access, a *sufficient* condition is that every absolute

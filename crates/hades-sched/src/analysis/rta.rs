@@ -1,8 +1,8 @@
 //! Response-time analysis for fixed-priority scheduling, with overhead
-//! integration in the style of Burns, Tindell & Wellings [BTW95].
+//! integration in the style of Burns, Tindell & Wellings \[BTW95\].
 //!
 //! The paper notes (end of Section 5) that its cost-integration approach
-//! parallels [BTW95]'s for Deadline Monotonic: task WCETs are inflated with
+//! parallels \[BTW95\]'s for Deadline Monotonic: task WCETs are inflated with
 //! the dispatcher constants and kernel activities appear as highest-priority
 //! sporadic interference. The classic recurrence becomes
 //!

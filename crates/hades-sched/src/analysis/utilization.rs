@@ -1,7 +1,7 @@
 //! Utilisation-based schedulability bounds.
 //!
 //! The quick tests every scheduler offers: Liu & Layland's RM bound
-//! `U ≤ n(2^{1/n} − 1)` [LL73], the hyperbolic refinement, and EDF's exact
+//! `U ≤ n(2^{1/n} − 1)` \[LL73\], the hyperbolic refinement, and EDF's exact
 //! `U ≤ 1` condition for implicit-deadline periodic tasks.
 
 /// The Liu & Layland utilisation bound for `n` tasks under RM.

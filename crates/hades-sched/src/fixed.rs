@@ -1,6 +1,6 @@
 //! Static priority assignment: Rate Monotonic and Deadline Monotonic.
 //!
-//! RM [LL73] assigns higher priorities to shorter periods; DM to shorter
+//! RM \[LL73\] assigns higher priorities to shorter periods; DM to shorter
 //! relative deadlines. Both are *static* policies in HADES terms: the
 //! assignment happens offline by rewriting the `prio` attribute of every
 //! `Code_EU`, and no scheduler task runs at execution time (the dispatcher's

@@ -8,11 +8,11 @@
 //! * [`edf`] — the Earliest Deadline First policy as a dispatcher-driven
 //!   scheduler task, reproducing the cooperation protocol of Figure 2;
 //! * [`spring`] — a planning-based scheduler in the style of the Spring
-//!   kernel [RSS90]: heuristic construction of a feasible schedule with
+//!   kernel \[RSS90\]: heuristic construction of a feasible schedule with
 //!   admission control;
 //! * [`analysis`] — feasibility tests: the Liu & Layland utilisation bound,
 //!   response-time analysis for fixed priorities, and the EDF
-//!   processor-demand test over the first busy period (Spuri [Spu96],
+//!   processor-demand test over the first busy period (Spuri \[Spu96\],
 //!   theorem 7.1) — in both its *naive* form and the *cost-integrated* form
 //!   of Section 5.3 that accounts for dispatcher constants, scheduler
 //!   notifications and background kernel activities.

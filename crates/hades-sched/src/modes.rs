@@ -1,7 +1,7 @@
 //! Mode-change analysis.
 //!
 //! The dispatcher's low-level fault-tolerance mechanisms include "switching
-//! of modes of operation in case of failure" ([Mos94] in the paper): after
+//! of modes of operation in case of failure" (\[Mos94\] in the paper): after
 //! a fault, the application drops to a degraded task set (or escalates to
 //! a recovery one). A mode switch is itself a schedulability hazard — the
 //! *carry-over* instances of the old mode and the first releases of the new

@@ -1,4 +1,4 @@
-//! Planning-based scheduling in the style of the Spring kernel [RSS90].
+//! Planning-based scheduling in the style of the Spring kernel \[RSS90\].
 //!
 //! Planning policies build an explicit execution plan for a set of task
 //! instances instead of relying on priorities alone: a candidate ordering is
@@ -10,7 +10,7 @@
 //!
 //! The planner here is single-processor and non-preemptive — the shape the
 //! Spring admission test takes per node — and supports the classic
-//! heuristics compared in [RSS90]: FCFS, minimum deadline, minimum laxity
+//! heuristics compared in \[RSS90\]: FCFS, minimum deadline, minimum laxity
 //! and the weighted composite `H = D + w·Est`.
 
 use hades_time::{Duration, Time};

@@ -7,7 +7,7 @@
 //! a shared engine, interleaved with the dispatcher and with each other —
 //! the composition the paper deploys on every node.
 //!
-//! [`NodeAgent`] is that composition for one node. It runs three layers in
+//! [`NodeAgent`] is that composition for one node. It runs four layers in
 //! one state machine:
 //!
 //! * **crash detection** — emits heartbeats every `H` to all peers and
@@ -17,41 +17,80 @@
 //! * **membership** — on suspicion it floods a view-change proposal
 //!   (`f + 1` rounds, FloodSet-style, as in [`crate::consensus`]) and
 //!   installs the agreed view at a bounded time after the first round;
+//!   proposals can both *remove* suspects and *re-admit* joiners
+//!   (exclusion wins for current members, inclusion wins for returners);
 //! * **passive replication management** — the lowest-numbered member of
 //!   the current view is the primary; a view change that removes the
 //!   primary promotes the next member, which is the takeover moment of
-//!   passive/semi-active replication ([`crate::replication`]).
+//!   passive/semi-active replication ([`crate::replication`]);
+//! * **crash recovery** — on [`ActorEvent::Restart`] the agent comes back
+//!   *cold* and runs the rejoin protocol of [`crate::recovery`]: it
+//!   announces itself, the lowest-numbered surviving member serves its
+//!   latest checkpoint as paced MTU-sized chunks over the shared network
+//!   (size-proportional cost), the joiner replays the log tail locally
+//!   and a view change re-admits it to membership.
 //!
 //! Every externally visible transition is appended to a shared
 //! [`AgentLog`] the embedding runtime reads back after the run. The agent
 //! assumes crashes are separated by more than one detection + agreement
 //! window (the paper's bounded-failure model); overlapping failures keep
-//! safety of the masks but may skip view numbers on some nodes.
+//! safety of the masks but may skip view numbers on some nodes, and a
+//! state transfer whose server dies mid-stream stalls until the next
+//! failure-free window.
 
 use crate::membership::View;
-use hades_sim::mux::{ActorCtx, ActorEvent, NetActor};
+use crate::recovery::{RecoveryConfig, RejoinRecord};
+use hades_sim::mux::{ActorCtx, ActorEvent, ActorId, NetActor};
 use hades_sim::NodeId;
 use hades_time::{Duration, Time};
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// Message kind: heartbeat.
 const MSG_HB: u64 = 1;
 /// Message kind: view-change proposal (payload = view number + mask).
 const MSG_VC: u64 = 2;
+/// Message kind: join request from a restarted node (payload = epoch).
+const MSG_JOIN: u64 = 3;
+/// Message kind: one state-transfer chunk (payload = epoch + seq + total).
+const MSG_CKPT: u64 = 4;
+/// Message kind: transfer preamble, part 1 (epoch + log tail + view
+/// number).
+const MSG_SYNC: u64 = 5;
+/// Message kind: transfer preamble, part 2 (epoch + membership mask).
+const MSG_MASK: u64 = 6;
 
-/// Timer kinds (upper bits of the tag).
-const TAG_HB_TICK: u64 = 1 << 60;
-const TAG_TIMEOUT: u64 = 2 << 60;
-const TAG_ROUND: u64 = 3 << 60;
-const TAG_DECIDE: u64 = 4 << 60;
+/// Timer kinds (upper 4 bits of the tag; dispatch is on `tag >> 60`).
+const KIND_HB_TICK: u64 = 1;
+const KIND_TIMEOUT: u64 = 2;
+const KIND_ROUND: u64 = 3;
+const KIND_DECIDE: u64 = 4;
+const KIND_XFER: u64 = 5;
+const KIND_REPLAY: u64 = 6;
+
+fn tag(kind: u64, body: u64) -> u64 {
+    (kind << 60) | body
+}
+
+fn hb_tag(epoch: u64) -> u64 {
+    tag(KIND_HB_TICK, epoch & 0xFFFF)
+}
 
 fn timeout_tag(peer: u32, gen: u32) -> u64 {
-    TAG_TIMEOUT | ((peer as u64) << 32) | gen as u64
+    tag(KIND_TIMEOUT, ((peer as u64) << 32) | gen as u64)
 }
 
 fn round_tag(target: u32, round: u32) -> u64 {
-    TAG_ROUND | ((target as u64) << 16) | round as u64
+    tag(KIND_ROUND, ((target as u64) << 16) | round as u64)
+}
+
+fn xfer_tag(to: u32, seq: u64) -> u64 {
+    tag(KIND_XFER, ((to as u64) << 32) | (seq & 0xFFFF_FFFF))
+}
+
+fn replay_tag(epoch: u64) -> u64 {
+    tag(KIND_REPLAY, epoch & 0xFFFF)
 }
 
 fn vc_payload(target: u32, mask: u64) -> u64 {
@@ -60,6 +99,38 @@ fn vc_payload(target: u32, mask: u64) -> u64 {
 
 fn vc_decode(payload: u64) -> (u32, u64) {
     ((payload >> 48) as u32, payload & ((1 << 48) - 1))
+}
+
+fn sync_payload(epoch: u64, log_tail: u64, view: u32) -> u64 {
+    ((epoch & 0xFFFF) << 48) | ((log_tail & 0xFFFF) << 32) | view as u64
+}
+
+fn sync_decode(payload: u64) -> (u64, u64, u32) {
+    (
+        (payload >> 48) & 0xFFFF,
+        (payload >> 32) & 0xFFFF,
+        payload as u32,
+    )
+}
+
+fn ckpt_payload(epoch: u64, seq: u64, total: u64) -> u64 {
+    ((epoch & 0xFFFF) << 48) | ((seq & 0xFF_FFFF) << 24) | (total & 0xFF_FFFF)
+}
+
+fn ckpt_decode(payload: u64) -> (u64, u64, u64) {
+    (
+        (payload >> 48) & 0xFFFF,
+        (payload >> 24) & 0xFF_FFFF,
+        payload & 0xFF_FFFF,
+    )
+}
+
+fn mask_payload(epoch: u64, mask: u64) -> u64 {
+    ((epoch & 0xFFFF) << 48) | (mask & ((1 << 48) - 1))
+}
+
+fn mask_decode(payload: u64) -> (u64, u64) {
+    ((payload >> 48) & 0xFFFF, payload & ((1 << 48) - 1))
 }
 
 /// Static configuration of one node's agent.
@@ -76,6 +147,8 @@ pub struct AgentConfig {
     pub clock_precision: Duration,
     /// Crash-fault bound `f`: the view-change flood runs `f + 1` rounds.
     pub f: u32,
+    /// Sizing of checkpointed state transfer during rejoins.
+    pub recovery: RecoveryConfig,
 }
 
 impl AgentConfig {
@@ -99,6 +172,18 @@ impl AgentConfig {
         self.round_length(max_delay)
             .saturating_mul(self.f as u64 + 1)
     }
+
+    /// Bound on the restart→re-admission latency of the rejoin protocol:
+    /// the join announcement reaches the serving member within the
+    /// detection bound (one `δmax` in the failure-free case, but bounded
+    /// by `H + T₀` like any liveness observation), the state transfer and
+    /// replay take at most [`RecoveryConfig::transfer_bound`], and the
+    /// re-admission flood completes within one agreement window.
+    pub fn rejoin_bound(&self, max_delay: Duration) -> Duration {
+        self.detection_bound(max_delay)
+            .saturating_add(self.recovery.transfer_bound(max_delay))
+            .saturating_add(self.agreement_bound(max_delay))
+    }
 }
 
 /// Everything one agent observed and decided, readable after the run.
@@ -115,6 +200,14 @@ pub struct AgentLog {
     /// Primary handovers: `(new_primary, when)` at each view install that
     /// moved the primary.
     pub primary_changes: Vec<(u32, Time)>,
+    /// Cold restarts of this node, in order.
+    pub restarts: Vec<Time>,
+    /// Completed rejoin cycles of this node.
+    pub rejoins: Vec<RejoinRecord>,
+    /// State transfers this node served to rejoining peers.
+    pub transfers_served: u64,
+    /// State-transfer chunks this node sent.
+    pub chunks_sent: u64,
 }
 
 impl AgentLog {
@@ -125,6 +218,10 @@ impl AgentLog {
             suspicions: Vec::new(),
             views: Vec::new(),
             primary_changes: Vec::new(),
+            restarts: Vec::new(),
+            rejoins: Vec::new(),
+            transfers_served: 0,
+            chunks_sent: 0,
         }
     }
 
@@ -150,19 +247,44 @@ struct Change {
     proposal: u64,
 }
 
+/// An outbound state transfer in progress (server side).
+#[derive(Debug, Clone, Copy)]
+struct Transfer {
+    to: u32,
+    to_epoch: u64,
+    total: u64,
+    next: u64,
+}
+
+/// Timestamps of a rejoin in progress (joiner side).
+#[derive(Debug, Clone, Copy, Default)]
+struct PendingRejoin {
+    restarted_at: Time,
+    transfer_started_at: Option<Time>,
+    transfer_completed_at: Option<Time>,
+    replay_completed_at: Option<Time>,
+}
+
 /// The per-node middleware agent (detector + membership + replication
-/// management) as a [`NetActor`].
+/// management + crash recovery) as a [`NetActor`].
 ///
 /// # Examples
 ///
-/// Running four agents standalone on an [`hades_sim::ActorEngine`]:
+/// Running four agents standalone on an [`hades_sim::ActorEngine`]; node 2
+/// crashes at 5 ms and restarts at 12 ms, and is re-admitted after a
+/// checkpointed state transfer:
 ///
 /// ```
 /// use hades_services::actors::{AgentConfig, NodeAgent};
+/// use hades_services::recovery::RecoveryConfig;
 /// use hades_sim::{ActorEngine, FaultPlan, LinkConfig, Network, NodeId, SimRng};
 /// use hades_time::{Duration, Time};
 ///
-/// let plan = FaultPlan::new().crash_at(NodeId(2), Time::ZERO + Duration::from_millis(5));
+/// let plan = FaultPlan::new().crash_window(
+///     NodeId(2),
+///     Time::ZERO + Duration::from_millis(5),
+///     Time::ZERO + Duration::from_millis(12),
+/// );
 /// let net = Network::homogeneous(
 ///     4,
 ///     LinkConfig::reliable(Duration::from_micros(10), Duration::from_micros(40)),
@@ -177,14 +299,16 @@ struct Change {
 ///             heartbeat_period: Duration::from_millis(1),
 ///             clock_precision: Duration::from_micros(10),
 ///             f: 1,
+///             recovery: RecoveryConfig::default(),
 ///         });
 ///         rt.add_actor(Box::new(agent));
 ///         log
 ///     })
 ///     .collect();
-/// rt.run(Time::ZERO + Duration::from_millis(20));
-/// let survivor = logs[0].borrow();
-/// assert_eq!(survivor.views.last().unwrap().members, vec![0, 1, 3]);
+/// rt.run(Time::ZERO + Duration::from_millis(30));
+/// let joiner = logs[2].borrow();
+/// assert_eq!(joiner.rejoins.len(), 1, "node 2 rejoined");
+/// assert_eq!(logs[0].borrow().views.last().unwrap().members, vec![0, 1, 2, 3]);
 /// ```
 #[derive(Debug)]
 pub struct NodeAgent {
@@ -197,10 +321,31 @@ pub struct NodeAgent {
     /// Union of own suspicions and exclusions adopted from peers'
     /// view-change proposals; removed from every proposal.
     excluded: u64,
+    /// Restarted peers awaiting re-admission; added to every proposal.
+    joining: u64,
     view_number: u32,
     view_mask: u64,
     primary: u32,
     changing: Option<Change>,
+    /// Incarnation counter: bumped on every restart so events armed by a
+    /// previous life are discarded.
+    epoch: u64,
+    /// Whether this agent is between restart and re-admission.
+    rejoining: bool,
+    /// Joiner side: preamble and chunk progress of the inbound transfer.
+    have_sync: bool,
+    have_mask: bool,
+    replayed: bool,
+    log_tail: u64,
+    xfer_total: Option<u64>,
+    xfer_seen: u64,
+    pending: Option<PendingRejoin>,
+    /// View number last installed before the most recent crash.
+    pre_crash_view: u32,
+    /// Server side: the outbound transfer in progress and the queue of
+    /// joiners waiting behind it.
+    serving: Option<Transfer>,
+    pending_joins: VecDeque<(u32, u64)>,
     log: Rc<RefCell<AgentLog>>,
 }
 
@@ -222,10 +367,23 @@ impl NodeAgent {
             gen: vec![0; cfg.nodes as usize],
             suspected_local: 0,
             excluded: 0,
+            joining: 0,
             view_number: 0,
             view_mask: (1u64 << cfg.nodes) - 1,
             primary: 0,
             changing: None,
+            epoch: 0,
+            rejoining: false,
+            have_sync: false,
+            have_mask: false,
+            replayed: false,
+            log_tail: 0,
+            xfer_total: None,
+            xfer_seen: 0,
+            pending: None,
+            pre_crash_view: 0,
+            serving: None,
+            pending_joins: VecDeque::new(),
             log: log.clone(),
         };
         (agent, log)
@@ -242,17 +400,21 @@ impl NodeAgent {
     fn broadcast(&self, ctx: &mut ActorCtx<'_>, tag: u64, payload: u64) {
         for peer in 0..self.cfg.nodes {
             if NodeId(peer) != self.cfg.node {
-                ctx.send(hades_sim::mux::ActorId(peer), NodeId(peer), tag, payload);
+                ctx.send(ActorId(peer), NodeId(peer), tag, payload);
             }
         }
     }
 
-    /// Starts a view change (or folds more exclusions into the one in
-    /// flight) toward the next view without the excluded members.
+    /// Starts a view change (or folds more exclusions/joins into the one
+    /// in flight) toward the next view. Proposal merging is FloodSet-style
+    /// with a twist: exclusion wins for current members (intersection),
+    /// inclusion wins for non-members being re-admitted (union), so every
+    /// correct node converges on the same mask after `f + 1` rounds.
     fn begin_change(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
-        let proposal = self.view_mask & !self.excluded;
+        let proposal = (self.view_mask | self.joining) & !self.excluded;
+        let vm = self.view_mask;
         match &mut self.changing {
-            Some(c) => c.proposal &= proposal,
+            Some(c) => c.proposal = (c.proposal & proposal & vm) | ((c.proposal | proposal) & !vm),
             None => {
                 let target = self.view_number + 1;
                 self.changing = Some(Change { target, proposal });
@@ -263,33 +425,318 @@ impl NodeAgent {
                 }
                 ctx.timer_at(
                     now + round.saturating_mul(self.cfg.f as u64 + 1),
-                    TAG_DECIDE | target as u64,
+                    tag(KIND_DECIDE, target as u64),
                 );
             }
         }
     }
 
-    fn install(&mut self, target: u32, now: Time) {
+    fn install(&mut self, target: u32, now: Time, ctx: &mut ActorCtx<'_>) {
         let Some(c) = self.changing else { return };
         if c.target != target {
             return;
         }
         self.view_number = target;
         self.view_mask = c.proposal;
+        self.joining &= !self.view_mask;
+        // Exclusions adopted from peers' proposals have served their
+        // purpose once the view installs; keeping them would veto a later
+        // re-admission of a recovered node (exclusion wins in the merge).
+        // Own live suspicions persist — they re-enter the next proposal.
+        self.excluded = self.suspected_local;
         self.changing = None;
         let members = Self::members_of(self.view_mask, self.cfg.nodes);
-        let mut log = self.log.borrow_mut();
-        log.views.push(View {
-            number: target,
-            members: members.clone(),
-            installed_at: now,
-        });
-        if let Some(&new_primary) = members.first() {
-            if new_primary != self.primary {
-                self.primary = new_primary;
-                log.primary_changes.push((new_primary, now));
+        {
+            let mut log = self.log.borrow_mut();
+            log.views.push(View {
+                number: target,
+                members: members.clone(),
+                installed_at: now,
+            });
+            if let Some(&new_primary) = members.first() {
+                if new_primary != self.primary {
+                    self.primary = new_primary;
+                    log.primary_changes.push((new_primary, now));
+                }
             }
         }
+        if self.rejoining && self.view_mask & Self::bit(self.cfg.node.0) != 0 {
+            self.finish_rejoin(target, now, ctx);
+        } else if !self.rejoining && self.view_mask & Self::bit(self.cfg.node.0) == 0 {
+            // The cluster excluded us while we are alive: our restart
+            // raced the exclusion flood (the transfer shipped a mask that
+            // still contained us), or a false suspicion won agreement.
+            // Self-heal by running the rejoin protocol again from the
+            // announce step instead of lingering outside the view.
+            self.begin_rejoin(now, ctx);
+        }
+        // A transfer in flight to a node this view just excluded shipped
+        // a membership mask that is now wrong (the joiner would take the
+        // fast re-admission path on it): abort it and re-serve from the
+        // front of the queue with the fresh view in the preamble.
+        if let Some(t) = self.serving {
+            if self.view_mask & Self::bit(t.to) == 0 {
+                self.serving = None;
+                self.pending_joins.retain(|(j, _)| *j != t.to);
+                self.pending_joins.push_front((t.to, t.to_epoch));
+            }
+        }
+        // Joins deferred behind this view change can be served now, with
+        // the newly agreed membership in their preambles; requests of
+        // joiners this view just re-admitted are settled and dropped.
+        let vm = self.view_mask;
+        self.pending_joins.retain(|(j, _)| vm & Self::bit(*j) == 0);
+        self.drain_pending_joins(now, ctx);
+    }
+
+    /// Serves queued join requests this node is the server for (the
+    /// lowest-numbered view member other than the joiner), once no
+    /// transfer and no view change is in flight. Requests this node is
+    /// not the server for stay queued: a later view change may make it
+    /// the server (e.g. when the previous server is excluded), and
+    /// entries of re-admitted joiners are pruned at install.
+    fn drain_pending_joins(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
+        let mut i = 0;
+        while i < self.pending_joins.len() {
+            if self.serving.is_some() || self.changing.is_some() {
+                return; // one transfer at a time; re-drained on install
+            }
+            let (joiner, epoch) = self.pending_joins[i];
+            let server = Self::members_of(self.view_mask & !Self::bit(joiner), self.cfg.nodes)
+                .first()
+                .copied();
+            if server == Some(self.cfg.node.0) {
+                self.pending_joins.remove(i);
+                self.start_transfer(joiner, epoch, now, ctx);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The joiner is back in the view: close the rejoin record and resume
+    /// detection duty.
+    fn finish_rejoin(&mut self, view: u32, now: Time, ctx: &mut ActorCtx<'_>) {
+        self.rejoining = false;
+        let p = self.pending.take().unwrap_or_default();
+        let record = RejoinRecord {
+            node: self.cfg.node.0,
+            restarted_at: p.restarted_at,
+            transfer_started_at: p.transfer_started_at.unwrap_or(now),
+            transfer_completed_at: p.transfer_completed_at.unwrap_or(now),
+            replay_completed_at: p.replay_completed_at.unwrap_or(now),
+            readmitted_at: now,
+            view,
+            views_traversed: view.saturating_sub(self.pre_crash_view),
+            chunks: self.xfer_seen,
+            bytes: self.cfg.recovery.bytes(self.log_tail),
+            log_entries: self.log_tail,
+        };
+        self.log.borrow_mut().rejoins.push(record);
+        // Resume watching the peers of the (re)joined view.
+        let timeout = self.cfg.timeout(ctx.max_delay());
+        for peer in Self::members_of(self.view_mask, self.cfg.nodes) {
+            if NodeId(peer) != self.cfg.node {
+                ctx.timer_at(now + timeout, timeout_tag(peer, self.gen[peer as usize]));
+            }
+        }
+    }
+
+    /// Handles a join request on a live node: re-arm liveness tracking of
+    /// the joiner and queue the request; the queue drain ships the state
+    /// from whichever node the current view designates as server.
+    fn handle_join(&mut self, joiner: u32, epoch: u64, now: Time, ctx: &mut ActorCtx<'_>) {
+        // The joiner is demonstrably alive again: retract any suspicion
+        // and invalidate stale silence timers.
+        self.suspected_local &= !Self::bit(joiner);
+        self.excluded &= !Self::bit(joiner);
+        self.gen[joiner as usize] += 1;
+        ctx.timer_at(
+            now + self.cfg.timeout(ctx.max_delay()),
+            timeout_tag(joiner, self.gen[joiner as usize]),
+        );
+        // Every live node remembers the request — not only the node that
+        // currently believes it is the server. Servership is re-evaluated
+        // at every drain point (now, and after each view install), so if
+        // the perceived server is itself dead and about to be excluded,
+        // the next-lowest member picks the join up instead of the request
+        // being silently dropped. Only the freshest request per joiner is
+        // kept; entries of re-admitted joiners are pruned at install.
+        self.pending_joins.retain(|(j, _)| *j != joiner);
+        self.pending_joins.push_back((joiner, epoch));
+        self.drain_pending_joins(now, ctx);
+    }
+
+    fn start_transfer(&mut self, joiner: u32, epoch: u64, now: Time, ctx: &mut ActorCtx<'_>) {
+        // The preamble carries the tail length in 16 bits: clamp it here,
+        // on the serving side, so the chunk pacing, the payload and the
+        // joiner's replay/byte accounting all agree even for checkpoint
+        // cadences whose tail would exceed 65535 operations.
+        let log_tail = self.cfg.recovery.log_tail_at(now).min(0xFFFF);
+        let total = self.cfg.recovery.chunks(log_tail).min(0xFF_FFFF);
+        let to = ActorId(joiner);
+        ctx.send(
+            to,
+            NodeId(joiner),
+            MSG_SYNC,
+            sync_payload(epoch, log_tail, self.view_number),
+        );
+        ctx.send(
+            to,
+            NodeId(joiner),
+            MSG_MASK,
+            mask_payload(epoch, self.view_mask),
+        );
+        self.serving = Some(Transfer {
+            to: joiner,
+            to_epoch: epoch,
+            total,
+            next: 0,
+        });
+        self.log.borrow_mut().transfers_served += 1;
+        self.send_chunk(now, ctx);
+    }
+
+    /// Sends the next chunk of the outbound transfer and paces the one
+    /// after it; on the last chunk, starts any queued transfer.
+    fn send_chunk(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
+        let Some(t) = &mut self.serving else { return };
+        ctx.send(
+            ActorId(t.to),
+            NodeId(t.to),
+            MSG_CKPT,
+            ckpt_payload(t.to_epoch, t.next, t.total),
+        );
+        t.next += 1;
+        let (done, next_seq, to) = (t.next >= t.total, t.next, t.to);
+        self.log.borrow_mut().chunks_sent += 1;
+        if done {
+            self.serving = None;
+            self.drain_pending_joins(now, ctx);
+        } else {
+            ctx.timer_after(self.cfg.recovery.chunk_interval, xfer_tag(to, next_seq));
+        }
+    }
+
+    /// Joiner side: once the preamble and every chunk arrived, start the
+    /// local replay of the log tail.
+    fn maybe_start_replay(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
+        // `>=` rather than `==`: stray chunks of a superseded stream may
+        // inflate the count, which at worst starts the replay early —
+        // never stalls it.
+        if self.replayed
+            || !self.have_sync
+            || !self.have_mask
+            || self.xfer_total.is_none_or(|t| self.xfer_seen < t)
+        {
+            return;
+        }
+        if let Some(p) = &mut self.pending {
+            p.transfer_completed_at = Some(now);
+        }
+        ctx.timer_at(
+            now + self.cfg.recovery.replay_time(self.log_tail),
+            replay_tag(self.epoch),
+        );
+    }
+
+    fn on_timer(&mut self, now: Time, t: u64, ctx: &mut ActorCtx<'_>) {
+        match t >> 60 {
+            KIND_HB_TICK => {
+                if t & 0xFFFF != self.epoch & 0xFFFF {
+                    return; // tick of a previous life
+                }
+                self.broadcast(ctx, MSG_HB, 0);
+                ctx.timer_after(self.cfg.heartbeat_period, hb_tag(self.epoch));
+            }
+            KIND_TIMEOUT => {
+                let peer = ((t >> 32) & 0x0FFF_FFFF) as u32;
+                let gen = (t & 0xFFFF_FFFF) as u32;
+                if self.rejoining
+                    || self.gen[peer as usize] != gen
+                    || self.suspected_local & Self::bit(peer) != 0
+                {
+                    return;
+                }
+                self.suspected_local |= Self::bit(peer);
+                self.excluded |= Self::bit(peer);
+                self.log.borrow_mut().suspicions.push((peer, now));
+                if self.view_mask & Self::bit(peer) != 0 {
+                    self.begin_change(now, ctx);
+                }
+            }
+            KIND_ROUND => {
+                let target = ((t >> 16) & 0xFFFF) as u32;
+                if let Some(c) = self.changing {
+                    if c.target == target {
+                        self.broadcast(ctx, MSG_VC, vc_payload(c.target, c.proposal));
+                    }
+                }
+            }
+            KIND_DECIDE => self.install((t & 0xFFFF) as u32, now, ctx),
+            KIND_XFER => {
+                let to = ((t >> 32) & 0x0FFF_FFFF) as u32;
+                let seq = t & 0xFFFF_FFFF;
+                if self.serving.is_some_and(|s| s.to == to && s.next == seq) {
+                    self.send_chunk(now, ctx);
+                }
+            }
+            KIND_REPLAY => {
+                if t & 0xFFFF != self.epoch & 0xFFFF || self.replayed || !self.rejoining {
+                    return;
+                }
+                self.replayed = true;
+                if let Some(p) = &mut self.pending {
+                    p.replay_completed_at = Some(now);
+                }
+                if self.view_mask & Self::bit(self.cfg.node.0) != 0 {
+                    // The outage was shorter than the detection window: the
+                    // cluster never excluded us, so no view change is
+                    // needed — we are back as soon as the state is current.
+                    self.finish_rejoin(self.view_number, now, ctx);
+                } else {
+                    self.joining |= Self::bit(self.cfg.node.0);
+                    self.begin_change(now, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_restart(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
+        self.log.borrow_mut().restarts.push(now);
+        self.begin_rejoin(now, ctx);
+    }
+
+    /// Enters (or re-enters) the rejoin protocol from the announce step:
+    /// fresh epoch, all volatile protocol state dropped. Used on a cold
+    /// restart and by the self-heal path when the cluster excluded a
+    /// live node.
+    fn begin_rejoin(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
+        self.epoch += 1;
+        self.rejoining = true;
+        self.have_sync = false;
+        self.have_mask = false;
+        self.replayed = false;
+        self.log_tail = 0;
+        self.xfer_total = None;
+        self.xfer_seen = 0;
+        self.pre_crash_view = self.view_number;
+        self.pending = Some(PendingRejoin {
+            restarted_at: now,
+            ..PendingRejoin::default()
+        });
+        self.suspected_local = 0;
+        self.excluded = 0;
+        self.joining = 0;
+        self.changing = None;
+        self.serving = None;
+        self.pending_joins.clear();
+        // Liveness first (peers resume watching us), then the join
+        // announcement that triggers the state transfer.
+        self.broadcast(ctx, MSG_HB, 0);
+        ctx.timer_after(self.cfg.heartbeat_period, hb_tag(self.epoch));
+        self.broadcast(ctx, MSG_JOIN, self.epoch);
     }
 }
 
@@ -308,7 +755,7 @@ impl NetActor for NodeAgent {
                 });
                 // First heartbeat immediately, then every H.
                 self.broadcast(ctx, MSG_HB, 0);
-                ctx.timer_after(self.cfg.heartbeat_period, TAG_HB_TICK);
+                ctx.timer_after(self.cfg.heartbeat_period, hb_tag(self.epoch));
                 // Until the first heartbeat arrives, a peer is treated as
                 // heard-from at time zero.
                 let timeout = self.cfg.timeout(ctx.max_delay());
@@ -318,60 +765,102 @@ impl NetActor for NodeAgent {
                     }
                 }
             }
-            ActorEvent::Timer { tag } if tag == TAG_HB_TICK => {
-                self.broadcast(ctx, MSG_HB, 0);
-                ctx.timer_after(self.cfg.heartbeat_period, TAG_HB_TICK);
-            }
-            ActorEvent::Message { from, tag, .. } if tag == MSG_HB => {
-                let p = from.0;
-                self.log.borrow_mut().heartbeats_seen += 1;
-                self.gen[p as usize] += 1;
-                ctx.timer_at(
-                    now + self.cfg.timeout(ctx.max_delay()),
-                    timeout_tag(p, self.gen[p as usize]),
-                );
-            }
-            ActorEvent::Timer { tag } if tag & TAG_TIMEOUT != 0 && tag < TAG_ROUND => {
-                let peer = ((tag >> 32) & 0x0FFF_FFFF) as u32;
-                let gen = (tag & 0xFFFF_FFFF) as u32;
-                if self.gen[peer as usize] != gen || self.suspected_local & Self::bit(peer) != 0 {
-                    return;
+            ActorEvent::Restart => self.on_restart(now, ctx),
+            ActorEvent::Timer { tag } => self.on_timer(now, tag, ctx),
+            ActorEvent::Message { from, tag, payload } => match tag {
+                MSG_HB => {
+                    let p = from.0;
+                    self.log.borrow_mut().heartbeats_seen += 1;
+                    self.gen[p as usize] += 1;
+                    ctx.timer_at(
+                        now + self.cfg.timeout(ctx.max_delay()),
+                        timeout_tag(p, self.gen[p as usize]),
+                    );
                 }
-                self.suspected_local |= Self::bit(peer);
-                self.excluded |= Self::bit(peer);
-                self.log.borrow_mut().suspicions.push((peer, now));
-                if self.view_mask & Self::bit(peer) != 0 {
-                    self.begin_change(now, ctx);
-                }
-            }
-            ActorEvent::Message { tag, payload, .. } if tag == MSG_VC => {
-                let (target, mask) = vc_decode(payload);
-                if target != self.view_number + 1 {
-                    return; // stale or too far ahead
-                }
-                match &mut self.changing {
-                    Some(c) if c.target == target => c.proposal &= mask,
-                    Some(_) => {}
-                    None => {
-                        // Adopt the exclusions agreed by a faster peer and
-                        // join the flood with our own knowledge folded in.
-                        self.excluded |= self.view_mask & !mask;
-                        self.begin_change(now, ctx);
+                MSG_VC => {
+                    if self.rejoining && !self.have_sync {
+                        return; // no view knowledge at all yet: sit it out
+                    }
+                    let (target, mask) = vc_decode(payload);
+                    if target > self.view_number + 1 && !self.rejoining {
+                        // A flood for a view beyond our next one proves we
+                        // missed at least one install while believing
+                        // ourselves a member (our restart raced an
+                        // exclusion flood): self-heal by re-entering the
+                        // rejoin protocol rather than dropping floods
+                        // forever.
+                        self.begin_rejoin(now, ctx);
+                        return;
+                    }
+                    if target != self.view_number + 1 {
+                        return; // stale or too far ahead mid-rejoin
+                    }
+                    match &mut self.changing {
+                        Some(c) if c.target == target => {
+                            c.proposal = {
+                                let vm = self.view_mask;
+                                (c.proposal & mask & vm) | ((c.proposal | mask) & !vm)
+                            };
+                        }
+                        Some(_) => {}
+                        None => {
+                            // Adopt the exclusions and joins agreed by a
+                            // faster peer and join the flood with our own
+                            // knowledge folded in.
+                            self.excluded |= self.view_mask & !mask;
+                            self.joining |= mask & !self.view_mask;
+                            self.begin_change(now, ctx);
+                        }
                     }
                 }
-            }
-            ActorEvent::Timer { tag } if tag & TAG_ROUND != 0 && tag < TAG_DECIDE => {
-                let target = ((tag >> 16) & 0xFFFF) as u32;
-                if let Some(c) = self.changing {
-                    if c.target == target {
-                        self.broadcast(ctx, MSG_VC, vc_payload(c.target, c.proposal));
-                    }
+                MSG_JOIN if !self.rejoining => {
+                    self.handle_join(from.0, payload, now, ctx);
                 }
-            }
-            ActorEvent::Timer { tag } if tag & TAG_DECIDE != 0 => {
-                self.install((tag & 0xFFFF) as u32, now);
-            }
-            _ => {}
+                MSG_SYNC if self.rejoining => {
+                    let (epoch, log_tail, view) = sync_decode(payload);
+                    if epoch != self.epoch & 0xFFFF {
+                        return;
+                    }
+                    // A preamble for a *newer* view supersedes the transfer in
+                    // progress (the server aborts and re-serves when a
+                    // view change invalidates the mask it shipped):
+                    // restart the chunk count for the new stream. The
+                    // first preamble must not reset — chunk 0 may
+                    // legitimately arrive before it.
+                    if self.have_sync && view != self.view_number {
+                        self.xfer_seen = 0;
+                        self.xfer_total = None;
+                    }
+                    self.have_sync = true;
+                    self.log_tail = log_tail;
+                    self.view_number = view;
+                    self.maybe_start_replay(now, ctx);
+                }
+                MSG_MASK if self.rejoining => {
+                    let (epoch, mask) = mask_decode(payload);
+                    if epoch != self.epoch & 0xFFFF {
+                        return;
+                    }
+                    self.have_mask = true;
+                    self.view_mask = mask;
+                    self.maybe_start_replay(now, ctx);
+                }
+                MSG_CKPT if self.rejoining => {
+                    let (epoch, _seq, total) = ckpt_decode(payload);
+                    if epoch != self.epoch & 0xFFFF {
+                        return;
+                    }
+                    if self.xfer_seen == 0 {
+                        if let Some(p) = &mut self.pending {
+                            p.transfer_started_at = Some(now);
+                        }
+                    }
+                    self.xfer_seen += 1;
+                    self.xfer_total = Some(total);
+                    self.maybe_start_replay(now, ctx);
+                }
+                _ => {}
+            },
         }
     }
 }
@@ -396,6 +885,7 @@ mod tests {
             heartbeat_period: ms(1),
             clock_precision: us(10),
             f: 1,
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -510,6 +1000,174 @@ mod tests {
         let mk = || {
             let plan = FaultPlan::new().crash_at(NodeId(1), Time::ZERO + ms(7));
             let logs = cluster(5, plan, 77, ms(25));
+            logs.iter().map(|l| l.borrow().clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn restart_runs_the_full_rejoin_protocol() {
+        let crash = Time::ZERO + ms(5);
+        let restart = Time::ZERO + ms(12);
+        let plan = FaultPlan::new().crash_window(NodeId(2), crash, restart);
+        let logs = cluster(4, plan, 6, ms(30));
+
+        let joiner = logs[2].borrow();
+        assert_eq!(joiner.restarts, vec![restart]);
+        assert_eq!(joiner.rejoins.len(), 1, "exactly one rejoin cycle");
+        let r = joiner.rejoins[0];
+        assert_eq!(r.node, 2);
+        assert_eq!(r.restarted_at, restart);
+        assert!(r.transfer_started_at > restart);
+        assert!(r.transfer_completed_at >= r.transfer_started_at);
+        assert!(r.replay_completed_at >= r.transfer_completed_at);
+        assert!(r.readmitted_at > r.replay_completed_at);
+        assert!(r.chunks >= 1, "the snapshot shipped in chunks");
+        assert!(r.bytes >= RecoveryConfig::default().checkpoint_bytes);
+        assert_eq!(r.views_traversed, 2, "out for removal + back for rejoin");
+
+        // Every survivor converges on a final view containing node 2 again.
+        for n in [0usize, 1, 3] {
+            let log = logs[n].borrow();
+            let last = log.views.last().unwrap();
+            assert_eq!(last.members, vec![0, 1, 2, 3], "node {n} readmitted 2");
+            assert_eq!(last.number, 2);
+        }
+        // The primary (node 0) served the transfer.
+        assert_eq!(logs[0].borrow().transfers_served, 1);
+        assert!(logs[0].borrow().chunks_sent >= 1);
+        assert_eq!(logs[1].borrow().transfers_served, 0);
+    }
+
+    #[test]
+    fn rejoin_latency_within_analytic_bound() {
+        let plan =
+            FaultPlan::new().crash_window(NodeId(1), Time::ZERO + ms(4), Time::ZERO + ms(11));
+        let logs = cluster(5, plan, 9, ms(30));
+        let joiner = logs[1].borrow();
+        assert_eq!(joiner.rejoins.len(), 1);
+        let bound = cfg(1, 5).rejoin_bound(us(40));
+        let latency = joiner.rejoins[0].latency();
+        assert!(latency <= bound, "rejoin {latency} > bound {bound}");
+    }
+
+    #[test]
+    fn restarted_primary_is_served_by_next_member() {
+        // Node 0 is the primary; it crashes, node 1 takes over, and when
+        // node 0 returns it is node 1 (the new lowest member) that serves
+        // the checkpoint — and node 0 comes back as a plain member but
+        // regains the primary role (lowest id).
+        let plan =
+            FaultPlan::new().crash_window(NodeId(0), Time::ZERO + ms(5), Time::ZERO + ms(13));
+        let logs = cluster(4, plan, 11, ms(32));
+        let joiner = logs[0].borrow();
+        assert_eq!(joiner.rejoins.len(), 1);
+        assert_eq!(logs[1].borrow().transfers_served, 1, "new primary served");
+        let survivor = logs[2].borrow();
+        let last = survivor.views.last().unwrap();
+        assert_eq!(last.members, vec![0, 1, 2, 3]);
+        assert_eq!(survivor.primary(), Some(0), "primary role returns with 0");
+    }
+
+    #[test]
+    fn restart_racing_the_exclusion_flood_still_rejoins() {
+        // With H = 1 ms and δmax = 40 µs, survivors suspect ~1.05 ms after
+        // the last heard heartbeat and install the exclusion view ~100 µs
+        // later. A restart at crash + 150 µs lands inside (or just around)
+        // that agreement window: the join must not be answered with the
+        // pre-exclusion mask (fast-path trap), and the node must end up
+        // re-admitted on every survivor regardless of the exact
+        // interleaving.
+        // Suspicions fire ~50-90 µs after the crash and the exclusion
+        // flood installs ~100 µs later, so this sweep brackets the whole
+        // danger zone: join-before-suspicion, join-during-flood and
+        // join-after-install, under several delay draws.
+        for offset_us in [30u64, 50, 60, 70, 80, 100, 150, 200, 400, 1_200] {
+            for seed in 0..3u64 {
+                let crash = Time::ZERO + ms(5);
+                let restart = crash + us(offset_us);
+                let plan = FaultPlan::new().crash_window(NodeId(2), crash, restart);
+                let logs = cluster(4, plan, 31 + seed * 1000 + offset_us, ms(30));
+                let joiner = logs[2].borrow();
+                assert!(
+                    !joiner.rejoins.is_empty(),
+                    "offset {offset_us}µs seed {seed}: the joiner completed a rejoin"
+                );
+                for n in [0usize, 1, 3] {
+                    let log = logs[n].borrow();
+                    assert_eq!(
+                        log.views.last().unwrap().members,
+                        vec![0, 1, 2, 3],
+                        "offset {offset_us}µs seed {seed}: node {n} ends with node 2 in the view"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_survives_the_perceived_server_being_down() {
+        // Node 2 crashes at 10 ms; node 0 — the lowest member, i.e. the
+        // server every survivor would designate — crashes at 20 ms; node
+        // 2 restarts while node 0's exclusion is still undetected or in
+        // flight. The join request must stay queued on the other
+        // survivors and be served by the *new* lowest member once node
+        // 0's exclusion installs, not silently dropped.
+        for offset_us in [50u64, 100, 200, 800, 2_000] {
+            let plan = FaultPlan::new()
+                .crash_window(
+                    NodeId(2),
+                    Time::ZERO + ms(10),
+                    Time::ZERO + ms(20) + us(offset_us),
+                )
+                .crash_at(NodeId(0), Time::ZERO + ms(20));
+            let logs = cluster(4, plan, 57 + offset_us, ms(60));
+            let joiner = logs[2].borrow();
+            assert_eq!(
+                joiner.rejoins.len(),
+                1,
+                "offset {offset_us}µs: the rejoin completed"
+            );
+            assert_eq!(
+                logs[1].borrow().transfers_served,
+                1,
+                "offset {offset_us}µs: the new lowest member served"
+            );
+            for n in [1usize, 3] {
+                assert_eq!(
+                    logs[n].borrow().views.last().unwrap().members,
+                    vec![1, 2, 3],
+                    "offset {offset_us}µs: node {n} re-admitted node 2"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_crash_restart_cycles_converge() {
+        let plan = FaultPlan::new()
+            .crash_window(NodeId(3), Time::ZERO + ms(4), Time::ZERO + ms(10))
+            .crash_window(NodeId(3), Time::ZERO + ms(22), Time::ZERO + ms(28));
+        let logs = cluster(4, plan, 13, ms(48));
+        let joiner = logs[3].borrow();
+        assert_eq!(joiner.restarts.len(), 2);
+        assert_eq!(joiner.rejoins.len(), 2, "both cycles completed");
+        for n in [0usize, 1, 2] {
+            let log = logs[n].borrow();
+            assert_eq!(
+                log.views.last().unwrap().members,
+                vec![0, 1, 2, 3],
+                "node {n} ends with everyone back"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_rejoin_given_seed() {
+        let mk = || {
+            let plan =
+                FaultPlan::new().crash_window(NodeId(2), Time::ZERO + ms(5), Time::ZERO + ms(12));
+            let logs = cluster(4, plan, 21, ms(30));
             logs.iter().map(|l| l.borrow().clone()).collect::<Vec<_>>()
         };
         assert_eq!(mk(), mk());

@@ -1,5 +1,5 @@
-//! Fault-tolerant clock synchronization service ([LL88], Figure 1's
-//! "[LL88]" box).
+//! Fault-tolerant clock synchronization service (\[LL88\], Figure 1's
+//! "\[LL88\]" box).
 //!
 //! Every resynchronization period `P`, each node reads every other node's
 //! virtual clock over the network (the reading error is half the

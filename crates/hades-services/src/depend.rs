@@ -1,4 +1,4 @@
-//! Dependency tracking and orphan elimination ([NMT97]).
+//! Dependency tracking and orphan elimination (\[NMT97\]).
 //!
 //! When a failure invalidates a computation (a crashed node's unfinished
 //! task instance, a message that never arrived), every computation that

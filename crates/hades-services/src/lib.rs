@@ -9,7 +9,7 @@
 //! purpose:
 //!
 //! * [`clocksync`] — the Lundelius–Lynch fault-tolerant clock
-//!   synchronization protocol ([LL88]) tolerating Byzantine clocks;
+//!   synchronization protocol (\[LL88\]) tolerating Byzantine clocks;
 //! * [`comm`] — time-bounded reliable point-to-point communication,
 //!   reliable broadcast by diffusion, and Δ-protocol atomic multicast;
 //! * [`detect`] — a heartbeat crash detector with bounded detection
@@ -17,11 +17,13 @@
 //! * [`consensus`] — synchronous flooding consensus tolerating crash
 //!   faults;
 //! * [`replication`] — active, passive and semi-active replication
-//!   ([Pol96]), with measured failover behaviour;
+//!   (\[Pol96\]), with measured failover behaviour;
 //! * [`storage`] — persistent stable storage with atomic updates;
-//! * [`depend`] — dependency tracking and orphan elimination ([NMT97]);
+//! * [`depend`] — dependency tracking and orphan elimination (\[NMT97\]);
 //! * [`membership`] — detector-triggered, consensus-agreed view changes;
 //! * [`checkpoint`] — state capture with bounded-replay recovery;
+//! * [`recovery`] — the crash→restart→rejoin lifecycle: sizing of
+//!   checkpointed state transfer and the analytic rejoin-latency bounds;
 //! * [`actors`] — the same protocols as engine-driven actors
 //!   ([`actors::NodeAgent`]) for composition into a shared-engine cluster
 //!   runtime (`hades-cluster`).
@@ -36,6 +38,7 @@ pub mod consensus;
 pub mod depend;
 pub mod detect;
 pub mod membership;
+pub mod recovery;
 pub mod replication;
 pub mod storage;
 
@@ -49,5 +52,6 @@ pub use consensus::{ConsensusConfig, ConsensusOutcome, FloodConsensus};
 pub use depend::DependencyTracker;
 pub use detect::{DetectorConfig, DetectorOutcome, HeartbeatDetector};
 pub use membership::{MembershipOutcome, MembershipSim, View};
+pub use recovery::{RecoveryConfig, RejoinRecord};
 pub use replication::{ReplicaStyle, ReplicationOutcome, ReplicationSim};
 pub use storage::{StableStore, StorageError};

@@ -1,0 +1,250 @@
+//! Crash-recovery sizing: the quantitative model of the rejoin protocol.
+//!
+//! A node that restarts after a crash window comes back *cold*: its
+//! volatile state is gone and its stale membership knowledge is useless.
+//! The rejoin protocol run by [`crate::actors::NodeAgent`] brings it back:
+//!
+//! 1. **announce** — the restarting node broadcasts a join request;
+//! 2. **state transfer** — the current primary ships its latest committed
+//!    checkpoint plus the log tail accumulated since, as a paced sequence
+//!    of MTU-sized chunks over the shared network (so the transfer's
+//!    bandwidth cost is visible to everything else on the wire);
+//! 3. **replay** — the joiner installs the snapshot and replays the log
+//!    tail locally (cf. [`crate::checkpoint::CheckpointService`]: at most
+//!    one checkpoint interval of operations is re-executed);
+//! 4. **re-admission** — a view change floods and the joiner is back in
+//!    the agreed membership.
+//!
+//! [`RecoveryConfig`] sizes steps 2–3 — checkpoint bytes, log growth rate,
+//! MTU, pacing, replay cost — and exposes the analytic bounds the
+//! experiments and property tests check observed rejoin latencies against.
+//! [`RejoinRecord`] is the per-rejoin outcome an agent appends to its log.
+
+use hades_time::{Duration, Time};
+
+/// Sizing of checkpointed state transfer during a rejoin.
+///
+/// # Examples
+///
+/// ```
+/// use hades_services::recovery::RecoveryConfig;
+/// use hades_time::{Duration, Time};
+///
+/// let cfg = RecoveryConfig::default();
+/// let tail = cfg.log_tail_at(Time::ZERO + Duration::from_millis(25));
+/// assert!(tail <= cfg.max_log_tail());
+/// assert!(cfg.chunks(tail) >= 1, "the snapshot always ships");
+/// assert!(cfg.bytes(tail) >= cfg.checkpoint_bytes);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Size of one committed state snapshot, in bytes.
+    pub checkpoint_bytes: u64,
+    /// Size of one logged operation, in bytes.
+    pub log_entry_bytes: u64,
+    /// Bytes carried per state-transfer message (chunk).
+    pub mtu: u64,
+    /// Pacing between consecutive chunk transmissions (the transfer is
+    /// deliberately spread out instead of flooding the network).
+    pub chunk_interval: Duration,
+    /// Local cost of replaying one logged operation on the joiner.
+    pub replay_per_entry: Duration,
+    /// Mean period of state-machine operations (log growth rate).
+    pub op_period: Duration,
+    /// The primary's checkpoint cadence: the log tail never exceeds one
+    /// such period of operations.
+    pub checkpoint_period: Duration,
+}
+
+impl Default for RecoveryConfig {
+    /// LAN-scale defaults: a 64 KiB snapshot, 64-byte operations arriving
+    /// every 100 µs, 1400-byte chunks every 20 µs, 20 ms checkpoints,
+    /// 1 µs replay per operation.
+    fn default() -> Self {
+        RecoveryConfig {
+            checkpoint_bytes: 64 * 1024,
+            log_entry_bytes: 64,
+            mtu: 1400,
+            chunk_interval: Duration::from_micros(20),
+            replay_per_entry: Duration::from_micros(1),
+            op_period: Duration::from_micros(100),
+            checkpoint_period: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Operations logged since the last checkpoint boundary at `now`
+    /// (the primary checkpoints on a fixed cadence from time zero).
+    pub fn log_tail_at(&self, now: Time) -> u64 {
+        let cp = self.checkpoint_period.as_nanos().max(1);
+        let op = self.op_period.as_nanos().max(1);
+        ((now - Time::ZERO).as_nanos() % cp) / op
+    }
+
+    /// Worst-case log-tail length: one full checkpoint period of
+    /// operations.
+    pub fn max_log_tail(&self) -> u64 {
+        self.checkpoint_period.as_nanos().max(1) / self.op_period.as_nanos().max(1)
+    }
+
+    /// Total bytes shipped for a transfer with `log_tail` logged
+    /// operations: the snapshot plus the log tail.
+    pub fn bytes(&self, log_tail: u64) -> u64 {
+        self.checkpoint_bytes + log_tail * self.log_entry_bytes
+    }
+
+    /// Number of MTU-sized network messages the transfer takes (at least
+    /// one: the snapshot always ships).
+    pub fn chunks(&self, log_tail: u64) -> u64 {
+        self.bytes(log_tail).div_ceil(self.mtu.max(1)).max(1)
+    }
+
+    /// Local replay time of `log_tail` operations on the joiner.
+    pub fn replay_time(&self, log_tail: u64) -> Duration {
+        self.replay_per_entry.saturating_mul(log_tail)
+    }
+
+    /// Worst-case duration of the transfer + replay phase: all chunks
+    /// paced at [`RecoveryConfig::chunk_interval`], the last arriving
+    /// within `max_delay`, followed by the full replay.
+    pub fn transfer_bound(&self, max_delay: Duration) -> Duration {
+        let tail = self.max_log_tail();
+        self.chunk_interval
+            .saturating_mul(self.chunks(tail).saturating_sub(1))
+            .saturating_add(max_delay)
+            .saturating_add(self.replay_time(tail))
+    }
+}
+
+/// One completed crash→restart→rejoin cycle, as observed by the joiner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejoinRecord {
+    /// The rejoining node.
+    pub node: u32,
+    /// When the node came back up (and broadcast its join request).
+    pub restarted_at: Time,
+    /// When the first state-transfer chunk arrived.
+    pub transfer_started_at: Time,
+    /// When the last chunk arrived.
+    pub transfer_completed_at: Time,
+    /// When the local log replay finished.
+    pub replay_completed_at: Time,
+    /// When the view re-admitting the node was installed locally.
+    pub readmitted_at: Time,
+    /// Number of the re-admission view.
+    pub view: u32,
+    /// Views the cluster traversed while the node was away (re-admission
+    /// view number minus the node's last pre-crash view number).
+    pub views_traversed: u32,
+    /// State-transfer messages received.
+    pub chunks: u64,
+    /// State-transfer payload bytes received (snapshot + log tail).
+    pub bytes: u64,
+    /// Logged operations replayed.
+    pub log_entries: u64,
+}
+
+impl RejoinRecord {
+    /// End-to-end rejoin latency: restart to re-admission.
+    pub fn latency(&self) -> Duration {
+        self.readmitted_at - self.restarted_at
+    }
+
+    /// Announce phase: restart until the transfer starts flowing.
+    pub fn announce_latency(&self) -> Duration {
+        self.transfer_started_at - self.restarted_at
+    }
+
+    /// Transfer + replay phase.
+    pub fn transfer_latency(&self) -> Duration {
+        self.replay_completed_at - self.transfer_started_at
+    }
+
+    /// Re-admission phase: replay done until the view installs.
+    pub fn readmit_latency(&self) -> Duration {
+        self.readmitted_at - self.replay_completed_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    #[test]
+    fn log_tail_tracks_the_checkpoint_phase() {
+        let cfg = RecoveryConfig {
+            checkpoint_period: us(1_000),
+            op_period: us(100),
+            ..RecoveryConfig::default()
+        };
+        assert_eq!(cfg.log_tail_at(Time::ZERO), 0);
+        assert_eq!(cfg.log_tail_at(Time::ZERO + us(250)), 2);
+        assert_eq!(cfg.log_tail_at(Time::ZERO + us(999)), 9);
+        assert_eq!(
+            cfg.log_tail_at(Time::ZERO + us(1_000)),
+            0,
+            "fresh checkpoint"
+        );
+        assert_eq!(cfg.max_log_tail(), 10);
+    }
+
+    #[test]
+    fn chunk_count_is_size_proportional() {
+        let cfg = RecoveryConfig {
+            checkpoint_bytes: 10_000,
+            log_entry_bytes: 100,
+            mtu: 1_000,
+            ..RecoveryConfig::default()
+        };
+        assert_eq!(cfg.chunks(0), 10);
+        assert_eq!(cfg.chunks(5), 11, "log tail adds chunks");
+        assert_eq!(cfg.bytes(5), 10_500);
+        let tiny = RecoveryConfig {
+            checkpoint_bytes: 1,
+            ..cfg
+        };
+        assert_eq!(tiny.chunks(0), 1, "the snapshot always ships");
+    }
+
+    #[test]
+    fn transfer_bound_dominates_any_reachable_tail() {
+        let cfg = RecoveryConfig::default();
+        let dmax = us(50);
+        for t in [0, 1, 7, 200] {
+            let t = t.min(cfg.max_log_tail());
+            let observed = cfg
+                .chunk_interval
+                .saturating_mul(cfg.chunks(t).saturating_sub(1))
+                .saturating_add(dmax)
+                .saturating_add(cfg.replay_time(t));
+            assert!(observed <= cfg.transfer_bound(dmax));
+        }
+    }
+
+    #[test]
+    fn rejoin_record_decomposition_sums_to_latency() {
+        let r = RejoinRecord {
+            node: 3,
+            restarted_at: Time::from_nanos(100),
+            transfer_started_at: Time::from_nanos(150),
+            transfer_completed_at: Time::from_nanos(300),
+            replay_completed_at: Time::from_nanos(340),
+            readmitted_at: Time::from_nanos(500),
+            view: 2,
+            views_traversed: 2,
+            chunks: 4,
+            bytes: 4_000,
+            log_entries: 12,
+        };
+        assert_eq!(
+            r.announce_latency() + r.transfer_latency() + r.readmit_latency(),
+            r.latency()
+        );
+        assert_eq!(r.latency(), Duration::from_nanos(400));
+    }
+}

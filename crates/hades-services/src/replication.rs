@@ -1,4 +1,4 @@
-//! Replication services: passive, active and semi-active ([Pol96]).
+//! Replication services: passive, active and semi-active (\[Pol96\]).
 //!
 //! HADES promises transparent fault tolerance through replication
 //! (Section 2.2.1, item ii). The three classic styles trade overhead

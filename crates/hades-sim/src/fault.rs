@@ -1,11 +1,18 @@
-//! Scripted fault plans: node crashes and link-omission windows.
+//! Scripted fault plans: node crash windows and link-omission windows.
 //!
 //! The paper's fault model (Section 2.1) admits crash, omission and
 //! coherent-value failures for processors, and omission plus performance
 //! failures for the network. [`FaultPlan`] scripts the deterministic part of
-//! that model — *when* a node crashes, *which* link loses messages during
-//! *which* interval — while probabilistic omissions live in
-//! [`crate::net::LinkConfig`].
+//! that model — *when* a node crashes (and, for transient crashes, when it
+//! restarts), *which* link loses messages during *which* interval — while
+//! probabilistic omissions live in [`crate::net::LinkConfig`].
+//!
+//! A crash is a *window* `[crash_at, restart_at)`: the node is fail-silent
+//! from the crash instant (inclusive) until its restart instant
+//! (exclusive). A window with no restart is a permanent crash. A node may
+//! have several disjoint windows, modelling repeated transient failures;
+//! [`FaultPlan::next_transition`] lets an embedding engine schedule the
+//! corresponding up/down flips.
 
 use crate::net::NodeId;
 use hades_time::Time;
@@ -37,6 +44,23 @@ impl OmissionWindow {
     }
 }
 
+/// One crash window of a node: fail-silent during `[crash_at, restart_at)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// First instant of the outage (inclusive).
+    pub crash_at: Time,
+    /// Restart instant (exclusive end of the outage); `None` = the crash
+    /// is permanent.
+    pub restart_at: Option<Time>,
+}
+
+impl CrashWindow {
+    /// Whether the node is down at `now` under this window.
+    pub fn covers(&self, now: Time) -> bool {
+        now >= self.crash_at && self.restart_at.is_none_or(|r| now < r)
+    }
+}
+
 /// A deterministic script of faults to inject into a simulation run.
 ///
 /// # Examples
@@ -47,14 +71,17 @@ impl OmissionWindow {
 ///
 /// let plan = FaultPlan::new()
 ///     .crash_at(NodeId(2), Time::from_nanos(1_000))
+///     .crash_window(NodeId(1), Time::from_nanos(100), Time::from_nanos(500))
 ///     .cut_link(NodeId(0), NodeId(1), Time::from_nanos(10), Time::from_nanos(20));
 /// assert!(plan.is_crashed(NodeId(2), Time::from_nanos(1_000)));
 /// assert!(!plan.is_crashed(NodeId(2), Time::from_nanos(999)));
+/// assert!(plan.is_crashed(NodeId(1), Time::from_nanos(499)));
+/// assert!(!plan.is_crashed(NodeId(1), Time::from_nanos(500)), "restarted");
 /// assert!(plan.link_cut(NodeId(0), NodeId(1), Time::from_nanos(15)));
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    crashes: HashMap<NodeId, Time>,
+    crashes: HashMap<NodeId, Vec<CrashWindow>>,
     windows: Vec<OmissionWindow>,
 }
 
@@ -64,15 +91,54 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// Schedules a crash (fail-silent) of `node` at time `at`.
-    ///
-    /// If the node already had a crash scheduled, the earlier time wins.
+    /// Schedules a permanent crash (fail-silent, no restart) of `node` at
+    /// time `at`.
     pub fn crash_at(mut self, node: NodeId, at: Time) -> Self {
-        self.crashes
-            .entry(node)
-            .and_modify(|t| *t = (*t).min(at))
-            .or_insert(at);
+        self.crashes.entry(node).or_default().push(CrashWindow {
+            crash_at: at,
+            restart_at: None,
+        });
+        self.normalize(node);
         self
+    }
+
+    /// Schedules a transient crash of `node`: fail-silent during
+    /// `[crash_at, restart_at)`, back up (cold) from `restart_at` on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restart_at <= crash_at`.
+    pub fn crash_window(mut self, node: NodeId, crash_at: Time, restart_at: Time) -> Self {
+        assert!(restart_at > crash_at, "restart must follow the crash");
+        self.crashes.entry(node).or_default().push(CrashWindow {
+            crash_at,
+            restart_at: Some(restart_at),
+        });
+        self.normalize(node);
+        self
+    }
+
+    /// Sorts and merges a node's crash windows so queries are simple scans
+    /// over disjoint, ordered intervals.
+    fn normalize(&mut self, node: NodeId) {
+        let Some(ws) = self.crashes.get_mut(&node) else {
+            return;
+        };
+        ws.sort_by_key(|w| (w.crash_at, w.restart_at.unwrap_or(Time::MAX)));
+        let mut merged: Vec<CrashWindow> = Vec::with_capacity(ws.len());
+        for w in ws.drain(..) {
+            match merged.last_mut() {
+                Some(last) if last.restart_at.is_none_or(|r| w.crash_at <= r) => {
+                    // Overlapping or adjacent: extend the earlier window.
+                    last.restart_at = match (last.restart_at, w.restart_at) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        _ => None,
+                    };
+                }
+                _ => merged.push(w),
+            }
+        }
+        *ws = merged;
     }
 
     /// Drops every message `from → to` sent within `[start, end]`.
@@ -110,14 +176,32 @@ impl FaultPlan {
         self
     }
 
-    /// Whether `node` has crashed by time `now` (crash instant inclusive).
+    /// Whether `node` is down at `now`: inside some crash window
+    /// (crash instant inclusive, restart instant exclusive).
     pub fn is_crashed(&self, node: NodeId, now: Time) -> bool {
-        self.crashes.get(&node).is_some_and(|t| now >= *t)
+        self.crashes
+            .get(&node)
+            .is_some_and(|ws| ws.iter().any(|w| w.covers(now)))
     }
 
-    /// The scheduled crash time of `node`, if any.
+    /// The first scheduled crash time of `node`, if any.
     pub fn crash_time(&self, node: NodeId) -> Option<Time> {
-        self.crashes.get(&node).copied()
+        self.crashes
+            .get(&node)
+            .and_then(|ws| ws.first())
+            .map(|w| w.crash_at)
+    }
+
+    /// The next up/down transition of `node` strictly after `now`: the
+    /// start or (exclusive) end of the next crash window.
+    pub fn next_transition(&self, node: NodeId, now: Time) -> Option<Time> {
+        self.crashes.get(&node).and_then(|ws| {
+            ws.iter()
+                .flat_map(|w| [Some(w.crash_at), w.restart_at])
+                .flatten()
+                .filter(|t| *t > now)
+                .min()
+        })
     }
 
     /// Whether the directed link `from → to` is cut at `now` by any window.
@@ -125,9 +209,34 @@ impl FaultPlan {
         self.windows.iter().any(|w| w.matches(from, to, now))
     }
 
-    /// All scheduled crashes as `(node, time)` pairs in node order.
+    /// All scheduled crash windows as `(node, window)` pairs, ordered by
+    /// node then crash time.
+    pub fn crash_windows(&self) -> Vec<(NodeId, CrashWindow)> {
+        let mut v: Vec<_> = self
+            .crashes
+            .iter()
+            .flat_map(|(n, ws)| ws.iter().map(|w| (*n, *w)))
+            .collect();
+        v.sort_by_key(|(n, w)| (*n, w.crash_at));
+        v
+    }
+
+    /// All scheduled restarts as `(node, time)` pairs in node order.
+    pub fn restarts(&self) -> Vec<(NodeId, Time)> {
+        self.crash_windows()
+            .into_iter()
+            .filter_map(|(n, w)| w.restart_at.map(|r| (n, r)))
+            .collect()
+    }
+
+    /// First scheduled crashes as `(node, time)` pairs in node order
+    /// (one entry per crashing node).
     pub fn crashes(&self) -> Vec<(NodeId, Time)> {
-        let mut v: Vec<_> = self.crashes.iter().map(|(n, t)| (*n, *t)).collect();
+        let mut v: Vec<_> = self
+            .crashes
+            .iter()
+            .filter_map(|(n, ws)| ws.first().map(|w| (*n, w.crash_at)))
+            .collect();
         v.sort();
         v
     }
@@ -141,62 +250,115 @@ mod tests {
     const N1: NodeId = NodeId(1);
     const N2: NodeId = NodeId(2);
 
+    fn ns(n: u64) -> Time {
+        Time::from_nanos(n)
+    }
+
     #[test]
     fn crash_is_permanent_from_instant() {
-        let p = FaultPlan::new().crash_at(N1, Time::from_nanos(100));
-        assert!(!p.is_crashed(N1, Time::from_nanos(99)));
-        assert!(p.is_crashed(N1, Time::from_nanos(100)));
-        assert!(p.is_crashed(N1, Time::from_nanos(1_000_000)));
+        let p = FaultPlan::new().crash_at(N1, ns(100));
+        assert!(!p.is_crashed(N1, ns(99)));
+        assert!(p.is_crashed(N1, ns(100)));
+        assert!(p.is_crashed(N1, ns(1_000_000)));
         assert!(!p.is_crashed(N0, Time::MAX));
-        assert_eq!(p.crash_time(N1), Some(Time::from_nanos(100)));
+        assert_eq!(p.crash_time(N1), Some(ns(100)));
         assert_eq!(p.crash_time(N0), None);
     }
 
     #[test]
-    fn duplicate_crash_keeps_earliest() {
+    fn crash_window_ends_at_restart_exclusive() {
+        let p = FaultPlan::new().crash_window(N1, ns(100), ns(500));
+        assert!(!p.is_crashed(N1, ns(99)));
+        assert!(p.is_crashed(N1, ns(100)));
+        assert!(p.is_crashed(N1, ns(499)));
+        assert!(!p.is_crashed(N1, ns(500)), "alive again at restart");
+        assert!(!p.is_crashed(N1, ns(9_999)));
+    }
+
+    #[test]
+    fn repeated_windows_model_repeated_failures() {
         let p = FaultPlan::new()
-            .crash_at(N1, Time::from_nanos(500))
-            .crash_at(N1, Time::from_nanos(100))
-            .crash_at(N1, Time::from_nanos(900));
-        assert_eq!(p.crash_time(N1), Some(Time::from_nanos(100)));
+            .crash_window(N1, ns(100), ns(200))
+            .crash_window(N1, ns(400), ns(600));
+        assert!(p.is_crashed(N1, ns(150)));
+        assert!(!p.is_crashed(N1, ns(300)));
+        assert!(p.is_crashed(N1, ns(500)));
+        assert!(!p.is_crashed(N1, ns(600)));
+        assert_eq!(p.crash_time(N1), Some(ns(100)));
+    }
+
+    #[test]
+    fn next_transition_walks_the_window_edges() {
+        let p = FaultPlan::new()
+            .crash_window(N1, ns(100), ns(200))
+            .crash_at(N1, ns(400));
+        assert_eq!(p.next_transition(N1, Time::ZERO), Some(ns(100)));
+        assert_eq!(p.next_transition(N1, ns(100)), Some(ns(200)));
+        assert_eq!(p.next_transition(N1, ns(250)), Some(ns(400)));
+        assert_eq!(p.next_transition(N1, ns(400)), None, "permanent: no more");
+        assert_eq!(p.next_transition(N0, Time::ZERO), None);
+    }
+
+    #[test]
+    fn overlapping_windows_merge() {
+        let p = FaultPlan::new()
+            .crash_window(N1, ns(100), ns(300))
+            .crash_window(N1, ns(200), ns(400));
+        assert_eq!(
+            p.crash_windows(),
+            vec![(
+                N1,
+                CrashWindow {
+                    crash_at: ns(100),
+                    restart_at: Some(ns(400)),
+                }
+            )]
+        );
+        // A permanent crash swallows any later restart.
+        let p = FaultPlan::new()
+            .crash_at(N2, ns(50))
+            .crash_window(N2, ns(80), ns(120));
+        assert!(p.is_crashed(N2, ns(10_000)));
+        assert!(p.restarts().is_empty());
+    }
+
+    #[test]
+    fn restarts_listing() {
+        let p = FaultPlan::new()
+            .crash_window(N2, ns(5), ns(50))
+            .crash_at(N0, ns(9));
+        assert_eq!(p.restarts(), vec![(N2, ns(50))]);
+        assert_eq!(p.crashes(), vec![(N0, ns(9)), (N2, ns(5))]);
     }
 
     #[test]
     fn link_window_is_inclusive_and_directional() {
-        let p = FaultPlan::new().cut_link(N0, N1, Time::from_nanos(10), Time::from_nanos(20));
-        assert!(!p.link_cut(N0, N1, Time::from_nanos(9)));
-        assert!(p.link_cut(N0, N1, Time::from_nanos(10)));
-        assert!(p.link_cut(N0, N1, Time::from_nanos(20)));
-        assert!(!p.link_cut(N0, N1, Time::from_nanos(21)));
-        assert!(
-            !p.link_cut(N1, N0, Time::from_nanos(15)),
-            "reverse direction unaffected"
-        );
+        let p = FaultPlan::new().cut_link(N0, N1, ns(10), ns(20));
+        assert!(!p.link_cut(N0, N1, ns(9)));
+        assert!(p.link_cut(N0, N1, ns(10)));
+        assert!(p.link_cut(N0, N1, ns(20)));
+        assert!(!p.link_cut(N0, N1, ns(21)));
+        assert!(!p.link_cut(N1, N0, ns(15)), "reverse direction unaffected");
     }
 
     #[test]
     fn inbound_isolation_uses_wildcard_sender() {
-        let p = FaultPlan::new().isolate_inbound(N2, Time::ZERO, Time::from_nanos(50));
-        assert!(p.link_cut(N0, N2, Time::from_nanos(25)));
-        assert!(p.link_cut(N1, N2, Time::from_nanos(25)));
-        assert!(!p.link_cut(N2, N0, Time::from_nanos(25)));
+        let p = FaultPlan::new().isolate_inbound(N2, Time::ZERO, ns(50));
+        assert!(p.link_cut(N0, N2, ns(25)));
+        assert!(p.link_cut(N1, N2, ns(25)));
+        assert!(!p.link_cut(N2, N0, ns(25)));
     }
 
     #[test]
     fn outbound_isolation_uses_wildcard_receiver() {
-        let p = FaultPlan::new().isolate_outbound(N2, Time::ZERO, Time::from_nanos(50));
-        assert!(p.link_cut(N2, N0, Time::from_nanos(25)));
-        assert!(!p.link_cut(N0, N2, Time::from_nanos(25)));
+        let p = FaultPlan::new().isolate_outbound(N2, Time::ZERO, ns(50));
+        assert!(p.link_cut(N2, N0, ns(25)));
+        assert!(!p.link_cut(N0, N2, ns(25)));
     }
 
     #[test]
     fn crashes_listing_is_sorted() {
-        let p = FaultPlan::new()
-            .crash_at(N2, Time::from_nanos(5))
-            .crash_at(N0, Time::from_nanos(9));
-        assert_eq!(
-            p.crashes(),
-            vec![(N0, Time::from_nanos(9)), (N2, Time::from_nanos(5))]
-        );
+        let p = FaultPlan::new().crash_at(N2, ns(5)).crash_at(N0, ns(9));
+        assert_eq!(p.crashes(), vec![(N0, ns(9)), (N2, ns(5))]);
     }
 }

@@ -60,7 +60,7 @@ pub mod stats;
 pub mod trace;
 
 pub use engine::{Engine, EventId, Scheduler, Simulation};
-pub use fault::{FaultPlan, OmissionWindow};
+pub use fault::{CrashWindow, FaultPlan, OmissionWindow};
 pub use kernel::{KernelActivity, KernelModel};
 pub use mux::{ActorCtx, ActorEngine, ActorEvent, ActorHost, ActorId, NetActor};
 pub use net::{Delivery, LinkConfig, Network, NetworkStats, NodeId};

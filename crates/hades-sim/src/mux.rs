@@ -24,6 +24,7 @@
 //!   and service-level experiments.
 
 use crate::engine::{Engine, Scheduler, Simulation};
+use crate::fault::FaultPlan;
 use crate::net::{Delivery, Network, NodeId};
 use hades_time::{Duration, Time};
 
@@ -42,6 +43,13 @@ impl std::fmt::Display for ActorId {
 pub enum ActorEvent {
     /// Delivered once at the beginning of the run.
     Start,
+    /// The actor's node came back up after a crash window (cold restart).
+    /// Delivered at each restart instant of the node's
+    /// [`crate::FaultPlan`] crash windows; the actor's volatile protocol
+    /// state should be considered lost — timers armed before the crash may
+    /// still fire afterwards, so restart-aware actors must guard them with
+    /// an epoch folded into the timer tag.
+    Restart,
     /// A timer the actor armed via [`ActorCtx::timer_at`] fired.
     Timer {
         /// The tag given when arming.
@@ -186,6 +194,25 @@ impl ActorHost {
         (0..self.actors.len() as u32).map(ActorId)
     }
 
+    /// The `(restart_time, actor)` pairs at which the embedding engine
+    /// should post [`ActorEvent::Restart`], derived from the crash windows
+    /// of `plan`: one event per scheduled restart of each actor's node.
+    pub fn restart_schedule(&self, plan: &FaultPlan) -> Vec<(Time, ActorId)> {
+        let restarts = plan.restarts();
+        let mut out = Vec::new();
+        for (idx, slot) in self.actors.iter().enumerate() {
+            let Some(actor) = slot else { continue };
+            let node = actor.node();
+            for (n, at) in &restarts {
+                if *n == node {
+                    out.push((*at, ActorId(idx as u32)));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
     /// Delivers one event to one actor and returns its staged reactions
     /// (`(fire_time, target_actor, event)`), to be posted by the caller.
     ///
@@ -304,12 +331,17 @@ impl ActorEngine {
     }
 
     /// Runs until `until` (inclusive), delivering `Start` to every actor
-    /// on the first call. Returns the number of delivered events.
+    /// on the first call — plus a [`ActorEvent::Restart`] at every
+    /// scheduled restart of each actor's node. Returns the number of
+    /// delivered events.
     pub fn run(&mut self, until: Time) -> u64 {
         if !self.started {
             self.started = true;
             for id in self.host.ids() {
                 self.engine.post(Time::ZERO, (id, ActorEvent::Start));
+            }
+            for (at, id) in self.host.restart_schedule(self.net.fault_plan()) {
+                self.engine.post(at, (id, ActorEvent::Restart));
             }
         }
         let mut sim = HostSim {
@@ -355,7 +387,7 @@ mod tests {
                 ActorEvent::Message { from, .. } => {
                     self.got.borrow_mut().push((from.0, now));
                 }
-                ActorEvent::Timer { .. } => {}
+                ActorEvent::Timer { .. } | ActorEvent::Restart => {}
             }
         }
     }
@@ -420,6 +452,68 @@ mod tests {
     }
 
     #[test]
+    fn restarted_node_resumes_sending_and_receiving() {
+        /// Node 0 pings node 1 every 100 µs; node 1 counts what it hears
+        /// and records its own restarts.
+        struct Beeper {
+            node: NodeId,
+            got: std::rc::Rc<std::cell::RefCell<Vec<(u32, Time)>>>,
+        }
+        impl NetActor for Beeper {
+            fn node(&self) -> NodeId {
+                self.node
+            }
+            fn handle(&mut self, now: Time, ev: ActorEvent, ctx: &mut ActorCtx<'_>) {
+                match ev {
+                    ActorEvent::Start | ActorEvent::Timer { .. } if self.node == NodeId(0) => {
+                        ctx.send(ActorId(1), NodeId(1), 1, 0);
+                        ctx.timer_after(Duration::from_micros(100), 0);
+                    }
+                    ActorEvent::Restart => self.got.borrow_mut().push((u32::MAX, now)),
+                    ActorEvent::Message { from, .. } => self.got.borrow_mut().push((from.0, now)),
+                    _ => {}
+                }
+            }
+        }
+        let down = Time::ZERO + Duration::from_millis(1);
+        let up = Time::ZERO + Duration::from_millis(2);
+        let plan = FaultPlan::new().crash_window(NodeId(1), down, up);
+        let net = Network::homogeneous(
+            2,
+            LinkConfig::reliable(Duration::from_micros(5), Duration::from_micros(10)),
+            SimRng::seed_from(4),
+        )
+        .with_fault_plan(plan);
+        let mut rt = ActorEngine::new(net);
+        let logs: Vec<_> = (0..2).map(|_| rc_log()).collect();
+        for n in 0..2u32 {
+            rt.add_actor(Box::new(Beeper {
+                node: NodeId(n),
+                got: logs[n as usize].clone(),
+            }));
+        }
+        rt.run(Time::ZERO + Duration::from_millis(3));
+        let got = logs[1].borrow();
+        assert!(
+            got.iter().any(|(s, t)| *s == 0 && *t < down),
+            "heard pings before the crash"
+        );
+        assert!(
+            got.iter().all(|(_, t)| *t < down || *t >= up),
+            "nothing delivered while down"
+        );
+        assert_eq!(
+            got.iter().find(|(s, _)| *s == u32::MAX).map(|(_, t)| *t),
+            Some(up),
+            "restart event at the window end"
+        );
+        assert!(
+            got.iter().any(|(s, t)| *s == 0 && *t > up),
+            "pings resume after restart: the links came back live"
+        );
+    }
+
+    #[test]
     fn timers_fire_in_order_and_deterministically() {
         struct Ticker {
             fired: std::rc::Rc<std::cell::RefCell<Vec<(u32, Time)>>>,
@@ -435,7 +529,7 @@ mod tests {
                         ctx.timer_after(Duration::from_micros(10), 1);
                     }
                     ActorEvent::Timer { tag } => self.fired.borrow_mut().push((tag as u32, now)),
-                    ActorEvent::Message { .. } => {}
+                    ActorEvent::Message { .. } | ActorEvent::Restart => {}
                 }
             }
         }

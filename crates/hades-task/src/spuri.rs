@@ -1,7 +1,7 @@
 //! Spuri's task model and its translation to HEUGs (Figure 3, Section 5).
 //!
 //! The worked example of the paper schedules *sporadic tasks with arbitrary
-//! deadlines and resource sharing* per Spuri's EDF analysis [Spu96]. Each
+//! deadlines and resource sharing* per Spuri's EDF analysis \[Spu96\]. Each
 //! task `i` has a worst-case computation time `Cᵢ` split around one critical
 //! section on resource `S`:
 //!

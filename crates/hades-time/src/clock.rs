@@ -122,7 +122,7 @@ impl HardwareClock {
 ///
 /// The clock-synchronization service periodically applies signed
 /// *corrections*; the virtual clock value is `H(t) + correction`. Corrections
-/// accumulate, matching the amortized-adjustment model of [LL88].
+/// accumulate, matching the amortized-adjustment model of \[LL88\].
 ///
 /// # Examples
 ///

@@ -10,7 +10,7 @@
 //!   offset, Byzantine fault injection) and of adjustable *virtual clocks*
 //!   built on top of them, as assumed by the clock-synchronization service.
 //! * [`sync`] — the algorithmic core of the Lundelius–Lynch fault-tolerant
-//!   averaging clock-synchronization algorithm used by HADES ([LL88] in the
+//!   averaging clock-synchronization algorithm used by HADES (\[LL88\] in the
 //!   paper), together with its precision bounds.
 //! * [`timer`] — a cancellable timer queue used by the simulation kernel and
 //!   the dispatcher to trigger task activations and timeouts.

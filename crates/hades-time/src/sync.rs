@@ -1,7 +1,7 @@
 //! Algorithmic core of fault-tolerant clock synchronization.
 //!
 //! HADES adopts the Lundelius–Lynch interactive-convergence algorithm
-//! ([LL88] in the paper): each node periodically gathers estimates of every
+//! (\[LL88\] in the paper): each node periodically gathers estimates of every
 //! other node's clock, discards the `f` lowest and `f` highest estimates and
 //! adopts the *midpoint* of the surviving range as its correction target.
 //! With `n ≥ 3f + 1` nodes this tolerates `f` arbitrarily faulty (Byzantine)
@@ -85,7 +85,7 @@ pub fn fault_tolerant_midpoint(estimates: &[i64], f: usize) -> Result<i64, Conve
 /// Parameters and derived bounds of one synchronization round.
 ///
 /// `SyncRound` captures the environment constants the precision analysis of
-/// [LL88] needs: reading error `ε` (dominated by message-delay uncertainty),
+/// \[LL88\] needs: reading error `ε` (dominated by message-delay uncertainty),
 /// drift bound `ρ` and resynchronization period `P`.
 ///
 /// # Examples

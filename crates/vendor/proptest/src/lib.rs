@@ -69,7 +69,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: an exact `usize` or a `Range`.
+    /// Length specification for [`vec()`]: an exact `usize` or a `Range`.
     pub trait SizeRange {
         /// Draws a length.
         fn sample_len(&self, rng: &mut TestRng) -> usize;

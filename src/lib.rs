@@ -68,7 +68,8 @@ pub use system::{HadesNode, Policy, SystemError};
 pub mod prelude {
     pub use crate::system::{HadesNode, Policy, SystemError};
     pub use hades_cluster::{
-        ClusterError, ClusterReport, HadesCluster, MiddlewareConfig, ScenarioPlan,
+        ClusterError, ClusterReport, HadesCluster, MiddlewareConfig, ModeChangeRecord,
+        RecoveryRecord, ScenarioPlan,
     };
     pub use hades_dispatch::{
         CostModel, DispatchSim, ExecTimeModel, MissPolicy, MonitorEvent, ResourceProtocol,
