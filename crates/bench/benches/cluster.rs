@@ -1,9 +1,12 @@
 //! Host-side throughput of the integrated cluster runtime: wall-clock
 //! cost of a full crash→detect→view-change→failover run as the cluster
-//! grows, of a crash→restart→rejoin run (state transfer included), and
-//! of a healthy run for the steady-state baseline.
+//! grows, of a crash→restart→rejoin run (state transfer included), of a
+//! healthy run for the steady-state baseline, and of the
+//! replication-group workload under either view-change transport (the
+//! Δ-multicast discipline pushes ~(f+1)× fewer proposal messages than
+//! the flood, which also shows up as host-side work).
 
-use bench::cluster::{failover_scenario, recovery_scenario};
+use bench::cluster::{failover_scenario, groups_scenario, recovery_scenario};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hades_cluster::HadesCluster;
 use hades_time::Duration;
@@ -68,10 +71,32 @@ fn bench_recovery_run(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_group_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_groups_run");
+    g.sample_size(10);
+    for (label, multicast) in [("delta-multicast", true), ("flood", false)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &multicast,
+            |b, &multicast| {
+                b.iter(|| {
+                    let report = groups_scenario(5, ms(60), multicast)
+                        .run()
+                        .expect("valid cluster");
+                    assert!(report.views_agree);
+                    black_box(report)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_failover_run,
     bench_healthy_run,
-    bench_recovery_run
+    bench_recovery_run,
+    bench_group_run
 );
 criterion_main!(benches);

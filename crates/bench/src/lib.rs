@@ -37,6 +37,7 @@ pub fn run_experiment(name: &str) -> Option<String> {
         "cluster" => cluster::cluster_failover(),
         "cluster_scaling" => cluster::cluster_scaling(),
         "cluster_recovery" => cluster::cluster_recovery(),
+        "cluster_groups" => cluster::cluster_groups(),
         _ => return None,
     })
 }
@@ -64,6 +65,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "cluster",
     "cluster_scaling",
     "cluster_recovery",
+    "cluster_groups",
 ];
 
 #[cfg(test)]

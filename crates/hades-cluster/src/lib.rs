@@ -64,11 +64,12 @@ pub mod report;
 pub mod scenario;
 
 pub use middleware::{
-    MiddlewareConfig, MIDDLEWARE_TASKS_PER_NODE, MIDDLEWARE_TASK_BASE, RECOVERY_TASK_BASE,
+    GroupLoad, MiddlewareConfig, GROUP_TASK_BASE, MIDDLEWARE_TASKS_PER_NODE, MIDDLEWARE_TASK_BASE,
+    RECOVERY_TASK_BASE,
 };
 pub use report::{
-    ClusterReport, DetectionRecord, FailoverRecord, ModeChangeRecord, NodeFeasibility, NodeReport,
-    RecoveryRecord,
+    ClusterReport, DetectionRecord, FailoverRecord, GroupHandoff, GroupReport, ModeChangeRecord,
+    NodeFeasibility, NodeReport, RecoveryRecord, ViewChangeStats,
 };
 pub use scenario::{ModeChangeScript, Partition, ScenarioPlan};
 
@@ -76,7 +77,10 @@ use hades_dispatch::{CostModel, DispatchSim, SimConfig};
 use hades_sched::analysis::rta::{rta_feasible, RtaTask};
 use hades_sched::{edf_feasible, EdfAnalysisConfig, EdfPolicy, ModeChange, Policy};
 use hades_services::actors::{AgentConfig, AgentLog, NodeAgent};
+use hades_services::group::{GroupConfig, GroupLog, ReplicaGroup};
 use hades_services::membership::View;
+use hades_services::ReplicaStyle;
+use hades_sim::mux::ActorId;
 use hades_sim::{KernelModel, LinkConfig, Network, NodeId, SimRng};
 use hades_task::spuri::SpuriTask;
 use hades_task::task::TaskSetError;
@@ -127,6 +131,26 @@ pub enum ClusterError {
     /// A mode change retires a task id that no registered application
     /// task carries.
     UnknownRetiredTask(TaskId),
+    /// A replication group has no members.
+    EmptyGroup {
+        /// The offending group index (registration order).
+        group: u32,
+    },
+    /// A replication group names a member outside the cluster.
+    GroupMemberOutOfRange {
+        /// The offending group index (registration order).
+        group: u32,
+        /// The out-of-range member node.
+        node: u32,
+        /// The cluster size.
+        nodes: u32,
+    },
+    /// A replication group's request period is zero (its submission tick
+    /// would stop virtual time from advancing).
+    ZeroGroupRequestPeriod {
+        /// The offending group index (registration order).
+        group: u32,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -161,6 +185,18 @@ impl fmt::Display for ClusterError {
             ClusterError::UnknownRetiredTask(id) => {
                 write!(f, "mode change retires unknown application task {id}")
             }
+            ClusterError::EmptyGroup { group } => {
+                write!(f, "replication group {group} has no members")
+            }
+            ClusterError::GroupMemberOutOfRange { group, node, nodes } => {
+                write!(
+                    f,
+                    "replication group {group} member {node} outside the {nodes}-node cluster"
+                )
+            }
+            ClusterError::ZeroGroupRequestPeriod { group } => {
+                write!(f, "replication group {group} has a zero request period")
+            }
         }
     }
 }
@@ -189,6 +225,7 @@ pub struct HadesCluster {
     middleware: MiddlewareConfig,
     scenario: ScenarioPlan,
     app_tasks: Vec<(u32, Task)>,
+    groups: Vec<(ReplicaStyle, Vec<u32>, GroupLoad)>,
 }
 
 impl HadesCluster {
@@ -207,6 +244,7 @@ impl HadesCluster {
             middleware: MiddlewareConfig::default(),
             scenario: ScenarioPlan::new(),
             app_tasks: Vec::new(),
+            groups: Vec::new(),
         }
     }
 
@@ -265,6 +303,28 @@ impl HadesCluster {
         self
     }
 
+    /// Registers a replication group: `members` (deduplicated, any
+    /// order) run `style` over the shared network, serving the client
+    /// request stream described by `load`. Requests enter through the
+    /// Δ-atomic multicast (`Δ = δmax + γ` for this cluster's link and
+    /// clock precision), every member is charged the per-request WCET as
+    /// a middleware cost task, and the run's [`ClusterReport::groups`]
+    /// section records delivery-order agreement, output latencies
+    /// against the Δ-bound, duplicate suppression and leader handoffs.
+    pub fn with_group(mut self, style: ReplicaStyle, members: Vec<u32>, load: GroupLoad) -> Self {
+        let mut members = members;
+        members.sort_unstable();
+        members.dedup();
+        self.groups.push((style, members, load));
+        self
+    }
+
+    /// The Δ of the groups' atomic multicast: `δmax + γ` for this
+    /// cluster's link model and synchronized-clock precision.
+    pub fn group_delta(&self) -> Duration {
+        self.link.delay_max + self.middleware.clock_precision(&self.link)
+    }
+
     /// Convenience: registers a single-unit periodic task on `node` with
     /// deadline equal to its period. Task ids are assigned in
     /// registration order.
@@ -304,6 +364,7 @@ impl HadesCluster {
             clock_precision: self.middleware.clock_precision(&self.link),
             f: self.middleware.f,
             recovery: self.middleware.recovery,
+            vc_delta_multicast: self.middleware.delta_multicast_vc,
         }
     }
 
@@ -319,6 +380,21 @@ impl HadesCluster {
                 node: node.0,
                 at: *at,
             });
+        }
+        for (g, (_, members, load)) in self.groups.iter().enumerate() {
+            if members.is_empty() {
+                return Err(ClusterError::EmptyGroup { group: g as u32 });
+            }
+            if let Some(bad) = members.iter().find(|m| **m >= self.nodes) {
+                return Err(ClusterError::GroupMemberOutOfRange {
+                    group: g as u32,
+                    node: *bad,
+                    nodes: self.nodes,
+                });
+            }
+            if load.request_period.is_zero() {
+                return Err(ClusterError::ZeroGroupRequestPeriod { group: g as u32 });
+            }
         }
         let introduced: Vec<(u32, &Task)> = self
             .scenario
@@ -398,6 +474,15 @@ impl HadesCluster {
         }
         for node in 0..self.nodes {
             for task in self.middleware.tasks_for(node) {
+                origin.insert(task.id, (node, true));
+                tasks.push(task);
+            }
+        }
+        for (g, (style, members, load)) in self.groups.iter().enumerate() {
+            for (node, task) in self
+                .middleware
+                .group_cost_tasks(g as u32, *style, members, load)
+            {
                 origin.insert(task.id, (node, true));
                 tasks.push(task);
             }
@@ -497,6 +582,44 @@ impl HadesCluster {
             })
             .collect();
 
+        // ---- replication-group members, after the agents (actor ids
+        // 0..nodes belong to the agents, groups follow) ----
+        let delta = self.group_delta();
+        let mut next_actor = self.nodes;
+        let mut group_logs: Vec<Vec<Rc<RefCell<GroupLog>>>> = Vec::new();
+        for (g, (style, members, load)) in self.groups.iter().enumerate() {
+            let peers: Vec<(u32, ActorId)> = members
+                .iter()
+                .enumerate()
+                .map(|(i, m)| (*m, ActorId(next_actor + i as u32)))
+                .collect();
+            let mut glogs = Vec::new();
+            for (i, m) in members.iter().enumerate() {
+                let (member, glog) = ReplicaGroup::new(
+                    GroupConfig {
+                        group: g as u32,
+                        node: NodeId(*m),
+                        members: members.clone(),
+                        style: *style,
+                        request_period: load.request_period,
+                        first_request_at: load.first_request_at,
+                        delta,
+                        attempts: load.attempts,
+                        peers: peers.clone(),
+                    },
+                    Some(logs[*m as usize].clone()),
+                );
+                let id = sim.add_actor(Box::new(member));
+                assert_eq!(
+                    id, peers[i].1,
+                    "group peer addressing drifted from actor registration order"
+                );
+                glogs.push(glog);
+            }
+            next_actor += members.len() as u32;
+            group_logs.push(glogs);
+        }
+
         let run = sim.run();
         let network = sim.network_stats();
 
@@ -540,6 +663,25 @@ impl HadesCluster {
             })
             .collect();
 
+        let groups = self.group_reports(&group_logs, delta);
+        let view_changes = view_history
+            .last()
+            .map(|(number, _)| *number)
+            .unwrap_or_default();
+        let pairs = (self.nodes as u64) * (self.nodes as u64 - 1);
+        let view_change = report::ViewChangeStats {
+            transport: if self.middleware.delta_multicast_vc {
+                "delta-multicast"
+            } else {
+                "flood"
+            },
+            messages: logs.iter().map(|l| l.borrow().vc_messages_sent).sum(),
+            view_changes,
+            flood_equivalent: (self.middleware.f as u64 + 1) * pairs * view_changes as u64,
+            multicast_equivalent: pairs * view_changes as u64,
+        };
+        let join_retries = logs.iter().map(|l| l.borrow().join_retries).sum();
+
         Ok(ClusterReport {
             nodes: self.nodes,
             seed: self.seed,
@@ -554,11 +696,131 @@ impl HadesCluster {
             scripted_rejoins: self.scenario.matched_restarts().len() as u32,
             rejoin_bound,
             mode_changes,
+            groups,
+            view_change,
+            join_retries,
             heartbeats_seen,
             network,
             scheduler_cpu: run.scheduler_cpu,
             kernel_cpu: run.kernel_cpu,
         })
+    }
+
+    /// Folds every group's member logs into its report section.
+    fn group_reports(
+        &self,
+        group_logs: &[Vec<Rc<RefCell<GroupLog>>>],
+        delta: Duration,
+    ) -> Vec<report::GroupReport> {
+        let mut out = Vec::new();
+        for (g, ((style, members, _), glogs)) in
+            self.groups.iter().zip(group_logs.iter()).enumerate()
+        {
+            let logs: Vec<GroupLog> = glogs.iter().map(|l| l.borrow().clone()).collect();
+            // Reference order: the first member never scripted down;
+            // when every member restarted at some point, the longest
+            // delivery log stands in (identical full sequences cannot be
+            // demanded of restarted members, so agreement then means
+            // subsequence consistency, never a vacuous true).
+            let full_time: Vec<usize> = members
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| self.scenario.down_windows(NodeId(**m)).is_empty())
+                .map(|(i, _)| i)
+                .collect();
+            let reference_idx = full_time.first().copied().unwrap_or_else(|| {
+                (0..logs.len())
+                    .max_by_key(|i| logs[*i].delivered.len())
+                    .unwrap_or(0)
+            });
+            let reference = logs[reference_idx].delivery_order();
+            let order_consistent = logs.iter().all(|l| l.order_consistent_with(&reference));
+            let order_agreement = if full_time.is_empty() {
+                order_consistent
+            } else {
+                full_time
+                    .iter()
+                    .all(|i| logs[*i].delivery_order() == reference)
+            };
+            // First submission and first client-visible output per id.
+            let mut submitted_at: BTreeMap<u64, Time> = BTreeMap::new();
+            let mut output_at: BTreeMap<u64, Time> = BTreeMap::new();
+            let mut emissions = 0u64;
+            for log in &logs {
+                for (id, at) in &log.submitted {
+                    let e = submitted_at.entry(*id).or_insert(*at);
+                    *e = (*e).min(*at);
+                }
+                for (id, at) in &log.emitted {
+                    emissions += 1;
+                    let e = output_at.entry(*id).or_insert(*at);
+                    *e = (*e).min(*at);
+                }
+            }
+            let outputs = output_at.len() as u64;
+            let output_bound = delta + self.link.delay_max;
+            let mut on_time = 0u64;
+            let mut delayed = 0u64;
+            let mut worst: Option<Duration> = None;
+            for (id, at) in &output_at {
+                let Some(sub) = submitted_at.get(id) else {
+                    continue;
+                };
+                let latency = *at - *sub;
+                worst = Some(worst.map_or(latency, |w| w.max(latency)));
+                if latency <= output_bound {
+                    on_time += 1;
+                } else {
+                    delayed += 1;
+                }
+            }
+            // Client-visible duplicates: surplus emissions for active
+            // replication are the redundant copies the voter absorbs
+            // (the members' own per-vote suppression counters observe
+            // each copy multiple times and would overstate it), not
+            // duplicates.
+            let surplus = emissions - outputs;
+            let (duplicate_outputs, duplicates_suppressed) = match style {
+                ReplicaStyle::Active => (0, surplus),
+                _ => (surplus, logs.iter().map(|l| l.suppressed).sum()),
+            };
+            let mut handoffs: Vec<report::GroupHandoff> = logs
+                .iter()
+                .flat_map(|l| {
+                    l.handoffs
+                        .iter()
+                        .map(|(from, to, at)| report::GroupHandoff {
+                            group: g as u32,
+                            from: *from,
+                            to: *to,
+                            at: *at,
+                        })
+                })
+                .collect();
+            handoffs.sort_by_key(|h| (h.at, h.to));
+            out.push(report::GroupReport {
+                group: g as u32,
+                style_name: style.name(),
+                members: members.clone(),
+                submitted: submitted_at.len() as u64,
+                delivered: reference.len() as u64,
+                order_agreement,
+                order_consistent,
+                outputs,
+                duplicate_outputs,
+                duplicates_suppressed,
+                handoffs,
+                delivery_bound: delta,
+                output_bound,
+                on_time_outputs: on_time,
+                delayed_outputs: delayed,
+                worst_latency: worst,
+                messages: logs.iter().map(|l| l.messages_sent).sum(),
+                replayed: logs.iter().map(|l| l.replayed).sum(),
+                vote_mismatches: logs.iter().map(|l| l.vote_mismatches).sum(),
+            });
+        }
+        out
     }
 
     /// Analyzes every scripted mode change: per affected node, the
@@ -1058,6 +1320,43 @@ mod tests {
             reserved.run(),
             Err(ClusterError::ReservedTaskId(_))
         ));
+        assert!(matches!(
+            quad()
+                .with_group(
+                    hades_services::ReplicaStyle::Active,
+                    vec![],
+                    GroupLoad::default()
+                )
+                .run(),
+            Err(ClusterError::EmptyGroup { group: 0 })
+        ));
+        assert!(matches!(
+            quad()
+                .with_group(
+                    hades_services::ReplicaStyle::Active,
+                    vec![0, 9],
+                    GroupLoad::default()
+                )
+                .run(),
+            Err(ClusterError::GroupMemberOutOfRange {
+                group: 0,
+                node: 9,
+                nodes: 4
+            })
+        ));
+        assert!(matches!(
+            quad()
+                .with_group(
+                    hades_services::ReplicaStyle::Active,
+                    vec![0, 1],
+                    GroupLoad {
+                        request_period: Duration::ZERO,
+                        ..GroupLoad::default()
+                    }
+                )
+                .run(),
+            Err(ClusterError::ZeroGroupRequestPeriod { group: 0 })
+        ));
     }
 
     #[test]
@@ -1269,6 +1568,42 @@ mod tests {
             "pre-crash completions kept: {counted}/{full}"
         );
         assert!(counted < full, "down-window activations excluded");
+    }
+
+    #[test]
+    fn restart_during_mode_transition_rejoins_into_the_new_mode() {
+        // The mode change at 30 ms retires node 2's control task and
+        // introduces a 10 ms-period replacement there, while node 2 is
+        // down across the switch [25 ms, 37 ms]. The restarted node must
+        // come back executing the *new* mode immediately: its first
+        // new-mode completion lands at the restart instant (37 ms-ish),
+        // not at the stale release phase (40 ms) and never in the old
+        // mode.
+        let switch = Time::ZERO + ms(30);
+        let restart = Time::ZERO + ms(37);
+        let new_task = Task::new(
+            TaskId(10),
+            single_heug("phase2", 2, us(300)),
+            hades_task::ArrivalLaw::Periodic(ms(10)),
+            ms(10),
+        );
+        let report = quad()
+            .scenario(
+                ScenarioPlan::new()
+                    .crash(NodeId(2), Time::ZERO + ms(25))
+                    .restart(NodeId(2), restart)
+                    .mode_change(switch, vec![TaskId(2)], vec![(2, new_task)]),
+            )
+            .run()
+            .unwrap();
+        let m = report.mode_changes[0];
+        assert_eq!(m.new_mode_released_at, switch);
+        let first = m.first_new_completion.expect("the new mode ran");
+        assert!(
+            first >= restart && first < Time::ZERO + ms(40),
+            "new mode re-anchored at the restart, got {first}"
+        );
+        assert!(report.all_app_deadlines_met());
     }
 
     #[test]

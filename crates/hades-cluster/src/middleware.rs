@@ -9,10 +9,10 @@
 //! demand is charged by the dispatcher in virtual time *and* appears in
 //! the Section 5 analyses exactly like application load.
 
-use hades_services::RecoveryConfig;
+use hades_services::{RecoveryConfig, ReplicaStyle};
 use hades_sim::LinkConfig;
 use hades_task::prelude::*;
-use hades_time::{Duration, SyncRound};
+use hades_time::{Duration, SyncRound, Time};
 
 /// First task id reserved for injected middleware tasks; application task
 /// ids must stay below.
@@ -24,6 +24,37 @@ pub const MIDDLEWARE_TASKS_PER_NODE: u32 = 3;
 /// First task id reserved for per-recovery cost tasks (state-transfer
 /// serving on the surviving member, checkpoint install on the joiner).
 pub const RECOVERY_TASK_BASE: u32 = 2_000;
+
+/// First task id reserved for per-group replication cost tasks (request
+/// execution on every group member).
+pub const GROUP_TASK_BASE: u32 = 3_000;
+
+/// The client-request workload one replication group serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupLoad {
+    /// Client request period (one request per period).
+    pub request_period: Duration,
+    /// WCET of executing one request on a member.
+    pub request_wcet: Duration,
+    /// Scheduled submission instant of request 0.
+    pub first_request_at: Time,
+    /// Per-link redundant-transmission budget of the group's multicasts
+    /// (masks `attempts − 1` consecutive omissions per copy).
+    pub attempts: u32,
+}
+
+impl Default for GroupLoad {
+    /// One 100 µs request per millisecond, starting at 1 ms, single-shot
+    /// links.
+    fn default() -> Self {
+        GroupLoad {
+            request_period: Duration::from_millis(1),
+            request_wcet: Duration::from_micros(100),
+            first_request_at: Time::ZERO + Duration::from_millis(1),
+            attempts: 1,
+        }
+    }
+}
 
 /// Configuration of the injected middleware activities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +83,10 @@ pub struct MiddlewareConfig {
     pub transfer_chunk_wcet: Duration,
     /// CPU cost, on the joiner, of installing one received chunk.
     pub install_chunk_wcet: Duration,
+    /// Route view-change proposals through the Δ-multicast discipline
+    /// instead of the `f + 1`-round flood (see
+    /// [`hades_services::AgentConfig::vc_delta_multicast`]).
+    pub delta_multicast_vc: bool,
 }
 
 impl Default for MiddlewareConfig {
@@ -71,6 +106,7 @@ impl Default for MiddlewareConfig {
             recovery: RecoveryConfig::default(),
             transfer_chunk_wcet: Duration::from_micros(1),
             install_chunk_wcet: Duration::from_micros(1),
+            delta_multicast_vc: true,
         }
     }
 }
@@ -172,6 +208,41 @@ impl MiddlewareConfig {
         ]
     }
 
+    /// Builds the per-member request-execution cost tasks of replication
+    /// group `g`. Every member is charged the full per-request WCET
+    /// regardless of style — a safe over-approximation for passive
+    /// groups (where only the primary executes in steady state) that
+    /// keeps the feasibility verdict valid under any leadership.
+    ///
+    /// Ids stride 64 per group; membership is bounded by the 48-node
+    /// cluster cap, so member indices can never collide across groups.
+    pub fn group_cost_tasks(
+        &self,
+        g: u32,
+        style: ReplicaStyle,
+        members: &[u32],
+        load: &GroupLoad,
+    ) -> Vec<(u32, Task)> {
+        members
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let task = Task::new(
+                    TaskId(GROUP_TASK_BASE + g * 64 + i as u32),
+                    Heug::single(CodeEu::new(
+                        format!("mw.grp{g}.{}@{node}", style.name()),
+                        load.request_wcet.max(Duration::from_nanos(1)),
+                        ProcessorId(*node),
+                    ))
+                    .expect("single-unit group HEUG"),
+                    ArrivalLaw::Periodic(load.request_period),
+                    load.request_period,
+                );
+                (*node, task)
+            })
+            .collect()
+    }
+
     /// Long-run CPU utilization of the injected middleware, in permille.
     pub fn utilization_permille(&self) -> u32 {
         let parts = [
@@ -204,6 +275,32 @@ mod tests {
         }
         assert!(cfg.utilization_permille() > 0);
         assert!(cfg.utilization_permille() < 100, "middleware stays light");
+    }
+
+    #[test]
+    fn group_cost_tasks_charge_every_member() {
+        let cfg = MiddlewareConfig::default();
+        let load = GroupLoad::default();
+        let tasks = cfg.group_cost_tasks(2, ReplicaStyle::SemiActive, &[1, 3, 4], &load);
+        assert_eq!(tasks.len(), 3);
+        for ((node, task), member) in tasks.iter().zip([1u32, 3, 4]) {
+            assert_eq!(*node, member);
+            assert!(task.id.0 >= GROUP_TASK_BASE);
+            assert_eq!(task.wcet(), load.request_wcet);
+            assert_eq!(
+                task.arrival.min_separation(),
+                Some(load.request_period),
+                "one instance per request"
+            );
+            for eu in task.heug.eus() {
+                assert_eq!(eu.processor(), ProcessorId(member));
+            }
+        }
+        // Distinct groups get distinct reserved ids.
+        let other = cfg.group_cost_tasks(3, ReplicaStyle::Active, &[1, 3, 4], &load);
+        assert!(tasks
+            .iter()
+            .all(|(_, a)| other.iter().all(|(_, b)| a.id != b.id)));
     }
 
     #[test]

@@ -132,6 +132,92 @@ pub struct ModeChangeRecord {
     pub transition_latency: Duration,
 }
 
+/// One leadership handover inside a replication group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupHandoff {
+    /// The group.
+    pub group: u32,
+    /// The member that held leadership before.
+    pub from: u32,
+    /// The member that took over.
+    pub to: u32,
+    /// When the new leader re-bound to the promoting view.
+    pub at: Time,
+}
+
+/// Outcome of one replication group's client-request workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupReport {
+    /// The group.
+    pub group: u32,
+    /// Replication style run.
+    pub style_name: &'static str,
+    /// Member nodes.
+    pub members: Vec<u32>,
+    /// Distinct requests submitted by the gateway(s).
+    pub submitted: u64,
+    /// Requests delivered by the reference member (first member that was
+    /// never scripted down; falls back to the first member).
+    pub delivered: u64,
+    /// Whether every never-crashed member delivered the identical
+    /// request sequence.
+    pub order_agreement: bool,
+    /// Whether every member's sequence (restarted members included) is a
+    /// subsequence of the reference order.
+    pub order_consistent: bool,
+    /// Distinct client-visible outputs.
+    pub outputs: u64,
+    /// Client-visible duplicate outputs (possible for semi-active /
+    /// passive takeovers that cannot know what the dead leader emitted).
+    pub duplicate_outputs: u64,
+    /// Redundant output copies absorbed before the client: vote copies
+    /// beyond the first per request (active) and follower executions
+    /// withheld (semi-active).
+    pub duplicates_suppressed: u64,
+    /// Leadership handovers, in takeover order.
+    pub handoffs: Vec<GroupHandoff>,
+    /// The Δ of the group's atomic multicast: a request submitted at its
+    /// scheduled tick is delivered exactly Δ later at every live member.
+    pub delivery_bound: Duration,
+    /// The analytic client-visible output bound `Δ + δmax`.
+    pub output_bound: Duration,
+    /// Outputs within the bound (measured from the actual submission).
+    pub on_time_outputs: u64,
+    /// Outputs beyond the bound (requests caught in a leader handoff).
+    pub delayed_outputs: u64,
+    /// Worst observed submission→output latency.
+    pub worst_latency: Option<Duration>,
+    /// Group-protocol messages pushed into the shared network.
+    pub messages: u64,
+    /// Requests re-executed by passive takeover replays.
+    pub replayed: u64,
+    /// Active-style vote digests that disagreed across members.
+    pub vote_mismatches: u64,
+}
+
+impl GroupReport {
+    /// Whether every emitted output met the Δ-multicast bound.
+    pub fn within_delta_bound(&self) -> bool {
+        self.delayed_outputs == 0
+    }
+}
+
+/// Message-complexity accounting of the view-change transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewChangeStats {
+    /// The transport the run used (`"delta-multicast"` or `"flood"`).
+    pub transport: &'static str,
+    /// View-change proposal messages actually pushed into the network.
+    pub messages: u64,
+    /// Views installed beyond the initial one.
+    pub view_changes: u32,
+    /// Analytic per-run flood complexity `(f + 1) · n · (n − 1)` per
+    /// change.
+    pub flood_equivalent: u64,
+    /// Analytic per-run Δ-multicast complexity `n · (n − 1)` per change.
+    pub multicast_equivalent: u64,
+}
+
 /// One primary handover caused by a primary crash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FailoverRecord {
@@ -178,6 +264,12 @@ pub struct ClusterReport {
     pub rejoin_bound: Duration,
     /// Scripted mode changes, analysis and observed transition latency.
     pub mode_changes: Vec<ModeChangeRecord>,
+    /// Per-group replication outcomes, indexed by group id.
+    pub groups: Vec<GroupReport>,
+    /// View-change transport message accounting.
+    pub view_change: ViewChangeStats,
+    /// JOIN/preamble retransmissions issued by rejoining nodes.
+    pub join_retries: u64,
     /// Heartbeats received across all agents.
     pub heartbeats_seen: u64,
     /// Shared-network counters (dispatcher messages + middleware traffic).
@@ -333,6 +425,40 @@ impl ClusterReport {
                 m.transition_latency,
             );
         }
+        for g in &self.groups {
+            let _ = writeln!(
+                s,
+                "  group {} ({}, members {:?}): {}/{} requests output ({} on time, {} delayed; worst {}), \
+                 dup outputs {}, suppressed {}, order agree={} consistent={}, {} handoff(s), {} msgs",
+                g.group,
+                g.style_name,
+                g.members,
+                g.outputs,
+                g.submitted,
+                g.on_time_outputs,
+                g.delayed_outputs,
+                g.worst_latency
+                    .map_or_else(|| "-".into(), |d| d.to_string()),
+                g.duplicate_outputs,
+                g.duplicates_suppressed,
+                g.order_agreement,
+                g.order_consistent,
+                g.handoffs.len(),
+                g.messages,
+            );
+            for h in &g.handoffs {
+                let _ = writeln!(s, "    handoff: n{} -> n{} at {}", h.from, h.to, h.at);
+            }
+        }
+        let _ = writeln!(
+            s,
+            "  view changes: {} over '{}' transport, {} msgs (flood would take {}, multicast {})",
+            self.view_change.view_changes,
+            self.view_change.transport,
+            self.view_change.messages,
+            self.view_change.flood_equivalent,
+            self.view_change.multicast_equivalent,
+        );
         let _ = writeln!(
             s,
             "  network: {} sent, {} on time, {} late, {} omitted; {} heartbeats seen",

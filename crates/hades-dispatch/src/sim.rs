@@ -134,7 +134,7 @@ impl SimConfig {
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Ev {
-    Activate { task: TaskId },
+    Activate { task: TaskId, gen: u32 },
     WorkDone { node: u32, version: u64 },
     EarliestReached { thread: ThreadId },
     DeadlineCheck { task: TaskId, instance: u64 },
@@ -173,6 +173,10 @@ struct NodeState {
     /// Whether the node is down per the fault plan (dispatcher kill
     /// switch): a down node executes nothing and accrues no CPU work.
     down: bool,
+    /// When the current down window started (mode-change × recovery
+    /// bookkeeping: a restart re-enters activation windows that opened
+    /// while the node was away).
+    down_since: Option<Time>,
 }
 
 #[derive(Debug)]
@@ -221,6 +225,10 @@ struct Inner {
     /// Auto-activation windows `[from, until)` per task; tasks without an
     /// entry activate over the whole run.
     activation_windows: HashMap<TaskId, (Time, Time)>,
+    /// Periodic-chain generation per task: bumped when a restart
+    /// re-anchors the chain, so the superseded chain's pending
+    /// activations die instead of duplicating it.
+    chain_gen: HashMap<TaskId, u32>,
     rng: SimRng,
 }
 
@@ -329,6 +337,7 @@ impl DispatchSim {
             kernel_cpu: Duration::ZERO,
             node_cpu: vec![Duration::ZERO; node_count],
             activation_windows: HashMap::new(),
+            chain_gen: HashMap::new(),
             rng: rng.split(0x4558),
         };
         DispatchSim {
@@ -391,7 +400,7 @@ impl DispatchSim {
     pub fn activate_at(&mut self, task: TaskId, at: Time) {
         assert!(!self.ran, "simulation already ran");
         assert!(self.inner.tasks.get(task).is_some(), "unknown task {task}");
-        self.engine.post(at, Ev::Activate { task });
+        self.engine.post(at, Ev::Activate { task, gen: 0 });
     }
 
     /// Runs the simulation to its horizon and returns the report.
@@ -411,7 +420,13 @@ impl DispatchSim {
                         .activation_windows
                         .get(&task.id)
                         .map_or(Time::ZERO, |(from, _)| *from);
-                    self.engine.post(start, Ev::Activate { task: task.id });
+                    self.engine.post(
+                        start,
+                        Ev::Activate {
+                            task: task.id,
+                            gen: 0,
+                        },
+                    );
                 }
             }
         }
@@ -431,6 +446,7 @@ impl DispatchSim {
             let plan = self.inner.network.fault_plan();
             if plan.is_crashed(NodeId(node), Time::ZERO) {
                 self.inner.nodes[node as usize].down = true;
+                self.inner.nodes[node as usize].down_since = Some(Time::ZERO);
             }
             if let Some(at) = plan.next_transition(NodeId(node), Time::ZERO) {
                 self.engine.post(at, Ev::FaultTransition { node });
@@ -551,6 +567,7 @@ impl Inner {
         }
         let ns = &mut self.nodes[node as usize];
         ns.down = true;
+        ns.down_since = Some(now);
         ns.current = None;
         ns.last_app = None;
         ns.runq = RunQueue::new();
@@ -565,13 +582,51 @@ impl Inner {
 
     /// Brings `node` back up cold: empty queues, no threads, no carry-over
     /// state. Subsequent activations repopulate it.
-    fn restart_node(&mut self, node: u32, now: Time, _sched: &mut Scheduler<Ev>) {
+    ///
+    /// Mode-change × recovery: a task homed on this node whose activation
+    /// window *opened while the node was down* (the new mode of a mode
+    /// change that happened mid-outage) has its periodic chain
+    /// re-anchored at the restart instant — the node rejoins directly
+    /// into the new mode instead of waiting out the stale phase of the
+    /// pre-crash chain. Windows already open before the crash keep their
+    /// original phase, as before.
+    fn restart_node(&mut self, node: u32, now: Time, sched: &mut Scheduler<Ev>) {
+        let down_since = self.nodes[node as usize].down_since;
         let ns = &mut self.nodes[node as usize];
         ns.down = false;
+        ns.down_since = None;
         ns.since = now;
         ns.version += 1;
         self.trace
             .record(now, NodeId(node), TraceKind::Alarm, "node_restart");
+        if !self.cfg.auto_activate {
+            return;
+        }
+        let reanchor: Vec<TaskId> = self
+            .tasks
+            .tasks()
+            .iter()
+            .filter(|t| {
+                t.heug
+                    .eus()
+                    .first()
+                    .is_some_and(|eu| eu.processor().0 == node)
+            })
+            .filter(|t| t.arrival.min_separation().is_some())
+            .filter_map(|t| {
+                let (from, until) = self.activation_windows.get(&t.id)?;
+                // `>=`: a window opening at the crash instant itself was
+                // missed too (the node died before spawning anything).
+                let opened_while_down =
+                    down_since.is_some_and(|d| *from >= d) && *from <= now && now < *until;
+                opened_while_down.then_some(t.id)
+            })
+            .collect();
+        for task in reanchor {
+            let gen = self.chain_gen.entry(task).or_insert(0);
+            *gen += 1;
+            sched.post(now, Ev::Activate { task, gen: *gen });
+        }
     }
 
     /// Remaining work of the current exec on `node`.
@@ -718,7 +773,10 @@ impl Inner {
     // Activation & thread creation
     // ------------------------------------------------------------------
 
-    fn activate(&mut self, task_id: TaskId, now: Time, sched: &mut Scheduler<Ev>) {
+    fn activate(&mut self, task_id: TaskId, gen: u32, now: Time, sched: &mut Scheduler<Ev>) {
+        if gen != self.chain_gen.get(&task_id).copied().unwrap_or(0) {
+            return; // a restart re-anchored this task's chain
+        }
         let task = self
             .tasks
             .get(task_id)
@@ -739,7 +797,7 @@ impl Inner {
                 if next <= Time::ZERO + self.cfg.horizon
                     && window_until.is_none_or(|until| next < until)
                 {
-                    sched.post(next, Ev::Activate { task: task_id });
+                    sched.post(next, Ev::Activate { task: task_id, gen });
                 }
             }
         }
@@ -1592,7 +1650,7 @@ impl Simulation for Inner {
 
     fn handle(&mut self, now: Time, event: Ev, sched: &mut Scheduler<Ev>) {
         match event {
-            Ev::Activate { task } => self.activate(task, now, sched),
+            Ev::Activate { task, gen } => self.activate(task, gen, now, sched),
             Ev::WorkDone { node, version } => {
                 if self.nodes[node as usize].version != version {
                     return; // stale completion from before a reschedule
@@ -2156,6 +2214,74 @@ mod tests {
             .collect();
         assert_eq!(done, vec![0, 1, 4, 5]);
         assert_eq!(r.instances.len(), 5, "no instances spawned while down");
+    }
+
+    #[test]
+    fn restart_during_mode_transition_enters_the_new_mode_at_restart() {
+        // Old mode (task 0) retires at 3 ms; new mode (task 1) releases
+        // at 3 ms. Node 0 is down across the switch, [2.5 ms, 4.3 ms):
+        // the restarted node must come back executing the *new* mode
+        // immediately (chain re-anchored at 4.3 ms), never replaying the
+        // old mode's activations, and without waiting for the stale
+        // 3 ms-phase chain (next phase instant would be 5 ms).
+        let down = Time::ZERO + Duration::from_micros(2_500);
+        let up = Time::ZERO + Duration::from_micros(4_300);
+        let switch = Time::ZERO + Duration::from_millis(3);
+        let set = TaskSet::new(vec![
+            periodic(0, "old", 100, 1000, 1),
+            periodic(1, "new", 100, 1000, 1),
+        ])
+        .unwrap();
+        let cfg = SimConfig::ideal(Duration::from_millis(8));
+        let net = Network::homogeneous(2, cfg.link, SimRng::seed_from(0))
+            .with_fault_plan(hades_sim::FaultPlan::new().crash_window(NodeId(0), down, up));
+        let mut sim = DispatchSim::with_network(set, cfg, net);
+        sim.set_activation_window(TaskId(0), Time::ZERO, switch);
+        sim.set_activation_window(TaskId(1), switch, Time::MAX);
+        let r = sim.run();
+        let old: Vec<u64> = r
+            .of_task(TaskId(0))
+            .iter()
+            .map(|i| (i.activated - Time::ZERO).as_nanos() / 1_000)
+            .collect();
+        let new: Vec<u64> = r
+            .of_task(TaskId(1))
+            .iter()
+            .map(|i| (i.activated - Time::ZERO).as_nanos() / 1_000)
+            .collect();
+        assert_eq!(
+            old,
+            vec![0, 1_000, 2_000],
+            "no old-mode replay after restart"
+        );
+        assert_eq!(
+            new,
+            vec![4_300, 5_300, 6_300, 7_300],
+            "the new mode starts at the restart instant, not at the stale phase"
+        );
+        assert!(r.all_deadlines_met());
+    }
+
+    #[test]
+    fn windows_open_before_the_crash_keep_their_phase() {
+        // The window opened at time zero (before the down window): the
+        // restarted node resumes the original phase — the pre-existing
+        // behaviour must be untouched.
+        let down = Time::ZERO + Duration::from_millis(2);
+        let up = Time::ZERO + Duration::from_micros(4_300);
+        let set = TaskSet::new(vec![periodic(0, "a", 100, 1000, 1)]).unwrap();
+        let cfg = SimConfig::ideal(Duration::from_millis(7));
+        let net = Network::homogeneous(2, cfg.link, SimRng::seed_from(0))
+            .with_fault_plan(hades_sim::FaultPlan::new().crash_window(NodeId(0), down, up));
+        let mut sim = DispatchSim::with_network(set, cfg, net);
+        sim.set_activation_window(TaskId(0), Time::ZERO, Time::MAX);
+        let r = sim.run();
+        let acts: Vec<u64> = r
+            .of_task(TaskId(0))
+            .iter()
+            .map(|i| (i.activated - Time::ZERO).as_nanos() / 1_000)
+            .collect();
+        assert_eq!(acts, vec![0, 1_000, 5_000, 6_000, 7_000]);
     }
 
     #[test]

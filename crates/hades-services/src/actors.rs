@@ -68,6 +68,7 @@ const KIND_ROUND: u64 = 3;
 const KIND_DECIDE: u64 = 4;
 const KIND_XFER: u64 = 5;
 const KIND_REPLAY: u64 = 6;
+const KIND_JOIN_RETRY: u64 = 7;
 
 fn tag(kind: u64, body: u64) -> u64 {
     (kind << 60) | body
@@ -149,6 +150,12 @@ pub struct AgentConfig {
     pub f: u32,
     /// Sizing of checkpointed state transfer during rejoins.
     pub recovery: RecoveryConfig,
+    /// Route view-change proposals through the Δ-multicast discipline
+    /// (each participant multicasts its proposal once, re-multicasting
+    /// only when a merge actually changes it) instead of the
+    /// FloodSet-style `f + 1`-round rebroadcast. Same agreement bound,
+    /// `O(n²)` messages per change instead of `O((f+1)·n²)`.
+    pub vc_delta_multicast: bool,
 }
 
 impl AgentConfig {
@@ -208,6 +215,12 @@ pub struct AgentLog {
     pub transfers_served: u64,
     /// State-transfer chunks this node sent.
     pub chunks_sent: u64,
+    /// View-change proposal messages this node sent (flood rebroadcasts
+    /// included), for the flood-vs-Δ-multicast complexity comparison.
+    pub vc_messages_sent: u64,
+    /// JOIN/preamble retransmissions this node issued while rejoining
+    /// (lossy-link masking on the heartbeat cadence).
+    pub join_retries: u64,
 }
 
 impl AgentLog {
@@ -222,6 +235,8 @@ impl AgentLog {
             rejoins: Vec::new(),
             transfers_served: 0,
             chunks_sent: 0,
+            vc_messages_sent: 0,
+            join_retries: 0,
         }
     }
 
@@ -254,6 +269,12 @@ struct Transfer {
     to_epoch: u64,
     total: u64,
     next: u64,
+    /// The preamble this transfer shipped, kept for lossy-link re-sends
+    /// (view number and mask must stay the consistent pair the stream
+    /// was started with).
+    log_tail: u64,
+    view: u32,
+    mask: u64,
 }
 
 /// Timestamps of a rejoin in progress (joiner side).
@@ -300,6 +321,7 @@ struct PendingRejoin {
 ///             clock_precision: Duration::from_micros(10),
 ///             f: 1,
 ///             recovery: RecoveryConfig::default(),
+///             vc_delta_multicast: true,
 ///         });
 ///         rt.add_actor(Box::new(agent));
 ///         log
@@ -339,6 +361,10 @@ pub struct NodeAgent {
     log_tail: u64,
     xfer_total: Option<u64>,
     xfer_seen: u64,
+    /// Chunk count at the last JOIN-retry check: no progress since means
+    /// the stream stalled (lost JOIN, preamble or chunks) and the join
+    /// announcement is retransmitted on the heartbeat cadence.
+    xfer_seen_at_retry: u64,
     pending: Option<PendingRejoin>,
     /// View number last installed before the most recent crash.
     pre_crash_view: u32,
@@ -380,6 +406,7 @@ impl NodeAgent {
             log_tail: 0,
             xfer_total: None,
             xfer_seen: 0,
+            xfer_seen_at_retry: 0,
             pending: None,
             pre_crash_view: 0,
             serving: None,
@@ -405,23 +432,48 @@ impl NodeAgent {
         }
     }
 
+    /// Broadcasts a view-change proposal, counting it toward the
+    /// flood-vs-multicast complexity comparison.
+    fn send_proposal(&mut self, ctx: &mut ActorCtx<'_>, target: u32, proposal: u64) {
+        self.broadcast(ctx, MSG_VC, vc_payload(target, proposal));
+        self.log.borrow_mut().vc_messages_sent += (self.cfg.nodes - 1) as u64;
+    }
+
     /// Starts a view change (or folds more exclusions/joins into the one
     /// in flight) toward the next view. Proposal merging is FloodSet-style
     /// with a twist: exclusion wins for current members (intersection),
     /// inclusion wins for non-members being re-admitted (union), so every
     /// correct node converges on the same mask after `f + 1` rounds.
+    ///
+    /// Transport: under the default Δ-multicast discipline each node
+    /// multicasts its proposal once when it joins the change and again
+    /// only when a merge actually changes it (information diffuses
+    /// through the members' own sends, so a proposer's crash cannot hide
+    /// its contribution — its atomic multicast either reached everyone
+    /// or no one). The flood transport rebroadcasts every round instead.
     fn begin_change(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
         let proposal = (self.view_mask | self.joining) & !self.excluded;
         let vm = self.view_mask;
-        match &mut self.changing {
-            Some(c) => c.proposal = (c.proposal & proposal & vm) | ((c.proposal | proposal) & !vm),
+        match self.changing {
+            Some(c) => {
+                let merged = (c.proposal & proposal & vm) | ((c.proposal | proposal) & !vm);
+                self.changing = Some(Change {
+                    proposal: merged,
+                    ..c
+                });
+                if self.cfg.vc_delta_multicast && merged != c.proposal {
+                    self.send_proposal(ctx, c.target, merged);
+                }
+            }
             None => {
                 let target = self.view_number + 1;
                 self.changing = Some(Change { target, proposal });
-                self.broadcast(ctx, MSG_VC, vc_payload(target, proposal));
+                self.send_proposal(ctx, target, proposal);
                 let round = self.cfg.round_length(ctx.max_delay());
-                for r in 1..=self.cfg.f {
-                    ctx.timer_at(now + round.saturating_mul(r as u64), round_tag(target, r));
+                if !self.cfg.vc_delta_multicast {
+                    for r in 1..=self.cfg.f {
+                        ctx.timer_at(now + round.saturating_mul(r as u64), round_tag(target, r));
+                    }
                 }
                 ctx.timer_at(
                     now + round.saturating_mul(self.cfg.f as u64 + 1),
@@ -555,6 +607,29 @@ impl NodeAgent {
             now + self.cfg.timeout(ctx.max_delay()),
             timeout_tag(joiner, self.gen[joiner as usize]),
         );
+        if let Some(t) = self.serving {
+            if t.to == joiner && t.to_epoch == epoch {
+                // A retransmitted JOIN of the joiner this transfer already
+                // serves: the preamble (or early chunks) was lost on a
+                // lossy link. Re-send the preamble the stream is based on;
+                // the chunk pacing continues untouched.
+                let to = ActorId(joiner);
+                ctx.send(
+                    to,
+                    NodeId(joiner),
+                    MSG_SYNC,
+                    sync_payload(epoch, t.log_tail, t.view),
+                );
+                ctx.send(to, NodeId(joiner), MSG_MASK, mask_payload(epoch, t.mask));
+                return;
+            }
+            if t.to == joiner {
+                // The joiner restarted again mid-transfer: the stream in
+                // flight serves a dead incarnation — abort it and queue
+                // the fresh epoch below.
+                self.serving = None;
+            }
+        }
         // Every live node remembers the request — not only the node that
         // currently believes it is the server. Servership is re-evaluated
         // at every drain point (now, and after each view install), so if
@@ -592,6 +667,9 @@ impl NodeAgent {
             to_epoch: epoch,
             total,
             next: 0,
+            log_tail,
+            view: self.view_number,
+            mask: self.view_mask,
         });
         self.log.borrow_mut().transfers_served += 1;
         self.send_chunk(now, ctx);
@@ -669,7 +747,7 @@ impl NodeAgent {
                 let target = ((t >> 16) & 0xFFFF) as u32;
                 if let Some(c) = self.changing {
                     if c.target == target {
-                        self.broadcast(ctx, MSG_VC, vc_payload(c.target, c.proposal));
+                        self.send_proposal(ctx, c.target, c.proposal);
                     }
                 }
             }
@@ -680,6 +758,24 @@ impl NodeAgent {
                 if self.serving.is_some_and(|s| s.to == to && s.next == seq) {
                     self.send_chunk(now, ctx);
                 }
+            }
+            KIND_JOIN_RETRY => {
+                if t & 0xFFFF != self.epoch & 0xFFFF || !self.rejoining || self.replayed {
+                    return;
+                }
+                let complete = self.xfer_total.is_some_and(|total| self.xfer_seen >= total);
+                let stalled = !self.have_sync
+                    || !self.have_mask
+                    || (!complete && self.xfer_seen == self.xfer_seen_at_retry);
+                if stalled {
+                    self.broadcast(ctx, MSG_JOIN, self.epoch);
+                    self.log.borrow_mut().join_retries += 1;
+                }
+                self.xfer_seen_at_retry = self.xfer_seen;
+                ctx.timer_after(
+                    self.cfg.heartbeat_period,
+                    tag(KIND_JOIN_RETRY, self.epoch & 0xFFFF),
+                );
             }
             KIND_REPLAY => {
                 if t & 0xFFFF != self.epoch & 0xFFFF || self.replayed || !self.rejoining {
@@ -721,6 +817,7 @@ impl NodeAgent {
         self.log_tail = 0;
         self.xfer_total = None;
         self.xfer_seen = 0;
+        self.xfer_seen_at_retry = 0;
         self.pre_crash_view = self.view_number;
         self.pending = Some(PendingRejoin {
             restarted_at: now,
@@ -733,10 +830,16 @@ impl NodeAgent {
         self.serving = None;
         self.pending_joins.clear();
         // Liveness first (peers resume watching us), then the join
-        // announcement that triggers the state transfer.
+        // announcement that triggers the state transfer — re-announced on
+        // the heartbeat cadence while the transfer makes no progress, so
+        // a lost JOIN or preamble cannot stall the rejoin on lossy links.
         self.broadcast(ctx, MSG_HB, 0);
         ctx.timer_after(self.cfg.heartbeat_period, hb_tag(self.epoch));
         self.broadcast(ctx, MSG_JOIN, self.epoch);
+        ctx.timer_after(
+            self.cfg.heartbeat_period,
+            tag(KIND_JOIN_RETRY, self.epoch & 0xFFFF),
+        );
     }
 }
 
@@ -795,12 +898,19 @@ impl NetActor for NodeAgent {
                     if target != self.view_number + 1 {
                         return; // stale or too far ahead mid-rejoin
                     }
-                    match &mut self.changing {
+                    match self.changing {
                         Some(c) if c.target == target => {
-                            c.proposal = {
-                                let vm = self.view_mask;
-                                (c.proposal & mask & vm) | ((c.proposal | mask) & !vm)
-                            };
+                            let vm = self.view_mask;
+                            let merged = (c.proposal & mask & vm) | ((c.proposal | mask) & !vm);
+                            self.changing = Some(Change {
+                                proposal: merged,
+                                ..c
+                            });
+                            if self.cfg.vc_delta_multicast && merged != c.proposal {
+                                // Echo-on-change: the merge learned
+                                // something the peers may not have.
+                                self.send_proposal(ctx, c.target, merged);
+                            }
                         }
                         Some(_) => {}
                         None => {
@@ -886,6 +996,7 @@ mod tests {
             clock_precision: us(10),
             f: 1,
             recovery: RecoveryConfig::default(),
+            vc_delta_multicast: true,
         }
     }
 
@@ -1160,6 +1271,59 @@ mod tests {
                 "node {n} ends with everyone back"
             );
         }
+    }
+
+    #[test]
+    fn rejoin_completes_on_lossy_links_via_join_retries() {
+        // 10% per-message omissions: the single-shot JOIN (or the
+        // transfer preamble) is regularly lost, which before the
+        // heartbeat-cadence retransmission stalled the rejoin until the
+        // horizon. A loss-tolerant timeout (γ floor raised) keeps the
+        // detector from drowning the run in false suspicions, the flood
+        // transport gives the view agreement its own redundancy, and a
+        // small checkpoint keeps the re-served stream short.
+        let mut completed_retries = 0u64;
+        for seed in 0..5u64 {
+            let lossy_cfg = |node: u32| AgentConfig {
+                node: NodeId(node),
+                nodes: 4,
+                heartbeat_period: ms(1),
+                clock_precision: us(3_500),
+                f: 1,
+                recovery: RecoveryConfig {
+                    checkpoint_bytes: 2_000,
+                    ..RecoveryConfig::default()
+                },
+                vc_delta_multicast: false,
+            };
+            let plan =
+                FaultPlan::new().crash_window(NodeId(2), Time::ZERO + ms(8), Time::ZERO + ms(20));
+            let net = Network::homogeneous(
+                4,
+                LinkConfig::reliable(us(10), us(40)).with_omissions(100),
+                SimRng::seed_from(900 + seed),
+            )
+            .with_fault_plan(plan);
+            let mut rt = ActorEngine::new(net);
+            let logs: Vec<_> = (0..4)
+                .map(|n| {
+                    let (agent, log) = NodeAgent::new(lossy_cfg(n));
+                    rt.add_actor(Box::new(agent));
+                    log
+                })
+                .collect();
+            rt.run(Time::ZERO + ms(80));
+            let joiner = logs[2].borrow();
+            assert!(
+                !joiner.rejoins.is_empty(),
+                "seed {seed}: the rejoin must not stall on a lossy link"
+            );
+            completed_retries += joiner.join_retries;
+        }
+        assert!(
+            completed_retries > 0,
+            "at least one run exercised the retransmission path"
+        );
     }
 
     #[test]

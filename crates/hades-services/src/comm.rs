@@ -17,7 +17,7 @@
 
 use hades_sim::{Delivery, Engine, Network, NodeId, Scheduler, Simulation};
 use hades_time::{Duration, Time};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 // ---------------------------------------------------------------------
 // Reliable point-to-point
@@ -321,6 +321,123 @@ impl DeltaMulticast {
     }
 }
 
+/// Actor-side Δ-protocol delivery buffer: the engine-driven face of
+/// [`DeltaMulticast`].
+///
+/// A [`crate::group::ReplicaGroup`] (or any other actor) feeds every
+/// received multicast copy into the inbox with its sender timestamp; the
+/// inbox discards late copies (arrival past `ts + Δ`), suppresses
+/// duplicates by message id, and releases messages at `ts + Δ` in
+/// `(ts, sender, id)` order — the total order the Δ-protocol guarantees
+/// across receivers with synchronized clocks.
+///
+/// # Examples
+///
+/// ```
+/// use hades_services::comm::DeltaInbox;
+/// use hades_time::{Duration, Time};
+///
+/// let delta = Duration::from_micros(30);
+/// let mut inbox = DeltaInbox::new(delta);
+/// let t0 = Time::ZERO;
+/// // Two messages, the later-stamped one arriving first.
+/// assert_eq!(
+///     inbox.accept(7, t0 + Duration::from_micros(10), 1, t0 + Duration::from_micros(15)),
+///     Some(t0 + Duration::from_micros(40)),
+/// );
+/// assert_eq!(
+///     inbox.accept(3, t0, 0, t0 + Duration::from_micros(20)),
+///     Some(t0 + Duration::from_micros(30)),
+/// );
+/// // Delivery at ts + Δ, in timestamp order regardless of arrival order.
+/// assert_eq!(inbox.due(t0 + Duration::from_micros(30)), vec![(3, t0, 0)]);
+/// assert_eq!(
+///     inbox.due(t0 + Duration::from_micros(40)),
+///     vec![(7, t0 + Duration::from_micros(10), 1)],
+/// );
+/// ```
+#[derive(Debug, Default)]
+pub struct DeltaInbox {
+    /// The delivery delay Δ.
+    delta: Duration,
+    /// Pending copies as `(ts, sender, id)` — the delivery order.
+    pending: BTreeSet<(Time, u32, u64)>,
+    /// Ids already accepted or delivered (duplicate suppression).
+    seen: HashSet<u64>,
+    /// Copies discarded for arriving past `ts + Δ`.
+    late_discards: u64,
+    /// Duplicate copies suppressed.
+    duplicates: u64,
+}
+
+impl DeltaInbox {
+    /// An empty inbox delivering at `ts + delta`.
+    pub fn new(delta: Duration) -> Self {
+        DeltaInbox {
+            delta,
+            ..DeltaInbox::default()
+        }
+    }
+
+    /// The delivery delay Δ.
+    pub fn delta(&self) -> Duration {
+        self.delta
+    }
+
+    /// Offers one received copy of message `id`, stamped `ts` by `sender`,
+    /// arriving at `now`. Returns the delivery due time `ts + Δ` when the
+    /// copy was accepted (the caller arms a timer there), `None` when it
+    /// was discarded as late or suppressed as a duplicate.
+    pub fn accept(&mut self, id: u64, ts: Time, sender: u32, now: Time) -> Option<Time> {
+        if now > ts + self.delta {
+            self.late_discards += 1;
+            return None;
+        }
+        if !self.seen.insert(id) {
+            self.duplicates += 1;
+            return None;
+        }
+        self.pending.insert((ts, sender, id));
+        Some(ts + self.delta)
+    }
+
+    /// Releases every message due by `now` (`ts + Δ ≤ now`), in
+    /// `(ts, sender, id)` order, as `(id, ts, sender)` triples.
+    pub fn due(&mut self, now: Time) -> Vec<(u64, Time, u32)> {
+        let mut out = Vec::new();
+        while let Some(&(ts, sender, id)) = self.pending.first() {
+            if ts + self.delta > now {
+                break;
+            }
+            self.pending.pop_first();
+            out.push((id, ts, sender));
+        }
+        out
+    }
+
+    /// Whether message `id` has been accepted (or already delivered).
+    pub fn knows(&self, id: u64) -> bool {
+        self.seen.contains(&id)
+    }
+
+    /// Copies discarded for arriving past their delivery instant.
+    pub fn late_discards(&self) -> u64 {
+        self.late_discards
+    }
+
+    /// Duplicate copies suppressed by message id.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Drops all pending (undelivered) copies — the volatile part of a
+    /// cold restart. The duplicate-suppression memory survives: delivered
+    /// ids must not be re-delivered to a restarted state machine.
+    pub fn clear_pending(&mut self) {
+        self.pending.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,5 +587,52 @@ mod tests {
         let net = reliable_net(3, 8);
         let dm = DeltaMulticast::for_network(&net, us(3));
         assert_eq!(dm.delta, us(23));
+    }
+
+    #[test]
+    fn delta_inbox_orders_by_timestamp_then_sender() {
+        let mut inbox = DeltaInbox::new(us(50));
+        let t = |n| Time::ZERO + us(n);
+        inbox.accept(2, t(10), 3, t(20));
+        inbox.accept(1, t(10), 1, t(25));
+        inbox.accept(0, t(5), 2, t(30));
+        assert!(inbox.due(t(54)).is_empty(), "nothing due before ts + delta");
+        assert_eq!(
+            inbox.due(t(60)),
+            vec![(0, t(5), 2), (1, t(10), 1), (2, t(10), 3)],
+            "(ts, sender) order, all due by 60"
+        );
+    }
+
+    #[test]
+    fn delta_inbox_discards_late_and_suppresses_duplicates() {
+        let mut inbox = DeltaInbox::new(us(50));
+        let t = |n| Time::ZERO + us(n);
+        assert_eq!(inbox.accept(9, t(0), 0, t(51)), None, "late copy dropped");
+        assert_eq!(inbox.late_discards(), 1);
+        assert_eq!(inbox.accept(9, t(60), 0, t(70)), Some(t(110)));
+        assert_eq!(
+            inbox.accept(9, t(60), 1, t(75)),
+            None,
+            "second copy of the same id suppressed"
+        );
+        assert_eq!(inbox.duplicates(), 1);
+        assert!(inbox.knows(9));
+        assert_eq!(inbox.due(t(110)), vec![(9, t(60), 0)]);
+        assert_eq!(
+            inbox.accept(9, t(120), 0, t(125)),
+            None,
+            "delivered ids stay suppressed"
+        );
+    }
+
+    #[test]
+    fn delta_inbox_restart_drops_pending_but_not_memory() {
+        let mut inbox = DeltaInbox::new(us(50));
+        let t = |n| Time::ZERO + us(n);
+        inbox.accept(1, t(0), 0, t(10));
+        inbox.clear_pending();
+        assert!(inbox.due(t(100)).is_empty(), "pending lost with the crash");
+        assert_eq!(inbox.accept(1, t(60), 0, t(65)), None, "memory survives");
     }
 }

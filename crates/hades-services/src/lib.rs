@@ -26,7 +26,10 @@
 //!   checkpointed state transfer and the analytic rejoin-latency bounds;
 //! * [`actors`] — the same protocols as engine-driven actors
 //!   ([`actors::NodeAgent`]) for composition into a shared-engine cluster
-//!   runtime (`hades-cluster`).
+//!   runtime (`hades-cluster`);
+//! * [`group`] — replication groups over Δ-atomic multicast: the three
+//!   replication styles as in-cluster actors ([`group::ReplicaGroup`])
+//!   serving a client request stream on the shared network.
 
 #![warn(missing_docs)]
 
@@ -37,6 +40,7 @@ pub mod comm;
 pub mod consensus;
 pub mod depend;
 pub mod detect;
+pub mod group;
 pub mod membership;
 pub mod recovery;
 pub mod replication;
@@ -46,11 +50,12 @@ pub use actors::{AgentConfig, AgentLog, NodeAgent};
 pub use checkpoint::{CheckpointService, Replayable};
 pub use clocksync::{ClockSyncConfig, ClockSyncRun, PrecisionReport};
 pub use comm::{
-    BroadcastOutcome, BroadcastSim, DeltaMulticast, P2pConfig, P2pOutcome, ReliableP2p,
+    BroadcastOutcome, BroadcastSim, DeltaInbox, DeltaMulticast, P2pConfig, P2pOutcome, ReliableP2p,
 };
 pub use consensus::{ConsensusConfig, ConsensusOutcome, FloodConsensus};
 pub use depend::DependencyTracker;
 pub use detect::{DetectorConfig, DetectorOutcome, HeartbeatDetector};
+pub use group::{GroupConfig, GroupLog, ReplicaGroup};
 pub use membership::{MembershipOutcome, MembershipSim, View};
 pub use recovery::{RecoveryConfig, RejoinRecord};
 pub use replication::{ReplicaStyle, ReplicationOutcome, ReplicationSim};

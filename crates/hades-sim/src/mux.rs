@@ -131,6 +131,34 @@ impl ActorCtx<'_> {
         }
     }
 
+    /// Multicast fan-out: sends `(tag, payload)` to every `(actor, node)`
+    /// target in one call, skipping the reacting actor itself, and returns
+    /// how many copies the network accepted. Retries each omitted copy up
+    /// to `attempts − 1` extra times (same instant — the Δ-protocol's
+    /// reliable-multicast substrate masks per-link omissions by redundant
+    /// transmission, not by waiting).
+    pub fn fanout(
+        &mut self,
+        targets: impl IntoIterator<Item = (ActorId, NodeId)>,
+        tag: u64,
+        payload: u64,
+        attempts: u32,
+    ) -> u32 {
+        let mut accepted = 0;
+        for (to, to_node) in targets {
+            if to == self.self_id {
+                continue;
+            }
+            for _ in 0..attempts.max(1) {
+                if self.send(to, to_node, tag, payload) {
+                    accepted += 1;
+                    break;
+                }
+            }
+        }
+        accepted
+    }
+
     /// Whether `node` has crashed by now (per the fault plan).
     pub fn is_crashed(&self, node: NodeId) -> bool {
         self.net.fault_plan().is_crashed(node, self.now)
@@ -511,6 +539,57 @@ mod tests {
             got.iter().any(|(s, t)| *s == 0 && *t > up),
             "pings resume after restart: the links came back live"
         );
+    }
+
+    #[test]
+    fn fanout_reaches_every_target_and_masks_omissions() {
+        /// Node 0 fans one message out to everyone at start; peers count.
+        struct Blaster {
+            node: NodeId,
+            peers: u32,
+            got: std::rc::Rc<std::cell::RefCell<Vec<(u32, Time)>>>,
+        }
+        impl NetActor for Blaster {
+            fn node(&self) -> NodeId {
+                self.node
+            }
+            fn handle(&mut self, now: Time, ev: ActorEvent, ctx: &mut ActorCtx<'_>) {
+                match ev {
+                    ActorEvent::Start if self.node == NodeId(0) => {
+                        let targets: Vec<_> =
+                            (0..self.peers).map(|p| (ActorId(p), NodeId(p))).collect();
+                        // Self is skipped even when listed; 8 attempts mask
+                        // the 30% per-link omission rate.
+                        let accepted = ctx.fanout(targets, 9, 77, 8);
+                        assert_eq!(accepted, self.peers - 1);
+                    }
+                    ActorEvent::Message { from, .. } => {
+                        self.got.borrow_mut().push((from.0, now));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let net = Network::homogeneous(
+            4,
+            LinkConfig::reliable(Duration::from_micros(5), Duration::from_micros(10))
+                .with_omissions(300),
+            SimRng::seed_from(11),
+        );
+        let mut rt = ActorEngine::new(net);
+        let logs: Vec<_> = (0..4).map(|_| rc_log()).collect();
+        for n in 0..4u32 {
+            rt.add_actor(Box::new(Blaster {
+                node: NodeId(n),
+                peers: 4,
+                got: logs[n as usize].clone(),
+            }));
+        }
+        rt.run(Time::ZERO + Duration::from_millis(1));
+        assert!(logs[0].borrow().is_empty(), "no self-delivery");
+        for (n, log) in logs.iter().enumerate().skip(1) {
+            assert_eq!(log.borrow().len(), 1, "node {n} got exactly one copy");
+        }
     }
 
     #[test]

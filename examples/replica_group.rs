@@ -1,0 +1,94 @@
+//! Replication groups over Δ-atomic multicast.
+//!
+//! A 5-node HADES cluster hosts three replication groups next to its
+//! EDF-scheduled control loops: an **active** group ({0, 1, 2}, every
+//! member executes and votes), a **semi-active** group ({0, 3, 4}, the
+//! leader executes and multicasts its decided order) and a **passive**
+//! group ({1, 2, 3}, the primary checkpoints to its backups). Client
+//! requests enter through the Δ-protocol atomic multicast: the gateway
+//! stamps request `k` with its synchronized clock and every member
+//! delivers it exactly Δ later, in timestamp order.
+//!
+//! At t = 20 ms node 0 — leader and gateway of the first two groups —
+//! crashes; at t = 40 ms it restarts and rejoins. The report shows the
+//! three styles' signatures: the active group masks the crash with zero
+//! outage (the voter still has the survivors' votes), the semi-active
+//! group hands leadership over after detection, and the passive group is
+//! untouched (its primary, node 1, never died).
+//!
+//! Run with: `cargo run --example replica_group`
+
+use hades::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let us = Duration::from_micros;
+    let ms = Duration::from_millis;
+
+    let mut cluster = HadesCluster::new(5)
+        .policy(Policy::Edf)
+        .costs(CostModel::measured_default())
+        .horizon(ms(100))
+        .seed(42)
+        .scenario(
+            ScenarioPlan::new()
+                .crash(NodeId(0), Time::ZERO + ms(20))
+                .restart(NodeId(0), Time::ZERO + ms(40)),
+        )
+        .with_group(ReplicaStyle::Active, vec![0, 1, 2], GroupLoad::default())
+        .with_group(
+            ReplicaStyle::SemiActive,
+            vec![0, 3, 4],
+            GroupLoad::default(),
+        )
+        .with_group(
+            ReplicaStyle::Passive {
+                checkpoint_every: 5,
+            },
+            vec![1, 2, 3],
+            GroupLoad::default(),
+        );
+    for node in 0..5 {
+        cluster = cluster.periodic_app(node, "control", us(200), ms(2));
+    }
+
+    let delta = cluster.group_delta();
+    let report = cluster.run()?;
+    println!("{}", report.summary());
+
+    println!("Δ-multicast delivery delay: {delta}");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9}",
+        "style", "outputs", "on_time", "delayed", "worst_lat", "dup_out", "suppr", "handoffs"
+    );
+    for g in &report.groups {
+        println!(
+            "{:<12} {:>9} {:>9} {:>9} {:>10} {:>10} {:>9} {:>9}",
+            g.style_name,
+            g.outputs,
+            g.on_time_outputs,
+            g.delayed_outputs,
+            g.worst_latency
+                .map_or_else(|| "-".into(), |d| d.to_string()),
+            g.duplicate_outputs,
+            g.duplicates_suppressed,
+            g.handoffs.len(),
+        );
+    }
+
+    let active = &report.groups[0];
+    let semi = &report.groups[1];
+    assert!(active.order_agreement && semi.order_agreement);
+    assert!(active.order_consistent && semi.order_consistent);
+    assert_eq!(active.duplicate_outputs, 0);
+    assert_eq!(semi.duplicate_outputs, 0);
+    assert!(active.within_delta_bound());
+    assert!(semi.within_delta_bound());
+    assert!(!semi.handoffs.is_empty(), "the leader crash handed over");
+    assert!(report.views_agree);
+    assert!(report.rejoin_within_bound());
+    println!(
+        "\nleader crash masked (active) / handed over (semi-active); \
+         identical request order everywhere; all outputs within Δ + δmax"
+    );
+    Ok(())
+}

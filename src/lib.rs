@@ -68,8 +68,8 @@ pub use system::{HadesNode, Policy, SystemError};
 pub mod prelude {
     pub use crate::system::{HadesNode, Policy, SystemError};
     pub use hades_cluster::{
-        ClusterError, ClusterReport, HadesCluster, MiddlewareConfig, ModeChangeRecord,
-        RecoveryRecord, ScenarioPlan,
+        ClusterError, ClusterReport, GroupLoad, GroupReport, HadesCluster, MiddlewareConfig,
+        ModeChangeRecord, RecoveryRecord, ScenarioPlan, ViewChangeStats,
     };
     pub use hades_dispatch::{
         CostModel, DispatchSim, ExecTimeModel, MissPolicy, MonitorEvent, ResourceProtocol,
@@ -79,6 +79,7 @@ pub mod prelude {
         assign_dm, assign_rm, edf_feasible, EdfAnalysisConfig, EdfPolicy, ModeChange,
         SpringPlanner, SpringPolicy,
     };
+    pub use hades_services::ReplicaStyle;
     pub use hades_sim::{FaultPlan, KernelModel, LinkConfig, Network, NodeId, SimRng, Summary};
     pub use hades_task::prelude::*;
     pub use hades_task::spuri::SpuriTask;
