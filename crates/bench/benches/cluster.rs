@@ -8,7 +8,7 @@
 
 use bench::cluster::{failover_scenario, groups_scenario, recovery_scenario};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hades_cluster::HadesCluster;
+use hades_cluster::{ClusterSpec, ServiceSpec};
 use hades_time::Duration;
 use std::hint::black_box;
 
@@ -29,7 +29,7 @@ fn bench_failover_run(c: &mut Criterion) {
                 black_box(
                     failover_scenario(nodes, 1, ms(40))
                         .run()
-                        .expect("valid cluster"),
+                        .expect("valid spec"),
                 )
             });
         });
@@ -43,11 +43,11 @@ fn bench_healthy_run(c: &mut Criterion) {
     for nodes in [4u32, 16] {
         g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
             b.iter(|| {
-                let mut cluster = HadesCluster::new(nodes).horizon(ms(40)).seed(2);
+                let mut spec = ClusterSpec::new(nodes).horizon(ms(40)).seed(2);
                 for node in 0..nodes {
-                    cluster = cluster.periodic_app(node, "app", us(100), ms(2));
+                    spec = spec.service(ServiceSpec::periodic("app", node, us(100), ms(2)));
                 }
-                black_box(cluster.run().expect("valid cluster"))
+                black_box(spec.run().expect("valid spec"))
             });
         });
     }
@@ -62,7 +62,8 @@ fn bench_recovery_run(c: &mut Criterion) {
             b.iter(|| {
                 let report = recovery_scenario(nodes, 3, ms(60), ms(20))
                     .run()
-                    .expect("valid cluster");
+                    .expect("valid spec")
+                    .into_report();
                 assert_eq!(report.recoveries.len(), 1);
                 black_box(report)
             });
@@ -82,7 +83,8 @@ fn bench_group_run(c: &mut Criterion) {
                 b.iter(|| {
                     let report = groups_scenario(5, ms(60), multicast)
                         .run()
-                        .expect("valid cluster");
+                        .expect("valid spec")
+                        .into_report();
                     assert!(report.views_agree);
                     black_box(report)
                 });

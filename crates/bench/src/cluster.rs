@@ -6,7 +6,7 @@
 //! (three styles over Δ-atomic multicast across a leader crash, plus
 //! the flood-vs-Δ-multicast view-change message complexity).
 
-use hades_cluster::{GroupLoad, HadesCluster, MiddlewareConfig, ScenarioPlan};
+use hades_cluster::{ClusterSpec, GroupLoad, MiddlewareConfig, ScenarioPlan, ServiceSpec};
 use hades_dispatch::CostModel;
 use hades_sched::Policy;
 use hades_services::{RecoveryConfig, ReplicaStyle};
@@ -23,20 +23,20 @@ fn ms(n: u64) -> Duration {
 }
 
 /// A standard failover scenario: `nodes` nodes under EDF with measured
-/// costs, two app tasks per node, primary killed mid-run.
-pub fn failover_scenario(nodes: u32, seed: u64, horizon: Duration) -> HadesCluster {
-    let mut cluster = HadesCluster::new(nodes)
+/// costs, two app services per node, primary killed mid-run.
+pub fn failover_scenario(nodes: u32, seed: u64, horizon: Duration) -> ClusterSpec {
+    let mut spec = ClusterSpec::new(nodes)
         .policy(Policy::Edf)
         .costs(CostModel::measured_default())
         .horizon(horizon)
         .seed(seed)
         .scenario(ScenarioPlan::new().crash(NodeId(0), Time::ZERO + ms(20)));
     for node in 0..nodes {
-        cluster = cluster
-            .periodic_app(node, "control", us(200), ms(2))
-            .periodic_app(node, "logging", us(500), ms(10));
+        spec = spec
+            .service(ServiceSpec::periodic("control", node, us(200), ms(2)))
+            .service(ServiceSpec::periodic("logging", node, us(500), ms(10)));
     }
-    cluster
+    spec
 }
 
 /// The end-to-end failover experiment: one annotated 4-node run.
@@ -46,9 +46,9 @@ pub fn cluster_failover() -> String {
         out,
         "## Cluster failover (4 nodes, EDF + measured costs, primary killed at 20 ms)\n"
     );
-    let cluster = failover_scenario(4, 42, ms(60));
-    let bound = cluster.detection_bound();
-    let report = cluster.run().expect("valid cluster");
+    let spec = failover_scenario(4, 42, ms(60));
+    let bound = spec.detection_bound();
+    let report = spec.run().expect("valid spec").into_report();
     out.push_str(&report.summary());
     let _ = writeln!(out, "  detection bound: {bound}");
     let _ = writeln!(
@@ -62,7 +62,8 @@ pub fn cluster_failover() -> String {
 }
 
 /// Failover latency and per-node middleware/dispatcher overhead vs.
-/// cluster size.
+/// cluster size — through the 96-node mark the packed-u64 membership
+/// masks could never reach (their ceiling was 48).
 pub fn cluster_scaling() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## Cluster scaling (failover + overhead vs size)\n");
@@ -71,11 +72,20 @@ pub fn cluster_scaling() -> String {
         "{:>5} {:>14} {:>14} {:>16} {:>14} {:>12}",
         "nodes", "detect_worst", "failover", "sched_cpu/node", "net_msgs", "hb_seen"
     );
-    for nodes in [3u32, 4, 6, 8, 12, 16] {
-        let report = failover_scenario(nodes, 7, ms(60))
+    for nodes in [3u32, 4, 6, 8, 12, 16, 24, 48, 96] {
+        // The big sizes are a smoke check of the variable-length
+        // membership path, not a latency sweep: a shorter horizon keeps
+        // the O(n²) heartbeat traffic affordable.
+        let horizon = if nodes > 16 { ms(30) } else { ms(60) };
+        let report = failover_scenario(nodes, 7, horizon)
             .run()
-            .expect("valid cluster");
+            .expect("valid spec")
+            .into_report();
         assert!(report.views_agree, "agreement must hold at size {nodes}");
+        assert!(
+            report.detection_within_bound(),
+            "detection bound must hold at size {nodes}"
+        );
         let _ = writeln!(
             out,
             "{:>5} {:>14} {:>14} {:>16} {:>14} {:>12}",
@@ -102,7 +112,7 @@ pub fn recovery_scenario(
     seed: u64,
     horizon: Duration,
     checkpoint_period: Duration,
-) -> HadesCluster {
+) -> ClusterSpec {
     let mw = MiddlewareConfig {
         recovery: RecoveryConfig {
             checkpoint_period,
@@ -110,7 +120,7 @@ pub fn recovery_scenario(
         },
         ..MiddlewareConfig::default()
     };
-    let mut cluster = HadesCluster::new(nodes)
+    let mut spec = ClusterSpec::new(nodes)
         .policy(Policy::Edf)
         .costs(CostModel::measured_default())
         .horizon(horizon)
@@ -122,11 +132,11 @@ pub fn recovery_scenario(
                 .restart(NodeId(1), Time::ZERO + ms(35)),
         );
     for node in 0..nodes {
-        cluster = cluster
-            .periodic_app(node, "control", us(200), ms(2))
-            .periodic_app(node, "logging", us(500), ms(10));
+        spec = spec
+            .service(ServiceSpec::periodic("control", node, us(200), ms(2)))
+            .service(ServiceSpec::periodic("logging", node, us(500), ms(10)));
     }
-    cluster
+    spec
 }
 
 /// The recovery experiment: rejoin latency and state-transfer overhead vs
@@ -147,7 +157,8 @@ pub fn cluster_recovery() -> String {
     for ckpt_ms in [5u64, 10, 20, 40] {
         let report = recovery_scenario(4, 11, ms(80), ms(ckpt_ms))
             .run()
-            .expect("valid cluster");
+            .expect("valid spec")
+            .into_report();
         assert_eq!(report.recoveries.len(), 1, "rejoin must complete");
         let r = report.recoveries[0];
         let _ = writeln!(
@@ -171,7 +182,8 @@ pub fn cluster_recovery() -> String {
     for nodes in [3u32, 4, 6, 8, 12, 16] {
         let report = recovery_scenario(nodes, 23, ms(80), ms(20))
             .run()
-            .expect("valid cluster");
+            .expect("valid spec")
+            .into_report();
         assert_eq!(report.recoveries.len(), 1, "rejoin at size {nodes}");
         assert!(report.views_agree, "agreement must hold at size {nodes}");
         let r = report.recoveries[0];
@@ -195,12 +207,12 @@ pub fn cluster_recovery() -> String {
 /// A standard replication-group scenario: 5 nodes under EDF with
 /// measured costs, one group per style, node 0 (leader + gateway of two
 /// of them) crashed at 20 ms and restarted at 40 ms.
-pub fn groups_scenario(seed: u64, horizon: Duration, delta_multicast_vc: bool) -> HadesCluster {
+pub fn groups_scenario(seed: u64, horizon: Duration, delta_multicast_vc: bool) -> ClusterSpec {
     let mw = MiddlewareConfig {
         delta_multicast_vc,
         ..MiddlewareConfig::default()
     };
-    let mut cluster = HadesCluster::new(5)
+    let mut spec = ClusterSpec::new(5)
         .policy(Policy::Edf)
         .costs(CostModel::measured_default())
         .horizon(horizon)
@@ -211,23 +223,30 @@ pub fn groups_scenario(seed: u64, horizon: Duration, delta_multicast_vc: bool) -
                 .crash(NodeId(0), Time::ZERO + ms(20))
                 .restart(NodeId(0), Time::ZERO + ms(40)),
         )
-        .with_group(ReplicaStyle::Active, vec![0, 1, 2], GroupLoad::default())
-        .with_group(
+        .service(ServiceSpec::replicated(
+            "active-store",
+            ReplicaStyle::Active,
+            vec![0, 1, 2],
+            GroupLoad::default(),
+        ))
+        .service(ServiceSpec::replicated(
+            "semi-active-store",
             ReplicaStyle::SemiActive,
             vec![0, 3, 4],
             GroupLoad::default(),
-        )
-        .with_group(
+        ))
+        .service(ServiceSpec::replicated(
+            "passive-store",
             ReplicaStyle::Passive {
                 checkpoint_every: 5,
             },
             vec![1, 2, 3],
             GroupLoad::default(),
-        );
+        ));
     for node in 0..5 {
-        cluster = cluster.periodic_app(node, "control", us(200), ms(2));
+        spec = spec.service(ServiceSpec::periodic("control", node, us(200), ms(2)));
     }
-    cluster
+    spec
 }
 
 /// The replication-group experiment: per-style outcome of the same
@@ -239,9 +258,9 @@ pub fn cluster_groups() -> String {
         out,
         "## Replication groups over Δ-atomic multicast (5 nodes, leader crash at 20 ms, restart at 40 ms)\n"
     );
-    let cluster = groups_scenario(42, ms(100), true);
-    let delta = cluster.group_delta();
-    let report = cluster.run().expect("valid cluster");
+    let spec = groups_scenario(42, ms(100), true);
+    let delta = spec.group_delta();
+    let report = spec.run().expect("valid spec").into_report();
     let _ = writeln!(out, "Δ = δmax + γ = {delta}\n");
     let _ = writeln!(
         out,
@@ -294,7 +313,8 @@ pub fn cluster_groups() -> String {
     // needs a second simulation.
     let flood = groups_scenario(42, ms(100), false)
         .run()
-        .expect("valid cluster");
+        .expect("valid spec")
+        .into_report();
     assert!(flood.views_agree, "agreement under either transport");
     for vc in [&report.view_change, &flood.view_change] {
         let _ = writeln!(
@@ -321,9 +341,9 @@ mod tests {
     }
 
     #[test]
-    fn scaling_covers_3_to_16_nodes() {
+    fn scaling_covers_3_to_96_nodes() {
         let out = cluster_scaling();
-        for nodes in ["    3", "    4", "   16"] {
+        for nodes in ["    3", "    4", "   16", "   48", "   96"] {
             assert!(out.contains(nodes), "missing row {nodes:?}:\n{out}");
         }
     }
@@ -357,8 +377,14 @@ mod tests {
 
     #[test]
     fn longer_checkpoint_interval_means_longer_replay() {
-        let short = recovery_scenario(4, 5, ms(80), ms(5)).run().unwrap();
-        let long = recovery_scenario(4, 5, ms(80), ms(40)).run().unwrap();
+        let short = recovery_scenario(4, 5, ms(80), ms(5))
+            .run()
+            .unwrap()
+            .into_report();
+        let long = recovery_scenario(4, 5, ms(80), ms(40))
+            .run()
+            .unwrap()
+            .into_report();
         assert!(
             long.recoveries[0].log_entries_replayed > short.recoveries[0].log_entries_replayed,
             "the log tail grows with the checkpoint interval"

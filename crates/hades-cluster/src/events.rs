@@ -1,0 +1,181 @@
+//! Typed event streams of a cluster run.
+//!
+//! The aggregate [`ClusterReport`] answers "how did the run go" with
+//! counters and worst cases; tests and benches that care about *order* —
+//! did detection precede the view change, did the handoff land between
+//! exclusion and re-admission — had to scrape those aggregates. A
+//! [`ClusterRun`] carries both: the report, and a time-ordered
+//! [`ClusterEvent`] stream to assert sequences on directly.
+
+use crate::report::ClusterReport;
+use hades_task::TaskId;
+use hades_time::{Duration, Time};
+
+/// One externally visible transition of a cluster run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// An observer suspected a node.
+    Detected {
+        /// The observing node.
+        observer: u32,
+        /// The suspected node.
+        suspect: u32,
+        /// When the observer suspected it.
+        at: Time,
+        /// Detection latency; `None` for false suspicions.
+        latency: Option<Duration>,
+    },
+    /// The reference history installed a new view.
+    ViewInstalled {
+        /// Monotone view number.
+        number: u32,
+        /// Agreed members, ascending.
+        members: Vec<u32>,
+        /// Install instant on the reference node.
+        at: Time,
+    },
+    /// A crashed primary's role moved to the next member.
+    FailedOver {
+        /// The crashed primary.
+        failed_primary: u32,
+        /// The promoted member.
+        new_primary: u32,
+        /// When the new primary installed the promoting view.
+        at: Time,
+    },
+    /// A replication group's leadership moved.
+    Handoff {
+        /// The group.
+        group: u32,
+        /// The member that held leadership before.
+        from: u32,
+        /// The member that took over.
+        to: u32,
+        /// The takeover instant.
+        at: Time,
+    },
+    /// A restarted node completed its rejoin (re-admitted to the view).
+    RejoinCompleted {
+        /// The recovered node.
+        node: u32,
+        /// The re-admitting view number.
+        view: u32,
+        /// The re-admission instant.
+        at: Time,
+        /// End-to-end restart → re-admission latency.
+        latency: Duration,
+    },
+    /// A scripted mode change released its new task set.
+    ModeChanged {
+        /// The scripted switch instant.
+        at: Time,
+        /// When the new mode's tasks were released (`at` + safe offset).
+        released_at: Time,
+    },
+    /// An application or middleware instance missed its deadline on a
+    /// live node.
+    DeadlineMiss {
+        /// The node the instance ran on.
+        node: u32,
+        /// The task.
+        task: TaskId,
+        /// Whether the task is injected middleware (vs application).
+        middleware: bool,
+        /// The missed deadline.
+        at: Time,
+    },
+}
+
+impl ClusterEvent {
+    /// The event's instant (the stream is sorted by it).
+    pub fn at(&self) -> Time {
+        match self {
+            ClusterEvent::Detected { at, .. }
+            | ClusterEvent::ViewInstalled { at, .. }
+            | ClusterEvent::FailedOver { at, .. }
+            | ClusterEvent::Handoff { at, .. }
+            | ClusterEvent::RejoinCompleted { at, .. }
+            | ClusterEvent::ModeChanged { at, .. }
+            | ClusterEvent::DeadlineMiss { at, .. } => *at,
+        }
+    }
+
+    /// A stable kind label, for compact sequence assertions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ClusterEvent::Detected { .. } => "detected",
+            ClusterEvent::ViewInstalled { .. } => "view-installed",
+            ClusterEvent::FailedOver { .. } => "failed-over",
+            ClusterEvent::Handoff { .. } => "handoff",
+            ClusterEvent::RejoinCompleted { .. } => "rejoin-completed",
+            ClusterEvent::ModeChanged { .. } => "mode-changed",
+            ClusterEvent::DeadlineMiss { .. } => "deadline-miss",
+        }
+    }
+}
+
+/// Everything a [`crate::ClusterSpec`] run produces: the aggregate
+/// report plus the typed, time-ordered event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterRun {
+    report: ClusterReport,
+    events: Vec<ClusterEvent>,
+}
+
+impl ClusterRun {
+    pub(crate) fn new(report: ClusterReport, mut events: Vec<ClusterEvent>) -> Self {
+        events.sort_by_key(|e| e.at());
+        ClusterRun { report, events }
+    }
+
+    /// The aggregate report.
+    pub fn report(&self) -> &ClusterReport {
+        &self.report
+    }
+
+    /// The full event stream, time-ordered (ties keep a deterministic
+    /// per-kind emission order).
+    pub fn events(&self) -> &[ClusterEvent] {
+        &self.events
+    }
+
+    /// Events of one [`ClusterEvent::kind`], time-ordered.
+    pub fn events_of_kind(&self, kind: &str) -> impl Iterator<Item = &ClusterEvent> {
+        let kind = kind.to_string();
+        self.events.iter().filter(move |e| e.kind() == kind)
+    }
+
+    /// The kind labels of the stream, time-ordered — the compact form
+    /// sequence assertions compare against.
+    pub fn kind_sequence(&self) -> Vec<&'static str> {
+        self.events.iter().map(|e| e.kind()).collect()
+    }
+
+    /// Consumes the run, keeping the aggregate report (the deprecated
+    /// builder shim's return value).
+    pub fn into_report(self) -> ClusterReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_sort_by_time_and_expose_kinds() {
+        let report_placeholder = || ClusterEvent::ModeChanged {
+            at: Time::ZERO + Duration::from_millis(5),
+            released_at: Time::ZERO + Duration::from_millis(5),
+        };
+        let early = ClusterEvent::Detected {
+            observer: 1,
+            suspect: 0,
+            at: Time::ZERO + Duration::from_millis(1),
+            latency: Some(Duration::from_micros(50)),
+        };
+        let ev = [report_placeholder(), early.clone()];
+        assert_eq!(ev[1].kind(), "detected");
+        assert!(ev[0].at() > early.at());
+    }
+}

@@ -3,11 +3,13 @@
 //! The paper's deployment model puts the application scheduling policy
 //! *and* the generic robustness services together on every node, with
 //! every middleware activity's cost folded into the feasibility test.
-//! This crate is that composition: a [`HadesCluster`] builder instantiates
-//! N per-node stacks — dispatcher + scheduling policy + heartbeat
-//! detector + membership + replication management + clock-sync cost —
-//! all driven by **one** shared `hades-sim` engine and one shared
-//! [`hades_sim::Network`]:
+//! This crate is that composition, fronted by a **deployment spec**: a
+//! [`ClusterSpec`] declares the platform (nodes, links, timing model,
+//! seed, failure scenario) and a list of typed [`ServiceSpec`]s —
+//! replicated groups driven by a [`Workload`], bare periodic tasks, raw
+//! HEUG tasks — validated as a whole ([`SpecError`] with per-service
+//! diagnostics) and lowered onto one shared `hades-sim` engine and one
+//! shared [`hades_sim::Network`]:
 //!
 //! * application tasks execute under the chosen [`Policy`] on the
 //!   multi-node [`hades_dispatch::DispatchSim`];
@@ -19,84 +21,94 @@
 //!   engine through the `hades-sim` mux layer, sharing the network — and
 //!   therefore the fault script — with dispatcher traffic;
 //! * a [`ScenarioPlan`] scripts node crashes and link partitions, and the
-//!   run produces a [`ClusterReport`]: per-node deadline statistics and
-//!   schedulability, detection latencies against the analytic bound, the
-//!   agreed view history and primary failover times.
+//!   run produces a [`ClusterRun`]: the aggregate [`ClusterReport`]
+//!   (per-node deadline statistics and schedulability, detection
+//!   latencies against the analytic bound, the agreed view history and
+//!   primary failover times) plus a typed, time-ordered
+//!   [`ClusterEvent`] stream for sequence assertions.
+//!
+//! Membership travels as variable-length
+//! [`hades_services::MemberSet`]s, so deployments are no longer capped
+//! at the 48 nodes of the old packed-`u64` masks (the runtime ceiling is
+//! [`MAX_CLUSTER_NODES`]).
+//!
+//! The pre-spec [`HadesCluster`] builder survives as a thin deprecated
+//! shim over [`ClusterSpec`].
 //!
 //! # Examples
 //!
-//! A 4-node cluster under EDF with measured dispatcher costs; the primary
-//! (node 0) crashes mid-run, is detected within the bound, a view change
-//! is agreed and the passive replica on node 1 takes over:
+//! A 4-node deployment under EDF with measured dispatcher costs; the
+//! primary (node 0) crashes mid-run, is detected within the bound, a
+//! view change is agreed and the passive replica on node 1 takes over:
 //!
 //! ```
-//! use hades_cluster::{HadesCluster, ScenarioPlan};
+//! use hades_cluster::{ClusterSpec, ScenarioPlan, ServiceSpec};
 //! use hades_dispatch::CostModel;
 //! use hades_sched::Policy;
 //! use hades_sim::NodeId;
 //! use hades_time::{Duration, Time};
 //!
 //! let crash = Time::ZERO + Duration::from_millis(50);
-//! let mut cluster = HadesCluster::new(4)
+//! let mut spec = ClusterSpec::new(4)
 //!     .policy(Policy::Edf)
 //!     .costs(CostModel::measured_default())
 //!     .horizon(Duration::from_millis(100))
 //!     .scenario(ScenarioPlan::new().crash(NodeId(0), crash));
 //! for node in 0..4 {
-//!     cluster = cluster.periodic_app(
+//!     spec = spec.service(ServiceSpec::periodic(
+//!         format!("control@{node}"),
 //!         node,
-//!         "control",
 //!         Duration::from_micros(200),
 //!         Duration::from_millis(2),
-//!     );
+//!     ));
 //! }
-//! let report = cluster.run()?;
+//! let run = spec.run()?;
+//! let report = run.report();
 //! assert!(report.detection_within_bound());
 //! assert!(report.views_agree);
 //! assert_eq!(report.failovers[0].new_primary, 1);
-//! # Ok::<(), hades_cluster::ClusterError>(())
+//! # Ok::<(), hades_cluster::SpecError>(())
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod middleware;
 pub mod report;
 pub mod scenario;
+pub mod spec;
+pub mod workload;
 
+pub use events::{ClusterEvent, ClusterRun};
 pub use middleware::{
-    GroupLoad, MiddlewareConfig, GROUP_TASK_BASE, MIDDLEWARE_TASKS_PER_NODE, MIDDLEWARE_TASK_BASE,
-    RECOVERY_TASK_BASE,
+    GroupLoad, MiddlewareConfig, GROUP_TASK_BASE, GROUP_TASK_STRIDE, MIDDLEWARE_TASKS_PER_NODE,
+    MIDDLEWARE_TASK_BASE, RECOVERY_TASK_BASE,
 };
 pub use report::{
     ClusterReport, DetectionRecord, FailoverRecord, GroupHandoff, GroupReport, ModeChangeRecord,
     NodeFeasibility, NodeReport, RecoveryRecord, ViewChangeStats,
 };
 pub use scenario::{ModeChangeScript, Partition, ScenarioPlan};
+pub use spec::{ClusterSpec, ServiceRef, ServiceSpec, SpecError, SpecIssue, MAX_CLUSTER_NODES};
+pub use workload::{Bursty, ClosedLoop, ConstantRate, TraceReplay, Workload};
 
-use hades_dispatch::{CostModel, DispatchSim, SimConfig};
-use hades_sched::analysis::rta::{rta_feasible, RtaTask};
-use hades_sched::{edf_feasible, EdfAnalysisConfig, EdfPolicy, ModeChange, Policy};
-use hades_services::actors::{AgentConfig, AgentLog, NodeAgent};
-use hades_services::group::{GroupConfig, GroupLog, ReplicaGroup};
-use hades_services::membership::View;
+use hades_dispatch::CostModel;
+use hades_sched::Policy;
 use hades_services::ReplicaStyle;
-use hades_sim::mux::ActorId;
-use hades_sim::{KernelModel, LinkConfig, Network, NodeId, SimRng};
-use hades_task::spuri::SpuriTask;
+use hades_sim::{KernelModel, LinkConfig};
 use hades_task::task::TaskSetError;
-use hades_task::{Task, TaskId, TaskSet};
+use hades_task::{Task, TaskId};
 use hades_time::{Duration, Time};
-use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
 
-/// Errors surfaced while assembling a cluster.
+/// Errors surfaced while assembling a cluster through the deprecated
+/// [`HadesCluster`] builder. The spec API reports the richer
+/// [`SpecError`] instead; this enum survives for the shim's callers.
 #[derive(Debug)]
 pub enum ClusterError {
     /// Fewer than two nodes requested.
     TooFewNodes,
-    /// More nodes than the membership masks support.
+    /// More nodes than the runtime deploys ([`MAX_CLUSTER_NODES`]).
     TooManyNodes,
     /// An application task was registered for one node but one of its
     /// elementary units is homed on another processor.
@@ -151,6 +163,9 @@ pub enum ClusterError {
         /// The offending group index (registration order).
         group: u32,
     },
+    /// A spec-level rejection with no legacy equivalent (the diagnostic
+    /// text of the underlying [`SpecIssue`]).
+    Rejected(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -158,7 +173,7 @@ impl fmt::Display for ClusterError {
         match self {
             ClusterError::TooFewNodes => write!(f, "a cluster needs at least two nodes"),
             ClusterError::TooManyNodes => {
-                write!(f, "membership masks support at most 48 nodes")
+                write!(f, "the runtime deploys at most {MAX_CLUSTER_NODES} nodes")
             }
             ClusterError::TaskOffNode { task, node } => {
                 write!(
@@ -197,6 +212,7 @@ impl fmt::Display for ClusterError {
             ClusterError::ZeroGroupRequestPeriod { group } => {
                 write!(f, "replication group {group} has a zero request period")
             }
+            ClusterError::Rejected(detail) => write!(f, "invalid deployment spec: {detail}"),
         }
     }
 }
@@ -210,9 +226,56 @@ impl std::error::Error for ClusterError {
     }
 }
 
-/// Builder for an integrated multi-node HADES deployment.
+impl ClusterError {
+    /// Maps the first finding of a spec rejection back onto the legacy
+    /// enum. `app_services` is the number of task services registered
+    /// before the groups, so replicated-service indices translate to
+    /// group ordinals.
+    fn from_issue(issue: SpecIssue, app_services: usize) -> ClusterError {
+        let group_of = |index: usize| (index.saturating_sub(app_services)) as u32;
+        match issue {
+            SpecIssue::TooFewNodes { .. } => ClusterError::TooFewNodes,
+            SpecIssue::TooManyNodes { .. } => ClusterError::TooManyNodes,
+            SpecIssue::EmptyMembers { service } => ClusterError::EmptyGroup {
+                group: group_of(service.index),
+            },
+            SpecIssue::MemberOutOfRange {
+                service,
+                node,
+                nodes,
+            } => ClusterError::GroupMemberOutOfRange {
+                group: group_of(service.index),
+                node,
+                nodes,
+            },
+            SpecIssue::ZeroPeriod { service } if service.index >= app_services => {
+                ClusterError::ZeroGroupRequestPeriod {
+                    group: group_of(service.index),
+                }
+            }
+            SpecIssue::NodeOutOfRange { node, nodes, .. } => {
+                ClusterError::NodeOutOfRange { node, nodes }
+            }
+            SpecIssue::TaskOffNode { task, node, .. } => ClusterError::TaskOffNode { task, node },
+            SpecIssue::DuplicateTaskId { task, .. } => ClusterError::DuplicateTaskId(task),
+            SpecIssue::ReservedTaskId { task, .. } => ClusterError::ReservedTaskId(task),
+            SpecIssue::RestartWithoutCrash { node, at } => {
+                ClusterError::RestartWithoutCrash { node, at }
+            }
+            SpecIssue::UnknownRetiredTask { task } => ClusterError::UnknownRetiredTask(task),
+            SpecIssue::InvalidTaskSet(e) => ClusterError::InvalidTaskSet(e),
+            other => ClusterError::Rejected(other.to_string()),
+        }
+    }
+}
+
+/// The pre-spec builder for an integrated multi-node HADES deployment —
+/// a thin shim that assembles a [`ClusterSpec`] and runs it.
 ///
-/// See the crate-level example for typical use.
+/// Prefer [`ClusterSpec`] + [`ServiceSpec`]: typed services, whole-spec
+/// validation with per-service diagnostics, pluggable [`Workload`]s and
+/// the [`ClusterRun`] event stream. This builder keeps old call sites
+/// compiling; its `run` returns only the aggregate report.
 #[derive(Debug)]
 pub struct HadesCluster {
     nodes: u32,
@@ -228,10 +291,15 @@ pub struct HadesCluster {
     groups: Vec<(ReplicaStyle, Vec<u32>, GroupLoad)>,
 }
 
+#[allow(deprecated)]
 impl HadesCluster {
     /// Starts a cluster of `nodes` nodes with a reliable LAN-ish link,
     /// zero dispatcher costs, no kernel load, RM scheduling and a 100 ms
     /// horizon.
+    #[deprecated(
+        since = "0.5.0",
+        note = "build a ClusterSpec with typed ServiceSpecs instead; HadesCluster is a compatibility shim"
+    )]
     pub fn new(nodes: u32) -> Self {
         HadesCluster {
             nodes,
@@ -305,12 +373,7 @@ impl HadesCluster {
 
     /// Registers a replication group: `members` (deduplicated, any
     /// order) run `style` over the shared network, serving the client
-    /// request stream described by `load`. Requests enter through the
-    /// Δ-atomic multicast (`Δ = δmax + γ` for this cluster's link and
-    /// clock precision), every member is charged the per-request WCET as
-    /// a middleware cost task, and the run's [`ClusterReport::groups`]
-    /// section records delivery-order agreement, output latencies
-    /// against the Δ-bound, duplicate suppression and leader handoffs.
+    /// request stream described by `load`.
     pub fn with_group(mut self, style: ReplicaStyle, members: Vec<u32>, load: GroupLoad) -> Self {
         let mut members = members;
         members.sort_unstable();
@@ -332,874 +395,93 @@ impl HadesCluster {
         let id = TaskId(self.app_tasks.len() as u32);
         let task = Task::new(
             id,
-            single_heug(name, node, wcet),
+            spec::single_heug(name, node, wcet),
             hades_task::ArrivalLaw::Periodic(period),
             period,
         );
         self.app_task(node, task)
     }
 
-    /// The detection bound `H + T₀ = 2H + δmax + γ` this cluster's
-    /// detector guarantees — the exact bound of the [`AgentConfig`] the
-    /// runtime installs on every node.
-    pub fn detection_bound(&self) -> Duration {
-        self.agent_config(NodeId(0))
-            .detection_bound(self.link.delay_max)
-    }
-
-    /// The analytic worst-case rejoin latency (restart → re-admission):
-    /// detection bound + state-transfer bound + one agreement window, as
-    /// guaranteed by the [`AgentConfig`] the runtime installs.
-    pub fn rejoin_bound(&self) -> Duration {
-        self.agent_config(NodeId(0))
-            .rejoin_bound(self.link.delay_max)
-    }
-
-    /// The agent configuration installed on `node`.
-    fn agent_config(&self, node: NodeId) -> AgentConfig {
-        AgentConfig {
-            node,
-            nodes: self.nodes,
+    /// The agent configuration the runtime would install on node 0 —
+    /// the single source of the analytic bounds, so the shim can never
+    /// drift from the detector the run actually deploys.
+    fn agent_config(&self) -> hades_services::AgentConfig {
+        hades_services::AgentConfig {
+            node: hades_sim::NodeId(0),
+            nodes: self.nodes.max(1),
             heartbeat_period: self.middleware.heartbeat_period,
             clock_precision: self.middleware.clock_precision(&self.link),
             f: self.middleware.f,
             recovery: self.middleware.recovery,
             vc_delta_multicast: self.middleware.delta_multicast_vc,
+            vc_attempts: self.middleware.vc_attempts,
         }
     }
 
-    fn validate(&self) -> Result<(), ClusterError> {
-        if self.nodes < 2 {
-            return Err(ClusterError::TooFewNodes);
-        }
-        if self.nodes > 48 {
-            return Err(ClusterError::TooManyNodes);
-        }
-        if let Some((node, at)) = self.scenario.orphan_restarts().first() {
-            return Err(ClusterError::RestartWithoutCrash {
-                node: node.0,
-                at: *at,
-            });
-        }
-        for (g, (_, members, load)) in self.groups.iter().enumerate() {
-            if members.is_empty() {
-                return Err(ClusterError::EmptyGroup { group: g as u32 });
-            }
-            if let Some(bad) = members.iter().find(|m| **m >= self.nodes) {
-                return Err(ClusterError::GroupMemberOutOfRange {
-                    group: g as u32,
-                    node: *bad,
-                    nodes: self.nodes,
-                });
-            }
-            if load.request_period.is_zero() {
-                return Err(ClusterError::ZeroGroupRequestPeriod { group: g as u32 });
-            }
-        }
-        let introduced: Vec<(u32, &Task)> = self
-            .scenario
-            .mode_changes()
-            .iter()
-            .flat_map(|s| s.introduce.iter().map(|(n, t)| (*n, t)))
-            .collect();
-        let mut seen = std::collections::HashSet::new();
-        for (node, task) in self
-            .app_tasks
-            .iter()
-            .map(|(n, t)| (*n, t))
-            .chain(introduced)
-        {
-            if node >= self.nodes {
-                return Err(ClusterError::NodeOutOfRange {
-                    node,
-                    nodes: self.nodes,
-                });
-            }
-            if task.id.0 >= MIDDLEWARE_TASK_BASE {
-                return Err(ClusterError::ReservedTaskId(task.id));
-            }
-            if !seen.insert(task.id) {
-                return Err(ClusterError::DuplicateTaskId(task.id));
-            }
-            for eu in task.heug.eus() {
-                if eu.processor().0 != node {
-                    return Err(ClusterError::TaskOffNode {
-                        task: task.id,
-                        node,
-                    });
-                }
-            }
-        }
-        // A mode change may retire an initial application task or one a
-        // previous mode change introduced (multi-phase scripts).
-        let mut known_ids: std::collections::HashSet<TaskId> =
-            self.app_tasks.iter().map(|(_, t)| t.id).collect();
-        let mut scripts: Vec<&ModeChangeScript> = self.scenario.mode_changes().iter().collect();
-        scripts.sort_by_key(|s| s.at);
-        for script in scripts {
-            for id in &script.retire {
-                if !known_ids.contains(id) {
-                    return Err(ClusterError::UnknownRetiredTask(*id));
-                }
-            }
-            known_ids.extend(script.introduce.iter().map(|(_, t)| t.id));
-        }
-        Ok(())
+    /// The detection bound `H + T₀ = 2H + δmax + γ` this cluster's
+    /// detector guarantees.
+    pub fn detection_bound(&self) -> Duration {
+        self.agent_config().detection_bound(self.link.delay_max)
     }
 
-    /// Builds and runs the cluster, producing its report.
+    /// The analytic worst-case rejoin latency (restart → re-admission):
+    /// detection bound + state-transfer bound + one agreement window.
+    pub fn rejoin_bound(&self) -> Duration {
+        self.agent_config().rejoin_bound(self.link.delay_max)
+    }
+
+    /// Converts the builder into the equivalent deployment spec.
+    pub fn into_spec(self) -> ClusterSpec {
+        let mut spec = ClusterSpec::new(self.nodes)
+            .link(self.link)
+            .seed(self.seed)
+            .horizon(self.horizon)
+            .policy(self.policy)
+            .costs(self.costs)
+            .kernel(self.kernel)
+            .middleware(self.middleware)
+            .scenario(self.scenario);
+        for (node, task) in self.app_tasks {
+            let name = format!("{}@{node}", task.name());
+            spec = spec.service(ServiceSpec::task(name, node, task));
+        }
+        for (g, (style, members, load)) in self.groups.into_iter().enumerate() {
+            spec = spec.service(ServiceSpec::replicated(
+                format!("group{g}"),
+                style,
+                members,
+                load,
+            ));
+        }
+        spec
+    }
+
+    /// Builds and runs the cluster, producing its aggregate report.
     ///
     /// # Errors
     ///
     /// Any [`ClusterError`] raised during validation or task-set
-    /// assembly.
+    /// assembly (the first finding of the underlying [`SpecError`]).
     pub fn run(self) -> Result<ClusterReport, ClusterError> {
-        self.validate()?;
-        let detection_bound = self.detection_bound();
-        let rejoin_bound = self.rejoin_bound();
-
-        // ---- assemble the task set: application + mode-change targets +
-        // middleware + per-recovery cost tasks ----
-        let mut origin: BTreeMap<TaskId, (u32, bool)> = BTreeMap::new();
-        let mut tasks: Vec<Task> = Vec::new();
-        for (node, task) in &self.app_tasks {
-            origin.insert(task.id, (*node, false));
-            tasks.push(task.clone());
-        }
-        for script in self.scenario.mode_changes() {
-            for (node, task) in &script.introduce {
-                origin.insert(task.id, (*node, false));
-                tasks.push(task.clone());
-            }
-        }
-        for node in 0..self.nodes {
-            for task in self.middleware.tasks_for(node) {
-                origin.insert(task.id, (node, true));
-                tasks.push(task);
-            }
-        }
-        for (g, (style, members, load)) in self.groups.iter().enumerate() {
-            for (node, task) in self
-                .middleware
-                .group_cost_tasks(g as u32, *style, members, load)
-            {
-                origin.insert(task.id, (node, true));
-                tasks.push(task);
-            }
-        }
-        // One serving + one installing cost task per scripted restart,
-        // windowed to the rejoin interval so the transfer's CPU overhead
-        // is charged where (and when) it occurs — and, conservatively,
-        // folded into the stationary feasibility analyses.
-        let transfer_span = self.middleware.recovery.transfer_bound(self.link.delay_max);
-        let mut recovery_windows: Vec<(TaskId, Time, Time)> = Vec::new();
-        for (k, (joiner, restart_at)) in self.scenario.matched_restarts().iter().enumerate() {
-            // The protocol's server is the lowest surviving *view member*;
-            // statically we approximate it as the lowest node that is up
-            // at the restart and not itself mid-rejoin (its own restart,
-            // if any, lies at least one rejoin bound in the past).
-            let server = (0..self.nodes).find(|n| {
-                NodeId(*n) != *joiner
-                    && !self.scenario.is_down(NodeId(*n), *restart_at)
-                    && self
-                        .scenario
-                        .down_windows(NodeId(*n))
-                        .iter()
-                        .all(|(c, r)| match r {
-                            Some(r) => *c > *restart_at || *r + rejoin_bound <= *restart_at,
-                            None => *c > *restart_at,
-                        })
-            });
-            let Some(server) = server else { continue };
-            for (node, task) in self
-                .middleware
-                .recovery_cost_tasks(server, joiner.0, k as u32)
-            {
-                origin.insert(task.id, (node, true));
-                recovery_windows.push((task.id, *restart_at, *restart_at + transfer_span));
-                tasks.push(task);
-            }
-        }
-        match self.policy {
-            Policy::RateMonotonic => hades_sched::assign_rm(&mut tasks),
-            Policy::DeadlineMonotonic => hades_sched::assign_dm(&mut tasks),
-            Policy::Edf | Policy::Manual => {}
-        }
-
-        // ---- mode-change transition analysis (Section 5 + Mos94) ----
-        let mode_plans = self.mode_plans();
-
-        // ---- per-node feasibility (naive vs cost-integrated) ----
-        let feasibility: Vec<report::NodeFeasibility> = (0..self.nodes)
-            .map(|node| self.node_feasibility(node, &tasks, &origin))
-            .collect();
-
-        // ---- one shared network + one shared engine ----
-        let net = Network::homogeneous(
-            self.nodes,
-            self.link,
-            SimRng::seed_from(self.seed ^ 0x004E_4554),
-        )
-        .with_fault_plan(self.scenario.fault_plan());
-        let set = TaskSet::new(tasks).map_err(ClusterError::InvalidTaskSet)?;
-        let mut cfg = SimConfig::ideal(self.horizon);
-        cfg.costs = self.costs;
-        cfg.kernel = self.kernel.clone();
-        cfg.link = self.link;
-        cfg.seed = self.seed;
-        cfg.trace = false;
-        let mut sim = DispatchSim::with_network(set, cfg, net);
-        if self.policy == Policy::Edf {
-            for node in 0..self.nodes {
-                sim.set_policy(node, Box::new(EdfPolicy::new()));
-            }
-        }
-        // A task introduced by one mode change and retired by a later one
-        // gets both window edges; everything else keeps the full run on
-        // its open side.
-        let mut mode_windows: BTreeMap<TaskId, (Time, Time)> = BTreeMap::new();
-        for plan in &mode_plans {
-            for id in &plan.retire {
-                mode_windows.entry(*id).or_insert((Time::ZERO, Time::MAX)).1 = plan.at;
-            }
-            for id in &plan.introduced {
-                mode_windows.entry(*id).or_insert((Time::ZERO, Time::MAX)).0 = plan.release_at;
-            }
-        }
-        for (id, (from, until)) in mode_windows {
-            sim.set_activation_window(id, from, until);
-        }
-        for (id, from, until) in &recovery_windows {
-            sim.set_activation_window(*id, *from, *until);
-        }
-
-        // ---- per-node middleware agents on the same engine ----
-        let logs: Vec<Rc<RefCell<AgentLog>>> = (0..self.nodes)
-            .map(|node| {
-                let (agent, log) = NodeAgent::new(self.agent_config(NodeId(node)));
-                sim.add_actor(Box::new(agent));
-                log
-            })
-            .collect();
-
-        // ---- replication-group members, after the agents (actor ids
-        // 0..nodes belong to the agents, groups follow) ----
-        let delta = self.group_delta();
-        let mut next_actor = self.nodes;
-        let mut group_logs: Vec<Vec<Rc<RefCell<GroupLog>>>> = Vec::new();
-        for (g, (style, members, load)) in self.groups.iter().enumerate() {
-            let peers: Vec<(u32, ActorId)> = members
-                .iter()
-                .enumerate()
-                .map(|(i, m)| (*m, ActorId(next_actor + i as u32)))
-                .collect();
-            let mut glogs = Vec::new();
-            for (i, m) in members.iter().enumerate() {
-                let (member, glog) = ReplicaGroup::new(
-                    GroupConfig {
-                        group: g as u32,
-                        node: NodeId(*m),
-                        members: members.clone(),
-                        style: *style,
-                        request_period: load.request_period,
-                        first_request_at: load.first_request_at,
-                        delta,
-                        attempts: load.attempts,
-                        peers: peers.clone(),
-                    },
-                    Some(logs[*m as usize].clone()),
-                );
-                let id = sim.add_actor(Box::new(member));
-                assert_eq!(
-                    id, peers[i].1,
-                    "group peer addressing drifted from actor registration order"
-                );
-                glogs.push(glog);
-            }
-            next_actor += members.len() as u32;
-            group_logs.push(glogs);
-        }
-
-        let run = sim.run();
-        let network = sim.network_stats();
-
-        // ---- fold everything into the report ----
-        let node_reports = self.node_reports(&run, &origin, feasibility);
-        let (detections, heartbeats_seen) = self.detections(&logs);
-        let survivors: Vec<u32> = (0..self.nodes)
-            .filter(|n| self.scenario.crash_time(NodeId(*n)).is_none())
-            .collect();
-        let reference_views: Vec<View> = survivors
-            .first()
-            .map(|n| logs[*n as usize].borrow().views.clone())
-            .unwrap_or_default();
-        let view_history: Vec<(u32, Vec<u32>)> = reference_views
-            .iter()
-            .map(|v| (v.number, v.members.clone()))
-            .collect();
-        let views_agree = survivors
-            .iter()
-            .all(|n| logs[*n as usize].borrow().view_members() == view_history);
-        let failovers = self.failovers(&logs, &reference_views);
-        let recoveries = self.recoveries(&logs);
-        let mode_changes = mode_plans
-            .iter()
-            .map(|p| {
-                let first_new_completion = run
-                    .instances
-                    .iter()
-                    .filter(|i| p.introduced.contains(&i.task))
-                    .filter_map(|i| i.completed)
-                    .min();
-                report::ModeChangeRecord {
-                    at: p.at,
-                    carryover: p.carryover,
-                    immediate_feasible: p.immediate_feasible,
-                    safe_offset: p.safe_offset,
-                    new_mode_released_at: p.release_at,
-                    first_new_completion,
-                    transition_latency: first_new_completion.map_or(p.safe_offset, |f| f - p.at),
-                }
-            })
-            .collect();
-
-        let groups = self.group_reports(&group_logs, delta);
-        let view_changes = view_history
-            .last()
-            .map(|(number, _)| *number)
-            .unwrap_or_default();
-        let pairs = (self.nodes as u64) * (self.nodes as u64 - 1);
-        let view_change = report::ViewChangeStats {
-            transport: if self.middleware.delta_multicast_vc {
-                "delta-multicast"
-            } else {
-                "flood"
-            },
-            messages: logs.iter().map(|l| l.borrow().vc_messages_sent).sum(),
-            view_changes,
-            flood_equivalent: (self.middleware.f as u64 + 1) * pairs * view_changes as u64,
-            multicast_equivalent: pairs * view_changes as u64,
-        };
-        let join_retries = logs.iter().map(|l| l.borrow().join_retries).sum();
-
-        Ok(ClusterReport {
-            nodes: self.nodes,
-            seed: self.seed,
-            finished_at: run.finished_at,
-            node_reports,
-            detections,
-            detection_bound,
-            view_history,
-            views_agree,
-            failovers,
-            recoveries,
-            scripted_rejoins: self.scenario.matched_restarts().len() as u32,
-            rejoin_bound,
-            mode_changes,
-            groups,
-            view_change,
-            join_retries,
-            heartbeats_seen,
-            network,
-            scheduler_cpu: run.scheduler_cpu,
-            kernel_cpu: run.kernel_cpu,
-        })
-    }
-
-    /// Folds every group's member logs into its report section.
-    fn group_reports(
-        &self,
-        group_logs: &[Vec<Rc<RefCell<GroupLog>>>],
-        delta: Duration,
-    ) -> Vec<report::GroupReport> {
-        let mut out = Vec::new();
-        for (g, ((style, members, _), glogs)) in
-            self.groups.iter().zip(group_logs.iter()).enumerate()
-        {
-            let logs: Vec<GroupLog> = glogs.iter().map(|l| l.borrow().clone()).collect();
-            // Reference order: the first member never scripted down;
-            // when every member restarted at some point, the longest
-            // delivery log stands in (identical full sequences cannot be
-            // demanded of restarted members, so agreement then means
-            // subsequence consistency, never a vacuous true).
-            let full_time: Vec<usize> = members
-                .iter()
-                .enumerate()
-                .filter(|(_, m)| self.scenario.down_windows(NodeId(**m)).is_empty())
-                .map(|(i, _)| i)
-                .collect();
-            let reference_idx = full_time.first().copied().unwrap_or_else(|| {
-                (0..logs.len())
-                    .max_by_key(|i| logs[*i].delivered.len())
-                    .unwrap_or(0)
-            });
-            let reference = logs[reference_idx].delivery_order();
-            let order_consistent = logs.iter().all(|l| l.order_consistent_with(&reference));
-            let order_agreement = if full_time.is_empty() {
-                order_consistent
-            } else {
-                full_time
-                    .iter()
-                    .all(|i| logs[*i].delivery_order() == reference)
-            };
-            // First submission and first client-visible output per id.
-            let mut submitted_at: BTreeMap<u64, Time> = BTreeMap::new();
-            let mut output_at: BTreeMap<u64, Time> = BTreeMap::new();
-            let mut emissions = 0u64;
-            for log in &logs {
-                for (id, at) in &log.submitted {
-                    let e = submitted_at.entry(*id).or_insert(*at);
-                    *e = (*e).min(*at);
-                }
-                for (id, at) in &log.emitted {
-                    emissions += 1;
-                    let e = output_at.entry(*id).or_insert(*at);
-                    *e = (*e).min(*at);
-                }
-            }
-            let outputs = output_at.len() as u64;
-            let output_bound = delta + self.link.delay_max;
-            let mut on_time = 0u64;
-            let mut delayed = 0u64;
-            let mut worst: Option<Duration> = None;
-            for (id, at) in &output_at {
-                let Some(sub) = submitted_at.get(id) else {
-                    continue;
-                };
-                let latency = *at - *sub;
-                worst = Some(worst.map_or(latency, |w| w.max(latency)));
-                if latency <= output_bound {
-                    on_time += 1;
-                } else {
-                    delayed += 1;
-                }
-            }
-            // Client-visible duplicates: surplus emissions for active
-            // replication are the redundant copies the voter absorbs
-            // (the members' own per-vote suppression counters observe
-            // each copy multiple times and would overstate it), not
-            // duplicates.
-            let surplus = emissions - outputs;
-            let (duplicate_outputs, duplicates_suppressed) = match style {
-                ReplicaStyle::Active => (0, surplus),
-                _ => (surplus, logs.iter().map(|l| l.suppressed).sum()),
-            };
-            let mut handoffs: Vec<report::GroupHandoff> = logs
-                .iter()
-                .flat_map(|l| {
-                    l.handoffs
-                        .iter()
-                        .map(|(from, to, at)| report::GroupHandoff {
-                            group: g as u32,
-                            from: *from,
-                            to: *to,
-                            at: *at,
-                        })
-                })
-                .collect();
-            handoffs.sort_by_key(|h| (h.at, h.to));
-            out.push(report::GroupReport {
-                group: g as u32,
-                style_name: style.name(),
-                members: members.clone(),
-                submitted: submitted_at.len() as u64,
-                delivered: reference.len() as u64,
-                order_agreement,
-                order_consistent,
-                outputs,
-                duplicate_outputs,
-                duplicates_suppressed,
-                handoffs,
-                delivery_bound: delta,
-                output_bound,
-                on_time_outputs: on_time,
-                delayed_outputs: delayed,
-                worst_latency: worst,
-                messages: logs.iter().map(|l| l.messages_sent).sum(),
-                replayed: logs.iter().map(|l| l.replayed).sum(),
-                vote_mismatches: logs.iter().map(|l| l.vote_mismatches).sum(),
-            });
-        }
-        out
-    }
-
-    /// Analyzes every scripted mode change: per affected node, the
-    /// retiring tasks' carry-over against the entering tasks' demand
-    /// (cost-integrated), yielding the safe release offset the runtime
-    /// applies.
-    fn mode_plans(&self) -> Vec<ModePlan> {
-        let integrated_cfg = EdfAnalysisConfig::with_platform(self.costs, self.kernel.clone());
-        // Retired tasks may come from the initial application set or from
-        // an earlier mode change's introductions.
-        let known: Vec<&Task> = self
-            .app_tasks
-            .iter()
-            .map(|(_, t)| t)
-            .chain(
-                self.scenario
-                    .mode_changes()
-                    .iter()
-                    .flat_map(|s| s.introduce.iter().map(|(_, t)| t)),
-            )
-            .collect();
-        self.scenario
-            .mode_changes()
-            .iter()
-            .map(|script| {
-                let retired: Vec<&Task> = known
-                    .iter()
-                    .copied()
-                    .filter(|t| script.retire.contains(&t.id))
-                    .collect();
-                let mut affected: Vec<u32> = retired
-                    .iter()
-                    .filter_map(|t| t.heug.eus().first().map(|e| e.processor().0))
-                    .chain(script.introduce.iter().map(|(n, _)| *n))
-                    .collect();
-                affected.sort_unstable();
-                affected.dedup();
-                let mut carryover = Duration::ZERO;
-                let mut immediate_feasible = true;
-                let mut safe_offset = Duration::ZERO;
-                for node in affected {
-                    let old: Vec<SpuriTask> = retired
-                        .iter()
-                        .filter(|t| {
-                            t.heug
-                                .eus()
-                                .first()
-                                .is_some_and(|e| e.processor().0 == node)
-                        })
-                        .filter_map(|t| spuri_of(t, node))
-                        .collect();
-                    let new: Vec<SpuriTask> = script
-                        .introduce
-                        .iter()
-                        .filter(|(n, _)| *n == node)
-                        .filter_map(|(n, t)| spuri_of(t, *n))
-                        .collect();
-                    let r = ModeChange::new(old, new).analyze(&integrated_cfg);
-                    carryover = carryover.saturating_add(r.carryover);
-                    immediate_feasible &= r.immediate_feasible;
-                    safe_offset = safe_offset.max(r.safe_offset);
-                }
-                let release_at = if safe_offset == Duration::MAX {
-                    Time::MAX // infeasible new mode: never released
-                } else {
-                    (script.at + safe_offset).min(Time::MAX)
-                };
-                ModePlan {
-                    at: script.at,
-                    release_at,
-                    retire: script.retire.clone(),
-                    introduced: script.introduce.iter().map(|(_, t)| t.id).collect(),
-                    carryover,
-                    immediate_feasible,
-                    safe_offset,
-                }
-            })
-            .collect()
-    }
-
-    /// Joins each completed rejoin cycle with its scripted down window and
-    /// the survivors' first detection of the crash.
-    fn recoveries(&self, logs: &[Rc<RefCell<AgentLog>>]) -> Vec<report::RecoveryRecord> {
-        let mut out = Vec::new();
-        for node in 0..self.nodes {
-            let windows = self.scenario.down_windows(NodeId(node));
-            let rejoins = logs[node as usize].borrow().rejoins.clone();
-            for rj in rejoins {
-                let Some((crashed_at, _)) = windows
-                    .iter()
-                    .find(|(_, r)| *r == Some(rj.restarted_at))
-                    .copied()
-                else {
-                    continue;
-                };
-                let detected_at = logs
-                    .iter()
-                    .enumerate()
-                    .filter(|(observer, _)| *observer != node as usize)
-                    .filter_map(|(_, l)| {
-                        l.borrow()
-                            .suspicions
-                            .iter()
-                            .filter(|(suspect, at)| {
-                                *suspect == node && *at >= crashed_at && *at < rj.restarted_at
-                            })
-                            .map(|(_, at)| *at)
-                            .min()
-                    })
-                    .min();
-                out.push(report::RecoveryRecord {
-                    node,
-                    crashed_at,
-                    restarted_at: rj.restarted_at,
-                    detected_at,
-                    detect_latency: detected_at.map(|d| d - crashed_at),
-                    announce_latency: rj.announce_latency(),
-                    transfer_latency: rj.transfer_latency(),
-                    readmit_latency: rj.readmit_latency(),
-                    rejoin_latency: rj.latency(),
-                    readmitted_view: rj.view,
-                    views_traversed: rj.views_traversed,
-                    bytes_transferred: rj.bytes,
-                    chunks: rj.chunks,
-                    log_entries_replayed: rj.log_entries,
-                });
-            }
-        }
-        out.sort_by_key(|r| (r.restarted_at, r.node));
-        out
-    }
-
-    fn node_feasibility(
-        &self,
-        node: u32,
-        tasks: &[Task],
-        origin: &BTreeMap<TaskId, (u32, bool)>,
-    ) -> report::NodeFeasibility {
-        let mut spuri: Vec<SpuriTask> = Vec::new();
-        let mut app_util = 0u32;
-        let mut mw_util = 0u32;
-        for task in tasks {
-            let Some((home, is_mw)) = origin.get(&task.id) else {
-                continue;
-            };
-            if *home != node {
-                continue;
-            }
-            let Some(period) = task.arrival.min_separation() else {
-                continue;
-            };
-            let c = task.wcet();
-            let permille = (c.as_nanos() * 1000 / period.as_nanos().max(1)) as u32;
-            if *is_mw {
-                mw_util += permille;
-            } else {
-                app_util += permille;
-            }
-            spuri.push(SpuriTask::independent(
-                task.id,
-                format!("n{node}.{}", task.name()),
-                c,
-                task.deadline,
-                period,
-            ));
-        }
-        // Utilization figures come from the EDF demand analysis (they are
-        // load measures, not verdicts); the feasibility verdicts use the
-        // test matching the installed policy.
-        let integrated_cfg = EdfAnalysisConfig::with_platform(self.costs, self.kernel.clone());
-        let integrated = edf_feasible(&spuri, &integrated_cfg);
-        let (naive_feasible, integrated_feasible) = match self.policy {
-            Policy::RateMonotonic | Policy::DeadlineMonotonic => {
-                // Response-time analysis over the fixed-priority order the
-                // policy installs (RM: by period; DM: by deadline).
-                let mut rta: Vec<RtaTask> = spuri
-                    .iter()
-                    .map(|t| RtaTask {
-                        c: t.total_c(),
-                        period: t.pseudo_period,
-                        deadline: t.deadline,
-                        blocking: Duration::ZERO,
-                    })
-                    .collect();
-                match self.policy {
-                    Policy::RateMonotonic => rta.sort_by_key(|t| t.period),
-                    _ => rta.sort_by_key(|t| t.deadline),
-                }
-                (
-                    rta_feasible(&rta, &CostModel::zero(), &KernelModel::none()).feasible,
-                    rta_feasible(&rta, &self.costs, &self.kernel).feasible,
-                )
-            }
-            Policy::Edf | Policy::Manual => (
-                edf_feasible(&spuri, &EdfAnalysisConfig::naive()).feasible,
-                integrated.feasible,
-            ),
-        };
-        report::NodeFeasibility {
-            naive_feasible,
-            integrated_feasible,
-            app_utilization_permille: app_util,
-            middleware_utilization_permille: mw_util,
-            inflated_utilization_permille: (integrated.utilization * 1000.0).round() as u32,
+        let app_services = self.app_tasks.len();
+        match self.into_spec().run() {
+            Ok(run) => Ok(run.into_report()),
+            Err(e) => Err(ClusterError::from_issue(
+                e.issues
+                    .into_iter()
+                    .next()
+                    .expect("spec errors are nonempty"),
+                app_services,
+            )),
         }
     }
-
-    fn node_reports(
-        &self,
-        run: &hades_dispatch::RunReport,
-        origin: &BTreeMap<TaskId, (u32, bool)>,
-        feasibility: Vec<report::NodeFeasibility>,
-    ) -> Vec<report::NodeReport> {
-        let mut reports: Vec<report::NodeReport> = feasibility
-            .into_iter()
-            .enumerate()
-            .map(|(node, feasibility)| report::NodeReport {
-                node: node as u32,
-                crashed_at: self.scenario.crash_time(NodeId(node as u32)),
-                restarted_at: self.scenario.restart_time(NodeId(node as u32)),
-                app_instances: 0,
-                app_misses: 0,
-                middleware_instances: 0,
-                middleware_misses: 0,
-                worst_app_response: None,
-                feasibility,
-            })
-            .collect();
-        let down_windows: Vec<Vec<(Time, Option<Time>)>> = (0..self.nodes)
-            .map(|n| self.scenario.down_windows(NodeId(n)))
-            .collect();
-        for inst in &run.instances {
-            let Some((node, is_mw)) = origin.get(&inst.task) else {
-                continue;
-            };
-            // Account only live spans: an instance interrupted by its
-            // node's crash window is a casualty of the crash (recorded by
-            // the recovery machinery), not a scheduling outcome. An
-            // instance whose fate was settled before the crash — on-time
-            // completion or a miss at its deadline — still counts; only
-            // the span up to that settling instant must be up.
-            let settled = inst
-                .completed
-                .map_or(inst.deadline, |c| c.min(inst.deadline));
-            if ScenarioPlan::windows_overlap(&down_windows[*node as usize], inst.activated, settled)
-            {
-                continue;
-            }
-            let r = &mut reports[*node as usize];
-            if *is_mw {
-                r.middleware_instances += 1;
-                r.middleware_misses += inst.missed as u64;
-            } else {
-                r.app_instances += 1;
-                r.app_misses += inst.missed as u64;
-                if let Some(rt) = inst.response_time() {
-                    r.worst_app_response = Some(r.worst_app_response.map_or(rt, |w| w.max(rt)));
-                }
-            }
-        }
-        reports
-    }
-
-    fn detections(&self, logs: &[Rc<RefCell<AgentLog>>]) -> (Vec<report::DetectionRecord>, u64) {
-        let mut detections = Vec::new();
-        let mut heartbeats = 0;
-        for log in logs {
-            let log = log.borrow();
-            heartbeats += log.heartbeats_seen;
-            for (suspect, at) in &log.suspicions {
-                // A suspicion is a detection only when it lands inside a
-                // scripted down window of the suspect; raised before the
-                // crash or after the restart, it is a false suspicion and
-                // must not masquerade as a zero-latency success.
-                let windows = self.scenario.down_windows(NodeId(*suspect));
-                let covering = windows
-                    .iter()
-                    .find(|(c, r)| *at >= *c && r.is_none_or(|r| *at < r))
-                    .map(|(c, _)| *c);
-                let crashed_at = covering.or_else(|| self.scenario.crash_time(NodeId(*suspect)));
-                let latency = covering.map(|c| *at - c);
-                detections.push(report::DetectionRecord {
-                    suspect: *suspect,
-                    observer: log.node,
-                    crashed_at,
-                    suspected_at: *at,
-                    latency,
-                });
-            }
-        }
-        detections.sort_by_key(|d| (d.suspected_at, d.observer, d.suspect));
-        (detections, heartbeats)
-    }
-
-    fn failovers(
-        &self,
-        logs: &[Rc<RefCell<AgentLog>>],
-        reference_views: &[View],
-    ) -> Vec<report::FailoverRecord> {
-        let mut failovers = Vec::new();
-        for (crashed, crash_at) in self.scenario.crashes() {
-            // The view in force when the crash happened, per the reference
-            // history.
-            let Some(current) = reference_views
-                .iter()
-                .rfind(|v| v.installed_at <= *crash_at)
-            else {
-                continue;
-            };
-            if current.members.first() != Some(&crashed.0) {
-                continue; // not the primary: no failover
-            }
-            let Some(next) = reference_views
-                .iter()
-                .find(|v| v.number == current.number + 1)
-            else {
-                continue; // no successor view observed
-            };
-            let Some(&new_primary) = next.members.first() else {
-                continue;
-            };
-            // Takeover is effective when the *new primary itself* installs
-            // the promoting view.
-            let taken_over_at = logs[new_primary as usize]
-                .borrow()
-                .views
-                .iter()
-                .find(|v| v.number == next.number)
-                .map(|v| v.installed_at)
-                .unwrap_or(next.installed_at);
-            failovers.push(report::FailoverRecord {
-                failed_primary: crashed.0,
-                crashed_at: *crash_at,
-                new_primary,
-                taken_over_at,
-                latency: taken_over_at - *crash_at,
-            });
-        }
-        failovers
-    }
-}
-
-/// One analyzed mode change, as applied by the runtime.
-#[derive(Debug, Clone)]
-struct ModePlan {
-    at: Time,
-    release_at: Time,
-    retire: Vec<TaskId>,
-    introduced: Vec<TaskId>,
-    carryover: Duration,
-    immediate_feasible: bool,
-    safe_offset: Duration,
-}
-
-/// The Spuri view of a single-node task, for the transition analysis.
-fn spuri_of(task: &Task, node: u32) -> Option<SpuriTask> {
-    let period = task.arrival.min_separation()?;
-    Some(SpuriTask::independent(
-        task.id,
-        format!("n{node}.{}", task.name()),
-        task.wcet(),
-        task.deadline,
-        period,
-    ))
-}
-
-/// Builds the single-unit HEUG of a convenience task.
-fn single_heug(name: &str, node: u32, wcet: Duration) -> hades_task::Heug {
-    hades_task::Heug::single(hades_task::CodeEu::new(
-        name,
-        wcet,
-        hades_task::ProcessorId(node),
-    ))
-    .expect("single-unit HEUG cannot fail validation")
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use hades_sim::NodeId;
     use hades_time::Time;
 
     fn ms(n: u64) -> Duration {
@@ -1292,6 +574,10 @@ mod tests {
             Err(ClusterError::TooFewNodes)
         ));
         assert!(matches!(
+            HadesCluster::new(MAX_CLUSTER_NODES + 1).run(),
+            Err(ClusterError::TooManyNodes)
+        ));
+        assert!(matches!(
             HadesCluster::new(4)
                 .periodic_app(7, "x", us(10), ms(1))
                 .run(),
@@ -1301,7 +587,7 @@ mod tests {
             1,
             Task::new(
                 TaskId(0),
-                single_heug("t", 0, us(10)),
+                spec::single_heug("t", 0, us(10)),
                 hades_task::ArrivalLaw::Periodic(ms(1)),
                 ms(1),
             ),
@@ -1311,7 +597,7 @@ mod tests {
             0,
             Task::new(
                 TaskId(MIDDLEWARE_TASK_BASE),
-                single_heug("t", 0, us(10)),
+                spec::single_heug("t", 0, us(10)),
                 hades_task::ArrivalLaw::Periodic(ms(1)),
                 ms(1),
             ),
@@ -1496,7 +782,7 @@ mod tests {
         let switch = Time::ZERO + ms(30);
         let new_task = Task::new(
             TaskId(10),
-            single_heug("boost", 0, us(300)),
+            spec::single_heug("boost", 0, us(300)),
             hades_task::ArrivalLaw::Periodic(ms(3)),
             ms(3),
         );
@@ -1525,7 +811,7 @@ mod tests {
         let t2 = Time::ZERO + ms(40);
         let phase2 = Task::new(
             TaskId(10),
-            single_heug("phase2", 0, us(200)),
+            spec::single_heug("phase2", 0, us(200)),
             hades_task::ArrivalLaw::Periodic(ms(2)),
             ms(2),
         );
@@ -1583,7 +869,7 @@ mod tests {
         let restart = Time::ZERO + ms(37);
         let new_task = Task::new(
             TaskId(10),
-            single_heug("phase2", 2, us(300)),
+            spec::single_heug("phase2", 2, us(300)),
             hades_task::ArrivalLaw::Periodic(ms(10)),
             ms(10),
         );
@@ -1653,5 +939,25 @@ mod tests {
         assert_eq!(report.view_history.len(), 1, "membership must not split");
         assert!(report.no_false_suspicions());
         assert!(report.network.omitted() > 0, "the cut dropped traffic");
+    }
+
+    #[test]
+    fn shim_and_spec_produce_identical_reports() {
+        // The deprecated builder is a faithful shim: the same deployment
+        // expressed both ways yields byte-identical reports.
+        let shim = quad()
+            .scenario(ScenarioPlan::new().crash(NodeId(0), Time::ZERO + ms(20)))
+            .run()
+            .unwrap();
+        let mut spec = ClusterSpec::new(4)
+            .horizon(ms(60))
+            .seed(1)
+            .scenario(ScenarioPlan::new().crash(NodeId(0), Time::ZERO + ms(20)));
+        for node in 0..4 {
+            spec = spec.service(ServiceSpec::periodic("ctl", node, us(200), ms(2)));
+        }
+        let run = spec.run().unwrap();
+        assert_eq!(&shim, run.report());
+        assert!(!run.events().is_empty());
     }
 }

@@ -15,19 +15,26 @@ use hades_task::prelude::*;
 use hades_time::{Duration, SyncRound, Time};
 
 /// First task id reserved for injected middleware tasks; application task
-/// ids must stay below.
-pub const MIDDLEWARE_TASK_BASE: u32 = 1_000;
+/// ids must stay below. The tiers are sized for the deployment-spec
+/// node ceiling ([`crate::MAX_CLUSTER_NODES`] nodes × 3 tasks fits
+/// between this base and [`RECOVERY_TASK_BASE`]).
+pub const MIDDLEWARE_TASK_BASE: u32 = 10_000;
 
 /// Number of middleware tasks injected per node.
 pub const MIDDLEWARE_TASKS_PER_NODE: u32 = 3;
 
 /// First task id reserved for per-recovery cost tasks (state-transfer
 /// serving on the surviving member, checkpoint install on the joiner).
-pub const RECOVERY_TASK_BASE: u32 = 2_000;
+pub const RECOVERY_TASK_BASE: u32 = 20_000;
 
 /// First task id reserved for per-group replication cost tasks (request
-/// execution on every group member).
-pub const GROUP_TASK_BASE: u32 = 3_000;
+/// execution on the group members admission charges).
+pub const GROUP_TASK_BASE: u32 = 30_000;
+
+/// Reserved id stride per replication group: member indices can never
+/// collide across groups because membership is bounded by
+/// [`crate::MAX_CLUSTER_NODES`].
+pub const GROUP_TASK_STRIDE: u32 = 1_024;
 
 /// The client-request workload one replication group serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,17 +48,22 @@ pub struct GroupLoad {
     /// Per-link redundant-transmission budget of the group's multicasts
     /// (masks `attempts − 1` consecutive omissions per copy).
     pub attempts: u32,
+    /// WCET of a semi-active follower's order handling per request (the
+    /// style-aware admission charge for members that execute under the
+    /// leader's decided order instead of at delivery).
+    pub order_wcet: Duration,
 }
 
 impl Default for GroupLoad {
     /// One 100 µs request per millisecond, starting at 1 ms, single-shot
-    /// links.
+    /// links, 20 µs follower order handling.
     fn default() -> Self {
         GroupLoad {
             request_period: Duration::from_millis(1),
             request_wcet: Duration::from_micros(100),
             first_request_at: Time::ZERO + Duration::from_millis(1),
             attempts: 1,
+            order_wcet: Duration::from_micros(20),
         }
     }
 }
@@ -87,6 +99,12 @@ pub struct MiddlewareConfig {
     /// instead of the `f + 1`-round flood (see
     /// [`hades_services::AgentConfig::vc_delta_multicast`]).
     pub delta_multicast_vc: bool,
+    /// Per-link redundant-transmission budget of the Δ-multicast
+    /// view-change transport (see
+    /// [`hades_services::AgentConfig::vc_attempts`]): each proposal copy
+    /// is retried up to `vc_attempts − 1` extra times on omission, so
+    /// the cheap transport also survives lossy links.
+    pub vc_attempts: u32,
 }
 
 impl Default for MiddlewareConfig {
@@ -107,6 +125,7 @@ impl Default for MiddlewareConfig {
             transfer_chunk_wcet: Duration::from_micros(1),
             install_chunk_wcet: Duration::from_micros(1),
             delta_multicast_vc: true,
+            vc_attempts: 1,
         }
     }
 }
@@ -209,36 +228,59 @@ impl MiddlewareConfig {
     }
 
     /// Builds the per-member request-execution cost tasks of replication
-    /// group `g`. Every member is charged the full per-request WCET
-    /// regardless of style — a safe over-approximation for passive
-    /// groups (where only the primary executes in steady state) that
-    /// keeps the feasibility verdict valid under any leadership.
+    /// group `g`, style-aware (the paper's cost model per \[Pol96\]
+    /// role):
     ///
-    /// Ids stride 64 per group; membership is bounded by the 48-node
-    /// cluster cap, so member indices can never collide across groups.
+    /// * **active** — every member executes every request: full WCET on
+    ///   every member;
+    /// * **semi-active** — the leader executes at delivery (full WCET);
+    ///   followers only apply the decided order
+    ///   ([`GroupLoad::order_wcet`]);
+    /// * **passive** — only the primary executes; backups merely buffer
+    ///   deliveries and are charged nothing.
+    ///
+    /// Leadership is charged at its *nominal* seat (the lowest member):
+    /// the tightened verdict is exact for the deployed leadership and an
+    /// under-approximation during a failover transient, when the acting
+    /// leader executes requests its seat was not charged for (the old
+    /// charge-everyone rule was the safe over-approximation; a
+    /// transition-style analysis per possible leader is the ROADMAP
+    /// follow-on). `period` is the arrival period admission budgets per
+    /// request — the workload's (peak) submission period.
+    ///
+    /// Ids stride [`GROUP_TASK_STRIDE`] per group, so member indices can
+    /// never collide across groups.
     pub fn group_cost_tasks(
         &self,
         g: u32,
         style: ReplicaStyle,
         members: &[u32],
         load: &GroupLoad,
+        period: Duration,
     ) -> Vec<(u32, Task)> {
         members
             .iter()
             .enumerate()
-            .map(|(i, node)| {
+            .filter_map(|(i, node)| {
+                let wcet = match style {
+                    ReplicaStyle::Active => load.request_wcet,
+                    ReplicaStyle::SemiActive if i == 0 => load.request_wcet,
+                    ReplicaStyle::SemiActive => load.order_wcet,
+                    ReplicaStyle::Passive { .. } if i == 0 => load.request_wcet,
+                    ReplicaStyle::Passive { .. } => return None,
+                };
                 let task = Task::new(
-                    TaskId(GROUP_TASK_BASE + g * 64 + i as u32),
+                    TaskId(GROUP_TASK_BASE + g * GROUP_TASK_STRIDE + i as u32),
                     Heug::single(CodeEu::new(
                         format!("mw.grp{g}.{}@{node}", style.name()),
-                        load.request_wcet.max(Duration::from_nanos(1)),
+                        wcet.max(Duration::from_nanos(1)),
                         ProcessorId(*node),
                     ))
                     .expect("single-unit group HEUG"),
-                    ArrivalLaw::Periodic(load.request_period),
-                    load.request_period,
+                    ArrivalLaw::Periodic(period),
+                    period,
                 );
-                (*node, task)
+                Some((*node, task))
             })
             .collect()
     }
@@ -278,29 +320,51 @@ mod tests {
     }
 
     #[test]
-    fn group_cost_tasks_charge_every_member() {
+    fn group_cost_tasks_are_style_aware() {
         let cfg = MiddlewareConfig::default();
         let load = GroupLoad::default();
-        let tasks = cfg.group_cost_tasks(2, ReplicaStyle::SemiActive, &[1, 3, 4], &load);
-        assert_eq!(tasks.len(), 3);
-        for ((node, task), member) in tasks.iter().zip([1u32, 3, 4]) {
-            assert_eq!(*node, member);
+        let period = load.request_period;
+
+        // Active: every member pays the full per-request WCET.
+        let active = cfg.group_cost_tasks(1, ReplicaStyle::Active, &[1, 3, 4], &load, period);
+        assert_eq!(active.len(), 3);
+        for (node, task) in &active {
             assert!(task.id.0 >= GROUP_TASK_BASE);
             assert_eq!(task.wcet(), load.request_wcet);
-            assert_eq!(
-                task.arrival.min_separation(),
-                Some(load.request_period),
-                "one instance per request"
-            );
+            assert_eq!(task.arrival.min_separation(), Some(period));
             for eu in task.heug.eus() {
-                assert_eq!(eu.processor(), ProcessorId(member));
+                assert_eq!(eu.processor(), ProcessorId(*node));
             }
         }
+
+        // Semi-active: the leader pays full WCET, followers only their
+        // order handling.
+        let semi = cfg.group_cost_tasks(2, ReplicaStyle::SemiActive, &[1, 3, 4], &load, period);
+        assert_eq!(semi.len(), 3);
+        assert_eq!(semi[0], (1, semi[0].1.clone()));
+        assert_eq!(semi[0].1.wcet(), load.request_wcet, "leader full charge");
+        for (node, task) in &semi[1..] {
+            assert_eq!(task.wcet(), load.order_wcet, "follower n{node} order cost");
+        }
+
+        // Passive: only the primary is charged at all.
+        let passive = cfg.group_cost_tasks(
+            3,
+            ReplicaStyle::Passive {
+                checkpoint_every: 4,
+            },
+            &[1, 3, 4],
+            &load,
+            period,
+        );
+        assert_eq!(passive.len(), 1, "backups execute nothing in steady state");
+        assert_eq!(passive[0].0, 1);
+        assert_eq!(passive[0].1.wcet(), load.request_wcet);
+
         // Distinct groups get distinct reserved ids.
-        let other = cfg.group_cost_tasks(3, ReplicaStyle::Active, &[1, 3, 4], &load);
-        assert!(tasks
+        assert!(active
             .iter()
-            .all(|(_, a)| other.iter().all(|(_, b)| a.id != b.id)));
+            .all(|(_, a)| semi.iter().all(|(_, b)| a.id != b.id)));
     }
 
     #[test]

@@ -191,6 +191,9 @@ pub struct GroupReport {
     pub messages: u64,
     /// Requests re-executed by passive takeover replays.
     pub replayed: u64,
+    /// Catch-up snapshots adopted by restarted members (the group fold
+    /// shipped alongside the rejoin checkpoint).
+    pub catchups: u64,
     /// Active-style vote digests that disagreed across members.
     pub vote_mismatches: u64,
 }

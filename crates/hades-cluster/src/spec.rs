@@ -1,0 +1,1648 @@
+//! The deployment-spec front door: typed services lowered onto the
+//! shared engine.
+//!
+//! A [`ClusterSpec`] declares *what* a fault-tolerant application
+//! deploys — the platform (nodes, links, timing model, seed, scenario)
+//! and a list of typed [`ServiceSpec`]s (replicated groups with a
+//! [`Workload`], bare periodic tasks, raw HEUG tasks) — and
+//! [`ClusterSpec::run`] lowers it onto the existing per-node runtime:
+//! dispatcher + policy + heartbeat detector + membership + replication
+//! management on **one** shared DES engine and network. The whole spec
+//! is validated before anything is built: every problem is reported as a
+//! typed [`SpecIssue`] naming the offending service, collected into one
+//! [`SpecError`] instead of failing at the first.
+//!
+//! The run returns a [`ClusterRun`]: the aggregate
+//! [`crate::ClusterReport`] the
+//! old builder produced, plus a typed, time-ordered
+//! [`crate::ClusterEvent`] stream so tests and benches assert on
+//! sequences instead of scraping aggregates.
+//!
+//! # Examples
+//!
+//! The crate-level failover scenario through the spec API:
+//!
+//! ```
+//! use hades_cluster::{ClusterSpec, ScenarioPlan, ServiceSpec};
+//! use hades_sim::NodeId;
+//! use hades_time::{Duration, Time};
+//!
+//! let crash = Time::ZERO + Duration::from_millis(50);
+//! let mut spec = ClusterSpec::new(4)
+//!     .horizon(Duration::from_millis(100))
+//!     .scenario(ScenarioPlan::new().crash(NodeId(0), crash));
+//! for node in 0..4 {
+//!     spec = spec.service(ServiceSpec::periodic(
+//!         format!("control@{node}"),
+//!         node,
+//!         Duration::from_micros(200),
+//!         Duration::from_millis(2),
+//!     ));
+//! }
+//! let run = spec.run()?;
+//! assert!(run.report().detection_within_bound());
+//! assert!(run.report().views_agree);
+//! // The event stream carries the causal order directly.
+//! let kinds = run.kind_sequence();
+//! assert!(kinds.contains(&"detected") && kinds.contains(&"view-installed"));
+//! # Ok::<(), hades_cluster::SpecError>(())
+//! ```
+
+use crate::events::{ClusterEvent, ClusterRun};
+use crate::middleware::{GroupLoad, MiddlewareConfig, MIDDLEWARE_TASK_BASE};
+use crate::report;
+use crate::scenario::{ModeChangeScript, ScenarioPlan};
+use crate::workload::{ConstantRate, Workload};
+use hades_dispatch::{CostModel, DispatchSim, SimConfig};
+use hades_sched::analysis::rta::{rta_feasible, RtaTask};
+use hades_sched::{edf_feasible, EdfAnalysisConfig, EdfPolicy, ModeChange, Policy};
+use hades_services::actors::{AgentConfig, AgentLog, NodeAgent};
+use hades_services::group::{GroupConfig, GroupLog, ReplicaGroup};
+use hades_services::membership::View;
+use hades_services::ReplicaStyle;
+use hades_sim::mux::ActorId;
+use hades_sim::{KernelModel, LinkConfig, Network, NodeId, SimRng};
+use hades_task::spuri::SpuriTask;
+use hades_task::task::TaskSetError;
+use hades_task::{Task, TaskId, TaskSet};
+use hades_time::{Duration, Time};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// The largest cluster the integrated runtime deploys. The membership
+/// protocols address [`hades_services::memberset::MAX_NODES`] nodes;
+/// the tighter runtime ceiling keeps the reserved task-id tiers
+/// ([`MIDDLEWARE_TASK_BASE`] and up) disjoint.
+pub const MAX_CLUSTER_NODES: u32 = 1_024;
+
+/// One validation finding, naming the service it concerns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecIssue {
+    /// Fewer than two nodes requested.
+    TooFewNodes {
+        /// The requested node count.
+        nodes: u32,
+    },
+    /// More nodes than the runtime deploys.
+    TooManyNodes {
+        /// The requested node count.
+        nodes: u32,
+        /// The runtime ceiling ([`MAX_CLUSTER_NODES`]).
+        max: u32,
+    },
+    /// A replicated service has no members.
+    EmptyMembers {
+        /// The offending service.
+        service: ServiceRef,
+    },
+    /// A replicated service lists the same member twice.
+    DuplicateMember {
+        /// The offending service.
+        service: ServiceRef,
+        /// The repeated member node.
+        node: u32,
+    },
+    /// A replicated service names a member outside the cluster.
+    MemberOutOfRange {
+        /// The offending service.
+        service: ServiceRef,
+        /// The out-of-range member node.
+        node: u32,
+        /// The cluster size.
+        nodes: u32,
+    },
+    /// A service is pinned to a node outside the cluster.
+    NodeOutOfRange {
+        /// The offending service, if the task came from one (scripted
+        /// mode-change introductions carry `None`).
+        service: Option<ServiceRef>,
+        /// The offending node id.
+        node: u32,
+        /// The cluster size.
+        nodes: u32,
+    },
+    /// A task service is registered on one node but one of its
+    /// elementary units is homed on another processor.
+    TaskOffNode {
+        /// The offending service, if the task came from one.
+        service: Option<ServiceRef>,
+        /// The task.
+        task: TaskId,
+        /// The node it was registered on.
+        node: u32,
+    },
+    /// Two application tasks share an id.
+    DuplicateTaskId {
+        /// The offending service, if the task came from one.
+        service: Option<ServiceRef>,
+        /// The shared id.
+        task: TaskId,
+    },
+    /// An application task uses an id reserved for middleware tasks.
+    ReservedTaskId {
+        /// The offending service, if the task came from one.
+        service: Option<ServiceRef>,
+        /// The reserved id.
+        task: TaskId,
+    },
+    /// A workload's admission period (or a periodic service's period) is
+    /// zero — its arrival law would stop virtual time from advancing.
+    ZeroPeriod {
+        /// The offending service.
+        service: ServiceRef,
+    },
+    /// A workload generated a schedule that is not strictly increasing.
+    NonMonotoneWorkload {
+        /// The offending service.
+        service: ServiceRef,
+    },
+    /// A workload generated more requests than the 20-bit request-id
+    /// wire encoding addresses.
+    WorkloadTooLong {
+        /// The offending service.
+        service: ServiceRef,
+        /// The generated request count.
+        requests: u64,
+    },
+    /// A scripted restart cannot be attached to a crash window.
+    RestartWithoutCrash {
+        /// The restarting node.
+        node: u32,
+        /// The scripted restart instant.
+        at: Time,
+    },
+    /// A mode change retires a task id no registered task carries.
+    UnknownRetiredTask {
+        /// The unknown id.
+        task: TaskId,
+    },
+    /// The assembled task set failed validation.
+    InvalidTaskSet(TaskSetError),
+}
+
+/// Which service a [`SpecIssue`] concerns: its index in registration
+/// order and its name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceRef {
+    /// Index in [`ClusterSpec::service`] registration order.
+    pub index: usize,
+    /// The service's name.
+    pub name: String,
+}
+
+impl fmt::Display for ServiceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "service #{} '{}'", self.index, self.name)
+    }
+}
+
+impl fmt::Display for SpecIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let svc = |s: &Option<ServiceRef>| match s {
+            Some(s) => format!("{s}: "),
+            None => "mode-change script: ".to_string(),
+        };
+        match self {
+            SpecIssue::TooFewNodes { nodes } => {
+                write!(f, "a cluster needs at least two nodes, got {nodes}")
+            }
+            SpecIssue::TooManyNodes { nodes, max } => {
+                write!(f, "the runtime deploys at most {max} nodes, got {nodes}")
+            }
+            SpecIssue::EmptyMembers { service } => write!(f, "{service}: no members"),
+            SpecIssue::DuplicateMember { service, node } => {
+                write!(f, "{service}: member {node} listed twice")
+            }
+            SpecIssue::MemberOutOfRange {
+                service,
+                node,
+                nodes,
+            } => write!(
+                f,
+                "{service}: member {node} outside the {nodes}-node cluster"
+            ),
+            SpecIssue::NodeOutOfRange {
+                service,
+                node,
+                nodes,
+            } => write!(
+                f,
+                "{}node {node} outside the {nodes}-node cluster",
+                svc(service)
+            ),
+            SpecIssue::TaskOffNode {
+                service,
+                task,
+                node,
+            } => write!(
+                f,
+                "{}task {task} registered on node {node} has units elsewhere",
+                svc(service)
+            ),
+            SpecIssue::DuplicateTaskId { service, task } => {
+                write!(f, "{}duplicate application task id {task}", svc(service))
+            }
+            SpecIssue::ReservedTaskId { service, task } => write!(
+                f,
+                "{}task id {task} is reserved for middleware (>= {MIDDLEWARE_TASK_BASE})",
+                svc(service)
+            ),
+            SpecIssue::ZeroPeriod { service } => {
+                write!(f, "{service}: zero period/admission rate")
+            }
+            SpecIssue::NonMonotoneWorkload { service } => {
+                write!(f, "{service}: workload instants not strictly increasing")
+            }
+            SpecIssue::WorkloadTooLong { service, requests } => write!(
+                f,
+                "{service}: workload generated {requests} requests (wire encoding caps at 2^20)"
+            ),
+            SpecIssue::RestartWithoutCrash { node, at } => write!(
+                f,
+                "restart of node {node} at {at} is not attached to a crash window"
+            ),
+            SpecIssue::UnknownRetiredTask { task } => {
+                write!(f, "mode change retires unknown application task {task}")
+            }
+            SpecIssue::InvalidTaskSet(e) => write!(f, "invalid cluster task set: {e}"),
+        }
+    }
+}
+
+/// Everything wrong with a deployment spec, collected in one pass so a
+/// spec author sees every per-service diagnostic at once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// The findings, in validation order.
+    pub issues: Vec<SpecIssue>,
+}
+
+impl SpecError {
+    /// The first finding (validation order).
+    pub fn first(&self) -> &SpecIssue {
+        &self.issues[0]
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "invalid deployment spec ({} issue(s)):",
+            self.issues.len()
+        )?;
+        for issue in &self.issues {
+            writeln!(f, "  - {issue}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// What one service deploys.
+#[derive(Debug)]
+enum ServiceKind {
+    /// A replicated group serving a client request stream.
+    Replicated {
+        style: ReplicaStyle,
+        members: Vec<u32>,
+        load: GroupLoad,
+        workload: Box<dyn Workload>,
+    },
+    /// A single-unit periodic application task pinned to one node
+    /// (deadline = period; ids auto-assigned).
+    Periodic {
+        node: u32,
+        wcet: Duration,
+        period: Duration,
+    },
+    /// A raw HEUG application task pinned to one node.
+    Task { node: u32, task: Task },
+}
+
+/// One typed service of a deployment spec.
+///
+/// # Examples
+///
+/// ```
+/// use hades_cluster::{Bursty, GroupLoad, ServiceSpec};
+/// use hades_services::ReplicaStyle;
+/// use hades_time::{Duration, Time};
+///
+/// // A semi-active replicated store driven by a bursty client.
+/// let svc = ServiceSpec::replicated(
+///     "store",
+///     ReplicaStyle::SemiActive,
+///     vec![0, 1, 2],
+///     GroupLoad::default(),
+/// )
+/// .workload(Box::new(Bursty {
+///     burst: 4,
+///     spacing: Duration::from_micros(200),
+///     gap: Duration::from_millis(5),
+///     start: Time::ZERO + Duration::from_millis(1),
+/// }));
+/// assert_eq!(svc.name(), "store");
+/// ```
+#[derive(Debug)]
+pub struct ServiceSpec {
+    name: String,
+    kind: ServiceKind,
+}
+
+impl ServiceSpec {
+    /// A replicated group: `members` run `style`, serving the client
+    /// request stream described by `load` — by default one request per
+    /// [`GroupLoad::request_period`] from
+    /// [`GroupLoad::first_request_at`]; override the stream shape with
+    /// [`ServiceSpec::workload`].
+    pub fn replicated(
+        name: impl Into<String>,
+        style: ReplicaStyle,
+        members: Vec<u32>,
+        load: GroupLoad,
+    ) -> Self {
+        let workload = Box::new(ConstantRate::new(
+            load.request_period,
+            load.first_request_at,
+        ));
+        ServiceSpec {
+            name: name.into(),
+            kind: ServiceKind::Replicated {
+                style,
+                members,
+                load,
+                workload,
+            },
+        }
+    }
+
+    /// Replaces a replicated service's request stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-replicated service — only replicated
+    /// services serve a client request stream.
+    pub fn workload(mut self, workload: Box<dyn Workload>) -> Self {
+        match &mut self.kind {
+            ServiceKind::Replicated { workload: w, .. } => *w = workload,
+            _ => panic!("only replicated services take a workload"),
+        }
+        self
+    }
+
+    /// A single-unit periodic application task on `node`, with deadline
+    /// equal to its period. Task ids are auto-assigned (ascending over
+    /// the spec's periodic services, skipping explicitly taken ids).
+    pub fn periodic(name: impl Into<String>, node: u32, wcet: Duration, period: Duration) -> Self {
+        ServiceSpec {
+            name: name.into(),
+            kind: ServiceKind::Periodic { node, wcet, period },
+        }
+    }
+
+    /// A raw HEUG application task on `node` (every elementary unit must
+    /// be homed on that node's processor).
+    pub fn task(name: impl Into<String>, node: u32, task: Task) -> Self {
+        ServiceSpec {
+            name: name.into(),
+            kind: ServiceKind::Task { node, task },
+        }
+    }
+
+    /// The service's name (appears in diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn service_ref(&self, index: usize) -> ServiceRef {
+        ServiceRef {
+            index,
+            name: self.name.clone(),
+        }
+    }
+}
+
+/// A declarative deployment: platform + typed services, validated as a
+/// whole and lowered onto the integrated multi-node runtime.
+///
+/// See the module-level example for typical use; the old
+/// [`crate::HadesCluster`] builder survives as a thin deprecated shim
+/// over this type.
+#[derive(Debug)]
+pub struct ClusterSpec {
+    nodes: u32,
+    link: LinkConfig,
+    seed: u64,
+    horizon: Duration,
+    policy: Policy,
+    costs: CostModel,
+    kernel: KernelModel,
+    middleware: MiddlewareConfig,
+    scenario: ScenarioPlan,
+    services: Vec<ServiceSpec>,
+}
+
+impl ClusterSpec {
+    /// A deployment of `nodes` nodes with a reliable LAN-ish link, zero
+    /// dispatcher costs, no kernel load, RM scheduling, a 100 ms horizon
+    /// and no services.
+    pub fn new(nodes: u32) -> Self {
+        ClusterSpec {
+            nodes,
+            link: LinkConfig::reliable(Duration::from_micros(10), Duration::from_micros(50)),
+            seed: 0,
+            horizon: Duration::from_millis(100),
+            policy: Policy::default(),
+            costs: CostModel::zero(),
+            kernel: KernelModel::none(),
+            middleware: MiddlewareConfig::default(),
+            scenario: ScenarioPlan::new(),
+            services: Vec::new(),
+        }
+    }
+
+    /// Sets the link model shared by every pair of nodes.
+    pub fn link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Sets the random seed (network delays and execution-time draws).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the simulation horizon.
+    pub fn horizon(mut self, horizon: Duration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Selects the scheduling policy installed on every node.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the dispatcher cost model (Section 4.1 constants).
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Sets the background kernel model (Section 4.2 activities).
+    pub fn kernel(mut self, kernel: KernelModel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Configures the injected middleware activities (the timing model).
+    pub fn middleware(mut self, middleware: MiddlewareConfig) -> Self {
+        self.middleware = middleware;
+        self
+    }
+
+    /// Installs the failure scenario.
+    pub fn scenario(mut self, scenario: ScenarioPlan) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Adds one typed service.
+    pub fn service(mut self, service: ServiceSpec) -> Self {
+        self.services.push(service);
+        self
+    }
+
+    /// The registered services, in registration order.
+    pub fn services(&self) -> &[ServiceSpec] {
+        &self.services
+    }
+
+    /// The Δ of the replicated services' atomic multicast: `δmax + γ`
+    /// for this spec's link model and synchronized-clock precision.
+    pub fn group_delta(&self) -> Duration {
+        self.link.delay_max + self.middleware.clock_precision(&self.link)
+    }
+
+    /// The detection bound `H + T₀ = 2H + δmax + γ` this deployment's
+    /// detector guarantees.
+    pub fn detection_bound(&self) -> Duration {
+        self.agent_config(NodeId(0))
+            .detection_bound(self.link.delay_max)
+    }
+
+    /// The analytic worst-case rejoin latency (restart → re-admission).
+    pub fn rejoin_bound(&self) -> Duration {
+        self.agent_config(NodeId(0))
+            .rejoin_bound(self.link.delay_max)
+    }
+
+    /// The agent configuration installed on `node`.
+    fn agent_config(&self, node: NodeId) -> AgentConfig {
+        AgentConfig {
+            node,
+            nodes: self.nodes,
+            heartbeat_period: self.middleware.heartbeat_period,
+            clock_precision: self.middleware.clock_precision(&self.link),
+            f: self.middleware.f,
+            recovery: self.middleware.recovery,
+            vc_delta_multicast: self.middleware.delta_multicast_vc,
+            vc_attempts: self.middleware.vc_attempts,
+        }
+    }
+
+    /// Validates the whole spec, collecting every finding.
+    ///
+    /// # Errors
+    ///
+    /// A [`SpecError`] listing every [`SpecIssue`] found.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        self.lower().map(|_| ())
+    }
+
+    /// Validates, lowers and runs the deployment.
+    ///
+    /// # Errors
+    ///
+    /// A [`SpecError`] listing every validation finding, or the task-set
+    /// assembly failure.
+    pub fn run(self) -> Result<ClusterRun, SpecError> {
+        let lowered = self.lower()?;
+        lowered.execute()
+    }
+
+    /// Validates the spec and lowers it into the runtime's flat form.
+    fn lower(&self) -> Result<Lowered, SpecError> {
+        let mut issues = Vec::new();
+        if self.nodes < 2 {
+            issues.push(SpecIssue::TooFewNodes { nodes: self.nodes });
+        }
+        if self.nodes > MAX_CLUSTER_NODES {
+            issues.push(SpecIssue::TooManyNodes {
+                nodes: self.nodes,
+                max: MAX_CLUSTER_NODES,
+            });
+        }
+        for (node, at) in self.scenario.orphan_restarts() {
+            issues.push(SpecIssue::RestartWithoutCrash { node: node.0, at });
+        }
+
+        // Explicit task ids first: periodic services skip them when
+        // auto-assigning.
+        let explicit: Vec<TaskId> = self
+            .services
+            .iter()
+            .filter_map(|s| match &s.kind {
+                ServiceKind::Task { task, .. } => Some(task.id),
+                _ => None,
+            })
+            .collect();
+
+        let mut app_tasks: Vec<(Option<ServiceRef>, u32, Task)> = Vec::new();
+        let mut groups: Vec<LoweredGroup> = Vec::new();
+        let mut next_auto = 0u32;
+        for (index, service) in self.services.iter().enumerate() {
+            let sref = service.service_ref(index);
+            match &service.kind {
+                ServiceKind::Replicated {
+                    style,
+                    members,
+                    load,
+                    workload,
+                } => {
+                    if members.is_empty() {
+                        issues.push(SpecIssue::EmptyMembers { service: sref });
+                        continue;
+                    }
+                    let mut sorted = members.clone();
+                    sorted.sort_unstable();
+                    if let Some(dup) = sorted.windows(2).find(|w| w[0] == w[1]) {
+                        issues.push(SpecIssue::DuplicateMember {
+                            service: sref.clone(),
+                            node: dup[0],
+                        });
+                        continue;
+                    }
+                    if let Some(bad) = sorted.iter().find(|m| **m >= self.nodes) {
+                        issues.push(SpecIssue::MemberOutOfRange {
+                            service: sref.clone(),
+                            node: *bad,
+                            nodes: self.nodes,
+                        });
+                        continue;
+                    }
+                    let admission_period = workload.admission_period(self.horizon);
+                    if admission_period.is_zero() {
+                        issues.push(SpecIssue::ZeroPeriod { service: sref });
+                        continue;
+                    }
+                    // Reject over-long streams *before* materializing
+                    // them: at the (peak) admission rate, the horizon
+                    // bounds the request count, so a runaway generator
+                    // is refused without allocating its schedule.
+                    let projected =
+                        self.horizon.as_nanos() / admission_period.as_nanos().max(1) + 1;
+                    if projected >= 1 << 20 {
+                        issues.push(SpecIssue::WorkloadTooLong {
+                            service: sref,
+                            requests: projected,
+                        });
+                        continue;
+                    }
+                    // An empty stream is legal (a standby service); a
+                    // zero-period generator also returns empty and is
+                    // caught by the admission-period check above.
+                    let schedule = workload.request_times(self.horizon);
+                    if !schedule.windows(2).all(|w| w[0] < w[1]) {
+                        issues.push(SpecIssue::NonMonotoneWorkload { service: sref });
+                        continue;
+                    }
+                    if schedule.len() as u64 >= 1 << 20 {
+                        issues.push(SpecIssue::WorkloadTooLong {
+                            service: sref,
+                            requests: schedule.len() as u64,
+                        });
+                        continue;
+                    }
+                    groups.push(LoweredGroup {
+                        style: *style,
+                        members: sorted,
+                        load: *load,
+                        schedule: Rc::new(schedule),
+                        admission_period,
+                    });
+                }
+                ServiceKind::Periodic { node, wcet, period } => {
+                    if period.is_zero() {
+                        issues.push(SpecIssue::ZeroPeriod { service: sref });
+                        continue;
+                    }
+                    while explicit.contains(&TaskId(next_auto)) {
+                        next_auto += 1;
+                    }
+                    let id = TaskId(next_auto);
+                    next_auto += 1;
+                    let task = Task::new(
+                        id,
+                        single_heug(&service.name, *node, *wcet),
+                        hades_task::ArrivalLaw::Periodic(*period),
+                        *period,
+                    );
+                    app_tasks.push((Some(sref), *node, task));
+                }
+                ServiceKind::Task { node, task } => {
+                    app_tasks.push((Some(sref), *node, task.clone()));
+                }
+            }
+        }
+
+        // Scripted mode-change introductions join the task checks.
+        for script in self.scenario.mode_changes() {
+            for (node, task) in &script.introduce {
+                app_tasks.push((None, *node, task.clone()));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (sref, node, task) in &app_tasks {
+            if *node >= self.nodes {
+                issues.push(SpecIssue::NodeOutOfRange {
+                    service: sref.clone(),
+                    node: *node,
+                    nodes: self.nodes,
+                });
+            }
+            if task.id.0 >= MIDDLEWARE_TASK_BASE {
+                issues.push(SpecIssue::ReservedTaskId {
+                    service: sref.clone(),
+                    task: task.id,
+                });
+            }
+            if !seen.insert(task.id) {
+                issues.push(SpecIssue::DuplicateTaskId {
+                    service: sref.clone(),
+                    task: task.id,
+                });
+            }
+            for eu in task.heug.eus() {
+                if eu.processor().0 != *node {
+                    issues.push(SpecIssue::TaskOffNode {
+                        service: sref.clone(),
+                        task: task.id,
+                        node: *node,
+                    });
+                    break;
+                }
+            }
+        }
+        // A mode change may retire an initial application task or one a
+        // previous mode change introduced (multi-phase scripts). The
+        // introduced tasks were appended after the service tasks above,
+        // so `seen` holds every known id — but retire legality is
+        // per-phase: a task may only be retired once known.
+        let mut known_ids: std::collections::HashSet<TaskId> = app_tasks
+            .iter()
+            .filter(|(sref, _, _)| sref.is_some())
+            .map(|(_, _, t)| t.id)
+            .collect();
+        let mut scripts: Vec<&ModeChangeScript> = self.scenario.mode_changes().iter().collect();
+        scripts.sort_by_key(|s| s.at);
+        for script in scripts {
+            for id in &script.retire {
+                if !known_ids.contains(id) {
+                    issues.push(SpecIssue::UnknownRetiredTask { task: *id });
+                }
+            }
+            known_ids.extend(script.introduce.iter().map(|(_, t)| t.id));
+        }
+
+        if !issues.is_empty() {
+            return Err(SpecError { issues });
+        }
+        // Mode-change introductions are re-derived from the scenario at
+        // execution; keep only the service tasks here.
+        let app_tasks = app_tasks
+            .into_iter()
+            .filter(|(sref, _, _)| sref.is_some())
+            .map(|(_, node, task)| (node, task))
+            .collect();
+        Ok(Lowered {
+            nodes: self.nodes,
+            link: self.link,
+            seed: self.seed,
+            horizon: self.horizon,
+            policy: self.policy,
+            costs: self.costs,
+            kernel: self.kernel.clone(),
+            middleware: self.middleware,
+            scenario: self.scenario.clone(),
+            app_tasks,
+            groups,
+        })
+    }
+}
+
+/// One replicated service, lowered: sorted members + materialized
+/// submission schedule.
+#[derive(Debug)]
+struct LoweredGroup {
+    style: ReplicaStyle,
+    members: Vec<u32>,
+    load: GroupLoad,
+    schedule: Rc<Vec<Time>>,
+    admission_period: Duration,
+}
+
+/// The flat runtime form a validated spec lowers into; `execute` is the
+/// engine composition the deprecated builder used to run directly.
+#[derive(Debug)]
+struct Lowered {
+    nodes: u32,
+    link: LinkConfig,
+    seed: u64,
+    horizon: Duration,
+    policy: Policy,
+    costs: CostModel,
+    kernel: KernelModel,
+    middleware: MiddlewareConfig,
+    scenario: ScenarioPlan,
+    app_tasks: Vec<(u32, Task)>,
+    groups: Vec<LoweredGroup>,
+}
+
+impl Lowered {
+    fn agent_config(&self, node: NodeId) -> AgentConfig {
+        AgentConfig {
+            node,
+            nodes: self.nodes,
+            heartbeat_period: self.middleware.heartbeat_period,
+            clock_precision: self.middleware.clock_precision(&self.link),
+            f: self.middleware.f,
+            recovery: self.middleware.recovery,
+            vc_delta_multicast: self.middleware.delta_multicast_vc,
+            vc_attempts: self.middleware.vc_attempts,
+        }
+    }
+
+    fn group_delta(&self) -> Duration {
+        self.link.delay_max + self.middleware.clock_precision(&self.link)
+    }
+
+    /// Builds and runs the deployment, producing the report + events.
+    fn execute(self) -> Result<ClusterRun, SpecError> {
+        let detection_bound = self
+            .agent_config(NodeId(0))
+            .detection_bound(self.link.delay_max);
+        let rejoin_bound = self
+            .agent_config(NodeId(0))
+            .rejoin_bound(self.link.delay_max);
+
+        // ---- assemble the task set: application + mode-change targets +
+        // middleware + per-recovery cost tasks ----
+        let mut origin: BTreeMap<TaskId, (u32, bool)> = BTreeMap::new();
+        let mut tasks: Vec<Task> = Vec::new();
+        for (node, task) in &self.app_tasks {
+            origin.insert(task.id, (*node, false));
+            tasks.push(task.clone());
+        }
+        for script in self.scenario.mode_changes() {
+            for (node, task) in &script.introduce {
+                origin.insert(task.id, (*node, false));
+                tasks.push(task.clone());
+            }
+        }
+        for node in 0..self.nodes {
+            for task in self.middleware.tasks_for(node) {
+                origin.insert(task.id, (node, true));
+                tasks.push(task);
+            }
+        }
+        for (g, group) in self.groups.iter().enumerate() {
+            for (node, task) in self.middleware.group_cost_tasks(
+                g as u32,
+                group.style,
+                &group.members,
+                &group.load,
+                group.admission_period,
+            ) {
+                origin.insert(task.id, (node, true));
+                tasks.push(task);
+            }
+        }
+        // One serving + one installing cost task per scripted restart,
+        // windowed to the rejoin interval so the transfer's CPU overhead
+        // is charged where (and when) it occurs — and, conservatively,
+        // folded into the stationary feasibility analyses.
+        let transfer_span = self.middleware.recovery.transfer_bound(self.link.delay_max);
+        let mut recovery_windows: Vec<(TaskId, Time, Time)> = Vec::new();
+        for (k, (joiner, restart_at)) in self.scenario.matched_restarts().iter().enumerate() {
+            // The protocol's server is the lowest surviving *view member*;
+            // statically we approximate it as the lowest node that is up
+            // at the restart and not itself mid-rejoin (its own restart,
+            // if any, lies at least one rejoin bound in the past).
+            let server = (0..self.nodes).find(|n| {
+                NodeId(*n) != *joiner
+                    && !self.scenario.is_down(NodeId(*n), *restart_at)
+                    && self
+                        .scenario
+                        .down_windows(NodeId(*n))
+                        .iter()
+                        .all(|(c, r)| match r {
+                            Some(r) => *c > *restart_at || *r + rejoin_bound <= *restart_at,
+                            None => *c > *restart_at,
+                        })
+            });
+            let Some(server) = server else { continue };
+            for (node, task) in self
+                .middleware
+                .recovery_cost_tasks(server, joiner.0, k as u32)
+            {
+                origin.insert(task.id, (node, true));
+                recovery_windows.push((task.id, *restart_at, *restart_at + transfer_span));
+                tasks.push(task);
+            }
+        }
+        match self.policy {
+            Policy::RateMonotonic => hades_sched::assign_rm(&mut tasks),
+            Policy::DeadlineMonotonic => hades_sched::assign_dm(&mut tasks),
+            Policy::Edf | Policy::Manual => {}
+        }
+
+        // ---- mode-change transition analysis (Section 5 + Mos94) ----
+        let mode_plans = self.mode_plans();
+
+        // ---- per-node feasibility (naive vs cost-integrated) ----
+        let feasibility: Vec<report::NodeFeasibility> = (0..self.nodes)
+            .map(|node| self.node_feasibility(node, &tasks, &origin))
+            .collect();
+
+        // ---- one shared network + one shared engine ----
+        let net = Network::homogeneous(
+            self.nodes,
+            self.link,
+            SimRng::seed_from(self.seed ^ 0x004E_4554),
+        )
+        .with_fault_plan(self.scenario.fault_plan());
+        let set = TaskSet::new(tasks).map_err(|e| SpecError {
+            issues: vec![SpecIssue::InvalidTaskSet(e)],
+        })?;
+        let mut cfg = SimConfig::ideal(self.horizon);
+        cfg.costs = self.costs;
+        cfg.kernel = self.kernel.clone();
+        cfg.link = self.link;
+        cfg.seed = self.seed;
+        cfg.trace = false;
+        let mut sim = DispatchSim::with_network(set, cfg, net);
+        if self.policy == Policy::Edf {
+            for node in 0..self.nodes {
+                sim.set_policy(node, Box::new(EdfPolicy::new()));
+            }
+        }
+        // A task introduced by one mode change and retired by a later one
+        // gets both window edges; everything else keeps the full run on
+        // its open side.
+        let mut mode_windows: BTreeMap<TaskId, (Time, Time)> = BTreeMap::new();
+        for plan in &mode_plans {
+            for id in &plan.retire {
+                mode_windows.entry(*id).or_insert((Time::ZERO, Time::MAX)).1 = plan.at;
+            }
+            for id in &plan.introduced {
+                mode_windows.entry(*id).or_insert((Time::ZERO, Time::MAX)).0 = plan.release_at;
+            }
+        }
+        for (id, (from, until)) in mode_windows {
+            sim.set_activation_window(id, from, until);
+        }
+        for (id, from, until) in &recovery_windows {
+            sim.set_activation_window(*id, *from, *until);
+        }
+
+        // ---- per-node middleware agents on the same engine ----
+        let logs: Vec<Rc<RefCell<AgentLog>>> = (0..self.nodes)
+            .map(|node| {
+                let (agent, log) = NodeAgent::new(self.agent_config(NodeId(node)));
+                sim.add_actor(Box::new(agent));
+                log
+            })
+            .collect();
+
+        // ---- replication-group members, after the agents (actor ids
+        // 0..nodes belong to the agents, groups follow) ----
+        let delta = self.group_delta();
+        let mut next_actor = self.nodes;
+        let mut group_logs: Vec<Vec<Rc<RefCell<GroupLog>>>> = Vec::new();
+        for (g, group) in self.groups.iter().enumerate() {
+            let peers: Vec<(u32, ActorId)> = group
+                .members
+                .iter()
+                .enumerate()
+                .map(|(i, m)| (*m, ActorId(next_actor + i as u32)))
+                .collect();
+            let mut glogs = Vec::new();
+            for (i, m) in group.members.iter().enumerate() {
+                let (member, glog) = ReplicaGroup::new(
+                    GroupConfig {
+                        group: g as u32,
+                        node: NodeId(*m),
+                        members: group.members.clone(),
+                        style: group.style,
+                        request_period: group.load.request_period,
+                        first_request_at: group.load.first_request_at,
+                        schedule: Some(group.schedule.clone()),
+                        delta,
+                        attempts: group.load.attempts,
+                        peers: peers.clone(),
+                    },
+                    Some(logs[*m as usize].clone()),
+                );
+                let id = sim.add_actor(Box::new(member));
+                assert_eq!(
+                    id, peers[i].1,
+                    "group peer addressing drifted from actor registration order"
+                );
+                glogs.push(glog);
+            }
+            next_actor += group.members.len() as u32;
+            group_logs.push(glogs);
+        }
+
+        let run = sim.run();
+        let network = sim.network_stats();
+
+        // ---- fold everything into the report + event stream ----
+        let mut events: Vec<ClusterEvent> = Vec::new();
+        let (node_reports, miss_events) = self.node_reports(&run, &origin, feasibility);
+        events.extend(miss_events);
+        let (detections, heartbeats_seen) = self.detections(&logs);
+        for d in &detections {
+            events.push(ClusterEvent::Detected {
+                observer: d.observer,
+                suspect: d.suspect,
+                at: d.suspected_at,
+                latency: d.latency,
+            });
+        }
+        let survivors: Vec<u32> = (0..self.nodes)
+            .filter(|n| self.scenario.crash_time(NodeId(*n)).is_none())
+            .collect();
+        let reference_views: Vec<View> = survivors
+            .first()
+            .map(|n| logs[*n as usize].borrow().views.clone())
+            .unwrap_or_default();
+        for v in &reference_views {
+            events.push(ClusterEvent::ViewInstalled {
+                number: v.number,
+                members: v.members.clone(),
+                at: v.installed_at,
+            });
+        }
+        let view_history: Vec<(u32, Vec<u32>)> = reference_views
+            .iter()
+            .map(|v| (v.number, v.members.clone()))
+            .collect();
+        let views_agree = survivors
+            .iter()
+            .all(|n| logs[*n as usize].borrow().view_members() == view_history);
+        let failovers = self.failovers(&logs, &reference_views);
+        for f in &failovers {
+            events.push(ClusterEvent::FailedOver {
+                failed_primary: f.failed_primary,
+                new_primary: f.new_primary,
+                at: f.taken_over_at,
+            });
+        }
+        let recoveries = self.recoveries(&logs);
+        for r in &recoveries {
+            events.push(ClusterEvent::RejoinCompleted {
+                node: r.node,
+                view: r.readmitted_view,
+                at: r.restarted_at + r.rejoin_latency,
+                latency: r.rejoin_latency,
+            });
+        }
+        let mode_changes: Vec<report::ModeChangeRecord> = mode_plans
+            .iter()
+            .map(|p| {
+                let first_new_completion = run
+                    .instances
+                    .iter()
+                    .filter(|i| p.introduced.contains(&i.task))
+                    .filter_map(|i| i.completed)
+                    .min();
+                report::ModeChangeRecord {
+                    at: p.at,
+                    carryover: p.carryover,
+                    immediate_feasible: p.immediate_feasible,
+                    safe_offset: p.safe_offset,
+                    new_mode_released_at: p.release_at,
+                    first_new_completion,
+                    transition_latency: first_new_completion.map_or(p.safe_offset, |f| f - p.at),
+                }
+            })
+            .collect();
+        for m in &mode_changes {
+            events.push(ClusterEvent::ModeChanged {
+                at: m.at,
+                released_at: m.new_mode_released_at,
+            });
+        }
+
+        let groups = self.group_reports(&group_logs, delta);
+        for g in &groups {
+            for h in &g.handoffs {
+                events.push(ClusterEvent::Handoff {
+                    group: h.group,
+                    from: h.from,
+                    to: h.to,
+                    at: h.at,
+                });
+            }
+        }
+        let view_changes = view_history
+            .last()
+            .map(|(number, _)| *number)
+            .unwrap_or_default();
+        let pairs = (self.nodes as u64) * (self.nodes as u64 - 1);
+        let words = hades_services::MemberSet::wire_words(self.nodes) as u64;
+        let view_change = report::ViewChangeStats {
+            transport: if self.middleware.delta_multicast_vc {
+                "delta-multicast"
+            } else {
+                "flood"
+            },
+            messages: logs.iter().map(|l| l.borrow().vc_messages_sent).sum(),
+            view_changes,
+            flood_equivalent: (self.middleware.f as u64 + 1) * pairs * words * view_changes as u64,
+            multicast_equivalent: pairs * words * view_changes as u64,
+        };
+        let join_retries = logs.iter().map(|l| l.borrow().join_retries).sum();
+
+        let report = report::ClusterReport {
+            nodes: self.nodes,
+            seed: self.seed,
+            finished_at: run.finished_at,
+            node_reports,
+            detections,
+            detection_bound,
+            view_history,
+            views_agree,
+            failovers,
+            recoveries,
+            scripted_rejoins: self.scenario.matched_restarts().len() as u32,
+            rejoin_bound,
+            mode_changes,
+            groups,
+            view_change,
+            join_retries,
+            heartbeats_seen,
+            network,
+            scheduler_cpu: run.scheduler_cpu,
+            kernel_cpu: run.kernel_cpu,
+        };
+        Ok(ClusterRun::new(report, events))
+    }
+
+    /// Folds every group's member logs into its report section.
+    fn group_reports(
+        &self,
+        group_logs: &[Vec<Rc<RefCell<GroupLog>>>],
+        delta: Duration,
+    ) -> Vec<report::GroupReport> {
+        let mut out = Vec::new();
+        for (g, (group, glogs)) in self.groups.iter().zip(group_logs.iter()).enumerate() {
+            let logs: Vec<GroupLog> = glogs.iter().map(|l| l.borrow().clone()).collect();
+            // Reference order: the first member never scripted down;
+            // when every member restarted at some point, the longest
+            // delivery log stands in (identical full sequences cannot be
+            // demanded of restarted members, so agreement then means
+            // subsequence consistency, never a vacuous true).
+            let full_time: Vec<usize> = group
+                .members
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| self.scenario.down_windows(NodeId(**m)).is_empty())
+                .map(|(i, _)| i)
+                .collect();
+            let reference_idx = full_time.first().copied().unwrap_or_else(|| {
+                (0..logs.len())
+                    .max_by_key(|i| logs[*i].delivered.len())
+                    .unwrap_or(0)
+            });
+            let reference = logs[reference_idx].delivery_order();
+            let order_consistent = logs.iter().all(|l| l.order_consistent_with(&reference));
+            let order_agreement = if full_time.is_empty() {
+                order_consistent
+            } else {
+                full_time
+                    .iter()
+                    .all(|i| logs[*i].delivery_order() == reference)
+            };
+            // First submission and first client-visible output per id.
+            let mut submitted_at: BTreeMap<u64, Time> = BTreeMap::new();
+            let mut output_at: BTreeMap<u64, Time> = BTreeMap::new();
+            let mut emissions = 0u64;
+            for log in &logs {
+                for (id, at) in &log.submitted {
+                    let e = submitted_at.entry(*id).or_insert(*at);
+                    *e = (*e).min(*at);
+                }
+                for (id, at) in &log.emitted {
+                    emissions += 1;
+                    let e = output_at.entry(*id).or_insert(*at);
+                    *e = (*e).min(*at);
+                }
+            }
+            let outputs = output_at.len() as u64;
+            let output_bound = delta + self.link.delay_max;
+            let mut on_time = 0u64;
+            let mut delayed = 0u64;
+            let mut worst: Option<Duration> = None;
+            for (id, at) in &output_at {
+                let Some(sub) = submitted_at.get(id) else {
+                    continue;
+                };
+                let latency = *at - *sub;
+                worst = Some(worst.map_or(latency, |w| w.max(latency)));
+                if latency <= output_bound {
+                    on_time += 1;
+                } else {
+                    delayed += 1;
+                }
+            }
+            // Client-visible duplicates: surplus emissions for active
+            // replication are the redundant copies the voter absorbs
+            // (the members' own per-vote suppression counters observe
+            // each copy multiple times and would overstate it), not
+            // duplicates.
+            let surplus = emissions - outputs;
+            let (duplicate_outputs, duplicates_suppressed) = match group.style {
+                ReplicaStyle::Active => (0, surplus),
+                _ => (surplus, logs.iter().map(|l| l.suppressed).sum()),
+            };
+            let mut handoffs: Vec<report::GroupHandoff> = logs
+                .iter()
+                .flat_map(|l| {
+                    l.handoffs
+                        .iter()
+                        .map(|(from, to, at)| report::GroupHandoff {
+                            group: g as u32,
+                            from: *from,
+                            to: *to,
+                            at: *at,
+                        })
+                })
+                .collect();
+            handoffs.sort_by_key(|h| (h.at, h.to));
+            out.push(report::GroupReport {
+                group: g as u32,
+                style_name: group.style.name(),
+                members: group.members.clone(),
+                submitted: submitted_at.len() as u64,
+                delivered: reference.len() as u64,
+                order_agreement,
+                order_consistent,
+                outputs,
+                duplicate_outputs,
+                duplicates_suppressed,
+                handoffs,
+                delivery_bound: delta,
+                output_bound,
+                on_time_outputs: on_time,
+                delayed_outputs: delayed,
+                worst_latency: worst,
+                messages: logs.iter().map(|l| l.messages_sent).sum(),
+                replayed: logs.iter().map(|l| l.replayed).sum(),
+                catchups: logs.iter().map(|l| l.catchups).sum(),
+                vote_mismatches: logs.iter().map(|l| l.vote_mismatches).sum(),
+            });
+        }
+        out
+    }
+
+    /// Analyzes every scripted mode change: per affected node, the
+    /// retiring tasks' carry-over against the entering tasks' demand
+    /// (cost-integrated), yielding the safe release offset the runtime
+    /// applies.
+    fn mode_plans(&self) -> Vec<ModePlan> {
+        let integrated_cfg = EdfAnalysisConfig::with_platform(self.costs, self.kernel.clone());
+        // Retired tasks may come from the initial application set or from
+        // an earlier mode change's introductions.
+        let known: Vec<&Task> = self
+            .app_tasks
+            .iter()
+            .map(|(_, t)| t)
+            .chain(
+                self.scenario
+                    .mode_changes()
+                    .iter()
+                    .flat_map(|s| s.introduce.iter().map(|(_, t)| t)),
+            )
+            .collect();
+        self.scenario
+            .mode_changes()
+            .iter()
+            .map(|script| {
+                let retired: Vec<&Task> = known
+                    .iter()
+                    .copied()
+                    .filter(|t| script.retire.contains(&t.id))
+                    .collect();
+                let mut affected: Vec<u32> = retired
+                    .iter()
+                    .filter_map(|t| t.heug.eus().first().map(|e| e.processor().0))
+                    .chain(script.introduce.iter().map(|(n, _)| *n))
+                    .collect();
+                affected.sort_unstable();
+                affected.dedup();
+                let mut carryover = Duration::ZERO;
+                let mut immediate_feasible = true;
+                let mut safe_offset = Duration::ZERO;
+                for node in affected {
+                    let old: Vec<SpuriTask> = retired
+                        .iter()
+                        .filter(|t| {
+                            t.heug
+                                .eus()
+                                .first()
+                                .is_some_and(|e| e.processor().0 == node)
+                        })
+                        .filter_map(|t| spuri_of(t, node))
+                        .collect();
+                    let new: Vec<SpuriTask> = script
+                        .introduce
+                        .iter()
+                        .filter(|(n, _)| *n == node)
+                        .filter_map(|(n, t)| spuri_of(t, *n))
+                        .collect();
+                    let r = ModeChange::new(old, new).analyze(&integrated_cfg);
+                    carryover = carryover.saturating_add(r.carryover);
+                    immediate_feasible &= r.immediate_feasible;
+                    safe_offset = safe_offset.max(r.safe_offset);
+                }
+                let release_at = if safe_offset == Duration::MAX {
+                    Time::MAX // infeasible new mode: never released
+                } else {
+                    (script.at + safe_offset).min(Time::MAX)
+                };
+                ModePlan {
+                    at: script.at,
+                    release_at,
+                    retire: script.retire.clone(),
+                    introduced: script.introduce.iter().map(|(_, t)| t.id).collect(),
+                    carryover,
+                    immediate_feasible,
+                    safe_offset,
+                }
+            })
+            .collect()
+    }
+
+    /// Joins each completed rejoin cycle with its scripted down window and
+    /// the survivors' first detection of the crash.
+    fn recoveries(&self, logs: &[Rc<RefCell<AgentLog>>]) -> Vec<report::RecoveryRecord> {
+        let mut out = Vec::new();
+        for node in 0..self.nodes {
+            let windows = self.scenario.down_windows(NodeId(node));
+            let rejoins = logs[node as usize].borrow().rejoins.clone();
+            for rj in rejoins {
+                let Some((crashed_at, _)) = windows
+                    .iter()
+                    .find(|(_, r)| *r == Some(rj.restarted_at))
+                    .copied()
+                else {
+                    continue;
+                };
+                let detected_at = logs
+                    .iter()
+                    .enumerate()
+                    .filter(|(observer, _)| *observer != node as usize)
+                    .filter_map(|(_, l)| {
+                        l.borrow()
+                            .suspicions
+                            .iter()
+                            .filter(|(suspect, at)| {
+                                *suspect == node && *at >= crashed_at && *at < rj.restarted_at
+                            })
+                            .map(|(_, at)| *at)
+                            .min()
+                    })
+                    .min();
+                out.push(report::RecoveryRecord {
+                    node,
+                    crashed_at,
+                    restarted_at: rj.restarted_at,
+                    detected_at,
+                    detect_latency: detected_at.map(|d| d - crashed_at),
+                    announce_latency: rj.announce_latency(),
+                    transfer_latency: rj.transfer_latency(),
+                    readmit_latency: rj.readmit_latency(),
+                    rejoin_latency: rj.latency(),
+                    readmitted_view: rj.view,
+                    views_traversed: rj.views_traversed,
+                    bytes_transferred: rj.bytes,
+                    chunks: rj.chunks,
+                    log_entries_replayed: rj.log_entries,
+                });
+            }
+        }
+        out.sort_by_key(|r| (r.restarted_at, r.node));
+        out
+    }
+
+    fn node_feasibility(
+        &self,
+        node: u32,
+        tasks: &[Task],
+        origin: &BTreeMap<TaskId, (u32, bool)>,
+    ) -> report::NodeFeasibility {
+        let mut spuri: Vec<SpuriTask> = Vec::new();
+        let mut app_util = 0u32;
+        let mut mw_util = 0u32;
+        for task in tasks {
+            let Some((home, is_mw)) = origin.get(&task.id) else {
+                continue;
+            };
+            if *home != node {
+                continue;
+            }
+            let Some(period) = task.arrival.min_separation() else {
+                continue;
+            };
+            let c = task.wcet();
+            let permille = (c.as_nanos() * 1000 / period.as_nanos().max(1)) as u32;
+            if *is_mw {
+                mw_util += permille;
+            } else {
+                app_util += permille;
+            }
+            spuri.push(SpuriTask::independent(
+                task.id,
+                format!("n{node}.{}", task.name()),
+                c,
+                task.deadline,
+                period,
+            ));
+        }
+        // Utilization figures come from the EDF demand analysis (they are
+        // load measures, not verdicts); the feasibility verdicts use the
+        // test matching the installed policy.
+        let integrated_cfg = EdfAnalysisConfig::with_platform(self.costs, self.kernel.clone());
+        let integrated = edf_feasible(&spuri, &integrated_cfg);
+        let (naive_feasible, integrated_feasible) = match self.policy {
+            Policy::RateMonotonic | Policy::DeadlineMonotonic => {
+                // Response-time analysis over the fixed-priority order the
+                // policy installs (RM: by period; DM: by deadline).
+                let mut rta: Vec<RtaTask> = spuri
+                    .iter()
+                    .map(|t| RtaTask {
+                        c: t.total_c(),
+                        period: t.pseudo_period,
+                        deadline: t.deadline,
+                        blocking: Duration::ZERO,
+                    })
+                    .collect();
+                match self.policy {
+                    Policy::RateMonotonic => rta.sort_by_key(|t| t.period),
+                    _ => rta.sort_by_key(|t| t.deadline),
+                }
+                (
+                    rta_feasible(&rta, &CostModel::zero(), &KernelModel::none()).feasible,
+                    rta_feasible(&rta, &self.costs, &self.kernel).feasible,
+                )
+            }
+            Policy::Edf | Policy::Manual => (
+                edf_feasible(&spuri, &EdfAnalysisConfig::naive()).feasible,
+                integrated.feasible,
+            ),
+        };
+        report::NodeFeasibility {
+            naive_feasible,
+            integrated_feasible,
+            app_utilization_permille: app_util,
+            middleware_utilization_permille: mw_util,
+            inflated_utilization_permille: (integrated.utilization * 1000.0).round() as u32,
+        }
+    }
+
+    fn node_reports(
+        &self,
+        run: &hades_dispatch::RunReport,
+        origin: &BTreeMap<TaskId, (u32, bool)>,
+        feasibility: Vec<report::NodeFeasibility>,
+    ) -> (Vec<report::NodeReport>, Vec<ClusterEvent>) {
+        let mut reports: Vec<report::NodeReport> = feasibility
+            .into_iter()
+            .enumerate()
+            .map(|(node, feasibility)| report::NodeReport {
+                node: node as u32,
+                crashed_at: self.scenario.crash_time(NodeId(node as u32)),
+                restarted_at: self.scenario.restart_time(NodeId(node as u32)),
+                app_instances: 0,
+                app_misses: 0,
+                middleware_instances: 0,
+                middleware_misses: 0,
+                worst_app_response: None,
+                feasibility,
+            })
+            .collect();
+        let mut misses: Vec<ClusterEvent> = Vec::new();
+        let down_windows: Vec<Vec<(Time, Option<Time>)>> = (0..self.nodes)
+            .map(|n| self.scenario.down_windows(NodeId(n)))
+            .collect();
+        for inst in &run.instances {
+            let Some((node, is_mw)) = origin.get(&inst.task) else {
+                continue;
+            };
+            // Account only live spans: an instance interrupted by its
+            // node's crash window is a casualty of the crash (recorded by
+            // the recovery machinery), not a scheduling outcome. An
+            // instance whose fate was settled before the crash — on-time
+            // completion or a miss at its deadline — still counts; only
+            // the span up to that settling instant must be up.
+            let settled = inst
+                .completed
+                .map_or(inst.deadline, |c| c.min(inst.deadline));
+            if ScenarioPlan::windows_overlap(&down_windows[*node as usize], inst.activated, settled)
+            {
+                continue;
+            }
+            let r = &mut reports[*node as usize];
+            if *is_mw {
+                r.middleware_instances += 1;
+                r.middleware_misses += inst.missed as u64;
+            } else {
+                r.app_instances += 1;
+                r.app_misses += inst.missed as u64;
+                if let Some(rt) = inst.response_time() {
+                    r.worst_app_response = Some(r.worst_app_response.map_or(rt, |w| w.max(rt)));
+                }
+            }
+            if inst.missed {
+                misses.push(ClusterEvent::DeadlineMiss {
+                    node: *node,
+                    task: inst.task,
+                    middleware: *is_mw,
+                    at: inst.deadline,
+                });
+            }
+        }
+        (reports, misses)
+    }
+
+    fn detections(&self, logs: &[Rc<RefCell<AgentLog>>]) -> (Vec<report::DetectionRecord>, u64) {
+        let mut detections = Vec::new();
+        let mut heartbeats = 0;
+        for log in logs {
+            let log = log.borrow();
+            heartbeats += log.heartbeats_seen;
+            for (suspect, at) in &log.suspicions {
+                // A suspicion is a detection only when it lands inside a
+                // scripted down window of the suspect; raised before the
+                // crash or after the restart, it is a false suspicion and
+                // must not masquerade as a zero-latency success.
+                let windows = self.scenario.down_windows(NodeId(*suspect));
+                let covering = windows
+                    .iter()
+                    .find(|(c, r)| *at >= *c && r.is_none_or(|r| *at < r))
+                    .map(|(c, _)| *c);
+                let crashed_at = covering.or_else(|| self.scenario.crash_time(NodeId(*suspect)));
+                let latency = covering.map(|c| *at - c);
+                detections.push(report::DetectionRecord {
+                    suspect: *suspect,
+                    observer: log.node,
+                    crashed_at,
+                    suspected_at: *at,
+                    latency,
+                });
+            }
+        }
+        detections.sort_by_key(|d| (d.suspected_at, d.observer, d.suspect));
+        (detections, heartbeats)
+    }
+
+    fn failovers(
+        &self,
+        logs: &[Rc<RefCell<AgentLog>>],
+        reference_views: &[View],
+    ) -> Vec<report::FailoverRecord> {
+        let mut failovers = Vec::new();
+        for (crashed, crash_at) in self.scenario.crashes() {
+            // The view in force when the crash happened, per the reference
+            // history.
+            let Some(current) = reference_views
+                .iter()
+                .rfind(|v| v.installed_at <= *crash_at)
+            else {
+                continue;
+            };
+            if current.members.first() != Some(&crashed.0) {
+                continue; // not the primary: no failover
+            }
+            let Some(next) = reference_views
+                .iter()
+                .find(|v| v.number == current.number + 1)
+            else {
+                continue; // no successor view observed
+            };
+            let Some(&new_primary) = next.members.first() else {
+                continue;
+            };
+            // Takeover is effective when the *new primary itself* installs
+            // the promoting view.
+            let taken_over_at = logs[new_primary as usize]
+                .borrow()
+                .views
+                .iter()
+                .find(|v| v.number == next.number)
+                .map(|v| v.installed_at)
+                .unwrap_or(next.installed_at);
+            failovers.push(report::FailoverRecord {
+                failed_primary: crashed.0,
+                crashed_at: *crash_at,
+                new_primary,
+                taken_over_at,
+                latency: taken_over_at - *crash_at,
+            });
+        }
+        failovers
+    }
+}
+
+/// One analyzed mode change, as applied by the runtime.
+#[derive(Debug, Clone)]
+struct ModePlan {
+    at: Time,
+    release_at: Time,
+    retire: Vec<TaskId>,
+    introduced: Vec<TaskId>,
+    carryover: Duration,
+    immediate_feasible: bool,
+    safe_offset: Duration,
+}
+
+/// The Spuri view of a single-node task, for the transition analysis.
+fn spuri_of(task: &Task, node: u32) -> Option<SpuriTask> {
+    let period = task.arrival.min_separation()?;
+    Some(SpuriTask::independent(
+        task.id,
+        format!("n{node}.{}", task.name()),
+        task.wcet(),
+        task.deadline,
+        period,
+    ))
+}
+
+/// Builds the single-unit HEUG of a convenience task.
+pub(crate) fn single_heug(name: &str, node: u32, wcet: Duration) -> hades_task::Heug {
+    hades_task::Heug::single(hades_task::CodeEu::new(
+        name,
+        wcet,
+        hades_task::ProcessorId(node),
+    ))
+    .expect("single-unit HEUG cannot fail validation")
+}

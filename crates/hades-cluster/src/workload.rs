@@ -1,0 +1,257 @@
+//! Request-stream workloads for replicated services.
+//!
+//! A [`crate::ServiceSpec`] separates *what* a replicated service is
+//! (style, members, per-request cost) from *how* clients drive it. A
+//! [`Workload`] is the latter: a deterministic generator of request
+//! submission instants that the deployment spec lowers into the
+//! [`hades_services::group::ReplicaGroup`] gateway's submission schedule.
+//! Opening a new traffic shape therefore means implementing this trait —
+//! not editing the cluster core.
+//!
+//! Three generators ship with the crate:
+//!
+//! * [`ConstantRate`] — the classic open-loop periodic stream;
+//! * [`Bursty`] — an open-loop on/off source (bursts of back-to-back
+//!   requests separated by idle gaps);
+//! * [`TraceReplay`] — replay of an explicit, recorded instant list.
+//!
+//! [`ClosedLoop`] approximates a closed-loop client (next request issued
+//! one think time after the previous response) with the analytic
+//! response bound substituted for the unobservable per-request response.
+
+use hades_time::{Duration, Time};
+use std::fmt;
+
+/// A deterministic request-stream generator.
+///
+/// Implementations must return **strictly increasing** submission
+/// instants, all inside `[Time::ZERO, Time::ZERO + horizon)`; the spec
+/// validation rejects schedules violating either rule with a typed
+/// [`crate::SpecIssue`]. Request `k` of the service is submitted at the
+/// `k`-th returned instant.
+pub trait Workload: fmt::Debug {
+    /// The submission instants of the whole run.
+    fn request_times(&self, horizon: Duration) -> Vec<Time>;
+
+    /// The per-request arrival period admission control charges for the
+    /// service's execution cost tasks — the (peak) rate the feasibility
+    /// analyses must budget for. Must be positive.
+    fn admission_period(&self, horizon: Duration) -> Duration;
+}
+
+/// Open-loop constant-rate stream: one request every `period`, starting
+/// at `start`.
+///
+/// # Examples
+///
+/// ```
+/// use hades_cluster::{ConstantRate, Workload};
+/// use hades_time::{Duration, Time};
+///
+/// let w = ConstantRate::new(Duration::from_millis(1), Time::ZERO + Duration::from_millis(1));
+/// let times = w.request_times(Duration::from_millis(4));
+/// assert_eq!(times.len(), 3, "requests at 1, 2 and 3 ms");
+/// assert_eq!(w.admission_period(Duration::from_millis(4)), Duration::from_millis(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstantRate {
+    /// Inter-request period.
+    pub period: Duration,
+    /// First submission instant.
+    pub start: Time,
+}
+
+impl ConstantRate {
+    /// A stream of one request per `period` starting at `start`.
+    pub fn new(period: Duration, start: Time) -> Self {
+        ConstantRate { period, start }
+    }
+}
+
+impl Workload for ConstantRate {
+    fn request_times(&self, horizon: Duration) -> Vec<Time> {
+        let end = Time::ZERO + horizon;
+        if self.period.is_zero() {
+            return Vec::new(); // rejected by spec validation
+        }
+        let mut out = Vec::new();
+        let mut t = self.start;
+        while t < end {
+            out.push(t);
+            t += self.period;
+        }
+        out
+    }
+
+    fn admission_period(&self, _horizon: Duration) -> Duration {
+        self.period
+    }
+}
+
+/// Open-loop on/off source: bursts of `burst` requests spaced `spacing`
+/// apart, one burst every `gap` (start-to-start), beginning at `start`.
+///
+/// Admission is charged at the *peak* rate (`spacing`), so a feasibility
+/// verdict holds through the bursts, not only on long-run average.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bursty {
+    /// Requests per burst (≥ 1).
+    pub burst: u32,
+    /// Intra-burst spacing.
+    pub spacing: Duration,
+    /// Burst period (start of one burst to start of the next); must
+    /// cover the burst itself (`gap ≥ burst · spacing`).
+    pub gap: Duration,
+    /// First burst's first request.
+    pub start: Time,
+}
+
+impl Workload for Bursty {
+    fn request_times(&self, horizon: Duration) -> Vec<Time> {
+        let end = Time::ZERO + horizon;
+        if self.spacing.is_zero() || self.gap.is_zero() || self.burst == 0 {
+            return Vec::new(); // rejected by spec validation
+        }
+        let mut out = Vec::new();
+        let mut burst_start = self.start;
+        while burst_start < end {
+            for i in 0..self.burst {
+                let t = burst_start + self.spacing.saturating_mul(i as u64);
+                if t < end {
+                    out.push(t);
+                }
+            }
+            burst_start += self.gap;
+        }
+        out
+    }
+
+    fn admission_period(&self, _horizon: Duration) -> Duration {
+        self.spacing
+    }
+}
+
+/// Replay of an explicit submission-instant trace (already strictly
+/// increasing); instants at or past the horizon are dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReplay {
+    /// The recorded submission instants, strictly increasing.
+    pub times: Vec<Time>,
+}
+
+impl TraceReplay {
+    /// Replays `times` (must be strictly increasing).
+    pub fn new(times: Vec<Time>) -> Self {
+        TraceReplay { times }
+    }
+}
+
+impl Workload for TraceReplay {
+    fn request_times(&self, horizon: Duration) -> Vec<Time> {
+        let end = Time::ZERO + horizon;
+        self.times.iter().copied().filter(|t| *t < end).collect()
+    }
+
+    fn admission_period(&self, horizon: Duration) -> Duration {
+        // Peak rate of the trace: the minimum separation between
+        // consecutive replayed instants (1 µs floor so a degenerate
+        // trace cannot demand an infinite-rate cost task).
+        self.request_times(horizon)
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .min()
+            .unwrap_or(Duration::from_millis(1))
+            .max(Duration::from_micros(1))
+    }
+}
+
+/// Closed-loop client approximation: the client issues the next request
+/// one `think` time after the previous *response*. The response instant
+/// is not observable at schedule-generation time, so the analytic
+/// client-visible bound `Δ + δmax` (passed as `response_bound`) stands
+/// in — the resulting constant period `think + response_bound` is the
+/// closed loop's worst-case (slowest) cycle, which is the conservative
+/// choice for admission and a faithful one for steady state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClosedLoop {
+    /// Client think time between response and next request.
+    pub think: Duration,
+    /// The analytic response bound substituted for the actual response
+    /// (`ClusterSpec::group_delta() + δmax` for an in-cluster service).
+    pub response_bound: Duration,
+    /// First submission instant.
+    pub start: Time,
+}
+
+impl Workload for ClosedLoop {
+    fn request_times(&self, horizon: Duration) -> Vec<Time> {
+        ConstantRate::new(self.think + self.response_bound, self.start).request_times(horizon)
+    }
+
+    fn admission_period(&self, _horizon: Duration) -> Duration {
+        self.think + self.response_bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn constant_rate_fills_the_horizon() {
+        let w = ConstantRate::new(ms(2), Time::ZERO + ms(1));
+        let times = w.request_times(ms(10));
+        assert_eq!(times.len(), 5);
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        assert!(times.iter().all(|t| *t < Time::ZERO + ms(10)));
+    }
+
+    #[test]
+    fn bursty_emits_bursts_and_charges_peak_rate() {
+        let w = Bursty {
+            burst: 3,
+            spacing: us(100),
+            gap: ms(5),
+            start: Time::ZERO + ms(1),
+        };
+        let times = w.request_times(ms(11));
+        assert_eq!(times.len(), 6, "two full bursts fit");
+        assert_eq!(times[1] - times[0], us(100));
+        assert_eq!(times[3] - times[0], ms(5));
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(w.admission_period(ms(11)), us(100), "peak, not average");
+    }
+
+    #[test]
+    fn trace_replay_clips_to_horizon_and_reports_min_separation() {
+        let w = TraceReplay::new(vec![
+            Time::ZERO + ms(1),
+            Time::ZERO + ms(2),
+            Time::ZERO + ms(2) + us(300),
+            Time::ZERO + ms(50),
+        ]);
+        let times = w.request_times(ms(10));
+        assert_eq!(times.len(), 3, "the 50 ms instant is past the horizon");
+        assert_eq!(w.admission_period(ms(10)), us(300));
+    }
+
+    #[test]
+    fn closed_loop_period_is_think_plus_response_bound() {
+        let w = ClosedLoop {
+            think: ms(1),
+            response_bound: us(100),
+            start: Time::ZERO + ms(1),
+        };
+        assert_eq!(w.admission_period(ms(10)), ms(1) + us(100));
+        let times = w.request_times(ms(10));
+        assert_eq!(times[1] - times[0], ms(1) + us(100));
+    }
+}

@@ -30,14 +30,22 @@
 //!   (size-proportional cost), the joiner replays the log tail locally
 //!   and a view change re-admits it to membership.
 //!
+//! Membership travels as a [`MemberSet`]: proposals and transfer
+//! preambles ship the set as independent 32-bit wire words (one message
+//! per word), which is sound because every membership merge rule is
+//! bitwise and can be applied word by word. The old single-`u64` packing
+//! capped clusters at 48 nodes; the word-chunked encoding addresses
+//! [`crate::memberset::MAX_NODES`].
+//!
 //! Every externally visible transition is appended to a shared
 //! [`AgentLog`] the embedding runtime reads back after the run. The agent
 //! assumes crashes are separated by more than one detection + agreement
 //! window (the paper's bounded-failure model); overlapping failures keep
-//! safety of the masks but may skip view numbers on some nodes, and a
+//! safety of the sets but may skip view numbers on some nodes, and a
 //! state transfer whose server dies mid-stream stalls until the next
 //! failure-free window.
 
+use crate::memberset::{MemberSet, MAX_NODES};
 use crate::membership::View;
 use crate::recovery::{RecoveryConfig, RejoinRecord};
 use hades_sim::mux::{ActorCtx, ActorEvent, ActorId, NetActor};
@@ -49,7 +57,8 @@ use std::rc::Rc;
 
 /// Message kind: heartbeat.
 const MSG_HB: u64 = 1;
-/// Message kind: view-change proposal (payload = view number + mask).
+/// Message kind: one wire word of a view-change proposal (payload =
+/// target view + word index + word bits).
 const MSG_VC: u64 = 2;
 /// Message kind: join request from a restarted node (payload = epoch).
 const MSG_JOIN: u64 = 3;
@@ -58,7 +67,8 @@ const MSG_CKPT: u64 = 4;
 /// Message kind: transfer preamble, part 1 (epoch + log tail + view
 /// number).
 const MSG_SYNC: u64 = 5;
-/// Message kind: transfer preamble, part 2 (epoch + membership mask).
+/// Message kind: transfer preamble, part 2 — one wire word of the
+/// membership set (epoch + word index + word bits).
 const MSG_MASK: u64 = 6;
 
 /// Timer kinds (upper 4 bits of the tag; dispatch is on `tag >> 60`).
@@ -94,12 +104,18 @@ fn replay_tag(epoch: u64) -> u64 {
     tag(KIND_REPLAY, epoch & 0xFFFF)
 }
 
-fn vc_payload(target: u32, mask: u64) -> u64 {
-    ((target as u64) << 48) | mask
+/// View-change word: target view (16 bits) | word index (8 bits) | word
+/// bits (32 bits).
+fn vc_payload(target: u32, widx: u32, bits: u32) -> u64 {
+    ((target as u64 & 0xFFFF) << 48) | ((widx as u64 & 0xFF) << 32) | bits as u64
 }
 
-fn vc_decode(payload: u64) -> (u32, u64) {
-    ((payload >> 48) as u32, payload & ((1 << 48) - 1))
+fn vc_decode(payload: u64) -> (u32, u32, u32) {
+    (
+        ((payload >> 48) & 0xFFFF) as u32,
+        ((payload >> 32) & 0xFF) as u32,
+        payload as u32,
+    )
 }
 
 fn sync_payload(epoch: u64, log_tail: u64, view: u32) -> u64 {
@@ -126,12 +142,18 @@ fn ckpt_decode(payload: u64) -> (u64, u64, u64) {
     )
 }
 
-fn mask_payload(epoch: u64, mask: u64) -> u64 {
-    ((epoch & 0xFFFF) << 48) | (mask & ((1 << 48) - 1))
+/// Membership word of a transfer preamble: epoch (16 bits) | word index
+/// (8 bits) | word bits (32 bits).
+fn mask_payload(epoch: u64, widx: u32, bits: u32) -> u64 {
+    ((epoch & 0xFFFF) << 48) | ((widx as u64 & 0xFF) << 32) | bits as u64
 }
 
-fn mask_decode(payload: u64) -> (u64, u64) {
-    ((payload >> 48) & 0xFFFF, payload & ((1 << 48) - 1))
+fn mask_decode(payload: u64) -> (u64, u32, u32) {
+    (
+        (payload >> 48) & 0xFFFF,
+        ((payload >> 32) & 0xFF) as u32,
+        payload as u32,
+    )
 }
 
 /// Static configuration of one node's agent.
@@ -156,6 +178,12 @@ pub struct AgentConfig {
     /// FloodSet-style `f + 1`-round rebroadcast. Same agreement bound,
     /// `O(n²)` messages per change instead of `O((f+1)·n²)`.
     pub vc_delta_multicast: bool,
+    /// Per-link redundant-transmission budget of the Δ-multicast
+    /// view-change transport: each proposal copy is retried up to
+    /// `vc_attempts − 1` extra times when the network omits it, so the
+    /// cheap transport also survives lossy links (the flood transport
+    /// has round-level redundancy instead and always sends single-shot).
+    pub vc_attempts: u32,
 }
 
 impl AgentConfig {
@@ -191,6 +219,11 @@ impl AgentConfig {
             .saturating_add(self.recovery.transfer_bound(max_delay))
             .saturating_add(self.agreement_bound(max_delay))
     }
+
+    /// Number of 32-bit wire words a membership of this cluster takes.
+    fn wire_words(&self) -> u32 {
+        MemberSet::wire_words(self.nodes)
+    }
 }
 
 /// Everything one agent observed and decided, readable after the run.
@@ -216,7 +249,8 @@ pub struct AgentLog {
     /// State-transfer chunks this node sent.
     pub chunks_sent: u64,
     /// View-change proposal messages this node sent (flood rebroadcasts
-    /// included), for the flood-vs-Δ-multicast complexity comparison.
+    /// and per-word copies included), for the flood-vs-Δ-multicast
+    /// complexity comparison.
     pub vc_messages_sent: u64,
     /// JOIN/preamble retransmissions this node issued while rejoining
     /// (lossy-link masking on the heartbeat cadence).
@@ -256,25 +290,25 @@ impl AgentLog {
 }
 
 /// An in-flight view change.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Change {
     target: u32,
-    proposal: u64,
+    proposal: MemberSet,
 }
 
 /// An outbound state transfer in progress (server side).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Transfer {
     to: u32,
     to_epoch: u64,
     total: u64,
     next: u64,
     /// The preamble this transfer shipped, kept for lossy-link re-sends
-    /// (view number and mask must stay the consistent pair the stream
-    /// was started with).
+    /// (view number and membership must stay the consistent pair the
+    /// stream was started with).
     log_tail: u64,
     view: u32,
-    mask: u64,
+    mask: MemberSet,
 }
 
 /// Timestamps of a rejoin in progress (joiner side).
@@ -322,6 +356,7 @@ struct PendingRejoin {
 ///             f: 1,
 ///             recovery: RecoveryConfig::default(),
 ///             vc_delta_multicast: true,
+///             vc_attempts: 1,
 ///         });
 ///         rt.add_actor(Box::new(agent));
 ///         log
@@ -339,14 +374,14 @@ pub struct NodeAgent {
     /// heartbeat bumped the generation.
     gen: Vec<u32>,
     /// Peers this agent itself suspects.
-    suspected_local: u64,
+    suspected_local: MemberSet,
     /// Union of own suspicions and exclusions adopted from peers'
     /// view-change proposals; removed from every proposal.
-    excluded: u64,
+    excluded: MemberSet,
     /// Restarted peers awaiting re-admission; added to every proposal.
-    joining: u64,
+    joining: MemberSet,
     view_number: u32,
-    view_mask: u64,
+    view_mask: MemberSet,
     primary: u32,
     changing: Option<Change>,
     /// Incarnation counter: bumped on every restart so events armed by a
@@ -356,7 +391,8 @@ pub struct NodeAgent {
     rejoining: bool,
     /// Joiner side: preamble and chunk progress of the inbound transfer.
     have_sync: bool,
-    have_mask: bool,
+    /// Which membership wire words of the preamble have arrived.
+    mask_got: Vec<bool>,
     replayed: bool,
     log_tail: u64,
     xfer_total: Option<u64>,
@@ -381,27 +417,29 @@ impl NodeAgent {
     ///
     /// # Panics
     ///
-    /// Panics if the cluster has more than 48 nodes (membership masks are
-    /// packed into the message payload) or the agent's node is out of
-    /// range.
+    /// Panics if the cluster exceeds [`MAX_NODES`] (wire word indices are
+    /// packed into 8 payload bits) or the agent's node is out of range.
     pub fn new(cfg: AgentConfig) -> (Self, Rc<RefCell<AgentLog>>) {
-        assert!(cfg.nodes <= 48, "membership masks support up to 48 nodes");
+        assert!(
+            cfg.nodes <= MAX_NODES,
+            "membership wire words address up to {MAX_NODES} nodes"
+        );
         assert!(cfg.node.0 < cfg.nodes, "agent node outside the cluster");
         let log = Rc::new(RefCell::new(AgentLog::new(cfg.node.0)));
         let agent = NodeAgent {
             cfg,
             gen: vec![0; cfg.nodes as usize],
-            suspected_local: 0,
-            excluded: 0,
-            joining: 0,
+            suspected_local: MemberSet::new(),
+            excluded: MemberSet::new(),
+            joining: MemberSet::new(),
             view_number: 0,
-            view_mask: (1u64 << cfg.nodes) - 1,
+            view_mask: MemberSet::full(cfg.nodes),
             primary: 0,
             changing: None,
             epoch: 0,
             rejoining: false,
             have_sync: false,
-            have_mask: false,
+            mask_got: vec![false; cfg.wire_words() as usize],
             replayed: false,
             log_tail: 0,
             xfer_total: None,
@@ -416,12 +454,8 @@ impl NodeAgent {
         (agent, log)
     }
 
-    fn bit(node: u32) -> u64 {
-        1u64 << node
-    }
-
-    fn members_of(mask: u64, nodes: u32) -> Vec<u32> {
-        (0..nodes).filter(|i| mask & Self::bit(*i) != 0).collect()
+    fn have_mask(&self) -> bool {
+        self.mask_got.iter().all(|g| *g)
     }
 
     fn broadcast(&self, ctx: &mut ActorCtx<'_>, tag: u64, payload: u64) {
@@ -432,18 +466,47 @@ impl NodeAgent {
         }
     }
 
-    /// Broadcasts a view-change proposal, counting it toward the
-    /// flood-vs-multicast complexity comparison.
-    fn send_proposal(&mut self, ctx: &mut ActorCtx<'_>, target: u32, proposal: u64) {
-        self.broadcast(ctx, MSG_VC, vc_payload(target, proposal));
-        self.log.borrow_mut().vc_messages_sent += (self.cfg.nodes - 1) as u64;
+    /// Sends the given wire words of a view-change proposal to every
+    /// peer, counting accepted copies toward the flood-vs-multicast
+    /// complexity comparison. The Δ-multicast transport retries each
+    /// omitted copy up to `vc_attempts − 1` extra times; the flood
+    /// transport relies on its round-level redundancy instead.
+    fn send_proposal_words(&mut self, ctx: &mut ActorCtx<'_>, target: u32, words: &[(u32, u32)]) {
+        let attempts = if self.cfg.vc_delta_multicast {
+            self.cfg.vc_attempts.max(1)
+        } else {
+            1
+        };
+        let targets: Vec<(ActorId, NodeId)> = (0..self.cfg.nodes)
+            .filter(|p| NodeId(*p) != self.cfg.node)
+            .map(|p| (ActorId(p), NodeId(p)))
+            .collect();
+        let mut sent = 0u64;
+        for (widx, bits) in words {
+            sent += ctx.fanout(
+                targets.iter().copied(),
+                MSG_VC,
+                vc_payload(target, *widx, *bits),
+                attempts,
+            ) as u64;
+        }
+        self.log.borrow_mut().vc_messages_sent += sent;
+    }
+
+    /// All wire words of `set`, for full-proposal sends.
+    fn all_words(&self, set: &MemberSet) -> Vec<(u32, u32)> {
+        (0..self.cfg.wire_words())
+            .map(|w| (w, set.wire_word(w)))
+            .collect()
     }
 
     /// Starts a view change (or folds more exclusions/joins into the one
     /// in flight) toward the next view. Proposal merging is FloodSet-style
     /// with a twist: exclusion wins for current members (intersection),
     /// inclusion wins for non-members being re-admitted (union), so every
-    /// correct node converges on the same mask after `f + 1` rounds.
+    /// correct node converges on the same set after `f + 1` rounds. The
+    /// merge is bitwise, so each wire word travels — and merges — on its
+    /// own.
     ///
     /// Transport: under the default Δ-multicast discipline each node
     /// multicasts its proposal once when it joins the change and again
@@ -452,23 +515,32 @@ impl NodeAgent {
     /// its contribution — its atomic multicast either reached everyone
     /// or no one). The flood transport rebroadcasts every round instead.
     fn begin_change(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
-        let proposal = (self.view_mask | self.joining) & !self.excluded;
-        let vm = self.view_mask;
-        match self.changing {
+        let mut own = self.view_mask.union(&self.joining);
+        own.subtract(&self.excluded);
+        let words = self.cfg.wire_words();
+        match &mut self.changing {
             Some(c) => {
-                let merged = (c.proposal & proposal & vm) | ((c.proposal | proposal) & !vm);
-                self.changing = Some(Change {
-                    proposal: merged,
-                    ..c
-                });
-                if self.cfg.vc_delta_multicast && merged != c.proposal {
-                    self.send_proposal(ctx, c.target, merged);
+                let target = c.target;
+                let mut changed: Vec<(u32, u32)> = Vec::new();
+                for w in 0..words {
+                    if c.proposal
+                        .merge_wire_word(w, own.wire_word(w), &self.view_mask)
+                    {
+                        changed.push((w, c.proposal.wire_word(w)));
+                    }
+                }
+                if self.cfg.vc_delta_multicast && !changed.is_empty() {
+                    self.send_proposal_words(ctx, target, &changed);
                 }
             }
             None => {
                 let target = self.view_number + 1;
-                self.changing = Some(Change { target, proposal });
-                self.send_proposal(ctx, target, proposal);
+                let all = self.all_words(&own);
+                self.changing = Some(Change {
+                    target,
+                    proposal: own,
+                });
+                self.send_proposal_words(ctx, target, &all);
                 let round = self.cfg.round_length(ctx.max_delay());
                 if !self.cfg.vc_delta_multicast {
                     for r in 1..=self.cfg.f {
@@ -484,20 +556,20 @@ impl NodeAgent {
     }
 
     fn install(&mut self, target: u32, now: Time, ctx: &mut ActorCtx<'_>) {
-        let Some(c) = self.changing else { return };
-        if c.target != target {
+        let matches = self.changing.as_ref().is_some_and(|c| c.target == target);
+        if !matches {
             return;
         }
+        let c = self.changing.take().expect("checked above");
         self.view_number = target;
         self.view_mask = c.proposal;
-        self.joining &= !self.view_mask;
+        self.joining.subtract(&self.view_mask);
         // Exclusions adopted from peers' proposals have served their
         // purpose once the view installs; keeping them would veto a later
         // re-admission of a recovered node (exclusion wins in the merge).
         // Own live suspicions persist — they re-enter the next proposal.
-        self.excluded = self.suspected_local;
-        self.changing = None;
-        let members = Self::members_of(self.view_mask, self.cfg.nodes);
+        self.excluded = self.suspected_local.clone();
+        let members = self.view_mask.to_vec();
         {
             let mut log = self.log.borrow_mut();
             log.views.push(View {
@@ -512,9 +584,9 @@ impl NodeAgent {
                 }
             }
         }
-        if self.rejoining && self.view_mask & Self::bit(self.cfg.node.0) != 0 {
+        if self.rejoining && self.view_mask.contains(self.cfg.node.0) {
             self.finish_rejoin(target, now, ctx);
-        } else if !self.rejoining && self.view_mask & Self::bit(self.cfg.node.0) == 0 {
+        } else if !self.rejoining && !self.view_mask.contains(self.cfg.node.0) {
             // The cluster excluded us while we are alive: our restart
             // raced the exclusion flood (the transfer shipped a mask that
             // still contained us), or a false suspicion won agreement.
@@ -523,21 +595,23 @@ impl NodeAgent {
             self.begin_rejoin(now, ctx);
         }
         // A transfer in flight to a node this view just excluded shipped
-        // a membership mask that is now wrong (the joiner would take the
-        // fast re-admission path on it): abort it and re-serve from the
-        // front of the queue with the fresh view in the preamble.
-        if let Some(t) = self.serving {
-            if self.view_mask & Self::bit(t.to) == 0 {
-                self.serving = None;
-                self.pending_joins.retain(|(j, _)| *j != t.to);
-                self.pending_joins.push_front((t.to, t.to_epoch));
-            }
+        // a membership that is now wrong (the joiner would take the fast
+        // re-admission path on it): abort it and re-serve from the front
+        // of the queue with the fresh view in the preamble.
+        let aborted = self
+            .serving
+            .as_ref()
+            .is_some_and(|t| !self.view_mask.contains(t.to));
+        if aborted {
+            let t = self.serving.take().expect("checked above");
+            self.pending_joins.retain(|(j, _)| *j != t.to);
+            self.pending_joins.push_front((t.to, t.to_epoch));
         }
         // Joins deferred behind this view change can be served now, with
         // the newly agreed membership in their preambles; requests of
         // joiners this view just re-admitted are settled and dropped.
-        let vm = self.view_mask;
-        self.pending_joins.retain(|(j, _)| vm & Self::bit(*j) == 0);
+        let vm = self.view_mask.clone();
+        self.pending_joins.retain(|(j, _)| !vm.contains(*j));
         self.drain_pending_joins(now, ctx);
     }
 
@@ -554,9 +628,7 @@ impl NodeAgent {
                 return; // one transfer at a time; re-drained on install
             }
             let (joiner, epoch) = self.pending_joins[i];
-            let server = Self::members_of(self.view_mask & !Self::bit(joiner), self.cfg.nodes)
-                .first()
-                .copied();
+            let server = self.view_mask.members().find(|m| *m != joiner);
             if server == Some(self.cfg.node.0) {
                 self.pending_joins.remove(i);
                 self.start_transfer(joiner, epoch, now, ctx);
@@ -587,10 +659,32 @@ impl NodeAgent {
         self.log.borrow_mut().rejoins.push(record);
         // Resume watching the peers of the (re)joined view.
         let timeout = self.cfg.timeout(ctx.max_delay());
-        for peer in Self::members_of(self.view_mask, self.cfg.nodes) {
+        for peer in self.view_mask.to_vec() {
             if NodeId(peer) != self.cfg.node {
                 ctx.timer_at(now + timeout, timeout_tag(peer, self.gen[peer as usize]));
             }
+        }
+    }
+
+    /// Re-sends the stored preamble of the transfer in flight (the joiner
+    /// lost it on a lossy link).
+    fn resend_preamble(&self, ctx: &mut ActorCtx<'_>) {
+        let Some(t) = &self.serving else { return };
+        let to = ActorId(t.to);
+        let node = NodeId(t.to);
+        ctx.send(
+            to,
+            node,
+            MSG_SYNC,
+            sync_payload(t.to_epoch, t.log_tail, t.view),
+        );
+        for w in 0..self.cfg.wire_words() {
+            ctx.send(
+                to,
+                node,
+                MSG_MASK,
+                mask_payload(t.to_epoch, w, t.mask.wire_word(w)),
+            );
         }
     }
 
@@ -600,27 +694,20 @@ impl NodeAgent {
     fn handle_join(&mut self, joiner: u32, epoch: u64, now: Time, ctx: &mut ActorCtx<'_>) {
         // The joiner is demonstrably alive again: retract any suspicion
         // and invalidate stale silence timers.
-        self.suspected_local &= !Self::bit(joiner);
-        self.excluded &= !Self::bit(joiner);
+        self.suspected_local.remove(joiner);
+        self.excluded.remove(joiner);
         self.gen[joiner as usize] += 1;
         ctx.timer_at(
             now + self.cfg.timeout(ctx.max_delay()),
             timeout_tag(joiner, self.gen[joiner as usize]),
         );
-        if let Some(t) = self.serving {
+        if let Some(t) = &self.serving {
             if t.to == joiner && t.to_epoch == epoch {
                 // A retransmitted JOIN of the joiner this transfer already
                 // serves: the preamble (or early chunks) was lost on a
                 // lossy link. Re-send the preamble the stream is based on;
                 // the chunk pacing continues untouched.
-                let to = ActorId(joiner);
-                ctx.send(
-                    to,
-                    NodeId(joiner),
-                    MSG_SYNC,
-                    sync_payload(epoch, t.log_tail, t.view),
-                );
-                ctx.send(to, NodeId(joiner), MSG_MASK, mask_payload(epoch, t.mask));
+                self.resend_preamble(ctx);
                 return;
             }
             if t.to == joiner {
@@ -649,19 +736,6 @@ impl NodeAgent {
         // cadences whose tail would exceed 65535 operations.
         let log_tail = self.cfg.recovery.log_tail_at(now).min(0xFFFF);
         let total = self.cfg.recovery.chunks(log_tail).min(0xFF_FFFF);
-        let to = ActorId(joiner);
-        ctx.send(
-            to,
-            NodeId(joiner),
-            MSG_SYNC,
-            sync_payload(epoch, log_tail, self.view_number),
-        );
-        ctx.send(
-            to,
-            NodeId(joiner),
-            MSG_MASK,
-            mask_payload(epoch, self.view_mask),
-        );
         self.serving = Some(Transfer {
             to: joiner,
             to_epoch: epoch,
@@ -669,8 +743,9 @@ impl NodeAgent {
             next: 0,
             log_tail,
             view: self.view_number,
-            mask: self.view_mask,
+            mask: self.view_mask.clone(),
         });
+        self.resend_preamble(ctx);
         self.log.borrow_mut().transfers_served += 1;
         self.send_chunk(now, ctx);
     }
@@ -704,7 +779,7 @@ impl NodeAgent {
         // never stalls it.
         if self.replayed
             || !self.have_sync
-            || !self.have_mask
+            || !self.have_mask()
             || self.xfer_total.is_none_or(|t| self.xfer_seen < t)
         {
             return;
@@ -732,30 +807,36 @@ impl NodeAgent {
                 let gen = (t & 0xFFFF_FFFF) as u32;
                 if self.rejoining
                     || self.gen[peer as usize] != gen
-                    || self.suspected_local & Self::bit(peer) != 0
+                    || self.suspected_local.contains(peer)
                 {
                     return;
                 }
-                self.suspected_local |= Self::bit(peer);
-                self.excluded |= Self::bit(peer);
+                self.suspected_local.insert(peer);
+                self.excluded.insert(peer);
                 self.log.borrow_mut().suspicions.push((peer, now));
-                if self.view_mask & Self::bit(peer) != 0 {
+                if self.view_mask.contains(peer) {
                     self.begin_change(now, ctx);
                 }
             }
             KIND_ROUND => {
                 let target = ((t >> 16) & 0xFFFF) as u32;
-                if let Some(c) = self.changing {
-                    if c.target == target {
-                        self.send_proposal(ctx, c.target, c.proposal);
-                    }
+                let words = match &self.changing {
+                    Some(c) if c.target == target => Some(self.all_words(&c.proposal)),
+                    _ => None,
+                };
+                if let Some(words) = words {
+                    self.send_proposal_words(ctx, target, &words);
                 }
             }
             KIND_DECIDE => self.install((t & 0xFFFF) as u32, now, ctx),
             KIND_XFER => {
                 let to = ((t >> 32) & 0x0FFF_FFFF) as u32;
                 let seq = t & 0xFFFF_FFFF;
-                if self.serving.is_some_and(|s| s.to == to && s.next == seq) {
+                if self
+                    .serving
+                    .as_ref()
+                    .is_some_and(|s| s.to == to && s.next == seq)
+                {
                     self.send_chunk(now, ctx);
                 }
             }
@@ -765,7 +846,7 @@ impl NodeAgent {
                 }
                 let complete = self.xfer_total.is_some_and(|total| self.xfer_seen >= total);
                 let stalled = !self.have_sync
-                    || !self.have_mask
+                    || !self.have_mask()
                     || (!complete && self.xfer_seen == self.xfer_seen_at_retry);
                 if stalled {
                     self.broadcast(ctx, MSG_JOIN, self.epoch);
@@ -785,13 +866,13 @@ impl NodeAgent {
                 if let Some(p) = &mut self.pending {
                     p.replay_completed_at = Some(now);
                 }
-                if self.view_mask & Self::bit(self.cfg.node.0) != 0 {
+                if self.view_mask.contains(self.cfg.node.0) {
                     // The outage was shorter than the detection window: the
                     // cluster never excluded us, so no view change is
                     // needed — we are back as soon as the state is current.
                     self.finish_rejoin(self.view_number, now, ctx);
                 } else {
-                    self.joining |= Self::bit(self.cfg.node.0);
+                    self.joining.insert(self.cfg.node.0);
                     self.begin_change(now, ctx);
                 }
             }
@@ -812,7 +893,7 @@ impl NodeAgent {
         self.epoch += 1;
         self.rejoining = true;
         self.have_sync = false;
-        self.have_mask = false;
+        self.mask_got = vec![false; self.cfg.wire_words() as usize];
         self.replayed = false;
         self.log_tail = 0;
         self.xfer_total = None;
@@ -823,9 +904,9 @@ impl NodeAgent {
             restarted_at: now,
             ..PendingRejoin::default()
         });
-        self.suspected_local = 0;
-        self.excluded = 0;
-        self.joining = 0;
+        self.suspected_local = MemberSet::new();
+        self.excluded = MemberSet::new();
+        self.joining = MemberSet::new();
         self.changing = None;
         self.serving = None;
         self.pending_joins.clear();
@@ -853,7 +934,7 @@ impl NetActor for NodeAgent {
             ActorEvent::Start => {
                 self.log.borrow_mut().views.push(View {
                     number: 0,
-                    members: Self::members_of(self.view_mask, self.cfg.nodes),
+                    members: self.view_mask.to_vec(),
                     installed_at: now,
                 });
                 // First heartbeat immediately, then every H.
@@ -884,7 +965,7 @@ impl NetActor for NodeAgent {
                     if self.rejoining && !self.have_sync {
                         return; // no view knowledge at all yet: sit it out
                     }
-                    let (target, mask) = vc_decode(payload);
+                    let (target, widx, bits) = vc_decode(payload);
                     if target > self.view_number + 1 && !self.rejoining {
                         // A flood for a view beyond our next one proves we
                         // missed at least one install while believing
@@ -895,32 +976,40 @@ impl NetActor for NodeAgent {
                         self.begin_rejoin(now, ctx);
                         return;
                     }
-                    if target != self.view_number + 1 {
-                        return; // stale or too far ahead mid-rejoin
+                    if target != self.view_number + 1 || widx >= self.cfg.wire_words() {
+                        return; // stale, too far ahead mid-rejoin, or junk
                     }
-                    match self.changing {
+                    // `None` = echo nothing, `Some(None)` = join the
+                    // change, `Some(Some(word))` = echo the merged word.
+                    let action: Option<Option<(u32, u32)>> = match &mut self.changing {
                         Some(c) if c.target == target => {
-                            let vm = self.view_mask;
-                            let merged = (c.proposal & mask & vm) | ((c.proposal | mask) & !vm);
-                            self.changing = Some(Change {
-                                proposal: merged,
-                                ..c
-                            });
-                            if self.cfg.vc_delta_multicast && merged != c.proposal {
+                            if c.proposal.merge_wire_word(widx, bits, &self.view_mask) {
                                 // Echo-on-change: the merge learned
                                 // something the peers may not have.
-                                self.send_proposal(ctx, c.target, merged);
+                                Some(Some((widx, c.proposal.wire_word(widx))))
+                            } else {
+                                None
                             }
                         }
-                        Some(_) => {}
+                        Some(_) => None,
                         None => {
-                            // Adopt the exclusions and joins agreed by a
-                            // faster peer and join the flood with our own
+                            // Adopt the exclusions and joins this word
+                            // reveals and join the flood with our own
                             // knowledge folded in.
-                            self.excluded |= self.view_mask & !mask;
-                            self.joining |= mask & !self.view_mask;
-                            self.begin_change(now, ctx);
+                            let vm = self.view_mask.wire_word(widx);
+                            self.excluded
+                                .set_wire_word(widx, self.excluded.wire_word(widx) | (vm & !bits));
+                            self.joining
+                                .set_wire_word(widx, self.joining.wire_word(widx) | (bits & !vm));
+                            Some(None)
                         }
+                    };
+                    match action {
+                        Some(Some(word)) if self.cfg.vc_delta_multicast => {
+                            self.send_proposal_words(ctx, target, &[word]);
+                        }
+                        Some(None) => self.begin_change(now, ctx),
+                        _ => {}
                     }
                 }
                 MSG_JOIN if !self.rejoining => {
@@ -934,12 +1023,14 @@ impl NetActor for NodeAgent {
                     // A preamble for a *newer* view supersedes the transfer in
                     // progress (the server aborts and re-serves when a
                     // view change invalidates the mask it shipped):
-                    // restart the chunk count for the new stream. The
-                    // first preamble must not reset — chunk 0 may
-                    // legitimately arrive before it.
+                    // restart the chunk count — and the membership words —
+                    // for the new stream. The first preamble must not
+                    // reset: chunk 0 (or a mask word) may legitimately
+                    // arrive before it.
                     if self.have_sync && view != self.view_number {
                         self.xfer_seen = 0;
                         self.xfer_total = None;
+                        self.mask_got = vec![false; self.cfg.wire_words() as usize];
                     }
                     self.have_sync = true;
                     self.log_tail = log_tail;
@@ -947,12 +1038,12 @@ impl NetActor for NodeAgent {
                     self.maybe_start_replay(now, ctx);
                 }
                 MSG_MASK if self.rejoining => {
-                    let (epoch, mask) = mask_decode(payload);
-                    if epoch != self.epoch & 0xFFFF {
+                    let (epoch, widx, bits) = mask_decode(payload);
+                    if epoch != self.epoch & 0xFFFF || widx >= self.cfg.wire_words() {
                         return;
                     }
-                    self.have_mask = true;
-                    self.view_mask = mask;
+                    self.view_mask.set_wire_word(widx, bits);
+                    self.mask_got[widx as usize] = true;
                     self.maybe_start_replay(now, ctx);
                 }
                 MSG_CKPT if self.rejoining => {
@@ -997,6 +1088,7 @@ mod tests {
             f: 1,
             recovery: RecoveryConfig::default(),
             vc_delta_multicast: true,
+            vc_attempts: 1,
         }
     }
 
@@ -1117,6 +1209,24 @@ mod tests {
     }
 
     #[test]
+    fn ninety_six_node_cluster_agrees_beyond_the_old_mask_cap() {
+        // 96 nodes take three 32-bit wire words per membership — the
+        // scenario the packed-u64 protocol (≤ 48 nodes) could not even
+        // build. One crash: every survivor must agree on the two-view
+        // sequence, with the suspect excluded.
+        let crash = Time::ZERO + ms(4);
+        let plan = FaultPlan::new().crash_at(NodeId(70), crash);
+        let logs = cluster(96, plan, 9, ms(12));
+        let reference = logs[0].borrow().view_members();
+        assert_eq!(reference.len(), 2, "exactly one view change");
+        let expected: Vec<u32> = (0..96).filter(|n| *n != 70).collect();
+        assert_eq!(reference[1].1, expected);
+        for n in (0..96usize).filter(|n| *n != 70) {
+            assert_eq!(logs[n].borrow().view_members(), reference, "node {n}");
+        }
+    }
+
+    #[test]
     fn restart_runs_the_full_rejoin_protocol() {
         let crash = Time::ZERO + ms(5);
         let restart = Time::ZERO + ms(12);
@@ -1186,8 +1296,8 @@ mod tests {
         // the last heard heartbeat and install the exclusion view ~100 µs
         // later. A restart at crash + 150 µs lands inside (or just around)
         // that agreement window: the join must not be answered with the
-        // pre-exclusion mask (fast-path trap), and the node must end up
-        // re-admitted on every survivor regardless of the exact
+        // pre-exclusion membership (fast-path trap), and the node must end
+        // up re-admitted on every survivor regardless of the exact
         // interleaving.
         // Suspicions fire ~50-90 µs after the crash and the exclusion
         // flood installs ~100 µs later, so this sweep brackets the whole
@@ -1295,6 +1405,7 @@ mod tests {
                     ..RecoveryConfig::default()
                 },
                 vc_delta_multicast: false,
+                vc_attempts: 1,
             };
             let plan =
                 FaultPlan::new().crash_window(NodeId(2), Time::ZERO + ms(8), Time::ZERO + ms(20));
@@ -1324,6 +1435,58 @@ mod tests {
             completed_retries > 0,
             "at least one run exercised the retransmission path"
         );
+    }
+
+    #[test]
+    fn delta_multicast_vc_survives_lossy_links_with_an_attempt_budget() {
+        // 10% per-copy omissions with the *cheap* Δ-multicast view-change
+        // transport: single-shot proposals regularly lose copies, and a
+        // node that never hears any proposal for the next view cannot
+        // install it — survivors drift apart. A per-copy budget of 4
+        // masks the loss (0.1⁴ residual), so every survivor installs the
+        // same exclusion view; this is the transport-level analogue of
+        // the `ReplicaGroup` per-copy retry pattern.
+        for seed in 0..5u64 {
+            let lossy_cfg = |node: u32| AgentConfig {
+                node: NodeId(node),
+                nodes: 5,
+                heartbeat_period: ms(1),
+                clock_precision: us(3_500),
+                f: 1,
+                recovery: RecoveryConfig::default(),
+                vc_delta_multicast: true,
+                vc_attempts: 4,
+            };
+            let plan = FaultPlan::new().crash_at(NodeId(2), Time::ZERO + ms(6));
+            let net = Network::homogeneous(
+                5,
+                LinkConfig::reliable(us(10), us(40)).with_omissions(100),
+                SimRng::seed_from(1_700 + seed),
+            )
+            .with_fault_plan(plan);
+            let mut rt = ActorEngine::new(net);
+            let logs: Vec<_> = (0..5)
+                .map(|n| {
+                    let (agent, log) = NodeAgent::new(lossy_cfg(n));
+                    rt.add_actor(Box::new(agent));
+                    log
+                })
+                .collect();
+            rt.run(Time::ZERO + ms(40));
+            let reference = logs[0].borrow().view_members();
+            assert_eq!(
+                reference.last().map(|(_, m)| m.clone()),
+                Some(vec![0, 1, 3, 4]),
+                "seed {seed}: the exclusion view installed"
+            );
+            for n in [1usize, 3, 4] {
+                assert_eq!(
+                    logs[n].borrow().view_members(),
+                    reference,
+                    "seed {seed}: node {n} agrees despite omissions"
+                );
+            }
+        }
     }
 
     #[test]

@@ -67,6 +67,17 @@ const GMSG_VOTE: u64 = 3;
 /// request; the backup reconstructs the state fold from its own
 /// delivery buffer, so no separate state message can race it).
 const GMSG_CKPT: u64 = 4;
+/// Message kind: a restarted member requests the group fold (payload =
+/// its epoch) — the group-level face of the rejoin state transfer.
+const GMSG_PULL: u64 = 5;
+/// Message kind: catch-up snapshot, high half of the state fold
+/// (payload = joiner epoch + bits 63..32).
+const GMSG_SNAP_HI: u64 = 6;
+/// Message kind: catch-up snapshot, low half of the state fold.
+const GMSG_SNAP_LO: u64 = 7;
+/// Message kind: catch-up snapshot watermark (payload = joiner epoch +
+/// covered-id floor + executed count mod 4096).
+const GMSG_SNAP_MARK: u64 = 8;
 
 /// Timer kind: submission tick (every request period).
 const GK_TICK: u64 = 1;
@@ -74,6 +85,13 @@ const GK_TICK: u64 = 1;
 const GK_DELIVER: u64 = 2;
 /// Timer kind: end of the post-restart order-resync window.
 const GK_RESYNC: u64 = 3;
+/// Timer kind: catch-up PULL retransmission while no snapshot arrived.
+const GK_PULL: u64 = 4;
+/// Timer kind: leader-side deferred snapshot reply (the deferral lets
+/// every request already in the Δ-pipeline at the pull instant execute
+/// first, so snapshot coverage and the joiner's live stream overlap
+/// instead of leaving a gap).
+const GK_SNAP: u64 = 5;
 
 fn tag(kind: u64, body: u64) -> u64 {
     (kind << 60) | body
@@ -133,6 +151,30 @@ fn vote_decode(payload: u64) -> (u64, u64, u64) {
     )
 }
 
+/// Catch-up snapshot part: joiner epoch (16 bits) | 32 payload bits.
+fn snap_payload(epoch: u64, bits: u64) -> u64 {
+    ((epoch & 0xFFFF) << 48) | (bits & 0xFFFF_FFFF)
+}
+
+fn snap_decode(payload: u64) -> (u64, u64) {
+    ((payload >> 48) & 0xFFFF, payload & 0xFFFF_FFFF)
+}
+
+/// Snapshot watermark: joiner epoch (16) | covered-id floor (20) |
+/// executed count mod 4096 (12). Ids below `floor` are folded into the
+/// shipped state and must not be re-executed by the joiner.
+fn snap_mark_payload(epoch: u64, floor: u64, count: u64) -> u64 {
+    ((epoch & 0xFFFF) << 48) | ((floor & 0xF_FFFF) << 12) | (count & 0xFFF)
+}
+
+fn snap_mark_decode(payload: u64) -> (u64, u64, u64) {
+    (
+        (payload >> 48) & 0xFFFF,
+        (payload >> 12) & 0xF_FFFF,
+        payload & 0xFFF,
+    )
+}
+
 /// Static configuration of one replica-group member.
 #[derive(Debug, Clone)]
 pub struct GroupConfig {
@@ -145,10 +187,16 @@ pub struct GroupConfig {
     /// The replication style the group runs.
     pub style: ReplicaStyle,
     /// Client request period: request `k` is scheduled at
-    /// `first_request_at + k · request_period`.
+    /// `first_request_at + k · request_period` (unless
+    /// [`GroupConfig::schedule`] overrides the law).
     pub request_period: Duration,
     /// Scheduled submission instant of request 0.
     pub first_request_at: Time,
+    /// Explicit submission schedule: the instant of request `k` at index
+    /// `k`, strictly increasing. Lowered from a deployment-spec
+    /// `Workload` (constant-rate, bursty, replayed trace); `None` runs
+    /// the periodic law above.
+    pub schedule: Option<Rc<Vec<Time>>>,
     /// The Δ of the atomic multicast (delivery at `ts + Δ`); must be at
     /// least the network's `δmax` for loss-free ordering.
     pub delta: Duration,
@@ -173,6 +221,38 @@ impl GroupConfig {
     /// or the decided order (semi-active follower).
     pub fn output_bound(&self, max_delay: Duration) -> Duration {
         self.delta + max_delay
+    }
+
+    /// Number of scheduled submissions with instant `≤ now` — request
+    /// ids `0..count` are the gateway's responsibility by `now`.
+    fn submissions_through(&self, now: Time) -> u64 {
+        match &self.schedule {
+            Some(s) => s.partition_point(|t| *t <= now) as u64,
+            None => {
+                if now < self.first_request_at {
+                    0
+                } else {
+                    (now - self.first_request_at).as_nanos() / self.request_period.as_nanos().max(1)
+                        + 1
+                }
+            }
+        }
+    }
+
+    /// The next scheduled submission instant strictly after `now`;
+    /// `None` once an explicit schedule is exhausted.
+    fn next_submission_after(&self, now: Time) -> Option<Time> {
+        match &self.schedule {
+            Some(s) => s.get(s.partition_point(|t| *t <= now)).copied(),
+            None => Some(if now < self.first_request_at {
+                self.first_request_at
+            } else {
+                self.first_request_at
+                    + self
+                        .request_period
+                        .saturating_mul(self.submissions_through(now))
+            }),
+        }
     }
 }
 
@@ -207,6 +287,9 @@ pub struct GroupLog {
     pub restarts: Vec<Time>,
     /// Requests re-executed during a passive takeover replay.
     pub replayed: u64,
+    /// Completed catch-up snapshots this member adopted after a restart
+    /// (the group fold shipped alongside the rejoin checkpoint).
+    pub catchups: u64,
     /// Group-protocol messages this member pushed into the network.
     pub messages_sent: u64,
     /// Multicast copies discarded for arriving past `ts + Δ`.
@@ -230,6 +313,7 @@ impl GroupLog {
             rebinds: 0,
             restarts: Vec::new(),
             replayed: 0,
+            catchups: 0,
             messages_sent: 0,
             late_discards: 0,
             final_state: 0,
@@ -284,6 +368,7 @@ impl GroupLog {
 ///                 style: ReplicaStyle::Active,
 ///                 request_period: Duration::from_millis(1),
 ///                 first_request_at: Time::ZERO + Duration::from_millis(1),
+///                 schedule: None,
 ///                 delta,
 ///                 attempts: 1,
 ///                 peers: peers.clone(),
@@ -311,8 +396,25 @@ pub struct ReplicaGroup {
     /// Order-sensitive fold of the executed requests.
     state: u64,
     executed: HashSet<u64>,
+    /// Ids below this floor are covered by an adopted catch-up snapshot:
+    /// folded into `state` already, never re-executed.
+    executed_floor: u64,
+    /// Executed-request count, floor-covered ids included (the vote
+    /// cross-check compares it mod 4096).
+    executed_count: u64,
     /// Highest executed request id (`executed.max()` without the scan).
     last_executed: Option<u64>,
+    /// Between restart and snapshot adoption (active/semi-active):
+    /// deliveries buffer instead of executing, so the adopted fold and
+    /// the live stream splice without overlap.
+    catching_up: bool,
+    /// Received snapshot parts: state halves and `(floor, count)`.
+    snap_hi: Option<u64>,
+    snap_lo: Option<u64>,
+    snap_mark: Option<(u64, u64)>,
+    /// Leader side: queued `(node, epoch)` pulls awaiting the deferred
+    /// snapshot reply.
+    pending_pulls: Vec<(u32, u64)>,
     /// Delivered but not yet executed (semi-active followers await the
     /// order; passive backups await a takeover): `id → (ts, sender)`.
     pending: HashMap<u64, (Time, u32)>,
@@ -364,9 +466,15 @@ impl ReplicaGroup {
     ) -> (Self, Rc<RefCell<GroupLog>>) {
         assert!(!cfg.members.is_empty(), "a group needs members");
         assert!(
-            !cfg.request_period.is_zero(),
+            cfg.schedule.is_some() || !cfg.request_period.is_zero(),
             "the request period must be positive"
         );
+        if let Some(s) = &cfg.schedule {
+            assert!(
+                s.windows(2).all(|w| w[0] < w[1]),
+                "the submission schedule must be strictly increasing"
+            );
+        }
         assert!(
             cfg.members.windows(2).all(|w| w[0] < w[1]),
             "group members must be ascending"
@@ -395,7 +503,14 @@ impl ReplicaGroup {
             view_source,
             state: 0,
             executed: HashSet::new(),
+            executed_floor: 0,
+            executed_count: 0,
             last_executed: None,
+            catching_up: false,
+            snap_hi: None,
+            snap_lo: None,
+            snap_mark: None,
+            pending_pulls: Vec::new(),
             pending: HashMap::new(),
             orders: BTreeMap::new(),
             next_seq: 0,
@@ -496,11 +611,13 @@ impl ReplicaGroup {
     }
 
     /// Order-sensitive state fold (FNV-style): equal states certify
-    /// identical execution orders.
+    /// identical execution orders. Ids below the catch-up floor are
+    /// already folded into the adopted snapshot and never re-execute.
     fn execute(&mut self, id: u64) -> bool {
-        if !self.executed.insert(id) {
+        if id < self.executed_floor || !self.executed.insert(id) {
             return false;
         }
+        self.executed_count += 1;
         self.last_executed = Some(self.last_executed.map_or(id, |m| m.max(id)));
         self.state = self
             .state
@@ -516,25 +633,11 @@ impl ReplicaGroup {
         }
     }
 
-    /// The scheduled submission index at `now`.
-    fn tick_index(&self, now: Time) -> u64 {
-        if now < self.cfg.first_request_at {
-            return 0;
-        }
-        (now - self.cfg.first_request_at).as_nanos() / self.cfg.request_period.as_nanos().max(1)
-    }
-
     fn arm_next_tick(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
-        let next = if now < self.cfg.first_request_at {
-            self.cfg.first_request_at
-        } else {
-            self.cfg.first_request_at
-                + self
-                    .cfg
-                    .request_period
-                    .saturating_mul(self.tick_index(now) + 1)
-        };
-        ctx.timer_at(next, tag(GK_TICK, self.epoch & 0xFFFF));
+        // An exhausted explicit schedule arms nothing: the stream is over.
+        if let Some(next) = self.cfg.next_submission_after(now) {
+            ctx.timer_at(next, tag(GK_TICK, self.epoch & 0xFFFF));
+        }
     }
 
     /// Submission tick: the gateway submits the scheduled request plus
@@ -547,9 +650,9 @@ impl ReplicaGroup {
         while self.inbox.knows(self.makeup_floor) {
             self.makeup_floor += 1;
         }
-        if self.cur_leader == self.me() && now >= self.cfg.first_request_at {
-            let k = self.tick_index(now);
-            for id in self.makeup_floor..=k {
+        if self.cur_leader == self.me() {
+            let upto = self.cfg.submissions_through(now);
+            for id in self.makeup_floor..upto {
                 if !self.inbox.knows(id) {
                     // Fresh timestamp: a catch-up submission cannot be
                     // retrofitted into the past of the Δ-order.
@@ -573,15 +676,22 @@ impl ReplicaGroup {
             self.log.borrow_mut().delivered.push((id, ts, now));
             match self.cfg.style {
                 ReplicaStyle::Active => {
+                    if self.catching_up {
+                        // Buffer until the catch-up snapshot arrives: the
+                        // adopted fold covers everything below its floor,
+                        // and buffered deliveries splice in above it.
+                        self.pending.insert(id, (ts, sender));
+                        continue;
+                    }
                     self.execute(id);
                     // Every member votes; the voter keeps the first copy.
                     self.emit(id, now);
                     let digest = self.state & 0xFFFF_FFFF;
-                    let count = self.executed.len() as u64;
+                    let count = self.executed_count;
                     self.fanout(ctx, GMSG_VOTE, vote_payload(id, count, digest));
                 }
                 ReplicaStyle::SemiActive => {
-                    if self.cur_leader == self.me() {
+                    if self.cur_leader == self.me() && !self.catching_up {
                         self.execute(id);
                         self.emit(id, now);
                         let seq = self.next_seq;
@@ -611,6 +721,9 @@ impl ReplicaGroup {
 
     /// Applies buffered semi-active orders in contiguous sequence.
     fn apply_orders(&mut self) {
+        if self.catching_up {
+            return; // orders buffer until the snapshot is adopted
+        }
         while let Some(id) = self.orders.remove(&self.next_seq) {
             self.next_seq += 1;
             self.pending.remove(&id);
@@ -627,6 +740,15 @@ impl ReplicaGroup {
     /// and apply contiguously.
     fn finish_order_resync(&mut self) {
         if !self.order_resync {
+            return;
+        }
+        if self.catching_up {
+            // A snapshot pull is still in flight. In the steady path the
+            // follower is strictly behind the leader, so the adoption
+            // overwrite would stay consistent — but a leadership change
+            // mid-pull can pair a stale snapshot with a newer order
+            // stream, whose executed folds the overwrite would silently
+            // lose. Keep buffering; the adoption re-runs the resync.
             return;
         }
         self.order_resync = false;
@@ -647,8 +769,28 @@ impl ReplicaGroup {
         v.into_iter().map(|(_, _, id)| id).collect()
     }
 
+    /// Abandons an unanswered catch-up: leadership (or the end of the
+    /// run) cannot wait on a snapshot that may never arrive, so the
+    /// member falls back to the pre-catch-up behaviour — buffered
+    /// deliveries execute now, the blackout window stays skipped.
+    fn abort_catchup(&mut self, now: Time) {
+        if !self.catching_up {
+            return;
+        }
+        self.catching_up = false;
+        if matches!(self.cfg.style, ReplicaStyle::Active) {
+            for id in self.pending_in_order() {
+                self.pending.remove(&id);
+                if self.execute(id) {
+                    self.emit(id, now);
+                }
+            }
+        }
+    }
+
     /// Style-specific leadership takeover.
     fn take_over(&mut self, old: u32, now: Time, ctx: &mut ActorCtx<'_>) {
+        self.abort_catchup(now);
         self.log.borrow_mut().handoffs.push((old, self.me(), now));
         match self.cfg.style {
             ReplicaStyle::Active => {
@@ -715,18 +857,138 @@ impl ReplicaGroup {
         self.inbox.clear_pending();
         self.pending.clear();
         self.orders.clear();
+        self.pending_pulls.clear();
         self.cur_order_leader = None;
         self.order_resync = true;
         // Requests scheduled during the blackout are off limits; a
         // restart before the stream even started leaves everything
         // submittable.
-        self.makeup_floor = if now < self.cfg.first_request_at {
-            0
-        } else {
-            self.tick_index(now) + 1
-        };
+        self.makeup_floor = self.cfg.submissions_through(now);
         self.await_view_since = Some(now);
         self.arm_next_tick(now, ctx);
+        // Group state transfer: instead of permanently skipping the
+        // blackout window, an active/semi-active member pulls the group
+        // fold from the current leader (the group-level payload of the
+        // rejoin checkpoint) and splices its live stream on top.
+        if !matches!(self.cfg.style, ReplicaStyle::Passive { .. }) && self.cfg.members.len() > 1 {
+            self.catching_up = true;
+            self.snap_hi = None;
+            self.snap_lo = None;
+            self.snap_mark = None;
+            self.fanout(ctx, GMSG_PULL, self.epoch & 0xFFFF);
+            ctx.timer_after(
+                self.cfg.delta.saturating_mul(4),
+                tag(GK_PULL, self.epoch & 0xFFFF),
+            );
+        }
+    }
+
+    /// Adopts the catch-up snapshot once all three parts arrived: the
+    /// state fold stands in for every request below the floor, and the
+    /// deliveries buffered since the restart splice in above it.
+    fn maybe_adopt_snapshot(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
+        if !self.catching_up {
+            return;
+        }
+        let (Some(hi), Some(lo), Some((floor, count))) =
+            (self.snap_hi, self.snap_lo, self.snap_mark)
+        else {
+            return;
+        };
+        self.catching_up = false;
+        self.state = (hi << 32) | lo;
+        self.executed_floor = self.executed_floor.max(floor);
+        self.executed_count = count;
+        if floor > 0 {
+            self.last_executed = Some(self.last_executed.map_or(floor - 1, |m| m.max(floor - 1)));
+        }
+        {
+            let mut log = self.log.borrow_mut();
+            log.final_state = self.state;
+            log.catchups += 1;
+        }
+        match self.cfg.style {
+            ReplicaStyle::Active => {
+                // Execute (and vote) the buffered live stream above the
+                // floor, in Δ-order; covered ids are settled by the fold.
+                for id in self.pending_in_order() {
+                    self.pending.remove(&id);
+                    if self.execute(id) {
+                        self.emit(id, now);
+                        let digest = self.state & 0xFFFF_FFFF;
+                        let count = self.executed_count;
+                        self.fanout(ctx, GMSG_VOTE, vote_payload(id, count, digest));
+                    }
+                }
+            }
+            ReplicaStyle::SemiActive => {
+                // Covered ids are settled; the rest stays buffered for
+                // the leader's order stream (or this member's own
+                // takeover, should leadership land here).
+                let covered: Vec<u64> = self
+                    .pending
+                    .keys()
+                    .copied()
+                    .filter(|id| *id < self.executed_floor)
+                    .collect();
+                for id in covered {
+                    self.pending.remove(&id);
+                }
+                // Orders received while the pull was in flight were held
+                // back (executing them pre-adoption would lose their
+                // folds to the snapshot overwrite): settle the buffered
+                // stream now — ids below the floor dedup away.
+                self.finish_order_resync();
+                if self.cur_leader == self.me() {
+                    for id in self.pending_in_order() {
+                        self.pending.remove(&id);
+                        if self.execute(id) {
+                            self.emit(id, now);
+                            let seq = self.next_seq;
+                            self.next_seq += 1;
+                            let me = self.me();
+                            self.fanout(ctx, GMSG_ORDER, order_payload(me, seq, id));
+                        }
+                    }
+                }
+            }
+            ReplicaStyle::Passive { .. } => {}
+        }
+    }
+
+    /// Leader side: answers every queued pull with the current fold.
+    /// Runs one deferral window after the pull arrived, so everything in
+    /// the Δ-pipeline at the pull instant is already folded in and the
+    /// snapshot overlaps the joiner's live stream instead of leaving a
+    /// gap.
+    fn serve_pending_pulls(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
+        self.rebind(now, ctx);
+        let pulls = std::mem::take(&mut self.pending_pulls);
+        if pulls.is_empty() || self.catching_up || self.cur_leader != self.me() {
+            return; // the puller's retransmission finds the current leader
+        }
+        let floor = self
+            .last_executed
+            .map_or(0, |x| x + 1)
+            .max(self.executed_floor)
+            .min(0xF_FFFF);
+        for (node, epoch) in pulls {
+            let Some((_, actor)) = self.cfg.peers.iter().find(|(n, _)| *n == node).copied() else {
+                continue;
+            };
+            let to = NodeId(node);
+            for (kind, payload) in [
+                (GMSG_SNAP_HI, snap_payload(epoch, self.state >> 32)),
+                (GMSG_SNAP_LO, snap_payload(epoch, self.state & 0xFFFF_FFFF)),
+                (
+                    GMSG_SNAP_MARK,
+                    snap_mark_payload(epoch, floor, self.executed_count),
+                ),
+            ] {
+                let accepted = ctx.fanout([(actor, to)], kind, payload, self.cfg.attempts);
+                self.log.borrow_mut().messages_sent += accepted as u64;
+            }
+        }
     }
 
     fn sync_inbox_counters(&mut self) {
@@ -755,6 +1017,18 @@ impl NetActor for ReplicaGroup {
                     GK_TICK => self.on_tick(now, ctx),
                     GK_DELIVER => self.on_deliver(now, ctx),
                     GK_RESYNC => self.finish_order_resync(),
+                    GK_PULL
+                        // Re-announce the pull while no snapshot arrived
+                        // (lost PULL or reply copies, or a leader change
+                        // mid-answer).
+                        if self.catching_up => {
+                            self.fanout(ctx, GMSG_PULL, self.epoch & 0xFFFF);
+                            ctx.timer_after(
+                                self.cfg.delta.saturating_mul(4),
+                                tag(GK_PULL, self.epoch & 0xFFFF),
+                            );
+                        }
+                    GK_SNAP => self.serve_pending_pulls(now, ctx),
                     _ => {}
                 }
             }
@@ -813,7 +1087,7 @@ impl NetActor for ReplicaGroup {
                             // of requests (a restarted replica's shorter
                             // history is not a divergence).
                             let comparable = self.last_executed == Some(id)
-                                && self.executed.len() as u64 & 0xFFF == count;
+                                && self.executed_count & 0xFFF == count;
                             let mut log = self.log.borrow_mut();
                             log.suppressed += 1;
                             if comparable && self.state & 0xFFFF_FFFF != digest {
@@ -825,6 +1099,41 @@ impl NetActor for ReplicaGroup {
                     // copy must not roll the checkpoint back.
                     GMSG_CKPT if self.ckpt_watermark.is_none_or(|w| payload > w) => {
                         self.ckpt_watermark = Some(payload);
+                    }
+                    GMSG_PULL
+                        // Only the current leader answers, after one
+                        // deferral window; everyone else stays silent and
+                        // the puller's retransmission finds the leader.
+                        if from.0 != self.me() && self.cur_leader == self.me() && !self.catching_up
+                        => {
+                            let epoch = payload & 0xFFFF;
+                            self.pending_pulls.retain(|(n, _)| *n != from.0);
+                            self.pending_pulls.push((from.0, epoch));
+                            ctx.timer_at(
+                                now + self.cfg.delta.saturating_mul(2),
+                                tag(GK_SNAP, self.epoch & 0xFFFF),
+                            );
+                        }
+                    GMSG_SNAP_HI if self.catching_up => {
+                        let (epoch, bits) = snap_decode(payload);
+                        if epoch == self.epoch & 0xFFFF {
+                            self.snap_hi = Some(bits);
+                            self.maybe_adopt_snapshot(now, ctx);
+                        }
+                    }
+                    GMSG_SNAP_LO if self.catching_up => {
+                        let (epoch, bits) = snap_decode(payload);
+                        if epoch == self.epoch & 0xFFFF {
+                            self.snap_lo = Some(bits);
+                            self.maybe_adopt_snapshot(now, ctx);
+                        }
+                    }
+                    GMSG_SNAP_MARK if self.catching_up => {
+                        let (epoch, floor, count) = snap_mark_decode(payload);
+                        if epoch == self.epoch & 0xFFFF {
+                            self.snap_mark = Some((floor, count));
+                            self.maybe_adopt_snapshot(now, ctx);
+                        }
                     }
                     _ => {}
                 }
@@ -902,6 +1211,7 @@ mod tests {
                         style,
                         request_period: ms(1),
                         first_request_at: t_ms(1),
+                        schedule: None,
                         delta: us(60),
                         attempts,
                         peers: peers.clone(),
@@ -1068,6 +1378,7 @@ mod tests {
                         style: ReplicaStyle::SemiActive,
                         request_period: ms(15),
                         first_request_at: t_ms(1),
+                        schedule: None,
                         delta: us(60),
                         attempts: 1,
                         peers: peers.clone(),
@@ -1173,6 +1484,136 @@ mod tests {
         );
         let reference = logs[0].borrow().delivery_order();
         assert!(reference.len() >= 12);
+        for log in &logs {
+            assert_eq!(log.borrow().delivery_order(), reference);
+        }
+    }
+
+    #[test]
+    fn restarted_active_member_catches_up_to_the_full_fold() {
+        // Node 1 is down for 7 ms of a 30 ms run — it misses ~7 requests
+        // permanently (they were delivered while it was dead). Before the
+        // catch-up protocol its order-sensitive state fold could never
+        // equal the survivors' again; with the group fold pulled from the
+        // leader at rejoin, every member ends with the identical state.
+        let crash = t_ms(5);
+        let restart = t_ms(12);
+        let plan = FaultPlan::new().crash_window(NodeId(1), crash, restart);
+        let logs = run_group(ReplicaStyle::Active, 3, plan, None, 21, ms(30), 1, 0);
+        let joiner = logs[1].borrow();
+        assert_eq!(joiner.restarts, vec![restart]);
+        assert_eq!(joiner.catchups, 1, "the snapshot was adopted");
+        let reference = logs[0].borrow();
+        assert!(
+            joiner.delivery_order().len() < reference.delivery_order().len(),
+            "the blackout window is genuinely missing from its own deliveries"
+        );
+        assert_eq!(
+            joiner.final_state, reference.final_state,
+            "the adopted fold covers the blackout window"
+        );
+        assert_eq!(logs[2].borrow().final_state, reference.final_state);
+    }
+
+    #[test]
+    fn restarted_semi_active_follower_defers_orders_until_adoption() {
+        // A fast request stream (100 µs) floods the restart window with
+        // decided orders: several arrive at the returning follower while
+        // its snapshot pull is still in flight. Executing them before
+        // adoption would fold ids the snapshot overwrite then silently
+        // loses; the fix holds them back and settles the buffered stream
+        // at adoption — every member must end on the identical fold.
+        for seed in 0..6u64 {
+            let crash = t_ms(5);
+            let restart = t_ms(12);
+            let plan = FaultPlan::new().crash_window(NodeId(1), crash, restart);
+            let link = LinkConfig::reliable(us(10), us(40));
+            let net =
+                Network::homogeneous(3, link, SimRng::seed_from(100 + seed)).with_fault_plan(plan);
+            let mut rt = ActorEngine::new(net);
+            let members = vec![0, 1, 2];
+            let peers: Vec<(u32, ActorId)> = members.iter().map(|n| (*n, ActorId(*n))).collect();
+            let logs: Vec<_> = (0..3)
+                .map(|n| {
+                    let (member, log) = ReplicaGroup::new(
+                        GroupConfig {
+                            group: 0,
+                            node: NodeId(n),
+                            members: members.clone(),
+                            style: ReplicaStyle::SemiActive,
+                            request_period: us(100),
+                            first_request_at: t_ms(1),
+                            schedule: None,
+                            delta: us(60),
+                            attempts: 1,
+                            peers: peers.clone(),
+                        },
+                        None,
+                    );
+                    rt.add_actor(Box::new(member));
+                    log
+                })
+                .collect();
+            rt.run(Time::ZERO + ms(30));
+            let joiner = logs[1].borrow();
+            assert_eq!(joiner.catchups, 1, "seed {seed}: snapshot adopted");
+            let leader = logs[0].borrow();
+            assert_eq!(
+                joiner.final_state, leader.final_state,
+                "seed {seed}: the returning follower's fold diverged"
+            );
+            assert_eq!(logs[2].borrow().final_state, leader.final_state);
+        }
+    }
+
+    #[test]
+    fn explicit_schedule_drives_submissions_and_ends_the_stream() {
+        // A replayed-trace schedule: three bursts, then silence. The
+        // gateway must submit exactly the scheduled instants and stop.
+        let times: Vec<Time> = [1_000u64, 1_200, 5_000, 5_100, 5_200, 9_000]
+            .iter()
+            .map(|us_| Time::ZERO + us(*us_))
+            .collect();
+        let link = LinkConfig::reliable(us(10), us(40));
+        let net = Network::homogeneous(3, link, SimRng::seed_from(3));
+        let mut rt = ActorEngine::new(net);
+        let members = vec![0, 1, 2];
+        let peers: Vec<(u32, ActorId)> = members.iter().map(|n| (*n, ActorId(*n))).collect();
+        let schedule = Rc::new(times.clone());
+        let logs: Vec<_> = (0..3)
+            .map(|n| {
+                let (member, log) = ReplicaGroup::new(
+                    GroupConfig {
+                        group: 0,
+                        node: NodeId(n),
+                        members: members.clone(),
+                        style: ReplicaStyle::Active,
+                        request_period: Duration::ZERO,
+                        first_request_at: Time::ZERO,
+                        schedule: Some(schedule.clone()),
+                        delta: us(60),
+                        attempts: 1,
+                        peers: peers.clone(),
+                    },
+                    None,
+                );
+                rt.add_actor(Box::new(member));
+                log
+            })
+            .collect();
+        rt.run(Time::ZERO + ms(20));
+        let gateway = logs[0].borrow();
+        assert_eq!(
+            gateway
+                .submitted
+                .iter()
+                .map(|(_, at)| *at)
+                .collect::<Vec<_>>(),
+            times,
+            "one submission per scheduled instant, at that instant"
+        );
+        let reference = gateway.delivery_order();
+        assert_eq!(reference, vec![0, 1, 2, 3, 4, 5]);
         for log in &logs {
             assert_eq!(log.borrow().delivery_order(), reference);
         }

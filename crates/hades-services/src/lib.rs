@@ -21,6 +21,9 @@
 //! * [`storage`] — persistent stable storage with atomic updates;
 //! * [`depend`] — dependency tracking and orphan elimination (\[NMT97\]);
 //! * [`membership`] — detector-triggered, consensus-agreed view changes;
+//! * [`memberset`] — variable-length membership bitsets with a compact
+//!   wire encoding (the post-`u64` representation circulated by every
+//!   membership-carrying protocol, unbounded by the old 48-node cap);
 //! * [`checkpoint`] — state capture with bounded-replay recovery;
 //! * [`recovery`] — the crash→restart→rejoin lifecycle: sizing of
 //!   checkpointed state transfer and the analytic rejoin-latency bounds;
@@ -41,6 +44,7 @@ pub mod consensus;
 pub mod depend;
 pub mod detect;
 pub mod group;
+pub mod memberset;
 pub mod membership;
 pub mod recovery;
 pub mod replication;
@@ -56,6 +60,7 @@ pub use consensus::{ConsensusConfig, ConsensusOutcome, FloodConsensus};
 pub use depend::DependencyTracker;
 pub use detect::{DetectorConfig, DetectorOutcome, HeartbeatDetector};
 pub use group::{GroupConfig, GroupLog, ReplicaGroup};
+pub use memberset::{MemberSet, MAX_NODES};
 pub use membership::{MembershipOutcome, MembershipSim, View};
 pub use recovery::{RecoveryConfig, RejoinRecord};
 pub use replication::{ReplicaStyle, ReplicationOutcome, ReplicationSim};

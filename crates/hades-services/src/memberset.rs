@@ -1,0 +1,446 @@
+//! Variable-length membership sets.
+//!
+//! Membership masks used to be packed into a single `u64` message
+//! payload, which capped clusters at 48 nodes (16 bits of every payload
+//! were claimed by protocol framing). [`MemberSet`] removes the cap: a
+//! small-vec bitset that keeps the first 64 node bits inline (zero
+//! allocation for the common LAN-scale cluster) and spills into heap
+//! words beyond, with a compact wire encoding.
+//!
+//! Two encodings are exposed:
+//!
+//! * **32-bit wire words** ([`MemberSet::wire_word`] /
+//!   [`MemberSet::set_wire_word`]) — the unit the agent protocols ship
+//!   inside their fixed 64-bit message cells. A membership of `n` nodes
+//!   takes [`MemberSet::wire_words`]`(n)` words; each word travels as an
+//!   independent message, which works because every membership merge rule
+//!   (exclusion by intersection, admission by union) is bitwise and can
+//!   therefore be applied word by word.
+//! * **byte encoding** ([`MemberSet::encode`] / [`MemberSet::decode`]) —
+//!   a length-prefixed little-endian form with trailing zero words
+//!   trimmed, for checkpoints and tests.
+
+/// The largest cluster the agent wire protocols address: wire word
+/// indices are carried in 8 payload bits, giving `256 · 32` node bits.
+pub const MAX_NODES: u32 = 8_192;
+
+/// A set of node ids, stored as a variable-length bitset.
+///
+/// The first 64 bits live inline; larger clusters spill into heap words.
+/// Trailing zero spill words are always trimmed so that equal sets
+/// compare equal regardless of construction history.
+///
+/// # Examples
+///
+/// ```
+/// use hades_services::memberset::MemberSet;
+///
+/// let mut view = MemberSet::full(96);
+/// assert_eq!(view.len(), 96);
+/// view.remove(70);
+/// assert!(!view.contains(70));
+/// assert_eq!(view.members().count(), 95);
+///
+/// // Wire roundtrip: ship the set as 32-bit words, one per message.
+/// let mut rebuilt = MemberSet::new();
+/// for w in 0..MemberSet::wire_words(96) {
+///     rebuilt.set_wire_word(w, view.wire_word(w));
+/// }
+/// assert_eq!(rebuilt, view);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct MemberSet {
+    /// Bits of nodes 0..64.
+    word0: u64,
+    /// Bits of nodes 64.., 64 per word; trailing zero words trimmed.
+    spill: Vec<u64>,
+}
+
+impl MemberSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        MemberSet::default()
+    }
+
+    /// The full membership `{0, …, nodes − 1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` exceeds [`MAX_NODES`].
+    pub fn full(nodes: u32) -> Self {
+        assert!(
+            nodes <= MAX_NODES,
+            "membership sets address up to {MAX_NODES} nodes"
+        );
+        let mut s = MemberSet::new();
+        for n in 0..nodes {
+            s.insert(n);
+        }
+        s
+    }
+
+    /// A set holding exactly `node`.
+    pub fn single(node: u32) -> Self {
+        let mut s = MemberSet::new();
+        s.insert(node);
+        s
+    }
+
+    /// Builds a set from ascending-or-not member ids.
+    pub fn from_members(members: &[u32]) -> Self {
+        let mut s = MemberSet::new();
+        for m in members {
+            s.insert(*m);
+        }
+        s
+    }
+
+    fn word(&self, idx: usize) -> u64 {
+        if idx == 0 {
+            self.word0
+        } else {
+            self.spill.get(idx - 1).copied().unwrap_or(0)
+        }
+    }
+
+    fn word_mut(&mut self, idx: usize) -> &mut u64 {
+        if idx == 0 {
+            &mut self.word0
+        } else {
+            if self.spill.len() < idx {
+                self.spill.resize(idx, 0);
+            }
+            &mut self.spill[idx - 1]
+        }
+    }
+
+    fn trim(&mut self) {
+        while self.spill.last() == Some(&0) {
+            self.spill.pop();
+        }
+    }
+
+    /// Number of 64-bit words in use (for iteration).
+    fn words_in_use(&self) -> usize {
+        1 + self.spill.len()
+    }
+
+    /// Adds `node`; returns whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is at or beyond [`MAX_NODES`].
+    pub fn insert(&mut self, node: u32) -> bool {
+        assert!(
+            node < MAX_NODES,
+            "node {node} beyond the {MAX_NODES}-node addressing cap"
+        );
+        let w = self.word_mut(node as usize / 64);
+        let bit = 1u64 << (node % 64);
+        let fresh = *w & bit == 0;
+        *w |= bit;
+        fresh
+    }
+
+    /// Removes `node`; returns whether it was present.
+    pub fn remove(&mut self, node: u32) -> bool {
+        let idx = node as usize / 64;
+        if idx >= self.words_in_use() {
+            return false;
+        }
+        let w = self.word_mut(idx);
+        let bit = 1u64 << (node % 64);
+        let had = *w & bit != 0;
+        *w &= !bit;
+        self.trim();
+        had
+    }
+
+    /// Whether `node` is in the set.
+    pub fn contains(&self, node: u32) -> bool {
+        self.word(node as usize / 64) & (1u64 << (node % 64)) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> u32 {
+        self.word0.count_ones() + self.spill.iter().map(|w| w.count_ones()).sum::<u32>()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.word0 == 0 && self.spill.iter().all(|w| *w == 0)
+    }
+
+    /// The lowest member, if any.
+    pub fn first(&self) -> Option<u32> {
+        for idx in 0..self.words_in_use() {
+            let w = self.word(idx);
+            if w != 0 {
+                return Some(idx as u32 * 64 + w.trailing_zeros());
+            }
+        }
+        None
+    }
+
+    /// Members in ascending order.
+    pub fn members(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.words_in_use()).flat_map(move |idx| {
+            let w = self.word(idx);
+            (0..64u32)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| idx as u32 * 64 + b)
+        })
+    }
+
+    /// Members as a vector, ascending.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.members().collect()
+    }
+
+    /// In-place union: `self ∪ other`.
+    pub fn union_with(&mut self, other: &MemberSet) {
+        for idx in 0..other.words_in_use() {
+            *self.word_mut(idx) |= other.word(idx);
+        }
+    }
+
+    /// In-place intersection: `self ∩ other`.
+    pub fn intersect_with(&mut self, other: &MemberSet) {
+        for idx in 0..self.words_in_use() {
+            *self.word_mut(idx) &= other.word(idx);
+        }
+        self.trim();
+    }
+
+    /// In-place difference: `self ∖ other`.
+    pub fn subtract(&mut self, other: &MemberSet) {
+        for idx in 0..self.words_in_use() {
+            *self.word_mut(idx) &= !other.word(idx);
+        }
+        self.trim();
+    }
+
+    /// `self ∪ other`, by value.
+    pub fn union(&self, other: &MemberSet) -> MemberSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// `self ∩ other`, by value.
+    pub fn intersection(&self, other: &MemberSet) -> MemberSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// `self ∖ other`, by value.
+    pub fn difference(&self, other: &MemberSet) -> MemberSet {
+        let mut s = self.clone();
+        s.subtract(other);
+        s
+    }
+
+    /// Whether the two sets share any member.
+    pub fn intersects(&self, other: &MemberSet) -> bool {
+        (0..self.words_in_use().max(other.words_in_use()))
+            .any(|idx| self.word(idx) & other.word(idx) != 0)
+    }
+
+    // --- 32-bit wire words -------------------------------------------
+
+    /// Number of 32-bit wire words a membership of `nodes` nodes takes.
+    pub fn wire_words(nodes: u32) -> u32 {
+        nodes.div_ceil(32).max(1)
+    }
+
+    /// The 32-bit wire word at `idx` (nodes `32·idx .. 32·idx + 32`).
+    pub fn wire_word(&self, idx: u32) -> u32 {
+        let word = self.word(idx as usize / 2);
+        if idx.is_multiple_of(2) {
+            word as u32
+        } else {
+            (word >> 32) as u32
+        }
+    }
+
+    /// Overwrites the 32-bit wire word at `idx`.
+    pub fn set_wire_word(&mut self, idx: u32, bits: u32) {
+        let w = self.word_mut(idx as usize / 2);
+        if idx.is_multiple_of(2) {
+            *w = (*w & !0xFFFF_FFFF) | bits as u64;
+        } else {
+            *w = (*w & 0xFFFF_FFFF) | ((bits as u64) << 32);
+        }
+        self.trim();
+    }
+
+    /// Merges one received wire word of a view-change proposal into this
+    /// proposal under the membership merge rule, restricted to the nodes
+    /// the word covers: exclusion wins for current members of `view`
+    /// (intersection), inclusion wins for returners outside it (union).
+    /// Returns whether the word changed.
+    pub fn merge_wire_word(&mut self, idx: u32, bits: u32, view: &MemberSet) -> bool {
+        let cur = self.wire_word(idx);
+        let vm = view.wire_word(idx);
+        let merged = (cur & bits & vm) | ((cur | bits) & !vm);
+        if merged != cur {
+            self.set_wire_word(idx, merged);
+            true
+        } else {
+            false
+        }
+    }
+
+    // --- byte encoding -----------------------------------------------
+
+    /// Compact byte encoding: a word-count byte followed by the in-use
+    /// 64-bit words, little-endian, trailing zero words trimmed.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut words = vec![self.word0];
+        words.extend_from_slice(&self.spill);
+        while words.len() > 1 && words.last() == Some(&0) {
+            words.pop();
+        }
+        let mut out = Vec::with_capacity(1 + words.len() * 8);
+        out.push(words.len() as u8);
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes [`MemberSet::encode`]'s output; `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<MemberSet> {
+        let (&count, rest) = bytes.split_first()?;
+        let count = count as usize;
+        if count == 0 || rest.len() != count * 8 {
+            return None;
+        }
+        let mut words = rest
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        let word0 = words.next()?;
+        let mut s = MemberSet {
+            word0,
+            spill: words.collect(),
+        };
+        s.trim();
+        Some(s)
+    }
+}
+
+impl FromIterator<u32> for MemberSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut s = MemberSet::new();
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for MemberSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, m) in self.members().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_across_the_inline_boundary() {
+        let mut s = MemberSet::new();
+        assert!(s.insert(3));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(95));
+        assert!(!s.insert(95), "already present");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.to_vec(), vec![3, 63, 64, 95]);
+        assert!(s.contains(64) && !s.contains(65));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.first(), Some(3));
+        assert!(!s.contains(64));
+    }
+
+    #[test]
+    fn trailing_zero_words_do_not_break_equality() {
+        let mut a = MemberSet::single(7);
+        let mut b = MemberSet::single(7);
+        b.insert(100);
+        b.remove(100);
+        assert_eq!(a, b, "spill words trimmed after removal");
+        a.insert(100);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn full_set_spans_96_nodes() {
+        let s = MemberSet::full(96);
+        assert_eq!(s.len(), 96);
+        assert_eq!(s.first(), Some(0));
+        assert!(s.contains(95) && !s.contains(96));
+        assert_eq!(MemberSet::wire_words(96), 3);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = MemberSet::from_members(&[0, 2, 70, 90]);
+        let b = MemberSet::from_members(&[2, 70, 91]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![2, 70]);
+        assert_eq!(a.union(&b).to_vec(), vec![0, 2, 70, 90, 91]);
+        assert_eq!(a.difference(&b).to_vec(), vec![0, 90]);
+        assert!(a.intersects(&b));
+        assert!(!MemberSet::single(1).intersects(&MemberSet::single(2)));
+    }
+
+    #[test]
+    fn wire_word_roundtrip_at_96_nodes() {
+        let mut s = MemberSet::full(96);
+        s.remove(0);
+        s.remove(33);
+        s.remove(95);
+        let mut back = MemberSet::new();
+        for w in 0..MemberSet::wire_words(96) {
+            back.set_wire_word(w, s.wire_word(w));
+        }
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn merge_rule_is_exclusion_for_members_inclusion_for_returners() {
+        // View {0, 1, 2, 70}; proposal A drops 1, proposal B drops 70 and
+        // re-admits 80.
+        let view = MemberSet::from_members(&[0, 1, 2, 70]);
+        let mut a = MemberSet::from_members(&[0, 2, 70]);
+        let b = MemberSet::from_members(&[0, 1, 2, 80]);
+        let mut changed = false;
+        for w in 0..MemberSet::wire_words(96) {
+            changed |= a.merge_wire_word(w, b.wire_word(w), &view);
+        }
+        assert!(changed);
+        assert_eq!(a.to_vec(), vec![0, 2, 80], "1 and 70 excluded, 80 admitted");
+    }
+
+    #[test]
+    fn byte_encoding_roundtrip_and_rejects_garbage() {
+        for members in [vec![], vec![0], vec![63, 64], vec![5, 100, 8_000]] {
+            let s = MemberSet::from_members(&members);
+            assert_eq!(MemberSet::decode(&s.encode()), Some(s));
+        }
+        assert_eq!(MemberSet::decode(&[]), None);
+        assert_eq!(MemberSet::decode(&[2, 0, 0]), None, "truncated words");
+        assert_eq!(MemberSet::decode(&[0]), None, "zero word count");
+    }
+}

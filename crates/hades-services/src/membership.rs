@@ -8,9 +8,15 @@
 //! each exclusion is agreed by [`crate::consensus`] flooding consensus
 //! before a new view is installed — so all surviving members step through
 //! identical views at bounded times after each failure.
+//!
+//! Membership circulates as a [`MemberSet`]: agreement runs once per
+//! 32-bit wire word of the set, which is sound because the exclusion
+//! merge is bitwise — so clusters are no longer bounded by what fits in
+//! one `u64` consensus value.
 
 use crate::consensus::{ConsensusConfig, FloodConsensus};
 use crate::detect::{DetectorConfig, HeartbeatDetector};
+use crate::memberset::MemberSet;
 use hades_sim::Network;
 use hades_time::Time;
 
@@ -26,16 +32,17 @@ pub struct View {
 }
 
 impl View {
-    /// Membership as a bitmask (bit *i* = node *i* present); the encoding
-    /// circulated through consensus.
-    pub fn mask(&self) -> u64 {
-        self.members.iter().fold(0, |m, n| m | (1 << n))
+    /// Membership as a [`MemberSet`] — the encoding circulated through
+    /// consensus and the agent wire protocols.
+    pub fn member_set(&self) -> MemberSet {
+        MemberSet::from_members(&self.members)
     }
 
-    fn from_mask(number: u32, mask: u64, installed_at: Time, n: u32) -> View {
+    /// Builds a view from an agreed membership set.
+    pub fn from_set(number: u32, set: &MemberSet, installed_at: Time) -> View {
         View {
             number,
-            members: (0..n).filter(|i| mask & (1 << i) != 0).collect(),
+            members: set.to_vec(),
             installed_at,
         }
     }
@@ -96,8 +103,8 @@ impl MembershipSim {
     /// Runs detection + agreement over `net` and returns the view history.
     pub fn execute(self, net: Network) -> MembershipOutcome {
         let n = net.node_count();
-        let full_mask: u64 = (0..n).fold(0, |m, i| m | (1 << i));
-        let mut views = vec![View::from_mask(0, full_mask, Time::ZERO, n)];
+        let words = MemberSet::wire_words(n);
+        let mut views = vec![View::from_set(0, &MemberSet::full(n), Time::ZERO)];
         let mut messages = 0u64;
         // Observe crashes (the observer stands for any correct member; the
         // detector is perfect, so all members reach the same suspicions
@@ -121,27 +128,31 @@ impl MembershipSim {
             if !current.members.contains(&crashed) {
                 continue;
             }
-            let proposed = current.mask() & !(1 << crashed);
-            // Every member proposes the new mask; crashed members do not
+            let mut proposed = current.member_set();
+            proposed.remove(crashed);
+            // Every member proposes the new set; crashed members do not
             // participate (the consensus run excludes them via the fault
-            // plan).
-            let proposals: Vec<u64> = (0..n).map(|_| proposed).collect();
-            let agree_net = net.clone();
-            let agreed = FloodConsensus::new(ConsensusConfig {
-                f: 1,
-                proposals,
-                start: at,
-            })
-            .execute(agree_net);
-            messages += agreed.messages;
-            debug_assert!(agreed.agreement_holds());
-            let mask = agreed.decided_value().unwrap_or(proposed);
-            views.push(View::from_mask(
-                current.number + 1,
-                mask,
-                agreed.decided_at,
-                n,
-            ));
+            // plan). Agreement runs once per wire word — the exclusion
+            // merge is bitwise, so word-wise decisions compose into the
+            // same agreed set.
+            let mut agreed = MemberSet::new();
+            let mut decided_at = at;
+            for w in 0..words {
+                let word = proposed.wire_word(w) as u64;
+                let proposals: Vec<u64> = (0..n).map(|_| word).collect();
+                let agree_net = net.clone();
+                let outcome = FloodConsensus::new(ConsensusConfig {
+                    f: 1,
+                    proposals,
+                    start: at,
+                })
+                .execute(agree_net);
+                messages += outcome.messages;
+                debug_assert!(outcome.agreement_holds());
+                decided_at = outcome.decided_at;
+                agreed.set_wire_word(w, outcome.decided_value().unwrap_or(word) as u32);
+            }
+            views.push(View::from_set(current.number + 1, &agreed, decided_at));
         }
         MembershipOutcome { views, messages }
     }
@@ -211,15 +222,33 @@ mod tests {
     }
 
     #[test]
-    fn view_mask_roundtrip() {
+    fn view_member_set_roundtrip() {
         let v = View {
             number: 1,
-            members: vec![0, 2, 3],
+            members: vec![0, 2, 3, 70],
             installed_at: Time::ZERO,
         };
-        assert_eq!(v.mask(), 0b1101);
-        let back = View::from_mask(1, 0b1101, Time::ZERO, 4);
-        assert_eq!(back.members, vec![0, 2, 3]);
+        let set = v.member_set();
+        assert_eq!(set.to_vec(), vec![0, 2, 3, 70]);
+        let back = View::from_set(1, &set, Time::ZERO);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn membership_agrees_beyond_64_nodes() {
+        // 96 nodes take three wire words of agreement per view change —
+        // the case the single-u64 consensus value could not carry.
+        let plan = FaultPlan::new().crash_at(NodeId(77), Time::ZERO + ms(5));
+        let net = Network::homogeneous(
+            96,
+            LinkConfig::reliable(us(10), us(40)),
+            SimRng::seed_from(5),
+        )
+        .with_fault_plan(plan);
+        let out = MembershipSim::new(detector()).execute(net);
+        assert_eq!(out.views.len(), 2);
+        let expected: Vec<u32> = (0..96).filter(|n| *n != 77).collect();
+        assert_eq!(out.final_members(), expected.as_slice());
     }
 
     #[test]

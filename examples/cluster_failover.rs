@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ms = Duration::from_millis;
 
     let crash = Time::ZERO + ms(50);
-    let mut cluster = HadesCluster::new(4)
+    let mut spec = ClusterSpec::new(4)
         .policy(Policy::Edf)
         .costs(CostModel::measured_default())
         .link(LinkConfig::reliable(us(10), us(50)))
@@ -25,16 +25,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .seed(42)
         .scenario(ScenarioPlan::new().crash(NodeId(0), crash));
 
-    // Each node runs a fast control loop and a slower logging task; the
-    // middleware tasks (mw.hb, mw.sync, mw.ckpt) are injected on top.
+    // Each node runs a fast control loop and a slower logging service;
+    // the middleware tasks (mw.hb, mw.sync, mw.ckpt) are injected on top.
     for node in 0..4 {
-        cluster = cluster
-            .periodic_app(node, "control", us(200), ms(2))
-            .periodic_app(node, "logging", us(500), ms(10));
+        spec = spec
+            .service(ServiceSpec::periodic("control", node, us(200), ms(2)))
+            .service(ServiceSpec::periodic("logging", node, us(500), ms(10)));
     }
 
-    let bound = cluster.detection_bound();
-    let report = cluster.run()?;
+    let bound = spec.detection_bound();
+    let run = spec.run()?;
+    let report = run.report();
 
     println!("{}", report.summary());
     println!("analytic detection bound: {bound}");
@@ -51,6 +52,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(report.detection_within_bound());
     assert!(report.views_agree);
     assert!(report.all_app_deadlines_met());
+
+    // The typed event stream carries the causal order directly.
+    println!("\nevent stream:");
+    for ev in run.events() {
+        println!("  {:<12} {:?}", ev.at().to_string(), ev.kind());
+    }
+    let kinds = run.kind_sequence();
+    let pos = |k: &str| kinds.iter().position(|x| *x == k).unwrap();
+    assert!(pos("detected") < pos("failed-over"));
     println!("crash -> detect -> view change -> failover: all bounds held");
     Ok(())
 }

@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let crash = Time::ZERO + ms(20);
     let restart = Time::ZERO + ms(45);
-    let mut cluster = HadesCluster::new(5)
+    let mut spec = ClusterSpec::new(5)
         .policy(Policy::Edf)
         .costs(CostModel::measured_default())
         .link(LinkConfig::reliable(us(10), us(50)))
@@ -33,14 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .restart(NodeId(2), restart),
         );
     for node in 0..5 {
-        cluster = cluster
-            .periodic_app(node, "control", us(200), ms(2))
-            .periodic_app(node, "logging", us(500), ms(10));
+        spec = spec
+            .service(ServiceSpec::periodic("control", node, us(200), ms(2)))
+            .service(ServiceSpec::periodic("logging", node, us(500), ms(10)));
     }
 
-    let detection_bound = cluster.detection_bound();
-    let rejoin_bound = cluster.rejoin_bound();
-    let report = cluster.run()?;
+    let detection_bound = spec.detection_bound();
+    let rejoin_bound = spec.rejoin_bound();
+    let report = spec.run()?.into_report();
 
     println!("{}", report.summary());
 

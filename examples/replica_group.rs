@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let us = Duration::from_micros;
     let ms = Duration::from_millis;
 
-    let mut cluster = HadesCluster::new(5)
+    let mut spec = ClusterSpec::new(5)
         .policy(Policy::Edf)
         .costs(CostModel::measured_default())
         .horizon(ms(100))
@@ -34,25 +34,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .crash(NodeId(0), Time::ZERO + ms(20))
                 .restart(NodeId(0), Time::ZERO + ms(40)),
         )
-        .with_group(ReplicaStyle::Active, vec![0, 1, 2], GroupLoad::default())
-        .with_group(
+        .service(ServiceSpec::replicated(
+            "active-store",
+            ReplicaStyle::Active,
+            vec![0, 1, 2],
+            GroupLoad::default(),
+        ))
+        .service(ServiceSpec::replicated(
+            "semi-active-store",
             ReplicaStyle::SemiActive,
             vec![0, 3, 4],
             GroupLoad::default(),
-        )
-        .with_group(
+        ))
+        .service(ServiceSpec::replicated(
+            "passive-store",
             ReplicaStyle::Passive {
                 checkpoint_every: 5,
             },
             vec![1, 2, 3],
             GroupLoad::default(),
-        );
+        ));
     for node in 0..5 {
-        cluster = cluster.periodic_app(node, "control", us(200), ms(2));
+        spec = spec.service(ServiceSpec::periodic("control", node, us(200), ms(2)));
     }
 
-    let delta = cluster.group_delta();
-    let report = cluster.run()?;
+    let delta = spec.group_delta();
+    let report = spec.run()?.into_report();
     println!("{}", report.summary());
 
     println!("Δ-multicast delivery delay: {delta}");

@@ -67,9 +67,12 @@ pub use system::{HadesNode, Policy, SystemError};
 /// One-stop imports for building and running a HADES deployment.
 pub mod prelude {
     pub use crate::system::{HadesNode, Policy, SystemError};
+    #[allow(deprecated)]
+    pub use hades_cluster::HadesCluster;
     pub use hades_cluster::{
-        ClusterError, ClusterReport, GroupLoad, GroupReport, HadesCluster, MiddlewareConfig,
-        ModeChangeRecord, RecoveryRecord, ScenarioPlan, ViewChangeStats,
+        Bursty, ClosedLoop, ClusterError, ClusterEvent, ClusterReport, ClusterRun, ClusterSpec,
+        ConstantRate, GroupLoad, GroupReport, MiddlewareConfig, ModeChangeRecord, RecoveryRecord,
+        ScenarioPlan, ServiceSpec, SpecError, SpecIssue, TraceReplay, ViewChangeStats, Workload,
     };
     pub use hades_dispatch::{
         CostModel, DispatchSim, ExecTimeModel, MissPolicy, MonitorEvent, ResourceProtocol,

@@ -1,7 +1,9 @@
 //! End-to-end cluster scenarios: crash → detect → view change → failover
 //! and crash → restart → state transfer → rejoin on the integrated
-//! multi-node runtime, plus the detection- and rejoin-latency bounds as
-//! properties over random scenarios.
+//! multi-node runtime, expressed through the deployment-spec API — plus
+//! the detection- and rejoin-latency bounds as properties over random
+//! scenarios, the typed event stream, and a 96-node run beyond the old
+//! 48-node membership-mask cap.
 
 use proptest::prelude::*;
 
@@ -16,27 +18,28 @@ fn ms(n: u64) -> Duration {
     Duration::from_millis(n)
 }
 
-/// The acceptance scenario: a 4-node cluster under EDF with measured
+/// The acceptance scenario: a 4-node deployment under EDF with measured
 /// dispatcher costs; node 0 (the passive primary) is killed at t = 50 ms.
-fn failover_cluster(seed: u64) -> HadesCluster {
-    let mut cluster = HadesCluster::new(4)
+fn failover_spec(seed: u64) -> ClusterSpec {
+    let mut spec = ClusterSpec::new(4)
         .policy(Policy::Edf)
         .costs(CostModel::measured_default())
         .horizon(ms(100))
         .seed(seed)
         .scenario(ScenarioPlan::new().crash(NodeId(0), Time::ZERO + ms(50)));
     for node in 0..4 {
-        cluster = cluster
-            .periodic_app(node, "control", us(200), ms(2))
-            .periodic_app(node, "logging", us(500), ms(10));
+        spec = spec
+            .service(ServiceSpec::periodic("control", node, us(200), ms(2)))
+            .service(ServiceSpec::periodic("logging", node, us(500), ms(10)));
     }
-    cluster
+    spec
 }
 
 #[test]
 fn crash_detect_view_change_failover_sequence() {
     let crash = Time::ZERO + ms(50);
-    let report = failover_cluster(42).run().unwrap();
+    let run = failover_spec(42).run().unwrap();
+    let report = run.report();
 
     // Detection: every surviving observer suspected node 0, nobody else,
     // within the analytic bound.
@@ -86,20 +89,89 @@ fn crash_detect_view_change_failover_sequence() {
 }
 
 #[test]
+fn event_stream_carries_the_causal_failover_sequence() {
+    // The typed event stream replaces aggregate scraping: the causal
+    // order crash → detection → view change → (failover) is asserted
+    // directly on the sequence.
+    let crash = Time::ZERO + ms(50);
+    let run = failover_spec(42).run().unwrap();
+    let events = run.events();
+    assert!(!events.is_empty());
+    // Time-sorted.
+    assert!(events.windows(2).all(|w| w[0].at() <= w[1].at()));
+
+    // View 0 installs at time zero, before anything else happens.
+    let ClusterEvent::ViewInstalled { number: 0, at, .. } = events
+        .iter()
+        .find(|e| matches!(e, ClusterEvent::ViewInstalled { number: 0, .. }))
+        .expect("view 0 installed")
+    else {
+        unreachable!()
+    };
+    assert_eq!(*at, Time::ZERO);
+
+    // First detection precedes the exclusion view install, which
+    // precedes (or coincides with) the failover takeover.
+    let first_detection = events
+        .iter()
+        .find_map(|e| match e {
+            ClusterEvent::Detected { suspect: 0, at, .. } => Some(*at),
+            _ => None,
+        })
+        .expect("the crash was detected");
+    let view1 = events
+        .iter()
+        .find_map(|e| match e {
+            ClusterEvent::ViewInstalled {
+                number: 1,
+                members,
+                at,
+            } => {
+                assert_eq!(members, &vec![1, 2, 3]);
+                Some(*at)
+            }
+            _ => None,
+        })
+        .expect("the exclusion view installed");
+    let failover = events
+        .iter()
+        .find_map(|e| match e {
+            ClusterEvent::FailedOver {
+                failed_primary: 0,
+                new_primary: 1,
+                at,
+            } => Some(*at),
+            _ => None,
+        })
+        .expect("the failover happened");
+    assert!(crash < first_detection);
+    assert!(first_detection < view1);
+    assert!(view1 <= failover);
+
+    // No deadline was missed, so the stream carries no miss events.
+    assert!(run.events_of_kind("deadline-miss").next().is_none());
+
+    // The compact kind sequence reads in causal order too.
+    let kinds = run.kind_sequence();
+    let pos = |k: &str| kinds.iter().position(|x| *x == k).unwrap();
+    assert!(pos("detected") < pos("failed-over"));
+}
+
+#[test]
 fn identical_reports_for_identical_seeds() {
-    let a = failover_cluster(7).run().unwrap();
-    let b = failover_cluster(7).run().unwrap();
+    let a = failover_spec(7).run().unwrap();
+    let b = failover_spec(7).run().unwrap();
     assert_eq!(a, b, "the cluster run is a pure function of its inputs");
-    let c = failover_cluster(8).run().unwrap();
+    let c = failover_spec(8).run().unwrap();
     assert!(
-        a.heartbeats_seen != c.heartbeats_seen || a != c,
+        a.report().heartbeats_seen != c.report().heartbeats_seen || a != c,
         "different seed actually changes the run"
     );
 }
 
 #[test]
 fn cluster_bound_matches_detector_config() {
-    let cluster = failover_cluster(1);
+    let spec = failover_spec(1);
     let link = LinkConfig::reliable(us(10), us(50));
     let gamma = MiddlewareConfig::default().clock_precision(&link);
     let net = Network::homogeneous(4, link, SimRng::seed_from(0));
@@ -109,17 +181,53 @@ fn cluster_bound_matches_detector_config() {
         horizon: ms(100),
     };
     assert_eq!(
-        cluster.detection_bound(),
+        spec.detection_bound(),
         detector.detection_bound(&net),
         "the cluster runtime honours the detector's analytic bound"
     );
 }
 
+#[test]
+fn ninety_six_node_deployment_beyond_the_old_mask_cap() {
+    // 96 nodes: double the 48-node ceiling of the packed-u64 membership
+    // masks. One node crashes; every survivor must detect within the
+    // bound and agree on the exclusion view, with membership riding the
+    // three-word wire encoding.
+    let crash = Time::ZERO + ms(8);
+    let mut spec = ClusterSpec::new(96)
+        .horizon(ms(25))
+        .seed(5)
+        .scenario(ScenarioPlan::new().crash(NodeId(70), crash));
+    // A light sprinkling of application services keeps the dispatcher
+    // involved without drowning the run.
+    for node in [0u32, 23, 47, 70, 95] {
+        spec = spec.service(ServiceSpec::periodic("probe", node, us(100), ms(2)));
+    }
+    let run = spec.run().unwrap();
+    let report = run.report();
+    assert!(report.views_agree, "96 nodes agree on the view sequence");
+    let expected: Vec<u32> = (0..96).filter(|n| *n != 70).collect();
+    assert_eq!(report.view_history.last().unwrap().1, expected);
+    assert!(report.detection_within_bound());
+    assert!(report.no_false_suspicions());
+    assert_eq!(report.detections.len(), 95, "every survivor detected");
+    // The event stream scales with it: 95 detections then one install.
+    let view1_at = run
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            ClusterEvent::ViewInstalled { number: 1, at, .. } => Some(*at),
+            _ => None,
+        })
+        .expect("exclusion view installed");
+    assert!(view1_at > crash);
+}
+
 /// The recovery acceptance scenario: node 2 crashes at 20 ms and restarts
 /// at 45 ms; the run must produce a recovery record showing re-admission,
 /// nonzero state-transfer bytes, and zero work while down.
-fn recovery_cluster(seed: u64) -> HadesCluster {
-    let mut cluster = HadesCluster::new(4)
+fn recovery_spec(seed: u64) -> ClusterSpec {
+    let mut spec = ClusterSpec::new(4)
         .policy(Policy::Edf)
         .costs(CostModel::measured_default())
         .horizon(ms(100))
@@ -130,18 +238,19 @@ fn recovery_cluster(seed: u64) -> HadesCluster {
                 .restart(NodeId(2), Time::ZERO + ms(45)),
         );
     for node in 0..4 {
-        cluster = cluster
-            .periodic_app(node, "control", us(200), ms(2))
-            .periodic_app(node, "logging", us(500), ms(10));
+        spec = spec
+            .service(ServiceSpec::periodic("control", node, us(200), ms(2)))
+            .service(ServiceSpec::periodic("logging", node, us(500), ms(10)));
     }
-    cluster
+    spec
 }
 
 #[test]
 fn crash_restart_state_transfer_rejoin_sequence() {
     let crash = Time::ZERO + ms(20);
     let restart = Time::ZERO + ms(45);
-    let report = recovery_cluster(42).run().unwrap();
+    let run = recovery_spec(42).run().unwrap();
+    let report = run.report();
 
     // The crash was detected, the node removed, then re-admitted: the
     // never-crashed nodes agree on the full view sequence ending with
@@ -171,6 +280,31 @@ fn crash_restart_state_transfer_rejoin_sequence() {
     );
     assert!(report.rejoin_within_bound());
 
+    // The event stream orders the full cycle: detection → exclusion view
+    // → rejoin completion → re-admission view.
+    let events = run.events();
+    let detect_at = events
+        .iter()
+        .find_map(|e| match e {
+            ClusterEvent::Detected {
+                suspect: 2,
+                at,
+                latency: Some(_),
+                ..
+            } => Some(*at),
+            _ => None,
+        })
+        .expect("real detection of node 2");
+    let rejoin_at = events
+        .iter()
+        .find_map(|e| match e {
+            ClusterEvent::RejoinCompleted { node: 2, at, .. } => Some(*at),
+            _ => None,
+        })
+        .expect("rejoin completed");
+    assert!(detect_at > crash && detect_at < restart);
+    assert!(rejoin_at > restart);
+
     // Middleware cost tasks for the transfer ran on the server (node 0)
     // and the joiner, and the feasibility analysis saw their load.
     for n in &report.node_reports {
@@ -186,11 +320,12 @@ fn crashed_dispatcher_performs_zero_work_while_down() {
     // Regression for the dispatcher kill switch: between crash and
     // restart the node must execute nothing — its application and
     // middleware instance counts over the down window are zero.
-    let report = recovery_cluster(7).run().unwrap();
-    let down = recovery_cluster(7)
+    let report = recovery_spec(7).run().unwrap().into_report();
+    let down = recovery_spec(7)
         .scenario(ScenarioPlan::new().crash(NodeId(2), Time::ZERO + ms(20)))
         .run()
-        .unwrap();
+        .unwrap()
+        .into_report();
     // In the permanent-crash run, node 2 accrues exactly the pre-crash
     // instances; the restart run adds post-restart instances on top. Both
     // agree there is no instance in the down window [20 ms, 45 ms).
@@ -211,19 +346,77 @@ fn crashed_dispatcher_performs_zero_work_while_down() {
 
 #[test]
 fn rejoin_latency_bound_matches_components() {
-    let cluster = recovery_cluster(1);
+    let spec = recovery_spec(1);
     let link = LinkConfig::reliable(us(10), us(50));
     let mw = MiddlewareConfig::default();
     let gamma = mw.clock_precision(&link);
     let detection = mw.heartbeat_period + (mw.heartbeat_period + us(50) + gamma);
     assert!(
-        cluster.rejoin_bound() > detection,
+        spec.rejoin_bound() > detection,
         "the rejoin bound strictly contains the detection bound"
     );
     assert!(
-        cluster.rejoin_bound() >= detection + mw.recovery.transfer_bound(us(50)),
+        spec.rejoin_bound() >= detection + mw.recovery.transfer_bound(us(50)),
         "and the transfer bound"
     );
+}
+
+#[test]
+fn spec_validation_collects_every_issue_with_service_diagnostics() {
+    // One spec, many problems: validation must report them all at once,
+    // each naming its service — not fail at the first.
+    let err = ClusterSpec::new(3)
+        .horizon(ms(10))
+        .service(ServiceSpec::periodic("off-grid", 9, us(100), ms(1)))
+        .service(ServiceSpec::replicated(
+            "empty",
+            ReplicaStyle::Active,
+            vec![],
+            GroupLoad::default(),
+        ))
+        .service(ServiceSpec::replicated(
+            "dupes",
+            ReplicaStyle::Active,
+            vec![0, 1, 1],
+            GroupLoad::default(),
+        ))
+        .service(ServiceSpec::replicated(
+            "strangers",
+            ReplicaStyle::Active,
+            vec![0, 7],
+            GroupLoad::default(),
+        ))
+        .run()
+        .unwrap_err();
+    assert!(err.issues.len() >= 4, "all issues reported: {err}");
+    let has = |pred: &dyn Fn(&SpecIssue) -> bool| err.issues.iter().any(pred);
+    assert!(has(&|i| matches!(
+        i,
+        SpecIssue::NodeOutOfRange {
+            node: 9,
+            nodes: 3,
+            ..
+        }
+    )));
+    assert!(has(&|i| match i {
+        SpecIssue::EmptyMembers { service } => service.name == "empty",
+        _ => false,
+    }));
+    assert!(has(&|i| match i {
+        SpecIssue::DuplicateMember { service, node: 1 } => service.name == "dupes",
+        _ => false,
+    }));
+    assert!(has(&|i| match i {
+        SpecIssue::MemberOutOfRange {
+            service, node: 7, ..
+        } => service.name == "strangers",
+        _ => false,
+    }));
+    // The rendered error names each offending service.
+    let text = err.to_string();
+    for name in ["off-grid", "empty", "dupes", "strangers"] {
+        assert!(text.contains(name), "missing {name} in: {text}");
+    }
 }
 
 proptest! {
@@ -240,15 +433,15 @@ proptest! {
     ) {
         let victim = victim % nodes;
         let crash = Time::ZERO + ms(crash_ms);
-        let mut cluster = HadesCluster::new(nodes)
+        let mut spec = ClusterSpec::new(nodes)
             .horizon(ms(40))
             .seed(seed)
             .scenario(ScenarioPlan::new().crash(NodeId(victim), crash));
         for node in 0..nodes {
-            cluster = cluster.periodic_app(node, "app", us(100), ms(2));
+            spec = spec.service(ServiceSpec::periodic("app", node, us(100), ms(2)));
         }
-        let bound = cluster.detection_bound();
-        let report = cluster.run().unwrap();
+        let bound = spec.detection_bound();
+        let report = spec.run().unwrap().into_report();
         prop_assert!(report.no_false_suspicions());
         prop_assert_eq!(report.detections.len() as u32, nodes - 1);
         for d in &report.detections {
@@ -280,7 +473,7 @@ proptest! {
         let victim = victim % nodes;
         let crash = Time::ZERO + ms(crash_ms);
         let restart = crash + ms(down_ms);
-        let mut cluster = HadesCluster::new(nodes)
+        let mut spec = ClusterSpec::new(nodes)
             .horizon(ms(70))
             .seed(seed)
             .scenario(
@@ -289,10 +482,10 @@ proptest! {
                     .restart(NodeId(victim), restart),
             );
         for node in 0..nodes {
-            cluster = cluster.periodic_app(node, "app", us(100), ms(2));
+            spec = spec.service(ServiceSpec::periodic("app", node, us(100), ms(2)));
         }
-        let bound = cluster.rejoin_bound();
-        let report = cluster.run().unwrap();
+        let bound = spec.rejoin_bound();
+        let report = spec.run().unwrap().into_report();
         prop_assert_eq!(report.recoveries.len(), 1);
         let r = report.recoveries[0];
         prop_assert_eq!(r.node, victim);

@@ -1,7 +1,10 @@
 //! E2E: replication groups over Δ-atomic multicast on the integrated
-//! cluster runtime — active and semi-active groups sustaining a client
-//! request stream across a scripted leader crash + restart, and the
-//! order-agreement property under random omission faults.
+//! cluster runtime, deployed through the spec API — active and
+//! semi-active groups sustaining a client request stream across a
+//! scripted leader crash + restart (with the group fold caught up at
+//! rejoin), custom workloads driving a group without touching the
+//! cluster core, style-aware admission, and the order-agreement property
+//! under random omission faults.
 
 use proptest::prelude::*;
 
@@ -15,12 +18,12 @@ fn ms(n: u64) -> Duration {
     Duration::from_millis(n)
 }
 
-/// The acceptance scenario: a 5-node cluster with one active group
+/// The acceptance scenario: a 5-node deployment with one active group
 /// ({0, 1, 2}) and one semi-active group ({0, 3, 4}); node 0 — leader
 /// and request gateway of both groups, and the cluster's passive
 /// primary — crashes at 20 ms and restarts at 40 ms.
-fn group_cluster(seed: u64) -> HadesCluster {
-    let mut cluster = HadesCluster::new(5)
+fn group_spec(seed: u64) -> ClusterSpec {
+    let mut spec = ClusterSpec::new(5)
         .policy(Policy::Edf)
         .costs(CostModel::measured_default())
         .horizon(ms(100))
@@ -30,21 +33,28 @@ fn group_cluster(seed: u64) -> HadesCluster {
                 .crash(NodeId(0), Time::ZERO + ms(20))
                 .restart(NodeId(0), Time::ZERO + ms(40)),
         )
-        .with_group(ReplicaStyle::Active, vec![0, 1, 2], GroupLoad::default())
-        .with_group(
+        .service(ServiceSpec::replicated(
+            "active-store",
+            ReplicaStyle::Active,
+            vec![0, 1, 2],
+            GroupLoad::default(),
+        ))
+        .service(ServiceSpec::replicated(
+            "semi-active-store",
             ReplicaStyle::SemiActive,
             vec![0, 3, 4],
             GroupLoad::default(),
-        );
+        ));
     for node in 0..5 {
-        cluster = cluster.periodic_app(node, "control", us(200), ms(2));
+        spec = spec.service(ServiceSpec::periodic("control", node, us(200), ms(2)));
     }
-    cluster
+    spec
 }
 
 #[test]
 fn groups_sustain_requests_across_leader_crash_and_restart() {
-    let report = group_cluster(42).run().unwrap();
+    let run = group_spec(42).run().unwrap();
+    let report = run.report();
     assert!(report.views_agree, "membership stayed agreed");
     assert_eq!(report.groups.len(), 2);
 
@@ -95,6 +105,10 @@ fn groups_sustain_requests_across_leader_crash_and_restart() {
         assert_eq!((g.handoffs[0].from, g.handoffs[0].to > 0), (0, true));
         assert!(g.handoffs[0].at > Time::ZERO + ms(20));
 
+        // Group state transfer: the restarted member pulled the group
+        // fold instead of permanently skipping its blackout window.
+        assert_eq!(g.catchups, 1, "group {} catch-up adopted", g.group);
+
         // Group traffic rode the shared network.
         assert!(g.messages > 0);
         assert_eq!(g.vote_mismatches, 0);
@@ -122,44 +136,136 @@ fn groups_sustain_requests_across_leader_crash_and_restart() {
         assert!(n.feasibility.middleware_utilization_permille > 0);
         assert!(n.feasibility.integrated_feasible);
     }
+
+    // The event stream interleaves both groups' handoffs with the
+    // cluster-level recovery cycle, in time order.
+    let handoffs: Vec<_> = run.events_of_kind("handoff").collect();
+    assert!(handoffs.len() >= 2, "both groups handed leadership away");
+    let rejoin_at = run
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            ClusterEvent::RejoinCompleted { node: 0, at, .. } => Some(*at),
+            _ => None,
+        })
+        .expect("node 0 rejoined");
+    assert!(rejoin_at > Time::ZERO + ms(40));
 }
 
 #[test]
-fn short_outage_below_detection_keeps_the_gateway_alive() {
-    // A 40 µs crash window is far below the detection bound: survivors
-    // never suspect, the agent rejoins on the fast path and *no view
-    // change happens at all*. The group's post-restart leadership
-    // holdback must clear through the completed rejoin record — if it
-    // waited for a view install it would deadlock the gateway and the
-    // request stream would die at 20 ms.
-    let mut cluster = HadesCluster::new(5)
-        .horizon(ms(100))
-        .seed(13)
-        .scenario(
-            ScenarioPlan::new()
-                .crash(NodeId(0), Time::ZERO + ms(20))
-                .restart(NodeId(0), Time::ZERO + ms(20) + us(40)),
+fn bursty_workload_drives_a_group_without_core_edits() {
+    // Scenario diversity through the Workload trait: a bursty open-loop
+    // source shapes the request stream; the cluster core is untouched.
+    let bursts = Bursty {
+        burst: 5,
+        spacing: us(200),
+        gap: ms(10),
+        start: Time::ZERO + ms(1),
+    };
+    let expected = bursts.request_times(ms(60)).len() as u64;
+    let spec = ClusterSpec::new(4).horizon(ms(60)).seed(11).service(
+        ServiceSpec::replicated(
+            "bursty-store",
+            ReplicaStyle::Active,
+            vec![0, 1, 2],
+            GroupLoad::default(),
         )
-        .with_group(ReplicaStyle::Active, vec![0, 1, 2], GroupLoad::default());
-    for node in 0..5 {
-        cluster = cluster.periodic_app(node, "control", us(200), ms(2));
-    }
-    let report = cluster.run().unwrap();
-    let g = &report.groups[0];
-    assert!(
-        g.submitted >= 90,
-        "the gateway kept submitting after the blip: {}",
-        g.submitted
+        .workload(Box::new(bursts)),
     );
-    assert!(g.outputs >= 90, "outputs kept flowing: {}", g.outputs);
+    let report = spec.run().unwrap().into_report();
+    let g = &report.groups[0];
+    assert_eq!(g.submitted, expected, "every scheduled burst request ran");
+    assert_eq!(g.outputs, expected);
     assert!(g.order_agreement && g.order_consistent);
     assert_eq!(g.duplicate_outputs, 0);
+    assert!(g.within_delta_bound(), "bursts still meet the Δ-bound");
+}
+
+#[test]
+fn trace_replay_workload_reproduces_the_recorded_instants() {
+    let trace: Vec<Time> = [2_000u64, 2_400, 9_000, 9_100, 22_000]
+        .iter()
+        .map(|t| Time::ZERO + us(*t))
+        .collect();
+    let spec = ClusterSpec::new(3).horizon(ms(40)).seed(3).service(
+        ServiceSpec::replicated(
+            "replayed",
+            ReplicaStyle::SemiActive,
+            vec![0, 1, 2],
+            GroupLoad::default(),
+        )
+        .workload(Box::new(TraceReplay::new(trace.clone()))),
+    );
+    let report = spec.run().unwrap().into_report();
+    let g = &report.groups[0];
+    assert_eq!(g.submitted, trace.len() as u64);
+    assert_eq!(g.outputs, trace.len() as u64);
+    assert_eq!(g.on_time_outputs, g.outputs);
+}
+
+#[test]
+fn style_aware_admission_charges_roles_not_members() {
+    // A heavy request stream (600 µs WCET per 1 ms request = 60% load).
+    // Full-member charging would push every backup to ~60% middleware
+    // utilization; the style-aware analysis charges the passive backups
+    // nothing and the semi-active followers only their order handling.
+    let load = GroupLoad {
+        request_wcet: us(600),
+        order_wcet: us(30),
+        ..GroupLoad::default()
+    };
+    let spec = ClusterSpec::new(4)
+        .horizon(ms(20))
+        .seed(9)
+        .service(ServiceSpec::replicated(
+            "passive-heavy",
+            ReplicaStyle::Passive {
+                checkpoint_every: 4,
+            },
+            vec![0, 1],
+            load,
+        ))
+        .service(ServiceSpec::replicated(
+            "semi-heavy",
+            ReplicaStyle::SemiActive,
+            vec![2, 3],
+            load,
+        ));
+    let report = spec.run().unwrap().into_report();
+    let mw = |n: usize| {
+        report.node_reports[n]
+            .feasibility
+            .middleware_utilization_permille
+    };
+    // Passive: primary (node 0) carries the request load, backup (node
+    // 1) only the base middleware tasks.
+    assert!(
+        mw(0) >= 600,
+        "primary charged the full request WCET: {}",
+        mw(0)
+    );
+    assert!(
+        mw(1) < 100,
+        "backup charged nothing for the group: {}",
+        mw(1)
+    );
+    // Semi-active: leader (node 2) full, follower (node 3) order only.
+    assert!(mw(2) >= 600, "leader charged in full: {}", mw(2));
+    assert!(
+        mw(3) < 100,
+        "follower charged order handling only: {}",
+        mw(3)
+    );
+    assert!(mw(3) > mw(1), "but more than the uncharged passive backup");
+    for n in &report.node_reports {
+        assert!(n.feasibility.integrated_feasible);
+    }
 }
 
 #[test]
 fn group_runs_are_deterministic() {
-    let a = group_cluster(7).run().unwrap();
-    let b = group_cluster(7).run().unwrap();
+    let a = group_spec(7).run().unwrap();
+    let b = group_spec(7).run().unwrap();
     assert_eq!(a, b);
 }
 
@@ -172,7 +278,7 @@ fn delta_multicast_view_changes_cut_message_complexity() {
             delta_multicast_vc: multicast,
             ..MiddlewareConfig::default()
         };
-        group_cluster(11).middleware(mw).run().unwrap()
+        group_spec(11).middleware(mw).run().unwrap().into_report()
     };
     let dm = run(true);
     let flood = run(false);
@@ -187,6 +293,41 @@ fn delta_multicast_view_changes_cut_message_complexity() {
         flood.view_change.messages
     );
     assert!(dm.view_change.multicast_equivalent < dm.view_change.flood_equivalent);
+}
+
+#[test]
+fn lossy_delta_multicast_vc_agrees_with_an_attempt_budget() {
+    // The cheap Δ-multicast view-change transport with a per-copy
+    // retransmission budget (the ReplicaGroup retry pattern applied to
+    // the transport) survives 8% omission loss: same agreed views on
+    // every survivor, no fallback to the flood needed.
+    let mw = MiddlewareConfig {
+        delta_multicast_vc: true,
+        vc_attempts: 4,
+        clock_precision_floor: us(4_500),
+        ..MiddlewareConfig::default()
+    };
+    for seed in [1u64, 2, 3] {
+        let mut spec = ClusterSpec::new(5)
+            .horizon(ms(60))
+            .seed(seed)
+            .link(LinkConfig::reliable(us(10), us(50)).with_omissions(80))
+            .middleware(mw)
+            .scenario(ScenarioPlan::new().crash(NodeId(2), Time::ZERO + ms(15)));
+        for node in 0..5 {
+            spec = spec.service(ServiceSpec::periodic("app", node, us(100), ms(2)));
+        }
+        let report = spec.run().unwrap().into_report();
+        assert!(
+            report.views_agree,
+            "seed {seed}: survivors agree under loss"
+        );
+        assert_eq!(
+            report.view_history.last().unwrap().1,
+            vec![0, 1, 3, 4],
+            "seed {seed}: the exclusion view installed"
+        );
+    }
 }
 
 proptest! {
@@ -221,7 +362,7 @@ proptest! {
             attempts: 8,
             ..GroupLoad::default()
         };
-        let mut cluster = HadesCluster::new(nodes)
+        let mut spec = ClusterSpec::new(nodes)
             .horizon(ms(80))
             .seed(seed)
             .link(
@@ -233,11 +374,16 @@ proptest! {
                     .crash(NodeId(victim), crash)
                     .restart(NodeId(victim), restart),
             )
-            .with_group(ReplicaStyle::Active, (0..nodes).collect(), load);
+            .service(ServiceSpec::replicated(
+                "store",
+                ReplicaStyle::Active,
+                (0..nodes).collect(),
+                load,
+            ));
         for node in 0..nodes {
-            cluster = cluster.periodic_app(node, "app", us(100), ms(2));
+            spec = spec.service(ServiceSpec::periodic("app", node, us(100), ms(2)));
         }
-        let report = cluster.run().unwrap();
+        let report = spec.run().unwrap().into_report();
         let g = &report.groups[0];
         prop_assert!(g.submitted > 0);
         prop_assert!(
