@@ -1,0 +1,826 @@
+//! The reactive control plane: online [`ScenarioDriver`]s closing the
+//! loop between what the cluster *does* and what the scenario *injects*.
+//!
+//! [`crate::ScenarioPlan`] scripts an **open-loop** experiment: every
+//! crash, restart, partition and mode change is fixed at spec time. The
+//! paper's value proposition, though, is timely *reaction* — detection,
+//! view change, failover — and realistic dependability studies drive
+//! faults and load *from observed system state* (fault cascades
+//! triggered by detections, load shedding triggered by deadline
+//! misses). A [`ScenarioDriver`] is that closed loop:
+//!
+//! * it receives every [`ClusterEvent`] **at its engine timestamp**
+//!   (through the service-level taps and the mux postbox), plus a
+//!   periodic tick;
+//! * it reacts through a [`ControlHandle`] that can inject crashes,
+//!   restarts and partitions into the *running* network, retire or
+//!   admit (standby) services, and retune live workloads;
+//! * the offline path is not a second mechanism: [`PlanDriver`] is the
+//!   canned driver a [`crate::ScenarioPlan`] lowers onto — it replays
+//!   the scripted fault plan through the same control ops a reactive
+//!   driver would use, and surfaces the plan through
+//!   [`ScenarioDriver::static_plan`] so the offline feasibility and
+//!   transition analyses still see it.
+//!
+//! # Event-delivery timing contract
+//!
+//! An event is delivered to every driver at the virtual instant it was
+//! emitted (same `now`), strictly *after* the emitting protocol step in
+//! the engine's deterministic total order. Control commands issued from
+//! a callback take effect at that same instant, after the callback
+//! returns — an injected crash at `now` silences the node for every
+//! *later* event, never retroactively. Commands aimed at the past are
+//! clamped to `now`. Driver callbacks run in driver-registration order
+//! and must be deterministic: they see only the event stream and their
+//! own state, and the whole run (report **and** event stream) remains a
+//! pure function of the spec.
+
+use crate::events::ClusterEvent;
+use crate::scenario::ScenarioPlan;
+use hades_services::group::{RequestSource, GN_WAKE};
+use hades_sim::mux::{ActorCtx, ActorEvent, ActorId, ControlOp, NetActor};
+use hades_sim::NodeId;
+use hades_task::TaskId;
+use hades_time::{Duration, Time};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+/// A during-run scenario controller: receives every [`ClusterEvent`] at
+/// its engine timestamp (plus a periodic tick) and reacts through a
+/// [`ControlHandle`].
+///
+/// See the module docs for the timing contract. Register drivers with
+/// [`crate::ClusterSpec::driver`].
+///
+/// # Examples
+///
+/// A detection-triggered fault cascade — the second crash is *not*
+/// pre-scheduled anywhere; it happens because the first one was
+/// detected:
+///
+/// ```
+/// use hades_cluster::{
+///     ClusterEvent, ClusterSpec, ControlHandle, ScenarioDriver, ScenarioPlan, ServiceSpec,
+/// };
+/// use hades_sim::NodeId;
+/// use hades_time::{Duration, Time};
+///
+/// #[derive(Debug, Default)]
+/// struct Cascade {
+///     fired: bool,
+/// }
+///
+/// impl ScenarioDriver for Cascade {
+///     fn on_event(&mut self, _now: Time, event: &ClusterEvent, ctl: &mut ControlHandle<'_>) {
+///         if let ClusterEvent::Detected { suspect: 0, .. } = event {
+///             if !self.fired {
+///                 self.fired = true;
+///                 ctl.crash(3); // reactive: injected at the detection instant
+///             }
+///         }
+///     }
+/// }
+///
+/// let mut spec = ClusterSpec::new(4)
+///     .horizon(Duration::from_millis(60))
+///     .scenario(ScenarioPlan::new().crash(NodeId(0), Time::ZERO + Duration::from_millis(10)))
+///     .driver(Box::new(Cascade::default()));
+/// for node in 0..4 {
+///     spec = spec.service(ServiceSpec::periodic(
+///         format!("app@{node}"),
+///         node,
+///         Duration::from_micros(100),
+///         Duration::from_millis(2),
+///     ));
+/// }
+/// let run = spec.run()?;
+/// // Both crashes really happened: only nodes 1 and 2 survive.
+/// assert_eq!(run.report().view_history.last().unwrap().1, vec![1, 2]);
+/// # Ok::<(), hades_cluster::SpecError>(())
+/// ```
+pub trait ScenarioDriver: fmt::Debug {
+    /// Called once at time zero, before any event is delivered. The
+    /// default does nothing.
+    fn on_start(&mut self, now: Time, ctl: &mut ControlHandle<'_>) {
+        let _ = (now, ctl);
+    }
+
+    /// Called for each [`ClusterEvent`] at its engine timestamp (see the
+    /// module-level timing contract).
+    fn on_event(&mut self, now: Time, event: &ClusterEvent, ctl: &mut ControlHandle<'_>);
+
+    /// Called at every periodic control tick
+    /// ([`crate::ClusterSpec::driver_tick`]). The default does nothing.
+    fn on_tick(&mut self, now: Time, ctl: &mut ControlHandle<'_>) {
+        let _ = (now, ctl);
+    }
+
+    /// The offline-known part of this driver's script, if any. The spec
+    /// lowering folds it into the *static* analyses (recovery cost
+    /// tasks, mode-change transition analysis, restart validation)
+    /// exactly as a [`crate::ClusterSpec::scenario`] plan — reactive
+    /// injections cannot be analyzed offline, scripted ones still are.
+    fn static_plan(&self) -> Option<&ScenarioPlan> {
+        None
+    }
+}
+
+/// The canned [`ScenarioDriver`] an offline [`ScenarioPlan`] lowers
+/// onto: at start it injects the plan's crash windows and partitions
+/// through the same control ops a reactive driver uses, and it exposes
+/// the plan as its [`ScenarioDriver::static_plan`] so the offline
+/// analyses (and mode-change lowering) still see it.
+///
+/// `ClusterSpec::scenario(plan)` **is** `ClusterSpec::driver(Box::new(
+/// PlanDriver::new(plan)))` — one mechanism, two spellings; the
+/// equivalence is property-tested (byte-identical reports).
+#[derive(Debug, Clone)]
+pub struct PlanDriver {
+    plan: ScenarioPlan,
+}
+
+impl PlanDriver {
+    /// Wraps `plan`.
+    pub fn new(plan: ScenarioPlan) -> Self {
+        PlanDriver { plan }
+    }
+}
+
+impl ScenarioDriver for PlanDriver {
+    fn on_start(&mut self, _now: Time, ctl: &mut ControlHandle<'_>) {
+        let mut nodes: Vec<NodeId> = self.plan.crashes().iter().map(|(n, _)| *n).collect();
+        nodes.sort();
+        nodes.dedup();
+        for node in nodes {
+            for (crash_at, restart_at) in self.plan.down_windows(node) {
+                match restart_at {
+                    Some(r) => ctl.crash_window(node.0, crash_at, r),
+                    None => ctl.crash_at(node.0, crash_at),
+                }
+            }
+        }
+        for p in self.plan.partitions() {
+            ctl.partition(p.a.0, p.b.0, p.from, p.until);
+        }
+        // Mode changes are not replayed here: they need the offline
+        // transition analysis (safe release offsets, introduced tasks in
+        // the task set), so they lower statically off `static_plan()`;
+        // the control plane emits their events online.
+    }
+
+    fn on_event(&mut self, _now: Time, _event: &ClusterEvent, _ctl: &mut ControlHandle<'_>) {}
+
+    fn static_plan(&self) -> Option<&ScenarioPlan> {
+        Some(&self.plan)
+    }
+}
+
+/// What a driver command may do to one registered service (built by the
+/// spec lowering).
+#[derive(Debug, Clone)]
+pub(crate) enum ServiceControlKind {
+    /// A task-backed service (periodic or raw task): its dispatcher task
+    /// ids.
+    Tasks {
+        /// The service's task ids (`TaskId.0`).
+        ids: Vec<u32>,
+    },
+    /// A replicated service: its shared request source and its members'
+    /// actor addresses (woken after a retune).
+    Group {
+        /// The shared request source.
+        source: Rc<RefCell<dyn RequestSource>>,
+        /// `(node, actor)` of every member.
+        members: Vec<(u32, ActorId)>,
+    },
+}
+
+/// One registered service as seen by the control plane.
+#[derive(Debug, Clone)]
+pub(crate) struct ServiceControl {
+    pub(crate) name: String,
+    pub(crate) kind: ServiceControlKind,
+}
+
+/// A command collected from a driver callback, applied by the control
+/// actor right after the callback returns.
+#[derive(Debug, Clone)]
+enum Command {
+    Crash {
+        node: u32,
+        at: Time,
+        until: Option<Time>,
+    },
+    Restart {
+        node: u32,
+        at: Time,
+    },
+    Partition {
+        a: u32,
+        b: u32,
+        from: Time,
+        until: Time,
+    },
+    Throttle {
+        service: usize,
+        permille: u32,
+    },
+    Retire {
+        service: usize,
+    },
+    Admit {
+        service: usize,
+    },
+}
+
+/// The injection surface handed to every [`ScenarioDriver`] callback.
+///
+/// **Timing contract**: a command issued from a callback running at
+/// virtual time `now` takes effect at `now` (or the requested future
+/// instant; past instants are clamped), *after* the callback returns
+/// and before the engine processes its next event — an injected crash
+/// silences the node for every later event, never retroactively.
+/// Service-addressed methods return whether the named service exists
+/// and supports the operation.
+///
+/// # Examples
+///
+/// Deadline-miss-triggered load shedding — the driver hears each miss at
+/// the missed deadline itself and halves the store's live request rate:
+///
+/// ```
+/// use hades_cluster::{
+///     ClusterEvent, ClusterSpec, ControlHandle, GroupLoad, ScenarioDriver, ServiceSpec,
+/// };
+/// use hades_services::ReplicaStyle;
+/// use hades_time::{Duration, Time};
+///
+/// #[derive(Debug, Default)]
+/// struct Shed {
+///     done: bool,
+/// }
+///
+/// impl ScenarioDriver for Shed {
+///     fn on_event(&mut self, _now: Time, event: &ClusterEvent, ctl: &mut ControlHandle<'_>) {
+///         if let ClusterEvent::DeadlineMiss { middleware: false, .. } = event {
+///             if !std::mem::replace(&mut self.done, true) {
+///                 // Effective at the miss instant, for all later traffic.
+///                 assert!(ctl.throttle_workload("store", 500));
+///             }
+///         }
+///     }
+/// }
+///
+/// let run = ClusterSpec::new(3)
+///     .horizon(Duration::from_millis(40))
+///     .service(ServiceSpec::replicated(
+///         "store",
+///         ReplicaStyle::Active,
+///         vec![1, 2],
+///         GroupLoad::default(),
+///     ))
+///     // An overloaded node 0 (U > 1) produces the triggering misses.
+///     .service(ServiceSpec::periodic("heavy-a", 0, Duration::from_millis(1), Duration::from_millis(2)))
+///     .service(ServiceSpec::periodic("heavy-b", 0, Duration::from_micros(1_100), Duration::from_millis(2)))
+///     .driver(Box::new(Shed::default()))
+///     .run()?;
+/// assert!(run.events_of_kind("workload-retuned").next().is_some());
+/// # Ok::<(), hades_cluster::SpecError>(())
+/// ```
+#[derive(Debug)]
+pub struct ControlHandle<'a> {
+    now: Time,
+    nodes: u32,
+    services: &'a [ServiceControl],
+    cmds: &'a mut Vec<Command>,
+}
+
+impl ControlHandle<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Cluster size.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Crashes `node` permanently, effective now. Out-of-range nodes are
+    /// ignored.
+    pub fn crash(&mut self, node: u32) {
+        self.crash_at(node, self.now);
+    }
+
+    /// Crashes `node` permanently at `at` (clamped to now).
+    pub fn crash_at(&mut self, node: u32, at: Time) {
+        self.cmds.push(Command::Crash {
+            node,
+            at,
+            until: None,
+        });
+    }
+
+    /// Crashes `node` for the window `[at, until)` — it restarts (cold,
+    /// running the rejoin protocol) at `until`.
+    pub fn crash_window(&mut self, node: u32, at: Time, until: Time) {
+        self.cmds.push(Command::Crash {
+            node,
+            at,
+            until: Some(until),
+        });
+    }
+
+    /// Schedules a restart of an already-injected crash of `node` at
+    /// `at`. A no-op when no open crash window covers `at`.
+    pub fn restart_at(&mut self, node: u32, at: Time) {
+        self.cmds.push(Command::Restart { node, at });
+    }
+
+    /// Cuts both directions of the `a ↔ b` link during `[from, until]`.
+    pub fn partition(&mut self, a: u32, b: u32, from: Time, until: Time) {
+        self.cmds.push(Command::Partition { a, b, from, until });
+    }
+
+    /// Retunes the named replicated service's live workload to
+    /// `permille` of its nominal rate (1000 = nominal, 0 = stopped),
+    /// effective now. A name shared by several registered services (the
+    /// common one-entry-per-node idiom) addresses **every** replicated
+    /// service carrying it. Returns `false` when no replicated service
+    /// matches.
+    pub fn throttle_workload(&mut self, service: &str, permille: u32) -> bool {
+        let mut any = false;
+        for idx in self.matching(service) {
+            if matches!(self.services[idx].kind, ServiceControlKind::Group { .. }) {
+                any = true;
+                self.cmds.push(Command::Throttle {
+                    service: idx,
+                    permille,
+                });
+            }
+        }
+        any
+    }
+
+    /// Retires the named service(s) from the running deployment,
+    /// effective now: a task-backed service stops activating (in-flight
+    /// instances finish), a replicated service's workload stops. A
+    /// shared name addresses every service carrying it. Returns `false`
+    /// when nothing matches.
+    pub fn retire_service(&mut self, service: &str) -> bool {
+        let matches = self.matching(service);
+        for idx in &matches {
+            self.cmds.push(Command::Retire { service: *idx });
+        }
+        !matches.is_empty()
+    }
+
+    /// Admits the named service(s) into the running deployment,
+    /// effective now: a standby (or retired) task-backed service starts
+    /// activating, a stopped replicated workload resumes at nominal
+    /// rate. A shared name addresses every service carrying it. Returns
+    /// `false` when nothing matches.
+    pub fn admit_service(&mut self, service: &str) -> bool {
+        let matches = self.matching(service);
+        for idx in &matches {
+            self.cmds.push(Command::Admit { service: *idx });
+        }
+        !matches.is_empty()
+    }
+
+    /// Registration indices of every service named `service`.
+    fn matching(&self, service: &str) -> Vec<usize> {
+        self.services
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.name == service)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Everything the control plane accumulates during a run: the events
+/// emitted so far (the final stream), the queue still to be delivered
+/// to drivers, the *applied* fault script (the classification source
+/// for the post-run report), and the view bookkeeping for first-install
+/// and failover derivation.
+#[derive(Debug, Default)]
+pub(crate) struct ControlState {
+    /// Faults actually applied (scripted replays and reactive
+    /// injections alike), as a scenario plan.
+    pub(crate) applied: ScenarioPlan,
+    /// The full online event stream, in emission order.
+    pub(crate) events: Vec<ClusterEvent>,
+    /// Events emitted but not yet delivered to drivers.
+    pending: VecDeque<ClusterEvent>,
+    /// First-install members per view number.
+    seen_views: BTreeMap<u32, Vec<u32>>,
+    /// View numbers whose failover (if any) was already emitted.
+    emitted_failovers: BTreeSet<u32>,
+}
+
+impl ControlState {
+    fn push(&mut self, ev: ClusterEvent) {
+        self.events.push(ev.clone());
+        self.pending.push_back(ev);
+    }
+
+    /// Translates one agent tap observation into cluster events.
+    /// Returns whether anything was queued (a control wake is needed).
+    pub(crate) fn on_agent_event(
+        &mut self,
+        now: Time,
+        node: u32,
+        ev: &hades_services::AgentEvent,
+    ) -> bool {
+        use hades_services::AgentEvent;
+        let before = self.pending.len();
+        match ev {
+            AgentEvent::Suspected { suspect } => {
+                // A suspicion is a detection only when it lands inside an
+                // applied down window of the suspect (reactive injections
+                // included); otherwise it is a false suspicion.
+                let windows = self.applied.down_windows(NodeId(*suspect));
+                let latency = windows
+                    .iter()
+                    .find(|(c, r)| now >= *c && r.is_none_or(|r| now < r))
+                    .map(|(c, _)| now - *c);
+                self.push(ClusterEvent::Detected {
+                    observer: node,
+                    suspect: *suspect,
+                    at: now,
+                    latency,
+                });
+            }
+            AgentEvent::ViewInstalled { number, members } => {
+                // Failover derivation: the previous view's primary is
+                // down and the *new primary itself* just installed the
+                // promoting view.
+                if !self.emitted_failovers.contains(number) {
+                    if let Some(prev) = number.checked_sub(1).and_then(|p| self.seen_views.get(&p))
+                    {
+                        if let (Some(&old), Some(&new)) = (prev.first(), members.first()) {
+                            if old != new && new == node && self.applied.is_down(NodeId(old), now) {
+                                self.emitted_failovers.insert(*number);
+                                self.push(ClusterEvent::FailedOver {
+                                    failed_primary: old,
+                                    new_primary: new,
+                                    at: now,
+                                });
+                            }
+                        }
+                    }
+                }
+                if !self.seen_views.contains_key(number) {
+                    self.seen_views.insert(*number, members.clone());
+                    self.push(ClusterEvent::ViewInstalled {
+                        number: *number,
+                        members: members.clone(),
+                        at: now,
+                    });
+                }
+            }
+            AgentEvent::RejoinCompleted { view, restarted_at } => {
+                self.push(ClusterEvent::RejoinCompleted {
+                    node,
+                    view: *view,
+                    at: now,
+                    latency: now - *restarted_at,
+                });
+            }
+        }
+        self.pending.len() > before
+    }
+
+    /// Translates one group tap observation. Returns whether anything
+    /// was queued.
+    pub(crate) fn on_group_event(
+        &mut self,
+        now: Time,
+        group: u32,
+        node: u32,
+        ev: &hades_services::GroupEvent,
+    ) -> bool {
+        match ev {
+            hades_services::GroupEvent::Handoff { from, to } => {
+                debug_assert_eq!(*to, node);
+                self.push(ClusterEvent::Handoff {
+                    group,
+                    from: *from,
+                    to: *to,
+                    at: now,
+                });
+                true
+            }
+        }
+    }
+
+    /// Translates one dispatcher deadline miss. Instances overlapping an
+    /// applied down window of their node are crash casualties, not
+    /// scheduling outcomes, and emit nothing. Returns whether anything
+    /// was queued.
+    pub(crate) fn on_miss(
+        &mut self,
+        now: Time,
+        task: TaskId,
+        activated: Time,
+        node: u32,
+        middleware: bool,
+    ) -> bool {
+        let windows = self.applied.down_windows(NodeId(node));
+        if ScenarioPlan::windows_overlap(&windows, activated, now) {
+            return false;
+        }
+        self.push(ClusterEvent::DeadlineMiss {
+            node,
+            task,
+            middleware,
+            at: now,
+        });
+        true
+    }
+}
+
+/// Control-actor timer tag: the periodic driver tick.
+const CK_TICK: u64 = 1;
+/// Control-actor timer tag base: scripted mode-change event emission
+/// (`CK_MODE + index`).
+const CK_MODE: u64 = 16;
+
+/// The control plane as a hosted actor: it lives on the virtual node
+/// `NodeId(u32::MAX)` — outside the cluster, and therefore uncrashable
+/// (the experimenter's harness must survive every injected fault). It
+/// never touches the simulated network; it reacts only through timers,
+/// control ops and out-of-band notifies.
+pub(crate) struct ControlActor {
+    drivers: Vec<Box<dyn ScenarioDriver>>,
+    state: Rc<RefCell<ControlState>>,
+    services: Vec<ServiceControl>,
+    nodes: u32,
+    horizon: Time,
+    tick: Duration,
+    /// `(script_at, released_at)` of the statically lowered mode
+    /// changes; their events are emitted online at the script instant.
+    mode_marks: Vec<(Time, Time)>,
+}
+
+impl fmt::Debug for ControlActor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ControlActor")
+            .field("drivers", &self.drivers.len())
+            .field("services", &self.services.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ControlActor {
+    pub(crate) fn new(
+        drivers: Vec<Box<dyn ScenarioDriver>>,
+        state: Rc<RefCell<ControlState>>,
+        services: Vec<ServiceControl>,
+        nodes: u32,
+        horizon: Time,
+        tick: Duration,
+        mode_marks: Vec<(Time, Time)>,
+    ) -> Self {
+        ControlActor {
+            drivers,
+            state,
+            services,
+            nodes,
+            horizon,
+            tick,
+            mode_marks,
+        }
+    }
+
+    /// Runs one driver callback and applies the commands it issued.
+    fn call_driver<F>(&mut self, idx: usize, now: Time, ctx: &mut ActorCtx<'_>, f: F)
+    where
+        F: FnOnce(&mut dyn ScenarioDriver, &mut ControlHandle<'_>),
+    {
+        let mut cmds = Vec::new();
+        {
+            let mut handle = ControlHandle {
+                now,
+                nodes: self.nodes,
+                services: &self.services,
+                cmds: &mut cmds,
+            };
+            f(self.drivers[idx].as_mut(), &mut handle);
+        }
+        for cmd in cmds {
+            self.apply(cmd, now, ctx);
+        }
+    }
+
+    /// Applies one collected command: records it in the applied plan,
+    /// stages the runtime op, and emits the service-control events.
+    fn apply(&mut self, cmd: Command, now: Time, ctx: &mut ActorCtx<'_>) {
+        match cmd {
+            Command::Crash { node, at, until } => {
+                if node >= self.nodes {
+                    return;
+                }
+                let at = at.max(now);
+                let until = until.map(|u| u.max(at + Duration::from_nanos(1)));
+                let window = {
+                    let mut state = self.state.borrow_mut();
+                    if state.applied.is_down(NodeId(node), at) {
+                        return; // already down: a second crash is a no-op
+                    }
+                    state.applied = std::mem::take(&mut state.applied).crash(NodeId(node), at);
+                    if let Some(u) = until {
+                        state.applied = std::mem::take(&mut state.applied).restart(NodeId(node), u);
+                    }
+                    // Inject exactly the window the applied plan ends up
+                    // recording: a restart already on the books (e.g. a
+                    // scripted window later in the run) may close this
+                    // crash earlier than requested, and the runtime
+                    // fault plan must never disagree with the report's
+                    // classification source.
+                    state
+                        .applied
+                        .down_windows(NodeId(node))
+                        .iter()
+                        .find(|(c, r)| *c <= at && r.is_none_or(|r| at < r))
+                        .copied()
+                };
+                let Some((win_at, win_until)) = window else {
+                    return;
+                };
+                ctx.control(ControlOp::Crash {
+                    node: NodeId(node),
+                    at: win_at,
+                    until: win_until,
+                });
+            }
+            Command::Restart { node, at } => {
+                if node >= self.nodes {
+                    return;
+                }
+                let at = at.max(now + Duration::from_nanos(1));
+                {
+                    let mut state = self.state.borrow_mut();
+                    // Record only a restart that really closes an OPEN
+                    // window, mirroring the runtime op's no-op semantics
+                    // (a window whose restart is already scheduled is
+                    // never shortened).
+                    let open = state
+                        .applied
+                        .down_windows(NodeId(node))
+                        .iter()
+                        .any(|(c, r)| *c < at && r.is_none());
+                    if !open {
+                        return;
+                    }
+                    state.applied = std::mem::take(&mut state.applied).restart(NodeId(node), at);
+                }
+                ctx.control(ControlOp::Restart {
+                    node: NodeId(node),
+                    at,
+                });
+            }
+            Command::Partition { a, b, from, until } => {
+                if a >= self.nodes || b >= self.nodes || a == b {
+                    return;
+                }
+                let from = from.max(now);
+                let until = until.max(from);
+                {
+                    let mut state = self.state.borrow_mut();
+                    state.applied = std::mem::take(&mut state.applied).partition(
+                        NodeId(a),
+                        NodeId(b),
+                        from,
+                        until,
+                    );
+                }
+                ctx.control(ControlOp::CutLink {
+                    from: NodeId(a),
+                    to: NodeId(b),
+                    from_t: from,
+                    until_t: until,
+                });
+                ctx.control(ControlOp::CutLink {
+                    from: NodeId(b),
+                    to: NodeId(a),
+                    from_t: from,
+                    until_t: until,
+                });
+            }
+            Command::Throttle { service, permille } => {
+                self.retune(service, permille, now, ctx);
+                self.state.borrow_mut().push(ClusterEvent::WorkloadRetuned {
+                    service: service as u32,
+                    permille,
+                    at: now,
+                });
+            }
+            Command::Retire { service } => {
+                match &self.services[service].kind {
+                    ServiceControlKind::Tasks { ids } => {
+                        for id in ids.clone() {
+                            ctx.control(ControlOp::RetireTask { task: id, at: now });
+                        }
+                    }
+                    ServiceControlKind::Group { .. } => {
+                        self.retune(service, 0, now, ctx);
+                    }
+                }
+                self.state.borrow_mut().push(ClusterEvent::ServiceRetired {
+                    service: service as u32,
+                    at: now,
+                });
+            }
+            Command::Admit { service } => {
+                match &self.services[service].kind {
+                    ServiceControlKind::Tasks { ids } => {
+                        for id in ids.clone() {
+                            ctx.control(ControlOp::AdmitTask { task: id, at: now });
+                        }
+                    }
+                    ServiceControlKind::Group { .. } => {
+                        self.retune(service, 1000, now, ctx);
+                    }
+                }
+                self.state.borrow_mut().push(ClusterEvent::ServiceAdmitted {
+                    service: service as u32,
+                    at: now,
+                });
+            }
+        }
+    }
+
+    /// Applies a workload retune and wakes every member of the group so
+    /// the current gateway re-reads the (re-paced) schedule.
+    fn retune(&self, service: usize, permille: u32, now: Time, ctx: &mut ActorCtx<'_>) {
+        let ServiceControlKind::Group { source, members } = &self.services[service].kind else {
+            return;
+        };
+        source.borrow_mut().throttle(now, permille);
+        for (_, actor) in members {
+            ctx.notify_at(*actor, now, GN_WAKE);
+        }
+    }
+
+    /// Delivers every queued event to every driver, applying commands as
+    /// they are issued (commands may queue further events; the loop
+    /// drains those too).
+    fn drain_pending(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
+        loop {
+            let ev = self.state.borrow_mut().pending.pop_front();
+            let Some(ev) = ev else { break };
+            for idx in 0..self.drivers.len() {
+                self.call_driver(idx, now, ctx, |d, ctl| d.on_event(now, &ev, ctl));
+            }
+        }
+    }
+}
+
+impl NetActor for ControlActor {
+    fn node(&self) -> NodeId {
+        // A virtual node outside every cluster: no fault plan entry can
+        // ever name it, so the control plane survives all injections.
+        NodeId(u32::MAX)
+    }
+
+    fn handle(&mut self, now: Time, ev: ActorEvent, ctx: &mut ActorCtx<'_>) {
+        match ev {
+            ActorEvent::Start => {
+                for (i, (at, _)) in self.mode_marks.clone().into_iter().enumerate() {
+                    ctx.timer_at(at, CK_MODE + i as u64);
+                }
+                for idx in 0..self.drivers.len() {
+                    self.call_driver(idx, now, ctx, |d, ctl| d.on_start(now, ctl));
+                }
+                self.drain_pending(now, ctx);
+                if !self.tick.is_zero() && now + self.tick <= self.horizon {
+                    ctx.timer_after(self.tick, CK_TICK);
+                }
+            }
+            ActorEvent::Notify { .. } => self.drain_pending(now, ctx),
+            ActorEvent::Timer { tag: CK_TICK } => {
+                for idx in 0..self.drivers.len() {
+                    self.call_driver(idx, now, ctx, |d, ctl| d.on_tick(now, ctl));
+                }
+                self.drain_pending(now, ctx);
+                if now + self.tick <= self.horizon {
+                    ctx.timer_after(self.tick, CK_TICK);
+                }
+            }
+            ActorEvent::Timer { tag } if tag >= CK_MODE => {
+                let idx = (tag - CK_MODE) as usize;
+                if let Some(&(at, released_at)) = self.mode_marks.get(idx) {
+                    self.state
+                        .borrow_mut()
+                        .push(ClusterEvent::ModeChanged { at, released_at });
+                    self.drain_pending(now, ctx);
+                }
+            }
+            ActorEvent::Timer { .. } | ActorEvent::Restart | ActorEvent::Message { .. } => {}
+        }
+    }
+}

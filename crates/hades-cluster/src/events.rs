@@ -1,4 +1,4 @@
-//! Typed event streams of a cluster run.
+//! Typed event streams of a cluster run — emitted **online**.
 //!
 //! The aggregate [`ClusterReport`] answers "how did the run go" with
 //! counters and worst cases; tests and benches that care about *order* —
@@ -6,6 +6,26 @@
 //! exclusion and re-admission — had to scrape those aggregates. A
 //! [`ClusterRun`] carries both: the report, and a time-ordered
 //! [`ClusterEvent`] stream to assert sequences on directly.
+//!
+//! Since the reactive-control-plane redesign the stream is no longer
+//! synthesized from logs after the run: every event is emitted **at its
+//! engine timestamp** through the service-level taps
+//! ([`hades_services::actors::AgentTap`],
+//! [`hades_services::group::GroupTap`], the dispatcher's miss tap) and
+//! delivered to the registered
+//! [`ScenarioDriver`](crate::ScenarioDriver)s *during* the run; the
+//! stream returned here is the accumulation of exactly those deliveries.
+//!
+//! # Ordering contract
+//!
+//! The stream is sorted by instant. Simultaneous events (same
+//! timestamp) are ordered by [`ClusterEvent::sort_node`] — the node the
+//! event concerns, with cluster-wide events last — then by
+//! [`ClusterEvent::kind`] in declaration order, then by emission order
+//! (which is itself deterministic). Driver callbacks observe events in
+//! emission order; the final stream re-sorts under this contract so
+//! stream assertions are reproducible across refactorings of the
+//! emission sites.
 
 use crate::report::ClusterReport;
 use hades_task::TaskId;
@@ -25,13 +45,15 @@ pub enum ClusterEvent {
         /// Detection latency; `None` for false suspicions.
         latency: Option<Duration>,
     },
-    /// The reference history installed a new view.
+    /// A new view was installed (emitted at the **first** member's
+    /// install; per-member install instants stay in the report's agent
+    /// aggregates).
     ViewInstalled {
         /// Monotone view number.
         number: u32,
         /// Agreed members, ascending.
         members: Vec<u32>,
-        /// Install instant on the reference node.
+        /// First install instant across the members.
         at: Time,
     },
     /// A crashed primary's role moved to the next member.
@@ -84,6 +106,33 @@ pub enum ClusterEvent {
         /// The missed deadline.
         at: Time,
     },
+    /// A control-plane driver retired a service from the running
+    /// deployment.
+    ServiceRetired {
+        /// The service's registration index.
+        service: u32,
+        /// The retirement instant.
+        at: Time,
+    },
+    /// A control-plane driver admitted a (standby) service into the
+    /// running deployment.
+    ServiceAdmitted {
+        /// The service's registration index.
+        service: u32,
+        /// The admission instant.
+        at: Time,
+    },
+    /// A control-plane driver retuned a replicated service's live
+    /// workload.
+    WorkloadRetuned {
+        /// The service's registration index.
+        service: u32,
+        /// New pacing in permille of the nominal rate (1000 = nominal,
+        /// 0 = stopped).
+        permille: u32,
+        /// The retune instant.
+        at: Time,
+    },
 }
 
 impl ClusterEvent {
@@ -96,7 +145,10 @@ impl ClusterEvent {
             | ClusterEvent::Handoff { at, .. }
             | ClusterEvent::RejoinCompleted { at, .. }
             | ClusterEvent::ModeChanged { at, .. }
-            | ClusterEvent::DeadlineMiss { at, .. } => *at,
+            | ClusterEvent::DeadlineMiss { at, .. }
+            | ClusterEvent::ServiceRetired { at, .. }
+            | ClusterEvent::ServiceAdmitted { at, .. }
+            | ClusterEvent::WorkloadRetuned { at, .. } => *at,
         }
     }
 
@@ -110,6 +162,47 @@ impl ClusterEvent {
             ClusterEvent::RejoinCompleted { .. } => "rejoin-completed",
             ClusterEvent::ModeChanged { .. } => "mode-changed",
             ClusterEvent::DeadlineMiss { .. } => "deadline-miss",
+            ClusterEvent::ServiceRetired { .. } => "service-retired",
+            ClusterEvent::ServiceAdmitted { .. } => "service-admitted",
+            ClusterEvent::WorkloadRetuned { .. } => "workload-retuned",
+        }
+    }
+
+    /// The node this event primarily concerns — the **tie-break key**
+    /// for simultaneous events: `Detected` sorts by its observer,
+    /// `FailedOver` by the promoted member, `Handoff` by the member
+    /// taking over, `RejoinCompleted`/`DeadlineMiss` by their node.
+    /// Cluster-wide events (`ViewInstalled`, `ModeChanged`, the
+    /// service-control events) carry no node and sort last
+    /// (`u32::MAX`).
+    pub fn sort_node(&self) -> u32 {
+        match self {
+            ClusterEvent::Detected { observer, .. } => *observer,
+            ClusterEvent::FailedOver { new_primary, .. } => *new_primary,
+            ClusterEvent::Handoff { to, .. } => *to,
+            ClusterEvent::RejoinCompleted { node, .. }
+            | ClusterEvent::DeadlineMiss { node, .. } => *node,
+            ClusterEvent::ViewInstalled { .. }
+            | ClusterEvent::ModeChanged { .. }
+            | ClusterEvent::ServiceRetired { .. }
+            | ClusterEvent::ServiceAdmitted { .. }
+            | ClusterEvent::WorkloadRetuned { .. } => u32::MAX,
+        }
+    }
+
+    /// The kind's rank in declaration order — the second tie-break key.
+    fn kind_rank(&self) -> u8 {
+        match self {
+            ClusterEvent::Detected { .. } => 0,
+            ClusterEvent::ViewInstalled { .. } => 1,
+            ClusterEvent::FailedOver { .. } => 2,
+            ClusterEvent::Handoff { .. } => 3,
+            ClusterEvent::RejoinCompleted { .. } => 4,
+            ClusterEvent::ModeChanged { .. } => 5,
+            ClusterEvent::DeadlineMiss { .. } => 6,
+            ClusterEvent::ServiceRetired { .. } => 7,
+            ClusterEvent::ServiceAdmitted { .. } => 8,
+            ClusterEvent::WorkloadRetuned { .. } => 9,
         }
     }
 }
@@ -124,7 +217,10 @@ pub struct ClusterRun {
 
 impl ClusterRun {
     pub(crate) fn new(report: ClusterReport, mut events: Vec<ClusterEvent>) -> Self {
-        events.sort_by_key(|e| e.at());
+        // The documented deterministic order: instant, then concerned
+        // node, then kind; the (stable) sort keeps deterministic
+        // emission order beyond that.
+        events.sort_by_key(|e| (e.at(), e.sort_node(), e.kind_rank()));
         ClusterRun { report, events }
     }
 
@@ -133,8 +229,8 @@ impl ClusterRun {
         &self.report
     }
 
-    /// The full event stream, time-ordered (ties keep a deterministic
-    /// per-kind emission order).
+    /// The full event stream, time-ordered; simultaneous events follow
+    /// the documented tie-break (node, then kind — see the module docs).
     pub fn events(&self) -> &[ClusterEvent] {
         &self.events
     }
@@ -151,8 +247,7 @@ impl ClusterRun {
         self.events.iter().map(|e| e.kind()).collect()
     }
 
-    /// Consumes the run, keeping the aggregate report (the deprecated
-    /// builder shim's return value).
+    /// Consumes the run, keeping the aggregate report.
     pub fn into_report(self) -> ClusterReport {
         self.report
     }
@@ -161,21 +256,49 @@ impl ClusterRun {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::tests::empty_report;
+
+    fn t(n: u64) -> Time {
+        Time::ZERO + Duration::from_millis(n)
+    }
 
     #[test]
-    fn events_sort_by_time_and_expose_kinds() {
-        let report_placeholder = || ClusterEvent::ModeChanged {
-            at: Time::ZERO + Duration::from_millis(5),
-            released_at: Time::ZERO + Duration::from_millis(5),
-        };
-        let early = ClusterEvent::Detected {
-            observer: 1,
+    fn events_sort_by_time_then_node_then_kind() {
+        let detected = |observer, at| ClusterEvent::Detected {
+            observer,
             suspect: 0,
-            at: Time::ZERO + Duration::from_millis(1),
+            at,
             latency: Some(Duration::from_micros(50)),
         };
-        let ev = [report_placeholder(), early.clone()];
-        assert_eq!(ev[1].kind(), "detected");
-        assert!(ev[0].at() > early.at());
+        let view = |number, at| ClusterEvent::ViewInstalled {
+            number,
+            members: vec![1, 2],
+            at,
+        };
+        // Deliberately shuffled: same-instant events must come back in
+        // (node, kind) order, cluster-wide events last.
+        let run = ClusterRun::new(
+            empty_report(),
+            vec![
+                view(1, t(5)),
+                detected(3, t(5)),
+                detected(1, t(5)),
+                detected(2, t(1)),
+            ],
+        );
+        let kinds: Vec<(&str, Time, u32)> = run
+            .events()
+            .iter()
+            .map(|e| (e.kind(), e.at(), e.sort_node()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("detected", t(1), 2),
+                ("detected", t(5), 1),
+                ("detected", t(5), 3),
+                ("view-installed", t(5), u32::MAX),
+            ]
+        );
     }
 }

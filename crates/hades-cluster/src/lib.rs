@@ -11,7 +11,7 @@
 //! diagnostics) and lowered onto one shared `hades-sim` engine and one
 //! shared [`hades_sim::Network`]:
 //!
-//! * application tasks execute under the chosen [`Policy`] on the
+//! * application tasks execute under the chosen [`hades_sched::Policy`] on the
 //!   multi-node [`hades_dispatch::DispatchSim`];
 //! * middleware activities are injected as cost-charged periodic HEUG
 //!   tasks ([`MiddlewareConfig`]), so the Section 5 analyses of
@@ -20,20 +20,22 @@
 //!   [`hades_services::NodeAgent`] actors hosted by the dispatcher's
 //!   engine through the `hades-sim` mux layer, sharing the network — and
 //!   therefore the fault script — with dispatcher traffic;
-//! * a [`ScenarioPlan`] scripts node crashes and link partitions, and the
-//!   run produces a [`ClusterRun`]: the aggregate [`ClusterReport`]
+//! * the **scenario control plane is reactive**: a [`ScenarioDriver`]
+//!   receives every [`ClusterEvent`] at its engine timestamp and can
+//!   inject crashes/restarts/partitions, retire or admit services and
+//!   retune live [`Workload`]s through a [`ControlHandle`] — the
+//!   offline [`ScenarioPlan`] is just the canned [`PlanDriver`]
+//!   replaying a script over the same machinery;
+//! * the run produces a [`ClusterRun`]: the aggregate [`ClusterReport`]
 //!   (per-node deadline statistics and schedulability, detection
 //!   latencies against the analytic bound, the agreed view history and
-//!   primary failover times) plus a typed, time-ordered
-//!   [`ClusterEvent`] stream for sequence assertions.
+//!   primary failover times) plus the typed, time-ordered
+//!   [`ClusterEvent`] stream the drivers saw.
 //!
 //! Membership travels as variable-length
 //! [`hades_services::MemberSet`]s, so deployments are no longer capped
 //! at the 48 nodes of the old packed-`u64` masks (the runtime ceiling is
 //! [`MAX_CLUSTER_NODES`]).
-//!
-//! The pre-spec [`HadesCluster`] builder survives as a thin deprecated
-//! shim over [`ClusterSpec`].
 //!
 //! # Examples
 //!
@@ -69,9 +71,14 @@
 //! assert_eq!(report.failovers[0].new_primary, 1);
 //! # Ok::<(), hades_cluster::SpecError>(())
 //! ```
+//!
+//! For closed-loop scenarios — fault cascades triggered by detections,
+//! load shedding triggered by deadline misses — see the
+//! [`driver`] module.
 
 #![warn(missing_docs)]
 
+pub mod driver;
 pub mod events;
 pub mod middleware;
 pub mod report;
@@ -79,6 +86,7 @@ pub mod scenario;
 pub mod spec;
 pub mod workload;
 
+pub use driver::{ControlHandle, PlanDriver, ScenarioDriver};
 pub use events::{ClusterEvent, ClusterRun};
 pub use middleware::{
     GroupLoad, MiddlewareConfig, GROUP_TASK_BASE, GROUP_TASK_STRIDE, MIDDLEWARE_TASKS_PER_NODE,
@@ -92,397 +100,14 @@ pub use scenario::{ModeChangeScript, Partition, ScenarioPlan};
 pub use spec::{ClusterSpec, ServiceRef, ServiceSpec, SpecError, SpecIssue, MAX_CLUSTER_NODES};
 pub use workload::{Bursty, ClosedLoop, ConstantRate, TraceReplay, Workload};
 
-use hades_dispatch::CostModel;
-use hades_sched::Policy;
-use hades_services::ReplicaStyle;
-use hades_sim::{KernelModel, LinkConfig};
-use hades_task::task::TaskSetError;
-use hades_task::{Task, TaskId};
-use hades_time::{Duration, Time};
-use std::fmt;
-
-/// Errors surfaced while assembling a cluster through the deprecated
-/// [`HadesCluster`] builder. The spec API reports the richer
-/// [`SpecError`] instead; this enum survives for the shim's callers.
-#[derive(Debug)]
-pub enum ClusterError {
-    /// Fewer than two nodes requested.
-    TooFewNodes,
-    /// More nodes than the runtime deploys ([`MAX_CLUSTER_NODES`]).
-    TooManyNodes,
-    /// An application task was registered for one node but one of its
-    /// elementary units is homed on another processor.
-    TaskOffNode {
-        /// The task.
-        task: TaskId,
-        /// The node it was registered on.
-        node: u32,
-    },
-    /// An application task was registered on a node outside the cluster.
-    NodeOutOfRange {
-        /// The offending node id.
-        node: u32,
-        /// The cluster size.
-        nodes: u32,
-    },
-    /// Two application tasks share an id.
-    DuplicateTaskId(TaskId),
-    /// An application task uses an id reserved for middleware tasks.
-    ReservedTaskId(TaskId),
-    /// The assembled task set failed validation.
-    InvalidTaskSet(TaskSetError),
-    /// A scripted restart cannot be attached to a crash window: no crash
-    /// of the same node precedes it, or it collides with another
-    /// scripted crash of that node.
-    RestartWithoutCrash {
-        /// The restarting node.
-        node: u32,
-        /// The scripted restart instant.
-        at: Time,
-    },
-    /// A mode change retires a task id that no registered application
-    /// task carries.
-    UnknownRetiredTask(TaskId),
-    /// A replication group has no members.
-    EmptyGroup {
-        /// The offending group index (registration order).
-        group: u32,
-    },
-    /// A replication group names a member outside the cluster.
-    GroupMemberOutOfRange {
-        /// The offending group index (registration order).
-        group: u32,
-        /// The out-of-range member node.
-        node: u32,
-        /// The cluster size.
-        nodes: u32,
-    },
-    /// A replication group's request period is zero (its submission tick
-    /// would stop virtual time from advancing).
-    ZeroGroupRequestPeriod {
-        /// The offending group index (registration order).
-        group: u32,
-    },
-    /// A spec-level rejection with no legacy equivalent (the diagnostic
-    /// text of the underlying [`SpecIssue`]).
-    Rejected(String),
-}
-
-impl fmt::Display for ClusterError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ClusterError::TooFewNodes => write!(f, "a cluster needs at least two nodes"),
-            ClusterError::TooManyNodes => {
-                write!(f, "the runtime deploys at most {MAX_CLUSTER_NODES} nodes")
-            }
-            ClusterError::TaskOffNode { task, node } => {
-                write!(
-                    f,
-                    "task {task} registered on node {node} has units elsewhere"
-                )
-            }
-            ClusterError::NodeOutOfRange { node, nodes } => {
-                write!(f, "node {node} outside the {nodes}-node cluster")
-            }
-            ClusterError::DuplicateTaskId(id) => write!(f, "duplicate application task id {id}"),
-            ClusterError::ReservedTaskId(id) => write!(
-                f,
-                "task id {id} is reserved for middleware (>= {MIDDLEWARE_TASK_BASE})"
-            ),
-            ClusterError::InvalidTaskSet(e) => write!(f, "invalid cluster task set: {e}"),
-            ClusterError::RestartWithoutCrash { node, at } => {
-                write!(
-                    f,
-                    "restart of node {node} at {at} is not attached to a crash window \
-                     (no preceding crash, or it collides with another scripted crash)"
-                )
-            }
-            ClusterError::UnknownRetiredTask(id) => {
-                write!(f, "mode change retires unknown application task {id}")
-            }
-            ClusterError::EmptyGroup { group } => {
-                write!(f, "replication group {group} has no members")
-            }
-            ClusterError::GroupMemberOutOfRange { group, node, nodes } => {
-                write!(
-                    f,
-                    "replication group {group} member {node} outside the {nodes}-node cluster"
-                )
-            }
-            ClusterError::ZeroGroupRequestPeriod { group } => {
-                write!(f, "replication group {group} has a zero request period")
-            }
-            ClusterError::Rejected(detail) => write!(f, "invalid deployment spec: {detail}"),
-        }
-    }
-}
-
-impl std::error::Error for ClusterError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            ClusterError::InvalidTaskSet(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl ClusterError {
-    /// Maps the first finding of a spec rejection back onto the legacy
-    /// enum. `app_services` is the number of task services registered
-    /// before the groups, so replicated-service indices translate to
-    /// group ordinals.
-    fn from_issue(issue: SpecIssue, app_services: usize) -> ClusterError {
-        let group_of = |index: usize| (index.saturating_sub(app_services)) as u32;
-        match issue {
-            SpecIssue::TooFewNodes { .. } => ClusterError::TooFewNodes,
-            SpecIssue::TooManyNodes { .. } => ClusterError::TooManyNodes,
-            SpecIssue::EmptyMembers { service } => ClusterError::EmptyGroup {
-                group: group_of(service.index),
-            },
-            SpecIssue::MemberOutOfRange {
-                service,
-                node,
-                nodes,
-            } => ClusterError::GroupMemberOutOfRange {
-                group: group_of(service.index),
-                node,
-                nodes,
-            },
-            SpecIssue::ZeroPeriod { service } if service.index >= app_services => {
-                ClusterError::ZeroGroupRequestPeriod {
-                    group: group_of(service.index),
-                }
-            }
-            SpecIssue::NodeOutOfRange { node, nodes, .. } => {
-                ClusterError::NodeOutOfRange { node, nodes }
-            }
-            SpecIssue::TaskOffNode { task, node, .. } => ClusterError::TaskOffNode { task, node },
-            SpecIssue::DuplicateTaskId { task, .. } => ClusterError::DuplicateTaskId(task),
-            SpecIssue::ReservedTaskId { task, .. } => ClusterError::ReservedTaskId(task),
-            SpecIssue::RestartWithoutCrash { node, at } => {
-                ClusterError::RestartWithoutCrash { node, at }
-            }
-            SpecIssue::UnknownRetiredTask { task } => ClusterError::UnknownRetiredTask(task),
-            SpecIssue::InvalidTaskSet(e) => ClusterError::InvalidTaskSet(e),
-            other => ClusterError::Rejected(other.to_string()),
-        }
-    }
-}
-
-/// The pre-spec builder for an integrated multi-node HADES deployment —
-/// a thin shim that assembles a [`ClusterSpec`] and runs it.
-///
-/// Prefer [`ClusterSpec`] + [`ServiceSpec`]: typed services, whole-spec
-/// validation with per-service diagnostics, pluggable [`Workload`]s and
-/// the [`ClusterRun`] event stream. This builder keeps old call sites
-/// compiling; its `run` returns only the aggregate report.
-#[derive(Debug)]
-pub struct HadesCluster {
-    nodes: u32,
-    link: LinkConfig,
-    seed: u64,
-    horizon: Duration,
-    policy: Policy,
-    costs: CostModel,
-    kernel: KernelModel,
-    middleware: MiddlewareConfig,
-    scenario: ScenarioPlan,
-    app_tasks: Vec<(u32, Task)>,
-    groups: Vec<(ReplicaStyle, Vec<u32>, GroupLoad)>,
-}
-
-#[allow(deprecated)]
-impl HadesCluster {
-    /// Starts a cluster of `nodes` nodes with a reliable LAN-ish link,
-    /// zero dispatcher costs, no kernel load, RM scheduling and a 100 ms
-    /// horizon.
-    #[deprecated(
-        since = "0.5.0",
-        note = "build a ClusterSpec with typed ServiceSpecs instead; HadesCluster is a compatibility shim"
-    )]
-    pub fn new(nodes: u32) -> Self {
-        HadesCluster {
-            nodes,
-            link: LinkConfig::reliable(Duration::from_micros(10), Duration::from_micros(50)),
-            seed: 0,
-            horizon: Duration::from_millis(100),
-            policy: Policy::default(),
-            costs: CostModel::zero(),
-            kernel: KernelModel::none(),
-            middleware: MiddlewareConfig::default(),
-            scenario: ScenarioPlan::new(),
-            app_tasks: Vec::new(),
-            groups: Vec::new(),
-        }
-    }
-
-    /// Sets the link model shared by every pair of nodes.
-    pub fn link(mut self, link: LinkConfig) -> Self {
-        self.link = link;
-        self
-    }
-
-    /// Sets the random seed (network delays and execution-time draws).
-    pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Sets the simulation horizon.
-    pub fn horizon(mut self, horizon: Duration) -> Self {
-        self.horizon = horizon;
-        self
-    }
-
-    /// Selects the scheduling policy installed on every node.
-    pub fn policy(mut self, policy: Policy) -> Self {
-        self.policy = policy;
-        self
-    }
-
-    /// Sets the dispatcher cost model (Section 4.1 constants).
-    pub fn costs(mut self, costs: CostModel) -> Self {
-        self.costs = costs;
-        self
-    }
-
-    /// Sets the background kernel model (Section 4.2 activities).
-    pub fn kernel(mut self, kernel: KernelModel) -> Self {
-        self.kernel = kernel;
-        self
-    }
-
-    /// Configures the injected middleware activities.
-    pub fn middleware(mut self, middleware: MiddlewareConfig) -> Self {
-        self.middleware = middleware;
-        self
-    }
-
-    /// Installs the failure scenario.
-    pub fn scenario(mut self, scenario: ScenarioPlan) -> Self {
-        self.scenario = scenario;
-        self
-    }
-
-    /// Registers an application task on `node`. Every elementary unit of
-    /// the task must be homed on that node's processor.
-    pub fn app_task(mut self, node: u32, task: Task) -> Self {
-        self.app_tasks.push((node, task));
-        self
-    }
-
-    /// Registers a replication group: `members` (deduplicated, any
-    /// order) run `style` over the shared network, serving the client
-    /// request stream described by `load`.
-    pub fn with_group(mut self, style: ReplicaStyle, members: Vec<u32>, load: GroupLoad) -> Self {
-        let mut members = members;
-        members.sort_unstable();
-        members.dedup();
-        self.groups.push((style, members, load));
-        self
-    }
-
-    /// The Δ of the groups' atomic multicast: `δmax + γ` for this
-    /// cluster's link model and synchronized-clock precision.
-    pub fn group_delta(&self) -> Duration {
-        self.link.delay_max + self.middleware.clock_precision(&self.link)
-    }
-
-    /// Convenience: registers a single-unit periodic task on `node` with
-    /// deadline equal to its period. Task ids are assigned in
-    /// registration order.
-    pub fn periodic_app(self, node: u32, name: &str, wcet: Duration, period: Duration) -> Self {
-        let id = TaskId(self.app_tasks.len() as u32);
-        let task = Task::new(
-            id,
-            spec::single_heug(name, node, wcet),
-            hades_task::ArrivalLaw::Periodic(period),
-            period,
-        );
-        self.app_task(node, task)
-    }
-
-    /// The agent configuration the runtime would install on node 0 —
-    /// the single source of the analytic bounds, so the shim can never
-    /// drift from the detector the run actually deploys.
-    fn agent_config(&self) -> hades_services::AgentConfig {
-        hades_services::AgentConfig {
-            node: hades_sim::NodeId(0),
-            nodes: self.nodes.max(1),
-            heartbeat_period: self.middleware.heartbeat_period,
-            clock_precision: self.middleware.clock_precision(&self.link),
-            f: self.middleware.f,
-            recovery: self.middleware.recovery,
-            vc_delta_multicast: self.middleware.delta_multicast_vc,
-            vc_attempts: self.middleware.vc_attempts,
-        }
-    }
-
-    /// The detection bound `H + T₀ = 2H + δmax + γ` this cluster's
-    /// detector guarantees.
-    pub fn detection_bound(&self) -> Duration {
-        self.agent_config().detection_bound(self.link.delay_max)
-    }
-
-    /// The analytic worst-case rejoin latency (restart → re-admission):
-    /// detection bound + state-transfer bound + one agreement window.
-    pub fn rejoin_bound(&self) -> Duration {
-        self.agent_config().rejoin_bound(self.link.delay_max)
-    }
-
-    /// Converts the builder into the equivalent deployment spec.
-    pub fn into_spec(self) -> ClusterSpec {
-        let mut spec = ClusterSpec::new(self.nodes)
-            .link(self.link)
-            .seed(self.seed)
-            .horizon(self.horizon)
-            .policy(self.policy)
-            .costs(self.costs)
-            .kernel(self.kernel)
-            .middleware(self.middleware)
-            .scenario(self.scenario);
-        for (node, task) in self.app_tasks {
-            let name = format!("{}@{node}", task.name());
-            spec = spec.service(ServiceSpec::task(name, node, task));
-        }
-        for (g, (style, members, load)) in self.groups.into_iter().enumerate() {
-            spec = spec.service(ServiceSpec::replicated(
-                format!("group{g}"),
-                style,
-                members,
-                load,
-            ));
-        }
-        spec
-    }
-
-    /// Builds and runs the cluster, producing its aggregate report.
-    ///
-    /// # Errors
-    ///
-    /// Any [`ClusterError`] raised during validation or task-set
-    /// assembly (the first finding of the underlying [`SpecError`]).
-    pub fn run(self) -> Result<ClusterReport, ClusterError> {
-        let app_services = self.app_tasks.len();
-        match self.into_spec().run() {
-            Ok(run) => Ok(run.into_report()),
-            Err(e) => Err(ClusterError::from_issue(
-                e.issues
-                    .into_iter()
-                    .next()
-                    .expect("spec errors are nonempty"),
-                app_services,
-            )),
-        }
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use hades_dispatch::CostModel;
+    use hades_sched::Policy;
     use hades_sim::NodeId;
-    use hades_time::Time;
+    use hades_task::{Task, TaskId};
+    use hades_time::{Duration, Time};
 
     fn ms(n: u64) -> Duration {
         Duration::from_millis(n)
@@ -492,17 +117,17 @@ mod tests {
         Duration::from_micros(n)
     }
 
-    fn quad() -> HadesCluster {
-        let mut c = HadesCluster::new(4).horizon(ms(60)).seed(1);
+    fn quad() -> ClusterSpec {
+        let mut spec = ClusterSpec::new(4).horizon(ms(60)).seed(1);
         for node in 0..4 {
-            c = c.periodic_app(node, "ctl", us(200), ms(2));
+            spec = spec.service(ServiceSpec::periodic("ctl", node, us(200), ms(2)));
         }
-        c
+        spec
     }
 
     #[test]
     fn healthy_cluster_meets_every_deadline_in_view_zero() {
-        let report = quad().run().unwrap();
+        let report = quad().run().unwrap().into_report();
         assert!(report.all_deadlines_met());
         assert!(report.no_false_suspicions());
         assert_eq!(report.view_history, vec![(0, vec![0, 1, 2, 3])]);
@@ -524,7 +149,8 @@ mod tests {
         let report = quad()
             .scenario(ScenarioPlan::new().crash(NodeId(0), crash))
             .run()
-            .unwrap();
+            .unwrap()
+            .into_report();
         assert!(report.detection_within_bound());
         assert!(report.views_agree);
         assert_eq!(report.view_history.last().unwrap().1, vec![1, 2, 3]);
@@ -540,17 +166,18 @@ mod tests {
         let report = quad()
             .scenario(ScenarioPlan::new().crash(NodeId(3), Time::ZERO + ms(20)))
             .run()
-            .unwrap();
+            .unwrap()
+            .into_report();
         assert_eq!(report.view_history.last().unwrap().1, vec![0, 1, 2]);
         assert!(report.failovers.is_empty());
     }
 
     #[test]
-    fn same_seed_same_report() {
+    fn same_seed_same_run() {
         let crash = ScenarioPlan::new().crash(NodeId(0), Time::ZERO + ms(20));
         let a = quad().scenario(crash.clone()).run().unwrap();
         let b = quad().scenario(crash).run().unwrap();
-        assert_eq!(a, b);
+        assert_eq!(a, b, "report and event stream are pure functions");
     }
 
     #[test]
@@ -562,28 +189,33 @@ mod tests {
                 ..CostModel::zero()
             })
             .run()
-            .unwrap();
+            .unwrap()
+            .into_report();
         assert!(report.scheduler_cpu > Duration::ZERO);
         assert!(report.all_deadlines_met());
     }
 
     #[test]
     fn validation_rejects_bad_builds() {
+        let first = |spec: ClusterSpec| spec.run().unwrap_err().issues.remove(0);
         assert!(matches!(
-            HadesCluster::new(1).run(),
-            Err(ClusterError::TooFewNodes)
+            first(ClusterSpec::new(1)),
+            SpecIssue::TooFewNodes { nodes: 1 }
         ));
         assert!(matches!(
-            HadesCluster::new(MAX_CLUSTER_NODES + 1).run(),
-            Err(ClusterError::TooManyNodes)
+            first(ClusterSpec::new(MAX_CLUSTER_NODES + 1)),
+            SpecIssue::TooManyNodes { .. }
         ));
         assert!(matches!(
-            HadesCluster::new(4)
-                .periodic_app(7, "x", us(10), ms(1))
-                .run(),
-            Err(ClusterError::NodeOutOfRange { node: 7, nodes: 4 })
+            first(ClusterSpec::new(4).service(ServiceSpec::periodic("x", 7, us(10), ms(1)))),
+            SpecIssue::NodeOutOfRange {
+                node: 7,
+                nodes: 4,
+                ..
+            }
         ));
-        let off = HadesCluster::new(2).app_task(
+        let off = ClusterSpec::new(2).service(ServiceSpec::task(
+            "t",
             1,
             Task::new(
                 TaskId(0),
@@ -591,9 +223,10 @@ mod tests {
                 hades_task::ArrivalLaw::Periodic(ms(1)),
                 ms(1),
             ),
-        );
-        assert!(matches!(off.run(), Err(ClusterError::TaskOffNode { .. })));
-        let reserved = HadesCluster::new(2).app_task(
+        ));
+        assert!(matches!(first(off), SpecIssue::TaskOffNode { .. }));
+        let reserved = ClusterSpec::new(2).service(ServiceSpec::task(
+            "t",
             0,
             Task::new(
                 TaskId(MIDDLEWARE_TASK_BASE),
@@ -601,47 +234,37 @@ mod tests {
                 hades_task::ArrivalLaw::Periodic(ms(1)),
                 ms(1),
             ),
-        );
+        ));
+        assert!(matches!(first(reserved), SpecIssue::ReservedTaskId { .. }));
         assert!(matches!(
-            reserved.run(),
-            Err(ClusterError::ReservedTaskId(_))
+            first(quad().service(ServiceSpec::replicated(
+                "g",
+                hades_services::ReplicaStyle::Active,
+                vec![],
+                GroupLoad::default()
+            ))),
+            SpecIssue::EmptyMembers { .. }
         ));
         assert!(matches!(
-            quad()
-                .with_group(
-                    hades_services::ReplicaStyle::Active,
-                    vec![],
-                    GroupLoad::default()
-                )
-                .run(),
-            Err(ClusterError::EmptyGroup { group: 0 })
+            first(quad().service(ServiceSpec::replicated(
+                "g",
+                hades_services::ReplicaStyle::Active,
+                vec![0, 9],
+                GroupLoad::default()
+            ))),
+            SpecIssue::MemberOutOfRange { node: 9, .. }
         ));
         assert!(matches!(
-            quad()
-                .with_group(
-                    hades_services::ReplicaStyle::Active,
-                    vec![0, 9],
-                    GroupLoad::default()
-                )
-                .run(),
-            Err(ClusterError::GroupMemberOutOfRange {
-                group: 0,
-                node: 9,
-                nodes: 4
-            })
-        ));
-        assert!(matches!(
-            quad()
-                .with_group(
-                    hades_services::ReplicaStyle::Active,
-                    vec![0, 1],
-                    GroupLoad {
-                        request_period: Duration::ZERO,
-                        ..GroupLoad::default()
-                    }
-                )
-                .run(),
-            Err(ClusterError::ZeroGroupRequestPeriod { group: 0 })
+            first(quad().service(ServiceSpec::replicated(
+                "g",
+                hades_services::ReplicaStyle::Active,
+                vec![0, 1],
+                GroupLoad {
+                    request_period: Duration::ZERO,
+                    ..GroupLoad::default()
+                }
+            ))),
+            SpecIssue::ZeroPeriod { .. }
         ));
     }
 
@@ -650,14 +273,15 @@ mod tests {
         // A classic non-harmonic pair: U ≈ 0.867 exceeds the 2-task RM
         // bound (RTA rejects) but stays under 1 (EDF accepts).
         let build = |policy: Policy| {
-            HadesCluster::new(2)
+            ClusterSpec::new(2)
                 .policy(policy)
                 .horizon(ms(30))
-                .periodic_app(0, "a", ms(1), ms(2))
-                .periodic_app(0, "b", us(1_100), ms(3))
-                .periodic_app(1, "c", us(100), ms(2))
+                .service(ServiceSpec::periodic("a", 0, ms(1), ms(2)))
+                .service(ServiceSpec::periodic("b", 0, us(1_100), ms(3)))
+                .service(ServiceSpec::periodic("c", 1, us(100), ms(2)))
                 .run()
                 .unwrap()
+                .into_report()
         };
         let rm = build(Policy::RateMonotonic);
         assert!(
@@ -691,7 +315,8 @@ mod tests {
                     .crash(NodeId(0), Time::ZERO + ms(40)),
             )
             .run()
-            .unwrap();
+            .unwrap()
+            .into_report();
         let premature: Vec<_> = report
             .detections
             .iter()
@@ -719,7 +344,8 @@ mod tests {
                     .restart(NodeId(2), restart),
             )
             .run()
-            .unwrap();
+            .unwrap()
+            .into_report();
         assert_eq!(report.recoveries.len(), 1, "one completed rejoin");
         let r = report.recoveries[0];
         assert_eq!(r.node, 2);
@@ -750,8 +376,8 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(
-            err,
-            ClusterError::RestartWithoutCrash { node: 1, .. }
+            err.first(),
+            SpecIssue::RestartWithoutCrash { node: 1, .. }
         ));
     }
 
@@ -767,7 +393,8 @@ mod tests {
                     .restart(NodeId(3), Time::ZERO + ms(25)),
             )
             .run()
-            .unwrap();
+            .unwrap()
+            .into_report();
         for d in report.detections.iter().filter(|d| d.suspect == 3) {
             if d.suspected_at >= Time::ZERO + ms(25) {
                 assert!(d.is_false());
@@ -786,10 +413,11 @@ mod tests {
             hades_task::ArrivalLaw::Periodic(ms(3)),
             ms(3),
         );
-        let report = quad()
+        let run = quad()
             .scenario(ScenarioPlan::new().mode_change(switch, vec![TaskId(0)], vec![(0, new_task)]))
             .run()
             .unwrap();
+        let report = run.report();
         assert_eq!(report.mode_changes.len(), 1);
         let m = report.mode_changes[0];
         assert_eq!(m.at, switch);
@@ -800,6 +428,10 @@ mod tests {
         assert!(first >= switch);
         assert_eq!(m.transition_latency, first - switch);
         assert!(report.all_deadlines_met());
+        // The event stream carries the switch online.
+        assert!(run
+            .events_of_kind("mode-changed")
+            .any(|e| matches!(e, ClusterEvent::ModeChanged { at, .. } if *at == switch)));
     }
 
     #[test]
@@ -822,7 +454,8 @@ mod tests {
                     .mode_change(t2, vec![TaskId(10)], vec![]),
             )
             .run()
-            .unwrap();
+            .unwrap()
+            .into_report();
         assert_eq!(report.mode_changes.len(), 2);
         let intro = report.mode_changes[0];
         assert_eq!(intro.new_mode_released_at, t1);
@@ -843,8 +476,9 @@ mod tests {
                     .restart(NodeId(2), Time::ZERO + ms(30)),
             )
             .run()
-            .unwrap();
-        let healthy = quad().run().unwrap();
+            .unwrap()
+            .into_report();
+        let healthy = quad().run().unwrap().into_report();
         let counted = report.node_reports[2].app_instances;
         let full = healthy.node_reports[2].app_instances;
         // 60 ms horizon, 2 ms period: the 15 ms window removes ~8 of ~31
@@ -881,7 +515,8 @@ mod tests {
                     .mode_change(switch, vec![TaskId(2)], vec![(2, new_task)]),
             )
             .run()
-            .unwrap();
+            .unwrap()
+            .into_report();
         let m = report.mode_changes[0];
         assert_eq!(m.new_mode_released_at, switch);
         let first = m.first_new_completion.expect("the new mode ran");
@@ -902,7 +537,10 @@ mod tests {
             ))
             .run()
             .unwrap_err();
-        assert!(matches!(err, ClusterError::UnknownRetiredTask(TaskId(99))));
+        assert!(matches!(
+            err.first(),
+            SpecIssue::UnknownRetiredTask { task: TaskId(99) }
+        ));
     }
 
     #[test]
@@ -935,29 +573,57 @@ mod tests {
                 Time::ZERO + ms(11),
             ))
             .run()
-            .unwrap();
+            .unwrap()
+            .into_report();
         assert_eq!(report.view_history.len(), 1, "membership must not split");
         assert!(report.no_false_suspicions());
         assert!(report.network.omitted() > 0, "the cut dropped traffic");
     }
 
     #[test]
-    fn shim_and_spec_produce_identical_reports() {
-        // The deprecated builder is a faithful shim: the same deployment
-        // expressed both ways yields byte-identical reports.
-        let shim = quad()
-            .scenario(ScenarioPlan::new().crash(NodeId(0), Time::ZERO + ms(20)))
+    fn a_crash_scripted_at_time_zero_silences_the_node_from_the_start() {
+        // The t = 0 window is seeded into the initial fault plan (the
+        // control-path injection lands after the zero-instant Start
+        // batch): the dead node must execute nothing and emit nothing —
+        // not even its first heartbeat.
+        let report = quad()
+            .scenario(ScenarioPlan::new().crash(NodeId(3), Time::ZERO))
+            .run()
+            .unwrap()
+            .into_report();
+        assert_eq!(report.node_reports[3].app_instances, 0);
+        assert_eq!(report.node_reports[3].crashed_at, Some(Time::ZERO));
+        assert!(report.views_agree);
+        assert_eq!(report.view_history.last().unwrap().1, vec![0, 1, 2]);
+        assert!(report.no_false_suspicions());
+        for d in &report.detections {
+            assert_eq!(d.suspect, 3);
+            assert_eq!(d.crashed_at, Some(Time::ZERO));
+        }
+        // And the same scenario expressed as the canned driver matches.
+        let via_driver = quad()
+            .driver(Box::new(PlanDriver::new(
+                ScenarioPlan::new().crash(NodeId(3), Time::ZERO),
+            )))
             .run()
             .unwrap();
-        let mut spec = ClusterSpec::new(4)
-            .horizon(ms(60))
-            .seed(1)
-            .scenario(ScenarioPlan::new().crash(NodeId(0), Time::ZERO + ms(20)));
-        for node in 0..4 {
-            spec = spec.service(ServiceSpec::periodic("ctl", node, us(200), ms(2)));
-        }
-        let run = spec.run().unwrap();
-        assert_eq!(&shim, run.report());
-        assert!(!run.events().is_empty());
+        assert_eq!(&report, via_driver.report());
+    }
+
+    #[test]
+    fn scenario_and_its_canned_driver_are_the_same_run() {
+        // `.scenario(plan)` IS `.driver(PlanDriver::new(plan))`: the
+        // byte-identical equivalence the proptest suite checks over
+        // random plans, pinned here on the acceptance scenario.
+        let plan = ScenarioPlan::new()
+            .crash(NodeId(0), Time::ZERO + ms(20))
+            .restart(NodeId(0), Time::ZERO + ms(35))
+            .partition(NodeId(1), NodeId(2), Time::ZERO + ms(5), Time::ZERO + ms(6));
+        let via_scenario = quad().scenario(plan.clone()).run().unwrap();
+        let via_driver = quad()
+            .driver(Box::new(PlanDriver::new(plan)))
+            .run()
+            .unwrap();
+        assert_eq!(via_scenario, via_driver);
     }
 }

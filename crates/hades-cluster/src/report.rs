@@ -236,7 +236,7 @@ pub struct FailoverRecord {
     pub latency: Duration,
 }
 
-/// Everything a [`crate::HadesCluster`] run produces.
+/// The aggregate outcome of a [`crate::ClusterSpec`] run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterReport {
     /// Cluster size.
@@ -472,5 +472,42 @@ impl ClusterReport {
             self.heartbeats_seen,
         );
         s
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// A structurally empty report for tests of the event-stream layer.
+    pub(crate) fn empty_report() -> ClusterReport {
+        ClusterReport {
+            nodes: 0,
+            seed: 0,
+            finished_at: Time::ZERO,
+            node_reports: Vec::new(),
+            detections: Vec::new(),
+            detection_bound: Duration::ZERO,
+            view_history: Vec::new(),
+            views_agree: true,
+            failovers: Vec::new(),
+            recoveries: Vec::new(),
+            scripted_rejoins: 0,
+            rejoin_bound: Duration::ZERO,
+            mode_changes: Vec::new(),
+            groups: Vec::new(),
+            view_change: ViewChangeStats {
+                transport: "flood",
+                messages: 0,
+                view_changes: 0,
+                flood_equivalent: 0,
+                multicast_equivalent: 0,
+            },
+            join_retries: 0,
+            heartbeats_seen: 0,
+            network: NetworkStats::default(),
+            scheduler_cpu: Duration::ZERO,
+            kernel_cpu: Duration::ZERO,
+        }
     }
 }

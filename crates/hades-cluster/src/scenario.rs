@@ -125,6 +125,27 @@ impl ScenarioPlan {
         self
     }
 
+    /// Whether the plan scripts nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.restarts.is_empty()
+            && self.partitions.is_empty()
+            && self.mode_changes.is_empty()
+    }
+
+    /// This plan with every entry of `other` appended — the union the
+    /// spec lowering analyzes when scripted faults come both from
+    /// [`crate::ClusterSpec::scenario`] and from drivers'
+    /// [`crate::ScenarioDriver::static_plan`]s.
+    pub fn merged(&self, other: &ScenarioPlan) -> ScenarioPlan {
+        let mut out = self.clone();
+        out.crashes.extend(other.crashes.iter().copied());
+        out.restarts.extend(other.restarts.iter().copied());
+        out.partitions.extend(other.partitions.iter().copied());
+        out.mode_changes.extend(other.mode_changes.iter().cloned());
+        out
+    }
+
     /// Scripted crashes, in insertion order.
     pub fn crashes(&self) -> &[(NodeId, Time)] {
         &self.crashes

@@ -48,16 +48,20 @@
 //! # Ok::<(), hades_cluster::SpecError>(())
 //! ```
 
-use crate::events::{ClusterEvent, ClusterRun};
+use crate::driver::{
+    ControlActor, ControlState, ScenarioDriver, ServiceControl, ServiceControlKind,
+};
+use crate::events::ClusterRun;
 use crate::middleware::{GroupLoad, MiddlewareConfig, MIDDLEWARE_TASK_BASE};
 use crate::report;
 use crate::scenario::{ModeChangeScript, ScenarioPlan};
 use crate::workload::{ConstantRate, Workload};
+use crate::PlanDriver;
 use hades_dispatch::{CostModel, DispatchSim, SimConfig};
 use hades_sched::analysis::rta::{rta_feasible, RtaTask};
 use hades_sched::{edf_feasible, EdfAnalysisConfig, EdfPolicy, ModeChange, Policy};
-use hades_services::actors::{AgentConfig, AgentLog, NodeAgent};
-use hades_services::group::{GroupConfig, GroupLog, ReplicaGroup};
+use hades_services::actors::{AgentConfig, AgentLog, AgentTap, NodeAgent};
+use hades_services::group::{GroupConfig, GroupLog, GroupTap, ReplicaGroup, RequestSource};
 use hades_services::membership::View;
 use hades_services::ReplicaStyle;
 use hades_sim::mux::ActorId;
@@ -323,6 +327,12 @@ enum ServiceKind {
     Task { node: u32, task: Task },
 }
 
+impl ServiceKind {
+    fn is_replicated(&self) -> bool {
+        matches!(self, ServiceKind::Replicated { .. })
+    }
+}
+
 /// One typed service of a deployment spec.
 ///
 /// # Examples
@@ -351,6 +361,7 @@ enum ServiceKind {
 pub struct ServiceSpec {
     name: String,
     kind: ServiceKind,
+    standby: bool,
 }
 
 impl ServiceSpec {
@@ -377,6 +388,7 @@ impl ServiceSpec {
                 load,
                 workload,
             },
+            standby: false,
         }
     }
 
@@ -401,6 +413,7 @@ impl ServiceSpec {
         ServiceSpec {
             name: name.into(),
             kind: ServiceKind::Periodic { node, wcet, period },
+            standby: false,
         }
     }
 
@@ -410,7 +423,29 @@ impl ServiceSpec {
         ServiceSpec {
             name: name.into(),
             kind: ServiceKind::Task { node, task },
+            standby: false,
         }
+    }
+
+    /// Declares this task-backed service **standby**: it is validated,
+    /// lowered and charged by the feasibility analyses (capacity is
+    /// reserved for its admission), but it does not activate until a
+    /// [`crate::ScenarioDriver`] admits it at run time through
+    /// [`crate::ControlHandle::admit_service`] — the driver-side face of
+    /// a mode change.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a replicated service (stop/start a
+    /// replicated service's traffic through
+    /// [`crate::ControlHandle::throttle_workload`] instead).
+    pub fn standby(mut self) -> Self {
+        assert!(
+            !self.kind.is_replicated(),
+            "standby applies to task-backed services; throttle a replicated workload instead"
+        );
+        self.standby = true;
+        self
     }
 
     /// The service's name (appears in diagnostics).
@@ -426,12 +461,11 @@ impl ServiceSpec {
     }
 }
 
-/// A declarative deployment: platform + typed services, validated as a
-/// whole and lowered onto the integrated multi-node runtime.
+/// A declarative deployment: platform + typed services (+ reactive
+/// [`ScenarioDriver`]s), validated as a whole and lowered onto the
+/// integrated multi-node runtime.
 ///
-/// See the module-level example for typical use; the old
-/// [`crate::HadesCluster`] builder survives as a thin deprecated shim
-/// over this type.
+/// See the module-level example for typical use.
 #[derive(Debug)]
 pub struct ClusterSpec {
     nodes: u32,
@@ -444,6 +478,8 @@ pub struct ClusterSpec {
     middleware: MiddlewareConfig,
     scenario: ScenarioPlan,
     services: Vec<ServiceSpec>,
+    drivers: Vec<Box<dyn ScenarioDriver>>,
+    driver_tick: Duration,
 }
 
 impl ClusterSpec {
@@ -462,6 +498,8 @@ impl ClusterSpec {
             middleware: MiddlewareConfig::default(),
             scenario: ScenarioPlan::new(),
             services: Vec::new(),
+            drivers: Vec::new(),
+            driver_tick: Duration::from_millis(1),
         }
     }
 
@@ -507,9 +545,30 @@ impl ClusterSpec {
         self
     }
 
-    /// Installs the failure scenario.
+    /// Installs the offline failure scenario. At run time the plan is
+    /// replayed by the canned [`PlanDriver`] through the same control
+    /// path reactive drivers use — `scenario(plan)` and
+    /// `driver(Box::new(PlanDriver::new(plan)))` are equivalent, except
+    /// that the former also keeps the legacy accessor semantics.
     pub fn scenario(mut self, scenario: ScenarioPlan) -> Self {
         self.scenario = scenario;
+        self
+    }
+
+    /// Registers a during-run [`ScenarioDriver`]: it receives every
+    /// [`crate::ClusterEvent`] at its engine timestamp plus a periodic
+    /// tick ([`ClusterSpec::driver_tick`]), and can inject faults,
+    /// retire/admit services and retune workloads through its
+    /// [`crate::ControlHandle`]. Drivers run in registration order.
+    pub fn driver(mut self, driver: Box<dyn ScenarioDriver>) -> Self {
+        self.drivers.push(driver);
+        self
+    }
+
+    /// Sets the period of the drivers' [`crate::ScenarioDriver::on_tick`]
+    /// callback (default 1 ms; zero disables the tick).
+    pub fn driver_tick(mut self, tick: Duration) -> Self {
+        self.driver_tick = tick;
         self
     }
 
@@ -572,13 +631,25 @@ impl ClusterSpec {
     ///
     /// A [`SpecError`] listing every validation finding, or the task-set
     /// assembly failure.
-    pub fn run(self) -> Result<ClusterRun, SpecError> {
+    pub fn run(mut self) -> Result<ClusterRun, SpecError> {
         let lowered = self.lower()?;
-        lowered.execute()
+        let drivers = std::mem::take(&mut self.drivers);
+        lowered.execute(drivers, self.driver_tick)
+    }
+
+    /// The offline-known fault script: the spec's own scenario merged
+    /// with every driver's [`ScenarioDriver::static_plan`] — what the
+    /// static analyses (and validation) must account for.
+    fn static_scenario(&self) -> ScenarioPlan {
+        self.drivers
+            .iter()
+            .filter_map(|d| d.static_plan())
+            .fold(self.scenario.clone(), |acc, p| acc.merged(p))
     }
 
     /// Validates the spec and lowers it into the runtime's flat form.
     fn lower(&self) -> Result<Lowered, SpecError> {
+        let static_scenario = self.static_scenario();
         let mut issues = Vec::new();
         if self.nodes < 2 {
             issues.push(SpecIssue::TooFewNodes { nodes: self.nodes });
@@ -589,7 +660,7 @@ impl ClusterSpec {
                 max: MAX_CLUSTER_NODES,
             });
         }
-        for (node, at) in self.scenario.orphan_restarts() {
+        for (node, at) in static_scenario.orphan_restarts() {
             issues.push(SpecIssue::RestartWithoutCrash { node: node.0, at });
         }
 
@@ -606,6 +677,7 @@ impl ClusterSpec {
 
         let mut app_tasks: Vec<(Option<ServiceRef>, u32, Task)> = Vec::new();
         let mut groups: Vec<LoweredGroup> = Vec::new();
+        let mut service_infos: Vec<LoweredService> = Vec::new();
         let mut next_auto = 0u32;
         for (index, service) in self.services.iter().enumerate() {
             let sref = service.service_ref(index);
@@ -670,11 +742,15 @@ impl ClusterSpec {
                         });
                         continue;
                     }
+                    service_infos.push(LoweredService::Group {
+                        name: service.name.clone(),
+                        group: groups.len(),
+                    });
                     groups.push(LoweredGroup {
                         style: *style,
                         members: sorted,
                         load: *load,
-                        schedule: Rc::new(schedule),
+                        source: workload.build_source(self.horizon),
                         admission_period,
                     });
                 }
@@ -694,16 +770,26 @@ impl ClusterSpec {
                         hades_task::ArrivalLaw::Periodic(*period),
                         *period,
                     );
+                    service_infos.push(LoweredService::Tasks {
+                        name: service.name.clone(),
+                        ids: vec![id.0],
+                        standby: service.standby,
+                    });
                     app_tasks.push((Some(sref), *node, task));
                 }
                 ServiceKind::Task { node, task } => {
+                    service_infos.push(LoweredService::Tasks {
+                        name: service.name.clone(),
+                        ids: vec![task.id.0],
+                        standby: service.standby,
+                    });
                     app_tasks.push((Some(sref), *node, task.clone()));
                 }
             }
         }
 
         // Scripted mode-change introductions join the task checks.
-        for script in self.scenario.mode_changes() {
+        for script in static_scenario.mode_changes() {
             for (node, task) in &script.introduce {
                 app_tasks.push((None, *node, task.clone()));
             }
@@ -750,7 +836,7 @@ impl ClusterSpec {
             .filter(|(sref, _, _)| sref.is_some())
             .map(|(_, _, t)| t.id)
             .collect();
-        let mut scripts: Vec<&ModeChangeScript> = self.scenario.mode_changes().iter().collect();
+        let mut scripts: Vec<&ModeChangeScript> = static_scenario.mode_changes().iter().collect();
         scripts.sort_by_key(|s| s.at);
         for script in scripts {
             for id in &script.retire {
@@ -781,25 +867,46 @@ impl ClusterSpec {
             kernel: self.kernel.clone(),
             middleware: self.middleware,
             scenario: self.scenario.clone(),
+            static_scenario,
             app_tasks,
             groups,
+            service_infos,
         })
     }
 }
 
-/// One replicated service, lowered: sorted members + materialized
-/// submission schedule.
+/// One replicated service, lowered: sorted members + the shared request
+/// source (open-loop schedule or live closed loop).
 #[derive(Debug)]
 struct LoweredGroup {
     style: ReplicaStyle,
     members: Vec<u32>,
     load: GroupLoad,
-    schedule: Rc<Vec<Time>>,
+    source: Rc<RefCell<dyn RequestSource>>,
     admission_period: Duration,
 }
 
-/// The flat runtime form a validated spec lowers into; `execute` is the
-/// engine composition the deprecated builder used to run directly.
+/// One registered service as the control plane will address it.
+#[derive(Debug)]
+enum LoweredService {
+    /// Task-backed: its dispatcher task ids (and whether it starts
+    /// standby).
+    Tasks {
+        name: String,
+        ids: Vec<u32>,
+        standby: bool,
+    },
+    /// Replicated: index into the lowered groups.
+    Group { name: String, group: usize },
+}
+
+/// The flat runtime form a validated spec lowers into.
+///
+/// `scenario` is the spec's own plan (replayed at run time by the
+/// canned [`PlanDriver`]); `static_scenario` additionally folds in the
+/// drivers' [`ScenarioDriver::static_plan`]s and feeds the offline
+/// analyses (feasibility, mode-change transitions, recovery cost
+/// windows).
 #[derive(Debug)]
 struct Lowered {
     nodes: u32,
@@ -811,8 +918,10 @@ struct Lowered {
     kernel: KernelModel,
     middleware: MiddlewareConfig,
     scenario: ScenarioPlan,
+    static_scenario: ScenarioPlan,
     app_tasks: Vec<(u32, Task)>,
     groups: Vec<LoweredGroup>,
+    service_infos: Vec<LoweredService>,
 }
 
 impl Lowered {
@@ -834,7 +943,15 @@ impl Lowered {
     }
 
     /// Builds and runs the deployment, producing the report + events.
-    fn execute(self) -> Result<ClusterRun, SpecError> {
+    ///
+    /// `drivers` are the registered reactive controllers; the canned
+    /// [`PlanDriver`] replaying the spec's own scenario always runs
+    /// first, so the offline path is one driver among them.
+    fn execute(
+        self,
+        drivers: Vec<Box<dyn ScenarioDriver>>,
+        driver_tick: Duration,
+    ) -> Result<ClusterRun, SpecError> {
         let detection_bound = self
             .agent_config(NodeId(0))
             .detection_bound(self.link.delay_max);
@@ -850,7 +967,7 @@ impl Lowered {
             origin.insert(task.id, (*node, false));
             tasks.push(task.clone());
         }
-        for script in self.scenario.mode_changes() {
+        for script in self.static_scenario.mode_changes() {
             for (node, task) in &script.introduce {
                 origin.insert(task.id, (*node, false));
                 tasks.push(task.clone());
@@ -877,26 +994,29 @@ impl Lowered {
         // One serving + one installing cost task per scripted restart,
         // windowed to the rejoin interval so the transfer's CPU overhead
         // is charged where (and when) it occurs — and, conservatively,
-        // folded into the stationary feasibility analyses.
+        // folded into the stationary feasibility analyses. Reactive
+        // (driver-injected) restarts have no offline existence and are
+        // therefore not charged here — the inherent price of closing the
+        // loop at run time.
         let transfer_span = self.middleware.recovery.transfer_bound(self.link.delay_max);
         let mut recovery_windows: Vec<(TaskId, Time, Time)> = Vec::new();
-        for (k, (joiner, restart_at)) in self.scenario.matched_restarts().iter().enumerate() {
+        for (k, (joiner, restart_at)) in self.static_scenario.matched_restarts().iter().enumerate()
+        {
             // The protocol's server is the lowest surviving *view member*;
             // statically we approximate it as the lowest node that is up
             // at the restart and not itself mid-rejoin (its own restart,
             // if any, lies at least one rejoin bound in the past).
-            let server = (0..self.nodes).find(|n| {
-                NodeId(*n) != *joiner
-                    && !self.scenario.is_down(NodeId(*n), *restart_at)
-                    && self
-                        .scenario
-                        .down_windows(NodeId(*n))
-                        .iter()
-                        .all(|(c, r)| match r {
-                            Some(r) => *c > *restart_at || *r + rejoin_bound <= *restart_at,
-                            None => *c > *restart_at,
-                        })
-            });
+            let server =
+                (0..self.nodes).find(|n| {
+                    NodeId(*n) != *joiner
+                        && !self.static_scenario.is_down(NodeId(*n), *restart_at)
+                        && self.static_scenario.down_windows(NodeId(*n)).iter().all(
+                            |(c, r)| match r {
+                                Some(r) => *c > *restart_at || *r + rejoin_bound <= *restart_at,
+                                None => *c > *restart_at,
+                            },
+                        )
+                });
             let Some(server) = server else { continue };
             for (node, task) in self
                 .middleware
@@ -922,12 +1042,45 @@ impl Lowered {
             .collect();
 
         // ---- one shared network + one shared engine ----
+        // Scripted faults are no longer pre-compiled — the canned
+        // PlanDriver injects them through the runtime control path at
+        // time zero, exactly as a reactive driver would mid-run. The one
+        // exception: faults already in force AT time zero must be seeded
+        // before the zero-instant Start batch runs (a node scripted dead
+        // at t = 0 must not emit its first heartbeat; a link cut from
+        // t = 0 must drop it). The driver's re-injection of the same
+        // window is a no-op (see `apply_network_op`), so no duplicate
+        // transition or restart events arise.
+        let mut initial_plan = hades_sim::FaultPlan::new();
+        {
+            let sc = &self.static_scenario;
+            let mut seeded: Vec<NodeId> = sc.crashes().iter().map(|(n, _)| *n).collect();
+            seeded.sort();
+            seeded.dedup();
+            for node in seeded {
+                for (c, r) in sc.down_windows(node) {
+                    if c == Time::ZERO {
+                        initial_plan = match r {
+                            Some(r) => initial_plan.crash_window(node, c, r),
+                            None => initial_plan.crash_at(node, c),
+                        };
+                    }
+                }
+            }
+            for p in sc.partitions() {
+                if p.from == Time::ZERO {
+                    initial_plan = initial_plan
+                        .cut_link(p.a, p.b, p.from, p.until)
+                        .cut_link(p.b, p.a, p.from, p.until);
+                }
+            }
+        }
         let net = Network::homogeneous(
             self.nodes,
             self.link,
             SimRng::seed_from(self.seed ^ 0x004E_4554),
         )
-        .with_fault_plan(self.scenario.fault_plan());
+        .with_fault_plan(initial_plan);
         let set = TaskSet::new(tasks).map_err(|e| SpecError {
             issues: vec![SpecIssue::InvalidTaskSet(e)],
         })?;
@@ -961,21 +1114,71 @@ impl Lowered {
         for (id, from, until) in &recovery_windows {
             sim.set_activation_window(*id, *from, *until);
         }
+        // Standby services: validated and charged, but never activated
+        // until a driver admits them (the admission op re-opens the
+        // window and re-anchors the chain).
+        for info in &self.service_infos {
+            if let LoweredService::Tasks {
+                ids, standby: true, ..
+            } = info
+            {
+                for id in ids {
+                    sim.set_activation_window(TaskId(*id), Time::MAX, Time::MAX);
+                }
+            }
+        }
+
+        // ---- the reactive control plane: shared state + event taps ----
+        // Actor ids: agents are 0..nodes (the protocol addresses them by
+        // node id), group members follow, the control actor comes last.
+        let state = Rc::new(RefCell::new(ControlState::default()));
+        let postbox = sim.postbox();
+        let total_members: u32 = self.groups.iter().map(|g| g.members.len() as u32).sum();
+        let control_id = ActorId(self.nodes + total_members);
+        let agent_tap = {
+            let state = state.clone();
+            let postbox = postbox.clone();
+            AgentTap(Rc::new(move |now, node, ev| {
+                if state.borrow_mut().on_agent_event(now, node, ev) {
+                    postbox.notify(control_id, 0);
+                }
+            }))
+        };
+        let group_tap = {
+            let state = state.clone();
+            let postbox = postbox.clone();
+            GroupTap(Rc::new(move |now, group, node, ev| {
+                if state.borrow_mut().on_group_event(now, group, node, ev) {
+                    postbox.notify(control_id, 0);
+                }
+            }))
+        };
+        {
+            let state = state.clone();
+            let postbox = postbox.clone();
+            let origin = origin.clone();
+            sim.set_miss_tap(Rc::new(move |now, task, activated, node| {
+                let (home, mw) = origin.get(&task).copied().unwrap_or((node, false));
+                if state.borrow_mut().on_miss(now, task, activated, home, mw) {
+                    postbox.notify(control_id, 0);
+                }
+            }));
+        }
 
         // ---- per-node middleware agents on the same engine ----
         let logs: Vec<Rc<RefCell<AgentLog>>> = (0..self.nodes)
             .map(|node| {
                 let (agent, log) = NodeAgent::new(self.agent_config(NodeId(node)));
-                sim.add_actor(Box::new(agent));
+                sim.add_actor(Box::new(agent.with_tap(agent_tap.clone())));
                 log
             })
             .collect();
 
-        // ---- replication-group members, after the agents (actor ids
-        // 0..nodes belong to the agents, groups follow) ----
+        // ---- replication-group members, after the agents ----
         let delta = self.group_delta();
         let mut next_actor = self.nodes;
         let mut group_logs: Vec<Vec<Rc<RefCell<GroupLog>>>> = Vec::new();
+        let mut group_peers: Vec<Vec<(u32, ActorId)>> = Vec::new();
         for (g, group) in self.groups.iter().enumerate() {
             let peers: Vec<(u32, ActorId)> = group
                 .members
@@ -993,14 +1196,14 @@ impl Lowered {
                         style: group.style,
                         request_period: group.load.request_period,
                         first_request_at: group.load.first_request_at,
-                        schedule: Some(group.schedule.clone()),
+                        source: Some(group.source.clone()),
                         delta,
                         attempts: group.load.attempts,
                         peers: peers.clone(),
                     },
                     Some(logs[*m as usize].clone()),
                 );
-                let id = sim.add_actor(Box::new(member));
+                let id = sim.add_actor(Box::new(member.with_tap(group_tap.clone())));
                 assert_eq!(
                     id, peers[i].1,
                     "group peer addressing drifted from actor registration order"
@@ -1009,38 +1212,62 @@ impl Lowered {
             }
             next_actor += group.members.len() as u32;
             group_logs.push(glogs);
+            group_peers.push(peers);
         }
+
+        // ---- the control actor: canned plan replay + reactive drivers ----
+        let services_ctl: Vec<ServiceControl> = self
+            .service_infos
+            .iter()
+            .map(|info| match info {
+                LoweredService::Tasks { name, ids, .. } => ServiceControl {
+                    name: name.clone(),
+                    kind: ServiceControlKind::Tasks { ids: ids.clone() },
+                },
+                LoweredService::Group { name, group } => ServiceControl {
+                    name: name.clone(),
+                    kind: ServiceControlKind::Group {
+                        source: self.groups[*group].source.clone(),
+                        members: group_peers[*group].clone(),
+                    },
+                },
+            })
+            .collect();
+        let mut all_drivers: Vec<Box<dyn ScenarioDriver>> =
+            vec![Box::new(PlanDriver::new(self.scenario.clone()))];
+        all_drivers.extend(drivers);
+        let mode_marks: Vec<(Time, Time)> =
+            mode_plans.iter().map(|p| (p.at, p.release_at)).collect();
+        let control = ControlActor::new(
+            all_drivers,
+            state.clone(),
+            services_ctl,
+            self.nodes,
+            Time::ZERO + self.horizon,
+            driver_tick,
+            mode_marks,
+        );
+        let cid = sim.add_actor(Box::new(control));
+        assert_eq!(cid, control_id, "control actor must register last");
 
         let run = sim.run();
         let network = sim.network_stats();
 
-        // ---- fold everything into the report + event stream ----
-        let mut events: Vec<ClusterEvent> = Vec::new();
-        let (node_reports, miss_events) = self.node_reports(&run, &origin, feasibility);
-        events.extend(miss_events);
-        let (detections, heartbeats_seen) = self.detections(&logs);
-        for d in &detections {
-            events.push(ClusterEvent::Detected {
-                observer: d.observer,
-                suspect: d.suspect,
-                at: d.suspected_at,
-                latency: d.latency,
-            });
-        }
+        // ---- fold everything into the report ----
+        // Classification runs against the *applied* fault script —
+        // scripted replays and reactive injections alike — not the
+        // static plan, so reactive faults are first-class citizens of
+        // the report.
+        let applied = state.borrow().applied.clone();
+        let node_reports = self.node_reports(&run, &origin, feasibility, &applied);
+        let (detections, heartbeats_seen) = self.detections(&logs, &applied);
         let survivors: Vec<u32> = (0..self.nodes)
-            .filter(|n| self.scenario.crash_time(NodeId(*n)).is_none())
+            .filter(|n| applied.crash_time(NodeId(*n)).is_none())
             .collect();
         let reference_views: Vec<View> = survivors
             .first()
             .map(|n| logs[*n as usize].borrow().views.clone())
             .unwrap_or_default();
-        for v in &reference_views {
-            events.push(ClusterEvent::ViewInstalled {
-                number: v.number,
-                members: v.members.clone(),
-                at: v.installed_at,
-            });
-        }
         let view_history: Vec<(u32, Vec<u32>)> = reference_views
             .iter()
             .map(|v| (v.number, v.members.clone()))
@@ -1048,23 +1275,8 @@ impl Lowered {
         let views_agree = survivors
             .iter()
             .all(|n| logs[*n as usize].borrow().view_members() == view_history);
-        let failovers = self.failovers(&logs, &reference_views);
-        for f in &failovers {
-            events.push(ClusterEvent::FailedOver {
-                failed_primary: f.failed_primary,
-                new_primary: f.new_primary,
-                at: f.taken_over_at,
-            });
-        }
-        let recoveries = self.recoveries(&logs);
-        for r in &recoveries {
-            events.push(ClusterEvent::RejoinCompleted {
-                node: r.node,
-                view: r.readmitted_view,
-                at: r.restarted_at + r.rejoin_latency,
-                latency: r.rejoin_latency,
-            });
-        }
+        let failovers = self.failovers(&logs, &reference_views, &applied);
+        let recoveries = self.recoveries(&logs, &applied);
         let mode_changes: Vec<report::ModeChangeRecord> = mode_plans
             .iter()
             .map(|p| {
@@ -1085,24 +1297,8 @@ impl Lowered {
                 }
             })
             .collect();
-        for m in &mode_changes {
-            events.push(ClusterEvent::ModeChanged {
-                at: m.at,
-                released_at: m.new_mode_released_at,
-            });
-        }
 
-        let groups = self.group_reports(&group_logs, delta);
-        for g in &groups {
-            for h in &g.handoffs {
-                events.push(ClusterEvent::Handoff {
-                    group: h.group,
-                    from: h.from,
-                    to: h.to,
-                    at: h.at,
-                });
-            }
-        }
+        let groups = self.group_reports(&group_logs, delta, &applied);
         let view_changes = view_history
             .last()
             .map(|(number, _)| *number)
@@ -1133,7 +1329,7 @@ impl Lowered {
             views_agree,
             failovers,
             recoveries,
-            scripted_rejoins: self.scenario.matched_restarts().len() as u32,
+            scripted_rejoins: applied.matched_restarts().len() as u32,
             rejoin_bound,
             mode_changes,
             groups,
@@ -1144,6 +1340,9 @@ impl Lowered {
             scheduler_cpu: run.scheduler_cpu,
             kernel_cpu: run.kernel_cpu,
         };
+        // The event stream is exactly what the drivers saw, re-sorted
+        // under the documented deterministic tie-break.
+        let events = std::mem::take(&mut state.borrow_mut().events);
         Ok(ClusterRun::new(report, events))
     }
 
@@ -1152,20 +1351,22 @@ impl Lowered {
         &self,
         group_logs: &[Vec<Rc<RefCell<GroupLog>>>],
         delta: Duration,
+        applied: &ScenarioPlan,
     ) -> Vec<report::GroupReport> {
         let mut out = Vec::new();
         for (g, (group, glogs)) in self.groups.iter().zip(group_logs.iter()).enumerate() {
             let logs: Vec<GroupLog> = glogs.iter().map(|l| l.borrow().clone()).collect();
-            // Reference order: the first member never scripted down;
-            // when every member restarted at some point, the longest
-            // delivery log stands in (identical full sequences cannot be
-            // demanded of restarted members, so agreement then means
-            // subsequence consistency, never a vacuous true).
+            // Reference order: the first member never down (reactive
+            // injections included); when every member restarted at some
+            // point, the longest delivery log stands in (identical full
+            // sequences cannot be demanded of restarted members, so
+            // agreement then means subsequence consistency, never a
+            // vacuous true).
             let full_time: Vec<usize> = group
                 .members
                 .iter()
                 .enumerate()
-                .filter(|(_, m)| self.scenario.down_windows(NodeId(**m)).is_empty())
+                .filter(|(_, m)| applied.down_windows(NodeId(**m)).is_empty())
                 .map(|(i, _)| i)
                 .collect();
             let reference_idx = full_time.first().copied().unwrap_or_else(|| {
@@ -1277,13 +1478,13 @@ impl Lowered {
             .iter()
             .map(|(_, t)| t)
             .chain(
-                self.scenario
+                self.static_scenario
                     .mode_changes()
                     .iter()
                     .flat_map(|s| s.introduce.iter().map(|(_, t)| t)),
             )
             .collect();
-        self.scenario
+        self.static_scenario
             .mode_changes()
             .iter()
             .map(|script| {
@@ -1342,12 +1543,16 @@ impl Lowered {
             .collect()
     }
 
-    /// Joins each completed rejoin cycle with its scripted down window and
+    /// Joins each completed rejoin cycle with its applied down window and
     /// the survivors' first detection of the crash.
-    fn recoveries(&self, logs: &[Rc<RefCell<AgentLog>>]) -> Vec<report::RecoveryRecord> {
+    fn recoveries(
+        &self,
+        logs: &[Rc<RefCell<AgentLog>>],
+        applied: &ScenarioPlan,
+    ) -> Vec<report::RecoveryRecord> {
         let mut out = Vec::new();
         for node in 0..self.nodes {
-            let windows = self.scenario.down_windows(NodeId(node));
+            let windows = applied.down_windows(NodeId(node));
             let rejoins = logs[node as usize].borrow().rejoins.clone();
             for rj in rejoins {
                 let Some((crashed_at, _)) = windows
@@ -1474,14 +1679,15 @@ impl Lowered {
         run: &hades_dispatch::RunReport,
         origin: &BTreeMap<TaskId, (u32, bool)>,
         feasibility: Vec<report::NodeFeasibility>,
-    ) -> (Vec<report::NodeReport>, Vec<ClusterEvent>) {
+        applied: &ScenarioPlan,
+    ) -> Vec<report::NodeReport> {
         let mut reports: Vec<report::NodeReport> = feasibility
             .into_iter()
             .enumerate()
             .map(|(node, feasibility)| report::NodeReport {
                 node: node as u32,
-                crashed_at: self.scenario.crash_time(NodeId(node as u32)),
-                restarted_at: self.scenario.restart_time(NodeId(node as u32)),
+                crashed_at: applied.crash_time(NodeId(node as u32)),
+                restarted_at: applied.restart_time(NodeId(node as u32)),
                 app_instances: 0,
                 app_misses: 0,
                 middleware_instances: 0,
@@ -1490,9 +1696,8 @@ impl Lowered {
                 feasibility,
             })
             .collect();
-        let mut misses: Vec<ClusterEvent> = Vec::new();
         let down_windows: Vec<Vec<(Time, Option<Time>)>> = (0..self.nodes)
-            .map(|n| self.scenario.down_windows(NodeId(n)))
+            .map(|n| applied.down_windows(NodeId(n)))
             .collect();
         for inst in &run.instances {
             let Some((node, is_mw)) = origin.get(&inst.task) else {
@@ -1522,35 +1727,32 @@ impl Lowered {
                     r.worst_app_response = Some(r.worst_app_response.map_or(rt, |w| w.max(rt)));
                 }
             }
-            if inst.missed {
-                misses.push(ClusterEvent::DeadlineMiss {
-                    node: *node,
-                    task: inst.task,
-                    middleware: *is_mw,
-                    at: inst.deadline,
-                });
-            }
         }
-        (reports, misses)
+        reports
     }
 
-    fn detections(&self, logs: &[Rc<RefCell<AgentLog>>]) -> (Vec<report::DetectionRecord>, u64) {
+    fn detections(
+        &self,
+        logs: &[Rc<RefCell<AgentLog>>],
+        applied: &ScenarioPlan,
+    ) -> (Vec<report::DetectionRecord>, u64) {
         let mut detections = Vec::new();
         let mut heartbeats = 0;
         for log in logs {
             let log = log.borrow();
             heartbeats += log.heartbeats_seen;
             for (suspect, at) in &log.suspicions {
-                // A suspicion is a detection only when it lands inside a
-                // scripted down window of the suspect; raised before the
+                // A suspicion is a detection only when it lands inside an
+                // applied down window of the suspect (scripted replays
+                // and reactive injections alike); raised before the
                 // crash or after the restart, it is a false suspicion and
                 // must not masquerade as a zero-latency success.
-                let windows = self.scenario.down_windows(NodeId(*suspect));
+                let windows = applied.down_windows(NodeId(*suspect));
                 let covering = windows
                     .iter()
                     .find(|(c, r)| *at >= *c && r.is_none_or(|r| *at < r))
                     .map(|(c, _)| *c);
-                let crashed_at = covering.or_else(|| self.scenario.crash_time(NodeId(*suspect)));
+                let crashed_at = covering.or_else(|| applied.crash_time(NodeId(*suspect)));
                 let latency = covering.map(|c| *at - c);
                 detections.push(report::DetectionRecord {
                     suspect: *suspect,
@@ -1569,9 +1771,10 @@ impl Lowered {
         &self,
         logs: &[Rc<RefCell<AgentLog>>],
         reference_views: &[View],
+        applied: &ScenarioPlan,
     ) -> Vec<report::FailoverRecord> {
         let mut failovers = Vec::new();
-        for (crashed, crash_at) in self.scenario.crashes() {
+        for (crashed, crash_at) in applied.crashes() {
             // The view in force when the crash happened, per the reference
             // history.
             let Some(current) = reference_views

@@ -15,12 +15,21 @@
 //!   requests separated by idle gaps);
 //! * [`TraceReplay`] — replay of an explicit, recorded instant list.
 //!
-//! [`ClosedLoop`] approximates a closed-loop client (next request issued
-//! one think time after the previous response) with the analytic
-//! response bound substituted for the unobservable per-request response.
+//! [`ClosedLoop`] is a **true** closed-loop client: the next request is
+//! issued one think time after the previous *measured* response, fed
+//! back from the replica-group gateway through the actor-side
+//! [`RequestSource`] hook — the generated stream reacts to congestion
+//! (a failover stall pushes every later submission out; fast responses
+//! pull them in). The pre-feedback behaviour — the analytic
+//! client-visible bound substituted for the response — survives as
+//! [`ClosedLoop::analytic`], and is what [`Workload::request_times`]
+//! (validation, baselines) reports for both variants.
 
+use hades_services::group::{FixedSchedule, RequestSource};
 use hades_time::{Duration, Time};
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
 /// A deterministic request-stream generator.
 ///
@@ -30,13 +39,28 @@ use std::fmt;
 /// [`crate::SpecIssue`]. Request `k` of the service is submitted at the
 /// `k`-th returned instant.
 pub trait Workload: fmt::Debug {
-    /// The submission instants of the whole run.
+    /// The submission instants of the whole run — for a feedback-driven
+    /// workload, the *analytic approximation* used by validation and as
+    /// the open-loop baseline (the live schedule unfolds at run time
+    /// through [`Workload::build_source`]).
     fn request_times(&self, horizon: Duration) -> Vec<Time>;
 
     /// The per-request arrival period admission control charges for the
     /// service's execution cost tasks — the (peak) rate the feasibility
     /// analyses must budget for. Must be positive.
     fn admission_period(&self, horizon: Duration) -> Duration;
+
+    /// Builds the actor-side [`RequestSource`] the replica-group gateway
+    /// runs — shared by every member of the group. The default lowers
+    /// the pre-materialized [`Workload::request_times`] schedule into an
+    /// open-loop [`FixedSchedule`]; feedback-driven workloads override
+    /// it to return a source whose schedule extends as responses are
+    /// reported back.
+    fn build_source(&self, horizon: Duration) -> Rc<RefCell<dyn RequestSource>> {
+        Rc::new(RefCell::new(FixedSchedule::new(
+            self.request_times(horizon),
+        )))
+    }
 }
 
 /// Open-loop constant-rate stream: one request every `period`, starting
@@ -165,22 +189,59 @@ impl Workload for TraceReplay {
     }
 }
 
-/// Closed-loop client approximation: the client issues the next request
-/// one `think` time after the previous *response*. The response instant
-/// is not observable at schedule-generation time, so the analytic
-/// client-visible bound `Δ + δmax` (passed as `response_bound`) stands
-/// in — the resulting constant period `think + response_bound` is the
-/// closed loop's worst-case (slowest) cycle, which is the conservative
-/// choice for admission and a faithful one for steady state.
+/// Closed-loop client: the next request is issued one `think` time after
+/// the previous **response**.
+///
+/// By default the loop is **live**: the gateway feeds each request's
+/// first measured client-visible output back through
+/// [`RequestSource::on_response`], and the next submission is scheduled
+/// `think` after it — the stream genuinely reacts to congestion (a
+/// failover stall pushes later submissions out; responses faster than
+/// the analytic bound pull them in). [`ClosedLoop::analytic`] restores
+/// the pre-feedback approximation — a constant period of
+/// `think + response_bound` — which also remains the
+/// [`Workload::request_times`] schedule of both variants (validation and
+/// baseline comparisons).
+///
+/// Admission: the live loop's peak rate is bounded by `think` alone
+/// (a response can never land before its request), so admission charges
+/// the cost tasks at period `think` — conservative under feedback. The
+/// analytic variant keeps the constant `think + response_bound` period
+/// it actually generates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClosedLoop {
-    /// Client think time between response and next request.
+    /// Client think time between response and next request. Must be
+    /// positive (it bounds the live loop's admission rate).
     pub think: Duration,
-    /// The analytic response bound substituted for the actual response
-    /// (`ClusterSpec::group_delta() + δmax` for an in-cluster service).
+    /// The analytic response bound (`ClusterSpec::group_delta() + δmax`
+    /// for an in-cluster service): the stand-in response of the analytic
+    /// variant, and the baseline `request_times` of both.
     pub response_bound: Duration,
     /// First submission instant.
     pub start: Time,
+    /// Whether to run open-loop on the analytic approximation instead of
+    /// live measured feedback (see [`ClosedLoop::analytic`]).
+    pub open_loop: bool,
+}
+
+impl ClosedLoop {
+    /// A live closed loop (measured-response feedback).
+    pub fn new(think: Duration, response_bound: Duration, start: Time) -> Self {
+        ClosedLoop {
+            think,
+            response_bound,
+            start,
+            open_loop: false,
+        }
+    }
+
+    /// The analytic-bound approximation: an open-loop constant-period
+    /// stream of `think + response_bound` — the closed loop's worst-case
+    /// (slowest) cycle, useful as the congestion-blind baseline.
+    pub fn analytic(mut self) -> Self {
+        self.open_loop = true;
+        self
+    }
 }
 
 impl Workload for ClosedLoop {
@@ -189,7 +250,112 @@ impl Workload for ClosedLoop {
     }
 
     fn admission_period(&self, _horizon: Duration) -> Duration {
-        self.think + self.response_bound
+        if self.open_loop {
+            self.think + self.response_bound
+        } else {
+            self.think
+        }
+    }
+
+    fn build_source(&self, horizon: Duration) -> Rc<RefCell<dyn RequestSource>> {
+        if self.open_loop {
+            return Rc::new(RefCell::new(FixedSchedule::new(
+                self.request_times(horizon),
+            )));
+        }
+        let end = Time::ZERO + horizon;
+        Rc::new(RefCell::new(ClosedLoopSource {
+            think: self.think,
+            end,
+            permille: 1000,
+            scheduled: if self.start < end {
+                vec![self.start]
+            } else {
+                Vec::new()
+            },
+            responded: 0,
+            last_response: None,
+        }))
+    }
+}
+
+/// The live closed loop's shared [`RequestSource`]: the schedule unfolds
+/// one request at a time as measured responses are fed back.
+#[derive(Debug)]
+struct ClosedLoopSource {
+    think: Duration,
+    end: Time,
+    permille: u32,
+    /// Scheduled submission instants so far; index = request id.
+    scheduled: Vec<Time>,
+    /// Ids `0..responded` have had their (first) response consumed.
+    responded: u64,
+    last_response: Option<Time>,
+}
+
+impl ClosedLoopSource {
+    /// Think time under the current throttle (permille of nominal rate).
+    fn effective_think(&self) -> Duration {
+        let ns = self.think.as_nanos() as u128 * 1000 / self.permille.max(1) as u128;
+        Duration::from_nanos(ns.min(u64::MAX as u128) as u64)
+    }
+
+    /// Schedules the next request at `at + think` if the loop is running
+    /// and the horizon allows it.
+    fn schedule_next(&mut self, at: Time) -> Option<Time> {
+        if self.permille == 0 {
+            return None;
+        }
+        let prev = self.scheduled.last().copied().unwrap_or(Time::ZERO);
+        let next = (at + self.effective_think()).max(prev + Duration::from_nanos(1));
+        if next >= self.end {
+            return None;
+        }
+        self.scheduled.push(next);
+        Some(next)
+    }
+}
+
+impl RequestSource for ClosedLoopSource {
+    fn submissions_through(&mut self, now: Time) -> u64 {
+        self.scheduled.partition_point(|t| *t <= now) as u64
+    }
+
+    fn next_submission_after(&mut self, now: Time) -> Option<Time> {
+        self.scheduled
+            .get(self.scheduled.partition_point(|t| *t <= now))
+            .copied()
+    }
+
+    fn on_response(&mut self, id: u64, at: Time) -> Option<Time> {
+        // Only the first report of the *latest* request advances the
+        // loop; duplicate copies of the same output (every member
+        // reports its own emission) and stale ids are ignored.
+        if id + 1 != self.scheduled.len() as u64 || id < self.responded {
+            return None;
+        }
+        self.responded = id + 1;
+        self.last_response = Some(at);
+        self.schedule_next(at)
+    }
+
+    fn throttle(&mut self, now: Time, permille: u32) {
+        let resuming = self.permille == 0 && permille > 0;
+        self.permille = permille;
+        if permille == 0 {
+            // Stop means stop: a next request already scheduled but not
+            // yet submitted is withdrawn (the gateway's pending tick
+            // finds nothing due), not just future ones.
+            let idx = self.scheduled.partition_point(|t| *t <= now);
+            self.scheduled.truncate(idx);
+            return;
+        }
+        if resuming && self.responded == self.scheduled.len() as u64 {
+            // The response that should have scheduled the next request
+            // arrived while the loop was paused: resume from here.
+            let anchor = self.last_response.unwrap_or(now).max(now);
+            self.schedule_next(anchor);
+        }
     }
 }
 
@@ -244,14 +410,78 @@ mod tests {
     }
 
     #[test]
-    fn closed_loop_period_is_think_plus_response_bound() {
-        let w = ClosedLoop {
-            think: ms(1),
-            response_bound: us(100),
-            start: Time::ZERO + ms(1),
-        };
-        assert_eq!(w.admission_period(ms(10)), ms(1) + us(100));
+    fn closed_loop_baseline_period_is_think_plus_response_bound() {
+        let w = ClosedLoop::new(ms(1), us(100), Time::ZERO + ms(1));
+        // The analytic baseline schedule is shared by both variants...
         let times = w.request_times(ms(10));
         assert_eq!(times[1] - times[0], ms(1) + us(100));
+        // ...but live admission charges the peak (think-only) rate,
+        // while the analytic variant charges what it generates.
+        assert_eq!(w.admission_period(ms(10)), ms(1));
+        assert_eq!(w.analytic().admission_period(ms(10)), ms(1) + us(100));
+    }
+
+    #[test]
+    fn live_closed_loop_source_tracks_measured_responses() {
+        let w = ClosedLoop::new(ms(1), us(100), Time::ZERO + ms(1));
+        let source = w.build_source(ms(50));
+        let mut s = source.borrow_mut();
+        assert_eq!(
+            s.next_submission_after(Time::ZERO),
+            Some(Time::ZERO + ms(1))
+        );
+        assert_eq!(s.submissions_through(Time::ZERO + ms(1)), 1);
+        // No response yet: the next request is unknown.
+        assert_eq!(s.next_submission_after(Time::ZERO + ms(1)), None);
+        // A fast measured response (60 µs) beats the analytic bound: the
+        // next submission lands think + 60 µs after the previous one.
+        let resp = Time::ZERO + ms(1) + us(60);
+        assert_eq!(s.on_response(0, resp), Some(resp + ms(1)));
+        // Duplicate reports of the same output (other members) are inert.
+        assert_eq!(s.on_response(0, resp + us(40)), None);
+        // A slow response (congestion) pushes the loop out instead.
+        let resp1 = resp + ms(1) + ms(7);
+        assert_eq!(s.on_response(1, resp1), Some(resp1 + ms(1)));
+        assert_eq!(s.submissions_through(Time::ZERO + ms(20)), 3);
+    }
+
+    #[test]
+    fn closed_loop_stop_withdraws_the_already_scheduled_next_request() {
+        let w = ClosedLoop::new(ms(1), us(100), Time::ZERO + ms(1));
+        let source = w.build_source(ms(50));
+        let mut s = source.borrow_mut();
+        // Request 0 responded: request 1 is scheduled in the future.
+        let next = s.on_response(0, Time::ZERO + ms(1) + us(60)).unwrap();
+        assert!(next > Time::ZERO + ms(2));
+        // Stop BEFORE it is due: the pending submission must be
+        // withdrawn, not leaked at its armed tick.
+        s.throttle(Time::ZERO + ms(2), 0);
+        assert_eq!(s.submissions_through(Time::ZERO + ms(50)), 1);
+        assert_eq!(s.next_submission_after(Time::ZERO + ms(2)), None);
+        // Resume picks the loop back up from the consumed response.
+        s.throttle(Time::ZERO + ms(10), 1000);
+        assert_eq!(
+            s.next_submission_after(Time::ZERO + ms(10)),
+            Some(Time::ZERO + ms(11))
+        );
+    }
+
+    #[test]
+    fn closed_loop_throttle_pauses_and_resumes_the_loop() {
+        let w = ClosedLoop::new(ms(1), us(100), Time::ZERO + ms(1));
+        let source = w.build_source(ms(50));
+        let mut s = source.borrow_mut();
+        s.throttle(Time::ZERO + ms(2), 0);
+        // The response arriving while paused schedules nothing...
+        assert_eq!(s.on_response(0, Time::ZERO + ms(3)), None);
+        assert_eq!(s.next_submission_after(Time::ZERO + ms(3)), None);
+        // ...and resuming at half rate picks the loop back up with a
+        // stretched think time.
+        s.throttle(Time::ZERO + ms(10), 500);
+        assert_eq!(
+            s.next_submission_after(Time::ZERO + ms(10)),
+            Some(Time::ZERO + ms(12)),
+            "resumed from the throttle instant with think × 2"
+        );
     }
 }

@@ -22,7 +22,7 @@ use crate::report::{InstanceRecord, RunReport};
 use crate::resources::{Admission, ResourceManager, ResourceProtocol};
 use crate::runq::RunQueue;
 use crate::thread::{Thread, ThreadId, ThreadState};
-use hades_sim::mux::{ActorEvent, ActorHost, ActorId, NetActor};
+use hades_sim::mux::{self, ActorEvent, ActorHost, ActorId, ControlOp, NetActor, Postbox};
 use hades_sim::{
     Delivery, Engine, KernelModel, LinkConfig, Network, NodeId, Scheduler, SimRng, Simulation,
     Trace, TraceKind,
@@ -132,6 +132,9 @@ impl SimConfig {
     }
 }
 
+/// Online deadline-miss hook: `(missed_deadline, task, activated, node)`.
+pub type MissTap = std::rc::Rc<dyn Fn(Time, TaskId, Time, u32)>;
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Ev {
     Activate { task: TaskId, gen: u32 },
@@ -215,6 +218,8 @@ struct Inner {
     inv_phase: HashMap<ThreadId, InvPhase>,
     policies: HashMap<u32, Box<dyn SchedulerPolicy>>,
     actors: ActorHost,
+    postbox: Postbox,
+    miss_tap: Option<MissTap>,
     monitor: MonitorReport,
     records: Vec<InstanceRecord>,
     trace: Trace,
@@ -329,6 +334,8 @@ impl DispatchSim {
             inv_phase: HashMap::new(),
             policies: HashMap::new(),
             actors: ActorHost::new(),
+            postbox: Postbox::new(),
+            miss_tap: None,
             monitor: MonitorReport::new(),
             records: Vec::new(),
             trace,
@@ -369,6 +376,27 @@ impl DispatchSim {
     pub fn add_actor(&mut self, actor: Box<dyn NetActor>) -> ActorId {
         assert!(!self.ran, "simulation already ran");
         self.inner.actors.add(actor)
+    }
+
+    /// The engine-time callback channel of this run: wake requests
+    /// dropped into the returned (shared) [`Postbox`] — by event taps or
+    /// any other code running inside an event handler — are delivered as
+    /// [`ActorEvent::Notify`] to the requested actor at the current
+    /// virtual instant, after the handled event. This is how online
+    /// controllers (reactive scenario drivers) get called back at the
+    /// engine timestamp of the observation that woke them.
+    pub fn postbox(&self) -> Postbox {
+        self.inner.postbox.clone()
+    }
+
+    /// Installs the online deadline-miss hook, called at every miss the
+    /// instant it is detected (the missed deadline) with
+    /// `(now, task, instance_activation, home_node)`. The embedding uses
+    /// it to surface misses to a control plane *during* the run instead
+    /// of scraping [`RunReport::instances`] after it.
+    pub fn set_miss_tap(&mut self, tap: MissTap) {
+        assert!(!self.ran, "simulation already ran");
+        self.inner.miss_tap = Some(tap);
     }
 
     /// Statistics of the shared network (message fates observed so far).
@@ -537,6 +565,70 @@ impl Inner {
         }
         if let Some(at) = self.network.fault_plan().next_transition(NodeId(node), now) {
             sched.post(at, Ev::FaultTransition { node });
+        }
+    }
+
+    /// Applies one runtime [`ControlOp`] staged by a hosted actor (a
+    /// control-plane driver): fault ops mutate the shared network's
+    /// fault plan and arm the corresponding dispatcher transitions plus
+    /// the hosted actors' [`ActorEvent::Restart`]s; task ops open/close
+    /// activation windows of the *running* schedule. Ops naming unknown
+    /// tasks or out-of-range nodes are ignored.
+    fn apply_control(&mut self, op: &ControlOp, now: Time, sched: &mut Scheduler<Ev>) {
+        match *op {
+            ControlOp::AdmitTask { task, at } => {
+                let task = TaskId(task);
+                if self.tasks.get(task).is_none() {
+                    return;
+                }
+                let at = at.max(now);
+                let until = self
+                    .activation_windows
+                    .get(&task)
+                    .map_or(Time::MAX, |(_, u)| *u);
+                let until = if until <= at { Time::MAX } else { until };
+                self.activation_windows.insert(task, (at, until));
+                // Re-anchor the chain at the admission instant; any stale
+                // pending activation of a previous window dies against
+                // the bumped generation.
+                let gen = self.chain_gen.entry(task).or_insert(0);
+                *gen += 1;
+                sched.post(at, Ev::Activate { task, gen: *gen });
+            }
+            ControlOp::RetireTask { task, at } => {
+                let task = TaskId(task);
+                if self.tasks.get(task).is_none() {
+                    return;
+                }
+                let at = at.max(now);
+                let from = self
+                    .activation_windows
+                    .get(&task)
+                    .map_or(Time::ZERO, |(f, _)| *f);
+                self.activation_windows.insert(task, (from, at));
+            }
+            _ => {
+                let applied = mux::apply_network_op(self.network.fault_plan_mut(), op, now);
+                if let Some((node, down_at, restart_at)) = applied {
+                    if (node.0 as usize) < self.nodes.len() {
+                        sched.post(down_at, Ev::FaultTransition { node: node.0 });
+                        if let Some(r) = restart_at {
+                            sched.post(r, Ev::FaultTransition { node: node.0 });
+                        }
+                    }
+                    if let Some(r) = restart_at {
+                        for actor in self.actors.actors_on(node) {
+                            sched.post(
+                                r,
+                                Ev::Actor {
+                                    actor,
+                                    ev: ActorEvent::Restart,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -1421,12 +1513,21 @@ impl Inner {
             return;
         }
         inst.missed = true;
+        let activated = self.records[inst.record_idx].activated;
         self.records[inst.record_idx].missed = true;
         self.monitor.push(MonitorEvent::DeadlineMiss {
             task,
             instance,
             deadline: now,
         });
+        if let Some(tap) = self.miss_tap.clone() {
+            let node = self
+                .tasks
+                .get(task)
+                .and_then(|t| t.heug.eus().first().map(|eu| eu.processor().0))
+                .unwrap_or(0);
+            tap(now, task, activated, node);
+        }
         self.trace.record(
             now,
             NodeId(0),
@@ -1700,10 +1801,25 @@ impl Simulation for Inner {
             Ev::KernelIrq { node, activity } => self.kernel_irq(node, activity, now, sched),
             Ev::FaultTransition { node } => self.fault_transition(node, now, sched),
             Ev::Actor { actor, ev } => {
-                for (at, to, ev) in self.actors.deliver(actor, ev, now, &mut self.network) {
+                let reactions = self.actors.deliver(actor, ev, now, &mut self.network);
+                for (at, to, ev) in reactions.posts {
                     sched.post(at, Ev::Actor { actor: to, ev });
                 }
+                for op in &reactions.controls {
+                    self.apply_control(op, now, sched);
+                }
             }
+        }
+        // Engine-time callbacks: wake every actor whose tap fired during
+        // this event, at this instant.
+        for (to, tag) in self.postbox.drain() {
+            sched.post(
+                now,
+                Ev::Actor {
+                    actor: to,
+                    ev: ActorEvent::Notify { tag },
+                },
+            );
         }
     }
 }

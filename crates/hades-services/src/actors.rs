@@ -226,6 +226,52 @@ impl AgentConfig {
     }
 }
 
+/// One externally visible agent transition, delivered to the optional
+/// [`AgentTap`] **at the engine instant it happens** — the online face of
+/// the post-run [`AgentLog`]. Taps are how an embedding control plane
+/// (e.g. a reactive scenario driver) observes the run while it is still
+/// going, instead of scraping logs afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentEvent {
+    /// This agent started suspecting a peer.
+    Suspected {
+        /// The suspected node.
+        suspect: u32,
+    },
+    /// This agent installed an agreed view.
+    ViewInstalled {
+        /// Monotone view number.
+        number: u32,
+        /// Agreed members, ascending.
+        members: Vec<u32>,
+    },
+    /// This agent completed its own rejoin (re-admitted to the view).
+    RejoinCompleted {
+        /// The re-admitting view number.
+        view: u32,
+        /// When the node restarted (the rejoin's starting instant).
+        restarted_at: Time,
+    },
+}
+
+/// The online observation callback of a [`NodeAgent`]:
+/// `(now, observing_node, event)`, invoked synchronously inside the
+/// agent's handler at the emission instant. Taps must not re-enter the
+/// engine; they record (and typically drop a [`hades_sim::Postbox`] wake
+/// request for a control actor).
+#[derive(Clone)]
+pub struct AgentTap(pub Rc<AgentTapFn>);
+
+/// The bare callback type behind [`AgentTap`]:
+/// `(now, observing_node, event)`.
+pub type AgentTapFn = dyn Fn(Time, u32, &AgentEvent);
+
+impl std::fmt::Debug for AgentTap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AgentTap")
+    }
+}
+
 /// Everything one agent observed and decided, readable after the run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AgentLog {
@@ -409,6 +455,7 @@ pub struct NodeAgent {
     serving: Option<Transfer>,
     pending_joins: VecDeque<(u32, u64)>,
     log: Rc<RefCell<AgentLog>>,
+    tap: Option<AgentTap>,
 }
 
 impl NodeAgent {
@@ -450,8 +497,24 @@ impl NodeAgent {
             serving: None,
             pending_joins: VecDeque::new(),
             log: log.clone(),
+            tap: None,
         };
         (agent, log)
+    }
+
+    /// Installs the online observation tap (see [`AgentTap`]); events are
+    /// delivered at their engine instant, in addition to the post-run
+    /// [`AgentLog`].
+    pub fn with_tap(mut self, tap: AgentTap) -> Self {
+        self.tap = Some(tap);
+        self
+    }
+
+    /// Invokes the tap, if any.
+    fn emit(&self, now: Time, event: AgentEvent) {
+        if let Some(tap) = &self.tap {
+            (tap.0)(now, self.cfg.node.0, &event);
+        }
     }
 
     fn have_mask(&self) -> bool {
@@ -584,6 +647,13 @@ impl NodeAgent {
                 }
             }
         }
+        self.emit(
+            now,
+            AgentEvent::ViewInstalled {
+                number: target,
+                members: members.clone(),
+            },
+        );
         if self.rejoining && self.view_mask.contains(self.cfg.node.0) {
             self.finish_rejoin(target, now, ctx);
         } else if !self.rejoining && !self.view_mask.contains(self.cfg.node.0) {
@@ -657,6 +727,13 @@ impl NodeAgent {
             log_entries: self.log_tail,
         };
         self.log.borrow_mut().rejoins.push(record);
+        self.emit(
+            now,
+            AgentEvent::RejoinCompleted {
+                view,
+                restarted_at: p.restarted_at,
+            },
+        );
         // Resume watching the peers of the (re)joined view.
         let timeout = self.cfg.timeout(ctx.max_delay());
         for peer in self.view_mask.to_vec() {
@@ -814,6 +891,7 @@ impl NodeAgent {
                 self.suspected_local.insert(peer);
                 self.excluded.insert(peer);
                 self.log.borrow_mut().suspicions.push((peer, now));
+                self.emit(now, AgentEvent::Suspected { suspect: peer });
                 if self.view_mask.contains(peer) {
                     self.begin_change(now, ctx);
                 }
@@ -937,6 +1015,13 @@ impl NetActor for NodeAgent {
                     members: self.view_mask.to_vec(),
                     installed_at: now,
                 });
+                self.emit(
+                    now,
+                    AgentEvent::ViewInstalled {
+                        number: 0,
+                        members: self.view_mask.to_vec(),
+                    },
+                );
                 // First heartbeat immediately, then every H.
                 self.broadcast(ctx, MSG_HB, 0);
                 ctx.timer_after(self.cfg.heartbeat_period, hb_tag(self.epoch));
@@ -1062,6 +1147,8 @@ impl NetActor for NodeAgent {
                 }
                 _ => {}
             },
+            // Control-plane wakes carry no agent-level meaning.
+            ActorEvent::Notify { .. } => {}
         }
     }
 }

@@ -93,6 +93,13 @@ const GK_PULL: u64 = 4;
 /// instead of leaving a gap).
 const GK_SNAP: u64 = 5;
 
+/// [`hades_sim::mux::ActorEvent::Notify`] tag: an out-of-band wake
+/// (closed-loop schedule extension, or a control-plane workload retune)
+/// asking this member to re-run its submission tick. Public so an
+/// embedding control plane can wake group members after retuning their
+/// shared [`RequestSource`].
+pub const GN_WAKE: u64 = 1;
+
 fn tag(kind: u64, body: u64) -> u64 {
     (kind << 60) | body
 }
@@ -175,6 +182,162 @@ fn snap_mark_decode(payload: u64) -> (u64, u64, u64) {
     )
 }
 
+/// The actor-side request stream of a replicated service: the gateway
+/// asks it *when* to submit, and feeds every first client-visible
+/// response back into it — the hook that closes the loop between the
+/// group's measured behaviour and the client's submission schedule.
+///
+/// One source instance is **shared by every member** of the group
+/// (behind `Rc<RefCell<…>>`), so an interim gateway taking over after a
+/// crash sees exactly the schedule the dead gateway was working from.
+/// All calls happen inside engine event handlers, in the deterministic
+/// total order; implementations must be deterministic functions of the
+/// call sequence.
+pub trait RequestSource: std::fmt::Debug {
+    /// Number of requests scheduled at or before `now` — request ids
+    /// `0..n` are the gateway's responsibility by `now`.
+    fn submissions_through(&mut self, now: Time) -> u64;
+
+    /// The next scheduled submission instant strictly after `now`, if
+    /// any is known yet. Closed-loop sources return `None` while the
+    /// next request still waits on a response.
+    fn next_submission_after(&mut self, now: Time) -> Option<Time>;
+
+    /// Reports the **first** client-visible output of request `id`,
+    /// observed at `at` (members report their own emissions; the shared
+    /// source keeps the first report, which — engine time being
+    /// monotone — is the earliest one). Returns a newly scheduled
+    /// submission instant when the report extended the schedule, so the
+    /// reporting member can arm the wake-up.
+    fn on_response(&mut self, id: u64, at: Time) -> Option<Time>;
+
+    /// Rescales the source's future pacing to `permille` of its
+    /// **nominal** rate from `now` on (1000 = nominal, 500 = half rate,
+    /// 0 = pause). Repeated retunes must not compound — each call is
+    /// absolute against the nominal rate — and a pause must be
+    /// resumable by a later positive retune. Closed-loop sources scale
+    /// their think time; open-loop sources re-pace the remaining
+    /// nominal tail.
+    fn throttle(&mut self, now: Time, permille: u32);
+}
+
+/// The open-loop [`RequestSource`]: a pre-materialized, strictly
+/// increasing submission schedule (the lowering of an offline workload).
+///
+/// Throttling keeps the **nominal** schedule immutable and re-paces the
+/// not-yet-issued tail: on `throttle(now, p > 0)` the remaining
+/// requests replay from `now` with their nominal inter-arrival gaps
+/// scaled by `1000/p` (so repeated retunes never compound), and
+/// `throttle(now, 0)` pauses the tail until a later positive retune
+/// resumes it. A retune to the rate already in force is a no-op — a
+/// driver re-asserting the same rate every tick must not perpetually
+/// push the next submission out.
+#[derive(Debug, Clone)]
+pub struct FixedSchedule {
+    /// The nominal schedule (never rescaled).
+    nominal: Vec<Time>,
+    /// The effective schedule under the retunes applied so far
+    /// (`Time::MAX` = paused entry).
+    effective: Vec<Time>,
+    /// The pacing currently in force (permille of nominal).
+    permille: u32,
+}
+
+impl FixedSchedule {
+    /// Wraps `times` (must be strictly increasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `times` is not strictly increasing.
+    pub fn new(times: Vec<Time>) -> Self {
+        assert!(
+            times.windows(2).all(|w| w[0] < w[1]),
+            "the submission schedule must be strictly increasing"
+        );
+        FixedSchedule {
+            effective: times.clone(),
+            nominal: times,
+            permille: 1000,
+        }
+    }
+}
+
+impl RequestSource for FixedSchedule {
+    fn submissions_through(&mut self, now: Time) -> u64 {
+        self.effective.partition_point(|t| *t <= now) as u64
+    }
+
+    fn next_submission_after(&mut self, now: Time) -> Option<Time> {
+        self.effective
+            .get(self.effective.partition_point(|t| *t <= now))
+            .copied()
+            .filter(|t| *t != Time::MAX)
+    }
+
+    fn on_response(&mut self, _id: u64, _at: Time) -> Option<Time> {
+        None
+    }
+
+    fn throttle(&mut self, now: Time, permille: u32) {
+        if permille == self.permille {
+            return; // same rate re-asserted: nothing to re-pace
+        }
+        self.permille = permille;
+        let idx = self.effective.partition_point(|t| *t <= now);
+        if permille == 0 {
+            // Pause: park the tail where a later retune can revive it.
+            for t in self.effective[idx..].iter_mut() {
+                *t = Time::MAX;
+            }
+            return;
+        }
+        // Replay the remaining nominal tail from `now`, gaps scaled
+        // against the *nominal* schedule — never the current effective
+        // one, so repeated retunes stay absolute instead of compounding.
+        let mut t = now;
+        for k in idx..self.nominal.len() {
+            let prev = if k == 0 {
+                Time::ZERO
+            } else {
+                self.nominal[k - 1]
+            };
+            let gap = (self.nominal[k] - prev).as_nanos() as u128 * 1000 / permille as u128;
+            t += Duration::from_nanos(gap.clamp(1, u64::MAX as u128) as u64);
+            self.effective[k] = t;
+        }
+    }
+}
+
+/// One externally visible group transition, delivered to the optional
+/// [`GroupTap`] at the engine instant it happens (the online face of the
+/// post-run [`GroupLog`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupEvent {
+    /// Leadership moved to the tapped member.
+    Handoff {
+        /// The member that held leadership before.
+        from: u32,
+        /// The member that took over (the tapped member).
+        to: u32,
+    },
+}
+
+/// The online observation callback of a [`ReplicaGroup`] member:
+/// `(now, group, node, event)`, invoked synchronously at the emission
+/// instant. Taps must not re-enter the engine.
+#[derive(Clone)]
+pub struct GroupTap(pub Rc<GroupTapFn>);
+
+/// The bare callback type behind [`GroupTap`]:
+/// `(now, group, node, event)`.
+pub type GroupTapFn = dyn Fn(Time, u32, u32, &GroupEvent);
+
+impl std::fmt::Debug for GroupTap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("GroupTap")
+    }
+}
+
 /// Static configuration of one replica-group member.
 #[derive(Debug, Clone)]
 pub struct GroupConfig {
@@ -188,15 +351,15 @@ pub struct GroupConfig {
     pub style: ReplicaStyle,
     /// Client request period: request `k` is scheduled at
     /// `first_request_at + k · request_period` (unless
-    /// [`GroupConfig::schedule`] overrides the law).
+    /// [`GroupConfig::source`] overrides the law).
     pub request_period: Duration,
     /// Scheduled submission instant of request 0.
     pub first_request_at: Time,
-    /// Explicit submission schedule: the instant of request `k` at index
-    /// `k`, strictly increasing. Lowered from a deployment-spec
-    /// `Workload` (constant-rate, bursty, replayed trace); `None` runs
-    /// the periodic law above.
-    pub schedule: Option<Rc<Vec<Time>>>,
+    /// The shared request source driving the gateway: open-loop
+    /// ([`FixedSchedule`], lowered from a deployment-spec `Workload`) or
+    /// closed-loop (fed back through [`RequestSource::on_response`]).
+    /// `None` runs the periodic law above.
+    pub source: Option<Rc<RefCell<dyn RequestSource>>>,
     /// The Δ of the atomic multicast (delivery at `ts + Δ`); must be at
     /// least the network's `δmax` for loss-free ordering.
     pub delta: Duration,
@@ -226,8 +389,8 @@ impl GroupConfig {
     /// Number of scheduled submissions with instant `≤ now` — request
     /// ids `0..count` are the gateway's responsibility by `now`.
     fn submissions_through(&self, now: Time) -> u64 {
-        match &self.schedule {
-            Some(s) => s.partition_point(|t| *t <= now) as u64,
+        match &self.source {
+            Some(s) => s.borrow_mut().submissions_through(now),
             None => {
                 if now < self.first_request_at {
                     0
@@ -240,10 +403,11 @@ impl GroupConfig {
     }
 
     /// The next scheduled submission instant strictly after `now`;
-    /// `None` once an explicit schedule is exhausted.
+    /// `None` once an explicit source is exhausted (or, closed-loop,
+    /// still waiting on a response).
     fn next_submission_after(&self, now: Time) -> Option<Time> {
-        match &self.schedule {
-            Some(s) => s.get(s.partition_point(|t| *t <= now)).copied(),
+        match &self.source {
+            Some(s) => s.borrow_mut().next_submission_after(now),
             None => Some(if now < self.first_request_at {
                 self.first_request_at
             } else {
@@ -368,7 +532,7 @@ impl GroupLog {
 ///                 style: ReplicaStyle::Active,
 ///                 request_period: Duration::from_millis(1),
 ///                 first_request_at: Time::ZERO + Duration::from_millis(1),
-///                 schedule: None,
+///                 source: None,
 ///                 delta,
 ///                 attempts: 1,
 ///                 peers: peers.clone(),
@@ -447,6 +611,7 @@ pub struct ReplicaGroup {
     await_view_since: Option<Time>,
     epoch: u64,
     log: Rc<RefCell<GroupLog>>,
+    tap: Option<GroupTap>,
 }
 
 impl ReplicaGroup {
@@ -466,15 +631,9 @@ impl ReplicaGroup {
     ) -> (Self, Rc<RefCell<GroupLog>>) {
         assert!(!cfg.members.is_empty(), "a group needs members");
         assert!(
-            cfg.schedule.is_some() || !cfg.request_period.is_zero(),
+            cfg.source.is_some() || !cfg.request_period.is_zero(),
             "the request period must be positive"
         );
-        if let Some(s) = &cfg.schedule {
-            assert!(
-                s.windows(2).all(|w| w[0] < w[1]),
-                "the submission schedule must be strictly increasing"
-            );
-        }
         assert!(
             cfg.members.windows(2).all(|w| w[0] < w[1]),
             "group members must be ascending"
@@ -524,8 +683,15 @@ impl ReplicaGroup {
             await_view_since: None,
             epoch: 0,
             log: log.clone(),
+            tap: None,
         };
         (member, log)
+    }
+
+    /// Installs the online observation tap (see [`GroupTap`]).
+    pub fn with_tap(mut self, tap: GroupTap) -> Self {
+        self.tap = Some(tap);
+        self
     }
 
     fn me(&self) -> u32 {
@@ -627,9 +793,29 @@ impl ReplicaGroup {
         true
     }
 
-    fn emit(&mut self, id: u64, now: Time) {
-        if self.emitted_ids.insert(id) {
-            self.log.borrow_mut().emitted.push((id, now));
+    /// Records a client-visible output and feeds it back into the shared
+    /// request source — the closed-loop response hook. When the report
+    /// extends the schedule (the closed-loop client's next request), this
+    /// member arms its own tick at the new instant and wakes every peer
+    /// there too, so whichever member is gateway *then* submits it.
+    fn emit(&mut self, id: u64, now: Time, ctx: &mut ActorCtx<'_>) {
+        if !self.emitted_ids.insert(id) {
+            return;
+        }
+        self.log.borrow_mut().emitted.push((id, now));
+        let next = self
+            .cfg
+            .source
+            .as_ref()
+            .and_then(|s| s.borrow_mut().on_response(id, now));
+        if let Some(next) = next {
+            ctx.timer_at(next, tag(GK_TICK, self.epoch & 0xFFFF));
+            let me = self.me();
+            for (n, actor) in self.cfg.peers.clone() {
+                if n != me {
+                    ctx.notify_at(actor, next, GN_WAKE);
+                }
+            }
         }
     }
 
@@ -685,7 +871,7 @@ impl ReplicaGroup {
                     }
                     self.execute(id);
                     // Every member votes; the voter keeps the first copy.
-                    self.emit(id, now);
+                    self.emit(id, now, ctx);
                     let digest = self.state & 0xFFFF_FFFF;
                     let count = self.executed_count;
                     self.fanout(ctx, GMSG_VOTE, vote_payload(id, count, digest));
@@ -693,7 +879,7 @@ impl ReplicaGroup {
                 ReplicaStyle::SemiActive => {
                     if self.cur_leader == self.me() && !self.catching_up {
                         self.execute(id);
-                        self.emit(id, now);
+                        self.emit(id, now, ctx);
                         let seq = self.next_seq;
                         self.next_seq += 1;
                         let me = self.me();
@@ -705,7 +891,7 @@ impl ReplicaGroup {
                 ReplicaStyle::Passive { checkpoint_every } => {
                     if self.cur_leader == self.me() {
                         self.execute(id);
-                        self.emit(id, now);
+                        self.emit(id, now, ctx);
                         self.executions_since_ckpt += 1;
                         if self.executions_since_ckpt >= checkpoint_every as u64 {
                             self.executions_since_ckpt = 0;
@@ -773,7 +959,7 @@ impl ReplicaGroup {
     /// run) cannot wait on a snapshot that may never arrive, so the
     /// member falls back to the pre-catch-up behaviour — buffered
     /// deliveries execute now, the blackout window stays skipped.
-    fn abort_catchup(&mut self, now: Time) {
+    fn abort_catchup(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
         if !self.catching_up {
             return;
         }
@@ -782,7 +968,7 @@ impl ReplicaGroup {
             for id in self.pending_in_order() {
                 self.pending.remove(&id);
                 if self.execute(id) {
-                    self.emit(id, now);
+                    self.emit(id, now, ctx);
                 }
             }
         }
@@ -790,8 +976,19 @@ impl ReplicaGroup {
 
     /// Style-specific leadership takeover.
     fn take_over(&mut self, old: u32, now: Time, ctx: &mut ActorCtx<'_>) {
-        self.abort_catchup(now);
+        self.abort_catchup(now, ctx);
         self.log.borrow_mut().handoffs.push((old, self.me(), now));
+        if let Some(tap) = &self.tap {
+            (tap.0)(
+                now,
+                self.cfg.group,
+                self.me(),
+                &GroupEvent::Handoff {
+                    from: old,
+                    to: self.me(),
+                },
+            );
+        }
         match self.cfg.style {
             ReplicaStyle::Active => {
                 // Nothing to repair: outputs were never interrupted (the
@@ -813,7 +1010,7 @@ impl ReplicaGroup {
                 for id in self.pending_in_order() {
                     self.pending.remove(&id);
                     self.execute(id);
-                    self.emit(id, now);
+                    self.emit(id, now, ctx);
                     let seq = self.next_seq;
                     self.next_seq += 1;
                     let me = self.me();
@@ -842,10 +1039,17 @@ impl ReplicaGroup {
                 for id in replay {
                     self.pending.remove(&id);
                     self.execute(id);
-                    self.emit(id, now);
+                    self.emit(id, now, ctx);
                 }
             }
         }
+        // A closed-loop source only advances when responses flow; the
+        // dead gateway's pending tick died with it, so the new leader
+        // runs one tick immediately — submitting whatever the source had
+        // scheduled during the outage — instead of waiting for a timer
+        // that nobody will arm. A redundant tick is harmless (makeup
+        // submissions dedup against the inbox).
+        self.on_tick(now, ctx);
     }
 
     fn on_restart(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
@@ -914,7 +1118,7 @@ impl ReplicaGroup {
                 for id in self.pending_in_order() {
                     self.pending.remove(&id);
                     if self.execute(id) {
-                        self.emit(id, now);
+                        self.emit(id, now, ctx);
                         let digest = self.state & 0xFFFF_FFFF;
                         let count = self.executed_count;
                         self.fanout(ctx, GMSG_VOTE, vote_payload(id, count, digest));
@@ -943,7 +1147,7 @@ impl ReplicaGroup {
                     for id in self.pending_in_order() {
                         self.pending.remove(&id);
                         if self.execute(id) {
-                            self.emit(id, now);
+                            self.emit(id, now, ctx);
                             let seq = self.next_seq;
                             self.next_seq += 1;
                             let me = self.me();
@@ -1008,6 +1212,12 @@ impl NetActor for ReplicaGroup {
                 self.rebind(now, ctx);
                 self.arm_next_tick(now, ctx);
             }
+            // Out-of-band wake: a closed-loop response elsewhere (or a
+            // control-plane workload retune) extended/changed the shared
+            // schedule — run a submission tick so the current gateway
+            // picks it up, whoever that is by now.
+            ActorEvent::Notify { tag: GN_WAKE } => self.on_tick(now, ctx),
+            ActorEvent::Notify { .. } => {}
             ActorEvent::Restart => self.on_restart(now, ctx),
             ActorEvent::Timer { tag: t } => {
                 if t & 0xFFFF != self.epoch & 0xFFFF {
@@ -1211,7 +1421,7 @@ mod tests {
                         style,
                         request_period: ms(1),
                         first_request_at: t_ms(1),
-                        schedule: None,
+                        source: None,
                         delta: us(60),
                         attempts,
                         peers: peers.clone(),
@@ -1378,7 +1588,7 @@ mod tests {
                         style: ReplicaStyle::SemiActive,
                         request_period: ms(15),
                         first_request_at: t_ms(1),
-                        schedule: None,
+                        source: None,
                         delta: us(60),
                         attempts: 1,
                         peers: peers.clone(),
@@ -1543,7 +1753,7 @@ mod tests {
                             style: ReplicaStyle::SemiActive,
                             request_period: us(100),
                             first_request_at: t_ms(1),
-                            schedule: None,
+                            source: None,
                             delta: us(60),
                             attempts: 1,
                             peers: peers.clone(),
@@ -1579,7 +1789,8 @@ mod tests {
         let mut rt = ActorEngine::new(net);
         let members = vec![0, 1, 2];
         let peers: Vec<(u32, ActorId)> = members.iter().map(|n| (*n, ActorId(*n))).collect();
-        let schedule = Rc::new(times.clone());
+        let schedule: Rc<RefCell<dyn RequestSource>> =
+            Rc::new(RefCell::new(FixedSchedule::new(times.clone())));
         let logs: Vec<_> = (0..3)
             .map(|n| {
                 let (member, log) = ReplicaGroup::new(
@@ -1590,7 +1801,7 @@ mod tests {
                         style: ReplicaStyle::Active,
                         request_period: Duration::ZERO,
                         first_request_at: Time::ZERO,
-                        schedule: Some(schedule.clone()),
+                        source: Some(schedule.clone()),
                         delta: us(60),
                         attempts: 1,
                         peers: peers.clone(),
@@ -1617,6 +1828,35 @@ mod tests {
         for log in &logs {
             assert_eq!(log.borrow().delivery_order(), reference);
         }
+    }
+
+    #[test]
+    fn fixed_schedule_throttle_is_absolute_against_nominal_and_resumable() {
+        let t = |n: u64| Time::ZERO + us(n);
+        let mut s = FixedSchedule::new(vec![t(100), t(200), t(300), t(400)]);
+        // Half rate from 150 µs: the remaining nominal gaps (100 µs)
+        // replay from now at 200 µs each.
+        s.throttle(t(150), 500);
+        assert_eq!(s.next_submission_after(t(150)), Some(t(350)));
+        // Re-asserting the SAME rate later is a no-op — a driver doing
+        // so every tick must not perpetually push the stream out.
+        s.throttle(t(250), 500);
+        assert_eq!(s.next_submission_after(t(250)), Some(t(350)));
+        // Re-issuing a retune must NOT compound: back to nominal means
+        // nominal 100 µs gaps again, not half of the stretched ones.
+        s.throttle(t(360), 1000);
+        assert_eq!(s.next_submission_after(t(360)), Some(t(460)));
+        assert_eq!(s.next_submission_after(t(460)), Some(t(560)));
+        // Pause parks the tail; a later retune revives it.
+        s.throttle(t(470), 0);
+        assert_eq!(s.next_submission_after(t(470)), None);
+        assert_eq!(
+            s.submissions_through(t(10_000)),
+            3,
+            "paused tail not issued"
+        );
+        s.throttle(t(600), 1000);
+        assert_eq!(s.next_submission_after(t(600)), Some(t(700)));
     }
 
     #[test]

@@ -141,6 +141,52 @@ impl FaultPlan {
         *ws = merged;
     }
 
+    /// In-place form of [`FaultPlan::crash_at`] / [`FaultPlan::crash_window`]
+    /// for **runtime** fault injection into a plan already owned by a
+    /// running network: adds the window and re-normalizes.
+    pub fn add_crash(&mut self, node: NodeId, at: Time, restart_at: Option<Time>) {
+        if let Some(r) = restart_at {
+            assert!(r > at, "restart must follow the crash");
+        }
+        self.crashes.entry(node).or_default().push(CrashWindow {
+            crash_at: at,
+            restart_at,
+        });
+        self.normalize(node);
+    }
+
+    /// Closes the **open** (permanent) crash window of `node` covering
+    /// `at` by scheduling its restart at `at` (runtime injection of a
+    /// restart for an already-injected crash). Returns whether a window
+    /// was closed; a call with no covering open window is a no-op — in
+    /// particular, a window whose restart is already scheduled is never
+    /// shortened (the restart events posted for it would fire spuriously
+    /// on the then-live node).
+    pub fn add_restart(&mut self, node: NodeId, at: Time) -> bool {
+        let Some(ws) = self.crashes.get_mut(&node) else {
+            return false;
+        };
+        let Some(w) = ws
+            .iter_mut()
+            .find(|w| w.crash_at < at && w.restart_at.is_none())
+        else {
+            return false;
+        };
+        w.restart_at = Some(at);
+        self.normalize(node);
+        true
+    }
+
+    /// In-place form of [`FaultPlan::cut_link`] for runtime injection.
+    pub fn add_cut(&mut self, from: NodeId, to: NodeId, start: Time, end: Time) {
+        self.windows.push(OmissionWindow {
+            from: Some(from),
+            to: Some(to),
+            start,
+            end,
+        });
+    }
+
     /// Drops every message `from → to` sent within `[start, end]`.
     pub fn cut_link(mut self, from: NodeId, to: NodeId, start: Time, end: Time) -> Self {
         self.windows.push(OmissionWindow {

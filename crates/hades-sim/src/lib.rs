@@ -62,7 +62,9 @@ pub mod trace;
 pub use engine::{Engine, EventId, Scheduler, Simulation};
 pub use fault::{CrashWindow, FaultPlan, OmissionWindow};
 pub use kernel::{KernelActivity, KernelModel};
-pub use mux::{ActorCtx, ActorEngine, ActorEvent, ActorHost, ActorId, NetActor};
+pub use mux::{
+    ActorCtx, ActorEngine, ActorEvent, ActorHost, ActorId, ControlOp, NetActor, Postbox, Reactions,
+};
 pub use net::{Delivery, LinkConfig, Network, NetworkStats, NodeId};
 pub use rng::SimRng;
 pub use stats::Summary;

@@ -15,18 +15,40 @@
 //!   [`ActorEvent`]s, and reacts through an [`ActorCtx`] (timers + network
 //!   sends).
 //! * [`ActorHost`] — owns a set of actors and routes one event to one
-//!   actor, translating its staged reactions into `(time, actor, event)`
-//!   triples the embedding engine posts. Events addressed to an actor
-//!   whose node has crashed are dropped, so a dead node goes silent
-//!   exactly as the fault plan dictates.
+//!   actor, translating its staged reactions ([`Reactions`]) into
+//!   `(time, actor, event)` triples and [`ControlOp`]s the embedding
+//!   engine posts and applies. Events addressed to an actor whose node
+//!   has crashed are dropped, so a dead node goes silent exactly as the
+//!   fault plan dictates.
 //! * [`ActorEngine`] — a ready-made standalone runtime (host + engine +
 //!   network) for running actors without a dispatcher, used by unit tests
 //!   and service-level experiments.
+//!
+//! Two control-plane facilities let *online* controllers (reactive
+//! scenario drivers, event taps) reach into a **running** engine:
+//!
+//! * a [`Postbox`] — an engine-time callback channel: code running inside
+//!   any event handler (an event tap fired by an actor, a dispatcher
+//!   hook) drops `(actor, tag)` wake requests into the shared postbox,
+//!   and the embedding engine drains it after every handled event,
+//!   posting an [`ActorEvent::Notify`] *at the current instant*. The
+//!   woken actor therefore runs at the same virtual time as the event
+//!   that triggered it, strictly after it in the deterministic total
+//!   order.
+//! * [`ControlOp`]s — fault/workload injection into the running run:
+//!   an actor stages them through [`ActorCtx::control`], and the
+//!   embedding engine applies them right after the actor's handler
+//!   returns (crash windows and link cuts mutate the shared network's
+//!   [`FaultPlan`]; task admission ops are interpreted by embeddings
+//!   that host a task dispatcher and ignored by the bare
+//!   [`ActorEngine`]).
 
 use crate::engine::{Engine, Scheduler, Simulation};
 use crate::fault::FaultPlan;
 use crate::net::{Delivery, Network, NodeId};
 use hades_time::{Duration, Time};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Identifier of an actor within its host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -64,6 +86,110 @@ pub enum ActorEvent {
         /// Protocol-defined payload.
         payload: u64,
     },
+    /// An out-of-band control-plane wake-up: posted through a [`Postbox`]
+    /// (or staged by another actor via [`ActorCtx::notify_at`]), it
+    /// bypasses the network — no transit delay, no fault-plan omission on
+    /// the *path* (delivery to a crashed node's actor is still dropped).
+    /// Used by event taps and scenario drivers, never by the simulated
+    /// protocols themselves.
+    Notify {
+        /// Controller-defined discriminator.
+        tag: u64,
+    },
+}
+
+/// An engine-time callback channel into a running actor engine.
+///
+/// Cloning shares the underlying queue. Code executing inside *any*
+/// event handler — an event tap invoked by an actor, a dispatcher hook —
+/// calls [`Postbox::notify`]; the embedding engine drains the postbox
+/// after every handled event and posts an [`ActorEvent::Notify`] to each
+/// requested actor **at the current virtual instant**. The woken actor
+/// therefore observes the same `now` as the event that triggered the
+/// wake, ordered strictly after it.
+#[derive(Debug, Clone, Default)]
+pub struct Postbox {
+    pending: Rc<RefCell<Vec<(ActorId, u64)>>>,
+}
+
+impl Postbox {
+    /// An empty postbox.
+    pub fn new() -> Self {
+        Postbox::default()
+    }
+
+    /// Requests a wake-up of `to` at the current engine instant.
+    pub fn notify(&self, to: ActorId, tag: u64) {
+        self.pending.borrow_mut().push((to, tag));
+    }
+
+    /// Drains the pending wake requests (embedding engines call this
+    /// after every handled event).
+    pub fn drain(&self) -> Vec<(ActorId, u64)> {
+        std::mem::take(&mut *self.pending.borrow_mut())
+    }
+}
+
+/// A control operation staged by an actor through [`ActorCtx::control`],
+/// applied by the embedding engine right after the staging actor's
+/// handler returns. This is how a control plane injects faults (and task
+/// admission changes) into a **running** engine instead of scripting
+/// them before the run.
+///
+/// Times in the past are clamped to the application instant. The
+/// network-level ops mutate the shared [`FaultPlan`]; the task ops carry
+/// an embedding-defined task handle and are interpreted only by
+/// embeddings that host a task dispatcher (`hades-dispatch`) — the bare
+/// [`ActorEngine`] ignores them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlOp {
+    /// Crash `node` at `at`; down until `until` (`None` = permanent).
+    /// The embedding posts an [`ActorEvent::Restart`] to every actor on
+    /// `node` at `until`.
+    Crash {
+        /// The crashing node.
+        node: NodeId,
+        /// First down instant (inclusive).
+        at: Time,
+        /// Restart instant (exclusive end of the outage), if any.
+        until: Option<Time>,
+    },
+    /// Close the open crash window of `node` at `at` (schedule a restart
+    /// of an already-injected crash). A no-op when no window covers `at`.
+    Restart {
+        /// The restarting node.
+        node: NodeId,
+        /// The restart instant.
+        at: Time,
+    },
+    /// Drop every message `from → to` sent within `[from_t, until_t]`
+    /// (one direction of a link partition).
+    CutLink {
+        /// Sending side.
+        from: NodeId,
+        /// Receiving side.
+        to: NodeId,
+        /// First instant of the cut (inclusive).
+        from_t: Time,
+        /// Last instant of the cut (inclusive).
+        until_t: Time,
+    },
+    /// Open the activation window of dispatcher task `task` at `at`
+    /// (admit a standby task into the running schedule).
+    AdmitTask {
+        /// Embedding-defined task handle (`TaskId.0` for hades-dispatch).
+        task: u32,
+        /// First activation instant.
+        at: Time,
+    },
+    /// Close the activation window of dispatcher task `task` at `at`
+    /// (retire it from the running schedule; in-flight instances finish).
+    RetireTask {
+        /// Embedding-defined task handle.
+        task: u32,
+        /// The retirement instant.
+        at: Time,
+    },
 }
 
 /// A protocol actor living on one node of the shared network.
@@ -85,6 +211,7 @@ pub struct ActorCtx<'a> {
     self_node: NodeId,
     net: &'a mut Network,
     staged: Vec<(Time, ActorId, ActorEvent)>,
+    controls: Vec<ControlOp>,
 }
 
 impl ActorCtx<'_> {
@@ -157,6 +284,22 @@ impl ActorCtx<'_> {
             }
         }
         accepted
+    }
+
+    /// Stages a control operation, applied by the embedding engine right
+    /// after this handler returns (see [`ControlOp`]). Reserved for
+    /// control-plane actors (scenario drivers), not simulated protocols.
+    pub fn control(&mut self, op: ControlOp) {
+        self.controls.push(op);
+    }
+
+    /// Stages an out-of-band [`ActorEvent::Notify`] for `to` at `at` —
+    /// a control-plane edge that bypasses the network (no transit delay,
+    /// no omission). Delivery to an actor whose node is down at `at` is
+    /// still dropped by the host.
+    pub fn notify_at(&mut self, to: ActorId, at: Time, tag: u64) {
+        let at = at.max(self.now);
+        self.staged.push((at, to, ActorEvent::Notify { tag }));
     }
 
     /// Whether `node` has crashed by now (per the fault plan).
@@ -241,8 +384,23 @@ impl ActorHost {
         out
     }
 
-    /// Delivers one event to one actor and returns its staged reactions
-    /// (`(fire_time, target_actor, event)`), to be posted by the caller.
+    /// Ids of the registered actors living on `node`, in registration
+    /// order (the targets of a runtime-injected restart's
+    /// [`ActorEvent::Restart`]).
+    pub fn actors_on(&self, node: NodeId) -> Vec<ActorId> {
+        self.actors
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, slot)| {
+                slot.as_ref()
+                    .filter(|a| a.node() == node)
+                    .map(|_| ActorId(idx as u32))
+            })
+            .collect()
+    }
+
+    /// Delivers one event to one actor and returns its staged
+    /// [`Reactions`]: events to post and control ops to apply.
     ///
     /// Events for unknown actors or for actors whose node has crashed at
     /// `now` are silently dropped.
@@ -252,17 +410,17 @@ impl ActorHost {
         ev: ActorEvent,
         now: Time,
         net: &mut Network,
-    ) -> Vec<(Time, ActorId, ActorEvent)> {
+    ) -> Reactions {
         let Some(slot) = self.actors.get_mut(id.0 as usize) else {
-            return Vec::new();
+            return Reactions::default();
         };
         let Some(mut actor) = slot.take() else {
-            return Vec::new();
+            return Reactions::default();
         };
         let node = actor.node();
         if net.fault_plan().is_crashed(node, now) {
             self.actors[id.0 as usize] = Some(actor);
-            return Vec::new();
+            return Reactions::default();
         }
         let mut ctx = ActorCtx {
             now,
@@ -270,25 +428,103 @@ impl ActorHost {
             self_node: node,
             net,
             staged: Vec::new(),
+            controls: Vec::new(),
         };
         actor.handle(now, ev, &mut ctx);
-        let staged = ctx.staged;
+        let reactions = Reactions {
+            posts: ctx.staged,
+            controls: ctx.controls,
+        };
         self.actors[id.0 as usize] = Some(actor);
-        staged
+        reactions
+    }
+}
+
+/// Everything one delivered event caused: events to post on the
+/// embedding engine, and control ops to apply to the running run.
+#[derive(Debug, Default)]
+pub struct Reactions {
+    /// `(fire_time, target_actor, event)` triples to post.
+    pub posts: Vec<(Time, ActorId, ActorEvent)>,
+    /// Control operations to apply (in staging order) before the engine
+    /// processes its next event.
+    pub controls: Vec<ControlOp>,
+}
+
+/// Applies the network-level part of one control op to `plan`, returning
+/// the restart instants (if any) at which the embedding must post
+/// [`ActorEvent::Restart`]s and fault transitions. The task ops return
+/// nothing — they are dispatcher-level and interpreted by the embedding
+/// itself. An op that does not change the plan (a crash window already
+/// in force — e.g. a scripted time-zero window pre-seeded before the
+/// run) also returns `None`, so the embedding never posts duplicate
+/// restart events for it.
+pub fn apply_network_op(
+    plan: &mut FaultPlan,
+    op: &ControlOp,
+    now: Time,
+) -> Option<(NodeId, Time, Option<Time>)> {
+    match *op {
+        ControlOp::Crash { node, at, until } => {
+            let at = at.max(now);
+            let until = until.map(|u| u.max(at + Duration::from_nanos(1)));
+            let before = plan.crash_windows();
+            let before_restarts = plan.restarts();
+            plan.add_crash(node, at, until);
+            if plan.crash_windows() == before {
+                return None;
+            }
+            // Only a restart instant the plan did not already schedule
+            // gets actor Restart events — a window merging into an
+            // existing restart reuses the events already posted for it.
+            let new_restart = plan
+                .restarts()
+                .into_iter()
+                .filter(|(n, _)| *n == node)
+                .map(|(_, r)| r)
+                .find(|r| !before_restarts.contains(&(node, *r)));
+            Some((node, at, new_restart))
+        }
+        ControlOp::Restart { node, at } => {
+            let at = at.max(now + Duration::from_nanos(1));
+            plan.add_restart(node, at).then_some((node, at, Some(at)))
+        }
+        ControlOp::CutLink {
+            from,
+            to,
+            from_t,
+            until_t,
+        } => {
+            plan.add_cut(from, to, from_t.max(now), until_t.max(now));
+            None
+        }
+        ControlOp::AdmitTask { .. } | ControlOp::RetireTask { .. } => None,
     }
 }
 
 struct HostSim<'a> {
     host: &'a mut ActorHost,
     net: &'a mut Network,
+    postbox: &'a Postbox,
 }
 
 impl Simulation for HostSim<'_> {
     type Event = (ActorId, ActorEvent);
 
     fn handle(&mut self, now: Time, (id, ev): Self::Event, sched: &mut Scheduler<Self::Event>) {
-        for (at, to, ev) in self.host.deliver(id, ev, now, self.net) {
+        let reactions = self.host.deliver(id, ev, now, self.net);
+        for (at, to, ev) in reactions.posts {
             sched.post(at, (to, ev));
+        }
+        for op in &reactions.controls {
+            if let Some((node, _, Some(r))) = apply_network_op(self.net.fault_plan_mut(), op, now) {
+                for actor in self.host.actors_on(node) {
+                    sched.post(r, (actor, ActorEvent::Restart));
+                }
+            }
+        }
+        for (to, tag) in self.postbox.drain() {
+            sched.post(now, (to, ActorEvent::Notify { tag }));
         }
     }
 }
@@ -329,6 +565,7 @@ pub struct ActorEngine {
     engine: Engine<(ActorId, ActorEvent)>,
     host: ActorHost,
     net: Network,
+    postbox: Postbox,
     started: bool,
 }
 
@@ -339,8 +576,17 @@ impl ActorEngine {
             engine: Engine::new(),
             host: ActorHost::new(),
             net,
+            postbox: Postbox::new(),
             started: false,
         }
+    }
+
+    /// The engine-time callback channel: wake requests dropped here (by
+    /// event taps and other in-handler code) are delivered as
+    /// [`ActorEvent::Notify`] at the current instant, after the handled
+    /// event.
+    pub fn postbox(&self) -> Postbox {
+        self.postbox.clone()
     }
 
     /// Registers an actor.
@@ -372,9 +618,11 @@ impl ActorEngine {
                 self.engine.post(at, (id, ActorEvent::Restart));
             }
         }
+        let postbox = self.postbox.clone();
         let mut sim = HostSim {
             host: &mut self.host,
             net: &mut self.net,
+            postbox: &postbox,
         };
         self.engine.run(&mut sim, until)
     }
@@ -415,7 +663,7 @@ mod tests {
                 ActorEvent::Message { from, .. } => {
                     self.got.borrow_mut().push((from.0, now));
                 }
-                ActorEvent::Timer { .. } | ActorEvent::Restart => {}
+                ActorEvent::Timer { .. } | ActorEvent::Restart | ActorEvent::Notify { .. } => {}
             }
         }
     }
@@ -593,6 +841,126 @@ mod tests {
     }
 
     #[test]
+    fn runtime_control_op_injects_a_crash_window_into_a_running_engine() {
+        /// Node 0 pings node 1 every 100 µs and, at start, injects a
+        /// crash window [1 ms, 2 ms) for node 1 through the control
+        /// path — no pre-scripted fault plan at all.
+        struct Chaos {
+            node: NodeId,
+            got: std::rc::Rc<std::cell::RefCell<Vec<(u32, Time)>>>,
+        }
+        impl NetActor for Chaos {
+            fn node(&self) -> NodeId {
+                self.node
+            }
+            fn handle(&mut self, now: Time, ev: ActorEvent, ctx: &mut ActorCtx<'_>) {
+                match ev {
+                    ActorEvent::Start if self.node == NodeId(0) => {
+                        ctx.control(ControlOp::Crash {
+                            node: NodeId(1),
+                            at: Time::ZERO + Duration::from_millis(1),
+                            until: Some(Time::ZERO + Duration::from_millis(2)),
+                        });
+                        ctx.send(ActorId(1), NodeId(1), 1, 0);
+                        ctx.timer_after(Duration::from_micros(100), 0);
+                    }
+                    ActorEvent::Timer { .. } if self.node == NodeId(0) => {
+                        ctx.send(ActorId(1), NodeId(1), 1, 0);
+                        ctx.timer_after(Duration::from_micros(100), 0);
+                    }
+                    ActorEvent::Restart => self.got.borrow_mut().push((u32::MAX, now)),
+                    ActorEvent::Message { from, .. } => {
+                        self.got.borrow_mut().push((from.0, now));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let down = Time::ZERO + Duration::from_millis(1);
+        let up = Time::ZERO + Duration::from_millis(2);
+        let net = Network::homogeneous(
+            2,
+            LinkConfig::reliable(Duration::from_micros(5), Duration::from_micros(10)),
+            SimRng::seed_from(4),
+        );
+        let mut rt = ActorEngine::new(net);
+        let logs: Vec<_> = (0..2).map(|_| rc_log()).collect();
+        for n in 0..2u32 {
+            rt.add_actor(Box::new(Chaos {
+                node: NodeId(n),
+                got: logs[n as usize].clone(),
+            }));
+        }
+        rt.run(Time::ZERO + Duration::from_millis(3));
+        let got = logs[1].borrow();
+        assert!(got.iter().any(|(s, t)| *s == 0 && *t < down));
+        assert!(
+            got.iter().all(|(_, t)| *t < down || *t >= up),
+            "the injected window silenced the node"
+        );
+        assert_eq!(
+            got.iter().find(|(s, _)| *s == u32::MAX).map(|(_, t)| *t),
+            Some(up),
+            "the injected restart woke the node's actor"
+        );
+        assert!(got.iter().any(|(s, t)| *s == 0 && *t > up));
+    }
+
+    #[test]
+    fn postbox_wakes_the_requested_actor_at_the_current_instant() {
+        /// Node 0's message handler drops a wake request for actor 1 into
+        /// the postbox (standing in for an event tap); actor 1 must see
+        /// the Notify at the same virtual instant.
+        struct Tapped {
+            node: NodeId,
+            postbox: Postbox,
+            got: std::rc::Rc<std::cell::RefCell<Vec<(u32, Time)>>>,
+        }
+        impl NetActor for Tapped {
+            fn node(&self) -> NodeId {
+                self.node
+            }
+            fn handle(&mut self, now: Time, ev: ActorEvent, ctx: &mut ActorCtx<'_>) {
+                match ev {
+                    ActorEvent::Start if self.node == NodeId(0) => {
+                        ctx.send(ActorId(1), NodeId(1), 1, 0);
+                    }
+                    ActorEvent::Message { .. } => {
+                        self.postbox.notify(ActorId(0), 7);
+                        self.got.borrow_mut().push((0, now));
+                    }
+                    ActorEvent::Notify { tag } => {
+                        self.got.borrow_mut().push((tag as u32, now));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let net = Network::homogeneous(
+            2,
+            LinkConfig::reliable(Duration::from_micros(5), Duration::from_micros(10)),
+            SimRng::seed_from(2),
+        );
+        let mut rt = ActorEngine::new(net);
+        let postbox = rt.postbox();
+        let logs: Vec<_> = (0..2).map(|_| rc_log()).collect();
+        for n in 0..2u32 {
+            rt.add_actor(Box::new(Tapped {
+                node: NodeId(n),
+                postbox: postbox.clone(),
+                got: logs[n as usize].clone(),
+            }));
+        }
+        rt.run(Time::ZERO + Duration::from_millis(1));
+        let trigger = logs[1].borrow()[0].1;
+        assert_eq!(
+            *logs[0].borrow(),
+            vec![(7, trigger)],
+            "the wake arrived at the triggering event's instant"
+        );
+    }
+
+    #[test]
     fn timers_fire_in_order_and_deterministically() {
         struct Ticker {
             fired: std::rc::Rc<std::cell::RefCell<Vec<(u32, Time)>>>,
@@ -608,7 +976,9 @@ mod tests {
                         ctx.timer_after(Duration::from_micros(10), 1);
                     }
                     ActorEvent::Timer { tag } => self.fired.borrow_mut().push((tag as u32, now)),
-                    ActorEvent::Message { .. } | ActorEvent::Restart => {}
+                    ActorEvent::Message { .. }
+                    | ActorEvent::Restart
+                    | ActorEvent::Notify { .. } => {}
                 }
             }
         }

@@ -193,6 +193,13 @@ impl Network {
         &self.plan
     }
 
+    /// Mutable access to the fault plan in force — the injection point
+    /// for **runtime** fault ops ([`crate::mux::ControlOp`]) applied to a
+    /// network already owned by a running engine.
+    pub fn fault_plan_mut(&mut self) -> &mut FaultPlan {
+        &mut self.plan
+    }
+
     /// Statistics accumulated so far.
     pub fn stats(&self) -> NetworkStats {
         self.stats

@@ -67,12 +67,11 @@ pub use system::{HadesNode, Policy, SystemError};
 /// One-stop imports for building and running a HADES deployment.
 pub mod prelude {
     pub use crate::system::{HadesNode, Policy, SystemError};
-    #[allow(deprecated)]
-    pub use hades_cluster::HadesCluster;
     pub use hades_cluster::{
-        Bursty, ClosedLoop, ClusterError, ClusterEvent, ClusterReport, ClusterRun, ClusterSpec,
-        ConstantRate, GroupLoad, GroupReport, MiddlewareConfig, ModeChangeRecord, RecoveryRecord,
-        ScenarioPlan, ServiceSpec, SpecError, SpecIssue, TraceReplay, ViewChangeStats, Workload,
+        Bursty, ClosedLoop, ClusterEvent, ClusterReport, ClusterRun, ClusterSpec, ConstantRate,
+        ControlHandle, GroupLoad, GroupReport, MiddlewareConfig, ModeChangeRecord, PlanDriver,
+        RecoveryRecord, ScenarioDriver, ScenarioPlan, ServiceSpec, SpecError, SpecIssue,
+        TraceReplay, ViewChangeStats, Workload,
     };
     pub use hades_dispatch::{
         CostModel, DispatchSim, ExecTimeModel, MissPolicy, MonitorEvent, ResourceProtocol,
