@@ -1,0 +1,26 @@
+//! Writes the machine-readable performance snapshot CI archives.
+//!
+//! ```text
+//! perf_snapshot [PATH]    # default: BENCH_cluster.json
+//! ```
+//!
+//! The document is validated against the `hades.bench.cluster.v1`
+//! schema before anything touches the filesystem; a schema drift exits
+//! nonzero with nothing written, so CI never archives a malformed
+//! snapshot.
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_cluster.json".to_string());
+    let doc = bench::perf::build_snapshot();
+    if let Err(e) = bench::perf::validate_snapshot(&doc) {
+        eprintln!("perf_snapshot: generated document fails its own schema: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&path, &doc) {
+        eprintln!("perf_snapshot: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path} ({} bytes)", doc.len());
+}

@@ -9,6 +9,7 @@ pub mod cluster;
 pub mod costs;
 pub mod extensions;
 pub mod figures;
+pub mod perf;
 pub mod policies;
 pub mod services;
 pub mod sweep;
@@ -38,6 +39,7 @@ pub fn run_experiment(name: &str) -> Option<String> {
         "cluster_scaling" => cluster::cluster_scaling(),
         "cluster_recovery" => cluster::cluster_recovery(),
         "cluster_groups" => cluster::cluster_groups(),
+        "perf_snapshot" => perf::perf_snapshot(),
         _ => return None,
     })
 }
@@ -66,6 +68,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "cluster_scaling",
     "cluster_recovery",
     "cluster_groups",
+    "perf_snapshot",
 ];
 
 #[cfg(test)]

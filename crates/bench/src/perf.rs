@@ -1,0 +1,322 @@
+//! The machine-readable performance snapshot (`BENCH_cluster.json`).
+//!
+//! Where every other experiment renders a human-readable table, this one
+//! emits a JSON document CI archives on every commit, so the engine's
+//! performance trajectory — events/sec, ns/event, heartbeat throughput,
+//! queue-depth high-water, response-latency percentiles — is a diffable
+//! artifact instead of a number somebody once pasted into a PR. The
+//! document is produced from the same telemetry registry users attach
+//! via [`ClusterSpec::telemetry`]; the snapshot pipeline is therefore
+//! also an end-to-end test of the instrumentation.
+//!
+//! Schema (`hades.bench.cluster.v1`):
+//!
+//! ```text
+//! {
+//!   "schema": "hades.bench.cluster.v1",
+//!   "scenarios": [ { "name", "nodes", "events", "wall_ns",
+//!                    "ns_per_event", "events_per_sec",
+//!                    "heartbeats_sent", "heartbeats_per_sec",
+//!                    "peak_queue_depth", "ctx_switches", "abandoned",
+//!                    "response_ns": { "count", "p50", "p99", "p999" } } ],
+//!   "overhead": { "nodes", "instrumented_wall_ns", "baseline_wall_ns",
+//!                 "overhead_pct" },
+//!   "peak_rss_bytes": N
+//! }
+//! ```
+//!
+//! [`validate_snapshot`] checks that shape; the `perf_snapshot` binary
+//! refuses to write a document that fails it, so CI fails loudly on a
+//! schema drift instead of archiving garbage.
+
+use hades_cluster::{ClosedLoop, ClusterSpec, GroupLoad, ScenarioPlan, ServiceSpec};
+use hades_dispatch::CostModel;
+use hades_sched::Policy;
+use hades_services::ReplicaStyle;
+use hades_sim::NodeId;
+use hades_telemetry::json::{escape, Json};
+use hades_telemetry::Registry;
+use hades_time::{Duration, Time};
+use std::fmt::Write;
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+/// The standard snapshot scenario: `nodes` nodes under EDF with measured
+/// costs, two periodic services per node, one replicated group on nodes
+/// 0–2 serving a closed-loop client (with a request timeout, so the
+/// client survives the blackout), and the group leader crashed at 10 ms
+/// — failover, view agreement and Δ-multicast all on the clock.
+pub fn perf_scenario(nodes: u32, seed: u64, horizon: Duration) -> ClusterSpec {
+    let start = Time::ZERO + ms(2);
+    let mut spec = ClusterSpec::new(nodes)
+        .policy(Policy::Edf)
+        .costs(CostModel::measured_default())
+        .horizon(horizon)
+        .seed(seed)
+        .scenario(ScenarioPlan::new().crash(NodeId(0), Time::ZERO + ms(10)))
+        .service(
+            ServiceSpec::replicated(
+                "store",
+                ReplicaStyle::SemiActive,
+                vec![0, 1, 2],
+                GroupLoad::default(),
+            )
+            .workload(Box::new(
+                ClosedLoop::new(us(500), ms(1), start).with_timeout(ms(4)),
+            )),
+        );
+    for node in 0..nodes {
+        spec = spec
+            .service(ServiceSpec::periodic("control", node, us(200), ms(2)))
+            .service(ServiceSpec::periodic("logging", node, us(500), ms(10)));
+    }
+    spec
+}
+
+/// One scenario's measurements, straight out of the telemetry snapshot.
+struct ScenarioPerf {
+    name: String,
+    nodes: u32,
+    events: u64,
+    wall_ns: u64,
+    heartbeats_sent: u64,
+    peak_queue_depth: u64,
+    ctx_switches: u64,
+    abandoned: u64,
+    response_count: u64,
+    response_p50: u64,
+    response_p99: u64,
+    response_p999: u64,
+}
+
+fn run_scenario(name: &str, nodes: u32, horizon: Duration) -> ScenarioPerf {
+    let registry = Registry::enabled();
+    let run = perf_scenario(nodes, 7, horizon)
+        .telemetry(registry.clone())
+        .run()
+        .expect("valid snapshot spec");
+    let metrics = &run.telemetry().metrics;
+    let response = metrics.histogram("group.response_ns");
+    ScenarioPerf {
+        name: name.to_string(),
+        nodes,
+        events: metrics.counter("engine.events").unwrap_or(0),
+        wall_ns: registry.volatile("engine.wall_ns").unwrap_or(0),
+        heartbeats_sent: metrics.counter("agents.heartbeats_sent").unwrap_or(0),
+        peak_queue_depth: metrics.gauge("engine.queue_depth_peak").unwrap_or(0),
+        ctx_switches: metrics.counter("dispatch.ctx_switches").unwrap_or(0),
+        abandoned: metrics.counter("group.requests_abandoned").unwrap_or(0),
+        response_count: response.map_or(0, |h| h.count),
+        response_p50: response.map_or(0, |h| h.p50),
+        response_p99: response.map_or(0, |h| h.p99),
+        response_p999: response.map_or(0, |h| h.p999),
+    }
+}
+
+impl ScenarioPerf {
+    fn to_json(&self) -> String {
+        let wall = self.wall_ns.max(1);
+        let ns_per_event = self.wall_ns as f64 / self.events.max(1) as f64;
+        let events_per_sec = self.events as f64 * 1e9 / wall as f64;
+        let heartbeats_per_sec = self.heartbeats_sent as f64 * 1e9 / wall as f64;
+        format!(
+            "{{\"name\":{},\"nodes\":{},\"events\":{},\"wall_ns\":{},\
+             \"ns_per_event\":{:.1},\"events_per_sec\":{:.0},\
+             \"heartbeats_sent\":{},\"heartbeats_per_sec\":{:.0},\
+             \"peak_queue_depth\":{},\"ctx_switches\":{},\"abandoned\":{},\
+             \"response_ns\":{{\"count\":{},\"p50\":{},\"p99\":{},\"p999\":{}}}}}",
+            escape(&self.name),
+            self.nodes,
+            self.events,
+            self.wall_ns,
+            ns_per_event,
+            events_per_sec,
+            self.heartbeats_sent,
+            heartbeats_per_sec,
+            self.peak_queue_depth,
+            self.ctx_switches,
+            self.abandoned,
+            self.response_count,
+            self.response_p50,
+            self.response_p99,
+            self.response_p999,
+        )
+    }
+}
+
+/// Peak resident set of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// Builds the full snapshot document: the 24/48/96-node scaling
+/// scenarios, the instrumented-vs-disabled overhead measurement at 24
+/// nodes, and the process's peak RSS.
+pub fn build_snapshot() -> String {
+    let horizon = ms(20);
+    let scenarios: Vec<ScenarioPerf> = [24u32, 48, 96]
+        .iter()
+        .map(|&nodes| run_scenario(&format!("cluster{nodes}"), nodes, horizon))
+        .collect();
+
+    // Instrumented-vs-disabled overhead: the same 24-node run, once with
+    // an enabled registry and once with the default disabled one, both
+    // timed from the outside so the comparison includes every hook.
+    let instrumented_wall_ns = {
+        let start = std::time::Instant::now();
+        let _ = perf_scenario(24, 7, horizon)
+            .telemetry(Registry::enabled())
+            .run()
+            .expect("valid snapshot spec");
+        start.elapsed().as_nanos() as u64
+    };
+    let baseline_wall_ns = {
+        let start = std::time::Instant::now();
+        let _ = perf_scenario(24, 7, horizon)
+            .run()
+            .expect("valid snapshot spec");
+        start.elapsed().as_nanos() as u64
+    };
+    let overhead_pct = (instrumented_wall_ns as f64 - baseline_wall_ns as f64) * 100.0
+        / baseline_wall_ns.max(1) as f64;
+
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"hades.bench.cluster.v1\",\"scenarios\":[");
+    for (i, s) in scenarios.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&s.to_json());
+    }
+    let _ = write!(
+        out,
+        "],\"overhead\":{{\"nodes\":24,\"instrumented_wall_ns\":{instrumented_wall_ns},\
+         \"baseline_wall_ns\":{baseline_wall_ns},\"overhead_pct\":{overhead_pct:.2}}},\
+         \"peak_rss_bytes\":{}}}",
+        peak_rss_bytes()
+    );
+    out
+}
+
+/// Validates a snapshot document against `hades.bench.cluster.v1`.
+///
+/// # Errors
+///
+/// A message naming the first missing or mistyped field.
+pub fn validate_snapshot(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if doc.get("schema").and_then(Json::as_str) != Some("hades.bench.cluster.v1") {
+        return Err("schema must be \"hades.bench.cluster.v1\"".into());
+    }
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .ok_or("missing scenarios array")?;
+    if scenarios.is_empty() {
+        return Err("scenarios array is empty".into());
+    }
+    for (i, s) in scenarios.iter().enumerate() {
+        if s.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("scenario {i}: missing name"));
+        }
+        for field in [
+            "nodes",
+            "events",
+            "wall_ns",
+            "ns_per_event",
+            "events_per_sec",
+            "heartbeats_sent",
+            "heartbeats_per_sec",
+            "peak_queue_depth",
+            "ctx_switches",
+            "abandoned",
+        ] {
+            if s.get(field).and_then(Json::as_f64).is_none() {
+                return Err(format!("scenario {i}: missing numeric field {field}"));
+            }
+        }
+        let response = s
+            .get("response_ns")
+            .ok_or_else(|| format!("scenario {i}: missing response_ns"))?;
+        for field in ["count", "p50", "p99", "p999"] {
+            if response.get(field).and_then(Json::as_f64).is_none() {
+                return Err(format!("scenario {i}: response_ns missing {field}"));
+            }
+        }
+    }
+    let overhead = doc.get("overhead").ok_or("missing overhead object")?;
+    for field in [
+        "nodes",
+        "instrumented_wall_ns",
+        "baseline_wall_ns",
+        "overhead_pct",
+    ] {
+        if overhead.get(field).and_then(Json::as_f64).is_none() {
+            return Err(format!("overhead missing numeric field {field}"));
+        }
+    }
+    if doc.get("peak_rss_bytes").and_then(Json::as_f64).is_none() {
+        return Err("missing peak_rss_bytes".into());
+    }
+    Ok(())
+}
+
+/// The `perf_snapshot` experiment: the JSON document itself (already
+/// validated), so `experiments perf_snapshot` prints exactly what the
+/// binary would write to `BENCH_cluster.json`.
+pub fn perf_snapshot() -> String {
+    let doc = build_snapshot();
+    validate_snapshot(&doc).expect("snapshot must match its own schema");
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_validates_against_its_schema() {
+        // One small scenario keeps the debug-mode test affordable; the
+        // full 24/48/96 sweep runs in the release-mode binary.
+        let s = run_scenario("small", 4, ms(10));
+        assert!(s.events > 0, "engine events must be counted");
+        assert!(s.heartbeats_sent > 0, "heartbeats must be counted");
+        let mut doc = String::from("{\"schema\":\"hades.bench.cluster.v1\",\"scenarios\":[");
+        doc.push_str(&s.to_json());
+        doc.push_str(
+            "],\"overhead\":{\"nodes\":4,\"instrumented_wall_ns\":1,\
+             \"baseline_wall_ns\":1,\"overhead_pct\":0.0},\"peak_rss_bytes\":0}",
+        );
+        validate_snapshot(&doc).expect("well-formed snapshot");
+    }
+
+    #[test]
+    fn validator_rejects_drifted_documents() {
+        assert!(validate_snapshot("not json").is_err());
+        assert!(validate_snapshot("{\"schema\":\"other\"}").is_err());
+        assert!(
+            validate_snapshot("{\"schema\":\"hades.bench.cluster.v1\",\"scenarios\":[]}").is_err()
+        );
+        let no_overhead = "{\"schema\":\"hades.bench.cluster.v1\",\"scenarios\":[{\
+            \"name\":\"x\",\"nodes\":1,\"events\":1,\"wall_ns\":1,\"ns_per_event\":1,\
+            \"events_per_sec\":1,\"heartbeats_sent\":1,\"heartbeats_per_sec\":1,\
+            \"peak_queue_depth\":1,\"ctx_switches\":1,\"abandoned\":0,\
+            \"response_ns\":{\"count\":0,\"p50\":0,\"p99\":0,\"p999\":0}}]}";
+        assert!(validate_snapshot(no_overhead).is_err());
+    }
+}

@@ -29,6 +29,7 @@
 
 use crate::report::ClusterReport;
 use hades_task::TaskId;
+use hades_telemetry::RunTelemetry;
 use hades_time::{Duration, Time};
 
 /// One externally visible transition of a cluster run.
@@ -208,11 +209,14 @@ impl ClusterEvent {
 }
 
 /// Everything a [`crate::ClusterSpec`] run produces: the aggregate
-/// report plus the typed, time-ordered event stream.
+/// report, the typed, time-ordered event stream, and — when the spec
+/// was built with an enabled telemetry registry — the deterministic
+/// metrics snapshot and protocol trace spans.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterRun {
     report: ClusterReport,
     events: Vec<ClusterEvent>,
+    telemetry: RunTelemetry,
 }
 
 impl ClusterRun {
@@ -221,12 +225,30 @@ impl ClusterRun {
         // node, then kind; the (stable) sort keeps deterministic
         // emission order beyond that.
         events.sort_by_key(|e| (e.at(), e.sort_node(), e.kind_rank()));
-        ClusterRun { report, events }
+        ClusterRun {
+            report,
+            events,
+            telemetry: RunTelemetry::default(),
+        }
+    }
+
+    pub(crate) fn with_telemetry(mut self, telemetry: RunTelemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The aggregate report.
     pub fn report(&self) -> &ClusterReport {
         &self.report
+    }
+
+    /// The run's telemetry: the deterministic metrics snapshot and the
+    /// protocol trace spans. Empty unless the spec was built with
+    /// `ClusterSpec::telemetry` and an enabled registry — telemetry is
+    /// pure observation, so two same-seed runs produce byte-identical
+    /// snapshots and span JSONL (or identically empty ones).
+    pub fn telemetry(&self) -> &RunTelemetry {
+        &self.telemetry
     }
 
     /// The full event stream, time-ordered; simultaneous events follow

@@ -196,6 +196,11 @@ pub struct GroupReport {
     pub catchups: u64,
     /// Active-style vote digests that disagreed across members.
     pub vote_mismatches: u64,
+    /// Requests the client-side workload abandoned (a closed loop's
+    /// request timeout expired and the request was re-issued — see
+    /// `ClosedLoop::with_timeout`). Also exported as the
+    /// `group.requests_abandoned` telemetry counter.
+    pub abandoned: u64,
 }
 
 impl GroupReport {
@@ -237,6 +242,17 @@ pub struct FailoverRecord {
 }
 
 /// The aggregate outcome of a [`crate::ClusterSpec`] run.
+///
+/// The report is the *verdict* side of a run's observability; its
+/// sibling is the telemetry side, reached through
+/// `ClusterRun::telemetry()` when the spec was built with
+/// `ClusterSpec::telemetry(Registry::enabled())`: engine-time counters
+/// and histograms (`engine.events`, `agents.heartbeats_sent`,
+/// `group.response_ns`, …) plus causally-linked protocol trace spans
+/// for every rejoin, failover, view agreement and client request. Both
+/// are deterministic functions of the spec and seed; a disabled
+/// registry (the default) leaves the telemetry empty and the hooks
+/// near-free.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterReport {
     /// Cluster size.

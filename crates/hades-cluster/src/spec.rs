@@ -69,6 +69,7 @@ use hades_sim::{KernelModel, LinkConfig, Network, NodeId, SimRng};
 use hades_task::spuri::SpuriTask;
 use hades_task::task::TaskSetError;
 use hades_task::{Task, TaskId, TaskSet};
+use hades_telemetry::{Registry, RunTelemetry, SpanLog};
 use hades_time::{Duration, Time};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -480,6 +481,7 @@ pub struct ClusterSpec {
     services: Vec<ServiceSpec>,
     drivers: Vec<Box<dyn ScenarioDriver>>,
     driver_tick: Duration,
+    telemetry: Registry,
 }
 
 impl ClusterSpec {
@@ -500,6 +502,7 @@ impl ClusterSpec {
             services: Vec::new(),
             drivers: Vec::new(),
             driver_tick: Duration::from_millis(1),
+            telemetry: Registry::disabled(),
         }
     }
 
@@ -569,6 +572,21 @@ impl ClusterSpec {
     /// callback (default 1 ms; zero disables the tick).
     pub fn driver_tick(mut self, tick: Duration) -> Self {
         self.driver_tick = tick;
+        self
+    }
+
+    /// Attaches a telemetry registry. With [`Registry::enabled`] the run
+    /// records engine-time counters and histograms (engine events, queue
+    /// depth high-water, dispatcher context switches, heartbeats
+    /// sent/suppressed, `group.response_ns`, …) and mints protocol trace
+    /// spans for every rejoin, failover, view agreement and client
+    /// request; [`crate::ClusterRun::telemetry`] returns both. The
+    /// default disabled registry keeps every hook a no-op and the run's
+    /// telemetry empty. Telemetry is pure observation: it never perturbs
+    /// the simulation, so two same-seed runs produce byte-identical
+    /// snapshots whether or not a registry is attached.
+    pub fn telemetry(mut self, registry: Registry) -> Self {
+        self.telemetry = registry;
         self
     }
 
@@ -871,6 +889,7 @@ impl ClusterSpec {
             app_tasks,
             groups,
             service_infos,
+            telemetry: self.telemetry.clone(),
         })
     }
 }
@@ -922,6 +941,7 @@ struct Lowered {
     app_tasks: Vec<(u32, Task)>,
     groups: Vec<LoweredGroup>,
     service_infos: Vec<LoweredService>,
+    telemetry: Registry,
 }
 
 impl Lowered {
@@ -1091,6 +1111,7 @@ impl Lowered {
         cfg.seed = self.seed;
         cfg.trace = false;
         let mut sim = DispatchSim::with_network(set, cfg, net);
+        sim.set_telemetry(&self.telemetry);
         if self.policy == Policy::Edf {
             for node in 0..self.nodes {
                 sim.set_policy(node, Box::new(EdfPolicy::new()));
@@ -1318,6 +1339,35 @@ impl Lowered {
         };
         let join_retries = logs.iter().map(|l| l.borrow().join_retries).sum();
 
+        // ---- fold the service logs into the telemetry registry ----
+        // No-ops against the default disabled registry; with an enabled
+        // one these land in the deterministic snapshot next to the
+        // engine/dispatcher counters wired in via `set_telemetry`.
+        let t = &self.telemetry;
+        t.counter("agents.heartbeats_sent")
+            .add(logs.iter().map(|l| l.borrow().heartbeats_sent).sum());
+        t.counter("agents.heartbeats_suppressed")
+            .add(logs.iter().map(|l| l.borrow().heartbeats_suppressed).sum());
+        t.counter("agents.heartbeats_seen").add(heartbeats_seen);
+        t.counter("agents.vc_messages").add(view_change.messages);
+        t.counter("agents.transfers_served")
+            .add(logs.iter().map(|l| l.borrow().transfers_served).sum());
+        t.counter("agents.chunks_sent")
+            .add(logs.iter().map(|l| l.borrow().chunks_sent).sum());
+        t.counter("agents.join_retries").add(join_retries);
+        t.counter("recovery.bytes_transferred")
+            .add(recoveries.iter().map(|r| r.bytes_transferred).sum());
+        t.counter("recovery.log_entries_replayed")
+            .add(recoveries.iter().map(|r| r.log_entries_replayed).sum());
+        for gr in &groups {
+            t.counter("group.messages").add(gr.messages);
+            t.counter("group.requests_submitted").add(gr.submitted);
+            t.counter("group.outputs").add(gr.outputs);
+            t.counter("group.duplicates_suppressed")
+                .add(gr.duplicates_suppressed);
+            t.counter("group.replayed").add(gr.replayed);
+        }
+
         let report = report::ClusterReport {
             nodes: self.nodes,
             seed: self.seed,
@@ -1343,7 +1393,178 @@ impl Lowered {
         // The event stream is exactly what the drivers saw, re-sorted
         // under the documented deterministic tie-break.
         let events = std::mem::take(&mut state.borrow_mut().events);
-        Ok(ClusterRun::new(report, events))
+        let mut cluster_run = ClusterRun::new(report, events);
+        if self.telemetry.is_enabled() {
+            let spans = self.build_spans(cluster_run.report(), cluster_run.events(), &group_logs);
+            cluster_run = cluster_run.with_telemetry(RunTelemetry {
+                metrics: self.telemetry.snapshot(),
+                spans,
+            });
+        }
+        Ok(cluster_run)
+    }
+
+    /// Mints the protocol trace spans from the finished run's records.
+    ///
+    /// Spans are built post-run from the same per-actor logs the report
+    /// folds, so they cost nothing during simulation; their ids are
+    /// minted in a fixed record order (recoveries, failovers, group
+    /// handoffs, view agreements, client requests) and every instant is
+    /// engine time, so the span log — like the metrics snapshot — is a
+    /// deterministic function of spec and seed.
+    fn build_spans(
+        &self,
+        report: &report::ClusterReport,
+        events: &[crate::ClusterEvent],
+        group_logs: &[Vec<Rc<RefCell<GroupLog>>>],
+    ) -> SpanLog {
+        let mut spans = SpanLog::new();
+        // Rejoins: one root per completed crash→restart→readmit cycle,
+        // phased by the protocol's decomposition. The detect child hangs
+        // off the same span: the survivors' suspicion is what makes the
+        // later announce land in a view that excluded the joiner.
+        for r in &report.recoveries {
+            let end = r.restarted_at + r.rejoin_latency;
+            let root = spans.root(
+                "rejoin",
+                &format!("node {} rejoin -> view {}", r.node, r.readmitted_view),
+                Some(r.node),
+                r.restarted_at,
+                end,
+            );
+            if let Some(detected) = r.detected_at {
+                spans.child(
+                    root,
+                    "detect",
+                    "crash detected by survivors",
+                    Some(r.node),
+                    r.crashed_at,
+                    detected,
+                );
+            }
+            let announce_end = r.restarted_at + r.announce_latency;
+            let transfer_end = announce_end + r.transfer_latency;
+            spans.phase(root, "announce", r.restarted_at, announce_end);
+            spans.phase(root, "transfer+replay", announce_end, transfer_end);
+            spans.phase(
+                root,
+                "readmit",
+                transfer_end,
+                transfer_end + r.readmit_latency,
+            );
+        }
+        // Failovers: crash → promoting view install, decomposed into the
+        // detection and agreement components when a matching suspicion
+        // exists.
+        let mut failover_spans: Vec<(hades_telemetry::SpanId, u32, Time)> = Vec::new();
+        for f in &report.failovers {
+            let root = spans.root(
+                "failover",
+                &format!("primary {} -> {}", f.failed_primary, f.new_primary),
+                Some(f.new_primary),
+                f.crashed_at,
+                f.taken_over_at,
+            );
+            let detected = report
+                .detections
+                .iter()
+                .filter(|d| {
+                    d.suspect == f.failed_primary
+                        && d.suspected_at >= f.crashed_at
+                        && d.suspected_at <= f.taken_over_at
+                })
+                .map(|d| d.suspected_at)
+                .min();
+            if let Some(det) = detected {
+                spans.phase(root, "detect", f.crashed_at, det);
+                spans.phase(root, "agree", det, f.taken_over_at);
+            }
+            failover_spans.push((root, f.failed_primary, f.crashed_at));
+        }
+        // Group-leadership takeovers: children of the failover that
+        // evicted the old leader, roots when none did (driver-injected
+        // retunes, restarts without a primary crash).
+        for gr in &report.groups {
+            for h in &gr.handoffs {
+                let parent = failover_spans
+                    .iter()
+                    .filter(|(_, failed, at)| *failed == h.from && *at <= h.at)
+                    .max_by_key(|(_, _, at)| *at)
+                    .copied();
+                let label = format!("group {} leadership {} -> {}", h.group, h.from, h.to);
+                match parent {
+                    Some((p, _, crashed_at)) => {
+                        spans.child(p, "takeover", &label, Some(h.to), crashed_at, h.at);
+                    }
+                    None => {
+                        spans.root("takeover", &label, Some(h.to), h.at, h.at);
+                    }
+                }
+            }
+        }
+        // View agreements: each install spans from the suspicion that
+        // (most recently) preceded it to the first member's install.
+        let mut last_detect: Option<Time> = None;
+        for e in events {
+            match e {
+                crate::ClusterEvent::Detected { at, .. } => last_detect = Some(*at),
+                crate::ClusterEvent::ViewInstalled {
+                    number,
+                    members,
+                    at,
+                } => {
+                    let start = last_detect.filter(|d| *d <= *at).unwrap_or(*at);
+                    spans.root(
+                        "view",
+                        &format!("view {} ({} members)", number, members.len()),
+                        None,
+                        start,
+                        *at,
+                    );
+                }
+                _ => {}
+            }
+        }
+        // Client requests through the Δ-atomic multicast: submission →
+        // first client-visible output, phased order → deliver → emit.
+        for (g, glogs) in group_logs.iter().enumerate() {
+            let member_logs: Vec<GroupLog> = glogs.iter().map(|l| l.borrow().clone()).collect();
+            let mut submitted: BTreeMap<u64, Time> = BTreeMap::new();
+            let mut ordered: BTreeMap<u64, (Time, Time)> = BTreeMap::new();
+            let mut emitted: BTreeMap<u64, Time> = BTreeMap::new();
+            for log in &member_logs {
+                for (id, at) in &log.submitted {
+                    let e = submitted.entry(*id).or_insert(*at);
+                    *e = (*e).min(*at);
+                }
+                for (id, ts, delivered_at) in &log.delivered {
+                    let e = ordered.entry(*id).or_insert((*ts, *delivered_at));
+                    e.1 = e.1.min(*delivered_at);
+                }
+                for (id, at) in &log.emitted {
+                    let e = emitted.entry(*id).or_insert(*at);
+                    *e = (*e).min(*at);
+                }
+            }
+            for (id, sub) in &submitted {
+                let Some(out) = emitted.get(id) else { continue };
+                let root = spans.root(
+                    "request",
+                    &format!("group {g} request {id}"),
+                    None,
+                    *sub,
+                    (*out).max(*sub),
+                );
+                if let Some((ts, delivered)) = ordered.get(id) {
+                    let ts = (*ts).max(*sub);
+                    let delivered = (*delivered).max(ts);
+                    spans.phase(root, "order", *sub, ts);
+                    spans.phase(root, "deliver", ts, delivered);
+                    spans.phase(root, "emit", delivered, (*out).max(delivered));
+                }
+            }
+        }
+        spans
     }
 
     /// Folds every group's member logs into its report section.
@@ -1354,6 +1575,7 @@ impl Lowered {
         applied: &ScenarioPlan,
     ) -> Vec<report::GroupReport> {
         let mut out = Vec::new();
+        let response_hist = self.telemetry.histogram("group.response_ns");
         for (g, (group, glogs)) in self.groups.iter().zip(group_logs.iter()).enumerate() {
             let logs: Vec<GroupLog> = glogs.iter().map(|l| l.borrow().clone()).collect();
             // Reference order: the first member never down (reactive
@@ -1408,6 +1630,7 @@ impl Lowered {
                     continue;
                 };
                 let latency = *at - *sub;
+                response_hist.record(latency.as_nanos());
                 worst = Some(worst.map_or(latency, |w| w.max(latency)));
                 if latency <= output_bound {
                     on_time += 1;
@@ -1439,6 +1662,13 @@ impl Lowered {
                 })
                 .collect();
             handoffs.sort_by_key(|h| (h.at, h.to));
+            let abandoned = group.source.borrow().abandoned();
+            self.telemetry
+                .counter("group.requests_abandoned")
+                .add(abandoned);
+            self.telemetry
+                .counter("group.late_discards")
+                .add(logs.iter().map(|l| l.late_discards).sum());
             out.push(report::GroupReport {
                 group: g as u32,
                 style_name: group.style.name(),
@@ -1460,6 +1690,7 @@ impl Lowered {
                 replayed: logs.iter().map(|l| l.replayed).sum(),
                 catchups: logs.iter().map(|l| l.catchups).sum(),
                 vote_mismatches: logs.iter().map(|l| l.vote_mismatches).sum(),
+                abandoned,
             });
         }
         out

@@ -222,16 +222,24 @@ pub struct ClosedLoop {
     /// Whether to run open-loop on the analytic approximation instead of
     /// live measured feedback (see [`ClosedLoop::analytic`]).
     pub open_loop: bool,
+    /// Client-side request timeout: an outstanding request unanswered
+    /// for this long is **abandoned** and re-issued, so the loop
+    /// survives losing its request to a whole-group outage (without a
+    /// timeout, a live loop whose in-flight request died with every
+    /// member stalls forever). `None` (the default) never abandons.
+    pub timeout: Option<Duration>,
 }
 
 impl ClosedLoop {
-    /// A live closed loop (measured-response feedback).
+    /// A live closed loop (measured-response feedback), no client-side
+    /// timeout.
     pub fn new(think: Duration, response_bound: Duration, start: Time) -> Self {
         ClosedLoop {
             think,
             response_bound,
             start,
             open_loop: false,
+            timeout: None,
         }
     }
 
@@ -240,6 +248,22 @@ impl ClosedLoop {
     /// (slowest) cycle, useful as the congestion-blind baseline.
     pub fn analytic(mut self) -> Self {
         self.open_loop = true;
+        self
+    }
+
+    /// Arms a client-side timeout: an outstanding request unanswered
+    /// `timeout` after its submission is abandoned and re-issued at the
+    /// timeout instant. Abandonments are reported in
+    /// `GroupReport::abandoned` and the `group.requests_abandoned`
+    /// telemetry counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero timeout (a request can never respond before it
+    /// is submitted, so a zero timeout would abandon everything).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "the request timeout must be positive");
+        self.timeout = Some(timeout);
         self
     }
 }
@@ -266,6 +290,7 @@ impl Workload for ClosedLoop {
         let end = Time::ZERO + horizon;
         Rc::new(RefCell::new(ClosedLoopSource {
             think: self.think,
+            timeout: self.timeout,
             end,
             permille: 1000,
             scheduled: if self.start < end {
@@ -275,6 +300,7 @@ impl Workload for ClosedLoop {
             },
             responded: 0,
             last_response: None,
+            abandoned: 0,
         }))
     }
 }
@@ -284,13 +310,18 @@ impl Workload for ClosedLoop {
 #[derive(Debug)]
 struct ClosedLoopSource {
     think: Duration,
+    /// Client-side request timeout; `None` waits forever.
+    timeout: Option<Duration>,
     end: Time,
     permille: u32,
     /// Scheduled submission instants so far; index = request id.
     scheduled: Vec<Time>,
-    /// Ids `0..responded` have had their (first) response consumed.
+    /// Ids `0..responded` have had their (first) response consumed — or
+    /// been abandoned at their timeout.
     responded: u64,
     last_response: Option<Time>,
+    /// Requests given up on client-side (timeout expired) and re-issued.
+    abandoned: u64,
 }
 
 impl ClosedLoopSource {
@@ -314,17 +345,68 @@ impl ClosedLoopSource {
         self.scheduled.push(next);
         Some(next)
     }
+
+    /// Whether the latest scheduled request is still awaiting its
+    /// response.
+    fn outstanding(&self) -> Option<Time> {
+        (self.responded + 1 == self.scheduled.len() as u64)
+            .then(|| *self.scheduled.last().expect("outstanding implies nonempty"))
+    }
+
+    /// Abandons every outstanding request whose timeout expired by `now`
+    /// and re-issues it at the timeout instant — repeatedly, so a long
+    /// blackout (the whole group down) is crossed by a march of timed-out
+    /// re-issues rather than a permanent stall. Runs lazily at the head
+    /// of every query; without a timeout it is a no-op.
+    fn reap_abandoned(&mut self, now: Time) {
+        let Some(timeout) = self.timeout else { return };
+        while self.permille > 0 {
+            let Some(submitted) = self.outstanding() else {
+                return;
+            };
+            let deadline = submitted + timeout;
+            if deadline > now {
+                return;
+            }
+            self.abandoned += 1;
+            self.responded += 1;
+            // Re-issue at the timeout instant (no think time: the client
+            // re-sends the request it was already waiting on).
+            if deadline < self.end {
+                self.scheduled.push(deadline);
+            } else {
+                return;
+            }
+        }
+    }
 }
 
 impl RequestSource for ClosedLoopSource {
     fn submissions_through(&mut self, now: Time) -> u64 {
+        self.reap_abandoned(now);
         self.scheduled.partition_point(|t| *t <= now) as u64
     }
 
     fn next_submission_after(&mut self, now: Time) -> Option<Time> {
-        self.scheduled
+        self.reap_abandoned(now);
+        if let Some(next) = self
+            .scheduled
             .get(self.scheduled.partition_point(|t| *t <= now))
             .copied()
+        {
+            return Some(next);
+        }
+        // Nothing scheduled ahead, but a request is outstanding under a
+        // timeout: its abandonment re-issue is the next submission — the
+        // instant the caller must arm a wake-up at for the loop to
+        // survive the response never arriving.
+        match (self.timeout, self.permille > 0) {
+            (Some(timeout), true) => self
+                .outstanding()
+                .map(|submitted| submitted + timeout)
+                .filter(|t| *t > now && *t < self.end),
+            _ => None,
+        }
     }
 
     fn on_response(&mut self, id: u64, at: Time) -> Option<Time> {
@@ -356,6 +438,10 @@ impl RequestSource for ClosedLoopSource {
             let anchor = self.last_response.unwrap_or(now).max(now);
             self.schedule_next(anchor);
         }
+    }
+
+    fn abandoned(&self) -> u64 {
+        self.abandoned
     }
 }
 
@@ -464,6 +550,81 @@ mod tests {
             s.next_submission_after(Time::ZERO + ms(10)),
             Some(Time::ZERO + ms(11))
         );
+    }
+
+    #[test]
+    fn closed_loop_without_timeout_stalls_on_a_lost_request() {
+        // The pre-fix behaviour, pinned: no timeout means an unanswered
+        // request blocks the loop forever.
+        let w = ClosedLoop::new(ms(1), us(100), Time::ZERO + ms(1));
+        let source = w.build_source(ms(50));
+        let mut s = source.borrow_mut();
+        assert_eq!(s.submissions_through(Time::ZERO + ms(1)), 1);
+        assert_eq!(s.next_submission_after(Time::ZERO + ms(40)), None);
+        assert_eq!(s.submissions_through(Time::ZERO + ms(49)), 1);
+        assert_eq!(s.abandoned(), 0);
+    }
+
+    #[test]
+    fn closed_loop_timeout_abandons_and_reissues_a_lost_request() {
+        let w = ClosedLoop::new(ms(1), us(100), Time::ZERO + ms(1)).with_timeout(ms(5));
+        let source = w.build_source(ms(50));
+        let mut s = source.borrow_mut();
+        // Request 0 goes out at 1 ms and nobody ever answers. The next
+        // submission the client knows about is the abandonment re-issue
+        // at 1 + 5 ms — armable as a wake-up before the timeout fires.
+        assert_eq!(s.submissions_through(Time::ZERO + ms(1)), 1);
+        assert_eq!(
+            s.next_submission_after(Time::ZERO + ms(2)),
+            Some(Time::ZERO + ms(6))
+        );
+        assert_eq!(s.abandoned(), 0, "not timed out yet");
+        // At the timeout tick the request is abandoned and re-issued.
+        assert_eq!(s.submissions_through(Time::ZERO + ms(6)), 2);
+        assert_eq!(s.abandoned(), 1);
+        // A blackout spanning several timeouts is crossed by a march of
+        // re-issues: 6, 11, 16 ms are all due by 16 ms.
+        assert_eq!(s.submissions_through(Time::ZERO + ms(16)), 4);
+        assert_eq!(s.abandoned(), 3);
+        // A late response to an abandoned id is inert...
+        assert_eq!(s.on_response(0, Time::ZERO + ms(17)), None);
+        // ...while the live re-issue's response advances the loop again.
+        let resp = Time::ZERO + ms(17);
+        assert_eq!(s.on_response(3, resp), Some(resp + ms(1)));
+        assert_eq!(s.abandoned(), 3, "a consumed response is not abandoned");
+    }
+
+    #[test]
+    fn closed_loop_timeout_never_fires_before_the_response_window_closes() {
+        let w = ClosedLoop::new(ms(1), us(100), Time::ZERO + ms(1)).with_timeout(ms(5));
+        let source = w.build_source(ms(50));
+        let mut s = source.borrow_mut();
+        assert_eq!(s.submissions_through(Time::ZERO + ms(1)), 1);
+        // The response lands within the timeout: the loop advances
+        // normally and nothing is abandoned, even when queried at the
+        // stale timeout instant afterwards.
+        let resp = Time::ZERO + ms(3);
+        assert_eq!(s.on_response(0, resp), Some(resp + ms(1)));
+        assert_eq!(s.submissions_through(Time::ZERO + ms(6)), 2);
+        assert_eq!(s.abandoned(), 0);
+    }
+
+    #[test]
+    fn closed_loop_timeout_respects_pause_and_horizon() {
+        let w = ClosedLoop::new(ms(1), us(100), Time::ZERO + ms(1)).with_timeout(ms(5));
+        let source = w.build_source(ms(10));
+        let mut s = source.borrow_mut();
+        assert_eq!(s.submissions_through(Time::ZERO + ms(1)), 1);
+        // Paused loop does not reap: stop means stop.
+        s.throttle(Time::ZERO + ms(2), 0);
+        assert_eq!(s.submissions_through(Time::ZERO + ms(9)), 1);
+        assert_eq!(s.abandoned(), 0);
+        // Resumed, the overdue request is abandoned; its re-issue at
+        // 6 ms is within the 10 ms horizon, the next one is not.
+        s.throttle(Time::ZERO + ms(9), 1000);
+        assert_eq!(s.submissions_through(Time::ZERO + ms(9)), 2);
+        assert_eq!(s.abandoned(), 1);
+        assert_eq!(s.next_submission_after(Time::ZERO + ms(9)), None);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use hades_sim::{
 };
 use hades_task::arrival::ArrivalMonitor;
 use hades_task::{Eu, EuIndex, InvocationMode, Priority, Task, TaskId, TaskSet};
+use hades_telemetry::{ActorProbe, Counter, EngineProbe, Registry};
 use hades_time::{Duration, Time};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -220,6 +221,9 @@ struct Inner {
     actors: ActorHost,
     postbox: Postbox,
     miss_tap: Option<MissTap>,
+    telemetry: Registry,
+    ctx_switch_counter: Counter,
+    miss_counter: Counter,
     monitor: MonitorReport,
     records: Vec<InstanceRecord>,
     trace: Trace,
@@ -336,6 +340,9 @@ impl DispatchSim {
             actors: ActorHost::new(),
             postbox: Postbox::new(),
             miss_tap: None,
+            telemetry: Registry::disabled(),
+            ctx_switch_counter: Counter::disabled(),
+            miss_counter: Counter::disabled(),
             monitor: MonitorReport::new(),
             records: Vec::new(),
             trace,
@@ -402,6 +409,30 @@ impl DispatchSim {
     /// Statistics of the shared network (message fates observed so far).
     pub fn network_stats(&self) -> hades_sim::NetworkStats {
         self.inner.network.stats()
+    }
+
+    /// Wires telemetry through the whole run: the DES run loop records
+    /// `engine.events` / `engine.queue_depth_peak`, the actor host
+    /// records `actors.<kind>_events`, the dispatcher records
+    /// `dispatch.ctx_switches` and `dispatch.deadline_misses` inline and
+    /// fills per-node CPU gauges at the end of the run. Wall-clock time
+    /// around the run loop is recorded as the **volatile** value
+    /// `engine.wall_ns` (never part of the deterministic snapshot). A
+    /// disabled registry (the default) leaves every hook inert; wiring
+    /// telemetry never changes event order or outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already ran.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        assert!(!self.ran, "simulation already ran");
+        self.engine.set_probe(EngineProbe::from_registry(registry));
+        self.inner
+            .actors
+            .set_probe(ActorProbe::from_registry(registry));
+        self.inner.ctx_switch_counter = registry.counter("dispatch.ctx_switches");
+        self.inner.miss_counter = registry.counter("dispatch.deadline_misses");
+        self.inner.telemetry = registry.clone();
     }
 
     /// Restricts the auto-activation of `task` to `[from, until)`: the
@@ -504,7 +535,23 @@ impl DispatchSim {
                 );
             }
         }
-        self.engine.run(&mut self.inner, horizon);
+        // Wall-clock around the run loop is telemetry-only and volatile:
+        // it never feeds back into the simulation or the deterministic
+        // snapshot, so instrumented runs stay bit-identical.
+        let wall_start = self
+            .inner
+            .telemetry
+            .is_enabled()
+            .then(std::time::Instant::now);
+        let delivered = self.engine.run(&mut self.inner, horizon);
+        if let Some(start) = wall_start {
+            self.inner
+                .telemetry
+                .set_volatile("engine.wall_ns", start.elapsed().as_nanos() as u64);
+            self.inner
+                .telemetry
+                .set_volatile("engine.run_events", delivered);
+        }
         let end = self.engine.now();
         self.inner.finish(end)
     }
@@ -818,6 +865,7 @@ impl Inner {
                     if ns.last_app != Some(tid) {
                         th.remaining += self.cfg.costs.ctx_switch;
                         ns.last_app = Some(tid);
+                        self.ctx_switch_counter.incr();
                     }
                     self.trace
                         .record(now, NodeId(node), TraceKind::Run, th.name.clone());
@@ -1513,6 +1561,7 @@ impl Inner {
             return;
         }
         inst.missed = true;
+        self.miss_counter.incr();
         let activated = self.records[inst.record_idx].activated;
         self.records[inst.record_idx].missed = true;
         self.monitor.push(MonitorEvent::DeadlineMiss {
@@ -1711,6 +1760,22 @@ impl Inner {
                 threads: stuck,
                 at: end,
             });
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .gauge("dispatch.notifications")
+                .set(self.notifications);
+            self.telemetry
+                .gauge("dispatch.scheduler_cpu_ns")
+                .set(self.scheduler_cpu.as_nanos());
+            self.telemetry
+                .gauge("dispatch.kernel_cpu_ns")
+                .set(self.kernel_cpu.as_nanos());
+            for (node, cpu) in self.node_cpu.iter().enumerate() {
+                self.telemetry
+                    .gauge(&format!("dispatch.node_cpu_ns.n{node:03}"))
+                    .set(cpu.as_nanos());
+            }
         }
         RunReport {
             instances: std::mem::take(&mut self.records),

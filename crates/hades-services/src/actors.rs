@@ -301,6 +301,11 @@ pub struct AgentLog {
     /// JOIN/preamble retransmissions this node issued while rejoining
     /// (lossy-link masking on the heartbeat cadence).
     pub join_retries: u64,
+    /// Heartbeat copies this node sent that the network accepted.
+    pub heartbeats_sent: u64,
+    /// Heartbeat copies the network refused at send time (link down or
+    /// receiver's node crashed) — suppressed rather than lost in flight.
+    pub heartbeats_suppressed: u64,
 }
 
 impl AgentLog {
@@ -317,6 +322,8 @@ impl AgentLog {
             chunks_sent: 0,
             vc_messages_sent: 0,
             join_retries: 0,
+            heartbeats_sent: 0,
+            heartbeats_suppressed: 0,
         }
     }
 
@@ -522,10 +529,21 @@ impl NodeAgent {
     }
 
     fn broadcast(&self, ctx: &mut ActorCtx<'_>, tag: u64, payload: u64) {
+        let mut sent = 0u64;
+        let mut suppressed = 0u64;
         for peer in 0..self.cfg.nodes {
             if NodeId(peer) != self.cfg.node {
-                ctx.send(ActorId(peer), NodeId(peer), tag, payload);
+                if ctx.send(ActorId(peer), NodeId(peer), tag, payload) {
+                    sent += 1;
+                } else {
+                    suppressed += 1;
+                }
             }
+        }
+        if tag == MSG_HB {
+            let mut log = self.log.borrow_mut();
+            log.heartbeats_sent += sent;
+            log.heartbeats_suppressed += suppressed;
         }
     }
 

@@ -219,6 +219,14 @@ pub trait RequestSource: std::fmt::Debug {
     /// their think time; open-loop sources re-pace the remaining
     /// nominal tail.
     fn throttle(&mut self, now: Time, permille: u32);
+
+    /// Number of requests this source has **abandoned** so far: given up
+    /// on client-side (e.g. a closed loop timing out an outstanding
+    /// request whose group died) and re-issued or dropped. Open-loop
+    /// sources never abandon; the default is 0.
+    fn abandoned(&self) -> u64 {
+        0
+    }
 }
 
 /// The open-loop [`RequestSource`]: a pre-materialized, strictly
@@ -1392,6 +1400,8 @@ mod tests {
             chunks_sent: 0,
             vc_messages_sent: 0,
             join_retries: 0,
+            heartbeats_sent: 0,
+            heartbeats_suppressed: 0,
         }))
     }
 

@@ -327,6 +327,7 @@ impl ActorCtx<'_> {
 #[derive(Default)]
 pub struct ActorHost {
     actors: Vec<Option<Box<dyn NetActor>>>,
+    probe: hades_telemetry::ActorProbe,
 }
 
 impl std::fmt::Debug for ActorHost {
@@ -341,6 +342,14 @@ impl ActorHost {
     /// An empty host.
     pub fn new() -> Self {
         ActorHost::default()
+    }
+
+    /// Installs a telemetry probe counting deliveries per event kind
+    /// (`Start`, `Restart`, `Timer`, `Message`, `Notify`). The default
+    /// probe is disabled; an installed probe observes the run without
+    /// altering routing or posting events.
+    pub fn set_probe(&mut self, probe: hades_telemetry::ActorProbe) {
+        self.probe = probe;
     }
 
     /// Registers an actor, returning its id.
@@ -421,6 +430,13 @@ impl ActorHost {
         if net.fault_plan().is_crashed(node, now) {
             self.actors[id.0 as usize] = Some(actor);
             return Reactions::default();
+        }
+        match &ev {
+            ActorEvent::Start => self.probe.start.incr(),
+            ActorEvent::Restart => self.probe.restart.incr(),
+            ActorEvent::Timer { .. } => self.probe.timer.incr(),
+            ActorEvent::Message { .. } => self.probe.message.incr(),
+            ActorEvent::Notify { .. } => self.probe.notify.incr(),
         }
         let mut ctx = ActorCtx {
             now,
@@ -602,6 +618,17 @@ impl ActorEngine {
     /// The shared network.
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// Wires telemetry into the embedded engine and actor host: the run
+    /// loop records `engine.events` / `engine.queue_depth_peak`, the
+    /// host records `actors.<kind>_events`. A disabled registry leaves
+    /// both probes inert.
+    pub fn set_telemetry(&mut self, registry: &hades_telemetry::Registry) {
+        self.engine
+            .set_probe(hades_telemetry::EngineProbe::from_registry(registry));
+        self.host
+            .set_probe(hades_telemetry::ActorProbe::from_registry(registry));
     }
 
     /// Runs until `until` (inclusive), delivering `Start` to every actor
@@ -997,5 +1024,27 @@ mod tests {
         assert_eq!(a.len(), 2);
         assert_eq!(a[0].0, 1);
         assert_eq!(a[1].0, 2);
+    }
+
+    #[test]
+    fn actor_probe_breaks_deliveries_down_by_kind() {
+        let registry = hades_telemetry::Registry::enabled();
+        let net = Network::homogeneous(2, LinkConfig::default(), SimRng::seed_from(3));
+        let mut rt = ActorEngine::new(net);
+        rt.set_telemetry(&registry);
+        let log = rc_log();
+        for n in 0..2 {
+            rt.add_actor(Box::new(Counter {
+                node: NodeId(n),
+                peers: 2,
+                got: log.clone(),
+            }));
+        }
+        let delivered = rt.run(Time::ZERO + Duration::from_millis(5));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("actors.start_events"), Some(2));
+        assert_eq!(snap.counter("actors.message_events"), Some(2));
+        assert_eq!(snap.counter("engine.events"), Some(delivered));
+        assert!(snap.gauge("engine.queue_depth_peak").unwrap_or(0) >= 2);
     }
 }

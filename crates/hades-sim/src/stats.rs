@@ -2,7 +2,9 @@
 //!
 //! Experiments summarise response-time and latency samples; [`Summary`]
 //! computes exact order statistics over `Duration` samples (integer ticks,
-//! no floating-point on the data path).
+//! no floating-point on the data path). Summaries retain their samples so
+//! [`Summary::merge`] can combine per-shard results with *exact* — not
+//! approximated — percentiles over the union.
 
 use hades_time::Duration;
 
@@ -23,6 +25,10 @@ pub struct Summary {
     pub p95: Duration,
     /// 99th percentile (nearest-rank).
     pub p99: Duration,
+    /// 99.9th percentile (nearest-rank, per-mille resolution).
+    pub p999: Duration,
+    /// The sorted samples, retained for exact [`Summary::merge`].
+    samples: Vec<Duration>,
 }
 
 impl Summary {
@@ -33,34 +39,63 @@ impl Summary {
         }
         let mut sorted = samples.to_vec();
         sorted.sort_unstable();
+        Some(Summary::of_sorted(sorted))
+    }
+
+    fn of_sorted(sorted: Vec<Duration>) -> Summary {
+        let n = sorted.len();
         let total: u128 = sorted.iter().map(|d| d.as_nanos() as u128).sum();
-        let rank = |p: usize| {
-            // Nearest-rank percentile: ceil(p/100 · n), 1-based.
-            let n = sorted.len();
-            let idx = (p * n).div_ceil(100).max(1) - 1;
+        let rank = |permille: usize| {
+            // Nearest-rank percentile: ceil(permille/1000 · n), 1-based.
+            let idx = (permille * n).div_ceil(1000).max(1) - 1;
             sorted[idx.min(n - 1)]
         };
-        Some(Summary {
-            count: sorted.len(),
+        Summary {
+            count: n,
             min: sorted[0],
             max: *sorted.last().expect("nonempty"),
-            mean: Duration::from_nanos((total / sorted.len() as u128) as u64),
-            p50: rank(50),
-            p95: rank(95),
-            p99: rank(99),
-        })
+            mean: Duration::from_nanos((total / n as u128) as u64),
+            p50: rank(500),
+            p95: rank(950),
+            p99: rank(990),
+            p999: rank(999),
+            samples: sorted,
+        }
+    }
+
+    /// Combines two summaries into the exact summary of the union of
+    /// their samples — the per-shard aggregation primitive. Because the
+    /// underlying samples are retained, merged percentiles keep exact
+    /// nearest-rank semantics rather than being interpolated.
+    pub fn merge(&self, other: &Summary) -> Summary {
+        // Both sides are sorted: a linear merge keeps the result sorted.
+        let mut merged = Vec::with_capacity(self.samples.len() + other.samples.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.samples.len() && j < other.samples.len() {
+            if self.samples[i] <= other.samples[j] {
+                merged.push(self.samples[i]);
+                i += 1;
+            } else {
+                merged.push(other.samples[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.samples[i..]);
+        merged.extend_from_slice(&other.samples[j..]);
+        Summary::of_sorted(merged)
     }
 
     /// One-line rendering for experiment tables.
     pub fn render(&self) -> String {
         format!(
-            "n={:<5} min={:<9} mean={:<9} p50={:<9} p95={:<9} p99={:<9} max={}",
+            "n={:<5} min={:<9} mean={:<9} p50={:<9} p95={:<9} p99={:<9} p999={:<9} max={}",
             self.count,
             self.min.to_string(),
             self.mean.to_string(),
             self.p50.to_string(),
             self.p95.to_string(),
             self.p99.to_string(),
+            self.p999.to_string(),
             self.max
         )
     }
@@ -88,6 +123,7 @@ mod tests {
         assert_eq!(s.mean, us(7));
         assert_eq!(s.p50, us(7));
         assert_eq!(s.p99, us(7));
+        assert_eq!(s.p999, us(7));
     }
 
     #[test]
@@ -100,8 +136,19 @@ mod tests {
         assert_eq!(s.p50, us(50));
         assert_eq!(s.p95, us(95));
         assert_eq!(s.p99, us(99));
+        // ceil(0.999 · 100) = 100.
+        assert_eq!(s.p999, us(100));
         // mean of 1..=100 µs = 50.5 µs = 50 500 ns.
         assert_eq!(s.mean, Duration::from_nanos(50_500));
+    }
+
+    #[test]
+    fn p999_distinguishes_the_tail_at_thousand_samples() {
+        let samples: Vec<Duration> = (1..=1000).map(us).collect();
+        let s = Summary::of(&samples).unwrap();
+        assert_eq!(s.p99, us(990));
+        assert_eq!(s.p999, us(999));
+        assert_eq!(s.max, us(1000));
     }
 
     #[test]
@@ -113,11 +160,67 @@ mod tests {
     }
 
     #[test]
+    fn even_count_median_is_the_lower_middle() {
+        // Nearest-rank: ceil(0.5 · 4) = 2nd smallest.
+        let s = Summary::of(&[us(1), us(2), us(3), us(4)]).unwrap();
+        assert_eq!(s.p50, us(2));
+    }
+
+    #[test]
+    fn odd_count_median_is_the_middle() {
+        let s = Summary::of(&[us(1), us(2), us(3), us(4), us(5)]).unwrap();
+        assert_eq!(s.p50, us(3));
+    }
+
+    #[test]
+    fn merge_equals_summary_of_the_union() {
+        let a: Vec<Duration> = (1..=50).map(us).collect();
+        let b: Vec<Duration> = (51..=100).map(us).collect();
+        let merged = Summary::of(&a).unwrap().merge(&Summary::of(&b).unwrap());
+        let union: Vec<Duration> = (1..=100).map(us).collect();
+        assert_eq!(merged, Summary::of(&union).unwrap());
+    }
+
+    #[test]
+    fn merge_interleaved_and_duplicated_samples() {
+        let a = [us(5), us(1), us(9)];
+        let b = [us(5), us(2)];
+        let merged = Summary::of(&a).unwrap().merge(&Summary::of(&b).unwrap());
+        let mut union = Vec::new();
+        union.extend_from_slice(&a);
+        union.extend_from_slice(&b);
+        assert_eq!(merged, Summary::of(&union).unwrap());
+        assert_eq!(merged.count, 5);
+        assert_eq!(merged.p50, us(5));
+    }
+
+    #[test]
+    fn merge_even_and_odd_counts() {
+        // Even ∪ odd covers both median branches across the merge.
+        let even = Summary::of(&[us(10), us(20)]).unwrap();
+        let odd = Summary::of(&[us(30)]).unwrap();
+        let merged = even.merge(&odd);
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.p50, us(20));
+        let merged_even = merged.merge(&odd); // 4 samples: 10,20,30,30
+        assert_eq!(merged_even.count, 4);
+        assert_eq!(merged_even.p50, us(20), "lower middle of an even count");
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = Summary::of(&[us(3), us(1)]).unwrap();
+        let b = Summary::of(&[us(2), us(4), us(6)]).unwrap();
+        assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
     fn render_contains_fields() {
         let s = Summary::of(&[us(1), us(2)]).unwrap();
         let r = s.render();
         assert!(r.contains("n=2"));
         assert!(r.contains("min=1us"));
+        assert!(r.contains("p999=2us"));
         assert!(r.contains("max=2us"));
     }
 }

@@ -1,0 +1,93 @@
+//! Telemetry tour: metrics snapshot + protocol trace spans of one run.
+//!
+//! A 5-node cluster runs a semi-active replicated store under a
+//! closed-loop client. At t = 15 ms the group leader (node 0) crashes —
+//! the survivors fail over — and at t = 35 ms it restarts and rejoins.
+//! The spec carries an enabled telemetry [`Registry`]
+//! (`ClusterSpec::telemetry`), so the returned `ClusterRun` holds a
+//! deterministic metrics snapshot and a causally-linked span log. The
+//! example prints the failover and rejoin span trees with their
+//! engine-time phase decompositions, a few headline counters, and the
+//! first lines of the JSONL exports CI-style tooling would archive.
+//!
+//! Run with: `cargo run --example telemetry_tour`
+
+use hades::prelude::*;
+use hades_services::ReplicaStyle;
+use hades_telemetry::Registry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let us = Duration::from_micros;
+    let ms = Duration::from_millis;
+
+    let registry = Registry::enabled();
+    let mut spec = ClusterSpec::new(5)
+        .policy(Policy::Edf)
+        .costs(CostModel::measured_default())
+        .horizon(ms(60))
+        .seed(42)
+        .scenario(
+            ScenarioPlan::new()
+                .crash(NodeId(0), Time::ZERO + ms(15))
+                .restart(NodeId(0), Time::ZERO + ms(35)),
+        )
+        .telemetry(registry.clone())
+        .service(
+            ServiceSpec::replicated(
+                "store",
+                ReplicaStyle::SemiActive,
+                vec![0, 1, 2],
+                GroupLoad::default(),
+            )
+            .workload(Box::new(
+                ClosedLoop::new(us(500), ms(1), Time::ZERO + ms(2)).with_timeout(ms(4)),
+            )),
+        );
+    for node in 0..5 {
+        spec = spec.service(ServiceSpec::periodic("control", node, us(200), ms(2)));
+    }
+
+    let run = spec.run()?;
+    let telemetry = run.telemetry();
+
+    println!("== one failover, as a span tree ==");
+    for span in telemetry.spans.of_kind("failover").take(1) {
+        print!("{}", telemetry.spans.render_subtree(span.id));
+    }
+
+    println!("\n== one rejoin, as a span tree ==");
+    for span in telemetry.spans.of_kind("rejoin").take(1) {
+        print!("{}", telemetry.spans.render_subtree(span.id));
+    }
+
+    println!("\n== headline counters ==");
+    for name in [
+        "engine.events",
+        "dispatch.ctx_switches",
+        "agents.heartbeats_sent",
+        "agents.heartbeats_suppressed",
+        "group.requests_submitted",
+        "group.requests_abandoned",
+    ] {
+        println!("{name:32} {}", telemetry.metrics.counter(name).unwrap_or(0));
+    }
+    if let Some(h) = telemetry.metrics.histogram("group.response_ns") {
+        println!(
+            "group.response_ns                p50={} p99={} p999={} (n={})",
+            h.p50, h.p99, h.p999, h.count
+        );
+    }
+    println!(
+        "engine.wall_ns (volatile)        {}",
+        registry.volatile("engine.wall_ns").unwrap_or(0)
+    );
+
+    println!("\n== first lines of the JSONL exports ==");
+    for line in telemetry.metrics.to_jsonl().lines().take(3) {
+        println!("{line}");
+    }
+    for line in telemetry.spans.to_jsonl().lines().take(3) {
+        println!("{line}");
+    }
+    Ok(())
+}

@@ -28,6 +28,7 @@
 //! | [`hades_sched`] | RM/DM/EDF/Spring policies and the feasibility analyses of Section 5 |
 //! | [`hades_services`] | clock sync, reliable broadcast/multicast, crash detection, consensus, replication, storage, dependency tracking |
 //! | [`hades_cluster`] | the integrated multi-node runtime: N per-node stacks (dispatcher + policy + services) over one shared engine and network |
+//! | [`hades_telemetry`] | engine-time metrics registry, protocol trace spans, JSONL export — near-free when disabled |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use hades_sched;
 pub use hades_services;
 pub use hades_sim;
 pub use hades_task;
+pub use hades_telemetry;
 pub use hades_time;
 
 mod system;
@@ -85,5 +87,6 @@ pub mod prelude {
     pub use hades_sim::{FaultPlan, KernelModel, LinkConfig, Network, NodeId, SimRng, Summary};
     pub use hades_task::prelude::*;
     pub use hades_task::spuri::SpuriTask;
+    pub use hades_telemetry::{Registry, RunTelemetry};
     pub use hades_time::{Duration, Time};
 }
