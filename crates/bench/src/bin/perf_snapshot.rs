@@ -1,26 +1,68 @@
-//! Writes the machine-readable performance snapshot CI archives.
+//! Writes the machine-readable performance snapshot CI archives, and
+//! gates it against a committed baseline.
 //!
 //! ```text
-//! perf_snapshot [PATH]    # default: BENCH_cluster.json
+//! perf_snapshot [PATH]                  # default: BENCH_cluster.json
+//! perf_snapshot --gate BASELINE [PATH]  # default: BENCH_cluster.current.json
 //! ```
 //!
 //! The document is validated against the `hades.bench.cluster.v1`
 //! schema before anything touches the filesystem; a schema drift exits
 //! nonzero with nothing written, so CI never archives a malformed
-//! snapshot.
+//! snapshot. With `--gate`, the fresh snapshot is additionally compared
+//! to the committed baseline: `events_per_sec` and `ns_per_event` of
+//! every scenario must sit within ±25% of the baseline, or the process
+//! exits nonzero listing each drifted metric. A run *faster* than the
+//! band also fails — that is a stale baseline; re-run `perf_snapshot
+//! BENCH_cluster.json` on a quiet machine and commit the result.
+
+const GATE_TOLERANCE_PCT: f64 = 25.0;
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_cluster.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, out_path) = match args.first().map(String::as_str) {
+        Some("--gate") => {
+            let Some(baseline) = args.get(1) else {
+                eprintln!("perf_snapshot: --gate requires a baseline path");
+                std::process::exit(2);
+            };
+            let out = args
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_cluster.current.json".to_string());
+            (Some(baseline.clone()), out)
+        }
+        Some(path) => (None, path.to_string()),
+        None => (None, "BENCH_cluster.json".to_string()),
+    };
+
     let doc = bench::perf::build_snapshot();
     if let Err(e) = bench::perf::validate_snapshot(&doc) {
         eprintln!("perf_snapshot: generated document fails its own schema: {e}");
         std::process::exit(1);
     }
-    if let Err(e) = std::fs::write(&path, &doc) {
-        eprintln!("perf_snapshot: cannot write {path}: {e}");
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("perf_snapshot: cannot write {out_path}: {e}");
         std::process::exit(1);
     }
-    println!("wrote {path} ({} bytes)", doc.len());
+    println!("wrote {out_path} ({} bytes)", doc.len());
+
+    if let Some(baseline_path) = baseline_path {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("perf_snapshot: cannot read baseline {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match bench::perf::compare_snapshots(&doc, &baseline, GATE_TOLERANCE_PCT) {
+            Ok(()) => {
+                println!("gate: all scenarios within ±{GATE_TOLERANCE_PCT:.0}% of {baseline_path}")
+            }
+            Err(e) => {
+                eprintln!("perf_snapshot: regression gate failed against {baseline_path}:\n{e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

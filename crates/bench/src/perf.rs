@@ -285,6 +285,105 @@ pub fn perf_snapshot() -> String {
     doc
 }
 
+/// Gates `current` against the committed `baseline`: for every scenario
+/// the two documents share by name, `events_per_sec` and `ns_per_event`
+/// must sit within `±tolerance_pct` of the baseline value. A scenario
+/// present on one side only also fails — a silently dropped scenario is
+/// how a gate rots.
+///
+/// The band is symmetric on purpose: a run 30% *faster* than the
+/// committed numbers is not a failure of the engine, but it is a stale
+/// baseline, and the fix (re-run `perf_snapshot` and commit the result)
+/// is the same either way.
+///
+/// # Errors
+///
+/// One message per out-of-band metric or unmatched scenario, joined by
+/// newlines; parse/schema failures of either document report alone.
+pub fn compare_snapshots(current: &str, baseline: &str, tolerance_pct: f64) -> Result<(), String> {
+    fn scenario_metrics(doc: &str, which: &str) -> Result<Vec<(String, f64, f64)>, String> {
+        validate_snapshot(doc).map_err(|e| format!("{which} snapshot invalid: {e}"))?;
+        let parsed = Json::parse(doc).map_err(|e| format!("{which} snapshot unreadable: {e}"))?;
+        let scenarios = parsed
+            .get("scenarios")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{which} snapshot has no scenarios"))?;
+        scenarios
+            .iter()
+            .map(|s| {
+                let name = s
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{which} snapshot: unnamed scenario"))?
+                    .to_string();
+                let eps = s
+                    .get("events_per_sec")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                let nspe = s.get("ns_per_event").and_then(Json::as_f64).unwrap_or(0.0);
+                Ok((name, eps, nspe))
+            })
+            .collect()
+    }
+    let current = scenario_metrics(current, "current")?;
+    let baseline = scenario_metrics(baseline, "baseline")?;
+
+    let mut failures = Vec::new();
+    fn check(
+        failures: &mut Vec<String>,
+        tolerance_pct: f64,
+        name: &str,
+        metric: &str,
+        cur: f64,
+        base: f64,
+    ) {
+        if base <= 0.0 {
+            failures.push(format!("{name}: baseline {metric} is {base}, cannot gate"));
+            return;
+        }
+        let drift_pct = (cur - base) * 100.0 / base;
+        if drift_pct.abs() > tolerance_pct {
+            failures.push(format!(
+                "{name}: {metric} drifted {drift_pct:+.1}% \
+                 (current {cur:.0}, baseline {base:.0}, tolerance ±{tolerance_pct:.0}%)"
+            ));
+        }
+    }
+    for (name, eps, nspe) in &current {
+        match baseline.iter().find(|(b, _, _)| b == name) {
+            Some((_, base_eps, base_nspe)) => {
+                check(
+                    &mut failures,
+                    tolerance_pct,
+                    name,
+                    "events_per_sec",
+                    *eps,
+                    *base_eps,
+                );
+                check(
+                    &mut failures,
+                    tolerance_pct,
+                    name,
+                    "ns_per_event",
+                    *nspe,
+                    *base_nspe,
+                );
+            }
+            None => failures.push(format!("{name}: present in current, missing from baseline")),
+        }
+    }
+    for (name, _, _) in &baseline {
+        if !current.iter().any(|(c, _, _)| c == name) {
+            failures.push(format!("{name}: present in baseline, missing from current"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +402,58 @@ mod tests {
              \"baseline_wall_ns\":1,\"overhead_pct\":0.0},\"peak_rss_bytes\":0}",
         );
         validate_snapshot(&doc).expect("well-formed snapshot");
+    }
+
+    fn doc_with(scenarios: &[(&str, f64, f64)]) -> String {
+        let mut doc = String::from("{\"schema\":\"hades.bench.cluster.v1\",\"scenarios\":[");
+        for (i, (name, eps, nspe)) in scenarios.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            let _ = write!(
+                doc,
+                "{{\"name\":\"{name}\",\"nodes\":4,\"events\":1000,\"wall_ns\":1000,\
+                 \"ns_per_event\":{nspe},\"events_per_sec\":{eps},\
+                 \"heartbeats_sent\":1,\"heartbeats_per_sec\":1,\
+                 \"peak_queue_depth\":1,\"ctx_switches\":1,\"abandoned\":0,\
+                 \"response_ns\":{{\"count\":0,\"p50\":0,\"p99\":0,\"p999\":0}}}}"
+            );
+        }
+        doc.push_str(
+            "],\"overhead\":{\"nodes\":4,\"instrumented_wall_ns\":1,\
+             \"baseline_wall_ns\":1,\"overhead_pct\":0.0},\"peak_rss_bytes\":0}",
+        );
+        doc
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let base = doc_with(&[("a", 1000.0, 100.0), ("b", 2000.0, 50.0)]);
+        let cur = doc_with(&[("a", 1200.0, 90.0), ("b", 1800.0, 55.0)]);
+        compare_snapshots(&cur, &base, 25.0).expect("within ±25%");
+    }
+
+    #[test]
+    fn gate_fails_on_regression_speedup_and_drift() {
+        let base = doc_with(&[("a", 1000.0, 100.0)]);
+        // 50% slower: both metrics out of band.
+        let err = compare_snapshots(&doc_with(&[("a", 500.0, 200.0)]), &base, 25.0)
+            .expect_err("regression must fail the gate");
+        assert!(err.contains("events_per_sec"), "{err}");
+        assert!(err.contains("ns_per_event"), "{err}");
+        // 2x faster: a stale baseline also fails (symmetric band).
+        assert!(compare_snapshots(&doc_with(&[("a", 2000.0, 50.0)]), &base, 25.0).is_err());
+        // Scenario sets must match exactly.
+        let err = compare_snapshots(
+            &doc_with(&[("a", 1000.0, 100.0), ("x", 1.0, 1.0)]),
+            &base,
+            25.0,
+        )
+        .expect_err("extra scenario must fail");
+        assert!(err.contains("missing from baseline"), "{err}");
+        let err =
+            compare_snapshots(&doc_with(&[]), &base, 25.0).expect_err("empty current must fail");
+        assert!(err.contains("invalid"), "{err}");
     }
 
     #[test]

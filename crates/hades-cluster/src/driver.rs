@@ -37,6 +37,7 @@
 
 use crate::events::ClusterEvent;
 use crate::scenario::ScenarioPlan;
+use crate::watch::WatchdogHarness;
 use hades_services::group::{RequestSource, GN_WAKE};
 use hades_sim::mux::{ActorCtx, ActorEvent, ActorId, ControlOp, NetActor};
 use hades_sim::NodeId;
@@ -490,6 +491,15 @@ impl ControlState {
                     latency: now - *restarted_at,
                 });
             }
+            // Rejoin phase transitions and suspicion clears feed the live
+            // span tracker and the invariant watchdog, not the cluster
+            // event stream.
+            AgentEvent::SuspicionCleared { .. }
+            | AgentEvent::RejoinAnnounced
+            | AgentEvent::TransferStarted
+            | AgentEvent::TransferProgress { .. }
+            | AgentEvent::TransferCompleted
+            | AgentEvent::ReplayCompleted => {}
         }
         self.pending.len() > before
     }
@@ -514,6 +524,12 @@ impl ControlState {
                 });
                 true
             }
+            // Per-request order/deliver/emit marks feed the live span
+            // tracker and the invariant watchdog, not the cluster event
+            // stream.
+            hades_services::GroupEvent::Submitted { .. }
+            | hades_services::GroupEvent::Delivered { .. }
+            | hades_services::GroupEvent::Emitted { .. } => false,
         }
     }
 
@@ -545,6 +561,9 @@ impl ControlState {
 
 /// Control-actor timer tag: the periodic driver tick.
 const CK_TICK: u64 = 1;
+/// Control-actor timer tag: a watchdog deadline (stalled transfer or
+/// silent group) falls due.
+const CK_WATCH: u64 = 2;
 /// Control-actor timer tag base: scripted mode-change event emission
 /// (`CK_MODE + index`).
 const CK_MODE: u64 = 16;
@@ -564,6 +583,11 @@ pub(crate) struct ControlActor {
     /// `(script_at, released_at)` of the statically lowered mode
     /// changes; their events are emitted online at the script instant.
     mode_marks: Vec<(Time, Time)>,
+    /// The online invariant watchdog, when the spec registered
+    /// monitors. Shared with the tap closures, which feed it
+    /// observations; the control actor drains its violations into the
+    /// event stream and arms its deadlines as engine timers.
+    watchdog: Option<Rc<RefCell<WatchdogHarness>>>,
 }
 
 impl fmt::Debug for ControlActor {
@@ -576,6 +600,7 @@ impl fmt::Debug for ControlActor {
 }
 
 impl ControlActor {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         drivers: Vec<Box<dyn ScenarioDriver>>,
         state: Rc<RefCell<ControlState>>,
@@ -584,6 +609,7 @@ impl ControlActor {
         horizon: Time,
         tick: Duration,
         mode_marks: Vec<(Time, Time)>,
+        watchdog: Option<Rc<RefCell<WatchdogHarness>>>,
     ) -> Self {
         ControlActor {
             drivers,
@@ -593,6 +619,35 @@ impl ControlActor {
             horizon,
             tick,
             mode_marks,
+            watchdog,
+        }
+    }
+
+    /// Drains the watchdog: fires due deadlines, surfaces every fresh
+    /// violation as an [`ClusterEvent::InvariantViolated`] at the
+    /// engine instant the monitor detected it, and arms the deadlines
+    /// the monitors requested as engine timers.
+    fn service_watchdog(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
+        let Some(watchdog) = &self.watchdog else {
+            return;
+        };
+        let (violations, arm) = watchdog.borrow_mut().service(now);
+        if !violations.is_empty() {
+            let mut state = self.state.borrow_mut();
+            for v in violations {
+                state.push(ClusterEvent::InvariantViolated {
+                    monitor: v.monitor,
+                    node: v.node,
+                    group: v.group,
+                    message: v.message,
+                    at: v.at,
+                });
+            }
+        }
+        for at in arm {
+            if at <= self.horizon {
+                ctx.timer_at(at, CK_WATCH);
+            }
         }
     }
 
@@ -796,16 +851,25 @@ impl NetActor for ControlActor {
                 for idx in 0..self.drivers.len() {
                     self.call_driver(idx, now, ctx, |d, ctl| d.on_start(now, ctl));
                 }
+                self.service_watchdog(now, ctx);
                 self.drain_pending(now, ctx);
                 if !self.tick.is_zero() && now + self.tick <= self.horizon {
                     ctx.timer_after(self.tick, CK_TICK);
                 }
             }
-            ActorEvent::Notify { .. } => self.drain_pending(now, ctx),
+            ActorEvent::Notify { .. } => {
+                self.service_watchdog(now, ctx);
+                self.drain_pending(now, ctx);
+            }
+            ActorEvent::Timer { tag: CK_WATCH } => {
+                self.service_watchdog(now, ctx);
+                self.drain_pending(now, ctx);
+            }
             ActorEvent::Timer { tag: CK_TICK } => {
                 for idx in 0..self.drivers.len() {
                     self.call_driver(idx, now, ctx, |d, ctl| d.on_tick(now, ctl));
                 }
+                self.service_watchdog(now, ctx);
                 self.drain_pending(now, ctx);
                 if now + self.tick <= self.horizon {
                     ctx.timer_after(self.tick, CK_TICK);

@@ -29,7 +29,8 @@
 
 use crate::report::ClusterReport;
 use hades_task::TaskId;
-use hades_telemetry::RunTelemetry;
+use hades_telemetry::monitor::Violation;
+use hades_telemetry::{RunTelemetry, SpanLog};
 use hades_time::{Duration, Time};
 
 /// One externally visible transition of a cluster run.
@@ -134,6 +135,23 @@ pub enum ClusterEvent {
         /// The retune instant.
         at: Time,
     },
+    /// An online invariant monitor raised a violation (see
+    /// [`hades_telemetry::monitor`]). Only emitted when the spec was
+    /// built with [`crate::ClusterSpec::monitors`]; drivers observe it
+    /// at the violation's engine instant, which makes the watchdog the
+    /// oracle of reactive chaos scenarios.
+    InvariantViolated {
+        /// Name of the monitor that raised it (e.g. `delta-bound`).
+        monitor: String,
+        /// The node the violation centres on, when there is one.
+        node: Option<u32>,
+        /// The replica group concerned, when there is one.
+        group: Option<u32>,
+        /// Human-readable description of the broken invariant.
+        message: String,
+        /// The detection instant.
+        at: Time,
+    },
 }
 
 impl ClusterEvent {
@@ -149,7 +167,8 @@ impl ClusterEvent {
             | ClusterEvent::DeadlineMiss { at, .. }
             | ClusterEvent::ServiceRetired { at, .. }
             | ClusterEvent::ServiceAdmitted { at, .. }
-            | ClusterEvent::WorkloadRetuned { at, .. } => *at,
+            | ClusterEvent::WorkloadRetuned { at, .. }
+            | ClusterEvent::InvariantViolated { at, .. } => *at,
         }
     }
 
@@ -166,6 +185,7 @@ impl ClusterEvent {
             ClusterEvent::ServiceRetired { .. } => "service-retired",
             ClusterEvent::ServiceAdmitted { .. } => "service-admitted",
             ClusterEvent::WorkloadRetuned { .. } => "workload-retuned",
+            ClusterEvent::InvariantViolated { .. } => "invariant-violated",
         }
     }
 
@@ -183,6 +203,7 @@ impl ClusterEvent {
             ClusterEvent::Handoff { to, .. } => *to,
             ClusterEvent::RejoinCompleted { node, .. }
             | ClusterEvent::DeadlineMiss { node, .. } => *node,
+            ClusterEvent::InvariantViolated { node, .. } => node.unwrap_or(u32::MAX),
             ClusterEvent::ViewInstalled { .. }
             | ClusterEvent::ModeChanged { .. }
             | ClusterEvent::ServiceRetired { .. }
@@ -204,6 +225,7 @@ impl ClusterEvent {
             ClusterEvent::ServiceRetired { .. } => 7,
             ClusterEvent::ServiceAdmitted { .. } => 8,
             ClusterEvent::WorkloadRetuned { .. } => 9,
+            ClusterEvent::InvariantViolated { .. } => 10,
         }
     }
 }
@@ -217,6 +239,8 @@ pub struct ClusterRun {
     report: ClusterReport,
     events: Vec<ClusterEvent>,
     telemetry: RunTelemetry,
+    violations: Vec<Violation>,
+    minted_spans: Option<SpanLog>,
 }
 
 impl ClusterRun {
@@ -229,11 +253,23 @@ impl ClusterRun {
             report,
             events,
             telemetry: RunTelemetry::default(),
+            violations: Vec::new(),
+            minted_spans: None,
         }
     }
 
     pub(crate) fn with_telemetry(mut self, telemetry: RunTelemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    pub(crate) fn with_violations(mut self, violations: Vec<Violation>) -> Self {
+        self.violations = violations;
+        self
+    }
+
+    pub(crate) fn with_minted_spans(mut self, spans: SpanLog) -> Self {
+        self.minted_spans = Some(spans);
         self
     }
 
@@ -267,6 +303,26 @@ impl ClusterRun {
     /// sequence assertions compare against.
     pub fn kind_sequence(&self) -> Vec<&'static str> {
         self.events.iter().map(|e| e.kind()).collect()
+    }
+
+    /// Every invariant violation the run's watchdog raised, in
+    /// detection order. Empty unless the spec was built with
+    /// [`crate::ClusterSpec::monitors`]. Each violation also appears in
+    /// the event stream as [`ClusterEvent::InvariantViolated`];
+    /// [`hades_telemetry::monitor::violations_to_jsonl`] exports this
+    /// list as schema-validated JSONL.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The post-run *minted* span trees — the parity oracle of the live
+    /// tracker: spans in [`ClusterRun::telemetry`] are emitted at engine
+    /// time from the observation taps, and this log re-derives the same
+    /// trees from the report records afterwards. The two are asserted
+    /// byte-identical (JSONL) by the workspace's property tests.
+    /// `None` unless telemetry was enabled.
+    pub fn minted_spans(&self) -> Option<&SpanLog> {
+        self.minted_spans.as_ref()
     }
 
     /// Consumes the run, keeping the aggregate report.

@@ -80,10 +80,12 @@
 
 pub mod driver;
 pub mod events;
+mod livespan;
 pub mod middleware;
 pub mod report;
 pub mod scenario;
 pub mod spec;
+mod watch;
 pub mod workload;
 
 pub use driver::{ControlHandle, PlanDriver, ScenarioDriver};

@@ -1,0 +1,372 @@
+//! Live protocol-trace tracking: accumulates every span-relevant
+//! observation **at engine time** from the agent/group taps, then seals
+//! the [`SpanLog`] at the end of the run.
+//!
+//! Before this module, trace spans were minted post-run from the report
+//! records (`ClusterSpec::build_spans`); the tracker derives the same
+//! trees from nothing but the online tap feeds — proving the taps carry
+//! the full protocol story — and the post-run minting is demoted to a
+//! parity oracle ([`crate::ClusterRun::minted_spans`]). The workspace's
+//! property tests assert the two span logs byte-identical (JSONL).
+//!
+//! # Timing contract
+//!
+//! Every timestamp in the sealed log is the engine instant the tracker
+//! *observed* the corresponding tap event — never a post-hoc estimate.
+//! Span trees are sealed at the horizon in the canonical category order
+//! (rejoins, failovers, takeovers, views, requests) so span ids stay a
+//! deterministic function of spec and seed; flows still open when the
+//! horizon strikes (an unfinished rejoin, an unanswered request) mint no
+//! span, exactly like the record-based oracle.
+
+use std::collections::BTreeMap;
+
+use hades_services::{AgentEvent, GroupEvent};
+use hades_sim::NodeId;
+use hades_telemetry::{SpanId, SpanLog};
+use hades_time::Time;
+
+use crate::scenario::ScenarioPlan;
+use crate::ClusterEvent;
+
+/// One rejoin flow currently in progress (announce seen, re-admission
+/// pending).
+#[derive(Debug, Default, Clone)]
+struct OpenRejoin {
+    transfer_started_at: Option<Time>,
+    replay_completed_at: Option<Time>,
+}
+
+/// One completed rejoin flow, mirroring the agent's own
+/// `RejoinRecord` timestamps (missing phase marks collapse onto the
+/// re-admission instant, exactly like the agent's record).
+#[derive(Debug, Clone)]
+struct LiveRejoin {
+    restarted_at: Time,
+    transfer_started_at: Time,
+    replay_completed_at: Time,
+    readmitted_at: Time,
+    view: u32,
+}
+
+/// Per-member flow marks of one replica group, in observation order —
+/// the live mirror of the member's `GroupLog` request entries.
+#[derive(Debug, Default, Clone)]
+struct MemberFlows {
+    submitted: Vec<(u64, Time)>,
+    delivered: Vec<(u64, Time, Time)>,
+    emitted: Vec<(u64, Time)>,
+    handoffs: Vec<(u32, u32, Time)>,
+}
+
+/// Accumulates tap observations at engine time and seals them into the
+/// canonical span trees at the end of the run.
+#[derive(Debug)]
+pub(crate) struct LiveSpanTracker {
+    nodes: u32,
+    cap: Option<usize>,
+    /// Every suspicion across all observers: `(observer, suspect, at)`.
+    suspicions: Vec<(u32, u32, Time)>,
+    /// Per-node view installs: `(number, members, at)` in install order.
+    views: Vec<Vec<(u32, Vec<u32>, Time)>>,
+    open_rejoins: BTreeMap<u32, OpenRejoin>,
+    /// Per-node completed rejoins, in completion order.
+    rejoins: Vec<Vec<LiveRejoin>>,
+    /// group -> member node -> that member's flow marks.
+    groups: BTreeMap<u32, BTreeMap<u32, MemberFlows>>,
+}
+
+impl LiveSpanTracker {
+    pub(crate) fn new(nodes: u32, cap: Option<usize>) -> Self {
+        LiveSpanTracker {
+            nodes,
+            cap,
+            suspicions: Vec::new(),
+            views: vec![Vec::new(); nodes as usize],
+            open_rejoins: BTreeMap::new(),
+            rejoins: vec![Vec::new(); nodes as usize],
+            groups: BTreeMap::new(),
+        }
+    }
+
+    /// Observes one agent tap event at its engine instant.
+    pub(crate) fn on_agent_event(&mut self, now: Time, node: u32, ev: &AgentEvent) {
+        match ev {
+            AgentEvent::Suspected { suspect } => {
+                self.suspicions.push((node, *suspect, now));
+            }
+            AgentEvent::ViewInstalled { number, members } => {
+                self.views[node as usize].push((*number, members.clone(), now));
+            }
+            AgentEvent::RejoinAnnounced => {
+                // A re-announce (self-heal) replaces the open flow, like
+                // the agent's own pending record.
+                self.open_rejoins.insert(node, OpenRejoin::default());
+            }
+            AgentEvent::TransferStarted => {
+                if let Some(open) = self.open_rejoins.get_mut(&node) {
+                    // A superseded stream restarts the mark, mirroring
+                    // the agent's overwrite.
+                    open.transfer_started_at = Some(now);
+                }
+            }
+            AgentEvent::ReplayCompleted => {
+                if let Some(open) = self.open_rejoins.get_mut(&node) {
+                    open.replay_completed_at = Some(now);
+                }
+            }
+            AgentEvent::RejoinCompleted { view, restarted_at } => {
+                let open = self.open_rejoins.remove(&node).unwrap_or_default();
+                self.rejoins[node as usize].push(LiveRejoin {
+                    restarted_at: *restarted_at,
+                    transfer_started_at: open.transfer_started_at.unwrap_or(now),
+                    replay_completed_at: open.replay_completed_at.unwrap_or(now),
+                    readmitted_at: now,
+                    view: *view,
+                });
+            }
+            AgentEvent::SuspicionCleared { .. }
+            | AgentEvent::TransferProgress { .. }
+            | AgentEvent::TransferCompleted => {}
+        }
+    }
+
+    /// Observes one group tap event at its engine instant.
+    pub(crate) fn on_group_event(&mut self, now: Time, group: u32, node: u32, ev: &GroupEvent) {
+        let flows = self
+            .groups
+            .entry(group)
+            .or_default()
+            .entry(node)
+            .or_default();
+        match ev {
+            GroupEvent::Submitted { id } => flows.submitted.push((*id, now)),
+            GroupEvent::Delivered { id, ts } => flows.delivered.push((*id, *ts, now)),
+            GroupEvent::Emitted { id } => flows.emitted.push((*id, now)),
+            GroupEvent::Handoff { from, to } => flows.handoffs.push((*from, *to, now)),
+        }
+    }
+
+    /// Seals the observations into the canonical span trees. `applied`
+    /// is the run's applied fault script (crash windows classify rejoin
+    /// completions and anchor failovers) and `events` the sorted cluster
+    /// event stream (the view-agreement spans follow its order, like the
+    /// record-based oracle).
+    pub(crate) fn finalize(&self, applied: &ScenarioPlan, events: &[ClusterEvent]) -> SpanLog {
+        let mut spans = match self.cap {
+            Some(cap) => SpanLog::with_cap(cap),
+            None => SpanLog::new(),
+        };
+
+        // Rejoins: only completions matching an applied restart window
+        // count (self-heal re-entries mid-run mirror the report's
+        // classification), ordered by (restart, node).
+        struct Rec {
+            node: u32,
+            crashed_at: Time,
+            rejoin: LiveRejoin,
+            detected_at: Option<Time>,
+        }
+        let mut recs: Vec<Rec> = Vec::new();
+        for node in 0..self.nodes {
+            let windows = applied.down_windows(NodeId(node));
+            for rj in &self.rejoins[node as usize] {
+                let Some((crashed_at, _)) = windows
+                    .iter()
+                    .find(|(_, r)| *r == Some(rj.restarted_at))
+                    .copied()
+                else {
+                    continue;
+                };
+                let detected_at = (0..self.nodes)
+                    .filter(|observer| *observer != node)
+                    .filter_map(|observer| {
+                        self.suspicions
+                            .iter()
+                            .filter(|(o, s, at)| {
+                                *o == observer
+                                    && *s == node
+                                    && *at >= crashed_at
+                                    && *at < rj.restarted_at
+                            })
+                            .map(|(_, _, at)| *at)
+                            .min()
+                    })
+                    .min();
+                recs.push(Rec {
+                    node,
+                    crashed_at,
+                    rejoin: rj.clone(),
+                    detected_at,
+                });
+            }
+        }
+        recs.sort_by_key(|r| (r.rejoin.restarted_at, r.node));
+        for r in &recs {
+            let rj = &r.rejoin;
+            let root = spans.root(
+                "rejoin",
+                &format!("node {} rejoin -> view {}", r.node, rj.view),
+                Some(r.node),
+                rj.restarted_at,
+                rj.readmitted_at,
+            );
+            if let Some(detected) = r.detected_at {
+                spans.child(
+                    root,
+                    "detect",
+                    "crash detected by survivors",
+                    Some(r.node),
+                    r.crashed_at,
+                    detected,
+                );
+            }
+            spans.phase(root, "announce", rj.restarted_at, rj.transfer_started_at);
+            spans.phase(
+                root,
+                "transfer+replay",
+                rj.transfer_started_at,
+                rj.replay_completed_at,
+            );
+            spans.phase(root, "readmit", rj.replay_completed_at, rj.readmitted_at);
+        }
+
+        // Failovers: the reference view history is the first
+        // never-crashed node's install sequence, like the report's.
+        let survivors: Vec<u32> = (0..self.nodes)
+            .filter(|n| applied.crash_time(NodeId(*n)).is_none())
+            .collect();
+        let empty: Vec<(u32, Vec<u32>, Time)> = Vec::new();
+        let reference_views = survivors
+            .first()
+            .map(|n| &self.views[*n as usize])
+            .unwrap_or(&empty);
+        let mut failover_spans: Vec<(SpanId, u32, Time)> = Vec::new();
+        for (crashed, crash_at) in applied.crashes() {
+            let Some(current) = reference_views.iter().rfind(|(_, _, at)| *at <= *crash_at) else {
+                continue;
+            };
+            if current.1.first() != Some(&crashed.0) {
+                continue;
+            }
+            let Some(next) = reference_views.iter().find(|(n, _, _)| *n == current.0 + 1) else {
+                continue;
+            };
+            let Some(&new_primary) = next.1.first() else {
+                continue;
+            };
+            let taken_over_at = self.views[new_primary as usize]
+                .iter()
+                .find(|(n, _, _)| *n == next.0)
+                .map(|(_, _, at)| *at)
+                .unwrap_or(next.2);
+            let root = spans.root(
+                "failover",
+                &format!("primary {} -> {}", crashed.0, new_primary),
+                Some(new_primary),
+                *crash_at,
+                taken_over_at,
+            );
+            let detected = self
+                .suspicions
+                .iter()
+                .filter(|(_, s, at)| *s == crashed.0 && *at >= *crash_at && *at <= taken_over_at)
+                .map(|(_, _, at)| *at)
+                .min();
+            if let Some(det) = detected {
+                spans.phase(root, "detect", *crash_at, det);
+                spans.phase(root, "agree", det, taken_over_at);
+            }
+            failover_spans.push((root, crashed.0, *crash_at));
+        }
+
+        // Group-leadership takeovers, per group in (at, to) order.
+        for (g, members) in &self.groups {
+            let mut handoffs: Vec<(u32, u32, Time)> = members
+                .values()
+                .flat_map(|f| f.handoffs.iter().copied())
+                .collect();
+            handoffs.sort_by_key(|(_, to, at)| (*at, *to));
+            for (from, to, at) in handoffs {
+                let parent = failover_spans
+                    .iter()
+                    .filter(|(_, failed, f_at)| *failed == from && *f_at <= at)
+                    .max_by_key(|(_, _, f_at)| *f_at)
+                    .copied();
+                let label = format!("group {g} leadership {from} -> {to}");
+                match parent {
+                    Some((p, _, crashed_at)) => {
+                        spans.child(p, "takeover", &label, Some(to), crashed_at, at);
+                    }
+                    None => {
+                        spans.root("takeover", &label, Some(to), at, at);
+                    }
+                }
+            }
+        }
+
+        // View agreements, following the sorted cluster event stream.
+        let mut last_detect: Option<Time> = None;
+        for e in events {
+            match e {
+                ClusterEvent::Detected { at, .. } => last_detect = Some(*at),
+                ClusterEvent::ViewInstalled {
+                    number,
+                    members,
+                    at,
+                } => {
+                    let start = last_detect.filter(|d| *d <= *at).unwrap_or(*at);
+                    spans.root(
+                        "view",
+                        &format!("view {} ({} members)", number, members.len()),
+                        None,
+                        start,
+                        *at,
+                    );
+                }
+                _ => {}
+            }
+        }
+
+        // Client requests: fold member marks in member order, then mint
+        // per id ascending — the same fold as the record-based oracle.
+        for (g, members) in &self.groups {
+            let mut submitted: BTreeMap<u64, Time> = BTreeMap::new();
+            let mut ordered: BTreeMap<u64, (Time, Time)> = BTreeMap::new();
+            let mut emitted: BTreeMap<u64, Time> = BTreeMap::new();
+            for flows in members.values() {
+                for (id, at) in &flows.submitted {
+                    let e = submitted.entry(*id).or_insert(*at);
+                    *e = (*e).min(*at);
+                }
+                for (id, ts, delivered_at) in &flows.delivered {
+                    let e = ordered.entry(*id).or_insert((*ts, *delivered_at));
+                    e.1 = e.1.min(*delivered_at);
+                }
+                for (id, at) in &flows.emitted {
+                    let e = emitted.entry(*id).or_insert(*at);
+                    *e = (*e).min(*at);
+                }
+            }
+            for (id, sub) in &submitted {
+                let Some(out) = emitted.get(id) else { continue };
+                let root = spans.root(
+                    "request",
+                    &format!("group {g} request {id}"),
+                    None,
+                    *sub,
+                    (*out).max(*sub),
+                );
+                if let Some((ts, delivered)) = ordered.get(id) {
+                    let ts = (*ts).max(*sub);
+                    let delivered = (*delivered).max(ts);
+                    spans.phase(root, "order", *sub, ts);
+                    spans.phase(root, "deliver", ts, delivered);
+                    spans.phase(root, "emit", delivered, (*out).max(delivered));
+                }
+            }
+        }
+
+        spans
+    }
+}

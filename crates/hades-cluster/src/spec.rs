@@ -52,9 +52,11 @@ use crate::driver::{
     ControlActor, ControlState, ScenarioDriver, ServiceControl, ServiceControlKind,
 };
 use crate::events::ClusterRun;
+use crate::livespan::LiveSpanTracker;
 use crate::middleware::{GroupLoad, MiddlewareConfig, MIDDLEWARE_TASK_BASE};
 use crate::report;
 use crate::scenario::{ModeChangeScript, ScenarioPlan};
+use crate::watch::WatchdogHarness;
 use crate::workload::{ConstantRate, Workload};
 use crate::PlanDriver;
 use hades_dispatch::{CostModel, DispatchSim, SimConfig};
@@ -69,7 +71,8 @@ use hades_sim::{KernelModel, LinkConfig, Network, NodeId, SimRng};
 use hades_task::spuri::SpuriTask;
 use hades_task::task::TaskSetError;
 use hades_task::{Task, TaskId, TaskSet};
-use hades_telemetry::{Registry, RunTelemetry, SpanLog};
+use hades_telemetry::monitor::MonitorParams;
+use hades_telemetry::{Registry, RunTelemetry, SpanLog, Watchdog};
 use hades_time::{Duration, Time};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -482,6 +485,8 @@ pub struct ClusterSpec {
     drivers: Vec<Box<dyn ScenarioDriver>>,
     driver_tick: Duration,
     telemetry: Registry,
+    watchdog: Option<Watchdog>,
+    span_cap: Option<usize>,
 }
 
 impl ClusterSpec {
@@ -503,6 +508,8 @@ impl ClusterSpec {
             drivers: Vec::new(),
             driver_tick: Duration::from_millis(1),
             telemetry: Registry::disabled(),
+            watchdog: None,
+            span_cap: None,
         }
     }
 
@@ -590,6 +597,33 @@ impl ClusterSpec {
         self
     }
 
+    /// Attaches an online invariant [`Watchdog`]: its monitors consume
+    /// the engine-time agent/group feeds during the run and check
+    /// cluster-wide invariants — cross-agent view agreement, the
+    /// per-output Δ-bound, duplicate-output suppression, stalled state
+    /// transfers and silent groups — with every bound derived from this
+    /// spec's own timing model (`Δ + δmax`, the analytic rejoin bound).
+    /// Each violation surfaces as a
+    /// [`crate::ClusterEvent::InvariantViolated`] at the engine instant
+    /// the monitor detected it, so [`ScenarioDriver`]s can react to it
+    /// during the run; [`crate::ClusterRun::violations`] collects them
+    /// afterwards. Unlike telemetry, monitors are opt-in precisely
+    /// because reacting to a violation *may* perturb the run (the
+    /// watchdog wakes the control actor); with no drivers attached the
+    /// report still matches a monitor-less run.
+    pub fn monitors(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Caps the protocol-trace span log at `cap` spans: once over, the
+    /// oldest whole span tree is dropped and counted in
+    /// [`hades_telemetry::SpanLog::spans_dropped`]. Uncapped by default.
+    pub fn span_cap(mut self, cap: usize) -> Self {
+        self.span_cap = Some(cap);
+        self
+    }
+
     /// Adds one typed service.
     pub fn service(mut self, service: ServiceSpec) -> Self {
         self.services.push(service);
@@ -652,7 +686,8 @@ impl ClusterSpec {
     pub fn run(mut self) -> Result<ClusterRun, SpecError> {
         let lowered = self.lower()?;
         let drivers = std::mem::take(&mut self.drivers);
-        lowered.execute(drivers, self.driver_tick)
+        let watchdog = self.watchdog.take();
+        lowered.execute(drivers, self.driver_tick, watchdog, self.span_cap)
     }
 
     /// The offline-known fault script: the spec's own scenario merged
@@ -971,6 +1006,8 @@ impl Lowered {
         self,
         drivers: Vec<Box<dyn ScenarioDriver>>,
         driver_tick: Duration,
+        watchdog: Option<Watchdog>,
+        span_cap: Option<usize>,
     ) -> Result<ClusterRun, SpecError> {
         let detection_bound = self
             .agent_config(NodeId(0))
@@ -1156,11 +1193,49 @@ impl Lowered {
         let postbox = sim.postbox();
         let total_members: u32 = self.groups.iter().map(|g| g.members.len() as u32).sum();
         let control_id = ActorId(self.nodes + total_members);
+        // Live span tracking rides the same taps as the control plane:
+        // it only records, never notifies, so attaching telemetry stays
+        // pure observation.
+        let live: Option<Rc<RefCell<LiveSpanTracker>>> = self
+            .telemetry
+            .is_enabled()
+            .then(|| Rc::new(RefCell::new(LiveSpanTracker::new(self.nodes, span_cap))));
+        // The invariant watchdog's bounds come from the spec's own
+        // timing model: a healthy group answers within `Δ + δmax`, a
+        // healthy rejoin completes within the analytic rejoin bound.
+        let harness: Option<Rc<RefCell<WatchdogHarness>>> = watchdog.map(|dog| {
+            let output_bound = self.group_delta() + self.link.delay_max;
+            let params = MonitorParams {
+                output_bound,
+                transfer_stall: rejoin_bound,
+                silent_group: output_bound + output_bound,
+            };
+            let unique_outputs: BTreeMap<u32, bool> = self
+                .groups
+                .iter()
+                .enumerate()
+                .map(|(g, group)| (g as u32, !matches!(group.style, ReplicaStyle::Active)))
+                .collect();
+            Rc::new(RefCell::new(WatchdogHarness::new(
+                dog,
+                &params,
+                unique_outputs,
+            )))
+        });
         let agent_tap = {
             let state = state.clone();
             let postbox = postbox.clone();
+            let live = live.clone();
+            let harness = harness.clone();
             AgentTap(Rc::new(move |now, node, ev| {
-                if state.borrow_mut().on_agent_event(now, node, ev) {
+                let mut wake = state.borrow_mut().on_agent_event(now, node, ev);
+                if let Some(live) = &live {
+                    live.borrow_mut().on_agent_event(now, node, ev);
+                }
+                if let Some(harness) = &harness {
+                    wake |= harness.borrow_mut().observe_agent(now, node, ev);
+                }
+                if wake {
                     postbox.notify(control_id, 0);
                 }
             }))
@@ -1168,8 +1243,17 @@ impl Lowered {
         let group_tap = {
             let state = state.clone();
             let postbox = postbox.clone();
+            let live = live.clone();
+            let harness = harness.clone();
             GroupTap(Rc::new(move |now, group, node, ev| {
-                if state.borrow_mut().on_group_event(now, group, node, ev) {
+                let mut wake = state.borrow_mut().on_group_event(now, group, node, ev);
+                if let Some(live) = &live {
+                    live.borrow_mut().on_group_event(now, group, node, ev);
+                }
+                if let Some(harness) = &harness {
+                    wake |= harness.borrow_mut().observe_group(now, group, node, ev);
+                }
+                if wake {
                     postbox.notify(control_id, 0);
                 }
             }))
@@ -1267,6 +1351,7 @@ impl Lowered {
             Time::ZERO + self.horizon,
             driver_tick,
             mode_marks,
+            harness.clone(),
         );
         let cid = sim.add_actor(Box::new(control));
         assert_eq!(cid, control_id, "control actor must register last");
@@ -1394,12 +1479,32 @@ impl Lowered {
         // under the documented deterministic tie-break.
         let events = std::mem::take(&mut state.borrow_mut().events);
         let mut cluster_run = ClusterRun::new(report, events);
+        if let Some(harness) = &harness {
+            cluster_run = cluster_run.with_violations(harness.borrow().violations());
+        }
         if self.telemetry.is_enabled() {
-            let spans = self.build_spans(cluster_run.report(), cluster_run.events(), &group_logs);
-            cluster_run = cluster_run.with_telemetry(RunTelemetry {
-                metrics: self.telemetry.snapshot(),
-                spans,
-            });
+            // The exported spans are the ones the live tracker emitted
+            // at engine time; the record-minted log remains available as
+            // the parity oracle (`ClusterRun::minted_spans`).
+            let minted = self.build_spans(
+                cluster_run.report(),
+                cluster_run.events(),
+                &group_logs,
+                span_cap,
+            );
+            let spans = live
+                .as_ref()
+                .map(|l| l.borrow().finalize(&applied, cluster_run.events()))
+                .unwrap_or_default();
+            self.telemetry
+                .counter("telemetry.spans_dropped")
+                .add(spans.spans_dropped());
+            cluster_run = cluster_run
+                .with_minted_spans(minted)
+                .with_telemetry(RunTelemetry {
+                    metrics: self.telemetry.snapshot(),
+                    spans,
+                });
         }
         Ok(cluster_run)
     }
@@ -1417,8 +1522,12 @@ impl Lowered {
         report: &report::ClusterReport,
         events: &[crate::ClusterEvent],
         group_logs: &[Vec<Rc<RefCell<GroupLog>>>],
+        span_cap: Option<usize>,
     ) -> SpanLog {
-        let mut spans = SpanLog::new();
+        let mut spans = match span_cap {
+            Some(cap) => SpanLog::with_cap(cap),
+            None => SpanLog::new(),
+        };
         // Rejoins: one root per completed crash→restart→readmit cycle,
         // phased by the protocol's decomposition. The detect child hangs
         // off the same span: the survivors' suspicion is what makes the

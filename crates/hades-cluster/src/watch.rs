@@ -1,0 +1,128 @@
+//! Cluster-side harness around the telemetry [`Watchdog`]: translates
+//! the raw agent/group tap events into [`MonitorEvent`]s, collects the
+//! violations the monitors raise, and tracks which watchdog deadlines
+//! still need an engine timer.
+//!
+//! The harness itself never touches the engine — the control actor
+//! drains it ([`WatchdogHarness::service`]) and arms the returned
+//! deadlines via `notify_at`, so every violation surfaces as a
+//! [`crate::ClusterEvent::InvariantViolated`] at the engine instant the
+//! monitor observed it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hades_services::{AgentEvent, GroupEvent};
+use hades_telemetry::monitor::{MonitorEvent, MonitorParams, Violation};
+use hades_telemetry::Watchdog;
+use hades_time::Time;
+
+/// Adapts tap feeds to the monitor event vocabulary and buffers the
+/// watchdog's output between control-actor wakeups.
+#[derive(Debug)]
+pub(crate) struct WatchdogHarness {
+    dog: Watchdog,
+    /// Per-group: whether the replication style suppresses duplicate
+    /// outputs (everything except active replication).
+    unique_outputs: BTreeMap<u32, bool>,
+    /// Deadlines already armed as engine timers, pruned as time passes.
+    armed: BTreeSet<Time>,
+}
+
+impl WatchdogHarness {
+    pub(crate) fn new(
+        mut dog: Watchdog,
+        params: &MonitorParams,
+        unique_outputs: BTreeMap<u32, bool>,
+    ) -> Self {
+        dog.configure(params);
+        WatchdogHarness {
+            dog,
+            unique_outputs,
+            armed: BTreeSet::new(),
+        }
+    }
+
+    /// Feeds one agent tap event; returns true when a monitor raised a
+    /// violation or armed a deadline (the control actor must wake).
+    pub(crate) fn observe_agent(&mut self, now: Time, node: u32, ev: &AgentEvent) -> bool {
+        let ev = match ev {
+            AgentEvent::ViewInstalled { number, members } => MonitorEvent::ViewInstalled {
+                node,
+                number: *number,
+                members: members.clone(),
+            },
+            AgentEvent::Suspected { suspect } => MonitorEvent::Suspected {
+                observer: node,
+                suspect: *suspect,
+            },
+            AgentEvent::SuspicionCleared { suspect } => MonitorEvent::SuspicionCleared {
+                observer: node,
+                suspect: *suspect,
+            },
+            AgentEvent::RejoinAnnounced => MonitorEvent::RejoinAnnounced { node },
+            AgentEvent::TransferStarted => MonitorEvent::TransferStarted { node },
+            AgentEvent::TransferProgress { chunks } => MonitorEvent::TransferProgress {
+                node,
+                chunks: *chunks,
+            },
+            AgentEvent::TransferCompleted => MonitorEvent::TransferCompleted { node },
+            AgentEvent::ReplayCompleted => MonitorEvent::ReplayCompleted { node },
+            AgentEvent::RejoinCompleted { view, .. } => {
+                MonitorEvent::RejoinCompleted { node, view: *view }
+            }
+        };
+        self.dog.observe(now, &ev)
+    }
+
+    /// Feeds one group tap event; returns true when the control actor
+    /// must wake to drain violations or arm a deadline.
+    pub(crate) fn observe_group(
+        &mut self,
+        now: Time,
+        group: u32,
+        node: u32,
+        ev: &GroupEvent,
+    ) -> bool {
+        let ev = match ev {
+            GroupEvent::Handoff { from, to } => MonitorEvent::LeadershipHandoff {
+                group,
+                from: *from,
+                to: *to,
+            },
+            GroupEvent::Submitted { id } => MonitorEvent::RequestSubmitted { group, id: *id },
+            GroupEvent::Delivered { id, .. } => MonitorEvent::RequestDelivered {
+                group,
+                member: node,
+                id: *id,
+            },
+            GroupEvent::Emitted { id } => MonitorEvent::OutputEmitted {
+                group,
+                member: node,
+                id: *id,
+                expect_unique: self.unique_outputs.get(&group).copied().unwrap_or(false),
+            },
+        };
+        self.dog.observe(now, &ev)
+    }
+
+    /// Fires due watchdog timers, then drains the fresh violations and
+    /// the deadlines that still need an engine timer (strictly in the
+    /// future and not already armed).
+    pub(crate) fn service(&mut self, now: Time) -> (Vec<Violation>, Vec<Time>) {
+        self.dog.wake(now);
+        let violations = self.dog.take_fresh();
+        self.armed = self.armed.split_off(&now);
+        let arm: Vec<Time> = self
+            .dog
+            .take_wakeups()
+            .into_iter()
+            .filter(|at| *at > now && self.armed.insert(*at))
+            .collect();
+        (violations, arm)
+    }
+
+    /// Every violation raised so far, detection order.
+    pub(crate) fn violations(&self) -> Vec<Violation> {
+        self.dog.violations()
+    }
+}

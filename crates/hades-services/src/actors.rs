@@ -238,6 +238,12 @@ pub enum AgentEvent {
         /// The suspected node.
         suspect: u32,
     },
+    /// This agent dropped a suspicion: the suspect proved itself alive
+    /// again by announcing a rejoin.
+    SuspicionCleared {
+        /// The node no longer suspected.
+        suspect: u32,
+    },
     /// This agent installed an agreed view.
     ViewInstalled {
         /// Monotone view number.
@@ -245,6 +251,23 @@ pub enum AgentEvent {
         /// Agreed members, ascending.
         members: Vec<u32>,
     },
+    /// This agent entered the rejoin protocol and broadcast its JOIN
+    /// announcement (cold restart or self-heal re-entry).
+    RejoinAnnounced,
+    /// The first checkpoint chunk of this agent's state transfer
+    /// arrived. Re-emitted when a newer view supersedes the stream and
+    /// the chunk count restarts.
+    TransferStarted,
+    /// A checkpoint chunk arrived; `chunks` counts the current stream.
+    TransferProgress {
+        /// Chunks received so far in the current transfer stream.
+        chunks: u64,
+    },
+    /// Preamble, membership words and every chunk arrived: the local
+    /// replay of the log tail begins.
+    TransferCompleted,
+    /// The checkpoint replay finished; re-admission is pending.
+    ReplayCompleted,
     /// This agent completed its own rejoin (re-admitted to the view).
     RejoinCompleted {
         /// The re-admitting view number.
@@ -789,7 +812,9 @@ impl NodeAgent {
     fn handle_join(&mut self, joiner: u32, epoch: u64, now: Time, ctx: &mut ActorCtx<'_>) {
         // The joiner is demonstrably alive again: retract any suspicion
         // and invalidate stale silence timers.
-        self.suspected_local.remove(joiner);
+        if self.suspected_local.remove(joiner) {
+            self.emit(now, AgentEvent::SuspicionCleared { suspect: joiner });
+        }
         self.excluded.remove(joiner);
         self.gen[joiner as usize] += 1;
         ctx.timer_at(
@@ -882,6 +907,7 @@ impl NodeAgent {
         if let Some(p) = &mut self.pending {
             p.transfer_completed_at = Some(now);
         }
+        self.emit(now, AgentEvent::TransferCompleted);
         ctx.timer_at(
             now + self.cfg.recovery.replay_time(self.log_tail),
             replay_tag(self.epoch),
@@ -962,6 +988,7 @@ impl NodeAgent {
                 if let Some(p) = &mut self.pending {
                     p.replay_completed_at = Some(now);
                 }
+                self.emit(now, AgentEvent::ReplayCompleted);
                 if self.view_mask.contains(self.cfg.node.0) {
                     // The outage was shorter than the detection window: the
                     // cluster never excluded us, so no view change is
@@ -1006,6 +1033,7 @@ impl NodeAgent {
         self.changing = None;
         self.serving = None;
         self.pending_joins.clear();
+        self.emit(now, AgentEvent::RejoinAnnounced);
         // Liveness first (peers resume watching us), then the join
         // announcement that triggers the state transfer — re-announced on
         // the heartbeat cadence while the transfer makes no progress, so
@@ -1158,8 +1186,15 @@ impl NetActor for NodeAgent {
                         if let Some(p) = &mut self.pending {
                             p.transfer_started_at = Some(now);
                         }
+                        self.emit(now, AgentEvent::TransferStarted);
                     }
                     self.xfer_seen += 1;
+                    self.emit(
+                        now,
+                        AgentEvent::TransferProgress {
+                            chunks: self.xfer_seen,
+                        },
+                    );
                     self.xfer_total = Some(total);
                     self.maybe_start_replay(now, ctx);
                 }

@@ -328,6 +328,27 @@ pub enum GroupEvent {
         /// The member that took over (the tapped member).
         to: u32,
     },
+    /// The tapped member (the gateway) submitted a client request into
+    /// the group's Δ-order.
+    Submitted {
+        /// The request id.
+        id: u64,
+    },
+    /// The tapped member delivered an ordered request to its service —
+    /// the Δ-order decision point for that member.
+    Delivered {
+        /// The request id.
+        id: u64,
+        /// The request's Δ-order timestamp (its submission instant).
+        ts: Time,
+    },
+    /// The tapped member emitted the group's client-visible output for a
+    /// request (first copy per member; style-level dedup already
+    /// applied).
+    Emitted {
+        /// The request id.
+        id: u64,
+    },
 }
 
 /// The online observation callback of a [`ReplicaGroup`] member:
@@ -806,11 +827,19 @@ impl ReplicaGroup {
     /// extends the schedule (the closed-loop client's next request), this
     /// member arms its own tick at the new instant and wakes every peer
     /// there too, so whichever member is gateway *then* submits it.
+    /// Invokes the tap, if any.
+    fn observe(&self, now: Time, event: GroupEvent) {
+        if let Some(tap) = &self.tap {
+            (tap.0)(now, self.cfg.group, self.me(), &event);
+        }
+    }
+
     fn emit(&mut self, id: u64, now: Time, ctx: &mut ActorCtx<'_>) {
         if !self.emitted_ids.insert(id) {
             return;
         }
         self.log.borrow_mut().emitted.push((id, now));
+        self.observe(now, GroupEvent::Emitted { id });
         let next = self
             .cfg
             .source
@@ -851,6 +880,7 @@ impl ReplicaGroup {
                     // Fresh timestamp: a catch-up submission cannot be
                     // retrofitted into the past of the Δ-order.
                     self.log.borrow_mut().submitted.push((id, now));
+                    self.observe(now, GroupEvent::Submitted { id });
                     if let Some(due) = self.inbox.accept(id, now, self.me(), now) {
                         ctx.timer_at(due, tag(GK_DELIVER, self.epoch & 0xFFFF));
                     }
@@ -868,6 +898,7 @@ impl ReplicaGroup {
         let due = self.inbox.due(now);
         for (id, ts, sender) in due {
             self.log.borrow_mut().delivered.push((id, ts, now));
+            self.observe(now, GroupEvent::Delivered { id, ts });
             match self.cfg.style {
                 ReplicaStyle::Active => {
                     if self.catching_up {
@@ -986,17 +1017,13 @@ impl ReplicaGroup {
     fn take_over(&mut self, old: u32, now: Time, ctx: &mut ActorCtx<'_>) {
         self.abort_catchup(now, ctx);
         self.log.borrow_mut().handoffs.push((old, self.me(), now));
-        if let Some(tap) = &self.tap {
-            (tap.0)(
-                now,
-                self.cfg.group,
-                self.me(),
-                &GroupEvent::Handoff {
-                    from: old,
-                    to: self.me(),
-                },
-            );
-        }
+        self.observe(
+            now,
+            GroupEvent::Handoff {
+                from: old,
+                to: self.me(),
+            },
+        );
         match self.cfg.style {
             ReplicaStyle::Active => {
                 // Nothing to repair: outputs were never interrupted (the

@@ -20,6 +20,12 @@
 //! code pays near-zero cost and — crucially — posts **zero additional
 //! events** to the simulation engine either way.
 //!
+//! On top of the passive half sits the **online invariant layer**
+//! ([`monitor`]): a [`Watchdog`] of [`Monitor`]s that consumes the same
+//! engine-time observation feeds and raises [`Violation`]s the instant a
+//! cluster-wide protocol invariant breaks, instead of waiting for the
+//! post-run report.
+//!
 //! # Examples
 //!
 //! Counting and summarising with a registry:
@@ -63,11 +69,13 @@
 
 pub mod json;
 pub mod metrics;
+pub mod monitor;
 pub mod span;
 
 pub use metrics::{
     ActorProbe, Counter, EngineProbe, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry,
 };
+pub use monitor::{Monitor, MonitorCtx, MonitorEvent, MonitorParams, Violation, Watchdog};
 pub use span::{Phase, Span, SpanId, SpanLog};
 
 /// The deterministic telemetry a run hands back to its caller: the

@@ -108,15 +108,49 @@ impl Span {
 
 /// An append-only log of protocol trace spans, forming one tree per
 /// root span.
+///
+/// For long population runs the log can be bounded with
+/// [`SpanLog::with_cap`]: whenever the span count exceeds the cap, the
+/// oldest root tree (the root plus its whole subtree) is dropped and
+/// counted in [`SpanLog::spans_dropped`]. Span ids stay stable across
+/// drops — [`SpanLog::phase`] on a dropped id is a no-op.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SpanLog {
     spans: Vec<Span>,
+    next_id: u32,
+    cap: Option<usize>,
+    dropped: u64,
 }
 
 impl SpanLog {
     /// An empty log.
     pub fn new() -> Self {
         SpanLog::default()
+    }
+
+    /// An empty log that keeps at most `cap` spans, dropping the oldest
+    /// root trees beyond it.
+    pub fn with_cap(cap: usize) -> Self {
+        SpanLog {
+            cap: Some(cap),
+            ..SpanLog::default()
+        }
+    }
+
+    /// Installs (or clears) the span cap. Lowering the cap takes effect
+    /// at the next mint.
+    pub fn set_cap(&mut self, cap: Option<usize>) {
+        self.cap = cap;
+    }
+
+    /// The configured span cap, if any.
+    pub fn cap(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Number of spans dropped so far to honour the cap.
+    pub fn spans_dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Whether no spans were recorded.
@@ -168,7 +202,8 @@ impl SpanLog {
         start: Time,
         end: Time,
     ) -> SpanId {
-        let id = SpanId(self.spans.len() as u32);
+        let id = SpanId(self.next_id);
+        self.next_id += 1;
         self.spans.push(Span {
             id,
             parent,
@@ -179,13 +214,46 @@ impl SpanLog {
             end,
             phases: Vec::new(),
         });
+        self.enforce_cap();
         id
     }
 
-    /// Appends a named phase to the span `id`. No-op for an unknown id.
+    /// Drops whole oldest root trees until the log fits the cap again.
+    /// Children are always minted after their parent, so one forward
+    /// pass collects each root's entire subtree.
+    fn enforce_cap(&mut self) {
+        let Some(cap) = self.cap else {
+            return;
+        };
+        while self.spans.len() > cap {
+            let Some(root) = self.spans.iter().find(|s| s.parent.is_none()).map(|s| s.id) else {
+                break;
+            };
+            let mut doomed = std::collections::BTreeSet::new();
+            doomed.insert(root);
+            for s in &self.spans {
+                if let Some(p) = s.parent {
+                    if doomed.contains(&p) {
+                        doomed.insert(s.id);
+                    }
+                }
+            }
+            self.spans.retain(|s| !doomed.contains(&s.id));
+            self.dropped += doomed.len() as u64;
+        }
+    }
+
+    /// Position of span `id` in the (id-sorted) log, if it is still
+    /// retained.
+    fn index_of(&self, id: SpanId) -> Option<usize> {
+        self.spans.binary_search_by_key(&id, |s| s.id).ok()
+    }
+
+    /// Appends a named phase to the span `id`. No-op for an unknown (or
+    /// cap-dropped) id.
     pub fn phase(&mut self, id: SpanId, name: &str, start: Time, end: Time) {
-        if let Some(s) = self.spans.get_mut(id.0 as usize) {
-            s.phases.push(Phase {
+        if let Some(i) = self.index_of(id) {
+            self.spans[i].phases.push(Phase {
                 name: name.to_string(),
                 start,
                 end,
@@ -233,7 +301,7 @@ impl SpanLog {
     }
 
     fn render_at(&self, id: SpanId, depth: usize, out: &mut String) {
-        let Some(s) = self.spans.get(id.0 as usize) else {
+        let Some(s) = self.index_of(id).map(|i| &self.spans[i]) else {
             return;
         };
         let pad = "  ".repeat(depth);
@@ -317,6 +385,42 @@ mod tests {
         let mut log = SpanLog::new();
         log.phase(SpanId(9), "ghost", t(0), t(1));
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn cap_drops_oldest_root_tree_and_counts_it() {
+        let mut log = SpanLog::with_cap(3);
+        let a = log.root("rejoin", "n1", Some(1), t(0), t(4));
+        log.child(a, "detect", "d", Some(0), t(0), t(1));
+        let b = log.root("failover", "g0", None, t(5), t(9));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.spans_dropped(), 0);
+        // The fourth span exceeds the cap: the oldest root tree (a and
+        // its detect child) goes, ids keep counting up.
+        let c = log.root("view", "view 2", None, t(6), t(7));
+        assert_eq!(c, SpanId(3));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.spans_dropped(), 2);
+        assert_eq!(
+            log.spans().iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![b, c]
+        );
+        // Phases on dropped ids are no-ops; survivors still take them.
+        log.phase(a, "ghost", t(0), t(1));
+        log.phase(b, "detect", t(5), t(6));
+        assert!(log.spans()[0].phases.len() == 1);
+        assert!(log.render_tree().contains("failover"));
+    }
+
+    #[test]
+    fn uncapped_log_never_drops() {
+        let mut log = SpanLog::new();
+        for i in 0..100 {
+            log.root("view", &format!("v{i}"), None, t(i), t(i + 1));
+        }
+        assert_eq!(log.len(), 100);
+        assert_eq!(log.spans_dropped(), 0);
+        assert_eq!(log.cap(), None);
     }
 
     #[test]

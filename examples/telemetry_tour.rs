@@ -1,19 +1,30 @@
-//! Telemetry tour: metrics snapshot + protocol trace spans of one run.
+//! Telemetry tour: metrics snapshot, protocol trace spans and the
+//! online invariant watchdog, all in one run.
 //!
 //! A 5-node cluster runs a semi-active replicated store under a
 //! closed-loop client. At t = 15 ms the group leader (node 0) crashes —
 //! the survivors fail over — and at t = 35 ms it restarts and rejoins.
 //! The spec carries an enabled telemetry [`Registry`]
 //! (`ClusterSpec::telemetry`), so the returned `ClusterRun` holds a
-//! deterministic metrics snapshot and a causally-linked span log. The
-//! example prints the failover and rejoin span trees with their
-//! engine-time phase decompositions, a few headline counters, and the
-//! first lines of the JSONL exports CI-style tooling would archive.
+//! deterministic metrics snapshot and a causally-linked span log —
+//! emitted live from the engine-time taps. The example prints the
+//! failover and rejoin span trees with their engine-time phase
+//! decompositions, a few headline counters, and the first lines of the
+//! JSONL exports CI-style tooling would archive.
+//!
+//! A second, nastier run then trips the watchdog
+//! (`ClusterSpec::monitors`): node 0 restarts one millisecond after
+//! every other node died, so its rejoin announce finds no live peer to
+//! serve the checkpoint transfer. The stalled-transfer monitor fires at
+//! exactly announce + the analytic rejoin bound — during the run, as an
+//! `InvariantViolated` cluster event a reactive driver observes at its
+//! engine instant — and the violations export as schema-checked JSONL.
 //!
 //! Run with: `cargo run --example telemetry_tour`
 
 use hades::prelude::*;
 use hades_services::ReplicaStyle;
+use hades_telemetry::monitor::{validate_violations, violations_to_jsonl};
 use hades_telemetry::Registry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -89,5 +100,72 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in telemetry.spans.to_jsonl().lines().take(3) {
         println!("{line}");
     }
+
+    // ---- the watchdog run: a rejoin with no one left to serve it ----
+    let mut plan = ScenarioPlan::new()
+        .crash(NodeId(0), Time::ZERO + ms(15))
+        .restart(NodeId(0), Time::ZERO + ms(35));
+    for node in 1..5 {
+        plan = plan
+            .crash(NodeId(node), Time::ZERO + ms(34))
+            .restart(NodeId(node), Time::ZERO + ms(70));
+    }
+    let mut chaos = ClusterSpec::new(5)
+        .policy(Policy::Edf)
+        .costs(CostModel::measured_default())
+        .horizon(ms(100))
+        .seed(42)
+        .scenario(plan)
+        .monitors(Watchdog::standard())
+        .service(
+            ServiceSpec::replicated(
+                "store",
+                ReplicaStyle::SemiActive,
+                vec![0, 1, 2],
+                GroupLoad::default(),
+            )
+            .workload(Box::new(
+                ClosedLoop::new(us(500), ms(1), Time::ZERO + ms(2)).with_timeout(ms(4)),
+            )),
+        );
+    for node in 0..5 {
+        chaos = chaos.service(ServiceSpec::periodic("control", node, us(200), ms(2)));
+    }
+    let rejoin_bound = chaos.rejoin_bound();
+    let chaos_run = chaos.run()?;
+
+    println!("\n== invariant watchdog: a rejoin whose transfer has no server ==");
+    println!(
+        "node 0 announces at 35 ms into a dead cluster; the stall deadline \
+         is the analytic rejoin bound ({rejoin_bound})"
+    );
+    for v in chaos_run.violations() {
+        println!("  [{}] {} — {}", v.at, v.monitor, v.message);
+    }
+    let in_stream = chaos_run
+        .events()
+        .iter()
+        .filter(|e| matches!(e, ClusterEvent::InvariantViolated { .. }))
+        .count();
+    println!(
+        "{} violations, every one an InvariantViolated cluster event \
+         drivers saw online ({in_stream} in the stream)",
+        chaos_run.violations().len()
+    );
+
+    println!("\n== violations JSONL (schema-checked) ==");
+    let jsonl = violations_to_jsonl(chaos_run.violations());
+    let checked = validate_violations(&jsonl).map_err(std::io::Error::other)?;
+    for line in jsonl.lines().take(3) {
+        println!("{line}");
+    }
+    println!("({checked} lines validated)");
+    assert!(
+        chaos_run
+            .violations()
+            .iter()
+            .any(|v| v.monitor == "stalled-transfer" && v.node == Some(0)),
+        "the serverless rejoin must trip the stalled-transfer watchdog"
+    );
     Ok(())
 }

@@ -87,6 +87,6 @@ pub mod prelude {
     pub use hades_sim::{FaultPlan, KernelModel, LinkConfig, Network, NodeId, SimRng, Summary};
     pub use hades_task::prelude::*;
     pub use hades_task::spuri::SpuriTask;
-    pub use hades_telemetry::{Registry, RunTelemetry};
+    pub use hades_telemetry::{Registry, RunTelemetry, Violation, Watchdog};
     pub use hades_time::{Duration, Time};
 }

@@ -1,0 +1,174 @@
+//! E2E: the online invariant watchdog. A seeded mid-recovery blackout —
+//! node 0 restarts into a cluster whose every other node just died, so
+//! its state transfer has no server — must raise `InvariantViolated`
+//! cluster events *during* the run, at the engine instant the monitor
+//! detected them, observable by reactive [`ScenarioDriver`]s; while a
+//! fault-free run with every monitor armed stays silent and leaves the
+//! report untouched.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hades::prelude::*;
+use hades_sim::NodeId;
+use hades_telemetry::monitor::{validate_violations, violations_to_jsonl};
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+fn t_ms(n: u64) -> Time {
+    Time::ZERO + ms(n)
+}
+
+/// Records every `InvariantViolated` the control plane delivers, with
+/// the callback instant — the proof the violation was observable online.
+#[derive(Debug)]
+struct ViolationRecorder {
+    seen: Rc<RefCell<Vec<(Time, Time, String)>>>,
+}
+
+impl ScenarioDriver for ViolationRecorder {
+    fn on_event(&mut self, now: Time, event: &ClusterEvent, _ctl: &mut ControlHandle<'_>) {
+        if let ClusterEvent::InvariantViolated { monitor, at, .. } = event {
+            self.seen.borrow_mut().push((now, *at, monitor.clone()));
+        }
+    }
+}
+
+/// Node 0 crashes at 15 ms and restarts at 35 ms — one millisecond
+/// after every other node went down. Its rejoin announce finds no
+/// live peer to serve the checkpoint transfer, so the rejoin stalls
+/// past the analytic bound; the last requests before the blackout also
+/// outlive the group's answer bound.
+fn stall_spec(seed: u64) -> ClusterSpec {
+    let mut plan = ScenarioPlan::new()
+        .crash(NodeId(0), t_ms(15))
+        .restart(NodeId(0), t_ms(35));
+    for node in 1..4 {
+        plan = plan
+            .crash(NodeId(node), t_ms(34))
+            .restart(NodeId(node), t_ms(70));
+    }
+    let mut spec = ClusterSpec::new(4)
+        .seed(seed)
+        .horizon(ms(100))
+        .scenario(plan)
+        .service(
+            ServiceSpec::replicated(
+                "store",
+                ReplicaStyle::SemiActive,
+                vec![0, 1, 2],
+                GroupLoad::default(),
+            )
+            .workload(Box::new(
+                ClosedLoop::new(us(500), ms(1), Time::ZERO + ms(2)).with_timeout(ms(4)),
+            )),
+        );
+    for node in 0..4 {
+        spec = spec.service(ServiceSpec::periodic("control", node, us(200), ms(2)));
+    }
+    spec
+}
+
+#[test]
+fn serverless_rejoin_raises_violations_online() {
+    let seen = Rc::new(RefCell::new(Vec::new()));
+    let rejoin_bound = stall_spec(7).rejoin_bound();
+    let run = stall_spec(7)
+        .monitors(Watchdog::standard())
+        .driver(Box::new(ViolationRecorder { seen: seen.clone() }))
+        .run()
+        .expect("valid spec");
+
+    // The run surfaced violations, and the event stream carries them.
+    assert!(!run.violations().is_empty(), "chaos must trip a monitor");
+    let in_stream: Vec<_> = run
+        .events()
+        .iter()
+        .filter(|e| matches!(e, ClusterEvent::InvariantViolated { .. }))
+        .collect();
+    assert_eq!(in_stream.len(), run.violations().len());
+
+    // Node 0's stalled transfer fires at exactly announce + the
+    // analytic rejoin bound — the deadline the watchdog armed.
+    let stalled = run
+        .violations()
+        .iter()
+        .find(|v| v.monitor == "stalled-transfer" && v.node == Some(0))
+        .expect("the serverless rejoin of node 0 must stall");
+    assert_eq!(stalled.at, t_ms(35) + rejoin_bound);
+
+    // A reactive driver observed every violation online, at the engine
+    // instant the monitor detected it.
+    let seen = seen.borrow();
+    assert_eq!(seen.len(), run.violations().len());
+    for (now, at, monitor) in seen.iter() {
+        assert_eq!(
+            now, at,
+            "{monitor} violation must be delivered at its own instant"
+        );
+    }
+
+    // The exported JSONL round-trips through the schema validator.
+    let jsonl = violations_to_jsonl(run.violations());
+    let lines = validate_violations(&jsonl).expect("schema-valid violations");
+    assert_eq!(lines, run.violations().len());
+}
+
+#[test]
+fn violations_are_deterministic_under_fixed_seed() {
+    let a = stall_spec(7)
+        .monitors(Watchdog::standard())
+        .run()
+        .expect("valid spec");
+    let b = stall_spec(7)
+        .monitors(Watchdog::standard())
+        .run()
+        .expect("valid spec");
+    assert!(!a.violations().is_empty());
+    assert_eq!(
+        violations_to_jsonl(a.violations()),
+        violations_to_jsonl(b.violations())
+    );
+    assert_eq!(a.events(), b.events());
+}
+
+#[test]
+fn fault_free_run_stays_silent_and_unperturbed() {
+    // Same deployment, no faults: every monitor armed, zero violations,
+    // and the watchdog's presence changes nothing the run reports.
+    let healthy = |seed: u64| {
+        let mut spec = ClusterSpec::new(4).seed(seed).horizon(ms(80)).service(
+            ServiceSpec::replicated(
+                "store",
+                ReplicaStyle::SemiActive,
+                vec![0, 1, 2],
+                GroupLoad::default(),
+            )
+            .workload(Box::new(
+                ClosedLoop::new(us(500), ms(1), Time::ZERO + ms(2)).with_timeout(ms(4)),
+            )),
+        );
+        for node in 0..4 {
+            spec = spec.service(ServiceSpec::periodic("control", node, us(200), ms(2)));
+        }
+        spec
+    };
+    let watched = healthy(9)
+        .monitors(Watchdog::standard())
+        .run()
+        .expect("valid spec");
+    let bare = healthy(9).run().expect("valid spec");
+    assert!(
+        watched.violations().is_empty(),
+        "healthy run must not trip any monitor: {:?}",
+        watched.violations()
+    );
+    assert_eq!(watched.report(), bare.report());
+    assert_eq!(watched.events(), bare.events());
+}

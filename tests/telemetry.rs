@@ -153,6 +153,76 @@ fn abandonment_is_counted_in_report_and_telemetry() {
     assert!(resumed, "closed loop must re-issue after the blackout");
 }
 
+#[test]
+fn live_spans_match_minted_oracle() {
+    // The exported span log is emitted live from the engine-time taps;
+    // the record-minted log (the pre-live implementation) is kept as a
+    // parity oracle. Same spec + seed ⇒ byte-identical JSONL.
+    let run = telemetry_scenario(4, 11)
+        .telemetry(Registry::enabled())
+        .run()
+        .expect("valid spec");
+    let minted = run
+        .minted_spans()
+        .expect("telemetry enabled mints the oracle");
+    assert!(!run.telemetry().spans.is_empty());
+    assert_eq!(run.telemetry().spans.to_jsonl(), minted.to_jsonl());
+}
+
+#[test]
+fn span_cap_drops_oldest_trees_and_counts_them() {
+    let uncapped = telemetry_scenario(4, 11)
+        .telemetry(Registry::enabled())
+        .run()
+        .expect("valid spec");
+    let total = uncapped.telemetry().spans.spans().len();
+    assert!(
+        total > 8,
+        "scenario must mint enough spans to overflow the cap"
+    );
+    let capped = telemetry_scenario(4, 11)
+        .telemetry(Registry::enabled())
+        .span_cap(8)
+        .run()
+        .expect("valid spec");
+    let spans = &capped.telemetry().spans;
+    assert!(spans.spans().len() <= 8);
+    assert!(spans.spans_dropped() > 0);
+    // The drop counter reaches the metrics snapshot, and the cap never
+    // perturbs the simulation itself.
+    assert!(
+        capped
+            .telemetry()
+            .metrics
+            .counter("telemetry.spans_dropped")
+            .unwrap_or(0)
+            > 0
+    );
+    assert_eq!(uncapped.report(), capped.report());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The live tracker and the record-based oracle mint byte-identical
+    /// span logs across cluster sizes and seeds.
+    #[test]
+    fn live_spans_match_minted_oracle_under_many_seeds(
+        nodes in 3u32..6,
+        seed in 0u64..1_000,
+    ) {
+        let run = telemetry_scenario(nodes, seed)
+            .telemetry(Registry::enabled())
+            .run()
+            .expect("valid spec");
+        let minted = run.minted_spans().expect("oracle");
+        prop_assert_eq!(
+            run.telemetry().spans.to_jsonl(),
+            minted.to_jsonl()
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
