@@ -2,8 +2,8 @@
 //! gates it against a committed baseline.
 //!
 //! ```text
-//! perf_snapshot [PATH]                  # default: BENCH_cluster.json
-//! perf_snapshot --gate BASELINE [PATH]  # default: BENCH_cluster.current.json
+//! perf_snapshot [--profile] [PATH]                  # default: BENCH_cluster.json
+//! perf_snapshot [--profile] --gate BASELINE [PATH]  # default: BENCH_cluster.current.json
 //! ```
 //!
 //! The document is validated against the `hades.bench.cluster.v1`
@@ -15,11 +15,24 @@
 //! exits nonzero listing each drifted metric. A run *faster* than the
 //! band also fails — that is a stale baseline; re-run `perf_snapshot
 //! BENCH_cluster.json` on a quiet machine and commit the result.
+//!
+//! With `--profile`, the deterministic profiler rides every scaling
+//! scenario and two extra files land next to the snapshot per scenario:
+//! `BENCH_profile.<name>.jsonl` (the schema-checked `hades.profile.v1`
+//! document — per-kind counts and gap distributions, per-actor shares,
+//! the queue/event-mix timeline, the traffic matrix, and the volatile
+//! wall-ns share records) and `BENCH_profile.<name>.folded` (folded
+//! stacks for any `flamegraph.pl`-compatible renderer). Profiling is
+//! pure observation, so the snapshot numbers are unchanged by the flag.
 
 const GATE_TOLERANCE_PCT: f64 = 25.0;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = args.first().map(String::as_str) == Some("--profile");
+    if profile {
+        args.remove(0);
+    }
     let (baseline_path, out_path) = match args.first().map(String::as_str) {
         Some("--gate") => {
             let Some(baseline) = args.get(1) else {
@@ -36,7 +49,7 @@ fn main() {
         None => (None, "BENCH_cluster.json".to_string()),
     };
 
-    let doc = bench::perf::build_snapshot();
+    let (doc, artifacts) = bench::perf::build_snapshot_profiled(profile);
     if let Err(e) = bench::perf::validate_snapshot(&doc) {
         eprintln!("perf_snapshot: generated document fails its own schema: {e}");
         std::process::exit(1);
@@ -46,6 +59,22 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out_path} ({} bytes)", doc.len());
+
+    // Profile docs land next to the snapshot, named per scenario.
+    let dir = std::path::Path::new(&out_path)
+        .parent()
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_default();
+    for art in &artifacts {
+        for (ext, body) in [("jsonl", &art.jsonl), ("folded", &art.folded)] {
+            let path = dir.join(format!("BENCH_profile.{}.{ext}", art.name));
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("perf_snapshot: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("wrote {} ({} bytes)", path.display(), body.len());
+        }
+    }
 
     if let Some(baseline_path) = baseline_path {
         let baseline = match std::fs::read_to_string(&baseline_path) {

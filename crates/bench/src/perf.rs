@@ -18,6 +18,7 @@
 //!                    "ns_per_event", "events_per_sec",
 //!                    "heartbeats_sent", "heartbeats_per_sec",
 //!                    "peak_queue_depth", "ctx_switches", "abandoned",
+//!                    "spans_dropped",
 //!                    "response_ns": { "count", "p50", "p99", "p999" } } ],
 //!   "overhead": { "nodes", "instrumented_wall_ns", "baseline_wall_ns",
 //!                 "overhead_pct" },
@@ -35,7 +36,7 @@ use hades_sched::Policy;
 use hades_services::ReplicaStyle;
 use hades_sim::NodeId;
 use hades_telemetry::json::{escape, Json};
-use hades_telemetry::Registry;
+use hades_telemetry::{ProfileReport, Profiler, Registry};
 use hades_time::{Duration, Time};
 use std::fmt::Write;
 
@@ -48,10 +49,14 @@ fn ms(n: u64) -> Duration {
 }
 
 /// The standard snapshot scenario: `nodes` nodes under EDF with measured
-/// costs, two periodic services per node, one replicated group on nodes
-/// 0–2 serving a closed-loop client (with a request timeout, so the
-/// client survives the blackout), and the group leader crashed at 10 ms
-/// — failover, view agreement and Δ-multicast all on the clock.
+/// costs, two periodic services per node, and one replicated group on
+/// nodes 0–2 serving a live closed-loop client (with a request timeout,
+/// so the client survives blackouts). Both group leaders crash mid-run
+/// — *mid-request*, at 10.25 ms and 15.45 ms, so the in-flight request
+/// straddles each failover and is answered only at takeover — and the
+/// first crashed node rejoins at 20 ms. The `group.response_ns`
+/// histogram therefore measures real dispersion: the p50 is the
+/// steady-state Δ-multicast latency, the tail is the failover stall.
 pub fn perf_scenario(nodes: u32, seed: u64, horizon: Duration) -> ClusterSpec {
     let start = Time::ZERO + ms(2);
     let mut spec = ClusterSpec::new(nodes)
@@ -59,7 +64,12 @@ pub fn perf_scenario(nodes: u32, seed: u64, horizon: Duration) -> ClusterSpec {
         .costs(CostModel::measured_default())
         .horizon(horizon)
         .seed(seed)
-        .scenario(ScenarioPlan::new().crash(NodeId(0), Time::ZERO + ms(10)))
+        .scenario(
+            ScenarioPlan::new()
+                .crash(NodeId(0), Time::ZERO + us(10_250))
+                .crash(NodeId(1), Time::ZERO + us(15_450))
+                .restart(NodeId(0), Time::ZERO + ms(20)),
+        )
         .service(
             ServiceSpec::replicated(
                 "store",
@@ -89,21 +99,46 @@ struct ScenarioPerf {
     peak_queue_depth: u64,
     ctx_switches: u64,
     abandoned: u64,
+    spans_dropped: u64,
     response_count: u64,
     response_p50: u64,
     response_p99: u64,
     response_p999: u64,
 }
 
-fn run_scenario(name: &str, nodes: u32, horizon: Duration) -> ScenarioPerf {
+/// One scenario's profile artifacts from a `--profile` run: the
+/// schema-checked JSONL document (deterministic records plus the
+/// nondeterministic `"wall"` share lines) and the folded-stacks
+/// flamegraph text.
+pub struct ProfileArtifacts {
+    /// Scenario name, e.g. `cluster96`.
+    pub name: String,
+    /// `hades.profile.v1` JSONL, validated before return.
+    pub jsonl: String,
+    /// `flamegraph.pl`-compatible folded stacks.
+    pub folded: String,
+}
+
+fn run_scenario(
+    name: &str,
+    nodes: u32,
+    horizon: Duration,
+    profile: bool,
+) -> (ScenarioPerf, Option<ProfileArtifacts>) {
     let registry = Registry::enabled();
+    let profiler = if profile {
+        Profiler::enabled()
+    } else {
+        Profiler::disabled()
+    };
     let run = perf_scenario(nodes, 7, horizon)
         .telemetry(registry.clone())
+        .profile(profiler.clone())
         .run()
         .expect("valid snapshot spec");
     let metrics = &run.telemetry().metrics;
     let response = metrics.histogram("group.response_ns");
-    ScenarioPerf {
+    let perf = ScenarioPerf {
         name: name.to_string(),
         nodes,
         events: metrics.counter("engine.events").unwrap_or(0),
@@ -112,11 +147,24 @@ fn run_scenario(name: &str, nodes: u32, horizon: Duration) -> ScenarioPerf {
         peak_queue_depth: metrics.gauge("engine.queue_depth_peak").unwrap_or(0),
         ctx_switches: metrics.counter("dispatch.ctx_switches").unwrap_or(0),
         abandoned: metrics.counter("group.requests_abandoned").unwrap_or(0),
+        spans_dropped: metrics.counter("telemetry.spans_dropped").unwrap_or(0),
         response_count: response.map_or(0, |h| h.count),
         response_p50: response.map_or(0, |h| h.p50),
         response_p99: response.map_or(0, |h| h.p99),
         response_p999: response.map_or(0, |h| h.p999),
-    }
+    };
+    let artifacts = profile.then(|| {
+        let report = run.profile().expect("profiler was attached");
+        let mut jsonl = report.to_jsonl();
+        jsonl.push_str(&ProfileReport::wall_records(&profiler.wall_totals()));
+        ProfileReport::validate_jsonl(&jsonl).expect("profile doc must match its schema");
+        ProfileArtifacts {
+            name: name.to_string(),
+            jsonl,
+            folded: report.to_folded(),
+        }
+    });
+    (perf, artifacts)
 }
 
 impl ScenarioPerf {
@@ -130,6 +178,7 @@ impl ScenarioPerf {
              \"ns_per_event\":{:.1},\"events_per_sec\":{:.0},\
              \"heartbeats_sent\":{},\"heartbeats_per_sec\":{:.0},\
              \"peak_queue_depth\":{},\"ctx_switches\":{},\"abandoned\":{},\
+             \"spans_dropped\":{},\
              \"response_ns\":{{\"count\":{},\"p50\":{},\"p99\":{},\"p999\":{}}}}}",
             escape(&self.name),
             self.nodes,
@@ -142,6 +191,7 @@ impl ScenarioPerf {
             self.peak_queue_depth,
             self.ctx_switches,
             self.abandoned,
+            self.spans_dropped,
             self.response_count,
             self.response_p50,
             self.response_p99,
@@ -168,10 +218,26 @@ fn peak_rss_bytes() -> u64 {
 /// scenarios, the instrumented-vs-disabled overhead measurement at 24
 /// nodes, and the process's peak RSS.
 pub fn build_snapshot() -> String {
-    let horizon = ms(20);
+    build_snapshot_profiled(false).0
+}
+
+/// [`build_snapshot`], optionally with the deterministic profiler
+/// attached to every scaling scenario: the returned
+/// [`ProfileArtifacts`] carry one schema-checked profile document and
+/// one folded-stacks flamegraph per scenario. The profiler rides the
+/// *measured* runs — profiling is pure observation, so the snapshot
+/// numbers are the same either way (the wall-clock cost of the hooks is
+/// visible in `wall_ns`, which is the point of measuring it).
+pub fn build_snapshot_profiled(profile: bool) -> (String, Vec<ProfileArtifacts>) {
+    let horizon = ms(30);
+    let mut artifacts = Vec::new();
     let scenarios: Vec<ScenarioPerf> = [24u32, 48, 96]
         .iter()
-        .map(|&nodes| run_scenario(&format!("cluster{nodes}"), nodes, horizon))
+        .map(|&nodes| {
+            let (perf, art) = run_scenario(&format!("cluster{nodes}"), nodes, horizon, profile);
+            artifacts.extend(art);
+            perf
+        })
         .collect();
 
     // Instrumented-vs-disabled overhead: the same 24-node run, once with
@@ -210,7 +276,7 @@ pub fn build_snapshot() -> String {
          \"peak_rss_bytes\":{}}}",
         peak_rss_bytes()
     );
-    out
+    (out, artifacts)
 }
 
 /// Validates a snapshot document against `hades.bench.cluster.v1`.
@@ -245,6 +311,7 @@ pub fn validate_snapshot(text: &str) -> Result<(), String> {
             "peak_queue_depth",
             "ctx_switches",
             "abandoned",
+            "spans_dropped",
         ] {
             if s.get(field).and_then(Json::as_f64).is_none() {
                 return Err(format!("scenario {i}: missing numeric field {field}"));
@@ -392,7 +459,8 @@ mod tests {
     fn snapshot_validates_against_its_schema() {
         // One small scenario keeps the debug-mode test affordable; the
         // full 24/48/96 sweep runs in the release-mode binary.
-        let s = run_scenario("small", 4, ms(10));
+        let (s, none) = run_scenario("small", 4, ms(10), false);
+        assert!(none.is_none());
         assert!(s.events > 0, "engine events must be counted");
         assert!(s.heartbeats_sent > 0, "heartbeats must be counted");
         let mut doc = String::from("{\"schema\":\"hades.bench.cluster.v1\",\"scenarios\":[");
@@ -416,6 +484,7 @@ mod tests {
                  \"ns_per_event\":{nspe},\"events_per_sec\":{eps},\
                  \"heartbeats_sent\":1,\"heartbeats_per_sec\":1,\
                  \"peak_queue_depth\":1,\"ctx_switches\":1,\"abandoned\":0,\
+                 \"spans_dropped\":0,\
                  \"response_ns\":{{\"count\":0,\"p50\":0,\"p99\":0,\"p999\":0}}}}"
             );
         }
@@ -466,8 +535,24 @@ mod tests {
         let no_overhead = "{\"schema\":\"hades.bench.cluster.v1\",\"scenarios\":[{\
             \"name\":\"x\",\"nodes\":1,\"events\":1,\"wall_ns\":1,\"ns_per_event\":1,\
             \"events_per_sec\":1,\"heartbeats_sent\":1,\"heartbeats_per_sec\":1,\
-            \"peak_queue_depth\":1,\"ctx_switches\":1,\"abandoned\":0,\
+            \"peak_queue_depth\":1,\"ctx_switches\":1,\"abandoned\":0,\"spans_dropped\":0,\
             \"response_ns\":{\"count\":0,\"p50\":0,\"p99\":0,\"p999\":0}}]}";
         assert!(validate_snapshot(no_overhead).is_err());
+        // A document without the spans_dropped field is pre-v1-profiler
+        // and must be rejected, so capped runs stay detectable.
+        let no_spans = doc_with(&[("a", 1.0, 1.0)]).replace("\"spans_dropped\":0,", "");
+        assert!(validate_snapshot(&no_spans)
+            .unwrap_err()
+            .contains("spans_dropped"));
+    }
+
+    #[test]
+    fn profiled_snapshot_scenario_emits_valid_artifacts() {
+        let (_, art) = run_scenario("small", 4, ms(10), true);
+        let art = art.expect("profile artifacts");
+        ProfileReport::validate_jsonl(&art.jsonl).expect("schema-valid");
+        assert!(art.jsonl.contains("\"record\":\"wall\""));
+        assert!(art.jsonl.contains("heartbeat_msg_share_permille"));
+        assert!(art.folded.contains("hades;engine;"));
     }
 }

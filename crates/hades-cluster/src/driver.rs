@@ -842,6 +842,10 @@ impl NetActor for ControlActor {
         NodeId(u32::MAX)
     }
 
+    fn label(&self) -> &'static str {
+        "control"
+    }
+
     fn handle(&mut self, now: Time, ev: ActorEvent, ctx: &mut ActorCtx<'_>) {
         match ev {
             ActorEvent::Start => {

@@ -30,7 +30,7 @@
 use crate::report::ClusterReport;
 use hades_task::TaskId;
 use hades_telemetry::monitor::Violation;
-use hades_telemetry::{RunTelemetry, SpanLog};
+use hades_telemetry::{ProfileReport, RunTelemetry, SpanLog};
 use hades_time::{Duration, Time};
 
 /// One externally visible transition of a cluster run.
@@ -241,6 +241,7 @@ pub struct ClusterRun {
     telemetry: RunTelemetry,
     violations: Vec<Violation>,
     minted_spans: Option<SpanLog>,
+    profile: Option<ProfileReport>,
 }
 
 impl ClusterRun {
@@ -255,6 +256,7 @@ impl ClusterRun {
             telemetry: RunTelemetry::default(),
             violations: Vec::new(),
             minted_spans: None,
+            profile: None,
         }
     }
 
@@ -270,6 +272,11 @@ impl ClusterRun {
 
     pub(crate) fn with_minted_spans(mut self, spans: SpanLog) -> Self {
         self.minted_spans = Some(spans);
+        self
+    }
+
+    pub(crate) fn with_profile(mut self, profile: ProfileReport) -> Self {
+        self.profile = Some(profile);
         self
     }
 
@@ -323,6 +330,18 @@ impl ClusterRun {
     /// `None` unless telemetry was enabled.
     pub fn minted_spans(&self) -> Option<&SpanLog> {
         self.minted_spans.as_ref()
+    }
+
+    /// The run's deterministic profile — per-event-kind counts and
+    /// service-gap distributions, per-actor shares, the queue/event-mix
+    /// timeline and the (sender, kind, link) traffic matrix. `None`
+    /// unless the spec was built with [`crate::ClusterSpec::profile`]
+    /// and an enabled [`hades_telemetry::Profiler`]. Like the metrics
+    /// snapshot, the report is a pure function of spec and seed —
+    /// wall-clock attribution travels separately through the registry's
+    /// volatile channel.
+    pub fn profile(&self) -> Option<&ProfileReport> {
+        self.profile.as_ref()
     }
 
     /// Consumes the run, keeping the aggregate report.

@@ -62,8 +62,12 @@ use crate::PlanDriver;
 use hades_dispatch::{CostModel, DispatchSim, SimConfig};
 use hades_sched::analysis::rta::{rta_feasible, RtaTask};
 use hades_sched::{edf_feasible, EdfAnalysisConfig, EdfPolicy, ModeChange, Policy};
-use hades_services::actors::{AgentConfig, AgentLog, AgentTap, NodeAgent};
-use hades_services::group::{GroupConfig, GroupLog, GroupTap, ReplicaGroup, RequestSource};
+use hades_services::actors::{
+    agent_is_heartbeat, agent_msg_name, AgentConfig, AgentLog, AgentTap, NodeAgent, AGENT_LABEL,
+};
+use hades_services::group::{
+    group_msg_name, GroupConfig, GroupLog, GroupTap, ReplicaGroup, RequestSource, GROUP_LABEL,
+};
 use hades_services::membership::View;
 use hades_services::ReplicaStyle;
 use hades_sim::mux::ActorId;
@@ -72,7 +76,7 @@ use hades_task::spuri::SpuriTask;
 use hades_task::task::TaskSetError;
 use hades_task::{Task, TaskId, TaskSet};
 use hades_telemetry::monitor::MonitorParams;
-use hades_telemetry::{Registry, RunTelemetry, SpanLog, Watchdog};
+use hades_telemetry::{Profiler, Registry, RunTelemetry, SpanLog, Watchdog};
 use hades_time::{Duration, Time};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -84,6 +88,21 @@ use std::rc::Rc;
 /// the tighter runtime ceiling keeps the reserved task-id tiers
 /// ([`MIDDLEWARE_TASK_BASE`] and up) disjoint.
 pub const MAX_CLUSTER_NODES: u32 = 1_024;
+
+/// Resolves a mux `(sender label, message tag)` pair to the cluster's
+/// canonical message-kind name. Names are label-prefixed because agents
+/// and groups reuse short names (both have a `ckpt`): the heartbeat is
+/// `agent.hb`, a group client request is `group.req`, the dispatcher's
+/// precedence handoff is `dispatch.handoff`. Unknown pairs fall back to
+/// the probes' own `<label>.t<tag>` form.
+fn cluster_msg_name(label: &str, tag: u64) -> Option<String> {
+    match label {
+        AGENT_LABEL => agent_msg_name(tag).map(|n| format!("{AGENT_LABEL}.{n}")),
+        GROUP_LABEL => group_msg_name(tag).map(|n| format!("{GROUP_LABEL}.{n}")),
+        "dispatch" => Some("dispatch.handoff".to_string()),
+        _ => None,
+    }
+}
 
 /// One validation finding, naming the service it concerns.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -485,6 +504,7 @@ pub struct ClusterSpec {
     drivers: Vec<Box<dyn ScenarioDriver>>,
     driver_tick: Duration,
     telemetry: Registry,
+    profile: Profiler,
     watchdog: Option<Watchdog>,
     span_cap: Option<usize>,
 }
@@ -508,6 +528,7 @@ impl ClusterSpec {
             drivers: Vec::new(),
             driver_tick: Duration::from_millis(1),
             telemetry: Registry::disabled(),
+            profile: Profiler::disabled(),
             watchdog: None,
             span_cap: None,
         }
@@ -594,6 +615,27 @@ impl ClusterSpec {
     /// snapshots whether or not a registry is attached.
     pub fn telemetry(mut self, registry: Registry) -> Self {
         self.telemetry = registry;
+        self
+    }
+
+    /// Attaches a deterministic [`Profiler`]. With [`Profiler::enabled`]
+    /// the run attributes engine work — per-event-kind counts and exact
+    /// engine-tick service-gap distributions, per-actor delivery shares,
+    /// a queue-depth/event-mix timeline at the profiler's interval, and
+    /// a `(sender kind, message kind, link)` traffic matrix — and
+    /// [`crate::ClusterRun::profile`] returns the [`ProfileReport`]
+    /// (exportable as schema-checked JSONL and folded flamegraph
+    /// stacks). Wall-clock nanoseconds per kind are recorded too, but
+    /// travel only through the registry's volatile channel
+    /// (`profile.wall_ns.<kind>`), so the report stays a byte-stable
+    /// function of spec and seed. Profiling is pure observation: the
+    /// report and event stream of a profiled run are byte-identical to
+    /// an unprofiled one, and the default disabled profiler keeps every
+    /// hook a single `Option` check.
+    ///
+    /// [`ProfileReport`]: hades_telemetry::ProfileReport
+    pub fn profile(mut self, profiler: Profiler) -> Self {
+        self.profile = profiler;
         self
     }
 
@@ -925,6 +967,7 @@ impl ClusterSpec {
             groups,
             service_infos,
             telemetry: self.telemetry.clone(),
+            profile: self.profile.clone(),
         })
     }
 }
@@ -977,6 +1020,7 @@ struct Lowered {
     groups: Vec<LoweredGroup>,
     service_infos: Vec<LoweredService>,
     telemetry: Registry,
+    profile: Profiler,
 }
 
 impl Lowered {
@@ -1149,6 +1193,18 @@ impl Lowered {
         cfg.trace = false;
         let mut sim = DispatchSim::with_network(set, cfg, net);
         sim.set_telemetry(&self.telemetry);
+        // The per-kind network send counters (`net.msgs.*` /
+        // `net.bytes.*`) and the profiler's traffic matrix share the
+        // cluster's one message-kind vocabulary, so `net.msgs.agent.hb`
+        // and the matrix's `agent.hb` rows count the same sends.
+        sim.set_net_tag_namer(cluster_msg_name);
+        if self.profile.is_enabled() {
+            self.profile.set_tag_namer(cluster_msg_name);
+            self.profile.set_heartbeat_pred(|label, class, tag| {
+                label == AGENT_LABEL && agent_is_heartbeat(class, tag)
+            });
+            sim.set_profiler(&self.profile);
+        }
         if self.policy == Policy::Edf {
             for node in 0..self.nodes {
                 sim.set_policy(node, Box::new(EdfPolicy::new()));
@@ -1505,6 +1561,9 @@ impl Lowered {
                     metrics: self.telemetry.snapshot(),
                     spans,
                 });
+        }
+        if self.profile.is_enabled() {
+            cluster_run = cluster_run.with_profile(self.profile.report());
         }
         Ok(cluster_run)
     }

@@ -29,7 +29,7 @@ use hades_sim::{
 };
 use hades_task::arrival::ArrivalMonitor;
 use hades_task::{Eu, EuIndex, InvocationMode, Priority, Task, TaskId, TaskSet};
-use hades_telemetry::{ActorProbe, Counter, EngineProbe, Registry};
+use hades_telemetry::{ActorProbe, Counter, EngineProbe, NetProbe, ProfKind, Profiler, Registry};
 use hades_time::{Duration, Time};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -150,6 +150,69 @@ enum Ev {
     FaultTransition { node: u32 },
 }
 
+/// One profiler kind handle per [`Ev`] variant, minted up front so the
+/// hot path is handle-lookup only (each hook is one `Option` check when
+/// the profiler is disabled).
+#[derive(Debug, Clone, Default)]
+struct ProfKinds {
+    activate: ProfKind,
+    work_done: ProfKind,
+    earliest: ProfKind,
+    deadline_check: ProfKind,
+    latest_check: ProfKind,
+    remote_arrive: ProfKind,
+    omission_check: ProfKind,
+    kernel_irq: ProfKind,
+    fault: ProfKind,
+    actor_start: ProfKind,
+    actor_restart: ProfKind,
+    actor_timer: ProfKind,
+    actor_message: ProfKind,
+    actor_notify: ProfKind,
+}
+
+impl ProfKinds {
+    fn from_profiler(p: &Profiler) -> Self {
+        ProfKinds {
+            activate: p.kind("activate"),
+            work_done: p.kind("work_done"),
+            earliest: p.kind("earliest_reached"),
+            deadline_check: p.kind("deadline_check"),
+            latest_check: p.kind("latest_check"),
+            remote_arrive: p.kind("remote_arrive"),
+            omission_check: p.kind("omission_check"),
+            kernel_irq: p.kind("kernel_irq"),
+            fault: p.kind("fault_transition"),
+            actor_start: p.kind("actor.start"),
+            actor_restart: p.kind("actor.restart"),
+            actor_timer: p.kind("actor.timer"),
+            actor_message: p.kind("actor.message"),
+            actor_notify: p.kind("actor.notify"),
+        }
+    }
+
+    fn of(&self, ev: &Ev) -> &ProfKind {
+        match ev {
+            Ev::Activate { .. } => &self.activate,
+            Ev::WorkDone { .. } => &self.work_done,
+            Ev::EarliestReached { .. } => &self.earliest,
+            Ev::DeadlineCheck { .. } => &self.deadline_check,
+            Ev::LatestCheck { .. } => &self.latest_check,
+            Ev::RemoteArrive { .. } => &self.remote_arrive,
+            Ev::OmissionCheck { .. } => &self.omission_check,
+            Ev::KernelIrq { .. } => &self.kernel_irq,
+            Ev::FaultTransition { .. } => &self.fault,
+            Ev::Actor { ev, .. } => match ev {
+                ActorEvent::Start => &self.actor_start,
+                ActorEvent::Restart => &self.actor_restart,
+                ActorEvent::Timer { .. } => &self.actor_timer,
+                ActorEvent::Message { .. } => &self.actor_message,
+                ActorEvent::Notify { .. } => &self.actor_notify,
+            },
+        }
+    }
+}
+
 /// What currently occupies a node's CPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Exec {
@@ -224,6 +287,9 @@ struct Inner {
     telemetry: Registry,
     ctx_switch_counter: Counter,
     miss_counter: Counter,
+    profiler: Profiler,
+    prof_kinds: ProfKinds,
+    net_probe: NetProbe,
     monitor: MonitorReport,
     records: Vec<InstanceRecord>,
     trace: Trace,
@@ -343,6 +409,9 @@ impl DispatchSim {
             telemetry: Registry::disabled(),
             ctx_switch_counter: Counter::disabled(),
             miss_counter: Counter::disabled(),
+            profiler: Profiler::disabled(),
+            prof_kinds: ProfKinds::default(),
+            net_probe: NetProbe::disabled(),
             monitor: MonitorReport::new(),
             records: Vec::new(),
             trace,
@@ -430,9 +499,43 @@ impl DispatchSim {
         self.inner
             .actors
             .set_probe(ActorProbe::from_registry(registry));
+        let net_probe = NetProbe::from_registry(registry);
+        self.inner.actors.set_net_probe(net_probe.clone());
+        self.inner.net_probe = net_probe;
         self.inner.ctx_switch_counter = registry.counter("dispatch.ctx_switches");
         self.inner.miss_counter = registry.counter("dispatch.deadline_misses");
         self.inner.telemetry = registry.clone();
+    }
+
+    /// Attaches a profiler to the whole run: the DES run loop feeds the
+    /// timeline (queue depth + event mix per interval), every event is
+    /// attributed to its [`Ev`]-variant kind (count, exact engine-tick
+    /// inter-delivery gaps, volatile wall-ns), hosted actor deliveries
+    /// to their `(label, node, class)` cells, and accepted network sends
+    /// to the traffic matrix. Profiling is pure observation — it never
+    /// posts events or changes outcomes — and a disabled profiler (the
+    /// default) costs one `Option` check per hook.
+    ///
+    /// [`Ev`]: DispatchSim
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation already ran.
+    pub fn set_profiler(&mut self, profiler: &Profiler) {
+        assert!(!self.ran, "simulation already ran");
+        self.engine.set_profiler(profiler.clone());
+        self.inner.actors.set_profiler(profiler.clone());
+        self.inner.prof_kinds = ProfKinds::from_profiler(profiler);
+        self.inner.profiler = profiler.clone();
+    }
+
+    /// Installs the message-kind namer on the network send counters
+    /// wired by [`DispatchSim::set_telemetry`] (call after it, before
+    /// the run): resolves `(sender label, tag)` to the `<kind>` of the
+    /// `net.msgs.<kind>` / `net.bytes.<kind>` counter names.
+    pub fn set_net_tag_namer(&mut self, namer: impl Fn(&str, u64) -> Option<String> + 'static) {
+        assert!(!self.ran, "simulation already ran");
+        self.inner.net_probe.set_tag_namer(namer);
     }
 
     /// Restricts the auto-activation of `task` to `[from, until)`: the
@@ -551,6 +654,14 @@ impl DispatchSim {
             self.inner
                 .telemetry
                 .set_volatile("engine.run_events", delivered);
+        }
+        // Per-kind wall attribution rides the volatile channel, exactly
+        // like engine.wall_ns: never part of the deterministic snapshot
+        // or the deterministic profile report.
+        for (name, ns) in self.inner.profiler.wall_totals() {
+            self.inner
+                .telemetry
+                .set_volatile(&format!("profile.wall_ns.{name}"), ns);
         }
         let end = self.engine.now();
         self.inner.finish(end)
@@ -1361,6 +1472,17 @@ impl Inner {
                 let deadline_guess = now + self.network.max_delay() + Duration::from_nanos(1);
                 match fate {
                     Delivery::At(t) => {
+                        // The dispatcher's precedence handoffs share the
+                        // network with the protocol actors: account them
+                        // under the "dispatch" sender label (tag 0).
+                        self.net_probe.record("dispatch", 0, mux::WIRE_BYTES);
+                        self.profiler.record_send(
+                            "dispatch",
+                            0,
+                            done.node,
+                            succ_node,
+                            mux::WIRE_BYTES,
+                        );
                         sched.post(
                             t,
                             Ev::RemoteArrive {
@@ -1815,6 +1937,11 @@ impl Simulation for Inner {
     type Event = Ev;
 
     fn handle(&mut self, now: Time, event: Ev, sched: &mut Scheduler<Ev>) {
+        // Kind attribution + wall timing (both inert when the profiler
+        // is disabled). Wall-clock goes only into the volatile totals.
+        let prof_kind = self.prof_kinds.of(&event).clone();
+        prof_kind.record(now.as_nanos());
+        let wall_start = self.profiler.is_enabled().then(std::time::Instant::now);
         match event {
             Ev::Activate { task, gen } => self.activate(task, gen, now, sched),
             Ev::WorkDone { node, version } => {
@@ -1885,6 +2012,9 @@ impl Simulation for Inner {
                     ev: ActorEvent::Notify { tag },
                 },
             );
+        }
+        if let Some(start) = wall_start {
+            prof_kind.add_wall(start.elapsed().as_nanos() as u64);
         }
     }
 }

@@ -84,6 +84,36 @@ fn tag(kind: u64, body: u64) -> u64 {
     (kind << 60) | body
 }
 
+/// The profiling label of [`NodeAgent`] actors (see
+/// `hades_sim::mux::NetActor::label`).
+pub const AGENT_LABEL: &str = "agent";
+
+/// Short kind name of an agent protocol message tag, for traffic
+/// attribution (`None` for tags the agent never sends).
+pub fn agent_msg_name(tag: u64) -> Option<&'static str> {
+    Some(match tag {
+        MSG_HB => "hb",
+        MSG_VC => "view_change",
+        MSG_JOIN => "join",
+        MSG_CKPT => "ckpt",
+        MSG_SYNC => "sync",
+        MSG_MASK => "mask",
+        _ => return None,
+    })
+}
+
+/// Whether one agent observation is heartbeat work: the periodic
+/// heartbeat-tick timer (kind bits of the composite timer tag) or an
+/// `MSG_HB` message, received (`class == "message"`) or sent
+/// (`class == "send"`).
+pub fn agent_is_heartbeat(class: &str, tag: u64) -> bool {
+    match class {
+        "timer" => tag >> 60 == KIND_HB_TICK,
+        "message" | "send" => tag == MSG_HB,
+        _ => false,
+    }
+}
+
 fn hb_tag(epoch: u64) -> u64 {
     tag(KIND_HB_TICK, epoch & 0xFFFF)
 }
@@ -1051,6 +1081,10 @@ impl NodeAgent {
 impl NetActor for NodeAgent {
     fn node(&self) -> NodeId {
         self.cfg.node
+    }
+
+    fn label(&self) -> &'static str {
+        AGENT_LABEL
     }
 
     fn handle(&mut self, now: Time, ev: ActorEvent, ctx: &mut ActorCtx<'_>) {

@@ -100,6 +100,26 @@ const GK_SNAP: u64 = 5;
 /// shared [`RequestSource`].
 pub const GN_WAKE: u64 = 1;
 
+/// The profiling label of [`ReplicaGroup`] actors (see
+/// `hades_sim::mux::NetActor::label`).
+pub const GROUP_LABEL: &str = "group";
+
+/// Short kind name of a group protocol message tag, for traffic
+/// attribution (`None` for tags the group never sends).
+pub fn group_msg_name(tag: u64) -> Option<&'static str> {
+    Some(match tag {
+        GMSG_REQ => "req",
+        GMSG_ORDER => "order",
+        GMSG_VOTE => "vote",
+        GMSG_CKPT => "ckpt",
+        GMSG_PULL => "pull",
+        GMSG_SNAP_HI => "snap_hi",
+        GMSG_SNAP_LO => "snap_lo",
+        GMSG_SNAP_MARK => "snap_mark",
+        _ => return None,
+    })
+}
+
 fn tag(kind: u64, body: u64) -> u64 {
     (kind << 60) | body
 }
@@ -1239,6 +1259,10 @@ impl ReplicaGroup {
 impl NetActor for ReplicaGroup {
     fn node(&self) -> NodeId {
         self.cfg.node
+    }
+
+    fn label(&self) -> &'static str {
+        GROUP_LABEL
     }
 
     fn handle(&mut self, now: Time, ev: ActorEvent, ctx: &mut ActorCtx<'_>) {

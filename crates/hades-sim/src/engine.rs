@@ -104,7 +104,20 @@ impl<E> Engine<E> {
     /// one `Option` check per event; installing a probe never changes
     /// the event order or posts events.
     pub fn set_probe(&mut self, probe: EngineProbe) {
+        let profiler = std::mem::take(&mut self.probe.profiler);
         self.probe = probe;
+        if !self.probe.profiler.is_enabled() {
+            self.probe.profiler = profiler;
+        }
+    }
+
+    /// Attaches a profiler to the run loop: one
+    /// [`Profiler::tick`](hades_telemetry::Profiler::tick) per delivered
+    /// event with the current time and queue length. Independent of
+    /// [`Engine::set_probe`] — either may be installed first. A disabled
+    /// profiler (the default) costs one `Option` check per event.
+    pub fn set_profiler(&mut self, profiler: hades_telemetry::Profiler) {
+        self.probe.profiler = profiler;
     }
 
     /// Current virtual time (time of the last delivered event).
@@ -190,6 +203,9 @@ impl<E> Engine<E> {
             self.delivered += 1;
             count += 1;
             self.probe.events.incr();
+            self.probe
+                .profiler
+                .tick(self.now.as_nanos(), self.heap.len() as u64);
 
             sched.next_id = self.next_id;
             sim.handle(self.now, slot.payload, &mut sched);

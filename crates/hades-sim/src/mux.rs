@@ -192,11 +192,23 @@ pub enum ControlOp {
     },
 }
 
+/// Fixed wire envelope charged per accepted message by the send
+/// accounting hooks: sender id + tag + payload plus framing. The
+/// simulated network itself is latency-only; this constant only feeds
+/// the `net.bytes.*` counters and the profiler's traffic matrix.
+pub const WIRE_BYTES: u64 = 32;
+
 /// A protocol actor living on one node of the shared network.
 pub trait NetActor {
     /// The node this actor runs on. Events are dropped once the node has
     /// crashed according to the network's fault plan.
     fn node(&self) -> NodeId;
+
+    /// A short static label classifying this actor for profiling and
+    /// traffic attribution (e.g. `"agent"`, `"group"`, `"control"`).
+    fn label(&self) -> &'static str {
+        "actor"
+    }
 
     /// Reacts to one event at virtual time `now`.
     fn handle(&mut self, now: Time, ev: ActorEvent, ctx: &mut ActorCtx<'_>);
@@ -209,7 +221,10 @@ pub struct ActorCtx<'a> {
     now: Time,
     self_id: ActorId,
     self_node: NodeId,
+    self_label: &'static str,
     net: &'a mut Network,
+    profiler: &'a hades_telemetry::Profiler,
+    net_probe: &'a hades_telemetry::NetProbe,
     staged: Vec<(Time, ActorId, ActorEvent)>,
     controls: Vec<ControlOp>,
 }
@@ -243,6 +258,14 @@ impl ActorCtx<'_> {
     pub fn send(&mut self, to: ActorId, to_node: NodeId, tag: u64, payload: u64) -> bool {
         match self.net.transit(self.self_node, to_node, self.now) {
             Delivery::At(at) => {
+                self.net_probe.record(self.self_label, tag, WIRE_BYTES);
+                self.profiler.record_send(
+                    self.self_label,
+                    tag,
+                    self.self_node.0,
+                    to_node.0,
+                    WIRE_BYTES,
+                );
                 self.staged.push((
                     at,
                     to,
@@ -328,6 +351,8 @@ impl ActorCtx<'_> {
 pub struct ActorHost {
     actors: Vec<Option<Box<dyn NetActor>>>,
     probe: hades_telemetry::ActorProbe,
+    profiler: hades_telemetry::Profiler,
+    net_probe: hades_telemetry::NetProbe,
 }
 
 impl std::fmt::Debug for ActorHost {
@@ -350,6 +375,21 @@ impl ActorHost {
     /// altering routing or posting events.
     pub fn set_probe(&mut self, probe: hades_telemetry::ActorProbe) {
         self.probe = probe;
+    }
+
+    /// Attaches a profiler: every handled delivery is attributed to the
+    /// receiving actor's `(label, node, class)` cell and every accepted
+    /// send to the traffic matrix. The default (disabled) profiler
+    /// costs one `Option` check per hook and records nothing.
+    pub fn set_profiler(&mut self, profiler: hades_telemetry::Profiler) {
+        self.profiler = profiler;
+    }
+
+    /// Attaches the always-on network send counters (`net.msgs.*` /
+    /// `net.bytes.*`), active with plain telemetry even when the full
+    /// profiler is off.
+    pub fn set_net_probe(&mut self, probe: hades_telemetry::NetProbe) {
+        self.net_probe = probe;
     }
 
     /// Registers an actor, returning its id.
@@ -431,18 +471,39 @@ impl ActorHost {
             self.actors[id.0 as usize] = Some(actor);
             return Reactions::default();
         }
-        match &ev {
-            ActorEvent::Start => self.probe.start.incr(),
-            ActorEvent::Restart => self.probe.restart.incr(),
-            ActorEvent::Timer { .. } => self.probe.timer.incr(),
-            ActorEvent::Message { .. } => self.probe.message.incr(),
-            ActorEvent::Notify { .. } => self.probe.notify.incr(),
-        }
+        let (class, tag) = match &ev {
+            ActorEvent::Start => {
+                self.probe.start.incr();
+                ("start", 0)
+            }
+            ActorEvent::Restart => {
+                self.probe.restart.incr();
+                ("restart", 0)
+            }
+            ActorEvent::Timer { tag } => {
+                self.probe.timer.incr();
+                ("timer", *tag)
+            }
+            ActorEvent::Message { tag, .. } => {
+                self.probe.message.incr();
+                ("message", *tag)
+            }
+            ActorEvent::Notify { tag } => {
+                self.probe.notify.incr();
+                ("notify", *tag)
+            }
+        };
+        let label = actor.label();
+        self.profiler
+            .record_delivery(now.as_nanos(), label, node.0, class, tag);
         let mut ctx = ActorCtx {
             now,
             self_id: id,
             self_node: node,
+            self_label: label,
             net,
+            profiler: &self.profiler,
+            net_probe: &self.net_probe,
             staged: Vec::new(),
             controls: Vec::new(),
         };
@@ -622,13 +683,23 @@ impl ActorEngine {
 
     /// Wires telemetry into the embedded engine and actor host: the run
     /// loop records `engine.events` / `engine.queue_depth_peak`, the
-    /// host records `actors.<kind>_events`. A disabled registry leaves
-    /// both probes inert.
+    /// host records `actors.<kind>_events` and per-kind network send
+    /// counters (`net.msgs.*` / `net.bytes.*`). A disabled registry
+    /// leaves every probe inert.
     pub fn set_telemetry(&mut self, registry: &hades_telemetry::Registry) {
         self.engine
             .set_probe(hades_telemetry::EngineProbe::from_registry(registry));
         self.host
             .set_probe(hades_telemetry::ActorProbe::from_registry(registry));
+        self.host
+            .set_net_probe(hades_telemetry::NetProbe::from_registry(registry));
+    }
+
+    /// Attaches a profiler to the embedded engine and actor host (pure
+    /// observation: timeline ticks, per-actor shares, traffic matrix).
+    pub fn set_profiler(&mut self, profiler: &hades_telemetry::Profiler) {
+        self.engine.set_profiler(profiler.clone());
+        self.host.set_profiler(profiler.clone());
     }
 
     /// Runs until `until` (inclusive), delivering `Start` to every actor

@@ -26,6 +26,12 @@
 //! cluster-wide protocol invariant breaks, instead of waiting for the
 //! post-run report.
 //!
+//! The **profiling layer** ([`profile`]) follows the same split: a
+//! [`Profiler`] attributes engine work per event kind, per actor and
+//! per link deterministically (with per-kind wall-ns riding the
+//! volatile channel), aggregates a queue/event-mix timeline, and
+//! exports schema-checked JSONL plus folded-stacks flamegraph text.
+//!
 //! # Examples
 //!
 //! Counting and summarising with a registry:
@@ -70,12 +76,17 @@
 pub mod json;
 pub mod metrics;
 pub mod monitor;
+pub mod profile;
 pub mod span;
 
 pub use metrics::{
     ActorProbe, Counter, EngineProbe, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry,
 };
 pub use monitor::{Monitor, MonitorCtx, MonitorEvent, MonitorParams, Violation, Watchdog};
+pub use profile::{
+    ActorProfile, IntervalProfile, KindProfile, NetProbe, ProfKind, ProfileReport, Profiler,
+    TrafficProfile,
+};
 pub use span::{Phase, Span, SpanId, SpanLog};
 
 /// The deterministic telemetry a run hands back to its caller: the

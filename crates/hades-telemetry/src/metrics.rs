@@ -390,14 +390,20 @@ impl MetricsSnapshot {
 }
 
 /// The DES run-loop probe: counters the engine bumps inline (events
-/// delivered, queue-depth high water). Disabled by default so an
-/// uninstrumented engine pays one `Option` check per event.
+/// delivered, queue-depth high water) plus an optional [`Profiler`]
+/// fed `(now, queue length)` per delivery for the timeline aggregator.
+/// Disabled by default so an uninstrumented engine pays one `Option`
+/// check per event.
+///
+/// [`Profiler`]: crate::profile::Profiler
 #[derive(Debug, Clone, Default)]
 pub struct EngineProbe {
     /// Events delivered by the run loop.
     pub events: Counter,
     /// High-water mark of the pending-event queue.
     pub queue_high_water: Gauge,
+    /// Per-delivery timeline feed (disabled by default).
+    pub profiler: crate::profile::Profiler,
 }
 
 impl EngineProbe {
@@ -407,12 +413,23 @@ impl EngineProbe {
     }
 
     /// A probe recording into `registry` under the canonical names
-    /// `engine.events` and `engine.queue_depth_peak`.
+    /// `engine.events` and `engine.queue_depth_peak` (profiler left
+    /// disabled).
     pub fn from_registry(registry: &Registry) -> Self {
         EngineProbe {
             events: registry.counter("engine.events"),
             queue_high_water: registry.gauge("engine.queue_depth_peak"),
+            profiler: crate::profile::Profiler::disabled(),
         }
+    }
+
+    /// Attaches a profiler to this probe: the run loop will feed it one
+    /// [`tick`] per delivered event.
+    ///
+    /// [`tick`]: crate::profile::Profiler::tick
+    pub fn with_profiler(mut self, profiler: crate::profile::Profiler) -> Self {
+        self.profiler = profiler;
+        self
     }
 }
 

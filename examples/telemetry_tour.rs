@@ -12,6 +12,12 @@
 //! decompositions, a few headline counters, and the first lines of the
 //! JSONL exports CI-style tooling would archive.
 //!
+//! The spec also carries an enabled [`Profiler`]
+//! (`ClusterSpec::profile`), so the same run yields a deterministic
+//! profile: the tour prints the top event kinds by engine work, the
+//! heartbeat share of the network traffic and the first folded
+//! flamegraph stacks — attribution the aggregate counters cannot give.
+//!
 //! A second, nastier run then trips the watchdog
 //! (`ClusterSpec::monitors`): node 0 restarts one millisecond after
 //! every other node died, so its rejoin announce finds no live peer to
@@ -32,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ms = Duration::from_millis;
 
     let registry = Registry::enabled();
+    let profiler = Profiler::enabled();
     let mut spec = ClusterSpec::new(5)
         .policy(Policy::Edf)
         .costs(CostModel::measured_default())
@@ -43,6 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .restart(NodeId(0), Time::ZERO + ms(35)),
         )
         .telemetry(registry.clone())
+        .profile(profiler.clone())
         .service(
             ServiceSpec::replicated(
                 "store",
@@ -100,6 +108,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in telemetry.spans.to_jsonl().lines().take(3) {
         println!("{line}");
     }
+
+    // ---- the profiler act: who actually consumed the engine? ----
+    let profile = run.profile().expect("profiler attached");
+    println!("\n== profile: top 5 event kinds by engine work ==");
+    let mut kinds: Vec<_> = profile.kinds.iter().collect();
+    kinds.sort_by_key(|k| std::cmp::Reverse(k.count));
+    for k in kinds.iter().take(5) {
+        println!("{:20} {:>8} events", k.name, k.count);
+    }
+    println!(
+        "heartbeats: {} of {} messages ({} permille), {} permille of all events",
+        profile.heartbeat_msgs,
+        profile.total_msgs,
+        profile.heartbeat_msg_share_permille(),
+        profile.heartbeat_event_share_permille(),
+    );
+    println!("\n== first folded flamegraph stacks ==");
+    for line in profile.to_folded().lines().take(3) {
+        println!("{line}");
+    }
+    assert!(
+        !kinds.is_empty() && kinds[0].count > 0,
+        "profile must attribute work"
+    );
+    assert!(
+        profile.heartbeat_msg_share_permille() > 0,
+        "heartbeat share must be a queryable, nonzero number"
+    );
+    assert_eq!(
+        Some(profile.total_events),
+        telemetry.metrics.counter("engine.events"),
+        "profiled totals must agree with the engine counter"
+    );
 
     // ---- the watchdog run: a rejoin with no one left to serve it ----
     let mut plan = ScenarioPlan::new()

@@ -28,7 +28,7 @@
 //! | [`hades_sched`] | RM/DM/EDF/Spring policies and the feasibility analyses of Section 5 |
 //! | [`hades_services`] | clock sync, reliable broadcast/multicast, crash detection, consensus, replication, storage, dependency tracking |
 //! | [`hades_cluster`] | the integrated multi-node runtime: N per-node stacks (dispatcher + policy + services) over one shared engine and network |
-//! | [`hades_telemetry`] | engine-time metrics registry, protocol trace spans, JSONL export — near-free when disabled |
+//! | [`hades_telemetry`] | engine-time metrics registry, protocol trace spans, deterministic profiler (time/traffic attribution, flamegraph export), JSONL export — near-free when disabled |
 //!
 //! ## Quickstart
 //!
@@ -87,6 +87,8 @@ pub mod prelude {
     pub use hades_sim::{FaultPlan, KernelModel, LinkConfig, Network, NodeId, SimRng, Summary};
     pub use hades_task::prelude::*;
     pub use hades_task::spuri::SpuriTask;
-    pub use hades_telemetry::{Registry, RunTelemetry, Violation, Watchdog};
+    pub use hades_telemetry::{
+        ProfileReport, Profiler, Registry, RunTelemetry, Violation, Watchdog,
+    };
     pub use hades_time::{Duration, Time};
 }
