@@ -1,0 +1,549 @@
+//! Random program generation, the violation oracle and the shrinker.
+//!
+//! [`ChaosFuzzer`] drives the loop: generate a random [`ChaosProgram`]
+//! from a seeded [`SimRng`], run it against a fresh spec with
+//! [`Watchdog::standard`] armed, and treat every raised
+//! [`Violation`] as a counterexample. Because the whole engine is
+//! deterministic, `(fuzzer seed, spec seed)` pins the entire campaign:
+//! the same programs, the same violations, byte-identical JSONL.
+//!
+//! Found counterexamples are delta-debugged by [`ChaosFuzzer::shrink`]:
+//! first drop whole ops to a fixpoint (local minimality — removing any
+//! single remaining op loses the violation), then narrow what is left
+//! (halve long fault windows, shed burst victims) while the violation
+//! keeps firing.
+
+use hades_cluster::ClusterSpec;
+use hades_sim::SimRng;
+use hades_telemetry::monitor::{violations_to_jsonl, Violation, Watchdog};
+use hades_time::{Duration, Time};
+
+use crate::program::{ChaosOp, ChaosProgram, ProgramDriver};
+
+/// The identity of a violation, stable across runs: which monitor
+/// fired, against which node and/or group. The instant and message are
+/// deliberately excluded so a shrunk program that moves the firing
+/// time still counts as reproducing the same bug.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ViolationKey {
+    /// Monitor name (e.g. `"stalled-transfer"`).
+    pub monitor: String,
+    /// The node charged with the violation, if the monitor names one.
+    pub node: Option<u32>,
+    /// The group charged with the violation, if the monitor names one.
+    pub group: Option<u32>,
+}
+
+impl ViolationKey {
+    /// The key of a concrete violation.
+    pub fn of(v: &Violation) -> ViolationKey {
+        ViolationKey {
+            monitor: v.monitor.clone(),
+            node: v.node,
+            group: v.group,
+        }
+    }
+
+    /// Whether `v` is an instance of this key.
+    pub fn matches(&self, v: &Violation) -> bool {
+        v.monitor == self.monitor
+            && v.node == self.node
+            && (self.group.is_none() || v.group == self.group)
+    }
+}
+
+/// Shape of the fuzzing target and of the generated programs.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Cluster size of each generated scenario.
+    pub nodes: u32,
+    /// Horizon of each run.
+    pub horizon: Duration,
+    /// Seed of the *spec* (network jitter, workload think times) — the
+    /// fuzzer's own seed, passed separately, drives program generation.
+    pub spec_seed: u64,
+    /// Upper bound on ops per generated program (at least 2 are drawn).
+    pub max_ops: usize,
+    /// Service names the load-level ops (throttle/retire/admit) target.
+    pub services: Vec<String>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            nodes: 4,
+            horizon: Duration::from_millis(100),
+            spec_seed: 7,
+            max_ops: 6,
+            services: vec!["store".to_string()],
+        }
+    }
+}
+
+/// One found-and-minimized counterexample from a campaign.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Which generated program (0-based) tripped the watchdog.
+    pub index: usize,
+    /// The program as generated.
+    pub program: ChaosProgram,
+    /// The delta-debugged program: still reproduces `key`, and
+    /// removing any single op no longer does.
+    pub minimized: ChaosProgram,
+    /// The violation identity used to steer the shrink.
+    pub key: ViolationKey,
+    /// Every violation the original program raised.
+    pub violations: Vec<Violation>,
+}
+
+/// The outcome of a fuzzing campaign.
+#[derive(Debug, Clone, Default)]
+pub struct Campaign {
+    /// How many programs were generated and run.
+    pub programs_run: usize,
+    /// The counterexamples found, in generation order.
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl Campaign {
+    /// Every violation of every counterexample as schema-checked JSONL
+    /// (the same line format `hades_telemetry::monitor` exports).
+    pub fn violations_jsonl(&self) -> String {
+        let mut out = String::new();
+        for cx in &self.counterexamples {
+            out.push_str(&violations_to_jsonl(&cx.violations));
+        }
+        out
+    }
+}
+
+/// Invariant-guided scenario fuzzer over a spec factory.
+pub struct ChaosFuzzer {
+    cfg: FuzzConfig,
+    factory: Box<dyn Fn() -> ClusterSpec>,
+    rng: SimRng,
+}
+
+impl std::fmt::Debug for ChaosFuzzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosFuzzer")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChaosFuzzer {
+    /// Builds a fuzzer over an arbitrary plan-free spec factory. The
+    /// factory must *not* attach a driver or scenario plan of its own —
+    /// the fuzzer installs the generated program as the driver.
+    pub fn new(cfg: FuzzConfig, seed: u64, factory: Box<dyn Fn() -> ClusterSpec>) -> Self {
+        ChaosFuzzer {
+            cfg,
+            factory,
+            rng: SimRng::seed_from(seed).split(0x0011_ADE5),
+        }
+    }
+
+    /// Builds a fuzzer over [`crate::specs::standard_spec`] with the
+    /// shape in `cfg`.
+    pub fn standard(cfg: FuzzConfig, seed: u64) -> Self {
+        let (nodes, horizon, spec_seed) = (cfg.nodes, cfg.horizon, cfg.spec_seed);
+        ChaosFuzzer::new(
+            cfg,
+            seed,
+            Box::new(move || crate::specs::standard_spec(nodes, horizon, spec_seed)),
+        )
+    }
+
+    /// The configured shape.
+    pub fn config(&self) -> &FuzzConfig {
+        &self.cfg
+    }
+
+    /// A random instant in the first 5–70 % of the horizon, quantized
+    /// to 10 µs so programs read cleanly and shrink stably.
+    fn instant(&mut self) -> Time {
+        let h = self.cfg.horizon.as_nanos();
+        let raw = self.rng.range_inclusive(h / 20, h * 7 / 10);
+        Time::ZERO + Duration::from_nanos(raw / 10_000 * 10_000)
+    }
+
+    /// A random fault window starting at [`Self::instant`], lasting
+    /// 500 µs up to 30 % of the horizon.
+    fn window(&mut self) -> (Time, Time) {
+        let at = self.instant();
+        let h = self.cfg.horizon.as_nanos();
+        let len = self.rng.range_inclusive(500_000, (h * 3 / 10).max(500_001));
+        (at, at + Duration::from_nanos(len / 10_000 * 10_000))
+    }
+
+    fn any_node(&mut self) -> u32 {
+        self.rng.below(self.cfg.nodes as u64) as u32
+    }
+
+    fn any_service(&mut self) -> String {
+        let i = self.rng.below(self.cfg.services.len().max(1) as u64) as usize;
+        self.cfg
+            .services
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| "store".to_string())
+    }
+
+    /// Draws one random program: 2 to `max_ops` ops over the whole
+    /// fault/load vocabulary, biased toward the ops that historically
+    /// find protocol bugs (crashes and gray link failures).
+    pub fn generate(&mut self) -> ChaosProgram {
+        let count = self.rng.range_inclusive(2, self.cfg.max_ops.max(2) as u64);
+        let mut ops = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let roll = self.rng.below(100);
+            let op = if roll < 35 {
+                let (at, until) = self.window();
+                ChaosOp::Crash {
+                    node: self.any_node(),
+                    at,
+                    until: if self.rng.chance_permille(250) {
+                        None
+                    } else {
+                        Some(until)
+                    },
+                }
+            } else if roll < 50 {
+                let from = self.any_node();
+                let to = (from + 1 + self.rng.below(self.cfg.nodes.max(2) as u64 - 1) as u32)
+                    % self.cfg.nodes;
+                let (at, until) = self.window();
+                ChaosOp::CutOneWay {
+                    from,
+                    to,
+                    at,
+                    until,
+                }
+            } else if roll < 62 {
+                let from = self.any_node();
+                let to = (from + 1 + self.rng.below(self.cfg.nodes.max(2) as u64 - 1) as u32)
+                    % self.cfg.nodes;
+                let (at, until) = self.window();
+                ChaosOp::Degrade {
+                    from,
+                    to,
+                    at,
+                    until,
+                    extra_delay: Duration::from_micros(self.rng.range_inclusive(50, 2_000)),
+                    loss_permille: self.rng.range_inclusive(100, 900) as u32,
+                }
+            } else if roll < 72 {
+                let (at, until) = self.window();
+                ChaosOp::Slow {
+                    node: self.any_node(),
+                    at,
+                    until,
+                    speed_permille: self.rng.range_inclusive(50, 800) as u32,
+                }
+            } else if roll < 79 {
+                let magnitude = self.rng.range_inclusive(100_000, 10_000_000) as i64;
+                ChaosOp::Skew {
+                    node: self.any_node(),
+                    at: self.instant(),
+                    drift_ppb: if self.rng.chance_permille(500) {
+                        magnitude
+                    } else {
+                        -magnitude
+                    },
+                }
+            } else if roll < 88 {
+                let root = self.any_node();
+                let spares = self.cfg.nodes.saturating_sub(1).max(1) as u64;
+                let k = self.rng.range_inclusive(1, spares.min(3));
+                let mut victims: Vec<u32> = (0..self.cfg.nodes).filter(|n| *n != root).collect();
+                self.rng.shuffle(&mut victims);
+                victims.truncate(k as usize);
+                ChaosOp::CcfBurst {
+                    root,
+                    victims,
+                    spacing: Duration::from_micros(self.rng.range_inclusive(100, 1_000)),
+                    down: Duration::from_millis(self.rng.range_inclusive(2, 20)),
+                }
+            } else if roll < 94 {
+                ChaosOp::Throttle {
+                    service: self.any_service(),
+                    at: self.instant(),
+                    permille: self.rng.range_inclusive(0, 900) as u32,
+                }
+            } else if roll < 97 {
+                ChaosOp::Retire {
+                    service: self.any_service(),
+                    at: self.instant(),
+                }
+            } else {
+                ChaosOp::Admit {
+                    service: self.any_service(),
+                    at: self.instant(),
+                }
+            };
+            ops.push(op);
+        }
+        ChaosProgram { ops }
+    }
+
+    /// Runs `program` against a fresh spec with the standard watchdog
+    /// armed and returns every violation it raised.
+    pub fn violations_of(&self, program: &ChaosProgram) -> Vec<Violation> {
+        (self.factory)()
+            .monitors(Watchdog::standard())
+            .driver(Box::new(ProgramDriver::new(program.clone())))
+            .run()
+            .expect("chaos base spec must be valid")
+            .violations()
+            .to_vec()
+    }
+
+    /// Whether `program` still raises a violation matching `key`.
+    pub fn reproduces(&self, program: &ChaosProgram, key: &ViolationKey) -> bool {
+        self.violations_of(program).iter().any(|v| key.matches(v))
+    }
+
+    /// Delta-debugs `program` against `key`.
+    ///
+    /// Phase 1 removes whole ops to a fixpoint, so the result is
+    /// *locally minimal*: dropping any single remaining op loses the
+    /// violation. Phase 2 narrows in place — halves fault windows of
+    /// 2 ms or more and sheds burst victims — as long as the violation
+    /// keeps reproducing. Every accepted step strictly shrinks the
+    /// program, so the loop terminates; determinism of the runs makes
+    /// the whole shrink a pure function of `(program, key)`.
+    pub fn shrink(&self, program: &ChaosProgram, key: &ViolationKey) -> ChaosProgram {
+        let mut best = program.clone();
+        if !self.reproduces(&best, key) {
+            return best;
+        }
+        // Phase 1: drop whole ops until no single removal reproduces.
+        loop {
+            let mut removed = false;
+            let mut i = 0;
+            while i < best.ops.len() {
+                if best.ops.len() == 1 {
+                    break;
+                }
+                let mut candidate = best.clone();
+                candidate.ops.remove(i);
+                if self.reproduces(&candidate, key) {
+                    best = candidate;
+                    removed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+        // Phase 2: narrow surviving ops while the violation holds.
+        loop {
+            let mut narrowed = false;
+            for i in 0..best.ops.len() {
+                while let Some(candidate) = narrow_op(&best, i) {
+                    if self.reproduces(&candidate, key) {
+                        best = candidate;
+                        narrowed = true;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if !narrowed {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Generates and runs `programs` programs; every program whose run
+    /// raises at least one violation becomes a [`Counterexample`] keyed
+    /// by its first violation and shrunk to a locally minimal program.
+    pub fn campaign(&mut self, programs: usize) -> Campaign {
+        let mut counterexamples = Vec::new();
+        for index in 0..programs {
+            let program = self.generate();
+            let violations = self.violations_of(&program);
+            let Some(first) = violations.first() else {
+                continue;
+            };
+            let key = ViolationKey::of(first);
+            let minimized = self.shrink(&program, &key);
+            counterexamples.push(Counterexample {
+                index,
+                program,
+                minimized,
+                key,
+                violations,
+            });
+        }
+        Campaign {
+            programs_run: programs,
+            counterexamples,
+        }
+    }
+}
+
+/// One strictly-smaller variant of op `i`, if any narrowing applies:
+/// halve a fault window of at least 2 ms, or drop the last burst
+/// victim. `None` when the op is already as tight as this pass goes.
+fn narrow_op(program: &ChaosProgram, i: usize) -> Option<ChaosProgram> {
+    const FLOOR: Duration = Duration::from_millis(2);
+    let halve = |at: Time, until: Time| -> Option<Time> {
+        let len = until - at;
+        (len >= FLOOR).then(|| at + len / 2)
+    };
+    let mut candidate = program.clone();
+    match &mut candidate.ops[i] {
+        ChaosOp::Crash {
+            at,
+            until: Some(until),
+            ..
+        } => *until = halve(*at, *until)?,
+        ChaosOp::CutOneWay { at, until, .. }
+        | ChaosOp::Degrade { at, until, .. }
+        | ChaosOp::Slow { at, until, .. } => *until = halve(*at, *until)?,
+        ChaosOp::CcfBurst { victims, .. } => {
+            if victims.len() <= 1 {
+                return None;
+            }
+            victims.pop();
+        }
+        _ => return None,
+    }
+    Some(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn t(n: u64) -> Time {
+        Time::ZERO + ms(n)
+    }
+
+    /// The seeded known bug: node 0 restarts into a dead cluster, so
+    /// its checkpoint transfer has no server and the rejoin stalls.
+    fn stall_program() -> ChaosProgram {
+        let mut ops = vec![ChaosOp::Crash {
+            node: 0,
+            at: t(15),
+            until: Some(t(35)),
+        }];
+        for node in 1..4 {
+            ops.push(ChaosOp::Crash {
+                node,
+                at: t(34),
+                until: Some(t(70)),
+            });
+        }
+        ChaosProgram { ops }
+    }
+
+    fn stall_key() -> ViolationKey {
+        ViolationKey {
+            monitor: "stalled-transfer".into(),
+            node: Some(0),
+            group: None,
+        }
+    }
+
+    #[test]
+    fn the_known_stall_reproduces_through_the_program_driver() {
+        let fuzzer = ChaosFuzzer::standard(FuzzConfig::default(), 1);
+        assert!(fuzzer.reproduces(&stall_program(), &stall_key()));
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_a_fixed_seed() {
+        let mut a = ChaosFuzzer::standard(FuzzConfig::default(), 99);
+        let mut b = ChaosFuzzer::standard(FuzzConfig::default(), 99);
+        for _ in 0..16 {
+            assert_eq!(a.generate(), b.generate());
+        }
+        let mut c = ChaosFuzzer::standard(FuzzConfig::default(), 100);
+        let differs = (0..16).any(|_| a.generate() != c.generate());
+        assert!(differs, "different seeds draw different programs");
+    }
+
+    #[test]
+    fn generated_programs_stay_in_shape() {
+        let cfg = FuzzConfig::default();
+        let mut fuzzer = ChaosFuzzer::standard(cfg.clone(), 5);
+        for _ in 0..64 {
+            let p = fuzzer.generate();
+            assert!((2..=cfg.max_ops).contains(&p.ops.len()));
+            for op in &p.ops {
+                match op {
+                    ChaosOp::Crash { node, .. }
+                    | ChaosOp::Slow { node, .. }
+                    | ChaosOp::Skew { node, .. } => assert!(*node < cfg.nodes),
+                    ChaosOp::CutOneWay { from, to, .. } | ChaosOp::Degrade { from, to, .. } => {
+                        assert!(*from < cfg.nodes && *to < cfg.nodes);
+                        assert_ne!(from, to, "self-links are never cut");
+                    }
+                    ChaosOp::CcfBurst { root, victims, .. } => {
+                        assert!(!victims.is_empty());
+                        assert!(victims.iter().all(|v| *v < cfg.nodes && v != root));
+                    }
+                    ChaosOp::Throttle { service, .. }
+                    | ChaosOp::Retire { service, .. }
+                    | ChaosOp::Admit { service, .. } => {
+                        assert!(cfg.services.contains(service));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Regression: a fast skewed clock used to collapse tiny re-armed
+    /// deadline intervals to zero real time, spinning the engine at one
+    /// instant forever. The run must terminate.
+    #[test]
+    fn fast_clock_skew_does_not_wedge_the_engine() {
+        let fuzzer = ChaosFuzzer::standard(FuzzConfig::default(), 1);
+        let mut p = stall_program();
+        p.ops.push(ChaosOp::Skew {
+            node: 2,
+            at: t(1),
+            drift_ppb: 1_000_000,
+        });
+        let _ = fuzzer.violations_of(&p);
+    }
+
+    #[test]
+    fn shrinking_the_stall_keeps_it_reproducing_and_locally_minimal() {
+        let fuzzer = ChaosFuzzer::standard(FuzzConfig::default(), 1);
+        let key = stall_key();
+        // Pad the real counterexample with irrelevant noise ops.
+        let mut padded = stall_program();
+        padded.ops.push(ChaosOp::Skew {
+            node: 2,
+            at: t(1),
+            drift_ppb: 1_000_000,
+        });
+        padded.ops.push(ChaosOp::Throttle {
+            service: "store".into(),
+            at: t(5),
+            permille: 800,
+        });
+        let minimized = fuzzer.shrink(&padded, &key);
+        assert!(fuzzer.reproduces(&minimized, &key));
+        assert!(minimized.ops.len() < padded.ops.len(), "noise dropped");
+        for i in 0..minimized.ops.len() {
+            let mut without = minimized.clone();
+            without.ops.remove(i);
+            assert!(
+                !fuzzer.reproduces(&without, &key),
+                "op {i} is load-bearing in the minimized program"
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Invariant-guided chaos testing for HADES cluster specs.
+//!
+//! The deterministic simulation makes every cluster run a pure function
+//! of its spec, and the online watchdog ([`hades_telemetry::monitor`])
+//! turns protocol invariants — view agreement, bounded failover, no
+//! duplicate outputs, no stalled transfers, no silent groups — into a
+//! machine-checkable oracle. This crate closes the loop into a fuzzer:
+//!
+//! * [`program::ChaosProgram`] is a *typed* fault/load script over the
+//!   full gray-failure vocabulary of the runtime control plane —
+//!   crash windows, asymmetric link cuts, degraded links, slow nodes,
+//!   clock skew, detection-triggered common-cause bursts, workload
+//!   throttles and service retire/admit;
+//! * [`program::ProgramDriver`] runs a program as a reactive
+//!   [`hades_cluster::ScenarioDriver`] against any spec;
+//! * [`fuzzer::ChaosFuzzer`] generates random programs from a seeded
+//!   [`hades_sim::SimRng`], runs each with [`Watchdog::standard`]
+//!   armed, treats any raised violation as a counterexample, and
+//!   delta-debugs it (drop ops, then narrow windows) down to a locally
+//!   minimal program that still reproduces the violation;
+//! * [`corpus`] serializes found scenarios as one-line JSON entries so
+//!   regressions replay from a committed corpus file.
+//!
+//! Everything is deterministic: the same fuzzer seed yields the same
+//! programs, the same violations and byte-identical JSONL.
+//!
+//! [`Watchdog::standard`]: hades_telemetry::monitor::Watchdog::standard
+//!
+//! # Examples
+//!
+//! Replaying a known-bug scenario (a serverless-rejoin blackout) and
+//! checking its invariant violation fires:
+//!
+//! ```
+//! use hades_chaos::corpus::CorpusScenario;
+//! use hades_chaos::program::{ChaosOp, ChaosProgram};
+//! use hades_chaos::fuzzer::ViolationKey;
+//! use hades_time::{Duration, Time};
+//!
+//! let ms = |n| Time::ZERO + Duration::from_millis(n);
+//! let mut ops = vec![ChaosOp::Crash { node: 0, at: ms(15), until: Some(ms(35)) }];
+//! for node in 1..4 {
+//!     ops.push(ChaosOp::Crash { node, at: ms(34), until: Some(ms(70)) });
+//! }
+//! let scenario = CorpusScenario {
+//!     name: "serverless-stall".into(),
+//!     nodes: 4,
+//!     horizon: Duration::from_millis(100),
+//!     seed: 7,
+//!     expect: ViolationKey { monitor: "stalled-transfer".into(), node: Some(0), group: None },
+//!     program: ChaosProgram { ops },
+//! };
+//! assert!(scenario.reproduces(), "the committed counterexample still fires");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod fuzzer;
+pub mod program;
+pub mod specs;
+
+pub use corpus::{parse_corpus, CorpusScenario};
+pub use fuzzer::{Campaign, ChaosFuzzer, Counterexample, FuzzConfig, ViolationKey};
+pub use program::{ChaosOp, ChaosProgram, ProgramDriver};
+pub use specs::standard_spec;

@@ -1,0 +1,55 @@
+//! The canonical fuzzing target spec.
+//!
+//! Fuzzing needs a fixed, plan-free deployment that every generated
+//! [`crate::ChaosProgram`] attacks: the fault script comes entirely
+//! from the program driver, so a corpus entry is `(nodes, horizon,
+//! seed, program)` and nothing else. [`standard_spec`] is that target —
+//! a semi-active replicated store under closed-loop client load plus a
+//! per-node periodic control task, the same deployment the repo's
+//! invariant E2E suite exercises.
+
+use hades_cluster::{ClosedLoop, ClusterSpec, GroupLoad, ServiceSpec};
+use hades_services::ReplicaStyle;
+use hades_time::{Duration, Time};
+
+/// Builds the standard chaos target: a semi-active `"store"` group on
+/// the first `min(3, nodes)` nodes driven by a closed-loop workload
+/// (500 µs requests every 1 ms from 2 ms, 4 ms timeout), plus a
+/// periodic `"control"` task (200 µs / 2 ms) on every node. No
+/// scenario plan — faults come only from the attached driver.
+pub fn standard_spec(nodes: u32, horizon: Duration, seed: u64) -> ClusterSpec {
+    let us = Duration::from_micros;
+    let ms = Duration::from_millis;
+    let members: Vec<u32> = (0..nodes.min(3)).collect();
+    let mut spec = ClusterSpec::new(nodes).seed(seed).horizon(horizon).service(
+        ServiceSpec::replicated(
+            "store",
+            ReplicaStyle::SemiActive,
+            members,
+            GroupLoad::default(),
+        )
+        .workload(Box::new(
+            ClosedLoop::new(us(500), ms(1), Time::ZERO + ms(2)).with_timeout(ms(4)),
+        )),
+    );
+    for node in 0..nodes {
+        spec = spec.service(ServiceSpec::periodic("control", node, us(200), ms(2)));
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_standard_spec_is_valid_and_fault_free_by_default() {
+        let run = standard_spec(4, Duration::from_millis(40), 7)
+            .run()
+            .expect("valid spec");
+        let report = run.report();
+        assert!(report.views_agree);
+        assert!(report.failovers.is_empty(), "no faults without a driver");
+        assert!(report.no_false_suspicions());
+    }
+}

@@ -224,6 +224,31 @@ enum Command {
         from: Time,
         until: Time,
     },
+    CutOneWay {
+        from: u32,
+        to: u32,
+        at: Time,
+        until: Time,
+    },
+    Degrade {
+        from: u32,
+        to: u32,
+        at: Time,
+        until: Time,
+        extra_delay: Duration,
+        loss_permille: u32,
+    },
+    Slow {
+        node: u32,
+        at: Time,
+        until: Time,
+        speed_permille: u32,
+    },
+    Skew {
+        node: u32,
+        at: Time,
+        drift_ppb: i64,
+    },
     Throttle {
         service: usize,
         permille: u32,
@@ -343,6 +368,66 @@ impl ControlHandle<'_> {
     /// Cuts both directions of the `a ↔ b` link during `[from, until]`.
     pub fn partition(&mut self, a: u32, b: u32, from: Time, until: Time) {
         self.cmds.push(Command::Partition { a, b, from, until });
+    }
+
+    /// Cuts only the directed link `from → to` during `[at, until]` — an
+    /// *asymmetric* partition: `from`'s messages to `to` vanish while the
+    /// reverse direction keeps delivering, so the two sides disagree
+    /// about each other's health. Out-of-range or self links are ignored.
+    pub fn cut_link(&mut self, from: u32, to: u32, at: Time, until: Time) {
+        self.cmds.push(Command::CutOneWay {
+            from,
+            to,
+            at,
+            until,
+        });
+    }
+
+    /// Degrades (without severing) the directed link `from → to` during
+    /// `[at, until]`: every message suffers `extra_delay` on top of its
+    /// drawn transit time plus an additional `loss_permille` chance of
+    /// loss — the gray-failure middle ground between healthy and cut.
+    pub fn degrade_link(
+        &mut self,
+        from: u32,
+        to: u32,
+        at: Time,
+        until: Time,
+        extra_delay: Duration,
+        loss_permille: u32,
+    ) {
+        self.cmds.push(Command::Degrade {
+            from,
+            to,
+            at,
+            until,
+            extra_delay,
+            loss_permille,
+        });
+    }
+
+    /// Slows `node`'s CPU to `speed_permille / 1000` of nominal during
+    /// `[at, until)`: the node stays up and keeps emitting, but its work
+    /// lags — a straggler that can miss heartbeat deadlines without
+    /// being down. `speed_permille` is clamped to `1..=1000`.
+    pub fn slow_node(&mut self, node: u32, at: Time, until: Time, speed_permille: u32) {
+        self.cmds.push(Command::Slow {
+            node,
+            at,
+            until,
+            speed_permille,
+        });
+    }
+
+    /// Skews `node`'s local clock from `at` on: the node's timers run at
+    /// `1 + drift_ppb / 1e9` of real rate (negative drift = slow clock =
+    /// late heartbeats). A later skew of the same node supersedes it.
+    pub fn skew_clock(&mut self, node: u32, at: Time, drift_ppb: i64) {
+        self.cmds.push(Command::Skew {
+            node,
+            at,
+            drift_ppb,
+        });
     }
 
     /// Retunes the named replicated service's live workload to
@@ -764,6 +849,78 @@ impl ControlActor {
                     to: NodeId(a),
                     from_t: from,
                     until_t: until,
+                });
+            }
+            Command::CutOneWay {
+                from,
+                to,
+                at,
+                until,
+            } => {
+                if from >= self.nodes || to >= self.nodes || from == to {
+                    return;
+                }
+                let at = at.max(now);
+                let until = until.max(at);
+                ctx.control(ControlOp::CutLink {
+                    from: NodeId(from),
+                    to: NodeId(to),
+                    from_t: at,
+                    until_t: until,
+                });
+            }
+            Command::Degrade {
+                from,
+                to,
+                at,
+                until,
+                extra_delay,
+                loss_permille,
+            } => {
+                if from >= self.nodes || to >= self.nodes || from == to {
+                    return;
+                }
+                let at = at.max(now);
+                let until = until.max(at);
+                ctx.control(ControlOp::DegradeLink {
+                    from: NodeId(from),
+                    to: NodeId(to),
+                    from_t: at,
+                    until_t: until,
+                    extra_delay,
+                    loss_permille,
+                });
+            }
+            Command::Slow {
+                node,
+                at,
+                until,
+                speed_permille,
+            } => {
+                if node >= self.nodes {
+                    return;
+                }
+                let at = at.max(now);
+                let until = until.max(at + Duration::from_nanos(1));
+                ctx.control(ControlOp::SlowNode {
+                    node: NodeId(node),
+                    from_t: at,
+                    until_t: until,
+                    speed_permille,
+                });
+            }
+            Command::Skew {
+                node,
+                at,
+                drift_ppb,
+            } => {
+                if node >= self.nodes {
+                    return;
+                }
+                ctx.control(ControlOp::SkewClock {
+                    node: NodeId(node),
+                    at: at.max(now),
+                    drift_ppb,
                 });
             }
             Command::Throttle { service, permille } => {

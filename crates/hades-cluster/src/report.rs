@@ -107,8 +107,14 @@ pub struct RecoveryRecord {
     pub bytes_transferred: u64,
     /// State-transfer messages (chunks) shipped.
     pub chunks: u64,
+    /// Chunks recovered through selective retransmission (NACKed by the
+    /// joiner and resent by the server) — zero on clean links.
+    pub chunks_resent: u64,
     /// Logged operations the joiner replayed.
     pub log_entries_replayed: u64,
+    /// Whether the transfer was a delta (log tail only, the joiner's
+    /// durable checkpoint cursor covered the snapshot).
+    pub delta: bool,
 }
 
 /// One scripted application mode change, analysis and observed outcome.

@@ -1990,7 +1990,9 @@ impl Lowered {
                     views_traversed: rj.views_traversed,
                     bytes_transferred: rj.bytes,
                     chunks: rj.chunks,
+                    chunks_resent: rj.chunks_resent,
                     log_entries_replayed: rj.log_entries,
+                    delta: rj.delta,
                 });
             }
         }

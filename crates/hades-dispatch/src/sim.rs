@@ -675,7 +675,16 @@ impl Inner {
 
     /// Charges elapsed CPU time on `node` to whatever is current, records
     /// the trace segment and advances `since`.
+    ///
+    /// Under an injected CPU slowdown the wall-clock interval is converted
+    /// to work *progress* at the speed in force when the interval started
+    /// — safe because a fault transition resynchronises `since` at every
+    /// speed-window edge, so no charging interval straddles a boundary.
     fn sync_clock(&mut self, node: u32, now: Time) {
+        let speed = self
+            .network
+            .fault_plan()
+            .speed_permille(NodeId(node), self.nodes[node as usize].since);
         let ns = &mut self.nodes[node as usize];
         let Some(exec) = ns.current else {
             ns.since = now;
@@ -685,19 +694,24 @@ impl Inner {
         if elapsed.is_zero() {
             return;
         }
+        let progress = if speed == 1000 {
+            elapsed
+        } else {
+            Duration::from_nanos((elapsed.as_nanos() as u128 * speed as u128 / 1000) as u64)
+        };
         let lane = match exec {
             Exec::App(tid) => {
                 let th = self.threads.get_mut(&tid).expect("running thread exists");
-                th.remaining = th.remaining.saturating_sub(elapsed);
+                th.remaining = th.remaining.saturating_sub(progress);
                 th.name.clone()
             }
             Exec::Sched => {
-                ns.sched_remaining = ns.sched_remaining.saturating_sub(elapsed);
+                ns.sched_remaining = ns.sched_remaining.saturating_sub(progress);
                 self.scheduler_cpu += elapsed;
                 String::from("scheduler")
             }
             Exec::Irq(_) => {
-                ns.irq_remaining = ns.irq_remaining.saturating_sub(elapsed);
+                ns.irq_remaining = ns.irq_remaining.saturating_sub(progress);
                 self.kernel_cpu += elapsed;
                 String::from("kernel")
             }
@@ -706,6 +720,20 @@ impl Inner {
         ns.since = now;
         self.node_cpu[node as usize] += elapsed;
         self.trace.segment(NodeId(node), lane, since, now);
+    }
+
+    /// Wall-clock time `rem` of work takes on `node` at the CPU speed in
+    /// force at `now`. Ceiling division guarantees the completion instant
+    /// never undershoots the work, so a slowed exec still finishes at its
+    /// armed [`Ev::WorkDone`].
+    fn wall_for(&self, node: u32, now: Time, rem: Duration) -> Duration {
+        let speed = self.network.fault_plan().speed_permille(NodeId(node), now);
+        if speed == 1000 {
+            rem
+        } else {
+            let scaled = (rem.as_nanos() as u128 * 1000).div_ceil(speed as u128);
+            Duration::from_nanos(scaled as u64)
+        }
     }
 
     // ------------------------------------------------------------------
@@ -720,6 +748,13 @@ impl Inner {
             self.crash_node(node, now);
         } else if !crashed && self.nodes[node as usize].down {
             self.restart_node(node, now, sched);
+        } else if !self.nodes[node as usize].down
+            && self.network.fault_plan().has_slow_windows(NodeId(node))
+        {
+            // A CPU speed-window edge: charge the interval behind us at
+            // the old rate and re-arm the completion at the new one, so
+            // no charging interval ever straddles a speed boundary.
+            self.reschedule(node, now, sched);
         }
         if let Some(at) = self.network.fault_plan().next_transition(NodeId(node), now) {
             sched.post(at, Ev::FaultTransition { node });
@@ -764,6 +799,22 @@ impl Inner {
                     .get(&task)
                     .map_or(Time::ZERO, |(f, _)| *f);
                 self.activation_windows.insert(task, (from, at));
+            }
+            ControlOp::SlowNode {
+                node,
+                from_t,
+                until_t,
+                ..
+            } => {
+                mux::apply_network_op(self.network.fault_plan_mut(), op, now);
+                if (node.0 as usize) < self.nodes.len() {
+                    // Resynchronise CPU charging at both window edges
+                    // (same clamping as the plan mutation).
+                    let start = from_t.max(now);
+                    let end = until_t.max(start + Duration::from_nanos(1));
+                    sched.post(start, Ev::FaultTransition { node: node.0 });
+                    sched.post(end, Ev::FaultTransition { node: node.0 });
+                }
             }
             _ => {
                 let applied = mux::apply_network_op(self.network.fault_plan_mut(), op, now);
@@ -1015,8 +1066,9 @@ impl Inner {
         ns.version += 1;
         if ns.current.is_some() {
             let rem = self.current_remaining(node);
+            let wall = self.wall_for(node, now, rem);
             let version = self.nodes[node as usize].version;
-            sched.post(now + rem, Ev::WorkDone { node, version });
+            sched.post(now + wall, Ev::WorkDone { node, version });
         }
     }
 

@@ -54,6 +54,10 @@ pub struct RecoveryConfig {
     /// The primary's checkpoint cadence: the log tail never exceeds one
     /// such period of operations.
     pub checkpoint_period: Duration,
+    /// Whether servers offer *delta* transfers: a joiner whose durable
+    /// checkpoint cursor already covers the server's current checkpoint
+    /// receives only the log tail, skipping the snapshot bytes entirely.
+    pub delta_transfers: bool,
 }
 
 impl Default for RecoveryConfig {
@@ -69,6 +73,7 @@ impl Default for RecoveryConfig {
             replay_per_entry: Duration::from_micros(1),
             op_period: Duration::from_micros(100),
             checkpoint_period: Duration::from_millis(20),
+            delta_transfers: false,
         }
     }
 }
@@ -98,6 +103,24 @@ impl RecoveryConfig {
     /// one: the snapshot always ships).
     pub fn chunks(&self, log_tail: u64) -> u64 {
         self.bytes(log_tail).div_ceil(self.mtu.max(1)).max(1)
+    }
+
+    /// Index of the checkpoint interval containing `now`: a node whose
+    /// durable checkpoint cursor carries this generation holds the same
+    /// snapshot a server checkpointing at `now` would ship.
+    pub fn checkpoint_gen_at(&self, now: Time) -> u64 {
+        (now - Time::ZERO).as_nanos() / self.checkpoint_period.as_nanos().max(1)
+    }
+
+    /// Bytes of a *delta* transfer: the log tail alone, no snapshot.
+    pub fn delta_bytes(&self, log_tail: u64) -> u64 {
+        log_tail * self.log_entry_bytes
+    }
+
+    /// Chunks of a *delta* transfer (at least one, so the stream always
+    /// carries the "you are current" signal even on an empty tail).
+    pub fn delta_chunks(&self, log_tail: u64) -> u64 {
+        self.delta_bytes(log_tail).div_ceil(self.mtu.max(1)).max(1)
     }
 
     /// Local replay time of `log_tail` operations on the joiner.
@@ -139,10 +162,17 @@ pub struct RejoinRecord {
     pub views_traversed: u32,
     /// State-transfer messages received.
     pub chunks: u64,
-    /// State-transfer payload bytes received (snapshot + log tail).
+    /// Chunks the joiner NACKed and subsequently received again (selective
+    /// retransmissions on lossy links; zero on clean links).
+    pub chunks_resent: u64,
+    /// State-transfer payload bytes received (snapshot + log tail, or the
+    /// tail alone on a delta transfer).
     pub bytes: u64,
     /// Logged operations replayed.
     pub log_entries: u64,
+    /// Whether the transfer was a *delta*: the joiner's durable checkpoint
+    /// cursor let the server skip the snapshot and ship the tail only.
+    pub delta: bool,
 }
 
 impl RejoinRecord {
@@ -227,6 +257,33 @@ mod tests {
     }
 
     #[test]
+    fn delta_sizing_drops_the_snapshot() {
+        let cfg = RecoveryConfig {
+            checkpoint_bytes: 10_000,
+            log_entry_bytes: 100,
+            mtu: 1_000,
+            ..RecoveryConfig::default()
+        };
+        assert_eq!(cfg.delta_bytes(5), 500);
+        assert!(cfg.delta_bytes(5) < cfg.bytes(5));
+        assert_eq!(cfg.delta_chunks(5), 1);
+        assert_eq!(cfg.delta_chunks(0), 1, "the current-state signal ships");
+        assert!(cfg.delta_chunks(5) < cfg.chunks(5));
+    }
+
+    #[test]
+    fn checkpoint_generation_tracks_the_cadence() {
+        let cfg = RecoveryConfig {
+            checkpoint_period: us(1_000),
+            ..RecoveryConfig::default()
+        };
+        assert_eq!(cfg.checkpoint_gen_at(Time::ZERO), 0);
+        assert_eq!(cfg.checkpoint_gen_at(Time::ZERO + us(999)), 0);
+        assert_eq!(cfg.checkpoint_gen_at(Time::ZERO + us(1_000)), 1);
+        assert_eq!(cfg.checkpoint_gen_at(Time::ZERO + us(4_500)), 4);
+    }
+
+    #[test]
     fn rejoin_record_decomposition_sums_to_latency() {
         let r = RejoinRecord {
             node: 3,
@@ -238,8 +295,10 @@ mod tests {
             view: 2,
             views_traversed: 2,
             chunks: 4,
+            chunks_resent: 0,
             bytes: 4_000,
             log_entries: 12,
+            delta: false,
         };
         assert_eq!(
             r.announce_latency() + r.transfer_latency() + r.readmit_latency(),

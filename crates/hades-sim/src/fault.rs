@@ -15,7 +15,7 @@
 //! corresponding up/down flips.
 
 use crate::net::NodeId;
-use hades_time::Time;
+use hades_time::{Duration, Time};
 use std::collections::HashMap;
 
 /// A time window during which messages on matching links are dropped.
@@ -42,6 +42,71 @@ impl OmissionWindow {
             && now >= self.start
             && now <= self.end
     }
+}
+
+/// A gray-failure window degrading (not severing) matching links: every
+/// message on a matching link suffers `extra_delay` on top of its drawn
+/// transit time and an additional independent loss probability.
+///
+/// `from`/`to` of `None` act as wildcards, mirroring [`OmissionWindow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedWindow {
+    /// Sending node filter (`None` = any sender).
+    pub from: Option<NodeId>,
+    /// Receiving node filter (`None` = any receiver).
+    pub to: Option<NodeId>,
+    /// First instant of the window (inclusive).
+    pub start: Time,
+    /// Last instant of the window (inclusive).
+    pub end: Time,
+    /// Extra transit delay added to every delivered message.
+    pub extra_delay: Duration,
+    /// Additional loss probability (‰) on top of the link's own rate.
+    pub extra_loss_permille: u32,
+}
+
+impl DegradedWindow {
+    /// Whether a message `from → to` sent at `now` falls in this window.
+    pub fn matches(&self, from: NodeId, to: NodeId, now: Time) -> bool {
+        self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
+            && now >= self.start
+            && now <= self.end
+    }
+}
+
+/// A gray-failure window slowing one node's CPU: work in `[start, end)`
+/// progresses at `speed_permille / 1000` of real rate, so a lagging node
+/// misses deadlines (and heartbeat emissions drift late) without being
+/// down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowWindow {
+    /// First slowed instant (inclusive).
+    pub start: Time,
+    /// End of the slowdown (exclusive) — full speed again from here.
+    pub end: Time,
+    /// CPU speed during the window, in permille of nominal (`1000` =
+    /// full speed; clamped to at least 1 so work always progresses).
+    pub speed_permille: u32,
+}
+
+impl SlowWindow {
+    /// Whether the node runs slowed at `now` under this window.
+    pub fn covers(&self, now: Time) -> bool {
+        now >= self.start && now < self.end
+    }
+}
+
+/// A per-node clock-skew entry: from `start` on, the node's local clock
+/// advances at `1 + drift_ppb / 1e9` of real rate, stretching (negative
+/// drift) or compressing (positive drift) every locally-measured
+/// interval. The latest entry at or before an instant is in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockSkew {
+    /// First skewed instant (inclusive).
+    pub start: Time,
+    /// Clock drift in parts per billion (positive = fast clock).
+    pub drift_ppb: i64,
 }
 
 /// One crash window of a node: fail-silent during `[crash_at, restart_at)`.
@@ -83,6 +148,9 @@ impl CrashWindow {
 pub struct FaultPlan {
     crashes: HashMap<NodeId, Vec<CrashWindow>>,
     windows: Vec<OmissionWindow>,
+    degraded: Vec<DegradedWindow>,
+    slows: HashMap<NodeId, Vec<SlowWindow>>,
+    skews: HashMap<NodeId, Vec<ClockSkew>>,
 }
 
 impl FaultPlan {
@@ -222,6 +290,136 @@ impl FaultPlan {
         self
     }
 
+    /// Degrades the directed link `from → to` within `[start, end]`:
+    /// every message suffers `extra_delay` plus an additional
+    /// `extra_loss_permille` chance of loss (gray failure, builder form).
+    pub fn degrade_link(
+        mut self,
+        from: NodeId,
+        to: NodeId,
+        start: Time,
+        end: Time,
+        extra_delay: Duration,
+        extra_loss_permille: u32,
+    ) -> Self {
+        self.add_degrade(
+            Some(from),
+            Some(to),
+            start,
+            end,
+            extra_delay,
+            extra_loss_permille,
+        );
+        self
+    }
+
+    /// In-place form of [`FaultPlan::degrade_link`] for runtime injection,
+    /// with `None` endpoint filters acting as wildcards.
+    pub fn add_degrade(
+        &mut self,
+        from: Option<NodeId>,
+        to: Option<NodeId>,
+        start: Time,
+        end: Time,
+        extra_delay: Duration,
+        extra_loss_permille: u32,
+    ) {
+        self.degraded.push(DegradedWindow {
+            from,
+            to,
+            start,
+            end,
+            extra_delay,
+            extra_loss_permille: extra_loss_permille.min(1000),
+        });
+    }
+
+    /// The combined degradation on the directed link `from → to` at `now`:
+    /// total extra delay and saturated extra loss (‰) over every matching
+    /// window, or `None` when no window matches (the common healthy case —
+    /// callers must draw no randomness then).
+    pub fn degrade(&self, from: NodeId, to: NodeId, now: Time) -> Option<(Duration, u32)> {
+        let mut hit = false;
+        let mut delay = Duration::ZERO;
+        let mut loss: u32 = 0;
+        for w in self.degraded.iter().filter(|w| w.matches(from, to, now)) {
+            hit = true;
+            delay += w.extra_delay;
+            loss = (loss + w.extra_loss_permille).min(1000);
+        }
+        hit.then_some((delay, loss))
+    }
+
+    /// Slows `node`'s CPU to `speed_permille / 1000` of nominal during
+    /// `[start, end)` (builder form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn slow_node(mut self, node: NodeId, start: Time, end: Time, speed_permille: u32) -> Self {
+        self.add_slow(node, start, end, speed_permille);
+        self
+    }
+
+    /// In-place form of [`FaultPlan::slow_node`] for runtime injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn add_slow(&mut self, node: NodeId, start: Time, end: Time, speed_permille: u32) {
+        assert!(end > start, "slow window must have positive length");
+        self.slows.entry(node).or_default().push(SlowWindow {
+            start,
+            end,
+            speed_permille: speed_permille.clamp(1, 1000),
+        });
+    }
+
+    /// The CPU speed (‰ of nominal) of `node` at `now`: the minimum over
+    /// all covering slow windows, `1000` when none covers.
+    pub fn speed_permille(&self, node: NodeId, now: Time) -> u32 {
+        self.slows
+            .get(&node)
+            .into_iter()
+            .flatten()
+            .filter(|w| w.covers(now))
+            .map(|w| w.speed_permille)
+            .min()
+            .unwrap_or(1000)
+    }
+
+    /// Whether `node` has any slow windows scheduled (cheap guard letting
+    /// embeddings skip speed resynchronisation entirely on healthy runs).
+    pub fn has_slow_windows(&self, node: NodeId) -> bool {
+        self.slows.get(&node).is_some_and(|ws| !ws.is_empty())
+    }
+
+    /// Skews `node`'s local clock from `start` on: it advances at
+    /// `1 + drift_ppb / 1e9` of real rate (builder form). A later entry
+    /// for the same node supersedes earlier ones from its start instant.
+    pub fn skew_clock(mut self, node: NodeId, start: Time, drift_ppb: i64) -> Self {
+        self.add_skew(node, start, drift_ppb);
+        self
+    }
+
+    /// In-place form of [`FaultPlan::skew_clock`] for runtime injection.
+    pub fn add_skew(&mut self, node: NodeId, start: Time, drift_ppb: i64) {
+        let entries = self.skews.entry(node).or_default();
+        entries.push(ClockSkew { start, drift_ppb });
+        entries.sort_by_key(|s| s.start);
+    }
+
+    /// The clock drift (ppb) of `node` in force at `now`: the latest
+    /// entry whose start is at or before `now`, `0` when none.
+    pub fn clock_drift_ppb(&self, node: NodeId, now: Time) -> i64 {
+        self.skews
+            .get(&node)
+            .into_iter()
+            .flatten()
+            .rfind(|s| s.start <= now)
+            .map_or(0, |s| s.drift_ppb)
+    }
+
     /// Whether `node` is down at `now`: inside some crash window
     /// (crash instant inclusive, restart instant exclusive).
     pub fn is_crashed(&self, node: NodeId, now: Time) -> bool {
@@ -238,16 +436,25 @@ impl FaultPlan {
             .map(|w| w.crash_at)
     }
 
-    /// The next up/down transition of `node` strictly after `now`: the
-    /// start or (exclusive) end of the next crash window.
+    /// The next state transition of `node` strictly after `now`: the
+    /// start or (exclusive) end of the next crash window or CPU slow
+    /// window. Embedding engines schedule their up/down flips and speed
+    /// resynchronisation points off this.
     pub fn next_transition(&self, node: NodeId, now: Time) -> Option<Time> {
-        self.crashes.get(&node).and_then(|ws| {
-            ws.iter()
-                .flat_map(|w| [Some(w.crash_at), w.restart_at])
-                .flatten()
-                .filter(|t| *t > now)
-                .min()
-        })
+        let crash_edges = self
+            .crashes
+            .get(&node)
+            .into_iter()
+            .flatten()
+            .flat_map(|w| [Some(w.crash_at), w.restart_at])
+            .flatten();
+        let slow_edges = self
+            .slows
+            .get(&node)
+            .into_iter()
+            .flatten()
+            .flat_map(|w| [w.start, w.end]);
+        crash_edges.chain(slow_edges).filter(|t| *t > now).min()
     }
 
     /// Whether the directed link `from → to` is cut at `now` by any window.
@@ -406,5 +613,57 @@ mod tests {
     fn crashes_listing_is_sorted() {
         let p = FaultPlan::new().crash_at(N2, ns(5)).crash_at(N0, ns(9));
         assert_eq!(p.crashes(), vec![(N0, ns(9)), (N2, ns(5))]);
+    }
+
+    #[test]
+    fn degraded_windows_stack_delay_and_saturate_loss() {
+        let d = Duration::from_nanos;
+        let p = FaultPlan::new()
+            .degrade_link(N0, N1, ns(10), ns(20), d(5), 600)
+            .degrade_link(N0, N1, ns(15), ns(30), d(7), 700);
+        assert_eq!(p.degrade(N0, N1, ns(9)), None);
+        assert_eq!(p.degrade(N0, N1, ns(12)), Some((d(5), 600)));
+        assert_eq!(p.degrade(N0, N1, ns(18)), Some((d(12), 1000)), "saturated");
+        assert_eq!(p.degrade(N0, N1, ns(25)), Some((d(7), 700)));
+        assert_eq!(p.degrade(N1, N0, ns(12)), None, "directional");
+        assert_eq!(p.degrade(N0, N1, ns(31)), None);
+    }
+
+    #[test]
+    fn slow_windows_take_the_minimum_speed_and_feed_transitions() {
+        let p = FaultPlan::new()
+            .slow_node(N1, ns(100), ns(200), 250)
+            .slow_node(N1, ns(150), ns(300), 500);
+        assert_eq!(p.speed_permille(N1, ns(99)), 1000);
+        assert_eq!(p.speed_permille(N1, ns(100)), 250);
+        assert_eq!(p.speed_permille(N1, ns(199)), 250, "min of overlaps");
+        assert_eq!(p.speed_permille(N1, ns(200)), 500, "end is exclusive");
+        assert_eq!(p.speed_permille(N1, ns(300)), 1000);
+        assert_eq!(p.speed_permille(N0, ns(150)), 1000);
+        assert!(p.has_slow_windows(N1));
+        assert!(!p.has_slow_windows(N0));
+        // next_transition now walks slow edges too.
+        assert_eq!(p.next_transition(N1, Time::ZERO), Some(ns(100)));
+        assert_eq!(p.next_transition(N1, ns(100)), Some(ns(150)));
+        assert_eq!(p.next_transition(N1, ns(150)), Some(ns(200)));
+        assert_eq!(p.next_transition(N1, ns(200)), Some(ns(300)));
+        assert_eq!(p.next_transition(N1, ns(300)), None);
+    }
+
+    #[test]
+    fn speed_is_clamped_to_progress() {
+        let p = FaultPlan::new().slow_node(N0, ns(0), ns(10), 0);
+        assert_eq!(p.speed_permille(N0, ns(5)), 1, "never fully stalled");
+    }
+
+    #[test]
+    fn clock_skew_latest_entry_wins() {
+        let p = FaultPlan::new()
+            .skew_clock(N2, ns(100), 50_000)
+            .skew_clock(N2, ns(200), -80_000);
+        assert_eq!(p.clock_drift_ppb(N2, ns(99)), 0);
+        assert_eq!(p.clock_drift_ppb(N2, ns(100)), 50_000);
+        assert_eq!(p.clock_drift_ppb(N2, ns(250)), -80_000);
+        assert_eq!(p.clock_drift_ppb(N0, ns(250)), 0);
     }
 }

@@ -174,6 +174,51 @@ pub enum ControlOp {
         /// Last instant of the cut (inclusive).
         until_t: Time,
     },
+    /// Degrade (without severing) the directed link `from → to` within
+    /// `[from_t, until_t]`: every message suffers `extra_delay` on top of
+    /// its drawn transit time plus an additional `loss_permille` chance
+    /// of loss (gray failure).
+    DegradeLink {
+        /// Sending side.
+        from: NodeId,
+        /// Receiving side.
+        to: NodeId,
+        /// First instant of the degradation (inclusive).
+        from_t: Time,
+        /// Last instant of the degradation (inclusive).
+        until_t: Time,
+        /// Extra transit delay added to every delivered message.
+        extra_delay: Duration,
+        /// Additional loss probability (‰) on top of the link's own rate.
+        loss_permille: u32,
+    },
+    /// Slow `node`'s CPU to `speed_permille / 1000` of nominal during
+    /// `[from_t, until_t)`: the node stays up and keeps emitting, but its
+    /// work (and deadline compliance) lags. Interpreted by embeddings
+    /// that host a task dispatcher; the bare [`ActorEngine`] has no CPU
+    /// model and records it in the plan only.
+    SlowNode {
+        /// The slowed node.
+        node: NodeId,
+        /// First slowed instant (inclusive).
+        from_t: Time,
+        /// End of the slowdown (exclusive).
+        until_t: Time,
+        /// CPU speed during the window (‰ of nominal, clamped ≥ 1).
+        speed_permille: u32,
+    },
+    /// Skew `node`'s local clock from `at` on: locally-measured timer
+    /// intervals of that node's actors stretch (negative drift) or
+    /// compress (positive drift) by `1 + drift_ppb / 1e9` relative to
+    /// engine time.
+    SkewClock {
+        /// The skewed node.
+        node: NodeId,
+        /// First skewed instant (inclusive).
+        at: Time,
+        /// Clock drift in parts per billion (positive = fast clock).
+        drift_ppb: i64,
+    },
     /// Open the activation window of dispatcher task `task` at `at`
     /// (admit a standby task into the running schedule).
     AdmitTask {
@@ -241,8 +286,27 @@ impl ActorCtx<'_> {
     }
 
     /// Arms a timer for the reacting actor at absolute time `at`.
+    ///
+    /// The interval is measured on the actor's node-local clock: under an
+    /// injected clock skew ([`ControlOp::SkewClock`]) the engine-time
+    /// firing instant stretches or compresses accordingly. Unskewed nodes
+    /// (the only case on a fault-free run) fire exactly at `at`.
     pub fn timer_at(&mut self, at: Time, tag: u64) {
-        let at = at.max(self.now);
+        let mut at = at.max(self.now);
+        let drift = self
+            .net
+            .fault_plan()
+            .clock_drift_ppb(self.self_node, self.now);
+        let local = at - self.now;
+        if drift != 0 && !local.is_zero() {
+            // A fast clock compresses the wait but must never collapse a
+            // nonzero local interval to zero real time: an actor that
+            // re-arms an absolute deadline on an early fire would then
+            // spin forever at one instant.
+            let real =
+                hades_time::clock::dilate_interval(local, drift).max(Duration::from_nanos(1));
+            at = self.now + real;
+        }
         self.staged
             .push((at, self.self_id, ActorEvent::Timer { tag }));
     }
@@ -573,6 +637,43 @@ pub fn apply_network_op(
             until_t,
         } => {
             plan.add_cut(from, to, from_t.max(now), until_t.max(now));
+            None
+        }
+        ControlOp::DegradeLink {
+            from,
+            to,
+            from_t,
+            until_t,
+            extra_delay,
+            loss_permille,
+        } => {
+            plan.add_degrade(
+                Some(from),
+                Some(to),
+                from_t.max(now),
+                until_t.max(now),
+                extra_delay,
+                loss_permille,
+            );
+            None
+        }
+        ControlOp::SlowNode {
+            node,
+            from_t,
+            until_t,
+            speed_permille,
+        } => {
+            let start = from_t.max(now);
+            let end = until_t.max(start + Duration::from_nanos(1));
+            plan.add_slow(node, start, end, speed_permille);
+            None
+        }
+        ControlOp::SkewClock {
+            node,
+            at,
+            drift_ppb,
+        } => {
+            plan.add_skew(node, at.max(now), drift_ppb);
             None
         }
         ControlOp::AdmitTask { .. } | ControlOp::RetireTask { .. } => None,

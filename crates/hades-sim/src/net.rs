@@ -248,6 +248,19 @@ impl Network {
             self.stats.omitted_random += 1;
             return Delivery::Omitted;
         }
+        // Gray-failure degradation: an extra loss draw and an added delay,
+        // only when a degraded window matches — the healthy path draws no
+        // extra randomness, keeping unused hooks pure observation.
+        let extra = match self.plan.degrade(from, to, now) {
+            Some((delay, loss)) => {
+                if loss > 0 && self.rng.chance_permille(loss) {
+                    self.stats.omitted_random += 1;
+                    return Delivery::Omitted;
+                }
+                delay
+            }
+            None => Duration::ZERO,
+        };
         let healthy = Duration::from_nanos(
             self.rng
                 .range_inclusive(link.delay_min.as_nanos(), link.delay_max.as_nanos()),
@@ -258,10 +271,10 @@ impl Network {
                     .range_inclusive(1, link.late_excess_max.as_nanos().max(1)),
             );
             self.stats.delivered_late += 1;
-            Delivery::At(now + link.delay_max + excess)
+            Delivery::At(now + link.delay_max + excess + extra)
         } else {
             self.stats.delivered_on_time += 1;
-            Delivery::At(now + healthy)
+            Delivery::At(now + healthy + extra)
         }
     }
 
@@ -380,6 +393,48 @@ mod tests {
             net.transit(NodeId(0), NodeId(1), Time::from_nanos(21)),
             Delivery::At(_)
         ));
+    }
+
+    #[test]
+    fn degraded_window_inflates_delay_and_loses_messages() {
+        let plan = FaultPlan::new()
+            .degrade_link(
+                NodeId(0),
+                NodeId(1),
+                Time::from_nanos(0),
+                Time::from_nanos(1_000),
+                micro(100),
+                0,
+            )
+            .degrade_link(
+                NodeId(1),
+                NodeId(0),
+                Time::from_nanos(0),
+                Time::from_nanos(1_000),
+                Duration::ZERO,
+                1000,
+            );
+        let mut net = Network::homogeneous(
+            2,
+            LinkConfig::reliable(micro(1), micro(2)),
+            SimRng::seed_from(11),
+        )
+        .with_fault_plan(plan);
+        // Forward direction: delivered, but at least 100 µs late.
+        let t = net
+            .transit(NodeId(0), NodeId(1), Time::ZERO)
+            .time()
+            .expect("degraded, not cut");
+        assert!(t >= Time::ZERO + micro(101) && t <= Time::ZERO + micro(102));
+        // Reverse direction: saturated extra loss drops everything.
+        assert_eq!(
+            net.transit(NodeId(1), NodeId(0), Time::ZERO),
+            Delivery::Omitted
+        );
+        // Outside the window both directions are healthy again.
+        let after = Time::from_nanos(2_000);
+        assert!(net.transit(NodeId(0), NodeId(1), after).time().unwrap() <= after + micro(2));
+        assert!(net.transit(NodeId(1), NodeId(0), after).time().is_some());
     }
 
     #[test]

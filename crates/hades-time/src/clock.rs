@@ -28,6 +28,39 @@ pub enum ClockFault {
     Rate(u64, u64),
 }
 
+/// Stretches a *locally measured* interval into the real time it spans
+/// under a clock drift of `drift_ppb`, the inverse of the
+/// [`HardwareClock`] rate model: a slow clock (negative drift) counts
+/// fewer ticks per real second, so a node waiting a fixed local interval
+/// waits *longer* in real time — `real = local · 10⁹ / (10⁹ + drift)`.
+///
+/// Simulation embeddings use this to run a skewed node's timers off its
+/// local clock while the engine itself stays on real time. Drift at or
+/// below −10⁹ (a stopped or backwards clock) is clamped so the result
+/// stays finite.
+///
+/// # Examples
+///
+/// ```
+/// use hades_time::{clock::dilate_interval, Duration};
+///
+/// // A 1% slow clock stretches a 1 ms local wait to ~1.0101 ms real.
+/// let real = dilate_interval(Duration::from_millis(1), -10_000_000);
+/// assert_eq!(real.as_nanos(), 1_010_101);
+/// // A perfect clock leaves the interval untouched.
+/// assert_eq!(
+///     dilate_interval(Duration::from_millis(1), 0),
+///     Duration::from_millis(1)
+/// );
+/// ```
+pub fn dilate_interval(local: Duration, drift_ppb: i64) -> Duration {
+    if drift_ppb == 0 {
+        return local;
+    }
+    let rate = (1_000_000_000i64 + drift_ppb).max(1) as u128;
+    Duration::from_nanos((local.as_nanos() as u128 * 1_000_000_000 / rate) as u64)
+}
+
 /// A drifting hardware clock.
 ///
 /// Reading the clock maps *real* (simulation) time to *clock* time using an
@@ -184,6 +217,19 @@ mod tests {
     use super::*;
 
     const SEC: Duration = Duration::from_secs(1);
+
+    #[test]
+    fn dilation_inverts_the_drift_rate() {
+        // Fast clock: local intervals elapse in less real time.
+        let fast = dilate_interval(SEC, 1_000_000);
+        assert_eq!(fast.as_nanos(), 999_000_999);
+        // Slow clock: stretched.
+        let slow = dilate_interval(SEC, -1_000_000);
+        assert_eq!(slow.as_nanos(), 1_001_001_001);
+        // A stopped clock is clamped, not divided by zero.
+        let stopped = dilate_interval(SEC, -2_000_000_000);
+        assert!(stopped.as_nanos() > SEC.as_nanos());
+    }
 
     #[test]
     fn perfect_clock_tracks_real_time() {

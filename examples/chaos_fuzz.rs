@@ -1,0 +1,113 @@
+//! Bounded chaos-fuzz smoke: the CI entry point of `hades-chaos`.
+//!
+//! Two stages, both deterministic:
+//!
+//! 1. **Corpus replay** — every scenario committed under
+//!    `crates/hades-chaos/corpus/` must still raise its expected
+//!    invariant violation. A silent replay is a regression in either
+//!    the protocol or the watchdog and fails the run.
+//! 2. **Fixed-seed campaign** — generate and run N random fault/load
+//!    programs against the standard spec with the watchdog armed.
+//!    Every counterexample must shrink to a program that (a) still
+//!    reproduces its violation and (b) is locally minimal: removing
+//!    any single remaining op loses it.
+//!
+//! All violations found are written to `target/chaos/violations.jsonl`
+//! (schema-checked) so CI can upload them as an artifact.
+//!
+//! Run with `cargo run --release --example chaos_fuzz [seed] [programs]`.
+
+use hades::prelude::*;
+use hades_telemetry::monitor::validate_violations;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(7);
+    let programs: usize = args
+        .next()
+        .map(|s| s.parse().expect("program count must be an integer"))
+        .unwrap_or(24);
+    let mut failures = 0u32;
+
+    // Stage 1: the committed corpus still reproduces.
+    let corpus_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("crates/hades-chaos/corpus/serverless-stall.jsonl");
+    let text = std::fs::read_to_string(&corpus_path).expect("committed corpus file");
+    let scenarios = hades_chaos::parse_corpus(&text).expect("corpus parses");
+    println!(
+        "corpus: {} scenario(s) from {}",
+        scenarios.len(),
+        corpus_path.display()
+    );
+    for scenario in &scenarios {
+        if scenario.reproduces() {
+            println!(
+                "  reproduced  {:24} -> {:?}",
+                scenario.name, scenario.expect.monitor
+            );
+        } else {
+            println!(
+                "  REGRESSION  {:24} -> {:?} no longer fires",
+                scenario.name, scenario.expect
+            );
+            failures += 1;
+        }
+    }
+
+    // Stage 2: bounded fixed-seed campaign.
+    let mut fuzzer = ChaosFuzzer::standard(FuzzConfig::default(), seed);
+    let campaign = fuzzer.campaign(programs);
+    println!(
+        "campaign: seed {seed}, {} program(s), {} counterexample(s)",
+        campaign.programs_run,
+        campaign.counterexamples.len()
+    );
+    for cx in &campaign.counterexamples {
+        let shrunk_ok = fuzzer.reproduces(&cx.minimized, &cx.key);
+        let minimal = (0..cx.minimized.ops.len()).all(|i| {
+            let mut without = cx.minimized.clone();
+            without.ops.remove(i);
+            !fuzzer.reproduces(&without, &cx.key)
+        });
+        let verdict = match (shrunk_ok, minimal) {
+            (true, true) => "ok",
+            (false, _) => "NOT REPRODUCING",
+            (true, false) => "NOT MINIMAL",
+        };
+        if verdict != "ok" {
+            failures += 1;
+        }
+        println!(
+            "  #{:03} {:18} {} op(s) -> {} op(s), {} violation(s)  [{verdict}]",
+            cx.index,
+            cx.key.monitor,
+            cx.program.ops.len(),
+            cx.minimized.ops.len(),
+            cx.violations.len()
+        );
+    }
+
+    // Artifact: every violation found, schema-checked JSONL.
+    let jsonl = campaign.violations_jsonl();
+    match validate_violations(&jsonl) {
+        Ok(lines) => println!("violations.jsonl: {lines} schema-valid line(s)"),
+        Err(e) => {
+            println!("violations.jsonl FAILED schema check: {e}");
+            failures += 1;
+        }
+    }
+    let out_dir = std::path::Path::new("target/chaos");
+    std::fs::create_dir_all(out_dir).expect("create target/chaos");
+    let out = out_dir.join("violations.jsonl");
+    std::fs::write(&out, &jsonl).expect("write violations artifact");
+    println!("wrote {}", out.display());
+
+    if failures > 0 {
+        println!("chaos fuzz smoke FAILED: {failures} problem(s)");
+        std::process::exit(1);
+    }
+    println!("chaos fuzz smoke passed");
+}

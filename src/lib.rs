@@ -28,6 +28,7 @@
 //! | [`hades_sched`] | RM/DM/EDF/Spring policies and the feasibility analyses of Section 5 |
 //! | [`hades_services`] | clock sync, reliable broadcast/multicast, crash detection, consensus, replication, storage, dependency tracking |
 //! | [`hades_cluster`] | the integrated multi-node runtime: N per-node stacks (dispatcher + policy + services) over one shared engine and network |
+//! | [`hades_chaos`] | gray-failure fault fabric programs and the invariant-guided scenario fuzzer (generate → watchdog oracle → shrink → corpus) |
 //! | [`hades_telemetry`] | engine-time metrics registry, protocol trace spans, deterministic profiler (time/traffic attribution, flamegraph export), JSONL export — near-free when disabled |
 //!
 //! ## Quickstart
@@ -53,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub use hades_chaos;
 pub use hades_cluster;
 pub use hades_dispatch;
 pub use hades_sched;
@@ -69,6 +71,9 @@ pub use system::{HadesNode, Policy, SystemError};
 /// One-stop imports for building and running a HADES deployment.
 pub mod prelude {
     pub use crate::system::{HadesNode, Policy, SystemError};
+    pub use hades_chaos::{
+        ChaosFuzzer, ChaosOp, ChaosProgram, CorpusScenario, FuzzConfig, ProgramDriver, ViolationKey,
+    };
     pub use hades_cluster::{
         Bursty, ClosedLoop, ClusterEvent, ClusterReport, ClusterRun, ClusterSpec, ConstantRate,
         ControlHandle, GroupLoad, GroupReport, MiddlewareConfig, ModeChangeRecord, PlanDriver,
