@@ -32,6 +32,7 @@
 
 use hades_cluster::{ClosedLoop, ClusterSpec, GroupLoad, ScenarioPlan, ServiceSpec};
 use hades_dispatch::CostModel;
+use hades_fabric::{Arrival, FabricSpec, LoadClass};
 use hades_sched::Policy;
 use hades_services::ReplicaStyle;
 use hades_sim::NodeId;
@@ -87,6 +88,60 @@ pub fn perf_scenario(nodes: u32, seed: u64, horizon: Duration) -> ClusterSpec {
             .service(ServiceSpec::periodic("logging", node, us(500), ms(10)));
     }
     spec
+}
+
+/// The population-scale fabric scenario (`fabric_1m`): one million
+/// simulated clients in three load classes (steady browse, bursty
+/// checkout, ramping api) over 64 consistent-hash shards on 24 nodes,
+/// with a mid-run follower crash at 10 ms so the measured window
+/// includes a `FabricDirector` rebalance of the crashed placement's
+/// shards. Client counts are pure rate multipliers — the engine sees
+/// only the aggregate per-shard streams.
+pub fn fabric_scenario(seed: u64, horizon: Duration) -> FabricSpec {
+    FabricSpec::new(24, 64)
+        .class(LoadClass::new("browse", 700_000, Duration::from_secs(15)))
+        .class(
+            LoadClass::new("checkout", 200_000, Duration::from_secs(8)).arrival(Arrival::Bursty {
+                on: ms(4),
+                off: ms(6),
+            }),
+        )
+        .class(
+            LoadClass::new("api", 100_000, Duration::from_secs(2))
+                .arrival(Arrival::Ramp { from_permille: 300 }),
+        )
+        .horizon(horizon)
+        .seed(seed)
+        .scenario(ScenarioPlan::new().crash(NodeId(4), Time::ZERO + ms(10)))
+}
+
+/// Runs a fabric spec and folds its telemetry into the same scenario
+/// record as the scaling runs, with the `fabric.response_ns` family as
+/// the latency source (the fabric report merges every shard's group
+/// responses).
+fn run_fabric(name: &str, nodes: u32, spec: FabricSpec) -> ScenarioPerf {
+    let registry = Registry::enabled();
+    let run = spec
+        .telemetry(registry.clone())
+        .run()
+        .expect("valid fabric spec");
+    let metrics = &run.metrics;
+    let response = metrics.histogram("fabric.response_ns");
+    ScenarioPerf {
+        name: name.to_string(),
+        nodes,
+        events: metrics.counter("engine.events").unwrap_or(0),
+        wall_ns: registry.volatile("engine.wall_ns").unwrap_or(0),
+        heartbeats_sent: metrics.counter("agents.heartbeats_sent").unwrap_or(0),
+        peak_queue_depth: metrics.gauge("engine.queue_depth_peak").unwrap_or(0),
+        ctx_switches: metrics.counter("dispatch.ctx_switches").unwrap_or(0),
+        abandoned: metrics.counter("group.requests_abandoned").unwrap_or(0),
+        spans_dropped: metrics.counter("telemetry.spans_dropped").unwrap_or(0),
+        response_count: response.map_or(0, |h| h.count),
+        response_p50: response.map_or(0, |h| h.p50),
+        response_p99: response.map_or(0, |h| h.p99),
+        response_p999: response.map_or(0, |h| h.p999),
+    }
 }
 
 /// One scenario's measurements, straight out of the telemetry snapshot.
@@ -215,8 +270,10 @@ fn peak_rss_bytes() -> u64 {
 }
 
 /// Builds the full snapshot document: the 24/48/96-node scaling
-/// scenarios, the instrumented-vs-disabled overhead measurement at 24
-/// nodes, and the process's peak RSS.
+/// scenarios, the `fabric_1m` population-scale fabric scenario (10⁶
+/// clients over 64 shards with a mid-run rebalance), the
+/// instrumented-vs-disabled overhead measurement at 24 nodes, and the
+/// process's peak RSS.
 pub fn build_snapshot() -> String {
     build_snapshot_profiled(false).0
 }
@@ -231,7 +288,7 @@ pub fn build_snapshot() -> String {
 pub fn build_snapshot_profiled(profile: bool) -> (String, Vec<ProfileArtifacts>) {
     let horizon = ms(30);
     let mut artifacts = Vec::new();
-    let scenarios: Vec<ScenarioPerf> = [24u32, 48, 96]
+    let mut scenarios: Vec<ScenarioPerf> = [24u32, 48, 96]
         .iter()
         .map(|&nodes| {
             let (perf, art) = run_scenario(&format!("cluster{nodes}"), nodes, horizon, profile);
@@ -239,6 +296,9 @@ pub fn build_snapshot_profiled(profile: bool) -> (String, Vec<ProfileArtifacts>)
             perf
         })
         .collect();
+    // The fabric scenario rides the same gate but not the profiler (CI
+    // asserts exactly the three cluster* profile docs).
+    scenarios.push(run_fabric("fabric_1m", 24, fabric_scenario(7, horizon)));
 
     // Instrumented-vs-disabled overhead: the same 24-node run, once with
     // an enabled registry and once with the default disabled one, both
@@ -544,6 +604,28 @@ mod tests {
         assert!(validate_snapshot(&no_spans)
             .unwrap_err()
             .contains("spans_dropped"));
+    }
+
+    #[test]
+    fn fabric_scenario_produces_a_gateable_record() {
+        // A scaled-down fabric keeps the debug-mode test affordable;
+        // the full 1M-client sweep runs in the release-mode binary.
+        let small = FabricSpec::new(6, 8)
+            .class(LoadClass::new("web", 60_000, Duration::from_secs(5)))
+            .horizon(ms(10))
+            .seed(7)
+            .scenario(ScenarioPlan::new().crash(NodeId(1), Time::ZERO + ms(4)));
+        let s = run_fabric("fabric_small", 6, small);
+        assert!(s.events > 0, "engine events must be counted");
+        assert!(s.response_count > 0, "fabric responses must be graded");
+        assert!(s.response_p50 <= s.response_p999);
+        let mut doc = String::from("{\"schema\":\"hades.bench.cluster.v1\",\"scenarios\":[");
+        doc.push_str(&s.to_json());
+        doc.push_str(
+            "],\"overhead\":{\"nodes\":6,\"instrumented_wall_ns\":1,\
+             \"baseline_wall_ns\":1,\"overhead_pct\":0.0},\"peak_rss_bytes\":0}",
+        );
+        validate_snapshot(&doc).expect("well-formed snapshot");
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! ```json
 //! {"schema":"hades-chaos-scenario","version":1,"name":"...",
 //!  "nodes":4,"horizon_ns":100000000,"seed":7,
-//!  "expect":{"monitor":"stalled-transfer","node":0,"group":null},
-//!  "ops":[{"op":"crash","node":0,"at_ns":15000000,"until_ns":35000000}]}
+//!  "expect":{"monitor":"silent-group","node":null,"group":0},
+//!  "ops":[{"op":"skew","node":0,"at_ns":0,"drift_ppb":8799611}]}
 //! ```
 
 use hades_telemetry::json::{escape, Json};
@@ -154,25 +154,26 @@ mod tests {
     fn sample() -> CorpusScenario {
         let ms = |n| Time::ZERO + Duration::from_millis(n);
         CorpusScenario {
-            name: "serverless-stall".into(),
+            name: "cut-during-view-change".into(),
             nodes: 4,
             horizon: Duration::from_millis(100),
             seed: 7,
             expect: ViolationKey {
-                monitor: "stalled-transfer".into(),
-                node: Some(0),
+                monitor: "view-agreement".into(),
+                node: Some(3),
                 group: None,
             },
             program: ChaosProgram {
                 ops: vec![
-                    ChaosOp::Crash {
-                        node: 0,
-                        at: ms(15),
-                        until: Some(ms(35)),
+                    ChaosOp::CutOneWay {
+                        from: 0,
+                        to: 3,
+                        at: ms(63),
+                        until: ms(66),
                     },
                     ChaosOp::Crash {
                         node: 1,
-                        at: ms(34),
+                        at: ms(61),
                         until: None,
                     },
                 ],

@@ -10,8 +10,12 @@
 //! Found counterexamples are delta-debugged by [`ChaosFuzzer::shrink`]:
 //! first drop whole ops to a fixpoint (local minimality — removing any
 //! single remaining op loses the violation), then narrow what is left
-//! (halve long fault windows, shed burst victims) while the violation
-//! keeps firing.
+//! (halve long fault windows, shed burst victims), then *canonicalize*
+//! it — shift surviving ops earlier in time and relabel their nodes
+//! downward — while the violation keeps firing. Canonical minimized
+//! programs let [`ChaosFuzzer::campaign`] discard isomorphic
+//! counterexamples (same fault shape up to node relabeling and time
+//! translation) instead of reporting the same bug once per seed quirk.
 
 use hades_cluster::ClusterSpec;
 use hades_sim::SimRng;
@@ -103,6 +107,10 @@ pub struct Campaign {
     pub programs_run: usize,
     /// The counterexamples found, in generation order.
     pub counterexamples: Vec<Counterexample>,
+    /// Violating programs discarded because their minimized form was
+    /// isomorphic (equal up to node relabeling and time translation)
+    /// to an earlier counterexample's.
+    pub duplicates_skipped: usize,
 }
 
 impl Campaign {
@@ -310,9 +318,13 @@ impl ChaosFuzzer {
     /// *locally minimal*: dropping any single remaining op loses the
     /// violation. Phase 2 narrows in place — halves fault windows of
     /// 2 ms or more and sheds burst victims — as long as the violation
-    /// keeps reproducing. Every accepted step strictly shrinks the
-    /// program, so the loop terminates; determinism of the runs makes
-    /// the whole shrink a pure function of `(program, key)`.
+    /// keeps reproducing. Phases 3 and 4 canonicalize: shift surviving
+    /// ops earlier (halving their start offset, windows keep their
+    /// length) and relabel node identifiers downward, again only while
+    /// the same key keeps firing. Every accepted step strictly shrinks
+    /// a well-founded measure (op count, window length, start offset,
+    /// node-label sum), so the loop terminates; determinism of the runs
+    /// makes the whole shrink a pure function of `(program, key)`.
     pub fn shrink(&self, program: &ChaosProgram, key: &ViolationKey) -> ChaosProgram {
         let mut best = program.clone();
         if !self.reproduces(&best, key) {
@@ -356,14 +368,53 @@ impl ChaosFuzzer {
                 break;
             }
         }
+        // Phase 3: shift surviving ops earlier in time.
+        loop {
+            let mut shifted = false;
+            for i in 0..best.ops.len() {
+                while let Some(candidate) = shift_op(&best, i) {
+                    if self.reproduces(&candidate, key) {
+                        best = candidate;
+                        shifted = true;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            if !shifted {
+                break;
+            }
+        }
+        // Phase 4: relabel node identifiers toward the smallest ids.
+        loop {
+            let mut lowered = false;
+            'ops: for i in 0..best.ops.len() {
+                for candidate in lower_nodes(&best, i) {
+                    if self.reproduces(&candidate, key) {
+                        best = candidate;
+                        lowered = true;
+                        continue 'ops;
+                    }
+                }
+            }
+            if !lowered {
+                break;
+            }
+        }
         best
     }
 
     /// Generates and runs `programs` programs; every program whose run
     /// raises at least one violation becomes a [`Counterexample`] keyed
     /// by its first violation and shrunk to a locally minimal program.
+    /// Counterexamples whose minimized program is isomorphic to an
+    /// earlier one's — the same monitor and fault shape up to node
+    /// relabeling and time translation — are counted in
+    /// [`Campaign::duplicates_skipped`] instead of reported again.
     pub fn campaign(&mut self, programs: usize) -> Campaign {
-        let mut counterexamples = Vec::new();
+        let mut counterexamples: Vec<Counterexample> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut duplicates_skipped = 0;
         for index in 0..programs {
             let program = self.generate();
             let violations = self.violations_of(&program);
@@ -372,6 +423,10 @@ impl ChaosFuzzer {
             };
             let key = ViolationKey::of(first);
             let minimized = self.shrink(&program, &key);
+            if !seen.insert(signature(&minimized, &key)) {
+                duplicates_skipped += 1;
+                continue;
+            }
             counterexamples.push(Counterexample {
                 index,
                 program,
@@ -383,6 +438,7 @@ impl ChaosFuzzer {
         Campaign {
             programs_run: programs,
             counterexamples,
+            duplicates_skipped,
         }
     }
 }
@@ -417,6 +473,199 @@ fn narrow_op(program: &ChaosProgram, i: usize) -> Option<ChaosProgram> {
     Some(candidate)
 }
 
+/// Op `i` translated earlier in time: its start offset from
+/// [`Time::ZERO`] is halved (10 µs quantized) and any fault window
+/// keeps its length. `None` when the op carries no instant
+/// (detection-triggered bursts) or already starts at the origin.
+fn shift_op(program: &ChaosProgram, i: usize) -> Option<ChaosProgram> {
+    let earlier = |at: Time| -> Option<Time> {
+        let offset = at - Time::ZERO;
+        let half = Duration::from_nanos(offset.as_nanos() / 2 / 10_000 * 10_000);
+        (half < offset).then(|| Time::ZERO + half)
+    };
+    let mut candidate = program.clone();
+    match &mut candidate.ops[i] {
+        ChaosOp::Crash { at, until, .. } => {
+            let new_at = earlier(*at)?;
+            if let Some(until) = until {
+                *until = new_at + (*until - *at);
+            }
+            *at = new_at;
+        }
+        ChaosOp::CutOneWay { at, until, .. }
+        | ChaosOp::Degrade { at, until, .. }
+        | ChaosOp::Slow { at, until, .. } => {
+            let new_at = earlier(*at)?;
+            *until = new_at + (*until - *at);
+            *at = new_at;
+        }
+        ChaosOp::Skew { at, .. }
+        | ChaosOp::Throttle { at, .. }
+        | ChaosOp::Retire { at, .. }
+        | ChaosOp::Admit { at, .. } => *at = earlier(*at)?,
+        ChaosOp::CcfBurst { .. } => return None,
+    }
+    Some(candidate)
+}
+
+/// Every variant of op `i` with exactly one node identifier replaced
+/// by a strictly smaller one, smallest replacement first. Link ops
+/// never become self-links and burst victims stay distinct from each
+/// other and the root, so every candidate is still well-formed.
+fn lower_nodes(program: &ChaosProgram, i: usize) -> Vec<ChaosProgram> {
+    let mut out = Vec::new();
+    let mut push = |op: ChaosOp| {
+        let mut candidate = program.clone();
+        candidate.ops[i] = op;
+        out.push(candidate);
+    };
+    match &program.ops[i] {
+        ChaosOp::Crash { node, .. } | ChaosOp::Slow { node, .. } | ChaosOp::Skew { node, .. } => {
+            for n in 0..*node {
+                let mut op = program.ops[i].clone();
+                match &mut op {
+                    ChaosOp::Crash { node, .. }
+                    | ChaosOp::Slow { node, .. }
+                    | ChaosOp::Skew { node, .. } => *node = n,
+                    _ => unreachable!(),
+                }
+                push(op);
+            }
+        }
+        ChaosOp::CutOneWay { from, to, .. } | ChaosOp::Degrade { from, to, .. } => {
+            for f in (0..*from).filter(|f| f != to) {
+                let mut op = program.ops[i].clone();
+                match &mut op {
+                    ChaosOp::CutOneWay { from, .. } | ChaosOp::Degrade { from, .. } => *from = f,
+                    _ => unreachable!(),
+                }
+                push(op);
+            }
+            for t in (0..*to).filter(|t| t != from) {
+                let mut op = program.ops[i].clone();
+                match &mut op {
+                    ChaosOp::CutOneWay { to, .. } | ChaosOp::Degrade { to, .. } => *to = t,
+                    _ => unreachable!(),
+                }
+                push(op);
+            }
+        }
+        ChaosOp::CcfBurst { root, victims, .. } => {
+            for r in (0..*root).filter(|r| !victims.contains(r)) {
+                let mut op = program.ops[i].clone();
+                if let ChaosOp::CcfBurst { root, .. } = &mut op {
+                    *root = r;
+                }
+                push(op);
+            }
+            for (vi, v) in victims.iter().enumerate() {
+                for n in (0..*v).filter(|n| n != root && !victims.contains(n)) {
+                    let mut op = program.ops[i].clone();
+                    if let ChaosOp::CcfBurst { victims, .. } = &mut op {
+                        victims[vi] = n;
+                    }
+                    push(op);
+                }
+            }
+        }
+        ChaosOp::Throttle { .. } | ChaosOp::Retire { .. } | ChaosOp::Admit { .. } => {}
+    }
+    out
+}
+
+/// A fingerprint of `(program, key)` invariant under node relabeling
+/// and rigid time translation: every instant is rebased to the
+/// program's earliest one and nodes are renumbered in order of first
+/// appearance, the key's charged node first — so the same fault shape
+/// charging a different node still collapses. Op order is preserved
+/// (the shrinker canonicalizes content, not sequence).
+fn signature(program: &ChaosProgram, key: &ViolationKey) -> String {
+    let instants = |op: &ChaosOp| -> Vec<Time> {
+        match op {
+            ChaosOp::Crash { at, until, .. } => {
+                let mut v = vec![*at];
+                v.extend(*until);
+                v
+            }
+            ChaosOp::CutOneWay { at, until, .. }
+            | ChaosOp::Degrade { at, until, .. }
+            | ChaosOp::Slow { at, until, .. } => vec![*at, *until],
+            ChaosOp::Skew { at, .. }
+            | ChaosOp::Throttle { at, .. }
+            | ChaosOp::Retire { at, .. }
+            | ChaosOp::Admit { at, .. } => vec![*at],
+            ChaosOp::CcfBurst { .. } => vec![],
+        }
+    };
+    let origin = program
+        .ops
+        .iter()
+        .flat_map(&instants)
+        .min()
+        .unwrap_or(Time::ZERO);
+    let mut relabel = std::collections::BTreeMap::new();
+    if let Some(node) = key.node {
+        relabel.insert(node, 0u32);
+    }
+    let canon = |node: u32, map: &mut std::collections::BTreeMap<u32, u32>| -> u32 {
+        let next = map.len() as u32;
+        *map.entry(node).or_insert(next)
+    };
+    let mut rebased = program.clone();
+    for op in &mut rebased.ops {
+        match op {
+            ChaosOp::Crash { node, at, until } => {
+                *node = canon(*node, &mut relabel);
+                *at = Time::ZERO + (*at - origin);
+                if let Some(until) = until {
+                    *until = Time::ZERO + (*until - origin);
+                }
+            }
+            ChaosOp::CutOneWay {
+                from,
+                to,
+                at,
+                until,
+            }
+            | ChaosOp::Degrade {
+                from,
+                to,
+                at,
+                until,
+                ..
+            } => {
+                *from = canon(*from, &mut relabel);
+                *to = canon(*to, &mut relabel);
+                *at = Time::ZERO + (*at - origin);
+                *until = Time::ZERO + (*until - origin);
+            }
+            ChaosOp::Slow {
+                node, at, until, ..
+            } => {
+                *node = canon(*node, &mut relabel);
+                *at = Time::ZERO + (*at - origin);
+                *until = Time::ZERO + (*until - origin);
+            }
+            ChaosOp::Skew { node, at, .. } => {
+                *node = canon(*node, &mut relabel);
+                *at = Time::ZERO + (*at - origin);
+            }
+            ChaosOp::CcfBurst { root, victims, .. } => {
+                *root = canon(*root, &mut relabel);
+                for victim in victims {
+                    *victim = canon(*victim, &mut relabel);
+                }
+            }
+            ChaosOp::Throttle { at, .. }
+            | ChaosOp::Retire { at, .. }
+            | ChaosOp::Admit { at, .. } => {
+                *at = Time::ZERO + (*at - origin);
+            }
+        }
+    }
+    format!("{}/g{:?} {}", key.monitor, key.group, rebased.to_json())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,9 +678,11 @@ mod tests {
         Time::ZERO + ms(n)
     }
 
-    /// The seeded known bug: node 0 restarts into a dead cluster, so
-    /// its checkpoint transfer has no server and the rejoin stalls.
-    fn stall_program() -> ChaosProgram {
+    /// A serverless-rejoin blackout: node 0 restarts into a dead
+    /// cluster. Used to seed the corpus until rejoin re-announcement +
+    /// singleton-view bootstrap fixed the stall; kept as a heavy
+    /// crash-storm program for engine-robustness tests.
+    fn blackout_program() -> ChaosProgram {
         let mut ops = vec![ChaosOp::Crash {
             node: 0,
             at: t(15),
@@ -447,18 +698,45 @@ mod tests {
         ChaosProgram { ops }
     }
 
-    fn stall_key() -> ViolationKey {
+    /// The committed `skewed-leader-silence` counterexample: a fast
+    /// clock on the store leader answers every request ~4 ms late,
+    /// starving the silent-group window.
+    fn silence_program() -> ChaosProgram {
+        ChaosProgram {
+            ops: vec![ChaosOp::Skew {
+                node: 0,
+                at: Time::ZERO,
+                drift_ppb: 8_799_611,
+            }],
+        }
+    }
+
+    fn silence_key() -> ViolationKey {
         ViolationKey {
-            monitor: "stalled-transfer".into(),
-            node: Some(0),
-            group: None,
+            monitor: "silent-group".into(),
+            node: None,
+            group: Some(0),
         }
     }
 
     #[test]
-    fn the_known_stall_reproduces_through_the_program_driver() {
+    fn the_known_silence_reproduces_through_the_program_driver() {
         let fuzzer = ChaosFuzzer::standard(FuzzConfig::default(), 1);
-        assert!(fuzzer.reproduces(&stall_program(), &stall_key()));
+        assert!(fuzzer.reproduces(&silence_program(), &silence_key()));
+    }
+
+    #[test]
+    fn the_graduated_stall_no_longer_reproduces() {
+        // The serverless-rejoin stall graduated out of the corpus:
+        // re-announcement failover plus singleton-view bootstrap keep
+        // the joiner making progress, so its old key must stay silent.
+        let fuzzer = ChaosFuzzer::standard(FuzzConfig::default(), 1);
+        let key = ViolationKey {
+            monitor: "stalled-transfer".into(),
+            node: Some(0),
+            group: None,
+        };
+        assert!(!fuzzer.reproduces(&blackout_program(), &key));
     }
 
     #[test]
@@ -509,7 +787,7 @@ mod tests {
     #[test]
     fn fast_clock_skew_does_not_wedge_the_engine() {
         let fuzzer = ChaosFuzzer::standard(FuzzConfig::default(), 1);
-        let mut p = stall_program();
+        let mut p = blackout_program();
         p.ops.push(ChaosOp::Skew {
             node: 2,
             at: t(1),
@@ -519,15 +797,16 @@ mod tests {
     }
 
     #[test]
-    fn shrinking_the_stall_keeps_it_reproducing_and_locally_minimal() {
+    fn shrinking_the_silence_keeps_it_reproducing_and_locally_minimal() {
         let fuzzer = ChaosFuzzer::standard(FuzzConfig::default(), 1);
-        let key = stall_key();
+        let key = silence_key();
         // Pad the real counterexample with irrelevant noise ops.
-        let mut padded = stall_program();
-        padded.ops.push(ChaosOp::Skew {
-            node: 2,
-            at: t(1),
-            drift_ppb: 1_000_000,
+        let mut padded = silence_program();
+        padded.ops.push(ChaosOp::CutOneWay {
+            from: 1,
+            to: 2,
+            at: t(8),
+            until: t(11),
         });
         padded.ops.push(ChaosOp::Throttle {
             service: "store".into(),
@@ -545,5 +824,184 @@ mod tests {
                 "op {i} is load-bearing in the minimized program"
             );
         }
+    }
+
+    #[test]
+    fn shrinking_shifts_the_surviving_ops_to_the_earliest_reproducing_instant() {
+        // The silence skew was mined at ~47 ms into the run; because
+        // the drift hurts from the very first request, phase 3 must
+        // slide it all the way back to the origin.
+        let fuzzer = ChaosFuzzer::standard(FuzzConfig::default(), 1);
+        let late = ChaosProgram {
+            ops: vec![ChaosOp::Skew {
+                node: 0,
+                at: Time::ZERO + Duration::from_nanos(47_210_000),
+                drift_ppb: 8_799_611,
+            }],
+        };
+        let minimized = fuzzer.shrink(&late, &silence_key());
+        assert_eq!(minimized, silence_program(), "skew canonicalizes to t=0");
+    }
+
+    #[test]
+    fn shifting_halves_start_offsets_and_keeps_window_lengths() {
+        let program = ChaosProgram {
+            ops: vec![ChaosOp::CutOneWay {
+                from: 1,
+                to: 2,
+                at: t(40),
+                until: t(44),
+            }],
+        };
+        let shifted = shift_op(&program, 0).expect("shiftable");
+        assert_eq!(
+            shifted.ops[0],
+            ChaosOp::CutOneWay {
+                from: 1,
+                to: 2,
+                at: t(20),
+                until: t(24),
+            }
+        );
+        // At the origin there is nowhere earlier to go.
+        let origin = ChaosProgram {
+            ops: vec![ChaosOp::Skew {
+                node: 0,
+                at: Time::ZERO,
+                drift_ppb: 1,
+            }],
+        };
+        assert_eq!(shift_op(&origin, 0), None);
+        // Detection-triggered bursts carry no instant to shift.
+        let burst = ChaosProgram {
+            ops: vec![ChaosOp::CcfBurst {
+                root: 0,
+                victims: vec![1],
+                spacing: ms(1),
+                down: ms(5),
+            }],
+        };
+        assert_eq!(shift_op(&burst, 0), None);
+    }
+
+    #[test]
+    fn node_lowering_keeps_links_and_bursts_well_formed() {
+        let cut = ChaosProgram {
+            ops: vec![ChaosOp::CutOneWay {
+                from: 2,
+                to: 1,
+                at: t(10),
+                until: t(12),
+            }],
+        };
+        for candidate in lower_nodes(&cut, 0) {
+            let ChaosOp::CutOneWay { from, to, .. } = &candidate.ops[0] else {
+                panic!("lowering changed the op kind");
+            };
+            assert_ne!(from, to, "lowering produced a self-link");
+            assert!(from + to < 3, "one label strictly decreased");
+        }
+        let burst = ChaosProgram {
+            ops: vec![ChaosOp::CcfBurst {
+                root: 3,
+                victims: vec![2, 1],
+                spacing: ms(1),
+                down: ms(5),
+            }],
+        };
+        for candidate in lower_nodes(&burst, 0) {
+            let ChaosOp::CcfBurst { root, victims, .. } = &candidate.ops[0] else {
+                panic!("lowering changed the op kind");
+            };
+            assert!(!victims.contains(root), "root became its own victim");
+            let mut dedup = victims.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), victims.len(), "victims collided");
+        }
+        // Load ops carry no node labels to lower.
+        let throttle = ChaosProgram {
+            ops: vec![ChaosOp::Throttle {
+                service: "store".into(),
+                at: t(5),
+                permille: 500,
+            }],
+        };
+        assert!(lower_nodes(&throttle, 0).is_empty());
+    }
+
+    #[test]
+    fn isomorphic_counterexamples_share_a_signature() {
+        // Same fault shape, different node labels and a rigid time
+        // translation: one crash window plus one cut into the crashed
+        // node's successor.
+        let a = ChaosProgram {
+            ops: vec![
+                ChaosOp::Crash {
+                    node: 1,
+                    at: t(30),
+                    until: Some(t(40)),
+                },
+                ChaosOp::CutOneWay {
+                    from: 1,
+                    to: 2,
+                    at: t(32),
+                    until: t(36),
+                },
+            ],
+        };
+        let b = ChaosProgram {
+            ops: vec![
+                ChaosOp::Crash {
+                    node: 3,
+                    at: t(50),
+                    until: Some(t(60)),
+                },
+                ChaosOp::CutOneWay {
+                    from: 3,
+                    to: 0,
+                    at: t(52),
+                    until: t(56),
+                },
+            ],
+        };
+        let key = |node| ViolationKey {
+            monitor: "view-agreement".into(),
+            node: Some(node),
+            group: None,
+        };
+        assert_eq!(signature(&a, &key(1)), signature(&b, &key(3)));
+        // A different window length is a different bug shape.
+        let mut c = b.clone();
+        if let ChaosOp::Crash { until, .. } = &mut c.ops[0] {
+            *until = Some(t(61));
+        }
+        assert_ne!(signature(&b, &key(3)), signature(&c, &key(3)));
+        // And so is the same shape charged by a different monitor.
+        let silent = ViolationKey {
+            monitor: "silent-group".into(),
+            node: None,
+            group: Some(0),
+        };
+        assert_ne!(signature(&b, &key(3)), signature(&b, &silent));
+    }
+
+    #[test]
+    fn campaigns_deduplicate_isomorphic_minimized_programs() {
+        // Every counterexample a campaign reports is pairwise
+        // non-isomorphic, and anything skipped was counted.
+        let mut fuzzer = ChaosFuzzer::standard(FuzzConfig::default(), 3);
+        let campaign = fuzzer.campaign(16);
+        let mut sigs = std::collections::BTreeSet::new();
+        for cx in &campaign.counterexamples {
+            assert!(
+                sigs.insert(signature(&cx.minimized, &cx.key)),
+                "campaign reported two isomorphic counterexamples"
+            );
+        }
+        assert!(
+            campaign.counterexamples.len() + campaign.duplicates_skipped <= campaign.programs_run,
+            "bookkeeping adds up"
+        );
     }
 }

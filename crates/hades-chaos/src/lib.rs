@@ -16,10 +16,15 @@
 //! * [`fuzzer::ChaosFuzzer`] generates random programs from a seeded
 //!   [`hades_sim::SimRng`], runs each with [`Watchdog::standard`]
 //!   armed, treats any raised violation as a counterexample, and
-//!   delta-debugs it (drop ops, then narrow windows) down to a locally
-//!   minimal program that still reproduces the violation;
+//!   delta-debugs it — drop ops, narrow windows, shift instants
+//!   earlier, relabel nodes downward — into a locally minimal
+//!   *canonical* program that still reproduces the violation;
+//!   campaigns deduplicate counterexamples whose canonical programs
+//!   are isomorphic, so they report distinct bugs, not distinct seeds;
 //! * [`corpus`] serializes found scenarios as one-line JSON entries so
-//!   regressions replay from a committed corpus file.
+//!   regressions replay from a committed corpus file. A scenario
+//!   graduates *out* of the corpus when the bug it pinned is fixed —
+//!   its line must be removed because it no longer reproduces.
 //!
 //! Everything is deterministic: the same fuzzer seed yields the same
 //! programs, the same violations and byte-identical JSONL.
@@ -28,7 +33,8 @@
 //!
 //! # Examples
 //!
-//! Replaying a known-bug scenario (a serverless-rejoin blackout) and
+//! Replaying a committed counterexample (a fast clock on the store
+//! leader answers every request late — a pure gray failure) and
 //! checking its invariant violation fires:
 //!
 //! ```
@@ -37,18 +43,15 @@
 //! use hades_chaos::fuzzer::ViolationKey;
 //! use hades_time::{Duration, Time};
 //!
-//! let ms = |n| Time::ZERO + Duration::from_millis(n);
-//! let mut ops = vec![ChaosOp::Crash { node: 0, at: ms(15), until: Some(ms(35)) }];
-//! for node in 1..4 {
-//!     ops.push(ChaosOp::Crash { node, at: ms(34), until: Some(ms(70)) });
-//! }
 //! let scenario = CorpusScenario {
-//!     name: "serverless-stall".into(),
+//!     name: "skewed-leader-silence".into(),
 //!     nodes: 4,
 //!     horizon: Duration::from_millis(100),
 //!     seed: 7,
-//!     expect: ViolationKey { monitor: "stalled-transfer".into(), node: Some(0), group: None },
-//!     program: ChaosProgram { ops },
+//!     expect: ViolationKey { monitor: "silent-group".into(), node: None, group: Some(0) },
+//!     program: ChaosProgram {
+//!         ops: vec![ChaosOp::Skew { node: 0, at: Time::ZERO, drift_ppb: 8_799_611 }],
+//!     },
 //! };
 //! assert!(scenario.reproduces(), "the committed counterexample still fires");
 //! ```

@@ -259,6 +259,11 @@ enum Command {
     Admit {
         service: usize,
     },
+    ShardMoved {
+        shard: u32,
+        from: u32,
+        to: u32,
+    },
 }
 
 /// The injection surface handed to every [`ScenarioDriver`] callback.
@@ -474,6 +479,16 @@ impl ControlHandle<'_> {
             self.cmds.push(Command::Admit { service: *idx });
         }
         !matches.is_empty()
+    }
+
+    /// Records a shard ownership move in the event stream
+    /// ([`ClusterEvent::ShardMoved`]), effective now. Fabric-level
+    /// drivers call this alongside the retire/admit pair that actuates
+    /// the move, so stream consumers (reports, tests, other drivers)
+    /// see which shard moved between which placements without decoding
+    /// service names.
+    pub fn mark_shard_moved(&mut self, shard: u32, from: u32, to: u32) {
+        self.cmds.push(Command::ShardMoved { shard, from, to });
     }
 
     /// Registration indices of every service named `service`.
@@ -960,6 +975,14 @@ impl ControlActor {
                 }
                 self.state.borrow_mut().push(ClusterEvent::ServiceAdmitted {
                     service: service as u32,
+                    at: now,
+                });
+            }
+            Command::ShardMoved { shard, from, to } => {
+                self.state.borrow_mut().push(ClusterEvent::ShardMoved {
+                    shard,
+                    from,
+                    to,
                     at: now,
                 });
             }

@@ -135,6 +135,21 @@ pub enum ClusterEvent {
         /// The retune instant.
         at: Time,
     },
+    /// A sharded fabric moved a shard between placements (rebalancing
+    /// after a failure): the owning replica group changed. Emitted by
+    /// fabric-level drivers through
+    /// [`crate::ControlHandle::mark_shard_moved`] alongside the
+    /// retire/admit pair that actuates the move.
+    ShardMoved {
+        /// The shard that moved.
+        shard: u32,
+        /// The placement (replica-group slot) that owned it before.
+        from: u32,
+        /// The placement that owns it now.
+        to: u32,
+        /// The move instant.
+        at: Time,
+    },
     /// An online invariant monitor raised a violation (see
     /// [`hades_telemetry::monitor`]). Only emitted when the spec was
     /// built with [`crate::ClusterSpec::monitors`]; drivers observe it
@@ -168,6 +183,7 @@ impl ClusterEvent {
             | ClusterEvent::ServiceRetired { at, .. }
             | ClusterEvent::ServiceAdmitted { at, .. }
             | ClusterEvent::WorkloadRetuned { at, .. }
+            | ClusterEvent::ShardMoved { at, .. }
             | ClusterEvent::InvariantViolated { at, .. } => *at,
         }
     }
@@ -185,6 +201,7 @@ impl ClusterEvent {
             ClusterEvent::ServiceRetired { .. } => "service-retired",
             ClusterEvent::ServiceAdmitted { .. } => "service-admitted",
             ClusterEvent::WorkloadRetuned { .. } => "workload-retuned",
+            ClusterEvent::ShardMoved { .. } => "shard-moved",
             ClusterEvent::InvariantViolated { .. } => "invariant-violated",
         }
     }
@@ -208,7 +225,8 @@ impl ClusterEvent {
             | ClusterEvent::ModeChanged { .. }
             | ClusterEvent::ServiceRetired { .. }
             | ClusterEvent::ServiceAdmitted { .. }
-            | ClusterEvent::WorkloadRetuned { .. } => u32::MAX,
+            | ClusterEvent::WorkloadRetuned { .. }
+            | ClusterEvent::ShardMoved { .. } => u32::MAX,
         }
     }
 
@@ -226,6 +244,7 @@ impl ClusterEvent {
             ClusterEvent::ServiceAdmitted { .. } => 8,
             ClusterEvent::WorkloadRetuned { .. } => 9,
             ClusterEvent::InvariantViolated { .. } => 10,
+            ClusterEvent::ShardMoved { .. } => 11,
         }
     }
 }

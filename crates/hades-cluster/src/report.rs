@@ -207,6 +207,12 @@ pub struct GroupReport {
     /// `ClosedLoop::with_timeout`). Also exported as the
     /// `group.requests_abandoned` telemetry counter.
     pub abandoned: u64,
+    /// Per-request submission→first-output latencies, ascending, in
+    /// nanoseconds — the raw samples behind the `group.response_ns`
+    /// telemetry histogram, kept per group so layered reports (e.g. a
+    /// sharded fabric's per-shard percentiles) can merge and
+    /// re-summarize them without re-running.
+    pub response_ns: Vec<u64>,
 }
 
 impl GroupReport {

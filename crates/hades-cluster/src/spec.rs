@@ -350,12 +350,6 @@ enum ServiceKind {
     Task { node: u32, task: Task },
 }
 
-impl ServiceKind {
-    fn is_replicated(&self) -> bool {
-        matches!(self, ServiceKind::Replicated { .. })
-    }
-}
-
 /// One typed service of a deployment spec.
 ///
 /// # Examples
@@ -450,23 +444,21 @@ impl ServiceSpec {
         }
     }
 
-    /// Declares this task-backed service **standby**: it is validated,
-    /// lowered and charged by the feasibility analyses (capacity is
-    /// reserved for its admission), but it does not activate until a
+    /// Declares this service **standby**: it is validated, lowered and
+    /// charged by the feasibility analyses (capacity is reserved for its
+    /// admission), but it does not activate until a
     /// [`crate::ScenarioDriver`] admits it at run time through
     /// [`crate::ControlHandle::admit_service`] — the driver-side face of
     /// a mode change.
     ///
-    /// # Panics
-    ///
-    /// Panics when called on a replicated service (stop/start a
-    /// replicated service's traffic through
-    /// [`crate::ControlHandle::throttle_workload`] instead).
+    /// For a task-backed service, standby means the task never releases
+    /// until admission. For a replicated service, the members run from
+    /// the start (so admission needs no warm-up) but the request stream
+    /// is paused at rate zero; admission resumes it at nominal rate from
+    /// the admission instant — the mechanism a sharded fabric uses to
+    /// hold a migrating shard's successor group silent until the shard
+    /// actually moves.
     pub fn standby(mut self) -> Self {
-        assert!(
-            !self.kind.is_replicated(),
-            "standby applies to task-backed services; throttle a replicated workload instead"
-        );
         self.standby = true;
         self
     }
@@ -841,11 +833,20 @@ impl ClusterSpec {
                         name: service.name.clone(),
                         group: groups.len(),
                     });
+                    let source = workload.build_source(self.horizon);
+                    if service.standby {
+                        // A standby group's members run from time zero
+                        // (admission needs no warm-up), but its request
+                        // stream is paused until a driver admits the
+                        // service — admission retunes the source back to
+                        // nominal rate from the admission instant.
+                        source.borrow_mut().throttle(Time::ZERO, 0);
+                    }
                     groups.push(LoweredGroup {
                         style: *style,
                         members: sorted,
                         load: *load,
-                        source: workload.build_source(self.horizon),
+                        source,
                         admission_period,
                     });
                 }
@@ -1793,12 +1794,14 @@ impl Lowered {
             let mut on_time = 0u64;
             let mut delayed = 0u64;
             let mut worst: Option<Duration> = None;
+            let mut response_ns: Vec<u64> = Vec::with_capacity(output_at.len());
             for (id, at) in &output_at {
                 let Some(sub) = submitted_at.get(id) else {
                     continue;
                 };
                 let latency = *at - *sub;
                 response_hist.record(latency.as_nanos());
+                response_ns.push(latency.as_nanos());
                 worst = Some(worst.map_or(latency, |w| w.max(latency)));
                 if latency <= output_bound {
                     on_time += 1;
@@ -1806,6 +1809,7 @@ impl Lowered {
                     delayed += 1;
                 }
             }
+            response_ns.sort_unstable();
             // Client-visible duplicates: surplus emissions for active
             // replication are the redundant copies the voter absorbs
             // (the members' own per-vote suppression counters observe
@@ -1859,6 +1863,7 @@ impl Lowered {
                 catchups: logs.iter().map(|l| l.catchups).sum(),
                 vote_mismatches: logs.iter().map(|l| l.vote_mismatches).sum(),
                 abandoned,
+                response_ns,
             });
         }
         out

@@ -1,0 +1,128 @@
+//! The fabric's rebalancing scenario driver.
+//!
+//! [`FabricDirector`] watches the cluster event stream for evidence that
+//! a placement lost a node — a failure-detector [`Detected`] suspicion
+//! or a [`ViewInstalled`] view that excludes a member — and reacts by
+//! *moving only the shards homed on that placement*: for each such shard
+//! it retires the primary group (its request stream stops), admits the
+//! standby group on the shard's ring-successor placement (its paused
+//! stream resumes at nominal rate), and stamps the move into the event
+//! stream via [`ControlHandle::mark_shard_moved`].
+//!
+//! Movement is *bounded by construction*: a shard moves at most once,
+//! only when its current placement loses a node, and shards homed
+//! elsewhere never move — the property the fabric tests assert.
+//!
+//! [`Detected`]: ClusterEvent::Detected
+//! [`ViewInstalled`]: ClusterEvent::ViewInstalled
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hades_cluster::{ClusterEvent, ControlHandle, ScenarioDriver};
+use hades_time::Time;
+
+use crate::ring::ShardRouter;
+
+/// Scenario driver that rebalances shards off placements that lose a
+/// node.
+///
+/// The director holds the same routing table the fabric was built from
+/// (by value — tables are pure functions of the fabric shape), plus the
+/// mutable ownership state: which placement currently serves each shard
+/// and which shards already moved.
+///
+/// Policy notes:
+///
+/// * The director trusts the failure detector — a false suspicion moves
+///   shards just like a real crash. In a Δ-bounded HADES deployment
+///   detections are accurate by construction, and moving on suspicion is
+///   the latency-safe choice.
+/// * There is no fail-back: once a shard moved to its standby placement
+///   it stays there, even if the original node rejoins. One move per
+///   shard keeps the movement bound trivially auditable.
+#[derive(Debug)]
+pub struct FabricDirector {
+    /// Placement → member nodes, ascending.
+    placements: Vec<Vec<u32>>,
+    /// Node → owning placement.
+    node_placement: BTreeMap<u32, u32>,
+    /// Shard → placement currently serving it.
+    current: Vec<u32>,
+    /// Shard → standby placement (ring successor, fixed at build).
+    standby: Vec<u32>,
+    /// Shards already moved (at most one move per shard).
+    moved: BTreeSet<u32>,
+    /// Nodes already handled (dedups repeated suspicions).
+    dead: BTreeSet<u32>,
+}
+
+impl FabricDirector {
+    /// A director for `router`'s shards over `placements` (placement →
+    /// member nodes).
+    pub fn new(router: &ShardRouter, placements: Vec<Vec<u32>>) -> Self {
+        let node_placement = placements
+            .iter()
+            .enumerate()
+            .flat_map(|(p, members)| members.iter().map(move |n| (*n, p as u32)))
+            .collect();
+        let shards = router.shards();
+        FabricDirector {
+            placements,
+            node_placement,
+            current: (0..shards).map(|s| router.home(s)).collect(),
+            standby: (0..shards).map(|s| router.standby(s)).collect(),
+            moved: BTreeSet::new(),
+            dead: BTreeSet::new(),
+        }
+    }
+
+    /// Shards the director has moved so far, ascending.
+    pub fn moved(&self) -> impl Iterator<Item = u32> + '_ {
+        self.moved.iter().copied()
+    }
+
+    /// Reacts to one node going down: moves every shard whose current
+    /// placement contains it, and nothing else.
+    fn node_down(&mut self, node: u32, ctl: &mut ControlHandle<'_>) {
+        if !self.dead.insert(node) {
+            return;
+        }
+        let Some(&placement) = self.node_placement.get(&node) else {
+            return;
+        };
+        for shard in 0..self.current.len() as u32 {
+            if self.current[shard as usize] != placement || !self.moved.insert(shard) {
+                continue;
+            }
+            let to = self.standby[shard as usize];
+            ctl.retire_service(&format!("shard-{shard}"));
+            ctl.admit_service(&format!("shard-{shard}~alt"));
+            ctl.mark_shard_moved(shard, placement, to);
+            self.current[shard as usize] = to;
+        }
+    }
+}
+
+impl ScenarioDriver for FabricDirector {
+    fn on_event(&mut self, _now: Time, event: &ClusterEvent, ctl: &mut ControlHandle<'_>) {
+        match event {
+            ClusterEvent::Detected { suspect, .. } => self.node_down(*suspect, ctl),
+            ClusterEvent::ViewInstalled { members, .. } => {
+                // A view that excludes a known member is the agreed form
+                // of the same evidence — react to exclusions too, so the
+                // director keeps up even when it missed the suspicion.
+                let gone: Vec<u32> = self
+                    .placements
+                    .iter()
+                    .flatten()
+                    .filter(|n| !members.contains(n))
+                    .copied()
+                    .collect();
+                for node in gone {
+                    self.node_down(node, ctl);
+                }
+            }
+            _ => {}
+        }
+    }
+}

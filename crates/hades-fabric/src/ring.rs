@@ -1,0 +1,236 @@
+//! Consistent-hash placement ring.
+//!
+//! The fabric splits its keyspace into shards and places each shard on a
+//! *placement* — a fixed replica group of nodes — by consistent hashing:
+//! every placement contributes `vnodes` pseudo-random points to a ring of
+//! `u64` hashes, and a shard lands on the placement owning the first ring
+//! point at or after the shard's own hash. The construction is a pure
+//! function of `(placements, vnodes)`, so two fabrics built from the same
+//! shape agree on every owner without any coordination — exactly the
+//! property a router and a director need to share a table by value.
+//!
+//! Virtual nodes keep the split balanced: with `vnodes` points per
+//! placement the expected share of each placement is `1/placements` with
+//! variance shrinking as `vnodes` grows.
+//!
+//! # Examples
+//!
+//! ```
+//! use hades_fabric::ring::HashRing;
+//!
+//! let ring = HashRing::new(4, 16);
+//! let owner = ring.owner(0xDEAD_BEEF);
+//! assert!(owner < 4);
+//! // The successor is the next *distinct* placement clockwise — the
+//! // natural home for a shard's standby group.
+//! assert_ne!(ring.successor(0xDEAD_BEEF), owner);
+//! ```
+
+/// The 64-bit finalizer of splitmix64: a cheap, deterministic, well-mixed
+/// hash used for ring points, shard points and workload key streams.
+///
+/// # Examples
+///
+/// ```
+/// use hades_fabric::ring::mix64;
+///
+/// assert_ne!(mix64(1), mix64(2));
+/// assert_eq!(mix64(42), mix64(42));
+/// ```
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Salt separating ring-point hashes from every other `mix64` stream.
+const RING_SALT: u64 = 0x52_49_4E_47; // "RING"
+
+/// A consistent-hash ring over `placements` slots, `vnodes` points each.
+///
+/// Points are sorted; ownership lookups are a binary search. The ring is
+/// immutable — rebalancing in the fabric is expressed as *routing* around
+/// dead placements (see `FabricDirector`), not as ring surgery, so the
+/// same table stays valid for the whole run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    /// `(point, placement)` pairs, ascending by point.
+    points: Vec<(u64, u32)>,
+    placements: u32,
+}
+
+impl HashRing {
+    /// Builds the ring for `placements` slots with `vnodes` points each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placements` is zero or `vnodes` is zero.
+    pub fn new(placements: u32, vnodes: u32) -> Self {
+        assert!(placements > 0, "a ring needs at least one placement");
+        assert!(vnodes > 0, "a ring needs at least one virtual node");
+        let mut points: Vec<(u64, u32)> = (0..placements)
+            .flat_map(|p| {
+                (0..vnodes).map(move |v| (mix64(RING_SALT ^ ((p as u64) << 32 | v as u64)), p))
+            })
+            .collect();
+        points.sort_unstable();
+        points.dedup_by_key(|(h, _)| *h);
+        HashRing { points, placements }
+    }
+
+    /// Number of placements the ring was built over.
+    pub fn placements(&self) -> u32 {
+        self.placements
+    }
+
+    /// The placement owning `point`: the slot of the first ring point at
+    /// or after it, wrapping at the top of the hash space.
+    pub fn owner(&self, point: u64) -> u32 {
+        let idx = self.points.partition_point(|(h, _)| *h < point);
+        self.points[idx % self.points.len()].1
+    }
+
+    /// The next *distinct* placement clockwise after `point`'s owner —
+    /// where a shard's standby group lives. Falls back to the owner when
+    /// the ring has a single placement.
+    pub fn successor(&self, point: u64) -> u32 {
+        let owner = self.owner(point);
+        let start = self.points.partition_point(|(h, _)| *h < point);
+        for step in 1..=self.points.len() {
+            let slot = self.points[(start + step) % self.points.len()].1;
+            if slot != owner {
+                return slot;
+            }
+        }
+        owner
+    }
+}
+
+/// Stamps requests with their shard and resolves shard → placement.
+///
+/// Routing is two deterministic hops: a request *key* hashes onto one of
+/// `shards` shards, and the shard's own ring point resolves to its home
+/// (primary) and standby placements. Both hops are pure functions, so the
+/// router can be rebuilt anywhere from `(shards, ring)` and agree with
+/// every other copy.
+///
+/// # Examples
+///
+/// ```
+/// use hades_fabric::ring::{HashRing, ShardRouter};
+///
+/// let router = ShardRouter::new(64, HashRing::new(8, 16));
+/// let shard = router.shard_of(0xFACE);
+/// assert!(shard < 64);
+/// assert_ne!(router.home(shard), router.standby(shard));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: u32,
+    ring: HashRing,
+}
+
+/// Salt separating shard ring points from request-key hashes.
+const SHARD_SALT: u64 = 0x53_48_41_52_44; // "SHARD"
+
+impl ShardRouter {
+    /// A router over `shards` shards placed on `ring`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: u32, ring: HashRing) -> Self {
+        assert!(shards > 0, "a router needs at least one shard");
+        ShardRouter { shards, ring }
+    }
+
+    /// Number of shards the keyspace is split into.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The placement ring the router resolves shards against.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The shard a request key is stamped with.
+    pub fn shard_of(&self, key: u64) -> u32 {
+        (mix64(key) % self.shards as u64) as u32
+    }
+
+    /// The shard's ring point (its position in the hash space).
+    fn shard_point(shard: u32) -> u64 {
+        mix64(SHARD_SALT ^ shard as u64)
+    }
+
+    /// The shard's home placement — where its primary group runs.
+    pub fn home(&self, shard: u32) -> u32 {
+        self.ring.owner(Self::shard_point(shard))
+    }
+
+    /// The shard's standby placement — the next distinct placement
+    /// clockwise, where its paused successor group waits.
+    pub fn standby(&self, shard: u32) -> u32 {
+        self.ring.successor(Self::shard_point(shard))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic_and_covers_every_placement() {
+        let a = HashRing::new(8, 16);
+        let b = HashRing::new(8, 16);
+        assert_eq!(a, b);
+        let mut seen = std::collections::BTreeSet::new();
+        for key in 0..4096u64 {
+            seen.insert(a.owner(mix64(key)));
+        }
+        assert_eq!(seen.len(), 8, "every placement owns some keys");
+    }
+
+    #[test]
+    fn successor_is_a_distinct_placement() {
+        let ring = HashRing::new(8, 16);
+        for key in 0..1024u64 {
+            let p = mix64(key);
+            assert_ne!(ring.successor(p), ring.owner(p));
+        }
+    }
+
+    #[test]
+    fn single_placement_ring_is_its_own_successor() {
+        let ring = HashRing::new(1, 4);
+        assert_eq!(ring.owner(7), 0);
+        assert_eq!(ring.successor(7), 0);
+    }
+
+    #[test]
+    fn vnodes_balance_the_split() {
+        let ring = HashRing::new(8, 64);
+        let mut counts = [0u32; 8];
+        for key in 0..8192u64 {
+            counts[ring.owner(mix64(key)) as usize] += 1;
+        }
+        let (lo, hi) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+        // Perfect balance would be 1024 each; vnodes keep the spread
+        // well inside a factor of two.
+        assert!(hi < lo * 2, "imbalanced split: {counts:?}");
+    }
+
+    #[test]
+    fn router_spreads_shards_over_placements() {
+        let router = ShardRouter::new(64, HashRing::new(8, 16));
+        let mut homes = std::collections::BTreeSet::new();
+        for s in 0..64 {
+            assert!(router.home(s) < 8);
+            assert_ne!(router.home(s), router.standby(s));
+            homes.insert(router.home(s));
+        }
+        assert!(homes.len() >= 6, "shards concentrated: {homes:?}");
+    }
+}

@@ -41,9 +41,16 @@
 //! [`AgentLog`] the embedding runtime reads back after the run. The agent
 //! assumes crashes are separated by more than one detection + agreement
 //! window (the paper's bounded-failure model); overlapping failures keep
-//! safety of the sets but may skip view numbers on some nodes, and a
-//! state transfer whose server dies mid-stream stalls until the next
-//! failure-free window.
+//! safety of the sets but may skip view numbers on some nodes. A state
+//! transfer whose server dies mid-stream does *not* stall until the next
+//! failure-free window: the joiner re-announces on the heartbeat cadence
+//! (each re-announcement is a liveness mark for the stall watchdog), every
+//! live node remembers the request, and whichever member the post-exclusion
+//! view designates as server re-serves from its own preamble. When *every*
+//! member is simultaneously rejoining (total failure), the lowest-numbered
+//! announcer that has heard only fellow announcers for two stalled retry
+//! rounds bootstraps a singleton view numbered past every view it has heard
+//! of and serves the others back in.
 
 use crate::memberset::{MemberSet, MAX_NODES};
 use crate::membership::View;
@@ -162,14 +169,21 @@ fn vc_decode(payload: u64) -> (u32, u32, u32) {
     )
 }
 
-/// Join announcement: epoch (16 bits) | durable checkpoint generation
-/// (32 bits) — the cursor that lets the server offer a delta transfer.
-fn join_payload(epoch: u64, ckpt_gen: u64) -> u64 {
-    ((epoch & 0xFFFF) << 48) | (ckpt_gen & 0xFFFF_FFFF)
+/// Join announcement: epoch (16 bits) | announcer's last installed view
+/// (16 bits) | durable checkpoint generation (32 bits). The checkpoint
+/// cursor lets the server offer a delta transfer; the view lets a
+/// total-failure bootstrap pick a view number past every view any
+/// announcer has installed (view numbers never regress cluster-wide).
+fn join_payload(epoch: u64, view: u32, ckpt_gen: u64) -> u64 {
+    ((epoch & 0xFFFF) << 48) | ((view as u64 & 0xFFFF) << 32) | (ckpt_gen & 0xFFFF_FFFF)
 }
 
-fn join_decode(payload: u64) -> (u64, u64) {
-    ((payload >> 48) & 0xFFFF, payload & 0xFFFF_FFFF)
+fn join_decode(payload: u64) -> (u64, u32, u64) {
+    (
+        (payload >> 48) & 0xFFFF,
+        ((payload >> 32) & 0xFFFF) as u32,
+        payload & 0xFFFF_FFFF,
+    )
 }
 
 /// Selective-retransmission request: epoch (16 bits) | missing chunk
@@ -546,6 +560,19 @@ pub struct NodeAgent {
     /// the stream stalled (lost JOIN, preamble or chunks) and the join
     /// announcement is retransmitted on the heartbeat cadence.
     xfer_seen_at_retry: u64,
+    /// Consecutive stalled retry rounds with no preamble at all; two in a
+    /// row (plus the conditions below) is the total-failure bootstrap
+    /// trigger.
+    stall_rounds: u32,
+    /// Joiner side: join announcements heard *while rejoining* (announcer
+    /// → announced view). A rejoining node's `view_mask` is stale, so
+    /// these must not enter `pending_joins`; they feed the total-failure
+    /// bootstrap instead.
+    heard_joins: std::collections::BTreeMap<u32, u32>,
+    /// Peers heard from (heartbeats) since this rejoin began. Bootstrap
+    /// requires every such peer to be a join announcer itself — any
+    /// established member heartbeating at us vetoes the bootstrap.
+    hb_since_rejoin: MemberSet,
     /// Distinct chunk sequence numbers received (the stream's chunks
     /// carry their position, so losses leave identifiable gaps).
     xfer_got: BTreeSet<u64>,
@@ -618,6 +645,9 @@ impl NodeAgent {
             xfer_total: None,
             xfer_seen: 0,
             xfer_seen_at_retry: 0,
+            stall_rounds: 0,
+            heard_joins: std::collections::BTreeMap::new(),
+            hb_since_rejoin: MemberSet::new(),
             xfer_got: BTreeSet::new(),
             xfer_delta: false,
             xfer_from: 0,
@@ -859,6 +889,8 @@ impl NodeAgent {
     /// detection duty.
     fn finish_rejoin(&mut self, view: u32, now: Time, ctx: &mut ActorCtx<'_>) {
         self.rejoining = false;
+        self.heard_joins.clear();
+        self.stall_rounds = 0;
         let p = self.pending.take().unwrap_or_default();
         let record = RejoinRecord {
             node: self.cfg.node.0,
@@ -1146,12 +1178,34 @@ impl NodeAgent {
                     || !self.have_mask()
                     || (!complete && self.xfer_seen == self.xfer_seen_at_retry);
                 if stalled {
+                    // The re-announcement is a liveness mark: the stall
+                    // watchdog re-arms on it, because a joiner that keeps
+                    // asking is making the only progress possible while no
+                    // server exists (the true wedge — a joiner that went
+                    // silent — stops re-announcing and still trips it).
+                    self.emit(now, AgentEvent::RejoinAnnounced);
                     self.broadcast(
                         ctx,
                         MSG_JOIN,
-                        join_payload(self.epoch, self.durable_ckpt_gen),
+                        join_payload(self.epoch, self.view_number, self.durable_ckpt_gen),
                     );
                     self.log.borrow_mut().join_retries += 1;
+                    if !self.have_sync {
+                        self.stall_rounds += 1;
+                        let lowest_announcer = self
+                            .heard_joins
+                            .keys()
+                            .next()
+                            .is_some_and(|lowest| self.cfg.node.0 < *lowest);
+                        let only_announcers_heard = self
+                            .hb_since_rejoin
+                            .members()
+                            .all(|p| self.heard_joins.contains_key(&p));
+                        if self.stall_rounds >= 2 && lowest_announcer && only_announcers_heard {
+                            self.bootstrap_view(now, ctx);
+                            return;
+                        }
+                    }
                 }
                 self.xfer_seen_at_retry = self.xfer_seen;
                 ctx.timer_after(
@@ -1231,6 +1285,9 @@ impl NodeAgent {
         self.xfer_total = None;
         self.xfer_seen = 0;
         self.xfer_seen_at_retry = 0;
+        self.stall_rounds = 0;
+        self.heard_joins.clear();
+        self.hb_since_rejoin = MemberSet::new();
         self.xfer_got.clear();
         self.xfer_delta = false;
         self.nacked.clear();
@@ -1259,12 +1316,52 @@ impl NodeAgent {
         self.broadcast(
             ctx,
             MSG_JOIN,
-            join_payload(self.epoch, self.durable_ckpt_gen),
+            join_payload(self.epoch, self.view_number, self.durable_ckpt_gen),
         );
         ctx.timer_after(
             self.cfg.heartbeat_period,
             tag(KIND_JOIN_RETRY, self.epoch & 0xFFFF),
         );
+    }
+
+    /// Total-failure bootstrap: every member restarted at once, so no
+    /// live server exists and join announcements bounce between rejoining
+    /// nodes forever. The lowest-numbered announcer — after two stalled
+    /// retry rounds in which it heard *only* fellow announcers — installs
+    /// a singleton view numbered past every view it has heard of (its own
+    /// and every announcer's, so an established cluster history cannot be
+    /// reused) and finishes its rejoin from durable state. The other
+    /// announcers' heartbeat-cadence retries then reach a live member and
+    /// take the ordinary transfer + re-admission path.
+    fn bootstrap_view(&mut self, now: Time, ctx: &mut ActorCtx<'_>) {
+        let heard_max = self.heard_joins.values().copied().max().unwrap_or(0);
+        let target = self.view_number.max(heard_max) + 1;
+        self.view_number = target;
+        let mut mask = MemberSet::new();
+        mask.insert(self.cfg.node.0);
+        self.view_mask = mask;
+        self.changing = None;
+        let members = vec![self.cfg.node.0];
+        {
+            let mut log = self.log.borrow_mut();
+            log.views.push(View {
+                number: target,
+                members: members.clone(),
+                installed_at: now,
+            });
+            if self.primary != self.cfg.node.0 {
+                self.primary = self.cfg.node.0;
+                log.primary_changes.push((self.primary, now));
+            }
+        }
+        self.emit(
+            now,
+            AgentEvent::ViewInstalled {
+                number: target,
+                members,
+            },
+        );
+        self.finish_rejoin(target, now, ctx);
     }
 }
 
@@ -1311,6 +1408,9 @@ impl NetActor for NodeAgent {
                     let p = from.0;
                     self.log.borrow_mut().heartbeats_seen += 1;
                     self.gen[p as usize] += 1;
+                    if self.rejoining {
+                        self.hb_since_rejoin.insert(p);
+                    }
                     ctx.timer_at(
                         now + self.cfg.timeout(ctx.max_delay()),
                         timeout_tag(p, self.gen[p as usize]),
@@ -1367,9 +1467,19 @@ impl NetActor for NodeAgent {
                         _ => {}
                     }
                 }
-                MSG_JOIN if !self.rejoining => {
-                    let (epoch, ckpt_gen) = join_decode(payload);
-                    self.handle_join(from.0, epoch, ckpt_gen, now, ctx);
+                MSG_JOIN => {
+                    let (epoch, view, ckpt_gen) = join_decode(payload);
+                    if self.rejoining {
+                        // Our own view_mask is stale, so this must not
+                        // enter pending_joins (the drain could wrongly
+                        // self-select as server). Record the announcer for
+                        // the total-failure bootstrap; once some node is
+                        // live again, the announcer's heartbeat-cadence
+                        // retries take the ordinary path below.
+                        self.heard_joins.insert(from.0, view);
+                    } else {
+                        self.handle_join(from.0, epoch, ckpt_gen, now, ctx);
+                    }
                 }
                 MSG_SYNC | MSG_DSYNC if self.rejoining => {
                     let (epoch, log_tail, view) = sync_decode(payload);
@@ -1391,6 +1501,7 @@ impl NetActor for NodeAgent {
                         self.mask_got = vec![false; self.cfg.wire_words() as usize];
                     }
                     self.have_sync = true;
+                    self.stall_rounds = 0;
                     self.xfer_delta = tag == MSG_DSYNC;
                     self.log_tail = log_tail;
                     self.view_number = view;
@@ -2037,5 +2148,105 @@ mod tests {
             logs.iter().map(|l| l.borrow().clone()).collect::<Vec<_>>()
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn transfer_server_crash_mid_stream_fails_over() {
+        // Node 2 restarts at 13 ms and node 0 (the lowest survivor, so
+        // the designated server) starts the ~47-chunk, ~1 ms stream —
+        // then crashes 500 µs in. The join must not stall until the next
+        // failure-free window: the request is remembered on every live
+        // node, node 0's exclusion view makes node 1 the server, and the
+        // superseding preamble (newer view) resets the joiner's stream
+        // so node 1's re-serve completes the rejoin.
+        let plan = FaultPlan::new()
+            .crash_window(NodeId(2), Time::ZERO + ms(5), Time::ZERO + ms(13))
+            .crash_at(NodeId(0), Time::ZERO + ms(13) + us(500));
+        let logs = cluster(4, plan, 17, ms(40));
+        let joiner = logs[2].borrow();
+        assert_eq!(joiner.rejoins.len(), 1, "the rejoin completed");
+        assert!(
+            joiner.rejoins[0].readmitted_at > Time::ZERO + ms(13) + us(500),
+            "re-admission happened after the server's crash"
+        );
+        assert_eq!(logs[0].borrow().transfers_served, 1, "node 0 started");
+        assert_eq!(logs[1].borrow().transfers_served, 1, "node 1 re-served");
+        for n in [1usize, 3] {
+            assert_eq!(
+                logs[n].borrow().views.last().unwrap().members,
+                vec![1, 2, 3],
+                "node {n} excluded the dead server and re-admitted node 2"
+            );
+        }
+    }
+
+    #[test]
+    fn total_failure_bootstraps_and_readmits_everyone() {
+        // Every member crashes at once and restarts at once: no live
+        // server exists and every JOIN lands on a fellow rejoiner. The
+        // lowest announcer (node 0) must bootstrap a singleton view after
+        // two stalled retry rounds and serve the others back in — the
+        // deadlock that previously stalled all four until the horizon.
+        let mut plan = FaultPlan::new();
+        for n in 0..4 {
+            plan = plan.crash_window(NodeId(n), Time::ZERO + ms(5), Time::ZERO + ms(15));
+        }
+        let logs = cluster(4, plan, 23, ms(60));
+        let boot = logs[0].borrow();
+        assert_eq!(boot.rejoins.len(), 1, "node 0 completed its rejoin");
+        assert!(
+            boot.views.iter().any(|v| v.members == vec![0]),
+            "node 0 bootstrapped a singleton view"
+        );
+        for (n, cell) in logs.iter().enumerate() {
+            let log = cell.borrow();
+            assert_eq!(log.rejoins.len(), 1, "node {n} rejoined");
+            assert_eq!(
+                log.views.last().unwrap().members,
+                vec![0, 1, 2, 3],
+                "node {n} ends with full membership"
+            );
+        }
+    }
+
+    #[test]
+    fn staggered_total_failure_recovers_after_last_restart() {
+        // The graduated `serverless-stall` corpus shape: node 0 is out
+        // [15, 35) ms; nodes 1–3 crash at 34 ms (before node 0's
+        // announcements can be served) and return at 70 ms. While alone,
+        // node 0 hears no announcer and must NOT bootstrap (an
+        // established cluster may merely be partitioned away); once the
+        // others announce, it is the lowest announcer hearing only
+        // announcers, bootstraps past every heard view, and re-serves the
+        // cluster before the horizon.
+        let plan = FaultPlan::new()
+            .crash_window(NodeId(0), Time::ZERO + ms(15), Time::ZERO + ms(35))
+            .crash_window(NodeId(1), Time::ZERO + ms(34), Time::ZERO + ms(70))
+            .crash_window(NodeId(2), Time::ZERO + ms(34), Time::ZERO + ms(70))
+            .crash_window(NodeId(3), Time::ZERO + ms(34), Time::ZERO + ms(70));
+        let logs = cluster(4, plan, 7, ms(100));
+        let boot = logs[0].borrow();
+        let singleton = boot
+            .views
+            .iter()
+            .find(|v| v.members == vec![0])
+            .expect("node 0 bootstrapped a singleton view");
+        assert!(
+            singleton.installed_at >= Time::ZERO + ms(70),
+            "no bootstrap while alone: the others announced first"
+        );
+        assert!(
+            singleton.number >= 2,
+            "the bootstrap view is numbered past the heard history"
+        );
+        for (n, cell) in logs.iter().enumerate() {
+            let log = cell.borrow();
+            assert!(!log.rejoins.is_empty(), "node {n} rejoined");
+            assert_eq!(
+                log.views.last().unwrap().members,
+                vec![0, 1, 2, 3],
+                "node {n} ends with full membership"
+            );
+        }
     }
 }

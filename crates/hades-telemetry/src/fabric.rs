@@ -1,0 +1,57 @@
+//! Metric names of the sharded-fabric family (`fabric.*`).
+//!
+//! The fabric layer (the `hades-fabric` crate) records its per-run aggregates
+//! into the same [`Registry`](crate::Registry) the cluster run writes,
+//! under a dedicated `fabric.*` namespace. The names live here — next to
+//! the registry they feed — so the bench pipeline, the fabric crate and
+//! tests agree on one vocabulary without a dependency cycle (the fabric
+//! crate depends on telemetry, never the reverse).
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | [`SHARDS`] | gauge | shards the fabric was built with |
+//! | [`CLIENTS`] | gauge | simulated clients across all load classes |
+//! | [`REQUESTS_ROUTED`] | counter | requests stamped and routed to a shard's owning group |
+//! | [`REQUESTS_MOVED`] | counter | requests that landed on a shard after its placement moved |
+//! | [`REQUESTS_DROPPED`] | counter | requests lost in a migration window (submitted to a retired placement, never answered) |
+//! | [`SHARDS_MOVED`] | counter | shard ownership moves the director actuated |
+//! | [`RESPONSE_NS`] | histogram | fabric-wide submission→output latency samples |
+//!
+//! # Examples
+//!
+//! ```
+//! use hades_telemetry::{fabric, Registry};
+//!
+//! let registry = Registry::enabled();
+//! registry.gauge(fabric::SHARDS).set(64);
+//! registry.counter(fabric::REQUESTS_ROUTED).add(1_000);
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.gauge(fabric::SHARDS), Some(64));
+//! ```
+
+/// Gauge: number of shards the fabric keyspace was split into.
+pub const SHARDS: &str = "fabric.shards";
+
+/// Gauge: simulated client population (the sum of every load class's
+/// client-count multiplier).
+pub const CLIENTS: &str = "fabric.clients";
+
+/// Counter: requests stamped with a shard and routed to the owning
+/// group's gateway.
+pub const REQUESTS_ROUTED: &str = "fabric.requests_routed";
+
+/// Counter: requests that reached a shard *after* its placement moved —
+/// traffic the rebalance redirected rather than dropped.
+pub const REQUESTS_MOVED: &str = "fabric.requests_moved";
+
+/// Counter: requests submitted to a placement that was retired before
+/// answering and never re-answered — the migration window's losses.
+pub const REQUESTS_DROPPED: &str = "fabric.requests_dropped";
+
+/// Counter: shard ownership moves the fabric director actuated
+/// (mirrors the `shard-moved` cluster events).
+pub const SHARDS_MOVED: &str = "fabric.shards_moved";
+
+/// Histogram: fabric-wide submission→first-output latencies in
+/// nanoseconds, merged across every shard.
+pub const RESPONSE_NS: &str = "fabric.response_ns";

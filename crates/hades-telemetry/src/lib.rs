@@ -73,6 +73,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fabric;
 pub mod json;
 pub mod metrics;
 pub mod monitor;

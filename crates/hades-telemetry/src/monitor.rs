@@ -577,8 +577,12 @@ impl Monitor for DuplicateOutputMonitor {
 }
 
 /// Watches rejoin state transfers for stalls: once a node announces a
-/// rejoin, progress marks (chunks, completion) must keep arriving within
-/// `transfer_stall` of each other until the node is re-admitted.
+/// rejoin, progress marks (chunks, completion, re-announcements) must
+/// keep arriving within `transfer_stall` of each other until the node
+/// is re-admitted. A heartbeat-cadence re-announcement counts as
+/// progress because a joiner that keeps asking is making the only
+/// progress possible while no server exists; the wedge this monitor
+/// hunts is a joiner that went *silent* without completing its rejoin.
 #[derive(Debug, Default)]
 pub struct StalledTransferMonitor {
     stall: Duration,

@@ -34,7 +34,7 @@ fn main() {
 
     // Stage 1: the committed corpus still reproduces.
     let corpus_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("crates/hades-chaos/corpus/serverless-stall.jsonl");
+        .join("crates/hades-chaos/corpus/regressions.jsonl");
     let text = std::fs::read_to_string(&corpus_path).expect("committed corpus file");
     let scenarios = hades_chaos::parse_corpus(&text).expect("corpus parses");
     println!(
@@ -61,9 +61,10 @@ fn main() {
     let mut fuzzer = ChaosFuzzer::standard(FuzzConfig::default(), seed);
     let campaign = fuzzer.campaign(programs);
     println!(
-        "campaign: seed {seed}, {} program(s), {} counterexample(s)",
+        "campaign: seed {seed}, {} program(s), {} counterexample(s), {} isomorphic duplicate(s) skipped",
         campaign.programs_run,
-        campaign.counterexamples.len()
+        campaign.counterexamples.len(),
+        campaign.duplicates_skipped
     );
     for cx in &campaign.counterexamples {
         let shrunk_ok = fuzzer.reproduces(&cx.minimized, &cx.key);

@@ -1,0 +1,118 @@
+//! Sharded fabric smoke: a million simulated clients, one node crash,
+//! a bounded rebalance — the CI entry point of `hades-fabric`.
+//!
+//! The fabric shape mirrors the `fabric_1m` perf-gate scenario: 24
+//! nodes grouped into 8 replica placements of 3, 64 consistent-hash
+//! shards, and a 10⁶-client population in three load classes (steady
+//! browse, bursty checkout, ramping api) whose client counts are pure
+//! rate multipliers — the engine only ever sees the aggregate streams.
+//! At 10 ms node 4 (a follower in placement 1) crashes; the
+//! `FabricDirector` must move exactly the shards homed on placement 1
+//! to their ring successors and nothing else.
+//!
+//! The smoke fails (exit 1) if the population does not materialize, if
+//! the rebalance moves the wrong shard set, or if aggregate latency
+//! percentiles are missing.
+//!
+//! Run with `cargo run --release --example sharded_fabric`.
+
+use hades::prelude::*;
+
+fn ms(n: u64) -> Duration {
+    Duration::from_millis(n)
+}
+
+fn main() {
+    let spec = FabricSpec::new(24, 64)
+        .class(LoadClass::new("browse", 700_000, Duration::from_secs(15)))
+        .class(
+            LoadClass::new("checkout", 200_000, Duration::from_secs(8)).arrival(Arrival::Bursty {
+                on: ms(4),
+                off: ms(6),
+            }),
+        )
+        .class(
+            LoadClass::new("api", 100_000, Duration::from_secs(2))
+                .arrival(Arrival::Ramp { from_permille: 300 }),
+        )
+        .horizon(ms(30))
+        .seed(7)
+        .telemetry(Registry::enabled())
+        .scenario(ScenarioPlan::new().crash(NodeId(4), Time::ZERO + ms(10)));
+
+    let router = spec.router();
+    let expected_moves: std::collections::BTreeSet<u32> =
+        (0..64).filter(|s| router.home(*s) == 1).collect();
+
+    let run = spec.run().expect("fabric spec is valid");
+    let report = &run.report;
+    println!(
+        "fabric: {} clients over {} shards, {} requests routed",
+        report.clients, report.shards, report.totals.routed
+    );
+
+    let mut failures = 0u32;
+    if report.clients != 1_000_000 {
+        println!(
+            "FAIL: expected a 1M-client population, got {}",
+            report.clients
+        );
+        failures += 1;
+    }
+    if report.totals.routed < 2_000 {
+        println!(
+            "FAIL: population produced only {} requests",
+            report.totals.routed
+        );
+        failures += 1;
+    }
+
+    // The rebalance: exactly the crashed placement's shards moved.
+    let moved: std::collections::BTreeSet<u32> = report.moves.iter().map(|m| m.shard).collect();
+    println!(
+        "rebalance: {} shard(s) homed on the crashed placement, {} moved",
+        expected_moves.len(),
+        moved.len()
+    );
+    for mv in report.moves.iter().take(4) {
+        println!(
+            "  shard {:2} placement {} -> {} at {}",
+            mv.shard, mv.from, mv.to, mv.at
+        );
+    }
+    if moved != expected_moves {
+        println!("FAIL: moved set differs from the crashed placement's shards");
+        failures += 1;
+    }
+
+    // Latency grading against the analytic output bound.
+    match report.totals.latency {
+        Some(lat) => {
+            println!(
+                "latency: p50 {}ns p99 {}ns p999 {}ns (Δ + δmax bound {}ns), {} on time, {} delayed",
+                lat.p50,
+                lat.p99,
+                lat.p999,
+                report.output_bound.as_nanos(),
+                report.totals.on_time,
+                report.totals.delayed
+            );
+        }
+        None => {
+            println!("FAIL: no aggregate latency summary");
+            failures += 1;
+        }
+    }
+
+    // Telemetry mirrors the report.
+    if run.metrics.counter("fabric.shards_moved") != Some(moved.len() as u64) {
+        println!("FAIL: fabric.shards_moved disagrees with the report");
+        failures += 1;
+    }
+
+    if failures > 0 {
+        println!("sharded fabric smoke FAILED: {failures} problem(s)");
+        std::process::exit(1);
+    }
+    println!("sharded fabric smoke passed");
+}

@@ -21,10 +21,14 @@
 //! A second, nastier run then trips the watchdog
 //! (`ClusterSpec::monitors`): node 0 restarts one millisecond after
 //! every other node died, so its rejoin announce finds no live peer to
-//! serve the checkpoint transfer. The stalled-transfer monitor fires at
-//! exactly announce + the analytic rejoin bound — during the run, as an
+//! serve the checkpoint transfer. The group falls silent past its
+//! answer bound — the silent-group monitor fires during the run, as an
 //! `InvariantViolated` cluster event a reactive driver observes at its
 //! engine instant — and the violations export as schema-checked JSONL.
+//! The rejoin itself rides out the blackout: each heartbeat-cadence
+//! re-announcement re-arms the stall watchdog, and once the dead
+//! majority returns the lowest announcer bootstraps a view and serves
+//! everyone back in, so no stalled-transfer violation fires.
 //!
 //! Run with: `cargo run --example telemetry_tour`
 
@@ -177,8 +181,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== invariant watchdog: a rejoin whose transfer has no server ==");
     println!(
-        "node 0 announces at 35 ms into a dead cluster; the stall deadline \
-         is the analytic rejoin bound ({rejoin_bound})"
+        "node 0 announces at 35 ms into a dead cluster; re-announcements \
+         keep re-arming the stall deadline (the analytic rejoin bound, \
+         {rejoin_bound}) until the blackout lifts"
     );
     for v in chaos_run.violations() {
         println!("  [{}] {} — {}", v.at, v.monitor, v.message);
@@ -205,8 +210,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         chaos_run
             .violations()
             .iter()
-            .any(|v| v.monitor == "stalled-transfer" && v.node == Some(0)),
-        "the serverless rejoin must trip the stalled-transfer watchdog"
+            .any(|v| v.monitor == "silent-group"),
+        "the blackout must trip the silent-group watchdog"
+    );
+    assert!(
+        !chaos_run
+            .violations()
+            .iter()
+            .any(|v| v.monitor == "stalled-transfer"),
+        "re-announcements and the bootstrap keep every transfer live"
+    );
+    let report = chaos_run.report();
+    assert_eq!(
+        report.recoveries.len() as u32,
+        report.scripted_rejoins,
+        "every scripted rejoin completed despite the serverless window"
     );
     Ok(())
 }

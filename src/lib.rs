@@ -29,6 +29,7 @@
 //! | [`hades_services`] | clock sync, reliable broadcast/multicast, crash detection, consensus, replication, storage, dependency tracking |
 //! | [`hades_cluster`] | the integrated multi-node runtime: N per-node stacks (dispatcher + policy + services) over one shared engine and network |
 //! | [`hades_chaos`] | gray-failure fault fabric programs and the invariant-guided scenario fuzzer (generate → watchdog oracle → shrink → corpus) |
+//! | [`hades_fabric`] | sharded service fabric: consistent-hash shard placement, population-scale load classes (10⁶ clients as rate multipliers), rebalancing director, per-shard latency report |
 //! | [`hades_telemetry`] | engine-time metrics registry, protocol trace spans, deterministic profiler (time/traffic attribution, flamegraph export), JSONL export — near-free when disabled |
 //!
 //! ## Quickstart
@@ -57,6 +58,7 @@
 pub use hades_chaos;
 pub use hades_cluster;
 pub use hades_dispatch;
+pub use hades_fabric;
 pub use hades_sched;
 pub use hades_services;
 pub use hades_sim;
@@ -83,6 +85,10 @@ pub mod prelude {
     pub use hades_dispatch::{
         CostModel, DispatchSim, ExecTimeModel, MissPolicy, MonitorEvent, ResourceProtocol,
         RunReport, SimConfig,
+    };
+    pub use hades_fabric::{
+        Arrival, FabricDirector, FabricReport, FabricRun, FabricSpec, HashRing, LoadClass,
+        PopulationWorkload, ShardRouter, ShardStats,
     };
     pub use hades_sched::{
         assign_dm, assign_rm, edf_feasible, EdfAnalysisConfig, EdfPolicy, ModeChange,

@@ -21,7 +21,7 @@ fn ms(n: u64) -> Duration {
 
 fn corpus_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("crates/hades-chaos/corpus/serverless-stall.jsonl")
+        .join("crates/hades-chaos/corpus/regressions.jsonl")
 }
 
 fn committed_scenarios() -> Vec<CorpusScenario> {
@@ -48,50 +48,53 @@ fn the_committed_corpus_replays_its_violations() {
 }
 
 #[test]
-fn the_committed_stall_shrinks_to_a_minimal_deterministic_program() {
-    let scenario = &committed_scenarios()[0];
-    let cfg = FuzzConfig {
-        nodes: scenario.nodes,
-        horizon: scenario.horizon,
-        spec_seed: scenario.seed,
-        ..FuzzConfig::default()
-    };
-    let fuzzer = ChaosFuzzer::standard(cfg, 1);
+fn every_committed_scenario_shrinks_to_a_minimal_deterministic_program() {
+    for scenario in &committed_scenarios() {
+        let cfg = FuzzConfig {
+            nodes: scenario.nodes,
+            horizon: scenario.horizon,
+            spec_seed: scenario.seed,
+            ..FuzzConfig::default()
+        };
+        let fuzzer = ChaosFuzzer::standard(cfg, 1);
 
-    // Pad the committed program with ops that are irrelevant to the
-    // stall; the shrinker must strip them all back out.
-    let mut padded = scenario.program.clone();
-    padded.ops.push(ChaosOp::Degrade {
-        from: 1,
-        to: 2,
-        at: Time::ZERO + ms(3),
-        until: Time::ZERO + ms(9),
-        extra_delay: us(80),
-        loss_permille: 200,
-    });
-    padded.ops.push(ChaosOp::Throttle {
-        service: "store".into(),
-        at: Time::ZERO + ms(5),
-        permille: 700,
-    });
+        // Pad the committed program with ops that are irrelevant to
+        // its violation; the shrinker must strip them all back out.
+        let mut padded = scenario.program.clone();
+        padded.ops.push(ChaosOp::Degrade {
+            from: 1,
+            to: 2,
+            at: Time::ZERO + ms(3),
+            until: Time::ZERO + ms(9),
+            extra_delay: us(80),
+            loss_permille: 200,
+        });
+        padded.ops.push(ChaosOp::Throttle {
+            service: "store".into(),
+            at: Time::ZERO + ms(5),
+            permille: 700,
+        });
 
-    let minimized = fuzzer.shrink(&padded, &scenario.expect);
-    assert!(fuzzer.reproduces(&minimized, &scenario.expect));
-    assert!(
-        minimized.ops.len() <= scenario.program.ops.len(),
-        "noise ops survived the shrink: {minimized:?}"
-    );
-    // Local minimality: removing any single op loses the violation.
-    for i in 0..minimized.ops.len() {
-        let mut without = minimized.clone();
-        without.ops.remove(i);
+        let minimized = fuzzer.shrink(&padded, &scenario.expect);
+        assert!(fuzzer.reproduces(&minimized, &scenario.expect));
         assert!(
-            !fuzzer.reproduces(&without, &scenario.expect),
-            "op {i} of the minimized program is removable"
+            minimized.ops.len() <= scenario.program.ops.len(),
+            "{}: noise ops survived the shrink: {minimized:?}",
+            scenario.name
         );
+        // Local minimality: removing any single op loses the violation.
+        for i in 0..minimized.ops.len() {
+            let mut without = minimized.clone();
+            without.ops.remove(i);
+            assert!(
+                !fuzzer.reproduces(&without, &scenario.expect),
+                "{}: op {i} of the minimized program is removable",
+                scenario.name
+            );
+        }
+        // And the shrink itself is deterministic.
+        assert_eq!(minimized, fuzzer.shrink(&padded, &scenario.expect));
     }
-    // And the shrink itself is deterministic.
-    assert_eq!(minimized, fuzzer.shrink(&padded, &scenario.expect));
 }
 
 #[test]
@@ -142,6 +145,7 @@ proptest! {
         let ca = a.campaign(3);
         let cb = b.campaign(3);
         prop_assert_eq!(ca.programs_run, cb.programs_run);
+        prop_assert_eq!(ca.duplicates_skipped, cb.duplicates_skipped);
         prop_assert_eq!(ca.counterexamples.len(), cb.counterexamples.len());
         for (x, y) in ca.counterexamples.iter().zip(&cb.counterexamples) {
             prop_assert_eq!(x.index, y.index);
